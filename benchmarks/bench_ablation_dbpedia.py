@@ -1,0 +1,44 @@
+"""Ablation — the DBpedia layer (the paper's future-work study).
+
+"Since the use of DBpedia will naturally increase the number of possible
+query results — the query complexity, we will study more advanced
+ranking algorithms."  This bench measures exactly that effect: query
+complexity and result counts with and without the DBpedia synonym layer.
+"""
+
+from repro.core.soda import Soda, SodaConfig
+
+QUERIES = ("client", "company trade order", "share customers")
+
+
+def test_dbpedia_ablation(warehouse, benchmark):
+    with_dbpedia = Soda(warehouse, SodaConfig(use_dbpedia=True))
+    without_dbpedia = Soda(warehouse, SodaConfig(use_dbpedia=False))
+
+    def sweep(soda):
+        return [soda.search(text, execute=False) for text in QUERIES]
+
+    with_results = benchmark(sweep, with_dbpedia)
+    without_results = sweep(without_dbpedia)
+
+    print()
+    print("DBpedia ablation (complexity / #results):")
+    print(f"{'query':24s} {'with':>12s} {'without':>12s}")
+    gain = 0
+    for text, with_r, without_r in zip(QUERIES, with_results, without_results):
+        print(
+            f"{text:24s} "
+            f"{with_r.complexity:>4d}/{len(with_r.statements):<4d}    "
+            f"{without_r.complexity:>4d}/{len(without_r.statements):<4d}"
+        )
+        gain += with_r.complexity - without_r.complexity
+    assert gain > 0  # DBpedia increases the interpretation space
+
+
+def test_dbpedia_enables_synonym_queries(warehouse, benchmark):
+    # "client" only exists as a DBpedia synonym of the customers term
+    with_dbpedia = Soda(warehouse, SodaConfig(use_dbpedia=True))
+    without_dbpedia = Soda(warehouse, SodaConfig(use_dbpedia=False))
+    result = benchmark(with_dbpedia.search, "client", False)
+    assert result.statements
+    assert not without_dbpedia.search("client", execute=False).statements

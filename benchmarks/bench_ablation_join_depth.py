@@ -1,0 +1,40 @@
+"""Ablation — join-traversal depth ("far-fetching patterns").
+
+The paper: SODA "combines a directed graph traversal with a given set of
+patterns" and may miss join paths between entities "too far apart in the
+schema graph"; deeper ("far-fetching") traversal finds more paths but
+costs more and can flood the result set.  This bench sweeps the depth
+bound and reports connectivity vs analysis time.
+"""
+
+import time
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+
+QUERY = "Sara financial instruments"  # needs the transactions chain
+
+
+@pytest.mark.parametrize("depth", [2, 6, 10, 16, 24])
+def test_join_depth_sweep(warehouse, depth, benchmark):
+    soda = Soda(warehouse, SodaConfig(join_depth=depth))
+    result = benchmark(soda.search, QUERY, False)
+    connected = sum(1 for s in result.statements if not s.disconnected)
+    print(
+        f"\ndepth {depth:2d}: {len(result.statements)} statements, "
+        f"{connected} connected"
+    )
+
+
+def test_depth_monotone_connectivity(warehouse, benchmark):
+    def connected_at(depth):
+        soda = Soda(warehouse, SodaConfig(join_depth=depth))
+        result = soda.search(QUERY, execute=False)
+        return sum(1 for s in result.statements if not s.disconnected)
+
+    shallow = benchmark(connected_at, 2)
+    deep = connected_at(20)
+    print(f"\nconnected statements: depth 2 -> {shallow}, depth 20 -> {deep}")
+    assert deep >= shallow
+    assert deep > 0

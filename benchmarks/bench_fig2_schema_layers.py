@@ -1,0 +1,34 @@
+"""Figures 1 & 2 — conceptual vs logical running-example schema.
+
+Prints both layers of the finbank warehouse (the paper's mini-bank) and
+benchmarks definition construction + validation.
+"""
+
+from repro.warehouse.minibank import build_definition
+
+
+def test_fig1_fig2_schema_layers(benchmark):
+    definition = benchmark(build_definition)
+
+    print()
+    print("Fig. 1 — conceptual schema (business layer):")
+    for entity in definition.conceptual_entities:
+        print(f"  {entity.name:22s} attrs: {', '.join(entity.attributes)}")
+
+    print()
+    print("Fig. 2 — logical schema (with inheritance and splits):")
+    for entity in definition.logical_entities:
+        refines = f" -> refines {entity.refines}" if entity.refines else ""
+        print(f"  {entity.name:32s}{refines}")
+    for inheritance in definition.inheritances:
+        if inheritance.layer == "logical":
+            print(
+                f"  X {inheritance.parent} <- "
+                f"{', '.join(inheritance.children)} (mutually exclusive)"
+            )
+
+    # Fig. 2's key refinements: addresses split out, transactions split
+    logical_names = {e.name for e in definition.logical_entities}
+    assert "Addresses" in logical_names
+    assert "FinancialInstrumentTransactions" in logical_names
+    assert "MoneyTransactions" in logical_names

@@ -1,0 +1,28 @@
+"""Figure 4 — the five-step SODA pipeline.
+
+Runs a representative query through the pipeline and prints the per-step
+wall-clock breakdown (lookup, rank, tables, filters, SQL, execute);
+benchmarks the full pipeline.
+"""
+
+QUERY = "customers Zurich financial instruments"
+
+
+def test_fig4_step_breakdown(soda, benchmark):
+    result = benchmark(soda.search, QUERY)
+    timings = result.timings
+    print()
+    print(f"Fig. 4 — pipeline steps for {QUERY!r}:")
+    rows = [
+        ("1 lookup (entry points)", timings.lookup),
+        ("2 rank and top N", timings.rank),
+        ("3 tables (patterns + joins)", timings.tables),
+        ("4 filters", timings.filters),
+        ("5 SQL generation", timings.sql),
+        ("execute (snippets)", timings.execute),
+    ]
+    for label, seconds in rows:
+        print(f"  {label:30s} {seconds * 1000:8.2f} ms")
+    print(f"  {'SODA total (steps 1-5)':30s} {timings.soda_total * 1000:8.2f} ms")
+    assert timings.soda_total > 0
+    assert result.statements

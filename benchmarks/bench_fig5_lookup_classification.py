@@ -1,0 +1,27 @@
+"""Figure 5 — query classification.
+
+The paper's example: for "customers Zurich financial instruments",
+"customers" is found once (domain ontology), "Zurich" once (base data)
+and "financial instruments" twice (conceptual + logical schema), giving
+a query complexity of 1 x 1 x 2 = 2.  This bench reproduces the figure
+exactly and benchmarks the lookup step.
+"""
+
+QUERY = "customers Zurich financial instruments"
+
+
+def test_fig5_query_classification(soda, benchmark):
+    result = benchmark(soda.search, QUERY, False)
+    summary = result.lookup.classification_summary()
+    print()
+    print(f"Fig. 5 — classification of {QUERY!r}:")
+    for term, sources in summary.items():
+        print(f"  {term:24s} found in: {', '.join(sources)}")
+    print(f"  complexity = {result.complexity}")
+
+    assert summary["customers"] == ["domain_ontology"]
+    assert summary["zurich"] == ["base_data"]
+    assert summary["financial instruments"] == [
+        "conceptual_schema", "logical_schema"
+    ]
+    assert result.complexity == 2  # 1 x 1 x 2, as in the paper

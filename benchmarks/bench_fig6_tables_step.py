@@ -1,0 +1,31 @@
+"""Figure 6 — output of the Tables step.
+
+For the Fig. 5 query the paper reports exactly seven tables: parties,
+individuals, organizations, addresses, financial_instruments,
+fi_contains_sec and securities.  This bench reproduces the set and
+benchmarks the tables step (traversal + pattern matching + join
+selection).
+"""
+
+from repro.core.input_patterns import parse_query
+from repro.core.ranking import rank
+
+QUERY = "customers Zurich financial instruments"
+
+FIG6_TABLES = {
+    "parties", "individuals", "organizations", "addresses",
+    "financial_instruments", "fi_contains_sec", "securities",
+}
+
+
+def test_fig6_seven_tables(soda, benchmark):
+    lookup_result = soda._lookup.run(parse_query(QUERY))
+    best = rank(lookup_result, top_n=1)[0]
+
+    tables_result = benchmark(soda._tables.run, best.interpretation)
+
+    print()
+    print(f"Fig. 6 — tables step output for {QUERY!r}:")
+    for name in tables_result.tables:
+        print(f"  {name}")
+    assert set(tables_result.tables) == FIG6_TABLES

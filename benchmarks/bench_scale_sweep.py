@@ -1,0 +1,38 @@
+"""Scale sweep — SODA analysis time vs warehouse size.
+
+The paper reports that the lookup product grows with ambiguity while the
+remaining steps are "linear in the size of the meta-data".  This bench
+sweeps (a) the data scale of the finbank warehouse and (b) the schema
+scale of the synthetic generator, and reports SODA analysis times.
+"""
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.warehouse.graphbuilder import build_metadata_graph
+from repro.warehouse.minibank import build_minibank
+from repro.warehouse.synthetic import SyntheticConfig, generate_definition
+
+QUERY = "customers Zurich financial instruments"
+
+
+@pytest.mark.parametrize("scale", [0.25, 0.5, 1.0, 2.0])
+def test_data_scale_sweep(scale, benchmark):
+    warehouse = build_minibank(seed=42, scale=scale)
+    soda = Soda(warehouse, SodaConfig())
+    result = benchmark(soda.search, QUERY, False)
+    rows = sum(warehouse.row_counts().values())
+    print(f"\nscale {scale}: {rows} rows, complexity {result.complexity}")
+    assert result.complexity == 2  # ambiguity is schema-, not data-driven
+
+
+@pytest.mark.parametrize("factor", [0.1, 0.25, 0.5, 1.0])
+def test_schema_scale_sweep(factor, benchmark):
+    definition = generate_definition(SyntheticConfig().scaled(factor))
+    graph = benchmark(build_metadata_graph, definition)
+    print(
+        f"\nschema factor {factor}: "
+        f"{definition.schema_statistics()['physical_tables']} tables, "
+        f"{len(graph)} triples"
+    )
+    assert len(graph) > 0

@@ -1,0 +1,45 @@
+"""Scalability study — SODA analysis time vs metadata size.
+
+The paper: after the lookup product, "the remaining steps are all linear
+in the size of the meta-data".  This bench runs generated keyword
+workloads over synthetic warehouses of increasing schema scale and
+reports per-step analysis times.
+"""
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.experiments.synthetic_workload import (
+    build_synthetic_warehouse,
+    generate_workload,
+    run_scalability_study,
+)
+from repro.warehouse.synthetic import SyntheticConfig
+
+
+def test_scalability_report(benchmark):
+    points = benchmark.pedantic(
+        run_scalability_study,
+        kwargs={"factors": (0.05, 0.1, 0.2), "queries_per_scale": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("SODA analysis time vs metadata size (synthetic workloads):")
+    print(f"{'factor':>7s} {'tables':>7s} {'triples':>8s} "
+          f"{'lookup ms':>10s} {'tables ms':>10s} {'total ms':>9s}")
+    for point in points:
+        print(
+            f"{point.factor:>7.2f} {point.tables:>7d} {point.triples:>8d} "
+            f"{point.mean_lookup_ms:>10.2f} {point.mean_tables_ms:>10.2f} "
+            f"{point.mean_total_ms:>9.2f}"
+        )
+    assert points[-1].triples > points[0].triples
+
+
+def test_single_query_at_medium_scale(benchmark):
+    warehouse = build_synthetic_warehouse(SyntheticConfig().scaled(0.1))
+    soda = Soda(warehouse, SodaConfig())
+    query = generate_workload(warehouse.definition, count=1)[0]
+    result = benchmark(soda.search, query.text, False)
+    assert result.complexity >= 1

@@ -1,0 +1,43 @@
+"""Table 1 — complexity of the schema graph.
+
+Generates a synthetic warehouse at the paper's exact cardinalities
+(226/985/243 conceptual, 436/2700/254 logical, 472/3181 physical),
+builds the metadata graph, and prints the reproduced Table 1.  The
+benchmark measures the graph build at full paper scale.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table1
+from repro.warehouse.graphbuilder import build_metadata_graph, graph_statistics
+from repro.warehouse.synthetic import SyntheticConfig, generate_definition
+
+
+@pytest.fixture(scope="module")
+def paper_scale_definition():
+    return generate_definition(SyntheticConfig())
+
+
+def test_table1_cardinalities(paper_scale_definition, benchmark):
+    graph = benchmark(build_metadata_graph, paper_scale_definition)
+    stats = paper_scale_definition.schema_statistics()
+    print()
+    print("Table 1: Complexity of the schema graph (measured vs paper)")
+    print(format_table1(stats))
+    print(f"graph triples: {graph_statistics(graph)['triples']}")
+    assert stats["physical_tables"] == 472
+    assert stats["physical_columns"] == 3181
+    assert stats["conceptual_entities"] == 226
+
+
+def test_table1_finbank_statistics(warehouse, benchmark):
+    stats = benchmark(warehouse.statistics)
+    print()
+    print("Finbank (running example) schema statistics:")
+    for key in (
+        "conceptual_entities", "logical_entities", "physical_tables",
+        "physical_columns", "graph_triples", "index_indexed_values",
+        "total_rows",
+    ):
+        print(f"  {key:26s} {stats[key]}")
+    assert stats["physical_tables"] == 21

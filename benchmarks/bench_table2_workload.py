@@ -1,0 +1,33 @@
+"""Table 2 — the experiment queries.
+
+Prints the workload in the paper's shape and benchmarks input-pattern
+parsing over all thirteen queries.
+"""
+
+from repro.core.input_patterns import parse_query
+from repro.experiments.reporting import format_table2
+from repro.experiments.workload import WORKLOAD
+
+
+def test_table2_workload(benchmark):
+    def parse_all():
+        return [parse_query(query.text) for query in WORKLOAD]
+
+    parsed = benchmark(parse_all)
+    print()
+    print("Table 2: Experiment queries")
+    print(format_table2())
+    assert len(parsed) == 13
+
+
+def test_table2_gold_standards_execute(warehouse, benchmark):
+    def run_gold():
+        total = 0
+        for query in WORKLOAD:
+            for sql in query.gold:
+                total += len(warehouse.database.execute(sql).rows)
+        return total
+
+    total = benchmark(run_gold)
+    print(f"\ngold-standard statements return {total} tuples in total")
+    assert total > 0

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the reproduced paper tables that each bench prints
+alongside its timing measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.warehouse.minibank import build_minibank
+
+
+@pytest.fixture(scope="session")
+def warehouse():
+    return build_minibank(seed=42, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def soda(warehouse):
+    return Soda(warehouse, SodaConfig())
+
+
+@pytest.fixture(scope="session")
+def experiment_outcomes(warehouse):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(warehouse=warehouse).run_all()

@@ -1,0 +1,14 @@
+"""Root conftest: make `src/` importable without installation.
+
+The canonical install is ``python setup.py develop`` (or ``pip install
+-e .`` where the ``wheel`` package is available), but the test and
+benchmark suites must also run from a plain checkout — e.g. on machines
+where pip cannot build editable wheels offline.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,69 @@
+"""Business-analyst scenarios from Section 4.4 of the paper.
+
+Shows every input-pattern family on realistic analyst questions:
+
+* keyword filters (Query 1: "Sara Guttinger"),
+* comparison operators and dates (Query 2: salary/birthday),
+* metadata-defined predicates ("wealthy customers" — the threshold lives
+  in the domain ontology, not in the query),
+* aggregations with grouping (Query 3: sum of amounts per trading day),
+* entity rankings (Query 4 / top-N trading volume).
+
+Run with:  python examples/business_analyst.py
+"""
+
+from repro import Soda, build_minibank
+
+
+def headline(text):
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def run(soda, text, rows=5):
+    print(f"\nSODA query:  {text}")
+    result = soda.search(text)
+    best = result.best
+    if best is None:
+        print("  (no result)")
+        return
+    print(f"generated SQL:\n  {best.sql}")
+    if best.snippet is not None:
+        print(f"result snippet ({len(best.snippet.rows)} of up to 20 tuples):")
+        print(f"  columns: {best.snippet.columns}")
+        for row in best.snippet.rows[:rows]:
+            print(f"  {row}")
+    print()
+
+
+def main():
+    warehouse = build_minibank(seed=42, scale=1.0)
+    soda = Soda(warehouse)
+
+    headline("1. Keyword filters (paper Query 1)")
+    run(soda, "Sara Guttinger")
+
+    headline("2. Comparison operators and dates (paper Query 2)")
+    run(soda, "salary >= 200000")
+    run(soda, "birthday = date(1981-04-23)")
+
+    headline("3. Metadata-defined predicates: wealthy customers")
+    print("\nThe ontology defines: wealthy customer := salary >= 1'000'000.")
+    print("The analyst never types the threshold — SODA reads it from the")
+    print("metadata graph (the paper's flagship business-term example).")
+    run(soda, "wealthy customers")
+
+    headline("4. Aggregation with grouping (paper Query 3)")
+    run(soda, "sum (amount) group by (transaction date)", rows=3)
+    run(soda, "sum(investments) group by (currency)", rows=6)
+
+    headline("5. Entity ranking (paper Section 4.4.2)")
+    run(soda, "Top 10 trading volume customers", rows=10)
+
+    headline("6. Time-range analysis (paper Q6.0)")
+    run(soda, "trade order period > date(2011-09-01)", rows=3)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: keyword search over a data warehouse in a few lines.
+
+Builds the *finbank* warehouse (the paper's running example: a mini-bank
+with customers buying and selling financial instruments), points SODA at
+it, and runs the three queries the paper opens with:
+
+1. Find all financial instruments of customers in Zurich.
+2. What is the total trading volume?
+3. What is the address of Sara Guttinger?
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Soda, build_minibank
+
+
+def show(result, limit=3):
+    print(f"  complexity: {result.complexity}, "
+          f"{len(result.statements)} SQL statement(s) generated")
+    for position, statement in enumerate(result.statements[:limit], start=1):
+        marker = " [disconnected]" if statement.disconnected else ""
+        print(f"  #{position} (score {statement.score:.2f}){marker}")
+        print(f"     {statement.sql}")
+        if statement.snippet is not None and statement.snippet.rows:
+            first = statement.snippet.rows[0]
+            print(f"     first tuple: {first}")
+    print()
+
+
+def main():
+    print("building the finbank warehouse (schema, data, metadata graph)...")
+    warehouse = build_minibank(seed=42, scale=1.0)
+    stats = warehouse.statistics()
+    print(
+        f"  {stats['physical_tables']} tables, {stats['total_rows']} rows, "
+        f"{stats['graph_triples']} metadata triples\n"
+    )
+
+    soda = Soda(warehouse)
+
+    print("Query: 'customers Zurich financial instruments'")
+    show(soda.search("customers Zurich financial instruments"))
+
+    print("Query: 'Top 10 trading volume customers'")
+    show(soda.search("Top 10 trading volume customers"))
+
+    print("Query: 'Sara Guttinger'")
+    show(soda.search("Sara Guttinger"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Reproduction of "SODA: Generating SQL for Business Users" (VLDB 2012).
+
+Public API highlights:
+
+>>> from repro import build_minibank, Soda
+>>> warehouse = build_minibank(scale=0.2)
+>>> soda = Soda(warehouse)
+>>> result = soda.search("Sara Guttinger")
+>>> result.best is not None
+True
+"""
+
+from repro.core import (
+    PrecisionRecall,
+    SearchResult,
+    ScoredStatement,
+    Soda,
+    SodaConfig,
+    SodaQuery,
+    compare_results,
+    evaluate_sql,
+    parse_query,
+)
+from repro.graph import Text, Triple, TripleStore, Vocab
+from repro.sqlengine import Database, ResultSet
+from repro.warehouse import (
+    Warehouse,
+    WarehouseDefinition,
+    build_minibank,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "PrecisionRecall",
+    "ResultSet",
+    "ScoredStatement",
+    "SearchResult",
+    "Soda",
+    "SodaConfig",
+    "SodaQuery",
+    "Text",
+    "Triple",
+    "TripleStore",
+    "Vocab",
+    "Warehouse",
+    "WarehouseDefinition",
+    "__version__",
+    "build_minibank",
+    "compare_results",
+    "evaluate_sql",
+    "parse_query",
+]

@@ -1,0 +1,39 @@
+"""Reimplementations of the related systems compared in Table 5."""
+
+from repro.baselines.banks import Banks
+from repro.baselines.base import BaselineAnswer, KeywordSearchSystem, build_sql
+from repro.baselines.capabilities import (
+    PAPER_TABLE5,
+    QUERY_TYPE_ROWS,
+    SystemEvaluation,
+    capability_matrix,
+    default_systems,
+    evaluate_system,
+    format_table5,
+    soda_evaluation,
+    synonym_dictionary,
+)
+from repro.baselines.dbexplorer import DBExplorer
+from repro.baselines.discover import Discover
+from repro.baselines.keymantic import Keymantic
+from repro.baselines.sqak import Sqak
+
+__all__ = [
+    "Banks",
+    "BaselineAnswer",
+    "DBExplorer",
+    "Discover",
+    "KeywordSearchSystem",
+    "Keymantic",
+    "PAPER_TABLE5",
+    "QUERY_TYPE_ROWS",
+    "Sqak",
+    "SystemEvaluation",
+    "build_sql",
+    "capability_matrix",
+    "default_systems",
+    "evaluate_system",
+    "format_table5",
+    "soda_evaluation",
+    "synonym_dictionary",
+]

@@ -1,0 +1,82 @@
+"""DBExplorer (Agrawal, Chaudhuri, Das — ICDE 2002), simplified.
+
+DBExplorer builds a *symbol table* over the base data and answers a
+keyword query by (1) looking every keyword up in the symbol table,
+(2) enumerating combinations of per-keyword table assignments and
+(3) connecting each combination with key/foreign-key join trees.
+Results are at the granularity of *sets of business objects* (SQL
+statements), which is what we emit.
+
+Limitations reproduced from the paper's Table 5 discussion:
+
+* keywords that only exist in the schema (not the base data) cannot be
+  matched — there is no metadata lookup;
+* no inheritance, ontology, predicate or aggregate support;
+* cyclic schema subgraphs break candidate generation ("DBExplorer as
+  well as DISCOVER cannot handle even simple queries if the schema
+  involves cycles") — we flag such answers with a caveat.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baselines.base import BaselineAnswer, KeywordSearchSystem, build_sql
+
+
+class DBExplorer(KeywordSearchSystem):
+    name = "DBExplorer"
+    features = {
+        "base_data": "partial",  # (X): breaks on cycles
+        "schema": False,
+        "inheritance": False,
+        "domain_ontology": False,
+        "predicates": False,
+        "aggregates": False,
+    }
+
+    #: cap on the combinatorial product of keyword assignments
+    max_combinations = 24
+
+    def answer(self, text: str) -> BaselineAnswer:
+        answer = BaselineAnswer(system=self.name, query_text=text)
+        if any(symbol in text for symbol in ("(", ">", "<", "=")):
+            answer.supported = False
+            answer.note = "operators and aggregates are not part of the model"
+            return answer
+
+        segments = self.segment(text)
+        hit_lists = []
+        for segment in segments:
+            hits = self.keyword_hits(segment)
+            if not hits:
+                answer.supported = False
+                answer.note = (
+                    f"keyword {segment!r} not found in the symbol table "
+                    f"(no metadata lookup available)"
+                )
+                return answer
+            hit_lists.append([(segment, table, column) for table, column in hits])
+
+        combinations = itertools.islice(
+            itertools.product(*hit_lists), self.max_combinations
+        )
+        for combination in combinations:
+            tables = sorted({table for __, table, __ in combination})
+            joins = self.join_tree(tables)
+            if joins is None:
+                continue
+            involved = set(tables)
+            for t1, __, t2, __ in joins:
+                involved.add(t1)
+                involved.add(t2)
+            if self.schema_has_cycle(involved):
+                answer.caveat = "schema subgraph contains a cycle"
+            filters = [
+                (table, column, segment)
+                for segment, table, column in combination
+            ]
+            answer.sqls.append(build_sql(sorted(involved), joins, filters))
+        if not answer.sqls:
+            answer.note = "no join tree connects the keyword tables"
+        return answer

@@ -1,0 +1,179 @@
+"""Keymantic (Bergamaschi et al. — SIGMOD 2011), simplified.
+
+Keymantic searches databases whose base data is **not** crawlable (the
+"Hidden Web"): it only sees metadata — table and column names — plus
+external lexical resources.  A keyword query is answered by computing a
+similarity matrix between keywords and schema elements and solving the
+assignment problem (we use SciPy's Hungarian implementation, as the
+original used a Munkres-style algorithm).  Keywords assigned to a table
+or column become structure terms; keywords assigned "into" a column
+become value predicates.
+
+Reproduced behaviour from the paper's Table 5 discussion:
+
+* no inverted index — "Sara" can only be guessed into some text column;
+* partial synonym support via an external dictionary ("(X)" for domain
+  ontologies);
+* on very wide schemas the assignment confidence collapses — "for
+  complex schemas with thousands of columns, Keymantic is not able to
+  select the right columns even given all the available metadata"; we
+  reproduce this with a width-dependent confidence threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines.base import BaselineAnswer, KeywordSearchSystem, build_sql
+from repro.index.inverted import tokenize_text
+from repro.sqlengine.types import SqlType
+
+
+class Keymantic(KeywordSearchSystem):
+    name = "Keymantic"
+    features = {
+        "base_data": False,  # (NO): no inverted index on the Hidden Web
+        "schema": True,
+        "inheritance": False,
+        "domain_ontology": "partial",  # (X): synonyms via external dictionary
+        "predicates": False,
+        "aggregates": False,
+    }
+
+    #: schemas wider than this dilute the assignment confidence
+    wide_schema_columns = 400
+    confidence_threshold = 0.45
+
+    def __init__(self, database, inverted=None, synonyms: dict | None = None):
+        super().__init__(database, inverted)
+        #: term -> schema term it is a synonym of (external dictionary)
+        self.synonyms = {k.lower(): v.lower() for k, v in (synonyms or {}).items()}
+
+    # ------------------------------------------------------------------
+    def answer(self, text: str) -> BaselineAnswer:
+        answer = BaselineAnswer(system=self.name, query_text=text)
+        if any(symbol in text for symbol in ("(", ">", "<", "=")):
+            answer.supported = False
+            answer.note = "operators and aggregates are outside the model"
+            return answer
+
+        keywords = self._keyword_groups(text)
+        elements = self._schema_elements()
+        if not keywords:
+            answer.supported = False
+            answer.note = "no keywords"
+            return answer
+
+        similarity = np.zeros((len(keywords), len(elements)))
+        for i, keyword in enumerate(keywords):
+            for j, element in enumerate(elements):
+                similarity[i, j] = self._similarity(keyword, element)
+
+        rows, cols = linear_sum_assignment(-similarity)
+        assignment = list(zip(rows.tolist(), cols.tolist()))
+        scores = [similarity[i, j] for i, j in assignment]
+        confidence = float(np.mean(scores)) if scores else 0.0
+
+        n_columns = sum(
+            len(self.database.catalog.table(name).columns)
+            for name in self.database.table_names()
+        )
+        if n_columns > self.wide_schema_columns:
+            confidence *= self.wide_schema_columns / n_columns
+
+        if confidence < self.confidence_threshold:
+            answer.supported = False
+            answer.note = (
+                f"assignment confidence {confidence:.2f} below threshold "
+                f"(schema has {n_columns} columns)"
+            )
+            return answer
+
+        tables: set = set()
+        filters: list = []
+        for (i, j), score in zip(assignment, scores):
+            if score <= 0.0:
+                continue
+            keyword = keywords[i]
+            kind, table, column = elements[j]
+            tables.add(table)
+            if kind == "value":
+                filters.append((table, column, keyword))
+
+        if not tables:
+            answer.note = "no schema element received a keyword"
+            return answer
+        joins = self.join_tree(sorted(tables))
+        if joins is None:
+            answer.note = "matched schema elements cannot be joined"
+            return answer
+        involved = set(tables)
+        for t1, __, t2, __ in joins:
+            involved.add(t1)
+            involved.add(t2)
+        answer.sqls.append(build_sql(sorted(involved), joins, filters))
+        return answer
+
+    # ------------------------------------------------------------------
+    def _keyword_groups(self, text: str) -> list:
+        """Bigrams that look like schema terms stay together, else words."""
+        words = tokenize_text(text)
+        groups: list = []
+        position = 0
+        while position < len(words):
+            if position + 1 < len(words):
+                bigram = " ".join(words[position:position + 2])
+                if self._known_term(bigram):
+                    groups.append(bigram)
+                    position += 2
+                    continue
+            groups.append(words[position])
+            position += 1
+        return groups
+
+    def _known_term(self, term: str) -> bool:
+        if term in self.synonyms:
+            return True
+        wanted = "_".join(term.split())
+        for name in self.database.table_names():
+            if wanted in (name, name.rstrip("s")):
+                return True
+            table = self.database.catalog.table(name)
+            for column in table.columns:
+                if column.name == wanted:
+                    return True
+        return False
+
+    def _schema_elements(self) -> list:
+        """(kind, table, column) triples: structure terms and value slots."""
+        elements: list = []
+        for name in self.database.table_names():
+            table = self.database.catalog.table(name)
+            elements.append(("table", name, ""))
+            for column in table.columns:
+                elements.append(("column", name, column.name))
+                if column.sql_type is SqlType.TEXT:
+                    elements.append(("value", name, column.name))
+        return elements
+
+    def _similarity(self, keyword: str, element: tuple) -> float:
+        kind, table, column = element
+        target = column or table
+        resolved = self.synonyms.get(keyword, keyword)
+        score = _token_similarity(resolved, target)
+        if kind == "table":
+            score = max(score, _token_similarity(resolved, table))
+        if kind == "value":
+            # without base data, any text column is a weak value candidate
+            score = max(score * 0.5, 0.15)
+        return score
+
+
+def _token_similarity(term: str, name: str) -> float:
+    """Jaccard over word tokens with plural/underscore normalisation."""
+    left = {token.rstrip("s") for token in tokenize_text(term)}
+    right = {token.rstrip("s") for token in tokenize_text(name)}
+    if not left or not right:
+        return 0.0
+    return len(left & right) / len(left | right)

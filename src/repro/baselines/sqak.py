@@ -1,0 +1,181 @@
+"""SQAK (Tata, Lohman — SIGMOD 2008), simplified.
+
+SQAK ("SQL Aggregates using Keywords") targets **aggregate** keyword
+queries: the query must contain an aggregate keyword (sum, count, avg,
+min, max); the remaining terms are matched against schema element names
+(tables and columns); a SELECT-PROJECT-JOIN-GROUP-BY statement is
+assembled over the shortest key/foreign-key join tree, respecting the
+direction of the relationships.
+
+Reproduced limitations (Table 5): *only* the pre-defined
+SPJ-with-aggregate pattern is supported — "simple SELECT queries just do
+not match SQAK's predefined pattern" — and there is no flexible metadata
+integration (no ontology, no inheritance, no general predicates).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.baselines.base import BaselineAnswer, KeywordSearchSystem, build_sql
+from repro.index.inverted import tokenize_text
+
+_AGG_RE = re.compile(r"\b(sum|count|avg|min|max)\b\s*(?:\(([^)]*)\))?",
+                     re.IGNORECASE)
+_GROUP_RE = re.compile(r"\bgroup\s+by\b\s*(?:\(([^)]*)\))?", re.IGNORECASE)
+
+
+class Sqak(KeywordSearchSystem):
+    name = "SQAK"
+    features = {
+        "base_data": False,
+        "schema": False,  # schema terms only inside the aggregate pattern
+        "inheritance": False,
+        "domain_ontology": False,
+        "predicates": False,
+        "aggregates": True,
+    }
+
+    def answer(self, text: str) -> BaselineAnswer:
+        answer = BaselineAnswer(system=self.name, query_text=text)
+        agg_match = _AGG_RE.search(text)
+        if agg_match is None:
+            answer.supported = False
+            answer.note = (
+                "no aggregate keyword: the query does not match SQAK's "
+                "predefined SPJ-with-aggregate pattern"
+            )
+            return answer
+
+        func = agg_match.group(1).lower()
+        argument = (agg_match.group(2) or "").strip().lower()
+        group_match = _GROUP_RE.search(text)
+        group_term = (group_match.group(1) or "").strip().lower() if group_match \
+            else ""
+
+        remaining = _AGG_RE.sub(" ", text)
+        remaining = _GROUP_RE.sub(" ", remaining)
+        remaining_terms = [
+            term for term in tokenize_text(remaining) if term != "select"
+        ]
+
+        tables: set = set()
+        agg_column = self._match_schema_column(argument) if argument else None
+        if argument and agg_column is None:
+            entity = self._match_schema_table(argument)
+            if entity is not None:
+                if func == "count":
+                    # count(transactions): count the entity's key column
+                    agg_column = (entity, self._key_column(entity))
+                else:
+                    # sum(investments): aggregate the entity's measure column
+                    measure = self._measure_column(entity)
+                    if measure is not None:
+                        agg_column = (entity, measure)
+        if agg_column is not None:
+            tables.add(agg_column[0])
+        elif argument:
+            answer.supported = False
+            answer.note = f"aggregation term {argument!r} matches no schema element"
+            return answer
+
+        group_column = None
+        if group_term:
+            group_column = self._match_schema_column(group_term)
+            if group_column is None:
+                answer.supported = False
+                answer.note = f"group-by term {group_term!r} matches no column"
+                return answer
+            tables.add(group_column[0])
+
+        for term in remaining_terms:
+            table = self._match_schema_table(term)
+            if table is not None:
+                tables.add(table)
+
+        if not tables:
+            answer.supported = False
+            answer.note = "no schema element matched the query terms"
+            return answer
+
+        joins = self.join_tree(sorted(tables))
+        if joins is None:
+            answer.note = "no join tree connects the matched schema elements"
+            return answer
+        involved = set(tables)
+        for t1, __, t2, __ in joins:
+            involved.add(t1)
+            involved.add(t2)
+
+        if agg_column is not None:
+            aggregate = f"{func}({agg_column[0]}.{agg_column[1]})"
+        else:
+            aggregate = f"{func}(*)"
+        group_sql = (
+            f"{group_column[0]}.{group_column[1]}" if group_column else None
+        )
+        answer.sqls.append(
+            build_sql(
+                sorted(involved), joins, [],
+                aggregate=aggregate, group_by=group_sql,
+            )
+        )
+        return answer
+
+    # ------------------------------------------------------------------
+    def _match_schema_table(self, term: str) -> str | None:
+        """Match a term against table names (plural/suffix tolerant).
+
+        Physical names carry technical suffixes (``_td``, ``_hist``) that
+        SQAK's name matcher ignores, and plural/singular forms unify.
+        """
+        wanted = _name_tokens(term)
+        if not wanted:
+            return None
+        for name in self.database.table_names():
+            if _name_tokens(name) == wanted:
+                return name
+        return None
+
+    def _match_schema_column(self, term: str) -> "tuple | None":
+        """Exact column-name match, tolerating a ``_cd``/``_nm`` suffix."""
+        wanted = "_".join(tokenize_text(term))
+        candidates = (wanted, f"{wanted}_cd", f"{wanted}_nm", f"{wanted}_dt")
+        for name in self.database.table_names():
+            table = self.database.catalog.table(name)
+            for column in table.columns:
+                if column.name in candidates:
+                    return (name, column.name)
+        return None
+
+    def _key_column(self, table_name: str) -> str:
+        table = self.database.catalog.table(table_name)
+        keys = table.primary_key_columns()
+        return keys[0] if keys else table.columns[0].name
+
+    def _measure_column(self, table_name: str) -> str | None:
+        """The first numeric non-key column (SQAK's aggregation target)."""
+        from repro.sqlengine.types import SqlType
+
+        table = self.database.catalog.table(table_name)
+        for column in table.columns:
+            if column.primary_key:
+                continue
+            if column.sql_type in (SqlType.REAL, SqlType.INTEGER):
+                if column.name.endswith("_id"):
+                    continue
+                return column.name
+        return None
+
+
+_TECH_SUFFIXES = {"td", "hist", "cd", "nm", "dt"}
+
+
+def _name_tokens(name: str) -> tuple:
+    """Singularised tokens of a schema name, technical suffixes dropped."""
+    tokens = [
+        token.rstrip("s") if len(token) > 2 else token
+        for token in tokenize_text(name)
+        if token not in _TECH_SUFFIXES
+    ]
+    return tuple(tokens)

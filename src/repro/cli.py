@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro search "customers Zurich financial instruments"
+    python -m repro experiments          # Tables 2, 3 and 4
+    python -m repro compare              # Table 5 (runs the baselines)
+    python -m repro stats                # warehouse + Table 1 statistics
+
+All commands build the finbank warehouse (deterministic, seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.soda import Soda, SodaConfig
+from repro.warehouse.minibank import build_minibank
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SODA (VLDB 2012) reproduction: keyword search over a "
+        "data warehouse",
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="data generation seed (default 42)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="data volume scale factor (default 1.0)")
+
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser("search", help="run a SODA query")
+    search.add_argument("query", help="keywords + operators + values")
+    search.add_argument("--top-n", type=int, default=10,
+                        help="interpretations kept by step 2 (default 10)")
+    search.add_argument("--no-dbpedia", action="store_true",
+                        help="drop the DBpedia synonym layer")
+    search.add_argument("--no-execute", action="store_true",
+                        help="generate SQL only, skip result snippets")
+    search.add_argument("--limit", type=int, default=5,
+                        help="statements to display (default 5)")
+
+    commands.add_parser(
+        "experiments", help="run the 13-query workload (Tables 2-4)"
+    )
+    commands.add_parser(
+        "compare", help="run the five baselines (Table 5)"
+    )
+    commands.add_parser("stats", help="warehouse statistics (Table 1)")
+
+    browse = commands.add_parser(
+        "browse", help="schema browser: describe a table or a term"
+    )
+    browse.add_argument("name", help="physical table name or business term")
+
+    page = commands.add_parser(
+        "page", help="Google-style result page for a query"
+    )
+    page.add_argument("query")
+    page.add_argument("--page", type=int, default=1)
+    page.add_argument("--page-size", type=int, default=5)
+    return parser
+
+
+def cmd_search(args, out) -> int:
+    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    config = SodaConfig(top_n=args.top_n, use_dbpedia=not args.no_dbpedia)
+    soda = Soda(warehouse, config)
+    result = soda.search(args.query, execute=not args.no_execute)
+
+    print(f"query:      {result.query.describe()}", file=out)
+    print(f"complexity: {result.complexity}", file=out)
+    print(f"statements: {len(result.statements)}", file=out)
+    for position, statement in enumerate(result.statements[:args.limit], 1):
+        marker = "  [disconnected]" if statement.disconnected else ""
+        print(f"\n#{position}  score {statement.score:.2f}{marker}", file=out)
+        print(f"    {statement.sql}", file=out)
+        if statement.snippet is not None:
+            print(f"    -> {len(statement.snippet.rows)} snippet tuple(s)",
+                  file=out)
+            for row in statement.snippet.rows[:3]:
+                print(f"       {row}", file=out)
+        elif statement.execution_error:
+            print(f"    -> {statement.execution_error}", file=out)
+    if not result.statements:
+        print("\n(no executable statements — try different keywords)",
+              file=out)
+    return 0
+
+
+def cmd_experiments(args, out) -> int:
+    from repro.experiments.reporting import (
+        format_table2,
+        format_table3,
+        format_table4,
+    )
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(seed=args.seed, scale=args.scale)
+    outcomes = runner.run_all()
+    print("Table 2: Experiment queries", file=out)
+    print(format_table2(), file=out)
+    print("\nTable 3: Precision and recall (measured vs paper)", file=out)
+    print(format_table3(outcomes), file=out)
+    print("\nTable 4: Complexity and runtime (measured vs paper)", file=out)
+    print(format_table4(outcomes), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    from repro.baselines.capabilities import (
+        capability_matrix,
+        default_systems,
+        evaluate_system,
+        format_table5,
+        soda_evaluation,
+    )
+    from repro.experiments.runner import ExperimentRunner
+
+    warehouse = build_minibank(seed=args.seed, scale=min(args.scale, 0.5))
+    evaluations = [
+        evaluate_system(system, warehouse)
+        for system in default_systems(warehouse)
+    ]
+    outcomes = ExperimentRunner(warehouse=warehouse).run_all()
+    evaluations.append(soda_evaluation(outcomes))
+    print("Table 5: Qualitative comparison (measured [paper])", file=out)
+    print(
+        format_table5(
+            capability_matrix(evaluations), [e.system for e in evaluations]
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_stats(args, out) -> int:
+    from repro.experiments.reporting import format_table1
+    from repro.warehouse.synthetic import generate_definition
+
+    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    print("finbank warehouse:", file=out)
+    for key, value in sorted(warehouse.statistics().items()):
+        print(f"  {key:32s} {value}", file=out)
+    print("\nTable 1 (synthetic generator at paper scale):", file=out)
+    print(format_table1(generate_definition().schema_statistics()), file=out)
+    return 0
+
+
+def cmd_browse(args, out) -> int:
+    from repro.warehouse.browser import SchemaBrowser
+
+    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    browser = SchemaBrowser(warehouse)
+    if warehouse.definition.has_physical_table(args.name):
+        print(browser.describe_table(args.name).render(), file=out)
+    else:
+        print(browser.describe_term(args.name).render(), file=out)
+    return 0
+
+
+def cmd_page(args, out) -> int:
+    from repro.core.results import render_page
+
+    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    soda = Soda(warehouse, SodaConfig())
+    result = soda.search(args.query)
+    page = render_page(result, page=args.page, page_size=args.page_size)
+    print(page.render(), file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "search": cmd_search,
+        "experiments": cmd_experiments,
+        "compare": cmd_compare,
+        "stats": cmd_stats,
+        "browse": cmd_browse,
+        "page": cmd_page,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

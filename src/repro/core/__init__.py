@@ -1,0 +1,75 @@
+"""SODA core: the five-step keyword-to-SQL pipeline."""
+
+from repro.core.evaluation import (
+    PrecisionRecall,
+    compare_results,
+    evaluate_sql,
+    match_columns,
+)
+from repro.core.feedback import FeedbackStore
+from repro.core.filters import FiltersResult, FiltersStep
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import EntryPoint, Interpretation, Lookup, LookupResult
+from repro.core.patterns import (
+    DEFAULT_RESOLVER,
+    PATTERN_SOURCES,
+    build_default_library,
+)
+from repro.core.query import Aggregation, Comparison, RangeCondition, SodaQuery
+from repro.core.ranking import (
+    SOURCE_SCORES,
+    STRATEGIES,
+    rank,
+    score_interpretation,
+    score_interpretation_specificity,
+)
+from repro.core.results import ResultEntry, ResultPage, render_page
+from repro.core.soda import (
+    ScoredStatement,
+    SearchResult,
+    Soda,
+    SodaConfig,
+    StepTimings,
+)
+from repro.core.sqlgen import GeneratedStatement, SqlGenerator
+from repro.core.tables import JoinEdge, TablesResult, TablesStep
+
+__all__ = [
+    "Aggregation",
+    "Comparison",
+    "DEFAULT_RESOLVER",
+    "EntryPoint",
+    "FeedbackStore",
+    "FiltersResult",
+    "FiltersStep",
+    "GeneratedStatement",
+    "Interpretation",
+    "JoinEdge",
+    "Lookup",
+    "LookupResult",
+    "PATTERN_SOURCES",
+    "PrecisionRecall",
+    "RangeCondition",
+    "ResultEntry",
+    "ResultPage",
+    "SOURCE_SCORES",
+    "STRATEGIES",
+    "ScoredStatement",
+    "SearchResult",
+    "Soda",
+    "SodaConfig",
+    "SodaQuery",
+    "SqlGenerator",
+    "StepTimings",
+    "TablesResult",
+    "TablesStep",
+    "build_default_library",
+    "compare_results",
+    "evaluate_sql",
+    "match_columns",
+    "parse_query",
+    "rank",
+    "render_page",
+    "score_interpretation",
+    "score_interpretation_specificity",
+]

@@ -1,0 +1,95 @@
+"""Relevance feedback on generated statements (paper Section 6.3).
+
+*"Similarly [to Ortega-Binderberger et al.], SODA presents several
+possible solutions to its users and allows them to like (or dislike)
+each result."*  This module implements that loop: liking or disliking a
+generated statement shifts its score — and, more usefully, the score of
+*similar* statements — in future searches.
+
+Similarity is structural: two statements are compared on their table
+sets, so liking one query over ``agreements_td`` also promotes other
+agreement interpretations of an ambiguous keyword ("Credit Suisse").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.parser import parse_select
+
+
+@dataclass(frozen=True)
+class FeedbackEntry:
+    """One recorded judgement."""
+
+    sql: str
+    tables: frozenset
+    liked: bool
+
+
+def _tables_of(sql: str) -> frozenset:
+    statement = parse_select(sql)
+    names = {table.name for table in statement.tables}
+    names.update(join.table.name for join in statement.joins)
+    return frozenset(names)
+
+
+class FeedbackStore:
+    """Accumulates likes/dislikes and scores new statements against them.
+
+    >>> store = FeedbackStore()
+    >>> store.like("SELECT * FROM agreements_td")
+    >>> store.bonus("SELECT * FROM agreements_td, parties") > 0
+    True
+    """
+
+    #: score shift applied at perfect similarity
+    like_weight = 0.25
+    dislike_weight = 0.25
+
+    def __init__(self) -> None:
+        self._entries: list = []
+
+    # ------------------------------------------------------------------
+    def like(self, sql: str) -> None:
+        """Record that the user accepted this statement."""
+        self._entries.append(
+            FeedbackEntry(sql=sql, tables=_tables_of(sql), liked=True)
+        )
+
+    def dislike(self, sql: str) -> None:
+        """Record that the user rejected this statement."""
+        self._entries.append(
+            FeedbackEntry(sql=sql, tables=_tables_of(sql), liked=False)
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def bonus(self, sql: str) -> float:
+        """Score shift for *sql* given the recorded judgements.
+
+        Positive when similar statements were liked, negative when
+        disliked; zero without feedback.
+        """
+        if not self._entries:
+            return 0.0
+        tables = _tables_of(sql)
+        shift = 0.0
+        for entry in self._entries:
+            similarity = _jaccard(tables, entry.tables)
+            if entry.liked:
+                shift += self.like_weight * similarity
+            else:
+                shift -= self.dislike_weight * similarity
+        return shift
+
+
+def _jaccard(left: frozenset, right: frozenset) -> float:
+    if not left or not right:
+        return 0.0
+    return len(left & right) / len(left | right)

@@ -1,0 +1,325 @@
+"""Step 4 — Filters: collect filter conditions (paper Section 3, Step 4).
+
+Filters come from three places:
+
+* **the input query** — comparison operators (``salary >= 100000``),
+  range conditions and date literals, whose operand terms are resolved
+  down the refinement chain to a physical column;
+* **the base data** — a keyword found through the inverted index becomes
+  an equality-ish predicate on the posting's column (``Zurich`` →
+  ``addresses.city LIKE '%zurich%'``);
+* **the metadata** — business terms carry metadata-defined predicates
+  ("wealthy individuals" → a salary threshold stored in the ontology).
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import deque
+from dataclasses import dataclass
+
+from repro.graph.node import Text, Vocab
+from repro.graph.triples import TripleStore
+from repro.core.lookup import Interpretation, Slot
+from repro.core.query import Comparison, RangeCondition
+from repro.core.tables import TablesResult
+from repro.core.query import SodaQuery
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    IsNull,
+    Like,
+    Literal,
+)
+from repro.sqlengine.catalog import Catalog
+
+#: column-name convention of bi-temporal validity intervals
+_VALID_FROM = "valid_from_dt"
+_VALID_TO = "valid_to_dt"
+
+
+@dataclass(frozen=True)
+class FilterCondition:
+    """One WHERE-clause predicate plus the table it constrains."""
+
+    table: str
+    expr: Expr
+    origin: str  # 'base_data' | 'input' | 'metadata' | 'temporal'
+
+    def sort_key(self) -> tuple:
+        return (self.table, self.expr.to_sql())
+
+
+@dataclass(frozen=True)
+class ResolvedAggregation:
+    """An aggregate ready for SQL generation: func over table.column."""
+
+    func: str
+    table: str | None  # None: count(*)
+    column: str | None
+
+
+@dataclass(frozen=True)
+class ResolvedGroupBy:
+    table: str
+    column: str
+
+
+@dataclass
+class FiltersResult:
+    """Output of Step 4 for one interpretation."""
+
+    filters: list
+    aggregations: list  # ResolvedAggregation
+    group_by: list  # ResolvedGroupBy
+    unresolved: list  # slot terms that could not be resolved
+
+
+#: Edges walked when resolving a metadata entry down to a physical column.
+_RESOLUTION_EDGES = (
+    Vocab.REFINES,
+    Vocab.CLASSIFIES,
+    Vocab.HAS_ATTRIBUTE,
+    Vocab.SYNONYM_OF,
+)
+
+
+class FiltersStep:
+    """Step 4, bound to one metadata graph and physical catalog."""
+
+    def __init__(self, store: TripleStore, catalog: Catalog) -> None:
+        self._store = store
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        interpretation: Interpretation,
+        slots: list,
+        tables_result: TablesResult,
+        query: SodaQuery | None = None,
+    ) -> FiltersResult:
+        allowed = set(tables_result.tables)
+        filters: list = []
+        aggregations: list = []
+        group_by: list = []
+        unresolved: list = []
+
+        for assignment in interpretation.assignments:
+            slot = slots[assignment.slot_index]
+            entry = assignment.entry
+
+            if slot.kind == "keyword":
+                if entry is not None and entry.is_base_data:
+                    filters.append(self._base_data_filter(entry))
+                continue
+
+            if slot.kind in ("comparison", "range"):
+                location = self._resolve_column(slot, entry, allowed)
+                if location is None:
+                    unresolved.append(slot.term or "?")
+                    continue
+                table, column = location
+                filters.append(
+                    self._operator_filter(table, column, slot.payload)
+                )
+                continue
+
+            if slot.kind == "aggregation":
+                payload = slot.payload
+                if slot.term is None:
+                    aggregations.append(
+                        ResolvedAggregation(func=payload.func, table=None,
+                                            column=None)
+                    )
+                    continue
+                location = self._resolve_column(slot, entry, allowed)
+                if location is None:
+                    unresolved.append(slot.term)
+                    continue
+                aggregations.append(
+                    ResolvedAggregation(
+                        func=payload.func, table=location[0], column=location[1]
+                    )
+                )
+                continue
+
+            if slot.kind == "groupby":
+                location = self._resolve_column(slot, entry, allowed)
+                if location is None:
+                    unresolved.append(slot.term or "?")
+                    continue
+                group_by.append(
+                    ResolvedGroupBy(table=location[0], column=location[1])
+                )
+
+        # temporal anchor: restrict historized tables to rows valid at the
+        # requested date ("valid at date(...)", the paper's future work)
+        if query is not None and query.valid_at is not None:
+            filters.extend(
+                self._valid_at_filters(tables_result.tables, query.valid_at)
+            )
+
+        # metadata-defined predicates from business terms
+        for expansion in tables_result.expansions:
+            for business in expansion.business_filters:
+                filters.append(
+                    FilterCondition(
+                        table=business.table,
+                        expr=self._business_expr(business),
+                        origin="metadata",
+                    )
+                )
+
+        deduped = []
+        seen: set = set()
+        for condition in filters:
+            key = condition.expr.to_sql()
+            if key not in seen:
+                seen.add(key)
+                deduped.append(condition)
+
+        return FiltersResult(
+            filters=sorted(deduped, key=FilterCondition.sort_key),
+            aggregations=aggregations,
+            group_by=group_by,
+            unresolved=unresolved,
+        )
+
+    # ------------------------------------------------------------------
+    # filter constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base_data_filter(entry) -> FilterCondition:
+        expr = Like(
+            ColumnRef(entry.table, entry.column),
+            Literal(f"%{entry.term}%"),
+        )
+        return FilterCondition(table=entry.table, expr=expr, origin="base_data")
+
+    @staticmethod
+    def _operator_filter(table: str, column: str, payload) -> FilterCondition:
+        ref = ColumnRef(table, column)
+        if isinstance(payload, RangeCondition):
+            expr: Expr = Between(
+                ref, Literal(_normalize(payload.low)), Literal(_normalize(payload.high))
+            )
+        else:
+            assert isinstance(payload, Comparison)
+            if payload.op == "like":
+                expr = Like(ref, Literal(f"%{payload.value}%"))
+            else:
+                expr = BinaryOp(payload.op, ref, Literal(_normalize(payload.value)))
+        return FilterCondition(table=table, expr=expr, origin="input")
+
+    def _valid_at_filters(self, tables, anchor: datetime.date) -> list:
+        """Validity-interval predicates for every historized table."""
+        conditions: list = []
+        for table_name in sorted(tables):
+            if not self._catalog.has_table(table_name):
+                continue
+            table = self._catalog.table(table_name)
+            if not (table.has_column(_VALID_FROM) and table.has_column(_VALID_TO)):
+                continue
+            from_ref = ColumnRef(table_name, _VALID_FROM)
+            to_ref = ColumnRef(table_name, _VALID_TO)
+            expr: Expr = BinaryOp(
+                "AND",
+                BinaryOp("<=", from_ref, Literal(anchor)),
+                BinaryOp(
+                    "OR",
+                    IsNull(to_ref),
+                    BinaryOp(">=", to_ref, Literal(anchor)),
+                ),
+            )
+            conditions.append(
+                FilterCondition(table=table_name, expr=expr, origin="temporal")
+            )
+        return conditions
+
+    def _business_expr(self, business) -> Expr:
+        ref = ColumnRef(business.table, business.column)
+        value = _parse_metadata_value(business.value)
+        if business.op == "like":
+            return Like(ref, Literal(f"%{value}%"))
+        return BinaryOp(business.op, ref, Literal(value))
+
+    # ------------------------------------------------------------------
+    # column resolution
+    # ------------------------------------------------------------------
+    def _resolve_column(self, slot: Slot, entry, allowed: set):
+        """Resolve a slot's operand to a (table, column) pair.
+
+        Metadata entries are walked down the refinement chain; columns in
+        already-collected tables are preferred.  With no metadata entry,
+        the term is matched against column names of the collected tables
+        (underscores for spaces) as a last resort.
+        """
+        if entry is not None and not entry.is_base_data:
+            candidates = self._physical_columns_from(entry.node)
+            preferred = [c for c in candidates if c[0] in allowed]
+            pool = preferred or candidates
+            if pool:
+                return sorted(pool)[0]
+        if entry is not None and entry.is_base_data:
+            return (entry.table, entry.column)
+        if slot.term is not None:
+            guess = slot.term.replace(" ", "_")
+            for table_name in sorted(allowed):
+                if not self._catalog.has_table(table_name):
+                    continue
+                table = self._catalog.table(table_name)
+                if table.has_column(guess):
+                    return (table_name, guess)
+        return None
+
+    def _physical_columns_from(self, node: str) -> list:
+        """All physical columns reachable over refinement edges."""
+        found: list = []
+        seen = {node}
+        queue = deque([node])
+        while queue:
+            current = queue.popleft()
+            if self._store.has_type(current, Vocab.PHYSICAL_COLUMN):
+                column_label = self._store.object(current, Vocab.COLUMNNAME)
+                table_node = self._store.object(current, Vocab.BELONGS_TO)
+                if isinstance(column_label, Text) and isinstance(table_node, str):
+                    table_label = self._store.object(table_node, Vocab.TABLENAME)
+                    if isinstance(table_label, Text):
+                        location = (table_label.value, column_label.value)
+                        if location not in found:
+                            found.append(location)
+                continue
+            for predicate in _RESOLUTION_EDGES:
+                for obj in self._store.objects(current, predicate):
+                    if isinstance(obj, str) and obj not in seen:
+                        seen.add(obj)
+                        queue.append(obj)
+        return found
+
+
+def _normalize(value: object) -> object:
+    """Operator values: keep dates/numbers, pass strings through."""
+    if isinstance(value, (datetime.date, int, float)):
+        return value
+    return str(value)
+
+
+def _parse_metadata_value(raw: str) -> object:
+    """Business-term filter values are stored as text; recover the type."""
+    text = raw.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        pass
+    return text

@@ -1,0 +1,101 @@
+"""The Credit Suisse metadata graph pattern set (paper Section 4.2.1).
+
+Every pattern is written in the paper's SPARQL-filter-inspired textual
+syntax and parsed with :func:`repro.graph.pattern.parse_pattern`.  The
+SODA steps evaluate these patterns at graph nodes during traversal:
+
+* ``table`` / ``column`` — the basic patterns (Fig. 7),
+* ``foreign_key`` — the simple join pattern (Fig. 8),
+* ``join_relationship`` — the Credit Suisse variant with an explicit
+  join node pointing at the foreign-key and primary-key columns,
+* ``inheritance_child`` — tested at a child to collect the parent table,
+* ``business_filter`` / ``business_aggregation`` — metadata-defined
+  predicates ("wealthy customers") and aggregations ("trading volume").
+
+Porting SODA to another warehouse means swapping this module's pattern
+text while the algorithm stays the same — exactly the paper's pitch.
+"""
+
+from __future__ import annotations
+
+from repro.graph.node import Vocab
+from repro.graph.pattern import Pattern, PatternLibrary, parse_pattern
+
+#: Resolver mapping the bare words used in pattern text to vocabulary URIs.
+DEFAULT_RESOLVER: dict = {
+    "type": Vocab.TYPE,
+    "tablename": Vocab.TABLENAME,
+    "columnname": Vocab.COLUMNNAME,
+    "column": Vocab.COLUMN,
+    "belongs_to": Vocab.BELONGS_TO,
+    "foreign_key": Vocab.FOREIGN_KEY,
+    "join_left": Vocab.JOIN_LEFT,
+    "join_right": Vocab.JOIN_RIGHT,
+    "has_join": Vocab.HAS_JOIN,
+    "inheritance_parent": Vocab.INHERITANCE_PARENT,
+    "inheritance_child": Vocab.INHERITANCE_CHILD,
+    "filter_column": Vocab.FILTER_COLUMN,
+    "filter_op": Vocab.FILTER_OP,
+    "filter_value": Vocab.FILTER_VALUE,
+    "agg_func": Vocab.AGG_FUNC,
+    "agg_column": Vocab.AGG_COLUMN,
+    "physical_table": Vocab.PHYSICAL_TABLE,
+    "physical_column": Vocab.PHYSICAL_COLUMN,
+    "inheritance_node": Vocab.INHERITANCE_NODE,
+    "join_node": Vocab.JOIN_NODE,
+    "business_term": Vocab.BUSINESS_TERM,
+}
+
+#: Pattern sources, verbatim in the paper's syntax.
+PATTERN_SOURCES: dict = {
+    # Fig. 7 — the Table pattern
+    "table": "( x tablename t:y ) & ( x type physical_table )",
+    # the Column pattern: a named physical column with an incoming
+    # `column` edge from its table z
+    "column": (
+        "( x columnname t:y ) & ( x type physical_column ) & ( z column x )"
+    ),
+    # Fig. 8 — the simple Foreign Key pattern
+    "foreign_key": (
+        "( x foreign_key y ) & ( x matches-column ) & ( y matches-column )"
+    ),
+    # the Credit Suisse Join-Relationship pattern: explicit join node with
+    # outgoing edges to the foreign-key (left) and primary-key (right) column
+    "join_relationship": (
+        "( x type join_node ) & ( x join_left l ) & ( x join_right r ) & "
+        "( l matches-column ) & ( r matches-column )"
+    ),
+    # the Inheritance Child pattern, tested at a child node x
+    "inheritance_child": (
+        "( y inheritance_child x ) & ( y type inheritance_node ) & "
+        "( y inheritance_parent p ) & ( y inheritance_child c1 ) & "
+        "( y inheritance_child c2 )"
+    ),
+    # metadata-defined filter attached to a business term
+    "business_filter": (
+        "( x type business_term ) & ( x filter_column c ) & "
+        "( x filter_op t:op ) & ( x filter_value t:v )"
+    ),
+    # metadata-defined aggregation attached to a business term
+    "business_aggregation": (
+        "( x type business_term ) & ( x agg_func t:f ) & ( x agg_column c )"
+    ),
+}
+
+
+def build_default_library(
+    overrides: dict | None = None,
+) -> PatternLibrary:
+    """Parse the default pattern set (optionally with replaced sources).
+
+    *overrides* maps pattern names to replacement source text — the
+    extension point the paper describes for porting SODA to warehouses
+    with different modelling conventions.
+    """
+    sources = dict(PATTERN_SOURCES)
+    if overrides:
+        sources.update(overrides)
+    library = PatternLibrary()
+    for name, source in sources.items():
+        library.add(parse_pattern(name, source, DEFAULT_RESOLVER))
+    return library

@@ -1,0 +1,127 @@
+"""Step 2 — Rank and top N (paper Section 3, Step 2).
+
+The default ranking applies *"a simple heuristic which uses the location
+of the entry points in the metadata graph"*: a keyword found in the
+domain ontology scores higher than one found in DBpedia, because the
+ontology was built by domain experts.  The score of an interpretation is
+the mean of its entry-point scores; the best N interpretations continue
+through the pipeline.
+
+The paper notes that "more sophisticated ranking algorithms such as
+BLINKS" exist; as a second strategy this module offers **specificity
+ranking**, which additionally rewards unambiguous terms: an entry point
+competing with many alternatives for the same slot is discounted, so
+interpretations built from specific terms rise.  Select it with
+``SodaConfig(ranking="specificity")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lookup import Interpretation, LookupResult
+from repro.errors import ReproError
+from repro.index.classification import EntrySource
+
+#: Location scores, ordered by how much the heuristic trusts each source.
+SOURCE_SCORES: dict = {
+    EntrySource.DOMAIN_ONTOLOGY: 1.00,
+    EntrySource.CONCEPTUAL_SCHEMA: 0.90,
+    EntrySource.LOGICAL_SCHEMA: 0.85,
+    EntrySource.PHYSICAL_SCHEMA: 0.80,
+    EntrySource.BASE_DATA: 0.75,
+    EntrySource.DBPEDIA: 0.50,
+}
+
+#: Score assigned to a slot whose term resolved to nothing.
+UNRESOLVED_SCORE = 0.10
+
+
+@dataclass(frozen=True)
+class RankedInterpretation:
+    """An interpretation with its heuristic score."""
+
+    interpretation: Interpretation
+    score: float
+
+    def sort_key(self) -> tuple:
+        """Descending score; deterministic tie-break on entry nodes."""
+        nodes = tuple(
+            assignment.entry.node if assignment.entry is not None else ""
+            for assignment in self.interpretation.assignments
+        )
+        return (-self.score, nodes)
+
+
+def score_interpretation(interpretation: Interpretation) -> float:
+    """Mean location score over all slots of the interpretation."""
+    scores = []
+    for assignment in interpretation.assignments:
+        if assignment.entry is None:
+            scores.append(UNRESOLVED_SCORE)
+        else:
+            scores.append(SOURCE_SCORES[assignment.entry.source])
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)
+
+
+def score_interpretation_specificity(
+    interpretation: Interpretation, lookup_result: LookupResult
+) -> float:
+    """Location score discounted by per-slot ambiguity.
+
+    Each slot contributes ``location_score / (1 + log2(alternatives))``,
+    so a term with a unique meaning keeps its full score while a term
+    with eight alternatives contributes a quarter of it.
+    """
+    import math
+
+    scores = []
+    for assignment in interpretation.assignments:
+        slot = lookup_result.slots[assignment.slot_index]
+        options = max(1, len(slot.alternatives))
+        discount = 1.0 + math.log2(options)
+        if assignment.entry is None:
+            scores.append(UNRESOLVED_SCORE / discount)
+        else:
+            scores.append(SOURCE_SCORES[assignment.entry.source] / discount)
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)
+
+
+#: Available ranking strategies (``SodaConfig.ranking``).
+STRATEGIES = ("location", "specificity")
+
+
+def rank(
+    lookup_result: LookupResult, top_n: int = 10, strategy: str = "location"
+) -> list:
+    """Score every interpretation and keep the best *top_n*.
+
+    Returns :class:`RankedInterpretation` objects sorted best-first with
+    a deterministic tie-break.  *strategy* selects the scoring function
+    (see module docstring).
+    """
+    if strategy == "location":
+        def score(interpretation):
+            return score_interpretation(interpretation)
+    elif strategy == "specificity":
+        def score(interpretation):
+            return score_interpretation_specificity(
+                interpretation, lookup_result
+            )
+    else:
+        raise ReproError(
+            f"unknown ranking strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+
+    ranked = [
+        RankedInterpretation(
+            interpretation=interpretation, score=score(interpretation)
+        )
+        for interpretation in lookup_result.interpretations
+    ]
+    ranked.sort(key=RankedInterpretation.sort_key)
+    return ranked[:top_n]

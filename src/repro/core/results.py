@@ -1,0 +1,121 @@
+"""Google-style result-page rendering (paper Section 1.2).
+
+*"Just as in a Web search with Google or Bing, the user has now the
+choice to select one of those queries of the first result page, ask for
+the next set of candidate queries (i.e., the next result page), or
+refine the original query."*
+
+This module turns a :class:`~repro.core.soda.SearchResult` into that
+result page: paginated entries with a human-readable title (the entities
+involved), the generated SQL, and a snippet preview.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.soda import ScoredStatement, SearchResult
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One rendered entry of the result page."""
+
+    position: int
+    title: str
+    sql: str
+    score: float
+    snippet_lines: tuple
+    note: str | None
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of rendered results."""
+
+    query: str
+    page: int
+    page_count: int
+    entries: tuple
+
+    def render(self) -> str:
+        lines = [
+            f"results for: {self.query}   (page {self.page}/{self.page_count})",
+            "",
+        ]
+        for entry in self.entries:
+            header = f"{entry.position}. {entry.title}  [score {entry.score:.2f}]"
+            lines.append(header)
+            lines.append(f"   {entry.sql}")
+            for snippet_line in entry.snippet_lines:
+                lines.append(f"     | {snippet_line}")
+            if entry.note:
+                lines.append(f"   ({entry.note})")
+            lines.append("")
+        if not self.entries:
+            lines.append("(no results — try different keywords)")
+        return "\n".join(lines)
+
+
+def _title_of(statement: ScoredStatement) -> str:
+    """Human-readable entity list: entry tables first, helpers after."""
+    entry_tables = sorted(statement.tables_result.entry_tables())
+    helpers = [
+        name for name in statement.tables_result.tables
+        if name not in entry_tables
+    ]
+    title = ", ".join(entry_tables)
+    if helpers:
+        title += f" (via {', '.join(helpers)})"
+    return title or "(no tables)"
+
+
+def _snippet_lines(statement: ScoredStatement, max_lines: int) -> tuple:
+    if statement.snippet is None or not statement.snippet.rows:
+        return ()
+    lines = [", ".join(statement.snippet.columns[:6])]
+    for row in statement.snippet.rows[:max_lines]:
+        rendered = ", ".join(str(value) for value in row[:6])
+        lines.append(rendered)
+    return tuple(lines)
+
+
+def render_page(
+    result: SearchResult,
+    page: int = 1,
+    page_size: int = 5,
+    snippet_lines: int = 3,
+) -> ResultPage:
+    """Render one page of a search result.
+
+    >>> # doctest only sketches the API; see tests for behaviour
+    """
+    total = len(result.statements)
+    page_count = max(1, (total + page_size - 1) // page_size)
+    page = max(1, min(page, page_count))
+    start = (page - 1) * page_size
+    entries = []
+    for offset, statement in enumerate(
+        result.statements[start:start + page_size]
+    ):
+        note = None
+        if statement.disconnected:
+            note = "tables could not be fully joined; result may be meaningless"
+        elif statement.execution_error:
+            note = statement.execution_error
+        entries.append(
+            ResultEntry(
+                position=start + offset + 1,
+                title=_title_of(statement),
+                sql=statement.sql,
+                score=statement.score,
+                snippet_lines=_snippet_lines(statement, snippet_lines),
+                note=note,
+            )
+        )
+    return ResultPage(
+        query=result.query.raw,
+        page=page,
+        page_count=page_count,
+        entries=tuple(entries),
+    )

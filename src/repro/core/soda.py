@@ -1,0 +1,258 @@
+"""The SODA facade: the five-step pipeline of Figure 4.
+
+``Soda.search("customers Zurich financial instruments")`` runs:
+
+1. **lookup** — terms to entry points (combinatorial product),
+2. **rank and top N** — heuristic location scores, keep the best N,
+3. **tables** — graph traversal + pattern matching for tables and joins,
+4. **filters** — input operators, base-data predicates, business terms,
+5. **SQL** — assemble executable statements,
+
+then executes the top statements to produce result snippets (up to
+twenty tuples each), just like the paper's Google-style result page.
+Per-step wall-clock timings are recorded for the Table 4 / Fig. 4
+reproductions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.feedback import FeedbackStore
+from repro.core.filters import FiltersResult, FiltersStep
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Lookup, LookupResult
+from repro.core.patterns import build_default_library
+from repro.core.query import SodaQuery
+from repro.core.ranking import RankedInterpretation, rank
+from repro.core.sqlgen import GeneratedStatement, SqlGenerator
+from repro.core.tables import TablesResult, TablesStep
+from repro.errors import SqlError
+from repro.sqlengine.executor import ResultSet
+from repro.warehouse.graphbuilder import build_classification_index
+from repro.warehouse.warehouse import Warehouse
+
+
+@dataclass
+class SodaConfig:
+    """Tunable knobs of the pipeline (all paper-motivated)."""
+
+    top_n: int = 10  # interpretations kept by Step 2
+    join_depth: int = 16  # traversal bound for join discovery
+    max_interpretations: int = 200  # lookup product safety cap
+    use_dbpedia: bool = True  # include the DBpedia layer in lookup
+    index_physical_names: bool = False  # register physical names for lookup
+    snippet_rows: int = 20  # "up to twenty tuples" per result
+    max_execution_rows: int = 1_000_000  # skip executing blow-up queries
+    ranking: str = "location"  # "location" (paper) or "specificity"
+    pattern_overrides: dict = field(default_factory=dict)
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds per pipeline step (Fig. 4 / Table 4)."""
+
+    lookup: float = 0.0
+    rank: float = 0.0
+    tables: float = 0.0
+    filters: float = 0.0
+    sql: float = 0.0
+    execute: float = 0.0
+
+    @property
+    def soda_total(self) -> float:
+        """Time to produce SQL (excludes executing it), as in Table 4."""
+        return self.lookup + self.rank + self.tables + self.filters + self.sql
+
+    @property
+    def total(self) -> float:
+        return self.soda_total + self.execute
+
+
+@dataclass
+class ScoredStatement:
+    """One generated SQL statement with score and snippet."""
+
+    sql: str
+    score: float
+    statement: GeneratedStatement
+    tables_result: TablesResult
+    filters_result: FiltersResult
+    interpretation_description: str
+    snippet: "ResultSet | None" = None
+    execution_error: str | None = None
+    estimated_rows: int = 0
+
+    @property
+    def disconnected(self) -> bool:
+        return self.statement.disconnected
+
+
+@dataclass
+class SearchResult:
+    """Everything one `Soda.search` call produced."""
+
+    query: SodaQuery
+    lookup: LookupResult
+    statements: list
+    timings: StepTimings
+
+    @property
+    def complexity(self) -> int:
+        return self.lookup.complexity
+
+    @property
+    def best(self) -> "ScoredStatement | None":
+        return self.statements[0] if self.statements else None
+
+    def sql_texts(self) -> list:
+        return [statement.sql for statement in self.statements]
+
+
+class Soda:
+    """Search over DAta warehouse."""
+
+    def __init__(self, warehouse: Warehouse, config: SodaConfig | None = None):
+        self.warehouse = warehouse
+        self.config = config or SodaConfig()
+        self.classification = build_classification_index(
+            warehouse.graph,
+            include_dbpedia=self.config.use_dbpedia,
+            include_physical=self.config.index_physical_names,
+        )
+        self.library = build_default_library(self.config.pattern_overrides)
+        self._lookup = Lookup(
+            self.classification,
+            warehouse.inverted,
+            max_interpretations=self.config.max_interpretations,
+        )
+        self._tables = TablesStep(
+            warehouse.graph, self.library, join_depth=self.config.join_depth
+        )
+        self._filters = FiltersStep(warehouse.graph, warehouse.database.catalog)
+        self._sqlgen = SqlGenerator(warehouse.database.catalog)
+        #: relevance feedback (paper Section 6.3): like/dislike statements
+        self.feedback = FeedbackStore()
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> SodaQuery:
+        """Parse the input query text (input patterns only)."""
+        return parse_query(text)
+
+    def search(self, text: str, execute: bool = True) -> SearchResult:
+        """Run the full five-step pipeline for *text*."""
+        timings = StepTimings()
+
+        started = time.perf_counter()
+        query = parse_query(text)
+        lookup_result = self._lookup.run(query)
+        timings.lookup = time.perf_counter() - started
+
+        started = time.perf_counter()
+        ranked = rank(
+            lookup_result,
+            top_n=self.config.top_n,
+            strategy=self.config.ranking,
+        )
+        timings.rank = time.perf_counter() - started
+
+        statements: list = []
+        seen_sql: set = set()
+        for ranked_interpretation in ranked:
+            scored = self._process_interpretation(
+                query, lookup_result, ranked_interpretation, timings
+            )
+            if scored is None:
+                continue
+            if scored.sql in seen_sql:
+                continue
+            seen_sql.add(scored.sql)
+            statements.append(scored)
+
+        if len(self.feedback):
+            for scored in statements:
+                scored.score += self.feedback.bonus(scored.sql)
+        statements.sort(key=lambda s: (-s.score, s.sql))
+
+        if execute:
+            started = time.perf_counter()
+            for scored in statements:
+                self._attach_snippet(scored)
+            timings.execute = time.perf_counter() - started
+
+        return SearchResult(
+            query=query,
+            lookup=lookup_result,
+            statements=statements,
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------
+    def _process_interpretation(
+        self,
+        query: SodaQuery,
+        lookup_result: LookupResult,
+        ranked: RankedInterpretation,
+        timings: StepTimings,
+    ) -> "ScoredStatement | None":
+        started = time.perf_counter()
+        tables_result = self._tables.run(ranked.interpretation)
+        timings.tables += time.perf_counter() - started
+
+        started = time.perf_counter()
+        filters_result = self._filters.run(
+            ranked.interpretation, lookup_result.slots, tables_result, query
+        )
+        timings.filters += time.perf_counter() - started
+
+        started = time.perf_counter()
+        statement = self._sqlgen.generate(query, tables_result, filters_result)
+        timings.sql += time.perf_counter() - started
+        if statement is None:
+            return None
+
+        return ScoredStatement(
+            sql=statement.sql,
+            score=ranked.score,
+            statement=statement,
+            tables_result=tables_result,
+            filters_result=filters_result,
+            interpretation_description=ranked.interpretation.describe(
+                lookup_result.slots
+            ),
+            estimated_rows=self._estimate_rows(tables_result),
+        )
+
+    def _estimate_rows(self, tables_result: TablesResult) -> int:
+        """Crude upper-bound estimate: product over disconnected components."""
+        estimate = 1
+        for component in tables_result.components:
+            component_rows = 1
+            for table_name in component:
+                if self.warehouse.database.catalog.has_table(table_name):
+                    component_rows = max(
+                        component_rows,
+                        self.warehouse.database.row_count(table_name),
+                    )
+            estimate *= max(1, component_rows)
+        return estimate
+
+    def _attach_snippet(self, scored: ScoredStatement) -> None:
+        """Execute a statement and keep up to ``snippet_rows`` tuples."""
+        if scored.estimated_rows > self.config.max_execution_rows:
+            scored.execution_error = (
+                f"skipped: estimated {scored.estimated_rows} rows exceeds "
+                f"the execution cap"
+            )
+            return
+        try:
+            result = self.warehouse.database.execute_select_ast(
+                scored.statement.select
+            )
+        except SqlError as exc:
+            scored.execution_error = str(exc)
+            return
+        scored.snippet = ResultSet(
+            columns=result.columns, rows=result.rows[: self.config.snippet_rows]
+        )

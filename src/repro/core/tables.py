@@ -1,0 +1,429 @@
+"""Step 3 — Tables: discover tables, joins and bridge tables.
+
+Faithful to Section 4.2.1 "Application in SODA":
+
+1. *Tables pass* — from every entry point, recursively follow all
+   outgoing schema edges; at every node test the Table, Column and
+   Inheritance-Child patterns (plus the business-term patterns).  Tables
+   found this way "represent the entry points".
+2. *Inheritance closure* — whenever a collected table is an inheritance
+   child, the parent table is collected too ("this table is needed to
+   produce correct SQL statements").
+3. *Join pass* — traverse again, now also over join edges (bounded
+   depth: the paper notes join paths between entities "too far apart"
+   are not found), testing the Join-Relationship pattern; the discovered
+   join conditions form a table-level join graph.
+4. *Join selection* — keep only joins on a direct path between the
+   entry points (Fig. 9); already-selected edges are preferred so the
+   query stays small.  Bridge tables (physical N-to-N implementations)
+   enter naturally as path intermediates; bridges between inheritance
+   *siblings* (Fig. 10) are the documented failure mode reproduced here.
+5. *Sibling pruning* — when two mutually-exclusive inheritance children
+   are present, only the first child keeps its parent join; the others
+   must connect through other paths (typically a sibling bridge), which
+   is exactly what degrades Q5.0 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.graph.node import Text, Vocab
+from repro.graph.pattern import PatternLibrary, match_pattern
+from repro.graph.traversal import iter_reachable
+from repro.graph.triples import TripleStore
+from repro.core.lookup import EntryPoint, Interpretation
+from repro.warehouse.graphbuilder import JOIN_EDGES, SCHEMA_EDGES
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One selected join condition between two physical tables."""
+
+    name: str
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def sort_key(self) -> tuple:
+        return (self.left_table, self.right_table, self.name)
+
+    def condition_sql(self) -> str:
+        return (
+            f"{self.left_table}.{self.left_column} = "
+            f"{self.right_table}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class BusinessFilter:
+    """A metadata-defined predicate collected from a business term."""
+
+    table: str
+    column: str
+    op: str
+    value: str
+
+
+@dataclass(frozen=True)
+class BusinessAggregation:
+    """A metadata-defined aggregation collected from a business term."""
+
+    func: str
+    table: str
+    column: str
+
+
+@dataclass
+class EntryExpansion:
+    """What the tables pass found for one entry point."""
+
+    entry: EntryPoint
+    tables: set = field(default_factory=set)
+    columns: list = field(default_factory=list)  # (table, column) hits
+    business_filters: list = field(default_factory=list)
+    business_aggregations: list = field(default_factory=list)
+
+
+@dataclass
+class TablesResult:
+    """The output of Step 3 for one interpretation."""
+
+    expansions: list
+    tables: list  # final FROM set, sorted
+    joins: list  # selected JoinEdge list, sorted
+    components: list  # connected components (sets of tables) under joins
+    inheritance_parents: dict  # child table -> parent table
+
+    @property
+    def is_connected(self) -> bool:
+        return len(self.components) <= 1
+
+    def entry_tables(self) -> set:
+        found: set = set()
+        for expansion in self.expansions:
+            found |= expansion.tables
+        return found
+
+
+class TablesStep:
+    """Step 3, bound to one metadata graph and pattern library."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        library: PatternLibrary,
+        join_depth: int = 16,
+    ) -> None:
+        self._store = store
+        self._library = library
+        self._join_depth = join_depth
+        self._children_cache: set | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, interpretation: Interpretation) -> TablesResult:
+        expansions = [
+            self.expand_entry(entry) for entry in interpretation.entry_points()
+        ]
+
+        preliminary: set = set()
+        for expansion in expansions:
+            preliminary |= expansion.tables
+
+        inheritance_parents = self._inheritance_closure(preliminary)
+
+        join_graph = self._discover_join_graph(sorted(preliminary))
+        pruned = self._prune_sibling_parent_edges(
+            join_graph, preliminary, inheritance_parents
+        )
+        selected, final_tables = self._select_joins(pruned, preliminary)
+
+        components = self._components(final_tables, selected)
+        return TablesResult(
+            expansions=expansions,
+            tables=sorted(final_tables),
+            joins=sorted(selected, key=JoinEdge.sort_key),
+            components=components,
+            inheritance_parents=inheritance_parents,
+        )
+
+    # ------------------------------------------------------------------
+    # tables pass
+    # ------------------------------------------------------------------
+    def expand_entry(self, entry: EntryPoint) -> EntryExpansion:
+        """Traverse schema edges from *entry*, testing the basic patterns."""
+        expansion = EntryExpansion(entry=entry)
+        follow = _make_follow(SCHEMA_EDGES)
+        for node, __ in iter_reachable(self._store, entry.node, follow=follow):
+            self._test_patterns_at(node, expansion)
+        return expansion
+
+    def _test_patterns_at(self, node: str, expansion: EntryExpansion) -> None:
+        store, library = self._store, self._library
+
+        for binding in match_pattern(store, library.get("table"), node, library):
+            table_label = binding.get("y")
+            if isinstance(table_label, Text):
+                expansion.tables.add(table_label.value)
+
+        for binding in match_pattern(store, library.get("column"), node, library):
+            column_label = binding.get("y")
+            table_node = binding.get("z")
+            if isinstance(column_label, Text) and isinstance(table_node, str):
+                table_label = store.object(table_node, Vocab.TABLENAME)
+                if isinstance(table_label, Text):
+                    expansion.tables.add(table_label.value)
+                    hit = (table_label.value, column_label.value)
+                    if hit not in expansion.columns:
+                        expansion.columns.append(hit)
+
+        for binding in match_pattern(
+            store, library.get("business_filter"), node, library
+        ):
+            column_node = binding.get("c")
+            op = binding.get("op")
+            value = binding.get("v")
+            table, column = self._column_location(column_node)
+            if table is not None:
+                business = BusinessFilter(
+                    table=table, column=column, op=op.value, value=value.value
+                )
+                if business not in expansion.business_filters:
+                    expansion.business_filters.append(business)
+
+        for binding in match_pattern(
+            store, library.get("business_aggregation"), node, library
+        ):
+            column_node = binding.get("c")
+            func = binding.get("f")
+            table, column = self._column_location(column_node)
+            if table is not None:
+                business_agg = BusinessAggregation(
+                    func=func.value, table=table, column=column
+                )
+                if business_agg not in expansion.business_aggregations:
+                    expansion.business_aggregations.append(business_agg)
+
+    def _column_location(self, column_node) -> tuple:
+        """(table name, column name) of a physical column node."""
+        if not isinstance(column_node, str):
+            return None, None
+        column_label = self._store.object(column_node, Vocab.COLUMNNAME)
+        table_node = self._store.object(column_node, Vocab.BELONGS_TO)
+        if not isinstance(column_label, Text) or not isinstance(table_node, str):
+            return None, None
+        table_label = self._store.object(table_node, Vocab.TABLENAME)
+        if not isinstance(table_label, Text):
+            return None, None
+        return table_label.value, column_label.value
+
+    # ------------------------------------------------------------------
+    # inheritance closure
+    # ------------------------------------------------------------------
+    def _inheritance_closure(self, tables: set) -> dict:
+        """Add parents of collected children; returns child -> parent."""
+        parents: dict = {}
+        pattern = self._library.get("inheritance_child")
+        frontier = list(sorted(tables))
+        while frontier:
+            table_name = frontier.pop()
+            node = self._table_node(table_name)
+            if node is None:
+                continue
+            for binding in match_pattern(self._store, pattern, node, self._library):
+                parent_node = binding.get("p")
+                if not isinstance(parent_node, str):
+                    continue
+                parent_label = self._store.object(parent_node, Vocab.TABLENAME)
+                if not isinstance(parent_label, Text):
+                    continue  # logical-layer inheritance: no physical table
+                parents[table_name] = parent_label.value
+                if parent_label.value not in tables:
+                    tables.add(parent_label.value)
+                    frontier.append(parent_label.value)
+        return parents
+
+    def _table_node(self, table_name: str) -> str | None:
+        subjects = self._store.subjects(Vocab.TABLENAME, Text(table_name))
+        return subjects[0] if subjects else None
+
+    # ------------------------------------------------------------------
+    # join pass
+    # ------------------------------------------------------------------
+    def _discover_join_graph(self, entry_tables: list) -> "nx.Graph":
+        """Traverse join edges from entry tables; match Join-Relationship."""
+        follow = _make_follow(SCHEMA_EDGES | JOIN_EDGES)
+        pattern = self._library.get("join_relationship")
+        graph = nx.Graph()
+        seen_nodes: set = set()
+        for table_name in entry_tables:
+            graph.add_node(table_name)
+            start = self._table_node(table_name)
+            if start is None:
+                continue
+            for node, __ in iter_reachable(
+                self._store, start, max_depth=self._join_depth, follow=follow
+            ):
+                if node in seen_nodes:
+                    continue
+                seen_nodes.add(node)
+                for binding in match_pattern(self._store, pattern, node,
+                                             self._library):
+                    if self._store.object(node, Vocab.IGNORED) is not None:
+                        continue
+                    edge = self._join_edge_from_binding(node, binding)
+                    if edge is None:
+                        continue
+                    self._add_join_edge(graph, edge)
+        return graph
+
+    def _join_edge_from_binding(self, join_node: str, binding: dict):
+        left_table, left_column = self._column_location(binding.get("l"))
+        right_table, right_column = self._column_location(binding.get("r"))
+        if left_table is None or right_table is None:
+            return None
+        if left_table == right_table:
+            return None  # self-joins are out of scope
+        from repro.graph.node import local_name
+
+        return JoinEdge(
+            name=local_name(join_node),
+            left_table=left_table,
+            left_column=left_column,
+            right_table=right_table,
+            right_column=right_column,
+        )
+
+    @staticmethod
+    def _add_join_edge(graph: "nx.Graph", edge: JoinEdge) -> None:
+        u, v = edge.left_table, edge.right_table
+        if graph.has_edge(u, v):
+            payloads = graph.edges[u, v]["payloads"]
+            if edge not in payloads:
+                payloads.append(edge)
+                payloads.sort(key=JoinEdge.sort_key)
+        else:
+            graph.add_edge(u, v, payloads=[edge], weight=1.0)
+
+    # ------------------------------------------------------------------
+    # sibling pruning (Fig. 10 failure mode)
+    # ------------------------------------------------------------------
+    def _prune_sibling_parent_edges(
+        self, graph: "nx.Graph", tables: set, parents: dict
+    ) -> "nx.Graph":
+        """Keep the parent join only for the first sibling present."""
+        pruned = graph.copy()
+        children_by_parent: dict = {}
+        for child, parent in sorted(parents.items()):
+            children_by_parent.setdefault(parent, []).append(child)
+        for parent, children in children_by_parent.items():
+            present = [child for child in children if child in tables]
+            for child in present[1:]:
+                if pruned.has_edge(parent, child):
+                    pruned.remove_edge(parent, child)
+        return pruned
+
+    # ------------------------------------------------------------------
+    # join selection: direct paths between entry points (Fig. 9)
+    # ------------------------------------------------------------------
+    def _select_joins(self, graph: "nx.Graph", preliminary: set) -> tuple:
+        final_tables = set(preliminary)
+        selected: list = []
+        selected_pairs: set = set()
+
+        # Bridge tables (pure N-to-N link tables) are the *intended* way to
+        # connect two entities, so paths through them are slightly
+        # preferred over incidental attribute joins.
+        bridges = self._bridge_tables(graph, self._all_inheritance_children())
+        weights = {}
+        for u, v in graph.edges:
+            weight = 0.9 if (u in bridges or v in bridges) else 1.0
+            weights[(min(u, v), max(u, v))] = weight
+
+        def weight_fn(u, v, data):
+            return weights[(min(u, v), max(u, v))]
+
+        pairs = sorted(
+            {
+                (min(a, b), max(a, b))
+                for a in preliminary
+                for b in preliminary
+                if a != b
+            }
+        )
+        for source, target in pairs:
+            if source not in graph or target not in graph:
+                continue
+            try:
+                path = nx.shortest_path(graph, source, target, weight=weight_fn)
+            except nx.NetworkXNoPath:
+                continue
+            for u, v in zip(path, path[1:]):
+                key = (min(u, v), max(u, v))
+                if key not in selected_pairs:
+                    selected_pairs.add(key)
+                    edge = graph.edges[u, v]["payloads"][0]
+                    selected.append(edge)
+                    weights[key] = 0.01  # prefer reusing selected edges
+                final_tables.add(u)
+                final_tables.add(v)
+        return selected, final_tables
+
+    @staticmethod
+    def _bridge_tables(graph: "nx.Graph", children: set) -> set:
+        """Tables that look like pure N-to-N link tables.
+
+        A bridge has at least two outgoing foreign keys (it is the FK side
+        of >= 2 join nodes), is never referenced by anyone else, and is
+        not an inheritance child (children share the bridge *shape* but
+        carry entity data).
+        """
+        fk_out: dict = {}
+        referenced: set = set()
+        for u, v in graph.edges:
+            for payload in graph.edges[u, v]["payloads"]:
+                fk_out.setdefault(payload.left_table, set()).add(payload.name)
+                referenced.add(payload.right_table)
+        return {
+            table
+            for table, joins in fk_out.items()
+            if len(joins) >= 2
+            and table not in referenced
+            and table not in children
+        }
+
+    def _all_inheritance_children(self) -> set:
+        """Table names that are children in any physical inheritance."""
+        if self._children_cache is None:
+            children: set = set()
+            for node in self._store.subjects(Vocab.TYPE, Vocab.INHERITANCE_NODE):
+                for child in self._store.objects(node, Vocab.INHERITANCE_CHILD):
+                    if not isinstance(child, str):
+                        continue
+                    label = self._store.object(child, Vocab.TABLENAME)
+                    if isinstance(label, Text):
+                        children.add(label.value)
+            self._children_cache = children
+        return self._children_cache
+
+    def _components(self, tables: set, joins: list) -> list:
+        graph = nx.Graph()
+        graph.add_nodes_from(tables)
+        for join in joins:
+            graph.add_edge(join.left_table, join.right_table)
+        return sorted(
+            (set(component) for component in nx.connected_components(graph)),
+            key=lambda c: sorted(c)[0],
+        )
+
+
+def _make_follow(allowed: frozenset):
+    def follow(subject: str, predicate: str, obj: str) -> bool:
+        return predicate in allowed
+
+    return follow

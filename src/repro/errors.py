@@ -1,0 +1,60 @@
+"""Exception hierarchy for the SODA reproduction.
+
+All library exceptions derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid metadata-graph operations."""
+
+
+class PatternError(GraphError):
+    """Raised when a graph pattern is malformed or cannot be parsed."""
+
+
+class SqlError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """Raised when a SQL statement cannot be lexed or parsed."""
+
+
+class SqlCatalogError(SqlError):
+    """Raised for unknown tables/columns or conflicting definitions."""
+
+
+class SqlTypeError(SqlError):
+    """Raised when an expression is applied to incompatible value types."""
+
+
+class SqlExecutionError(SqlError):
+    """Raised when a plan fails during execution."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a SODA input query cannot be parsed."""
+
+
+class LookupError_(ReproError):
+    """Raised when the lookup step fails structurally.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`LookupError`.
+    """
+
+
+class WarehouseError(ReproError):
+    """Raised for inconsistent warehouse model definitions."""
+
+
+class EvaluationError(ReproError):
+    """Raised when precision/recall evaluation cannot be computed."""

@@ -1,0 +1,47 @@
+"""Experiment workload, runner and reporting (Tables 1-5)."""
+
+from repro.experiments.reporting import (
+    format_rows,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    QueryOutcome,
+    StatementOutcome,
+)
+from repro.experiments.synthetic_workload import (
+    SyntheticQuery,
+    build_synthetic_warehouse,
+    generate_workload,
+    run_scalability_study,
+)
+from repro.experiments.workload import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    WORKLOAD,
+    ExperimentQuery,
+    query_by_id,
+)
+
+__all__ = [
+    "ExperimentQuery",
+    "ExperimentRunner",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "QueryOutcome",
+    "StatementOutcome",
+    "SyntheticQuery",
+    "WORKLOAD",
+    "build_synthetic_warehouse",
+    "format_rows",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "generate_workload",
+    "query_by_id",
+    "run_scalability_study",
+]

@@ -1,0 +1,127 @@
+"""End-to-end experiment driver reproducing Tables 3 and 4.
+
+For every workload query the runner executes the full SODA pipeline,
+evaluates every produced statement against the gold standard, and
+records the paper's measurements: best precision/recall, the counts of
+results with P,R > 0 and P,R = 0, the query complexity, and the SODA
+runtime vs. total (SQL-executing) runtime split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import PrecisionRecall, evaluate_sql
+from repro.core.soda import Soda, SodaConfig
+from repro.experiments.workload import WORKLOAD, ExperimentQuery
+from repro.warehouse.minibank import build_minibank
+from repro.warehouse.warehouse import Warehouse
+
+
+@dataclass
+class StatementOutcome:
+    """Evaluation of one generated statement."""
+
+    sql: str
+    score: float
+    metrics: PrecisionRecall
+    disconnected: bool
+
+
+@dataclass
+class QueryOutcome:
+    """Everything measured for one workload query (Tables 3 + 4)."""
+
+    query: ExperimentQuery
+    complexity: int
+    statements: list
+    soda_seconds: float
+    execute_seconds: float
+    step_timings: dict
+
+    # ------------------------------------------------------------------
+    @property
+    def n_results(self) -> int:
+        return len(self.statements)
+
+    @property
+    def best(self) -> PrecisionRecall:
+        """Best statement by (precision, recall), the Table 3 headline."""
+        if not self.statements:
+            return PrecisionRecall(0.0, 0.0, 0, 0)
+        ranked = sorted(
+            (s.metrics for s in self.statements),
+            key=lambda m: (m.precision, m.recall),
+            reverse=True,
+        )
+        return ranked[0]
+
+    @property
+    def n_positive(self) -> int:
+        return sum(1 for s in self.statements if s.metrics.is_positive)
+
+    @property
+    def n_zero(self) -> int:
+        return self.n_results - self.n_positive
+
+
+class ExperimentRunner:
+    """Runs the 13-query workload against a warehouse."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse | None = None,
+        config: SodaConfig | None = None,
+        seed: int = 42,
+        scale: float = 1.0,
+    ) -> None:
+        self.warehouse = warehouse or build_minibank(seed=seed, scale=scale)
+        self.config = config or SodaConfig()
+        self.soda = Soda(self.warehouse, self.config)
+
+    # ------------------------------------------------------------------
+    def run_query(self, query: ExperimentQuery) -> QueryOutcome:
+        """Execute one workload query and evaluate all its statements."""
+        started = time.perf_counter()
+        result = self.soda.search(query.text, execute=False)
+        soda_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        statements = []
+        for scored in result.statements:
+            metrics = evaluate_sql(
+                self.warehouse.database,
+                scored.sql,
+                query.gold,
+                estimated_rows=scored.estimated_rows,
+                max_rows=self.config.max_execution_rows,
+            )
+            statements.append(
+                StatementOutcome(
+                    sql=scored.sql,
+                    score=scored.score,
+                    metrics=metrics,
+                    disconnected=scored.disconnected,
+                )
+            )
+        execute_seconds = time.perf_counter() - started
+
+        return QueryOutcome(
+            query=query,
+            complexity=result.complexity,
+            statements=statements,
+            soda_seconds=soda_seconds,
+            execute_seconds=execute_seconds,
+            step_timings={
+                "lookup": result.timings.lookup,
+                "rank": result.timings.rank,
+                "tables": result.timings.tables,
+                "filters": result.timings.filters,
+                "sql": result.timings.sql,
+            },
+        )
+
+    def run_all(self) -> list:
+        """Run the full Table 2 workload in order."""
+        return [self.run_query(query) for query in WORKLOAD]

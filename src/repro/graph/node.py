@@ -1,0 +1,118 @@
+"""Node model for the metadata graph.
+
+The paper stores metadata in an RDF-like graph: *"Each triple either
+connects two nodes or connects a node with a text label. A node is either
+a static URI or a variable. [...] A text label is simply a string."*
+(Section 4.2.1.)
+
+We model graph nodes as plain strings (URIs) and text labels as
+:class:`Text` instances so that the two cannot be confused.  URIs use the
+``soda://`` scheme with a short namespace, e.g. ``soda://physical/table/
+parties``.  Helper constructors keep URI construction uniform across the
+code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Text:
+    """A text label attached to a graph node (the paper's ``t:...``)."""
+
+    value: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"t:{self.value}"
+
+
+#: A graph node is a URI string; an object position may also hold a Text.
+Node = str
+Object = "Node | Text"
+
+
+_SCHEME = "soda://"
+
+
+def uri(namespace: str, *parts: str) -> str:
+    """Build a URI in the ``soda://namespace/part1/part2`` form.
+
+    >>> uri("physical", "table", "parties")
+    'soda://physical/table/parties'
+    """
+    cleaned = [p.strip().replace(" ", "_") for p in parts if p]
+    return _SCHEME + "/".join([namespace, *cleaned])
+
+
+def is_uri(value: object) -> bool:
+    """Return True if *value* is a URI node produced by :func:`uri`."""
+    return isinstance(value, str) and value.startswith(_SCHEME)
+
+
+def local_name(node: str) -> str:
+    """Return the last path component of a URI.
+
+    >>> local_name('soda://physical/table/parties')
+    'parties'
+    """
+    return node.rsplit("/", 1)[-1]
+
+
+def namespace_of(node: str) -> str:
+    """Return the namespace (first path component) of a URI.
+
+    >>> namespace_of('soda://physical/table/parties')
+    'physical'
+    """
+    if not is_uri(node):
+        raise ValueError(f"not a soda URI: {node!r}")
+    remainder = node[len(_SCHEME):]
+    return remainder.split("/", 1)[0]
+
+
+# Well-known type URIs used by the Credit Suisse pattern set.  Keeping them
+# here gives a single authoritative spelling for both the graph builder and
+# the pattern definitions.
+class Vocab:
+    """Well-known URIs of the metadata vocabulary."""
+
+    # edge labels
+    TYPE = uri("meta", "type")
+    TABLENAME = uri("meta", "tablename")
+    COLUMNNAME = uri("meta", "columnname")
+    COLUMN = uri("meta", "column")
+    FOREIGN_KEY = uri("meta", "foreign_key")
+    PRIMARY_KEY = uri("meta", "primary_key")
+    JOIN_LEFT = uri("meta", "join_left")
+    JOIN_RIGHT = uri("meta", "join_right")
+    INHERITANCE_PARENT = uri("meta", "inheritance_parent")
+    INHERITANCE_CHILD = uri("meta", "inheritance_child")
+    REFINES = uri("meta", "refines")            # conceptual -> logical -> physical
+    CLASSIFIES = uri("meta", "classifies")      # ontology term -> schema element
+    SYNONYM_OF = uri("meta", "synonym_of")      # dbpedia term -> schema/ontology term
+    LABEL = uri("meta", "label")                # human-readable label (Text object)
+    HAS_ATTRIBUTE = uri("meta", "has_attribute")
+    RELATES = uri("meta", "relates")            # entity-level relationship edge
+    FILTER_COLUMN = uri("meta", "filter_column")
+    FILTER_OP = uri("meta", "filter_op")
+    FILTER_VALUE = uri("meta", "filter_value")
+    AGG_FUNC = uri("meta", "agg_func")          # business-term aggregation
+    AGG_COLUMN = uri("meta", "agg_column")
+    IGNORED = uri("meta", "ignored")            # annotation: relationship disabled
+    BELONGS_TO = uri("meta", "belongs_to")      # column -> its table
+    HAS_JOIN = uri("meta", "has_join")          # column -> join node
+    HAS_INHERITANCE = uri("meta", "has_inheritance")  # parent -> inheritance node
+
+    # node types
+    PHYSICAL_TABLE = uri("meta", "physical_table")
+    PHYSICAL_COLUMN = uri("meta", "physical_column")
+    LOGICAL_ENTITY = uri("meta", "logical_entity")
+    LOGICAL_ATTRIBUTE = uri("meta", "logical_attribute")
+    CONCEPTUAL_ENTITY = uri("meta", "conceptual_entity")
+    CONCEPTUAL_ATTRIBUTE = uri("meta", "conceptual_attribute")
+    ONTOLOGY_TERM = uri("meta", "ontology_term")
+    DBPEDIA_TERM = uri("meta", "dbpedia_term")
+    INHERITANCE_NODE = uri("meta", "inheritance_node")
+    JOIN_NODE = uri("meta", "join_node")
+    BUSINESS_TERM = uri("meta", "business_term")

@@ -1,0 +1,112 @@
+"""Graph traversal primitives used by the SODA steps.
+
+Step 3 of the algorithm (paper Section 4.2.1, "Application in SODA")
+traverses the metadata graph *"starting from the entry points of a given
+query and recursively follow[ing] all outgoing edges"*, testing patterns
+at every node.  This module provides that traversal plus the direct-path
+machinery used for join selection (Figure 9): of all discovered join
+conditions, only those *"on a direct path between the entry points"*
+are kept.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+import networkx as nx
+
+from repro.graph.triples import TripleStore
+
+
+def iter_reachable(
+    store: TripleStore,
+    start: str,
+    max_depth: int | None = None,
+    follow: Callable[[str, str, str], bool] | None = None,
+) -> Iterator[tuple[str, int]]:
+    """Breadth-first traversal over outgoing node edges.
+
+    Yields ``(node, depth)`` pairs starting with ``(start, 0)``.  Text
+    labels are never traversed (they have no outgoing edges).  *follow*
+    may veto individual edges; it receives ``(subject, predicate, object)``.
+    """
+    seen = {start}
+    queue: deque[tuple[str, int]] = deque([(start, 0)])
+    while queue:
+        node, depth = queue.popleft()
+        yield node, depth
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for triple in store.outgoing(node):
+            if not isinstance(triple.obj, str):
+                continue
+            if follow is not None and not follow(
+                triple.subject, triple.predicate, triple.obj
+            ):
+                continue
+            if triple.obj not in seen:
+                seen.add(triple.obj)
+                queue.append((triple.obj, depth + 1))
+
+
+def reachable_nodes(
+    store: TripleStore,
+    start: str,
+    max_depth: int | None = None,
+    follow: Callable[[str, str, str], bool] | None = None,
+) -> list[str]:
+    """All nodes reachable from *start* (including it), sorted."""
+    return sorted(node for node, __ in iter_reachable(store, start, max_depth, follow))
+
+
+def build_undirected_graph(
+    edges: Iterable[tuple[str, str, object]],
+) -> "nx.Graph":
+    """Build an undirected multigraph-free graph from labelled edges.
+
+    Each edge is ``(u, v, payload)``; parallel edges collapse into one
+    edge whose ``payloads`` attribute accumulates every payload.  Used to
+    build the table-level join graph in Step 3.
+    """
+    graph = nx.Graph()
+    for u, v, payload in edges:
+        if graph.has_edge(u, v):
+            graph.edges[u, v]["payloads"].append(payload)
+        else:
+            graph.add_edge(u, v, payloads=[payload])
+    return graph
+
+
+def direct_paths(
+    graph: "nx.Graph", terminals: Iterable[str]
+) -> list[list[str]]:
+    """Shortest paths between every pair of terminal nodes.
+
+    This realises the paper's "joins on a direct path between the entry
+    points" rule (Figure 9): join conditions merely *attached* to such a
+    path are ignored.  Terminals missing from the graph are skipped —
+    SODA simply cannot join them (one of the documented limitations).
+    """
+    terminal_list = sorted(set(terminals))
+    paths: list[list[str]] = []
+    for i, source in enumerate(terminal_list):
+        for target in terminal_list[i + 1:]:
+            if source not in graph or target not in graph:
+                continue
+            try:
+                paths.append(nx.shortest_path(graph, source, target))
+            except nx.NetworkXNoPath:
+                continue
+    return paths
+
+
+def steiner_edge_set(
+    graph: "nx.Graph", terminals: Iterable[str]
+) -> set[tuple[str, str]]:
+    """The union of edges on all pairwise direct paths, as sorted pairs."""
+    edges: set[tuple[str, str]] = set()
+    for path in direct_paths(graph, terminals):
+        for u, v in zip(path, path[1:]):
+            edges.add((min(u, v), max(u, v)))
+    return edges

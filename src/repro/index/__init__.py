@@ -1,0 +1,21 @@
+"""Index substrates: base-data inverted index and metadata classification."""
+
+from repro.index.classification import (
+    ClassificationIndex,
+    EntrySource,
+    TermMatch,
+    depluralize,
+    normalize_term,
+)
+from repro.index.inverted import InvertedIndex, Posting, tokenize_text
+
+__all__ = [
+    "ClassificationIndex",
+    "EntrySource",
+    "InvertedIndex",
+    "Posting",
+    "TermMatch",
+    "depluralize",
+    "normalize_term",
+    "tokenize_text",
+]

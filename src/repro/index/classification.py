@@ -1,0 +1,111 @@
+"""Classification index over metadata terms (paper Step 1 - Lookup).
+
+Every term attached to a metadata-graph node — ontology terms, DBpedia
+synonyms, entity/attribute names of the conceptual and logical schema,
+physical table/column names — is registered here so that query keywords
+can be matched with the longest-word-combination algorithm of Section
+4.2.2.  Each match records *where* in the metadata graph the keyword was
+found, which is what the ranking step scores (Figure 5's "Query
+Classification").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.index.inverted import tokenize_text
+
+
+class EntrySource(enum.Enum):
+    """Where in the metadata graph a lookup term was found.
+
+    Ordered roughly by the trust the ranking heuristic places in each
+    location (see :mod:`repro.core.ranking`).
+    """
+
+    DOMAIN_ONTOLOGY = "domain_ontology"
+    CONCEPTUAL_SCHEMA = "conceptual_schema"
+    LOGICAL_SCHEMA = "logical_schema"
+    PHYSICAL_SCHEMA = "physical_schema"
+    BASE_DATA = "base_data"
+    DBPEDIA = "dbpedia"
+
+
+@dataclass(frozen=True)
+class TermMatch:
+    """One classification-index hit for a term."""
+
+    term: str
+    node: str
+    source: EntrySource
+
+    def sort_key(self) -> tuple:
+        return (self.term, self.source.value, self.node)
+
+
+def normalize_term(term: str) -> str:
+    """Canonical form of a term: lowercase tokens joined by one space.
+
+    >>> normalize_term('  Private   CUSTOMERS ')
+    'private customers'
+    """
+    return " ".join(tokenize_text(term))
+
+
+def depluralize(term: str) -> str:
+    """Naive singularisation of every token (strip a trailing ``s``).
+
+    Good enough for the schema vocabulary in play (customers/customer,
+    transactions/transaction); irregular plurals simply do not match.
+    """
+    tokens = []
+    for token in normalize_term(term).split(" "):
+        if len(token) > 4 and token.endswith("sses"):
+            tokens.append(token[:-2])
+        elif len(token) > 3 and token.endswith("ies"):
+            tokens.append(token[:-3] + "y")
+        elif len(token) > 2 and token.endswith("s") and not token.endswith("ss"):
+            tokens.append(token[:-1])
+        else:
+            tokens.append(token)
+    return " ".join(tokens)
+
+
+class ClassificationIndex:
+    """Term -> metadata node matches, with plural-insensitive lookup."""
+
+    def __init__(self) -> None:
+        self._terms: dict[str, list[TermMatch]] = defaultdict(list)
+        self._max_words = 1
+
+    def add_term(self, term: str, node: str, source: EntrySource) -> None:
+        """Register *term* as referring to graph *node*."""
+        canonical = depluralize(term)
+        if not canonical:
+            return
+        match = TermMatch(term=normalize_term(term), node=node, source=source)
+        bucket = self._terms[canonical]
+        if match not in bucket:
+            bucket.append(match)
+        self._max_words = max(self._max_words, canonical.count(" ") + 1)
+
+    def lookup(self, term: str) -> list[TermMatch]:
+        """All matches of *term* (plural-insensitive)."""
+        canonical = depluralize(term)
+        return sorted(self._terms.get(canonical, []), key=TermMatch.sort_key)
+
+    def __contains__(self, term: str) -> bool:
+        return depluralize(term) in self._terms
+
+    @property
+    def max_term_words(self) -> int:
+        """Longest registered term, in words (bounds the matcher window)."""
+        return self._max_words
+
+    def term_count(self) -> int:
+        return len(self._terms)
+
+    def terms(self) -> list[str]:
+        return sorted(self._terms)

@@ -1,0 +1,169 @@
+"""Inverted index over the base data (paper Section 5.1.2).
+
+The paper builds an inverted index over all text columns of the 472 base
+tables (9.5 GB, 24-hour build).  Here the same structure is built in
+memory: every token of every TEXT column value maps to postings that
+record the table, column and exact stored value.  Step 1 (lookup) probes
+this index to turn query keywords into base-data entry points, and Step 4
+(filters) turns a posting into an equality filter such as
+``addresses.city = 'Zurich'``.
+
+Numeric columns are deliberately *not* indexed — the paper notes "base
+data table columns with numerical data types are not contained in our
+inverted index".
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.types import SqlType
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Lowercase word tokens of a stored value or a query phrase.
+
+    >>> tokenize_text('Credit Suisse AG')
+    ['credit', 'suisse', 'ag']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One occurrence of a token (or phrase) in the base data."""
+
+    table: str
+    column: str
+    value: str
+    occurrences: int = 1
+
+    def sort_key(self) -> tuple:
+        return (self.table, self.column, self.value)
+
+
+class InvertedIndex:
+    """Token -> postings over the TEXT columns of a catalog.
+
+    >>> from repro.sqlengine import Database
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id INT, city TEXT)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'Zurich'), (2, 'Zurich')")
+    >>> index = InvertedIndex.build(db.catalog)
+    >>> index.lookup('zurich')[0].occurrences
+    2
+    """
+
+    def __init__(self) -> None:
+        # token -> (table, column, value) -> count
+        self._postings: dict[str, dict[tuple, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._entries = 0
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, catalog: Catalog, tables: Iterable[str] | None = None
+    ) -> "InvertedIndex":
+        """Index every TEXT column of *catalog* (or only *tables*)."""
+        index = cls()
+        names = list(tables) if tables is not None else catalog.table_names()
+        for table_name in names:
+            table = catalog.table(table_name)
+            text_columns = [
+                (position, column.name)
+                for position, column in enumerate(table.columns)
+                if column.sql_type is SqlType.TEXT
+            ]
+            if not text_columns:
+                continue
+            for row in table.rows:
+                for position, column_name in text_columns:
+                    value = row[position]
+                    if value is None:
+                        continue
+                    index.add(table_name, column_name, value)
+        return index
+
+    def add(self, table: str, column: str, value: str) -> None:
+        """Index one stored value."""
+        key = (table, column, value)
+        for token in set(tokenize_text(value)):
+            self._postings[token][key] += 1
+        self._entries += 1
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, token: str) -> list[Posting]:
+        """Postings of a single token."""
+        cleaned = token.lower().strip()
+        found = self._postings.get(cleaned, {})
+        return sorted(
+            (
+                Posting(table, column, value, occurrences)
+                for (table, column, value), occurrences in found.items()
+            ),
+            key=Posting.sort_key,
+        )
+
+    def lookup_phrase(self, phrase: str) -> list[Posting]:
+        """Postings whose stored value contains *phrase* contiguously.
+
+        A multi-word keyword such as "Credit Suisse" matches values in
+        which the tokens appear adjacent and in order ("Credit Suisse
+        AG" matches, "Suisse Credit Union" does not).  This keeps the
+        lookup consistent with the generated ``LIKE '%credit suisse%'``
+        filter.
+        """
+        tokens = tokenize_text(phrase)
+        if not tokens:
+            return []
+        keys: set[tuple] | None = None
+        for token in tokens:
+            token_keys = set(self._postings.get(token, {}))
+            keys = token_keys if keys is None else keys & token_keys
+            if not keys:
+                return []
+        assert keys is not None
+        needle = " " + " ".join(tokens) + " "
+        results = []
+        for key in keys:
+            table, column, value = key
+            haystack = " " + " ".join(tokenize_text(value)) + " "
+            if needle not in haystack:
+                continue
+            occurrences = min(
+                self._postings[token][key] for token in tokens
+            )
+            results.append(Posting(table, column, value, occurrences))
+        return sorted(results, key=Posting.sort_key)
+
+    def has_token(self, token: str) -> bool:
+        return token.lower().strip() in self._postings
+
+    def token_count(self) -> int:
+        """Number of distinct tokens in the index."""
+        return len(self._postings)
+
+    def entry_count(self) -> int:
+        """Number of indexed (non-unique) values, as reported in the paper."""
+        return self._entries
+
+    def size_summary(self) -> dict:
+        """Statistics in the spirit of the paper's index size report."""
+        postings = sum(len(values) for values in self._postings.values())
+        return {
+            "distinct_tokens": len(self._postings),
+            "postings": postings,
+            "indexed_values": self._entries,
+        }

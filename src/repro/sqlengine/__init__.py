@@ -1,0 +1,44 @@
+"""From-scratch in-memory relational engine (the paper's DB backend)."""
+
+from repro.sqlengine.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
+)
+from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
+from repro.sqlengine.database import Database
+from repro.sqlengine.executor import ResultSet, execute_select
+from repro.sqlengine.parser import parse_select, parse_sql
+from repro.sqlengine.types import SqlType
+
+__all__ = [
+    "BinaryOp",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Database",
+    "Expr",
+    "ForeignKey",
+    "FuncCall",
+    "Join",
+    "Like",
+    "Literal",
+    "OrderItem",
+    "ResultSet",
+    "Select",
+    "SelectItem",
+    "SqlType",
+    "Table",
+    "TableRef",
+    "execute_select",
+    "parse_select",
+    "parse_sql",
+]

@@ -1,0 +1,164 @@
+"""Catalog and table storage for the in-memory relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SqlCatalogError, SqlTypeError
+from repro.sqlengine.types import SqlType, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """Schema of one column."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from this table to *ref_table*."""
+
+    columns: tuple
+    ref_table: str
+    ref_columns: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise SqlCatalogError(
+                f"foreign key arity mismatch: {self.columns} vs {self.ref_columns}"
+            )
+
+
+class Table:
+    """A named table: column schema plus row storage.
+
+    Rows are tuples in column order.  Values are validated and coerced on
+    insert so that downstream operators can rely on type invariants.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not columns:
+            raise SqlCatalogError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SqlCatalogError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.foreign_keys = tuple(foreign_keys)
+        self._index_of = {c.name: i for i, c in enumerate(self.columns)}
+        self.rows: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise SqlCatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index_of
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def primary_key_columns(self) -> list[str]:
+        return [c.name for c in self.columns if c.primary_key]
+
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[Any]) -> None:
+        """Insert one row given positionally."""
+        if len(values) != len(self.columns):
+            raise SqlCatalogError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = tuple(
+            coerce_value(value, column.sql_type)
+            for value, column in zip(values, self.columns)
+        )
+        self.rows.append(row)
+
+    def insert_named(self, **values: Any) -> None:
+        """Insert one row given by column name; missing columns become NULL."""
+        unknown = set(values) - set(self._index_of)
+        if unknown:
+            raise SqlCatalogError(
+                f"unknown columns for table {self.name!r}: {sorted(unknown)}"
+            )
+        self.insert([values.get(c.name) for c in self.columns])
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} cols={len(self.columns)} rows={len(self.rows)}>"
+
+
+class Catalog:
+    """All tables of one database, with FK metadata."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise SqlCatalogError(f"table already exists: {name!r}")
+        table = Table(key, columns, foreign_keys)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlCatalogError(f"no such table: {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SqlCatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> list[Table]:
+        return [self._tables[name] for name in self.table_names()]
+
+    def foreign_key_edges(self) -> list[tuple[str, str, ForeignKey]]:
+        """All (from_table, to_table, fk) edges in the catalog."""
+        edges = []
+        for table in self.tables():
+            for fk in table.foreign_keys:
+                edges.append((table.name, fk.ref_table, fk))
+        return edges

@@ -1,0 +1,140 @@
+"""The `Database` facade: parse + execute SQL against an in-memory catalog.
+
+This plays the role of the Oracle/MySQL/Derby backends in the paper: SODA
+generates SQL text, and this engine executes it so that result snippets
+and precision/recall can be computed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SqlError
+from repro.sqlengine.ast_nodes import CreateTable, Insert, Select, Union
+from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
+from repro.sqlengine.executor import (
+    ResultSet,
+    execute_select,
+    execute_union,
+    explain_select,
+)
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.types import SqlType
+
+
+class Database:
+    """An in-memory relational database.
+
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')")
+    >>> db.execute("SELECT name FROM t WHERE id = 2").rows
+    [('beta',)]
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and execute one SQL statement.
+
+        DDL/DML statements return an empty ResultSet.
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, Select):
+            return execute_select(self.catalog, statement)
+        if isinstance(statement, Union):
+            return execute_union(self.catalog, statement)
+        if isinstance(statement, CreateTable):
+            columns = [
+                Column(c.name, c.sql_type, c.primary_key) for c in statement.columns
+            ]
+            foreign_keys = [
+                ForeignKey(fk.columns, fk.ref_table, fk.ref_columns)
+                for fk in statement.foreign_keys
+            ]
+            self.catalog.create_table(statement.name, columns, foreign_keys)
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, Insert):
+            table = self.catalog.table(statement.table)
+            if statement.columns:
+                for row in statement.rows:
+                    if len(row) != len(statement.columns):
+                        raise SqlError(
+                            f"INSERT arity mismatch for table {statement.table!r}"
+                        )
+                    table.insert_named(**dict(zip(statement.columns, row)))
+            else:
+                table.insert_many(statement.rows)
+            return ResultSet(columns=[], rows=[])
+        raise SqlError(f"unsupported statement type: {type(statement).__name__}")
+
+    def execute_select_ast(self, select: Select) -> ResultSet:
+        """Execute an already-parsed SELECT (used by SODA internals)."""
+        return execute_select(self.catalog, select)
+
+    def explain(self, sql: str) -> str:
+        """A human-readable plan for a SELECT statement.
+
+        >>> db = Database()
+        >>> _ = db.execute("CREATE TABLE t (id INT)")
+        >>> print(db.explain("SELECT * FROM t WHERE id = 1"))
+        scan t as t (0 rows) filter: (t.id = 1)
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, Select):
+            return explain_select(self.catalog, statement)
+        if isinstance(statement, Union):
+            branches = [
+                explain_select(self.catalog, select)
+                for select in statement.selects
+            ]
+            keyword = "union all" if statement.all else "union"
+            return f"\n{keyword}\n".join(branches)
+        raise SqlError("EXPLAIN supports SELECT statements only")
+
+    # ------------------------------------------------------------------
+    # programmatic schema/data API (used by the warehouse generators)
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Iterable[tuple] = (),
+    ) -> Table:
+        """Create a table from ``(name, type_name)`` column specs.
+
+        *foreign_keys* entries are ``(local_cols, ref_table, ref_cols)``.
+        """
+        pk = set(primary_key)
+        column_objects = [
+            Column(col_name, SqlType.from_name(type_name), col_name in pk)
+            for col_name, type_name in columns
+        ]
+        fk_objects = [
+            ForeignKey(tuple(local), ref_table, tuple(remote))
+            for local, ref_table, remote in foreign_keys
+        ]
+        return self.catalog.create_table(name, column_objects, fk_objects)
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert positional rows; returns the number inserted."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row)
+            count += 1
+        return count
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def row_count(self, table_name: str) -> int:
+        return len(self.catalog.table(table_name))

@@ -1,0 +1,425 @@
+"""Expression compilation and evaluation.
+
+Expressions are compiled against a :class:`Scope` (the column layout of
+the rows flowing through an operator) into Python closures.  Three-valued
+logic is used throughout: a predicate evaluates to ``True``, ``False`` or
+``None`` (unknown), and WHERE keeps only rows where the predicate is
+``True``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from repro.errors import SqlCatalogError, SqlExecutionError, SqlTypeError
+from repro.sqlengine.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.types import compare_values, values_equal
+
+
+class Scope:
+    """Column layout of rows produced by an operator.
+
+    A scope is an ordered list of ``(binding, column)`` pairs where
+    *binding* is the table alias (or ``None`` for computed columns).
+    """
+
+    def __init__(self, pairs: Sequence[tuple]) -> None:
+        self.pairs = list(pairs)
+        self._qualified: dict[tuple, int] = {}
+        self._unqualified: dict[str, list[int]] = {}
+        for index, (binding, column) in enumerate(self.pairs):
+            self._qualified[(binding, column)] = index
+            self._unqualified.setdefault(column, []).append(index)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def concat(self, other: "Scope") -> "Scope":
+        return Scope(self.pairs + other.pairs)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        """Resolve a column reference to a row index."""
+        if ref.table is not None:
+            key = (ref.table, ref.column)
+            if key in self._qualified:
+                return self._qualified[key]
+            raise SqlCatalogError(
+                f"unknown column {ref.table}.{ref.column} "
+                f"(available: {self._describe()})"
+            )
+        indexes = self._unqualified.get(ref.column, [])
+        if not indexes:
+            raise SqlCatalogError(
+                f"unknown column {ref.column!r} (available: {self._describe()})"
+            )
+        if len(indexes) > 1:
+            raise SqlCatalogError(
+                f"ambiguous column {ref.column!r}; qualify it with a table name"
+            )
+        return indexes[0]
+
+    def try_resolve(self, ref: ColumnRef) -> int | None:
+        try:
+            return self.resolve(ref)
+        except SqlCatalogError:
+            return None
+
+    def bindings(self) -> set[str]:
+        return {binding for binding, __ in self.pairs if binding is not None}
+
+    def _describe(self) -> str:
+        shown = ", ".join(
+            f"{binding}.{column}" if binding else column
+            for binding, column in self.pairs[:12]
+        )
+        if len(self.pairs) > 12:
+            shown += ", ..."
+        return shown
+
+
+# ---------------------------------------------------------------------------
+# scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_lower(value: Any) -> Any:
+    return None if value is None else str(value).lower()
+
+
+def _fn_upper(value: Any) -> Any:
+    return None if value is None else str(value).upper()
+
+
+def _fn_length(value: Any) -> Any:
+    return None if value is None else len(str(value))
+
+
+def _fn_abs(value: Any) -> Any:
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SqlTypeError(f"abs() expects a number, got {value!r}")
+    return abs(value)
+
+
+def _fn_year(value: Any) -> Any:
+    if value is None:
+        return None
+    if hasattr(value, "year"):
+        return value.year
+    raise SqlTypeError(f"year() expects a DATE, got {value!r}")
+
+
+def _fn_month(value: Any) -> Any:
+    if value is None:
+        return None
+    if hasattr(value, "month"):
+        return value.month
+    raise SqlTypeError(f"month() expects a DATE, got {value!r}")
+
+
+def _fn_coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "lower": _fn_lower,
+    "upper": _fn_upper,
+    "length": _fn_length,
+    "abs": _fn_abs,
+    "year": _fn_year,
+    "month": _fn_month,
+    "coalesce": _fn_coalesce,
+}
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern to a compiled regex (case-insensitive)."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+RowFn = Callable[[tuple], Any]
+
+
+def compile_expr(
+    expr: Expr,
+    scope: Scope,
+    agg_slots: "dict[FuncCall, int] | None" = None,
+) -> RowFn:
+    """Compile *expr* into a closure evaluating it against a row tuple.
+
+    *agg_slots* maps aggregate FuncCall nodes to row indexes; it is
+    supplied by the aggregation operator so that post-aggregation
+    expressions (select items, HAVING, ORDER BY) can read aggregate
+    results out of the extended group rows.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, ColumnRef):
+        index = scope.resolve(expr)
+        return lambda row: row[index]
+
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            if agg_slots is None or expr not in agg_slots:
+                raise SqlExecutionError(
+                    f"aggregate {expr.to_sql()} used outside aggregation context"
+                )
+            slot = agg_slots[expr]
+            return lambda row: row[slot]
+        if expr.name not in SCALAR_FUNCTIONS:
+            raise SqlExecutionError(f"unknown function: {expr.name!r}")
+        fn = SCALAR_FUNCTIONS[expr.name]
+        arg_fns = [compile_expr(arg, scope, agg_slots) for arg in expr.args]
+        return lambda row: fn(*[arg_fn(row) for arg_fn in arg_fns])
+
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand, scope, agg_slots)
+        if expr.op == "NOT":
+            def _not(row: tuple) -> Any:
+                value = operand(row)
+                if value is None:
+                    return None
+                return not value
+
+            return _not
+        if expr.op == "-":
+            def _neg(row: tuple) -> Any:
+                value = operand(row)
+                if value is None:
+                    return None
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise SqlTypeError(f"cannot negate {value!r}")
+                return -value
+
+            return _neg
+        raise SqlExecutionError(f"unknown unary operator: {expr.op!r}")
+
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, scope, agg_slots)
+
+    if isinstance(expr, Like):
+        operand = compile_expr(expr.operand, scope, agg_slots)
+        pattern_fn = compile_expr(expr.pattern, scope, agg_slots)
+        negated = expr.negated
+
+        def _like(row: tuple) -> Any:
+            value = operand(row)
+            pattern = pattern_fn(row)
+            if value is None or pattern is None:
+                return None
+            matched = like_to_regex(str(pattern)).match(str(value)) is not None
+            return (not matched) if negated else matched
+
+        return _like
+
+    if isinstance(expr, InList):
+        operand = compile_expr(expr.operand, scope, agg_slots)
+        item_fns = [compile_expr(item, scope, agg_slots) for item in expr.items]
+        negated = expr.negated
+
+        def _in(row: tuple) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item_fn in item_fns:
+                item = item_fn(row)
+                equal = values_equal(value, item)
+                if equal is None:
+                    saw_null = True
+                elif equal:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _in
+
+    if isinstance(expr, Between):
+        operand = compile_expr(expr.operand, scope, agg_slots)
+        low_fn = compile_expr(expr.low, scope, agg_slots)
+        high_fn = compile_expr(expr.high, scope, agg_slots)
+        negated = expr.negated
+
+        def _between(row: tuple) -> Any:
+            value = operand(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            cmp_low = compare_values(value, low)
+            cmp_high = compare_values(value, high)
+            if cmp_low is None or cmp_high is None:
+                return None
+            inside = cmp_low >= 0 and cmp_high <= 0
+            return (not inside) if negated else inside
+
+        return _between
+
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand, scope, agg_slots)
+        negated = expr.negated
+
+        def _is_null(row: tuple) -> bool:
+            value = operand(row)
+            return (value is not None) if negated else (value is None)
+
+        return _is_null
+
+    if isinstance(expr, CaseWhen):
+        branch_fns = [
+            (compile_expr(condition, scope, agg_slots),
+             compile_expr(value, scope, agg_slots))
+            for condition, value in expr.branches
+        ]
+        default_fn = (
+            compile_expr(expr.default, scope, agg_slots)
+            if expr.default is not None
+            else None
+        )
+
+        def _case(row: tuple) -> Any:
+            for condition_fn, value_fn in branch_fns:
+                if condition_fn(row) is True:
+                    return value_fn(row)
+            if default_fn is not None:
+                return default_fn(row)
+            return None
+
+        return _case
+
+    raise SqlExecutionError(f"cannot compile expression: {expr!r}")
+
+
+def _compile_binary(
+    expr: BinaryOp, scope: Scope, agg_slots: "dict[FuncCall, int] | None"
+) -> RowFn:
+    left = compile_expr(expr.left, scope, agg_slots)
+    right = compile_expr(expr.right, scope, agg_slots)
+    op = expr.op
+
+    if op == "AND":
+        def _and(row: tuple) -> Any:
+            lhs = left(row)
+            if lhs is False:
+                return False
+            rhs = right(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return _and
+
+    if op == "OR":
+        def _or(row: tuple) -> Any:
+            lhs = left(row)
+            if lhs is True:
+                return True
+            rhs = right(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return _or
+
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        def _compare(row: tuple) -> Any:
+            result = compare_values(left(row), right(row))
+            if result is None:
+                return None
+            if op == "=":
+                return result == 0
+            if op == "<>":
+                return result != 0
+            if op == "<":
+                return result < 0
+            if op == "<=":
+                return result <= 0
+            if op == ">":
+                return result > 0
+            return result >= 0
+
+        return _compare
+
+    if op in ("+", "-", "*", "/"):
+        def _arith(row: tuple) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            if not isinstance(lhs, (int, float)) or isinstance(lhs, bool):
+                raise SqlTypeError(f"arithmetic on non-number: {lhs!r}")
+            if not isinstance(rhs, (int, float)) or isinstance(rhs, bool):
+                raise SqlTypeError(f"arithmetic on non-number: {rhs!r}")
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if rhs == 0:
+                raise SqlExecutionError("division by zero")
+            return lhs / rhs
+
+        return _arith
+
+    if op == "||":
+        def _concat(row: tuple) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            return str(lhs) + str(rhs)
+
+        return _concat
+
+    raise SqlExecutionError(f"unknown binary operator: {op!r}")
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Split an expression on top-level ANDs.
+
+    >>> from repro.sqlengine.parser import parse_select
+    >>> stmt = parse_select("SELECT * FROM t WHERE a = 1 AND b = 2")
+    >>> len(split_conjuncts(stmt.where))
+    2
+    """
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,130 @@
+"""Aggregate function accumulators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SqlExecutionError, SqlTypeError
+
+
+class Accumulator:
+    """Base class for aggregate accumulators (one instance per group)."""
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CountAccumulator(Accumulator):
+    """``count(expr)`` — counts non-NULL values; ``count(*)`` counts rows."""
+
+    def __init__(self, count_nulls: bool = False, distinct: bool = False) -> None:
+        self._count = 0
+        self._count_nulls = count_nulls
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None and not self._count_nulls:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAccumulator(Accumulator):
+    """``sum(expr)`` — NULL over empty/all-NULL input."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._total: "int | float | None" = None
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SqlTypeError(f"sum() expects numbers, got {value!r}")
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total = value if self._total is None else self._total + value
+
+    def result(self) -> "int | float | None":
+        return self._total
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False) -> None:
+        self._total = 0.0
+        self._count = 0
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SqlTypeError(f"avg() expects numbers, got {value!r}")
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total += value
+        self._count += 1
+
+    def result(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+def make_accumulator(name: str, star: bool, distinct: bool) -> Accumulator:
+    """Instantiate the accumulator for an aggregate call."""
+    if name == "count":
+        return CountAccumulator(count_nulls=star, distinct=distinct)
+    factories: dict[str, Callable[[bool], Accumulator]] = {
+        "sum": SumAccumulator,
+        "avg": AvgAccumulator,
+        "min": MinAccumulator,
+        "max": MaxAccumulator,
+    }
+    if name not in factories:
+        raise SqlExecutionError(f"unknown aggregate function: {name!r}")
+    return factories[name](distinct)

@@ -1,0 +1,91 @@
+"""Tokenizer for the SQL subset understood by the engine."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "LIKE", "IN", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN",
+    "INNER", "LEFT", "RIGHT", "OUTER", "ON", "CREATE", "TABLE", "PRIMARY",
+    "FOREIGN", "KEY", "REFERENCES", "INSERT", "INTO", "VALUES", "UNION",
+    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+) |
+    (?P<comment>--[^\n]*) |
+    (?P<number>\d+\.\d+|\d+) |
+    (?P<string>'(?:[^']|'')*') |
+    (?P<operator><>|!=|<=|>=|=|<|>|\|\|) |
+    (?P<identifier>[A-Za-z_][A-Za-z0-9_$]*) |
+    (?P<punct>[(),.;*+\-/])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises SqlSyntaxError on unknown input.
+
+    >>> [t.value for t in tokenize('SELECT 1')[:-1]]
+    ['SELECT', '1']
+    """
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character at offset {pos}: {sql[pos:pos + 15]!r}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "number":
+            tokens.append(Token(TokenType.NUMBER, text, pos))
+        elif kind == "string":
+            tokens.append(Token(TokenType.STRING, text[1:-1].replace("''", "'"), pos))
+        elif kind == "operator":
+            normal = "<>" if text == "!=" else text
+            tokens.append(Token(TokenType.OPERATOR, normal, pos))
+        elif kind == "identifier":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text.lower(), pos))
+        elif kind == "punct":
+            tokens.append(Token(TokenType.PUNCT, text, pos))
+        pos = match.end()
+    tokens.append(Token(TokenType.EOF, "", len(sql)))
+    return tokens

@@ -1,0 +1,505 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported statements: ``SELECT`` (comma joins and explicit ``JOIN .. ON``,
+WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, DISTINCT), ``CREATE TABLE``
+and ``INSERT INTO .. VALUES``.  This covers everything SODA generates
+(Queries 1-4 in the paper) plus what the gold-standard statements need.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Expr,
+    ForeignKeyDef,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
+    UnaryOp,
+    Union,
+)
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+from repro.sqlengine.types import SqlType, parse_date
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parses a token stream into a statement AST."""
+
+    def __init__(self, sql: str) -> None:
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self._current.matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        if not self._check(token_type, value):
+            expected = value or token_type.value
+            raise SqlSyntaxError(
+                f"expected {expected!r} at offset {self._current.position}, "
+                f"got {self._current.value!r} in: {self._sql[:120]}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> "Select | Union | CreateTable | Insert":
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            statement = self._parse_select_or_union()
+        elif self._check(TokenType.KEYWORD, "CREATE"):
+            statement = self._parse_create_table()
+        elif self._check(TokenType.KEYWORD, "INSERT"):
+            statement = self._parse_insert()
+        else:
+            raise SqlSyntaxError(f"unsupported statement: {self._sql[:60]!r}")
+        self._accept(TokenType.PUNCT, ";")
+        self._expect(TokenType.EOF)
+        return statement
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _parse_select_or_union(self) -> "Select | Union":
+        first = self.parse_select()
+        if not self._check(TokenType.KEYWORD, "UNION"):
+            return first
+        selects = [first]
+        union_all: bool | None = None
+        while self._accept(TokenType.KEYWORD, "UNION"):
+            branch_all = self._accept(TokenType.KEYWORD, "ALL") is not None
+            if union_all is None:
+                union_all = branch_all
+            elif union_all != branch_all:
+                raise SqlSyntaxError(
+                    "mixing UNION and UNION ALL is not supported"
+                )
+            selects.append(self.parse_select())
+        return Union(selects=tuple(selects), all=bool(union_all))
+
+    def parse_select(self) -> Select:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        distinct = self._accept(TokenType.KEYWORD, "DISTINCT") is not None
+        items = [self._parse_select_item()]
+        while self._accept(TokenType.PUNCT, ","):
+            items.append(self._parse_select_item())
+
+        self._expect(TokenType.KEYWORD, "FROM")
+        tables = [self._parse_table_ref()]
+        joins: list[Join] = []
+        while True:
+            if self._accept(TokenType.PUNCT, ","):
+                tables.append(self._parse_table_ref())
+                continue
+            join = self._parse_join_clause()
+            if join is None:
+                break
+            joins.append(join)
+
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expr()
+
+        group_by: list[Expr] = []
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by.append(self._parse_expr())
+            while self._accept(TokenType.PUNCT, ","):
+                group_by.append(self._parse_expr())
+
+        having = None
+        if self._accept(TokenType.KEYWORD, "HAVING"):
+            having = self._parse_expr()
+
+        order_by: list[OrderItem] = []
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._parse_order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            limit = int(token.value)
+
+        return Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._accept(TokenType.PUNCT, "*"):
+            return SelectItem(expr=None)
+        # "table.*"
+        if (
+            self._check(TokenType.IDENTIFIER)
+            and self._tokens[self._index + 1].matches(TokenType.PUNCT, ".")
+            and self._tokens[self._index + 2].matches(TokenType.PUNCT, "*")
+        ):
+            table = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(expr=None, star_table=table)
+        expr = self._parse_expr()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_join_clause(self) -> Join | None:
+        kind = "INNER"
+        start = self._index
+        if self._accept(TokenType.KEYWORD, "INNER"):
+            kind = "INNER"
+        elif self._accept(TokenType.KEYWORD, "LEFT"):
+            kind = "LEFT"
+            self._accept(TokenType.KEYWORD, "OUTER")
+        if not self._accept(TokenType.KEYWORD, "JOIN"):
+            self._index = start
+            return None
+        table = self._parse_table_ref()
+        self._expect(TokenType.KEYWORD, "ON")
+        condition = self._parse_expr()
+        return Join(table=table, condition=condition, kind=kind)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(TokenType.KEYWORD, "ASC")
+        return OrderItem(expr=expr, descending=descending)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept(TokenType.KEYWORD, "OR"):
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept(TokenType.KEYWORD, "AND"):
+            right = self._parse_not()
+            left = BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        if self._check(TokenType.OPERATOR) and self._current.value in _COMPARISONS:
+            op = self._advance().value
+            right = self._parse_additive()
+            return BinaryOp(op, left, right)
+        negated = False
+        if self._check(TokenType.KEYWORD, "NOT"):
+            upcoming = self._tokens[self._index + 1]
+            if upcoming.type is TokenType.KEYWORD and upcoming.value in (
+                "LIKE",
+                "IN",
+                "BETWEEN",
+            ):
+                self._advance()
+                negated = True
+        if self._accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self._parse_additive()
+            return Like(left, pattern, negated=negated)
+        if self._accept(TokenType.KEYWORD, "IN"):
+            self._expect(TokenType.PUNCT, "(")
+            items = [self._parse_expr()]
+            while self._accept(TokenType.PUNCT, ","):
+                items.append(self._parse_expr())
+            self._expect(TokenType.PUNCT, ")")
+            return InList(left, tuple(items), negated=negated)
+        if self._accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated=negated)
+        if self._accept(TokenType.KEYWORD, "IS"):
+            is_negated = self._accept(TokenType.KEYWORD, "NOT") is not None
+            self._expect(TokenType.KEYWORD, "NULL")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept(TokenType.PUNCT, "+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self._accept(TokenType.PUNCT, "-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            elif self._accept(TokenType.OPERATOR, "||"):
+                left = BinaryOp("||", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self._accept(TokenType.PUNCT, "*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self._accept(TokenType.PUNCT, "/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept(TokenType.PUNCT, "-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return Literal(None)
+        if token.matches(TokenType.KEYWORD, "TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.matches(TokenType.KEYWORD, "DATE"):
+            # DATE '2010-01-01' literal
+            self._advance()
+            value = self._expect(TokenType.STRING).value
+            return Literal(parse_date(value))
+        if token.matches(TokenType.KEYWORD, "CASE"):
+            return self._parse_case()
+        if token.matches(TokenType.PUNCT, "("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenType.PUNCT, ")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expr()
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_case(self) -> Expr:
+        self._expect(TokenType.KEYWORD, "CASE")
+        branches: list = []
+        while self._accept(TokenType.KEYWORD, "WHEN"):
+            condition = self._parse_expr()
+            self._expect(TokenType.KEYWORD, "THEN")
+            value = self._parse_expr()
+            branches.append((condition, value))
+        if not branches:
+            raise SqlSyntaxError("CASE requires at least one WHEN branch")
+        default = None
+        if self._accept(TokenType.KEYWORD, "ELSE"):
+            default = self._parse_expr()
+        self._expect(TokenType.KEYWORD, "END")
+        return CaseWhen(branches=tuple(branches), default=default)
+
+    def _parse_identifier_expr(self) -> Expr:
+        name = self._advance().value
+        if self._accept(TokenType.PUNCT, "("):
+            if self._accept(TokenType.PUNCT, "*"):
+                self._expect(TokenType.PUNCT, ")")
+                return FuncCall(name=name, star=True)
+            if self._accept(TokenType.PUNCT, ")"):
+                # count() in the paper's Q9.0 means count(*)
+                return FuncCall(name=name, star=True)
+            distinct = self._accept(TokenType.KEYWORD, "DISTINCT") is not None
+            args = [self._parse_expr()]
+            while self._accept(TokenType.PUNCT, ","):
+                args.append(self._parse_expr())
+            self._expect(TokenType.PUNCT, ")")
+            return FuncCall(name=name, args=tuple(args), distinct=distinct)
+        if self._accept(TokenType.PUNCT, "."):
+            column = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(table=name, column=column)
+        return ColumnRef(table=None, column=name)
+
+    # ------------------------------------------------------------------
+    # CREATE TABLE
+    # ------------------------------------------------------------------
+    def _parse_create_table(self) -> CreateTable:
+        self._expect(TokenType.KEYWORD, "CREATE")
+        self._expect(TokenType.KEYWORD, "TABLE")
+        name = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.PUNCT, "(")
+        columns: list[ColumnDef] = []
+        foreign_keys: list[ForeignKeyDef] = []
+        primary_names: list[str] = []
+        while True:
+            if self._accept(TokenType.KEYWORD, "PRIMARY"):
+                self._expect(TokenType.KEYWORD, "KEY")
+                self._expect(TokenType.PUNCT, "(")
+                primary_names.append(self._expect(TokenType.IDENTIFIER).value)
+                while self._accept(TokenType.PUNCT, ","):
+                    primary_names.append(self._expect(TokenType.IDENTIFIER).value)
+                self._expect(TokenType.PUNCT, ")")
+            elif self._accept(TokenType.KEYWORD, "FOREIGN"):
+                self._expect(TokenType.KEYWORD, "KEY")
+                self._expect(TokenType.PUNCT, "(")
+                local = [self._expect(TokenType.IDENTIFIER).value]
+                while self._accept(TokenType.PUNCT, ","):
+                    local.append(self._expect(TokenType.IDENTIFIER).value)
+                self._expect(TokenType.PUNCT, ")")
+                self._expect(TokenType.KEYWORD, "REFERENCES")
+                ref_table = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.PUNCT, "(")
+                remote = [self._expect(TokenType.IDENTIFIER).value]
+                while self._accept(TokenType.PUNCT, ","):
+                    remote.append(self._expect(TokenType.IDENTIFIER).value)
+                self._expect(TokenType.PUNCT, ")")
+                foreign_keys.append(
+                    ForeignKeyDef(tuple(local), ref_table, tuple(remote))
+                )
+            else:
+                col_name = self._expect(TokenType.IDENTIFIER).value
+                type_token = self._advance()
+                if type_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                    raise SqlSyntaxError(
+                        f"expected type name after column {col_name!r}"
+                    )
+                sql_type = SqlType.from_name(type_token.value)
+                is_primary = False
+                if self._accept(TokenType.KEYWORD, "PRIMARY"):
+                    self._expect(TokenType.KEYWORD, "KEY")
+                    is_primary = True
+                columns.append(ColumnDef(col_name, sql_type, is_primary))
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        self._expect(TokenType.PUNCT, ")")
+        if primary_names:
+            columns = [
+                ColumnDef(c.name, c.sql_type, c.primary_key or c.name in primary_names)
+                for c in columns
+            ]
+        return CreateTable(
+            name=name, columns=tuple(columns), foreign_keys=tuple(foreign_keys)
+        )
+
+    # ------------------------------------------------------------------
+    # INSERT
+    # ------------------------------------------------------------------
+    def _parse_insert(self) -> Insert:
+        self._expect(TokenType.KEYWORD, "INSERT")
+        self._expect(TokenType.KEYWORD, "INTO")
+        table = self._expect(TokenType.IDENTIFIER).value
+        columns: list[str] = []
+        if self._accept(TokenType.PUNCT, "("):
+            columns.append(self._expect(TokenType.IDENTIFIER).value)
+            while self._accept(TokenType.PUNCT, ","):
+                columns.append(self._expect(TokenType.IDENTIFIER).value)
+            self._expect(TokenType.PUNCT, ")")
+        self._expect(TokenType.KEYWORD, "VALUES")
+        rows: list[tuple] = []
+        while True:
+            self._expect(TokenType.PUNCT, "(")
+            values = [self._parse_literal_value()]
+            while self._accept(TokenType.PUNCT, ","):
+                values.append(self._parse_literal_value())
+            self._expect(TokenType.PUNCT, ")")
+            rows.append(tuple(values))
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        return Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def _parse_literal_value(self) -> Any:
+        expr = self._parse_expr()
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            inner = expr.operand
+            if isinstance(inner, Literal) and isinstance(inner.value, (int, float)):
+                return -inner.value
+        raise SqlSyntaxError("INSERT values must be literals")
+
+
+def parse_sql(sql: str) -> "Select | CreateTable | Insert":
+    """Parse a single SQL statement.
+
+    >>> stmt = parse_sql("SELECT * FROM parties")
+    >>> stmt.tables[0].name
+    'parties'
+    """
+    return Parser(sql).parse_statement()
+
+
+def parse_select(sql: str) -> Select:
+    """Parse a statement and require it to be a SELECT."""
+    statement = parse_sql(sql)
+    if not isinstance(statement, Select):
+        raise SqlSyntaxError(f"expected a SELECT statement: {sql[:60]!r}")
+    return statement

@@ -1,0 +1,67 @@
+"""Warehouse substrate: schema model, ontologies, graph builder, data."""
+
+from repro.warehouse.browser import SchemaBrowser, TableDescription, TermDescription
+from repro.warehouse.dbpedia import DbpediaEntry
+from repro.warehouse.graphbuilder import (
+    JOIN_EDGES,
+    SCHEMA_EDGES,
+    build_classification_index,
+    build_metadata_graph,
+    column_uri,
+    conceptual_entity_uri,
+    graph_statistics,
+    logical_entity_uri,
+    ontology_term_uri,
+    table_uri,
+)
+from repro.warehouse.minibank import build_definition, build_minibank, populate
+from repro.warehouse.model import (
+    ConceptualEntity,
+    EntityRelationship,
+    Inheritance,
+    JoinRelationship,
+    LogicalEntity,
+    PhysicalColumn,
+    PhysicalTable,
+    WarehouseDefinition,
+    build_database,
+)
+from repro.warehouse.ontology import AggSpec, FilterSpec, Ontology, OntologyTerm
+from repro.warehouse.synthetic import SyntheticConfig, generate_definition
+from repro.warehouse.warehouse import Warehouse
+
+__all__ = [
+    "AggSpec",
+    "ConceptualEntity",
+    "DbpediaEntry",
+    "EntityRelationship",
+    "FilterSpec",
+    "Inheritance",
+    "JOIN_EDGES",
+    "JoinRelationship",
+    "LogicalEntity",
+    "Ontology",
+    "OntologyTerm",
+    "PhysicalColumn",
+    "PhysicalTable",
+    "SCHEMA_EDGES",
+    "SchemaBrowser",
+    "SyntheticConfig",
+    "TableDescription",
+    "TermDescription",
+    "Warehouse",
+    "WarehouseDefinition",
+    "build_classification_index",
+    "build_database",
+    "build_definition",
+    "build_metadata_graph",
+    "build_minibank",
+    "column_uri",
+    "conceptual_entity_uri",
+    "generate_definition",
+    "graph_statistics",
+    "logical_entity_uri",
+    "ontology_term_uri",
+    "populate",
+    "table_uri",
+]

@@ -1,0 +1,161 @@
+"""Deterministic synthetic data generators for the finbank warehouse.
+
+All generators take a seeded :class:`random.Random`, so every build of
+the warehouse is bit-for-bit reproducible.  The pools deliberately avoid
+the sentinel values used by the experiment queries ("Sara", "Guttinger",
+"Credit Suisse", "Gold", "Lehman", "YEN") so that those keywords hit
+exactly the rows the gold standards expect.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Sequence
+
+GIVEN_NAMES = [
+    "Anna", "Beat", "Carla", "Daniel", "Elena", "Felix", "Gina", "Hans",
+    "Iris", "Jonas", "Karin", "Luca", "Maria", "Nico", "Olivia", "Paul",
+    "Regula", "Stefan", "Tanja", "Urs", "Vera", "Walter", "Xenia", "Yves",
+    "Zita", "Marco", "Petra", "Reto", "Silvia", "Thomas",
+]
+
+FAMILY_NAMES = [
+    "Meier", "Mueller", "Schmid", "Keller", "Weber", "Huber", "Schneider",
+    "Steiner", "Fischer", "Gerber", "Brunner", "Baumann", "Frei", "Zimmermann",
+    "Moser", "Widmer", "Graf", "Roth", "Suter", "Kunz", "Wyss", "Lehmann",
+    "Marti", "Berger", "Kaufmann", "Hofer", "Arnold", "Bucher",
+]
+
+ORG_NAMES = [
+    "Alpine Trading AG", "Helvetia Partners", "Limmat Capital", "Uetliberg Fonds",
+    "Sihl Ventures", "Glarus Metals AG", "Bernina Textiles", "Jungfrau Logistics",
+    "Rigi Insurance Group", "Pilatus Engineering", "Matterhorn Foods",
+    "Aare Chemicals", "Ticino Motors", "Basilea Pharma", "Geneva Watchworks",
+    "Lausanne Robotics", "Lugano Shipping", "St Gallen Textil AG",
+    "Winterthur Tools", "Zug Commodities", "Baden Energie", "Chur Holzbau",
+    "Thun Optics", "Biel Precision", "Fribourg Dairy", "Neuchatel Horlogerie",
+    "Schwyz Timber", "Uri Granit AG", "Davos Tourism Group", "Arosa Hotels",
+    "Engadin Rail", "Valposchiavo Wines", "Jura Springs", "Solothurn Steel",
+    "Appenzell Creamery", "Glattbrugg Aviation", "Oerlikon Gears",
+    "Altstetten Media",
+]
+
+CITIES = [
+    "Zurich", "Geneva", "Basel", "Bern", "Lausanne", "Lucerne", "Lugano",
+    "St Gallen", "Winterthur", "Zug", "Chur", "Thun", "Munich", "Frankfurt",
+    "Vienna", "Milan", "Paris", "London", "Tokyo", "Singapore",
+]
+
+COUNTRIES_BY_CITY = {
+    "Zurich": "Switzerland", "Geneva": "Switzerland", "Basel": "Switzerland",
+    "Bern": "Switzerland", "Lausanne": "Switzerland", "Lucerne": "Switzerland",
+    "Lugano": "Switzerland", "St Gallen": "Switzerland",
+    "Winterthur": "Switzerland", "Zug": "Switzerland", "Chur": "Switzerland",
+    "Thun": "Switzerland", "Munich": "Germany", "Frankfurt": "Germany",
+    "Vienna": "Austria", "Milan": "Italy", "Paris": "France",
+    "London": "United Kingdom", "Tokyo": "Japan", "Singapore": "Singapore",
+}
+
+STREETS = [
+    "Bahnhofstrasse", "Seestrasse", "Hauptstrasse", "Dorfstrasse",
+    "Industriestrasse", "Museumstrasse", "Gartenweg", "Lindenhof",
+    "Limmatquai", "Paradeplatz", "Marktgasse", "Schulhausweg",
+]
+
+INSTRUMENT_NAMES = [
+    "Helvetia Equity Basket", "Alpine Bond Ladder", "Limmat Growth Fund",
+    "Rigi Balanced Portfolio", "Pilatus Hedge Certificate", "Aare Income Note",
+    "Matterhorn Momentum Fund", "Jungfrau Dividend Basket",
+    "Sihl Convertible Note", "Uetliberg Index Tracker", "Ticino Credit Note",
+    "Bernina Commodity Basket", "Glarus Real Estate Fund",
+    "Engadin Infrastructure Fund", "Jura Small Cap Fund",
+]
+
+PRODUCT_NAMES = [
+    "Helvetia Capital Note", "Alpine Protected Note", "Limmat Yield Booster",
+    "Rigi Autocallable", "Pilatus Twin Win", "Aare Reverse Convertible",
+    "Matterhorn Tracker", "Jungfrau Outperformance Note",
+    "Sihl Barrier Note", "Uetliberg Bonus Certificate", "Ticino Step Down",
+    "Bernina Capital Guarantee", "Glarus Express Note",
+    "Engadin Income Builder", "Jura Participation Note",
+    "Davos Multi Barrier", "Arosa Lookback Note", "Valposchiavo Digital Note",
+    "Solothurn Range Accrual", "Appenzell Ladder Note",
+]
+
+AGREEMENT_KINDS = [
+    "Custody Agreement", "Loan Agreement", "Framework Agreement",
+    "Service Agreement", "Brokerage Agreement", "Advisory Agreement",
+    "Clearing Agreement", "Settlement Agreement", "Escrow Agreement",
+    "Collateral Agreement",
+]
+
+AGREEMENT_QUALIFIERS = [
+    "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Omega", "Prime",
+    "Select", "Global", "Swiss", "European", "Pacific",
+]
+
+CURRENCIES = [
+    ("CHF", "Swiss Franc"),
+    ("USD", "US Dollar"),
+    ("EUR", "Euro"),
+    ("GBP", "British Pound"),
+    ("YEN", "Japanese Yen"),
+    ("SEK", "Swedish Krona"),
+]
+
+LEGAL_FORMS = ["AG", "GmbH", "SA", "Ltd", "Cooperative"]
+
+ROLES = ["EMPLOYEE", "DIRECTOR", "ADVISOR", "OWNER"]
+
+ORDER_STATUSES = ["EXECUTED", "PENDING", "CANCELLED"]
+
+
+def pick(rng: random.Random, pool: Sequence):
+    """Deterministic random choice."""
+    return pool[rng.randrange(len(pool))]
+
+
+def random_date(
+    rng: random.Random, start: datetime.date, end: datetime.date
+) -> datetime.date:
+    """Uniform date in [start, end]."""
+    span = (end - start).days
+    return start + datetime.timedelta(days=rng.randrange(span + 1))
+
+
+def person_name(rng: random.Random) -> tuple:
+    """A (given, family) pair from the pools (never a sentinel name)."""
+    return pick(rng, GIVEN_NAMES), pick(rng, FAMILY_NAMES)
+
+
+def org_name(rng: random.Random, used: set) -> str:
+    """An organization name not used before (suffix numbers if exhausted)."""
+    base = pick(rng, ORG_NAMES)
+    if base not in used:
+        used.add(base)
+        return base
+    counter = 2
+    while f"{base} {counter}" in used:
+        counter += 1
+    name = f"{base} {counter}"
+    used.add(name)
+    return name
+
+
+def address_row(rng: random.Random, address_id: int) -> tuple:
+    """(id, street, city, country) with Swiss cities over-represented."""
+    city = pick(rng, CITIES)
+    street = f"{pick(rng, STREETS)} {rng.randrange(1, 120)}"
+    return (address_id, street, city, COUNTRIES_BY_CITY[city])
+
+
+def salary(rng: random.Random, wealthy: bool = False) -> float:
+    """Annual salary; wealthy customers exceed the ontology threshold."""
+    if wealthy:
+        return float(rng.randrange(1_000_000, 5_000_000, 10_000))
+    return float(rng.randrange(45_000, 400_000, 1_000))
+
+
+def agreement_name(rng: random.Random) -> str:
+    return f"{pick(rng, AGREEMENT_QUALIFIERS)} {pick(rng, AGREEMENT_KINDS)}"

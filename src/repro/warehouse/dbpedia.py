@@ -1,0 +1,24 @@
+"""DBpedia synonym entries (paper Section 2.2).
+
+Credit Suisse *"only maintains DBpedia entries that have direct
+connections to the terms stored in the integrated schema"* — e.g. for
+"Parties" the extracted entries are *customer, client, political
+organization, ...*.  We model exactly that: a curated list of synonym
+terms, each pointing at the schema/ontology terms it is a synonym of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DbpediaEntry:
+    """One DBpedia synonym: *term* is a synonym of the *synonym_of* targets.
+
+    Targets use the same spec syntax as ontology terms
+    (``conceptual:Parties``, ``ontology:customers``, ...).
+    """
+
+    term: str
+    synonym_of: tuple = ()

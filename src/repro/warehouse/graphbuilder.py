@@ -1,0 +1,326 @@
+"""Build the metadata graph (Fig. 3) from a warehouse definition.
+
+The produced :class:`~repro.graph.triples.TripleStore` contains, layer by
+layer: DBpedia synonyms -> domain ontologies -> conceptual schema ->
+logical schema -> physical schema -> (implicitly, via table/column names)
+the base data.  Edge directions always point from the more abstract to
+the more concrete element, so that SODA's Step 3 traversal — "recursively
+follow all outgoing edges" — moves towards physical tables.
+
+Two families of edges exist:
+
+* *schema edges* (synonym_of, classifies, refines, has_attribute,
+  has_inheritance, inheritance_child/parent) — followed by the Tables
+  pass of Step 3;
+* *join edges* (column, belongs_to, has_join, join_left/right) —
+  additionally followed by the join-discovery pass, which needs to cross
+  from table to table.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WarehouseError
+from repro.graph.node import Text, Vocab, uri
+from repro.graph.triples import TripleStore
+from repro.index.classification import ClassificationIndex, EntrySource
+from repro.warehouse.model import WarehouseDefinition
+
+
+# ---------------------------------------------------------------------------
+# URI helpers — single authoritative spelling for every element kind
+# ---------------------------------------------------------------------------
+
+
+def conceptual_entity_uri(name: str) -> str:
+    return uri("conceptual", "entity", name)
+
+
+def conceptual_attr_uri(entity: str, attr: str) -> str:
+    return uri("conceptual", "attr", entity, attr)
+
+
+def logical_entity_uri(name: str) -> str:
+    return uri("logical", "entity", name)
+
+
+def logical_attr_uri(entity: str, attr: str) -> str:
+    return uri("logical", "attr", entity, attr)
+
+
+def table_uri(name: str) -> str:
+    return uri("physical", "table", name)
+
+
+def column_uri(table: str, column: str) -> str:
+    return uri("physical", "column", table, column)
+
+
+def join_uri(name: str) -> str:
+    return uri("physical", "join", name)
+
+
+def inheritance_uri(layer: str, name: str) -> str:
+    return uri("inh", layer, name)
+
+
+def ontology_term_uri(ontology: str, term: str) -> str:
+    return uri("ontology", ontology, term)
+
+
+def dbpedia_uri(term: str) -> str:
+    return uri("dbpedia", term)
+
+
+#: Edges followed by the Tables pass of Step 3 (schema-level traversal).
+SCHEMA_EDGES = frozenset(
+    {
+        Vocab.SYNONYM_OF,
+        Vocab.CLASSIFIES,
+        Vocab.REFINES,
+        Vocab.HAS_ATTRIBUTE,
+        Vocab.HAS_INHERITANCE,
+        Vocab.INHERITANCE_CHILD,
+        Vocab.INHERITANCE_PARENT,
+    }
+)
+
+#: Additional edges followed by the join-discovery pass of Step 3.
+JOIN_EDGES = frozenset(
+    {
+        Vocab.COLUMN,
+        Vocab.BELONGS_TO,
+        Vocab.HAS_JOIN,
+        Vocab.JOIN_LEFT,
+        Vocab.JOIN_RIGHT,
+    }
+)
+
+
+def resolve_target(definition: WarehouseDefinition, spec: str) -> str:
+    """Resolve a ``layer:name`` target spec to its graph URI."""
+    if ":" not in spec:
+        raise WarehouseError(f"malformed target spec: {spec!r}")
+    layer, name = spec.split(":", 1)
+    if layer == "conceptual":
+        return conceptual_entity_uri(name)
+    if layer == "logical":
+        return logical_entity_uri(name)
+    if layer == "physical":
+        return table_uri(name)
+    if layer == "column":
+        table_name, __, column_name = name.partition(".")
+        return column_uri(table_name, column_name)
+    if layer == "ontology":
+        for ontology in definition.ontologies:
+            for term in ontology.terms:
+                if term.term == name:
+                    return ontology_term_uri(ontology.name, name)
+        raise WarehouseError(f"unknown ontology term: {name!r}")
+    raise WarehouseError(f"unknown target layer: {layer!r}")
+
+
+def _default_label(name: str) -> str:
+    """Human-readable label from an element name (underscores -> spaces)."""
+    return name.replace("_", " ").strip().lower()
+
+
+def build_metadata_graph(definition: WarehouseDefinition) -> TripleStore:
+    """Emit the full metadata graph for *definition*."""
+    definition.validate()
+    store = TripleStore()
+
+    # -- conceptual layer ------------------------------------------------
+    for entity in definition.conceptual_entities:
+        node = conceptual_entity_uri(entity.name)
+        store.add(node, Vocab.TYPE, Vocab.CONCEPTUAL_ENTITY)
+        store.add(node, Vocab.LABEL, Text(entity.label or _default_label(entity.name)))
+        for attr in entity.attributes:
+            attr_node = conceptual_attr_uri(entity.name, attr)
+            store.add(attr_node, Vocab.TYPE, Vocab.CONCEPTUAL_ATTRIBUTE)
+            store.add(attr_node, Vocab.LABEL, Text(_default_label(attr)))
+            store.add(node, Vocab.HAS_ATTRIBUTE, attr_node)
+
+    # -- logical layer -----------------------------------------------------
+    for entity in definition.logical_entities:
+        node = logical_entity_uri(entity.name)
+        store.add(node, Vocab.TYPE, Vocab.LOGICAL_ENTITY)
+        store.add(node, Vocab.LABEL, Text(entity.label or _default_label(entity.name)))
+        for attr in entity.attributes:
+            attr_node = logical_attr_uri(entity.name, attr)
+            store.add(attr_node, Vocab.TYPE, Vocab.LOGICAL_ATTRIBUTE)
+            store.add(attr_node, Vocab.LABEL, Text(_default_label(attr)))
+            store.add(node, Vocab.HAS_ATTRIBUTE, attr_node)
+        if entity.refines is not None:
+            conceptual = definition.conceptual_entity(entity.refines)
+            store.add(conceptual_entity_uri(conceptual.name), Vocab.REFINES, node)
+            shared = set(conceptual.attributes) & set(entity.attributes)
+            for attr in shared:
+                store.add(
+                    conceptual_attr_uri(conceptual.name, attr),
+                    Vocab.REFINES,
+                    logical_attr_uri(entity.name, attr),
+                )
+
+    # -- physical layer ----------------------------------------------------
+    for table in definition.physical_tables:
+        node = table_uri(table.name)
+        store.add(node, Vocab.TYPE, Vocab.PHYSICAL_TABLE)
+        store.add(node, Vocab.TABLENAME, Text(table.name))
+        store.add(node, Vocab.LABEL, Text(table.label or _default_label(table.name)))
+        if table.refines is not None:
+            store.add(logical_entity_uri(table.refines), Vocab.REFINES, node)
+        for column in table.columns:
+            col_node = column_uri(table.name, column.name)
+            store.add(col_node, Vocab.TYPE, Vocab.PHYSICAL_COLUMN)
+            store.add(col_node, Vocab.COLUMNNAME, Text(column.name))
+            store.add(node, Vocab.COLUMN, col_node)
+            store.add(col_node, Vocab.BELONGS_TO, node)
+            if column.label is not None:
+                store.add(col_node, Vocab.LABEL, Text(column.label))
+            if column.refines is not None:
+                logical_entity, attr = column.refines
+                store.add(
+                    logical_attr_uri(logical_entity, attr), Vocab.REFINES, col_node
+                )
+
+    # -- join relationships (annotated only!) -------------------------------
+    for join in definition.join_relationships:
+        if not join.annotated:
+            continue  # the paper's historization gap: key missing from graph
+        node = join_uri(join.name)
+        left = column_uri(join.left_table, join.left_column)
+        right = column_uri(join.right_table, join.right_column)
+        store.add(node, Vocab.TYPE, Vocab.JOIN_NODE)
+        store.add(node, Vocab.JOIN_LEFT, left)
+        store.add(node, Vocab.JOIN_RIGHT, right)
+        store.add(left, Vocab.HAS_JOIN, node)
+        store.add(right, Vocab.HAS_JOIN, node)
+        if join.ignored:
+            store.add(node, Vocab.IGNORED, Text("true"))
+
+    # -- inheritance structures ---------------------------------------------
+    for inheritance in definition.inheritances:
+        node = inheritance_uri(inheritance.layer, inheritance.name)
+        if inheritance.layer == "physical":
+            parent = table_uri(inheritance.parent)
+            children = [table_uri(child) for child in inheritance.children]
+        else:
+            parent = logical_entity_uri(inheritance.parent)
+            children = [
+                logical_entity_uri(child) for child in inheritance.children
+            ]
+        store.add(node, Vocab.TYPE, Vocab.INHERITANCE_NODE)
+        store.add(node, Vocab.INHERITANCE_PARENT, parent)
+        store.add(parent, Vocab.HAS_INHERITANCE, node)
+        for child in children:
+            store.add(node, Vocab.INHERITANCE_CHILD, child)
+
+    # -- domain ontologies -------------------------------------------------
+    for ontology in definition.ontologies:
+        for term in ontology.terms:
+            node = ontology_term_uri(ontology.name, term.term)
+            store.add(node, Vocab.TYPE, Vocab.ONTOLOGY_TERM)
+            store.add(node, Vocab.LABEL, Text(term.term))
+            for target in term.classifies:
+                store.add(node, Vocab.CLASSIFIES, resolve_target(definition, target))
+            if term.filter is not None:
+                store.add(node, Vocab.TYPE, Vocab.BUSINESS_TERM)
+                store.add(
+                    node,
+                    Vocab.FILTER_COLUMN,
+                    column_uri(term.filter.table, term.filter.column),
+                )
+                store.add(node, Vocab.FILTER_OP, Text(term.filter.op))
+                store.add(node, Vocab.FILTER_VALUE, Text(str(term.filter.value)))
+            if term.aggregation is not None:
+                store.add(node, Vocab.TYPE, Vocab.BUSINESS_TERM)
+                store.add(node, Vocab.AGG_FUNC, Text(term.aggregation.func))
+                store.add(
+                    node,
+                    Vocab.AGG_COLUMN,
+                    column_uri(term.aggregation.table, term.aggregation.column),
+                )
+
+    # -- DBpedia -------------------------------------------------------------
+    for entry in definition.dbpedia:
+        node = dbpedia_uri(entry.term)
+        store.add(node, Vocab.TYPE, Vocab.DBPEDIA_TERM)
+        store.add(node, Vocab.LABEL, Text(entry.term))
+        for target in entry.synonym_of:
+            store.add(node, Vocab.SYNONYM_OF, resolve_target(definition, target))
+
+    return store
+
+
+_SOURCE_BY_TYPE = {
+    Vocab.ONTOLOGY_TERM: EntrySource.DOMAIN_ONTOLOGY,
+    Vocab.BUSINESS_TERM: EntrySource.DOMAIN_ONTOLOGY,
+    Vocab.CONCEPTUAL_ENTITY: EntrySource.CONCEPTUAL_SCHEMA,
+    Vocab.CONCEPTUAL_ATTRIBUTE: EntrySource.CONCEPTUAL_SCHEMA,
+    Vocab.LOGICAL_ENTITY: EntrySource.LOGICAL_SCHEMA,
+    Vocab.LOGICAL_ATTRIBUTE: EntrySource.LOGICAL_SCHEMA,
+    Vocab.PHYSICAL_TABLE: EntrySource.PHYSICAL_SCHEMA,
+    Vocab.PHYSICAL_COLUMN: EntrySource.PHYSICAL_SCHEMA,
+    Vocab.DBPEDIA_TERM: EntrySource.DBPEDIA,
+}
+
+
+def build_classification_index(
+    store: TripleStore,
+    include_dbpedia: bool = True,
+    include_physical: bool = False,
+) -> ClassificationIndex:
+    """Register every labelled metadata node in a classification index.
+
+    *include_dbpedia=False* drops the DBpedia layer — the ablation the
+    paper proposes as future work ("the use of DBpedia will naturally
+    increase the number of possible query results").
+
+    *include_physical* is off by default: physical names are cryptic at
+    Credit Suisse ("birth date" is ``birth_dt``), so business keywords
+    match the conceptual/logical/ontology layers and patterns map them
+    down — the paper's Fig. 5 finds "financial instruments" exactly
+    twice (conceptual + logical), never in the physical layer.
+    """
+    index = ClassificationIndex()
+    for triple in store.match(predicate=Vocab.LABEL):
+        label = triple.obj
+        if not isinstance(label, Text):
+            continue
+        node = triple.subject
+        source = None
+        for type_node in store.objects(node, Vocab.TYPE):
+            if isinstance(type_node, str) and type_node in _SOURCE_BY_TYPE:
+                candidate = _SOURCE_BY_TYPE[type_node]
+                if source is None or candidate is EntrySource.DOMAIN_ONTOLOGY:
+                    source = candidate
+        if source is None:
+            continue
+        if source is EntrySource.DBPEDIA and not include_dbpedia:
+            continue
+        if source is EntrySource.PHYSICAL_SCHEMA and not include_physical:
+            continue
+        index.add_term(label.value, node, source)
+    return index
+
+
+def graph_statistics(store: TripleStore) -> dict:
+    """Node counts by metadata type (for Table 1 and Fig. 3 benches)."""
+
+    def count(type_uri: str) -> int:
+        return len(store.subjects(Vocab.TYPE, type_uri))
+
+    return {
+        "conceptual_entities": count(Vocab.CONCEPTUAL_ENTITY),
+        "conceptual_attributes": count(Vocab.CONCEPTUAL_ATTRIBUTE),
+        "logical_entities": count(Vocab.LOGICAL_ENTITY),
+        "logical_attributes": count(Vocab.LOGICAL_ATTRIBUTE),
+        "physical_tables": count(Vocab.PHYSICAL_TABLE),
+        "physical_columns": count(Vocab.PHYSICAL_COLUMN),
+        "join_nodes": count(Vocab.JOIN_NODE),
+        "inheritance_nodes": count(Vocab.INHERITANCE_NODE),
+        "ontology_terms": count(Vocab.ONTOLOGY_TERM),
+        "business_terms": count(Vocab.BUSINESS_TERM),
+        "dbpedia_terms": count(Vocab.DBPEDIA_TERM),
+        "triples": len(store),
+    }

@@ -1,0 +1,897 @@
+"""The *finbank* warehouse: the paper's running example, fully populated.
+
+This is the mini-bank of Section 2 (Figs. 1, 2 and 10) extended just
+enough to support all thirteen experiment queries of Table 2:
+
+* three schema layers with refinement edges and cryptic physical names
+  (``birth_dt``, ``agreements_td`` — the paper: physical names "never
+  correspond" to the documented ones),
+* mutually exclusive inheritance (parties / transactions / orders),
+* bridge tables, including the ``associate_employment`` bridge *between
+  inheritance siblings* of Fig. 10,
+* a bi-temporal name-history table whose join key is **not annotated**
+  in the metadata graph (the paper's explanation for Q2.x low recall),
+* a customer domain ontology (with the "wealthy customers" metadata
+  filter), a names ontology, metadata-defined aggregations ("trading
+  volume", "investments") and a curated DBpedia synonym set.
+
+Data is deterministic for a given seed; sentinel rows (Sara Guttinger,
+Credit Suisse, the Gold Purchase Agreement, Lehman XYZ, YEN trades)
+anchor the experiment queries.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.sqlengine.database import Database
+from repro.warehouse import datagen
+from repro.warehouse.dbpedia import DbpediaEntry
+from repro.warehouse.model import (
+    ConceptualEntity,
+    EntityRelationship,
+    Inheritance,
+    JoinRelationship,
+    LogicalEntity,
+    PhysicalColumn,
+    PhysicalTable,
+    WarehouseDefinition,
+)
+from repro.warehouse.ontology import AggSpec, FilterSpec, Ontology, OntologyTerm
+from repro.warehouse.warehouse import Warehouse
+
+
+def _col(name, sql_type, refines=None, pk=False):
+    return PhysicalColumn(
+        name=name, sql_type=sql_type, refines=refines, primary_key=pk
+    )
+
+
+def build_definition() -> WarehouseDefinition:
+    """The full metadata definition of the finbank warehouse."""
+    conceptual = [
+        ConceptualEntity("Parties", attributes=("party type",)),
+        ConceptualEntity(
+            "Individuals",
+            attributes=("given name", "family name", "birth date", "salary"),
+        ),
+        ConceptualEntity(
+            "Organizations", attributes=("company name", "legal form")
+        ),
+        ConceptualEntity("Addresses", attributes=("street", "city", "country")),
+        ConceptualEntity(
+            "Transactions", attributes=("transaction date", "amount")
+        ),
+        ConceptualEntity(
+            "FinancialInstruments",
+            attributes=("instrument name", "instrument type"),
+            label="financial instruments",
+        ),
+        ConceptualEntity("Orders", attributes=("period", "status")),
+        ConceptualEntity(
+            "Agreements", attributes=("agreement name", "signing date")
+        ),
+        ConceptualEntity(
+            "InvestmentProducts",
+            attributes=("product name",),
+            label="investment products",
+        ),
+        ConceptualEntity(
+            "Investments", attributes=("amount", "currency", "investment date")
+        ),
+        ConceptualEntity("Currencies", attributes=("currency", "currency name")),
+    ]
+
+    logical = [
+        LogicalEntity("Parties", attributes=("party type",), refines="Parties"),
+        LogicalEntity(
+            "Individuals",
+            attributes=("given name", "family name", "birth date", "salary"),
+            refines="Individuals",
+        ),
+        LogicalEntity(
+            "Organizations",
+            attributes=("company name", "legal form"),
+            refines="Organizations",
+        ),
+        LogicalEntity(
+            "IndividualNames",
+            attributes=("given name", "family name", "valid from", "valid to"),
+            label="individual names",
+        ),
+        LogicalEntity(
+            "OrganizationNames",
+            attributes=("company name", "valid from", "valid to"),
+            label="organization names",
+        ),
+        LogicalEntity("Addresses", attributes=("street", "city", "country"),
+                      refines="Addresses"),
+        LogicalEntity(
+            "Transactions", attributes=("transaction date",),
+            refines="Transactions",
+        ),
+        LogicalEntity(
+            "FinancialInstrumentTransactions",
+            attributes=("amount", "transaction date"),
+            refines="Transactions",
+            label="financial instrument transactions",
+        ),
+        LogicalEntity(
+            "MoneyTransactions",
+            attributes=("amount", "currency"),
+            refines="Transactions",
+            label="money transactions",
+        ),
+        LogicalEntity(
+            "FinancialInstruments",
+            attributes=("instrument name", "instrument type"),
+            refines="FinancialInstruments",
+            label="financial instruments",
+        ),
+        LogicalEntity(
+            "Securities", attributes=("isin",), refines="FinancialInstruments"
+        ),
+        LogicalEntity("Orders", attributes=("period", "status"), refines="Orders"),
+        LogicalEntity(
+            "TradeOrders",
+            attributes=("quantity", "currency"),
+            label="trade orders",
+        ),
+        LogicalEntity(
+            "PaymentOrders",
+            attributes=("amount", "currency"),
+            label="payment orders",
+        ),
+        LogicalEntity(
+            "Agreements",
+            attributes=("agreement name", "signing date"),
+            refines="Agreements",
+        ),
+        LogicalEntity(
+            "InvestmentProducts",
+            attributes=("product name",),
+            refines="InvestmentProducts",
+            label="investment products",
+        ),
+        LogicalEntity(
+            "Investments",
+            attributes=("amount", "currency", "investment date"),
+            refines="Investments",
+        ),
+        LogicalEntity(
+            "Currencies",
+            attributes=("currency", "currency name"),
+            refines="Currencies",
+        ),
+        LogicalEntity(
+            "AssociateEmployment",
+            attributes=("role",),
+            label="associate employment",
+        ),
+    ]
+
+    tables = [
+        PhysicalTable(
+            "parties",
+            refines="Parties",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("party_type_cd", "TEXT", refines=("Parties", "party type")),
+                _col("created_dt", "DATE"),
+            ),
+        ),
+        PhysicalTable(
+            "individuals",
+            refines="Individuals",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("given_nm", "TEXT", refines=("Individuals", "given name")),
+                _col("family_nm", "TEXT", refines=("Individuals", "family name")),
+                _col("birth_dt", "DATE", refines=("Individuals", "birth date")),
+                _col("salary", "REAL", refines=("Individuals", "salary")),
+                _col("domicile_adr_id", "INT"),
+            ),
+        ),
+        PhysicalTable(
+            "organizations",
+            refines="Organizations",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("org_nm", "TEXT", refines=("Organizations", "company name")),
+                _col(
+                    "legal_form_cd", "TEXT",
+                    refines=("Organizations", "legal form"),
+                ),
+                _col("domicile_adr_id", "INT"),
+            ),
+        ),
+        PhysicalTable(
+            "individual_name_hist",
+            refines="IndividualNames",
+            columns=(
+                _col("hist_id", "INT", pk=True),
+                _col("indiv_id", "INT"),
+                _col("given_nm", "TEXT", refines=("IndividualNames", "given name")),
+                _col(
+                    "family_nm", "TEXT", refines=("IndividualNames", "family name")
+                ),
+                _col("valid_from_dt", "DATE",
+                     refines=("IndividualNames", "valid from")),
+                _col("valid_to_dt", "DATE", refines=("IndividualNames", "valid to")),
+            ),
+        ),
+        PhysicalTable(
+            "organization_name_hist",
+            refines="OrganizationNames",
+            columns=(
+                _col("hist_id", "INT", pk=True),
+                _col("org_id", "INT"),
+                _col(
+                    "org_nm", "TEXT", refines=("OrganizationNames", "company name")
+                ),
+                _col("valid_from_dt", "DATE",
+                     refines=("OrganizationNames", "valid from")),
+                _col("valid_to_dt", "DATE",
+                     refines=("OrganizationNames", "valid to")),
+            ),
+        ),
+        PhysicalTable(
+            "associate_employment",
+            refines="AssociateEmployment",
+            columns=(
+                _col("indiv_id", "INT"),
+                _col("org_id", "INT"),
+                _col("role_cd", "TEXT", refines=("AssociateEmployment", "role")),
+            ),
+        ),
+        PhysicalTable(
+            "addresses",
+            refines="Addresses",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("street", "TEXT", refines=("Addresses", "street")),
+                _col("city", "TEXT", refines=("Addresses", "city")),
+                _col("country", "TEXT", refines=("Addresses", "country")),
+            ),
+        ),
+        PhysicalTable(
+            "party_address",
+            columns=(
+                _col("party_id", "INT"),
+                _col("adr_id", "INT"),
+                _col("adr_type_cd", "TEXT"),
+            ),
+        ),
+        PhysicalTable(
+            "transactions",
+            refines="Transactions",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("from_party_id", "INT"),
+                _col("to_party_id", "INT"),
+                _col("trx_dt", "DATE", refines=("Transactions", "transaction date")),
+            ),
+        ),
+        PhysicalTable(
+            "fi_transactions",
+            refines="FinancialInstrumentTransactions",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("instr_id", "INT"),
+                _col(
+                    "amount", "REAL",
+                    refines=("FinancialInstrumentTransactions", "amount"),
+                ),
+                _col(
+                    "transactiondate", "DATE",
+                    refines=("FinancialInstrumentTransactions", "transaction date"),
+                ),
+            ),
+        ),
+        PhysicalTable(
+            "money_transactions",
+            refines="MoneyTransactions",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("currency_cd", "TEXT",
+                     refines=("MoneyTransactions", "currency")),
+                _col("amount", "REAL", refines=("MoneyTransactions", "amount")),
+            ),
+        ),
+        PhysicalTable(
+            "financial_instruments",
+            refines="FinancialInstruments",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col(
+                    "instr_nm", "TEXT",
+                    refines=("FinancialInstruments", "instrument name"),
+                ),
+                _col(
+                    "instr_type_cd", "TEXT",
+                    refines=("FinancialInstruments", "instrument type"),
+                ),
+            ),
+        ),
+        PhysicalTable(
+            "securities",
+            refines="Securities",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("isin", "TEXT", refines=("Securities", "isin")),
+                _col("issuer_org_id", "INT"),
+            ),
+        ),
+        PhysicalTable(
+            "fi_contains_sec",
+            columns=(
+                _col("fi_id", "INT"),
+                _col("sec_id", "INT"),
+            ),
+        ),
+        PhysicalTable(
+            "orders_td",
+            refines="Orders",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("party_id", "INT"),
+                _col("order_period_dt", "DATE", refines=("Orders", "period")),
+                _col("status_cd", "TEXT", refines=("Orders", "status")),
+            ),
+        ),
+        PhysicalTable(
+            "trade_orders",
+            refines="TradeOrders",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("instr_id", "INT"),
+                _col("currency_cd", "TEXT", refines=("TradeOrders", "currency")),
+                _col("quantity", "INT", refines=("TradeOrders", "quantity")),
+            ),
+        ),
+        PhysicalTable(
+            "payment_orders",
+            refines="PaymentOrders",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("currency_cd", "TEXT", refines=("PaymentOrders", "currency")),
+                _col("amount", "REAL", refines=("PaymentOrders", "amount")),
+            ),
+        ),
+        PhysicalTable(
+            "currencies",
+            refines="Currencies",
+            columns=(
+                _col("currency_cd", "TEXT", refines=("Currencies", "currency"),
+                     pk=True),
+                _col("currency_nm", "TEXT",
+                     refines=("Currencies", "currency name")),
+            ),
+        ),
+        PhysicalTable(
+            "agreements_td",
+            refines="Agreements",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("party_id", "INT"),
+                _col(
+                    "agreement_nm", "TEXT",
+                    refines=("Agreements", "agreement name"),
+                ),
+                _col("signed_dt", "DATE", refines=("Agreements", "signing date")),
+            ),
+        ),
+        PhysicalTable(
+            "investment_products",
+            refines="InvestmentProducts",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col(
+                    "product_nm", "TEXT",
+                    refines=("InvestmentProducts", "product name"),
+                ),
+                _col("issuer_org_id", "INT"),
+            ),
+        ),
+        PhysicalTable(
+            "investments_td",
+            refines="Investments",
+            columns=(
+                _col("id", "INT", pk=True),
+                _col("party_id", "INT"),
+                _col("currency_cd", "TEXT", refines=("Investments", "currency")),
+                _col("amount", "REAL", refines=("Investments", "amount")),
+                _col("invest_dt", "DATE", refines=("Investments",
+                                                   "investment date")),
+            ),
+        ),
+    ]
+
+    joins = [
+        JoinRelationship("j_individuals_parties", "individuals", "id",
+                         "parties", "id", kind="inheritance"),
+        JoinRelationship("j_organizations_parties", "organizations", "id",
+                         "parties", "id", kind="inheritance"),
+        # the paper's bi-temporal historization gap: this key exists in the
+        # database but is NOT annotated in the schema graph
+        JoinRelationship("j_indiv_name_hist", "individual_name_hist", "indiv_id",
+                         "individuals", "id", annotated=False),
+        JoinRelationship("j_org_name_hist", "organization_name_hist", "org_id",
+                         "organizations", "id"),
+        JoinRelationship("j_assoc_indiv", "associate_employment", "indiv_id",
+                         "individuals", "id", kind="bridge"),
+        JoinRelationship("j_assoc_org", "associate_employment", "org_id",
+                         "organizations", "id", kind="bridge"),
+        JoinRelationship("j_indiv_domicile", "individuals", "domicile_adr_id",
+                         "addresses", "id"),
+        JoinRelationship("j_org_domicile", "organizations", "domicile_adr_id",
+                         "addresses", "id"),
+        JoinRelationship("j_party_address_party", "party_address", "party_id",
+                         "parties", "id", kind="bridge"),
+        JoinRelationship("j_party_address_adr", "party_address", "adr_id",
+                         "addresses", "id", kind="bridge"),
+        JoinRelationship("j_trx_from_party", "transactions", "from_party_id",
+                         "parties", "id"),
+        JoinRelationship("j_trx_to_party", "transactions", "to_party_id",
+                         "parties", "id"),
+        JoinRelationship("j_fi_trx_trx", "fi_transactions", "id",
+                         "transactions", "id", kind="inheritance"),
+        JoinRelationship("j_money_trx_trx", "money_transactions", "id",
+                         "transactions", "id", kind="inheritance"),
+        JoinRelationship("j_fi_trx_instr", "fi_transactions", "instr_id",
+                         "financial_instruments", "id"),
+        JoinRelationship("j_money_trx_ccy", "money_transactions", "currency_cd",
+                         "currencies", "currency_cd"),
+        JoinRelationship("j_fics_fi", "fi_contains_sec", "fi_id",
+                         "financial_instruments", "id", kind="bridge"),
+        JoinRelationship("j_fics_sec", "fi_contains_sec", "sec_id",
+                         "securities", "id", kind="bridge"),
+        JoinRelationship("j_sec_issuer", "securities", "issuer_org_id",
+                         "organizations", "id"),
+        JoinRelationship("j_orders_party", "orders_td", "party_id",
+                         "parties", "id"),
+        JoinRelationship("j_trade_orders_orders", "trade_orders", "id",
+                         "orders_td", "id", kind="inheritance"),
+        JoinRelationship("j_payment_orders_orders", "payment_orders", "id",
+                         "orders_td", "id", kind="inheritance"),
+        JoinRelationship("j_trade_orders_instr", "trade_orders", "instr_id",
+                         "investment_products", "id"),
+        JoinRelationship("j_trade_orders_ccy", "trade_orders", "currency_cd",
+                         "currencies", "currency_cd"),
+        JoinRelationship("j_payment_orders_ccy", "payment_orders", "currency_cd",
+                         "currencies", "currency_cd"),
+        JoinRelationship("j_agreements_party", "agreements_td", "party_id",
+                         "parties", "id"),
+        JoinRelationship("j_inv_party", "investments_td", "party_id",
+                         "parties", "id"),
+        JoinRelationship("j_inv_ccy", "investments_td", "currency_cd",
+                         "currencies", "currency_cd"),
+        JoinRelationship("j_invprod_issuer", "investment_products",
+                         "issuer_org_id", "organizations", "id"),
+    ]
+
+    inheritances = [
+        Inheritance("inh_parties", "parties",
+                    ("individuals", "organizations"), layer="physical"),
+        Inheritance("inh_transactions", "transactions",
+                    ("fi_transactions", "money_transactions"), layer="physical"),
+        Inheritance("inh_orders", "orders_td",
+                    ("trade_orders", "payment_orders"), layer="physical"),
+        Inheritance("inh_l_parties", "Parties",
+                    ("Individuals", "Organizations"), layer="logical"),
+        Inheritance("inh_l_transactions", "Transactions",
+                    ("FinancialInstrumentTransactions", "MoneyTransactions"),
+                    layer="logical"),
+        Inheritance("inh_l_orders", "Orders",
+                    ("TradeOrders", "PaymentOrders"), layer="logical"),
+    ]
+
+    ontologies = [
+        Ontology(
+            name="customer_ontology",
+            terms=(
+                OntologyTerm("customers", classifies=("conceptual:Parties",)),
+                OntologyTerm(
+                    "private customers", classifies=("logical:Individuals",)
+                ),
+                OntologyTerm(
+                    "corporate customers", classifies=("logical:Organizations",)
+                ),
+                OntologyTerm(
+                    "wealthy customers",
+                    classifies=("logical:Individuals",),
+                    filter=FilterSpec("individuals", "salary", ">=", 1_000_000),
+                ),
+            ),
+        ),
+        Ontology(
+            name="names_ontology",
+            terms=(
+                OntologyTerm(
+                    "names",
+                    classifies=(
+                        "column:individuals.family_nm",
+                        "column:organization_name_hist.org_nm",
+                    ),
+                ),
+            ),
+        ),
+        Ontology(
+            name="product_ontology",
+            terms=(
+                OntologyTerm(
+                    "trading volume",
+                    classifies=("column:fi_transactions.amount",),
+                    aggregation=AggSpec("sum", "fi_transactions", "amount"),
+                ),
+                OntologyTerm(
+                    "investments",
+                    classifies=("column:investments_td.amount",),
+                    aggregation=AggSpec("sum", "investments_td", "amount"),
+                ),
+            ),
+        ),
+    ]
+
+    dbpedia = [
+        DbpediaEntry("client", synonym_of=("ontology:customers",)),
+        DbpediaEntry("political organization",
+                     synonym_of=("logical:Organizations",)),
+        DbpediaEntry("company", synonym_of=("logical:Organizations",)),
+        DbpediaEntry("firm", synonym_of=("logical:Organizations",)),
+        DbpediaEntry("stock", synonym_of=("logical:Securities",)),
+        DbpediaEntry("share", synonym_of=("logical:Securities",)),
+        DbpediaEntry("payment", synonym_of=("logical:PaymentOrders",)),
+        DbpediaEntry("birthday", synonym_of=("column:individuals.birth_dt",)),
+        DbpediaEntry("wage", synonym_of=("column:individuals.salary",)),
+        DbpediaEntry("revenue", synonym_of=("ontology:trading volume",)),
+    ]
+
+    conceptual_relationships = [
+        EntityRelationship("r_parties_transactions", "conceptual", "Parties",
+                           "Transactions", kind="nn"),
+        EntityRelationship("r_transactions_fi", "conceptual", "Transactions",
+                           "FinancialInstruments", kind="n1"),
+        EntityRelationship("r_fi_fi", "conceptual", "FinancialInstruments",
+                           "FinancialInstruments", kind="nn"),
+        EntityRelationship("r_parties_agreements", "conceptual", "Parties",
+                           "Agreements", kind="n1"),
+        EntityRelationship("r_parties_orders", "conceptual", "Parties",
+                           "Orders", kind="n1"),
+        EntityRelationship("r_parties_investments", "conceptual", "Parties",
+                           "Investments", kind="n1"),
+    ]
+    logical_relationships = [
+        EntityRelationship("r_l_indiv_addresses", "logical", "Individuals",
+                           "Addresses", kind="n1"),
+        EntityRelationship("r_l_parties_addresses", "logical", "Parties",
+                           "Addresses", kind="nn"),
+        EntityRelationship("r_l_fi_securities", "logical",
+                           "FinancialInstruments", "Securities", kind="nn"),
+        EntityRelationship("r_l_assoc", "logical", "Individuals",
+                           "Organizations", kind="nn"),
+        EntityRelationship("r_l_orders_products", "logical", "TradeOrders",
+                           "InvestmentProducts", kind="n1"),
+        EntityRelationship("r_l_inv_ccy", "logical", "Investments",
+                           "Currencies", kind="n1"),
+    ]
+
+    definition = WarehouseDefinition(
+        name="finbank",
+        conceptual_entities=conceptual,
+        conceptual_relationships=conceptual_relationships,
+        logical_entities=logical,
+        logical_relationships=logical_relationships,
+        physical_tables=tables,
+        join_relationships=joins,
+        inheritances=inheritances,
+        ontologies=ontologies,
+        dbpedia=dbpedia,
+    )
+    definition.validate()
+    return definition
+
+
+# ---------------------------------------------------------------------------
+# data population
+# ---------------------------------------------------------------------------
+
+#: Fixed ids of the sentinel rows used by the experiment queries.
+SARA_ID = 1
+CREDIT_SUISSE_ORG_ID = 1001
+SARA_CONSULTING_ORG_ID = 1002
+GOLD_AGREEMENT_ID = 30001
+LEHMAN_PRODUCT_ID = 40001
+
+
+def populate(
+    database: Database,
+    seed: int = 42,
+    scale: float = 1.0,
+) -> None:
+    """Load deterministic synthetic data into the finbank tables."""
+    rng = random.Random(seed)
+    n_individuals = max(20, int(120 * scale))
+    n_orgs = max(8, int(40 * scale))
+    n_addresses = max(20, int(150 * scale))
+    n_transactions = max(60, int(600 * scale))
+    n_orders = max(40, int(300 * scale))
+    n_agreements = max(12, int(60 * scale))
+    n_investments = max(30, int(200 * scale))
+    n_instruments = max(15, int(60 * scale))
+    n_securities = max(8, int(35 * scale))
+    n_products = max(8, int(20 * scale))
+
+    individual_ids = list(range(1, n_individuals + 1))
+    org_ids = list(range(1001, 1001 + n_orgs))
+    address_ids = list(range(1, n_addresses + 1))
+
+    # -- addresses --------------------------------------------------------
+    addresses = []
+    for address_id in address_ids:
+        addresses.append(datagen.address_row(rng, address_id))
+    # address 1 is pinned: Sara lives in Zurich, Switzerland
+    addresses[0] = (1, "Bahnhofstrasse 21", "Zurich", "Switzerland")
+    database.insert_rows("addresses", addresses)
+
+    # -- parties / individuals / organizations -----------------------------
+    party_rows = []
+    individual_rows = []
+    hist_rows = []
+    hist_id = 1
+    wealthy = set(rng.sample(individual_ids, max(2, n_individuals // 15)))
+    for indiv_id in individual_ids:
+        given, family = datagen.person_name(rng)
+        birth = datagen.random_date(
+            rng, datetime.date(1950, 1, 1), datetime.date(1995, 12, 31)
+        )
+        pay = datagen.salary(rng, wealthy=indiv_id in wealthy)
+        domicile = (
+            datagen.pick(rng, address_ids) if rng.random() < 0.4 else None
+        )
+        if indiv_id == SARA_ID:
+            given, family = "Sara", "Guttinger"
+            birth = datetime.date(1981, 4, 23)
+            pay = 120_000.0
+            domicile = 1
+        individual_rows.append((indiv_id, given, family, birth, pay, domicile))
+        party_rows.append(
+            (indiv_id, "I",
+             datagen.random_date(rng, datetime.date(1990, 1, 1),
+                                 datetime.date(2011, 12, 31)))
+        )
+        # current name row
+        hist_rows.append(
+            (hist_id, indiv_id, given, family,
+             birth + datetime.timedelta(days=365 * 18), None)
+        )
+        hist_id += 1
+        # individuals 2..5 carried the given name "Sara" in the past:
+        # the gold standard finds five Saras, the snapshot only one
+        if indiv_id in (2, 3, 4, 5):
+            hist_rows.append(
+                (hist_id, indiv_id, "Sara", family,
+                 birth + datetime.timedelta(days=365 * 18),
+                 datetime.date(2005, 6, 30))
+            )
+            hist_id += 1
+        elif rng.random() < 0.3:
+            __, old_family = datagen.person_name(rng)
+            hist_rows.append(
+                (hist_id, indiv_id, given, old_family,
+                 birth + datetime.timedelta(days=365 * 18),
+                 datetime.date(2008, 1, 1))
+            )
+            hist_id += 1
+
+    used_org_names: set = set()
+    org_rows = []
+    org_hist_rows = []
+    org_hist_id = 1
+    for org_id in org_ids:
+        name = datagen.org_name(rng, used_org_names)
+        if org_id == CREDIT_SUISSE_ORG_ID:
+            name = "Credit Suisse"
+        elif org_id == SARA_CONSULTING_ORG_ID:
+            name = "Sara Consulting GmbH"
+        legal_form = datagen.pick(rng, datagen.LEGAL_FORMS)
+        domicile = (
+            datagen.pick(rng, address_ids) if rng.random() < 0.9 else None
+        )
+        org_rows.append((org_id, name, legal_form, domicile))
+        party_rows.append(
+            (org_id, "O",
+             datagen.random_date(rng, datetime.date(1990, 1, 1),
+                                 datetime.date(2011, 12, 31)))
+        )
+        # name history: one current row plus two historical names
+        org_hist_rows.append(
+            (org_hist_id, org_id, name, datetime.date(2009, 1, 1), None)
+        )
+        org_hist_id += 1
+        old_names = (
+            ["Schweizerische Kreditanstalt", "CS Holding"]
+            if org_id == CREDIT_SUISSE_ORG_ID
+            else [f"{name} Holding", f"{name} Group"]
+        )
+        for position, old_name in enumerate(old_names):
+            org_hist_rows.append(
+                (org_hist_id, org_id, old_name,
+                 datetime.date(1995 + 5 * position, 1, 1),
+                 datetime.date(2000 + 4 * position, 12, 31))
+            )
+            org_hist_id += 1
+
+    database.insert_rows("parties", party_rows)
+    database.insert_rows("individuals", individual_rows)
+    database.insert_rows("organizations", org_rows)
+    database.insert_rows("individual_name_hist", hist_rows)
+    database.insert_rows("organization_name_hist", org_hist_rows)
+
+    # -- party_address (the authoritative link, used by the gold standard) --
+    party_address_rows = []
+    for indiv_id, __, __, __, __, domicile in individual_rows:
+        adr = domicile if domicile is not None else datagen.pick(rng, address_ids)
+        party_address_rows.append((indiv_id, adr, "HOME"))
+    for org_id, __, __, domicile in org_rows:
+        adr = domicile if domicile is not None else datagen.pick(rng, address_ids)
+        party_address_rows.append((org_id, adr, "REGISTERED"))
+    database.insert_rows("party_address", party_address_rows)
+
+    # -- associate employment (Fig. 10: bridge between siblings) -----------
+    employment_pairs = set()
+    employment_rows = []
+    while len(employment_rows) < max(10, int(35 * scale)):
+        pair = (datagen.pick(rng, individual_ids), datagen.pick(rng, org_ids))
+        if pair in employment_pairs:
+            continue
+        employment_pairs.add(pair)
+        employment_rows.append((*pair, datagen.pick(rng, datagen.ROLES)))
+    database.insert_rows("associate_employment", employment_rows)
+
+    # -- currencies ----------------------------------------------------------
+    database.insert_rows("currencies", datagen.CURRENCIES)
+    currency_codes = [code for code, __ in datagen.CURRENCIES]
+
+    # -- financial instruments / securities ---------------------------------
+    instrument_ids = list(range(3001, 3001 + n_instruments))
+    instrument_rows = []
+    for position, instr_id in enumerate(instrument_ids):
+        base = datagen.INSTRUMENT_NAMES[position % len(datagen.INSTRUMENT_NAMES)]
+        suffix = "" if position < len(datagen.INSTRUMENT_NAMES) else f" {position}"
+        instr_type = datagen.pick(rng, ["FUND", "SHARE", "CERT"])
+        instrument_rows.append((instr_id, base + suffix, instr_type))
+    database.insert_rows("financial_instruments", instrument_rows)
+
+    security_ids = list(range(7001, 7001 + n_securities))
+    security_rows = [
+        (sec_id, f"CH{sec_id:010d}", datagen.pick(rng, org_ids))
+        for sec_id in security_ids
+    ]
+    database.insert_rows("securities", security_rows)
+
+    contains_rows = set()
+    while len(contains_rows) < max(20, int(80 * scale)):
+        contains_rows.add(
+            (datagen.pick(rng, instrument_ids), datagen.pick(rng, security_ids))
+        )
+    database.insert_rows("fi_contains_sec", sorted(contains_rows))
+
+    # -- transactions ---------------------------------------------------------
+    transaction_ids = list(range(9001, 9001 + n_transactions))
+    n_fi_trx = (2 * n_transactions) // 3
+    transaction_rows = []
+    fi_trx_rows = []
+    money_trx_rows = []
+    for position, trx_id in enumerate(transaction_ids):
+        trx_date = datagen.random_date(
+            rng, datetime.date(2009, 1, 1), datetime.date(2011, 12, 31)
+        )
+        transaction_rows.append(
+            (trx_id, datagen.pick(rng, individual_ids),
+             datagen.pick(rng, org_ids), trx_date)
+        )
+        if position < n_fi_trx:
+            fi_trx_rows.append(
+                (trx_id, datagen.pick(rng, instrument_ids),
+                 float(rng.randrange(1_000, 500_000, 500)), trx_date)
+            )
+        else:
+            money_trx_rows.append(
+                (trx_id, datagen.pick(rng, currency_codes),
+                 float(rng.randrange(100, 80_000, 50)))
+            )
+    database.insert_rows("transactions", transaction_rows)
+    database.insert_rows("fi_transactions", fi_trx_rows)
+    database.insert_rows("money_transactions", money_trx_rows)
+
+    # -- investment products ---------------------------------------------------
+    product_ids = list(range(40001, 40001 + n_products))
+    product_rows = []
+    for position, product_id in enumerate(product_ids):
+        if product_id == LEHMAN_PRODUCT_ID:
+            name = "Lehman XYZ Certificate"
+        else:
+            name = datagen.PRODUCT_NAMES[position % len(datagen.PRODUCT_NAMES)]
+            if position >= len(datagen.PRODUCT_NAMES):
+                name = f"{name} {position}"
+        product_rows.append((product_id, name, datagen.pick(rng, org_ids)))
+    database.insert_rows("investment_products", product_rows)
+
+    # -- orders -----------------------------------------------------------------
+    order_ids = list(range(20001, 20001 + n_orders))
+    n_trade_orders = (2 * n_orders) // 3
+    order_rows = []
+    trade_order_rows = []
+    payment_order_rows = []
+    all_party_ids = individual_ids + org_ids
+    for position, order_id in enumerate(order_ids):
+        period = datagen.random_date(
+            rng, datetime.date(2011, 1, 1), datetime.date(2011, 12, 31)
+        )
+        status = "EXECUTED" if rng.random() < 0.5 else datagen.pick(
+            rng, ["PENDING", "CANCELLED"]
+        )
+        order_rows.append(
+            (order_id, datagen.pick(rng, all_party_ids), period, status)
+        )
+        if position < n_trade_orders:
+            currency = "YEN" if rng.random() < 0.15 else datagen.pick(
+                rng, currency_codes
+            )
+            trade_order_rows.append(
+                (order_id, datagen.pick(rng, product_ids), currency,
+                 rng.randrange(1, 5_000))
+            )
+        else:
+            payment_order_rows.append(
+                (order_id, datagen.pick(rng, currency_codes),
+                 float(rng.randrange(100, 50_000, 50)))
+            )
+    database.insert_rows("orders_td", order_rows)
+    database.insert_rows("trade_orders", trade_order_rows)
+    database.insert_rows("payment_orders", payment_order_rows)
+
+    # -- agreements ---------------------------------------------------------------
+    agreement_ids = list(range(30001, 30001 + n_agreements))
+    agreement_rows = []
+    special_names = {
+        GOLD_AGREEMENT_ID: "Gold Purchase Agreement",
+        30002: "Credit Suisse Master Agreement",
+        30003: "Credit Suisse Loan Agreement 2011",
+        30004: "Credit Suisse Custody Agreement",
+    }
+    for agreement_id in agreement_ids:
+        name = special_names.get(agreement_id) or datagen.agreement_name(rng)
+        agreement_rows.append(
+            (agreement_id, datagen.pick(rng, all_party_ids), name,
+             datagen.random_date(rng, datetime.date(2005, 1, 1),
+                                 datetime.date(2011, 12, 31)))
+        )
+    database.insert_rows("agreements_td", agreement_rows)
+
+    # -- investments -----------------------------------------------------------------
+    investment_ids = list(range(50001, 50001 + n_investments))
+    investment_rows = [
+        (investment_id, datagen.pick(rng, all_party_ids),
+         datagen.pick(rng, currency_codes),
+         float(rng.randrange(1_000, 900_000, 500)),
+         datagen.random_date(rng, datetime.date(2008, 1, 1),
+                             datetime.date(2011, 12, 31)))
+        for investment_id in investment_ids
+    ]
+    database.insert_rows("investments_td", investment_rows)
+
+
+def build_minibank(seed: int = 42, scale: float = 1.0) -> Warehouse:
+    """Build the fully populated finbank warehouse.
+
+    >>> warehouse = build_minibank(scale=0.2)
+    >>> warehouse.database.row_count('currencies')
+    6
+    """
+    definition = build_definition()
+    return Warehouse.build(
+        definition, populate=lambda db: populate(db, seed=seed, scale=scale)
+    )

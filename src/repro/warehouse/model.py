@@ -1,0 +1,322 @@
+"""Declarative warehouse schema model (conceptual / logical / physical).
+
+A :class:`WarehouseDefinition` captures everything the paper's metadata
+warehouse knows about a data warehouse:
+
+* the three schema layers and how they refine into each other,
+* inheritance structures (at the logical and physical layer),
+* join relationships — including whether they are *annotated* in the
+  metadata graph (the paper's war story: bi-temporal historization keys
+  that are missing from the schema graph cause low recall),
+* domain ontologies with business terms (including metadata-defined
+  filters such as "wealthy customers" and metadata-defined aggregations
+  such as "trading volume"),
+* DBpedia synonym entries.
+
+The definition is consumed by :mod:`repro.warehouse.graphbuilder` (to
+produce the metadata graph) and by :func:`build_database` (to create the
+physical tables in the relational engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import WarehouseError
+from repro.sqlengine.database import Database
+
+
+# ---------------------------------------------------------------------------
+# schema layers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConceptualEntity:
+    """A business-layer entity (Fig. 1), e.g. ``Parties``."""
+
+    name: str
+    attributes: tuple = ()
+    label: str | None = None  # search label; defaults to the name
+
+
+@dataclass(frozen=True)
+class LogicalEntity:
+    """A logical-layer entity (Fig. 2); refines a conceptual entity."""
+
+    name: str
+    attributes: tuple = ()
+    refines: str | None = None  # conceptual entity name
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class PhysicalColumn:
+    """One column of a physical table.
+
+    *label* is the human term registered in the classification index
+    (``birth_dt`` carries the label "birth date" — the paper notes
+    physical names "never correspond" to documented names).  *refines*
+    names the logical ``(entity, attribute)`` this column implements.
+    """
+
+    name: str
+    sql_type: str
+    label: str | None = None
+    refines: tuple | None = None  # (logical entity, attribute)
+    primary_key: bool = False
+    indexed_for_search: bool = True  # participate in the inverted index
+
+
+@dataclass(frozen=True)
+class PhysicalTable:
+    """A physical table; refines a logical entity."""
+
+    name: str
+    columns: tuple
+    refines: str | None = None  # logical entity name
+    label: str | None = None
+
+    def column(self, name: str) -> PhysicalColumn:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise WarehouseError(f"no column {name!r} in physical table {self.name!r}")
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+
+@dataclass(frozen=True)
+class EntityRelationship:
+    """An entity-level relationship (for schema statistics / documentation)."""
+
+    name: str
+    layer: str  # 'conceptual' | 'logical'
+    left: str
+    right: str
+    kind: str = "n1"  # 'n1' | 'nn'
+
+
+@dataclass(frozen=True)
+class JoinRelationship:
+    """A physical join edge, modelled as the paper's explicit join node.
+
+    ``annotated=False`` join relationships exist in the database (the
+    gold standard uses them) but are **absent from the metadata graph**
+    — reproducing the paper's bi-temporal historization gap.
+    """
+
+    name: str
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    kind: str = "fk"  # 'fk' | 'inheritance' | 'bridge'
+    annotated: bool = True
+    ignored: bool = False  # schema annotation: skip during SQL generation
+
+
+@dataclass(frozen=True)
+class Inheritance:
+    """An inheritance structure with an explicit inheritance node.
+
+    *layer* is ``physical`` (parent/children are tables) or ``logical``
+    (parent/children are logical entities).
+    """
+
+    name: str
+    parent: str
+    children: tuple
+    layer: str = "physical"
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 1:
+            raise WarehouseError(f"inheritance {self.name!r} needs children")
+
+
+# ---------------------------------------------------------------------------
+# ontologies / synonyms (imported from sibling modules for re-export)
+# ---------------------------------------------------------------------------
+
+from repro.warehouse.dbpedia import DbpediaEntry  # noqa: E402
+from repro.warehouse.ontology import Ontology, OntologyTerm  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# the definition object
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WarehouseDefinition:
+    """The complete metadata description of one data warehouse."""
+
+    name: str
+    conceptual_entities: list = field(default_factory=list)
+    conceptual_relationships: list = field(default_factory=list)
+    logical_entities: list = field(default_factory=list)
+    logical_relationships: list = field(default_factory=list)
+    physical_tables: list = field(default_factory=list)
+    join_relationships: list = field(default_factory=list)
+    inheritances: list = field(default_factory=list)
+    ontologies: list = field(default_factory=list)
+    dbpedia: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def physical_table(self, name: str) -> PhysicalTable:
+        for table in self.physical_tables:
+            if table.name == name:
+                return table
+        raise WarehouseError(f"no physical table {name!r} in {self.name!r}")
+
+    def has_physical_table(self, name: str) -> bool:
+        return any(table.name == name for table in self.physical_tables)
+
+    def logical_entity(self, name: str) -> LogicalEntity:
+        for entity in self.logical_entities:
+            if entity.name == name:
+                return entity
+        raise WarehouseError(f"no logical entity {name!r} in {self.name!r}")
+
+    def conceptual_entity(self, name: str) -> ConceptualEntity:
+        for entity in self.conceptual_entities:
+            if entity.name == name:
+                return entity
+        raise WarehouseError(f"no conceptual entity {name!r} in {self.name!r}")
+
+    def joins_of_table(self, table_name: str) -> list:
+        return [
+            join
+            for join in self.join_relationships
+            if table_name in (join.left_table, join.right_table)
+        ]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check referential integrity of the definition; raise on errors."""
+        conceptual = {entity.name for entity in self.conceptual_entities}
+        logical = {entity.name for entity in self.logical_entities}
+        physical = {table.name for table in self.physical_tables}
+
+        for entity in self.logical_entities:
+            if entity.refines is not None and entity.refines not in conceptual:
+                raise WarehouseError(
+                    f"logical entity {entity.name!r} refines unknown "
+                    f"conceptual entity {entity.refines!r}"
+                )
+        for table in self.physical_tables:
+            if table.refines is not None and table.refines not in logical:
+                raise WarehouseError(
+                    f"physical table {table.name!r} refines unknown "
+                    f"logical entity {table.refines!r}"
+                )
+            names = table.column_names()
+            if len(set(names)) != len(names):
+                raise WarehouseError(f"duplicate columns in table {table.name!r}")
+        for join in self.join_relationships:
+            for table_name, column_name in (
+                (join.left_table, join.left_column),
+                (join.right_table, join.right_column),
+            ):
+                if table_name not in physical:
+                    raise WarehouseError(
+                        f"join {join.name!r} references unknown table "
+                        f"{table_name!r}"
+                    )
+                self.physical_table(table_name).column(column_name)
+        for inheritance in self.inheritances:
+            pool = physical if inheritance.layer == "physical" else logical
+            if inheritance.parent not in pool:
+                raise WarehouseError(
+                    f"inheritance {inheritance.name!r} has unknown parent "
+                    f"{inheritance.parent!r}"
+                )
+            for child in inheritance.children:
+                if child not in pool:
+                    raise WarehouseError(
+                        f"inheritance {inheritance.name!r} has unknown child "
+                        f"{child!r}"
+                    )
+        for ontology in self.ontologies:
+            for term in ontology.terms:
+                for target in term.classifies:
+                    self._validate_target(target)
+        for entry in self.dbpedia:
+            for target in entry.synonym_of:
+                self._validate_target(target)
+
+    def _validate_target(self, target: str) -> None:
+        """Targets are ``layer:name`` or ``column:table.column`` specs."""
+        if ":" not in target:
+            raise WarehouseError(f"malformed target spec: {target!r}")
+        layer, name = target.split(":", 1)
+        if layer == "conceptual":
+            self.conceptual_entity(name)
+        elif layer == "logical":
+            self.logical_entity(name)
+        elif layer == "physical":
+            self.physical_table(name)
+        elif layer == "column":
+            table_name, __, column_name = name.partition(".")
+            self.physical_table(table_name).column(column_name)
+        elif layer == "ontology":
+            found = any(
+                term.term == name
+                for ontology in self.ontologies
+                for term in ontology.terms
+            )
+            if not found:
+                raise WarehouseError(f"unknown ontology term target: {name!r}")
+        else:
+            raise WarehouseError(f"unknown target layer: {layer!r}")
+
+    # ------------------------------------------------------------------
+    # statistics (Table 1)
+    # ------------------------------------------------------------------
+    def schema_statistics(self) -> dict:
+        """Cardinalities in the shape of the paper's Table 1."""
+        return {
+            "conceptual_entities": len(self.conceptual_entities),
+            "conceptual_attributes": sum(
+                len(entity.attributes) for entity in self.conceptual_entities
+            ),
+            "conceptual_relationships": len(self.conceptual_relationships),
+            "logical_entities": len(self.logical_entities),
+            "logical_attributes": sum(
+                len(entity.attributes) for entity in self.logical_entities
+            ),
+            "logical_relationships": len(self.logical_relationships),
+            "physical_tables": len(self.physical_tables),
+            "physical_columns": sum(
+                len(table.columns) for table in self.physical_tables
+            ),
+        }
+
+
+def build_database(definition: WarehouseDefinition) -> Database:
+    """Create the physical tables of *definition* in a fresh engine."""
+    database = Database()
+    # every join relationship is a real foreign key in the database — the
+    # paper's historization gap is a *metadata graph* gap, not a DB one
+    for table in definition.physical_tables:
+        foreign_keys = []
+        for join in definition.join_relationships:
+            if join.left_table == table.name:
+                foreign_keys.append(
+                    ((join.left_column,), join.right_table, (join.right_column,))
+                )
+        database.create_table(
+            table.name,
+            [(column.name, column.sql_type) for column in table.columns],
+            primary_key=[
+                column.name for column in table.columns if column.primary_key
+            ],
+            foreign_keys=foreign_keys,
+        )
+    return database

@@ -1,0 +1,304 @@
+"""JSON (de)serialization of warehouse definitions.
+
+A :class:`~repro.warehouse.model.WarehouseDefinition` is a plain
+declarative object, so real deployments would maintain it as a document
+next to their metadata warehouse.  This module converts a definition to
+a JSON-compatible dict and back, round-trip safe, so that warehouses can
+be defined in files rather than code::
+
+    definition = load_definition("my_warehouse.json")
+    warehouse = Warehouse.build(definition)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import WarehouseError
+from repro.warehouse.dbpedia import DbpediaEntry
+from repro.warehouse.model import (
+    ConceptualEntity,
+    EntityRelationship,
+    Inheritance,
+    JoinRelationship,
+    LogicalEntity,
+    PhysicalColumn,
+    PhysicalTable,
+    WarehouseDefinition,
+)
+from repro.warehouse.ontology import AggSpec, FilterSpec, Ontology, OntologyTerm
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# to dict
+# ---------------------------------------------------------------------------
+
+
+def definition_to_dict(definition: WarehouseDefinition) -> dict:
+    """A JSON-compatible representation of *definition*."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": definition.name,
+        "conceptual_entities": [
+            {
+                "name": entity.name,
+                "attributes": list(entity.attributes),
+                "label": entity.label,
+            }
+            for entity in definition.conceptual_entities
+        ],
+        "conceptual_relationships": [
+            _relationship_to_dict(rel)
+            for rel in definition.conceptual_relationships
+        ],
+        "logical_entities": [
+            {
+                "name": entity.name,
+                "attributes": list(entity.attributes),
+                "refines": entity.refines,
+                "label": entity.label,
+            }
+            for entity in definition.logical_entities
+        ],
+        "logical_relationships": [
+            _relationship_to_dict(rel)
+            for rel in definition.logical_relationships
+        ],
+        "physical_tables": [
+            {
+                "name": table.name,
+                "refines": table.refines,
+                "label": table.label,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "sql_type": column.sql_type,
+                        "label": column.label,
+                        "refines": list(column.refines)
+                        if column.refines
+                        else None,
+                        "primary_key": column.primary_key,
+                    }
+                    for column in table.columns
+                ],
+            }
+            for table in definition.physical_tables
+        ],
+        "join_relationships": [
+            {
+                "name": join.name,
+                "left_table": join.left_table,
+                "left_column": join.left_column,
+                "right_table": join.right_table,
+                "right_column": join.right_column,
+                "kind": join.kind,
+                "annotated": join.annotated,
+                "ignored": join.ignored,
+            }
+            for join in definition.join_relationships
+        ],
+        "inheritances": [
+            {
+                "name": inheritance.name,
+                "parent": inheritance.parent,
+                "children": list(inheritance.children),
+                "layer": inheritance.layer,
+            }
+            for inheritance in definition.inheritances
+        ],
+        "ontologies": [
+            {
+                "name": ontology.name,
+                "terms": [_term_to_dict(term) for term in ontology.terms],
+            }
+            for ontology in definition.ontologies
+        ],
+        "dbpedia": [
+            {"term": entry.term, "synonym_of": list(entry.synonym_of)}
+            for entry in definition.dbpedia
+        ],
+    }
+
+
+def _relationship_to_dict(rel: EntityRelationship) -> dict:
+    return {
+        "name": rel.name,
+        "layer": rel.layer,
+        "left": rel.left,
+        "right": rel.right,
+        "kind": rel.kind,
+    }
+
+
+def _term_to_dict(term: OntologyTerm) -> dict:
+    payload: dict = {
+        "term": term.term,
+        "classifies": list(term.classifies),
+    }
+    if term.filter is not None:
+        payload["filter"] = {
+            "table": term.filter.table,
+            "column": term.filter.column,
+            "op": term.filter.op,
+            "value": term.filter.value,
+        }
+    if term.aggregation is not None:
+        payload["aggregation"] = {
+            "func": term.aggregation.func,
+            "table": term.aggregation.table,
+            "column": term.aggregation.column,
+        }
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# from dict
+# ---------------------------------------------------------------------------
+
+
+def definition_from_dict(payload: dict) -> WarehouseDefinition:
+    """Rebuild a definition from :func:`definition_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise WarehouseError(
+            f"unsupported warehouse format version: {version!r}"
+        )
+    definition = WarehouseDefinition(
+        name=payload["name"],
+        conceptual_entities=[
+            ConceptualEntity(
+                name=item["name"],
+                attributes=tuple(item.get("attributes", ())),
+                label=item.get("label"),
+            )
+            for item in payload.get("conceptual_entities", [])
+        ],
+        conceptual_relationships=[
+            _relationship_from_dict(item)
+            for item in payload.get("conceptual_relationships", [])
+        ],
+        logical_entities=[
+            LogicalEntity(
+                name=item["name"],
+                attributes=tuple(item.get("attributes", ())),
+                refines=item.get("refines"),
+                label=item.get("label"),
+            )
+            for item in payload.get("logical_entities", [])
+        ],
+        logical_relationships=[
+            _relationship_from_dict(item)
+            for item in payload.get("logical_relationships", [])
+        ],
+        physical_tables=[
+            PhysicalTable(
+                name=item["name"],
+                refines=item.get("refines"),
+                label=item.get("label"),
+                columns=tuple(
+                    PhysicalColumn(
+                        name=column["name"],
+                        sql_type=column["sql_type"],
+                        label=column.get("label"),
+                        refines=tuple(column["refines"])
+                        if column.get("refines")
+                        else None,
+                        primary_key=column.get("primary_key", False),
+                    )
+                    for column in item["columns"]
+                ),
+            )
+            for item in payload.get("physical_tables", [])
+        ],
+        join_relationships=[
+            JoinRelationship(
+                name=item["name"],
+                left_table=item["left_table"],
+                left_column=item["left_column"],
+                right_table=item["right_table"],
+                right_column=item["right_column"],
+                kind=item.get("kind", "fk"),
+                annotated=item.get("annotated", True),
+                ignored=item.get("ignored", False),
+            )
+            for item in payload.get("join_relationships", [])
+        ],
+        inheritances=[
+            Inheritance(
+                name=item["name"],
+                parent=item["parent"],
+                children=tuple(item["children"]),
+                layer=item.get("layer", "physical"),
+            )
+            for item in payload.get("inheritances", [])
+        ],
+        ontologies=[
+            Ontology(
+                name=item["name"],
+                terms=tuple(
+                    _term_from_dict(term) for term in item.get("terms", [])
+                ),
+            )
+            for item in payload.get("ontologies", [])
+        ],
+        dbpedia=[
+            DbpediaEntry(
+                term=item["term"], synonym_of=tuple(item.get("synonym_of", ()))
+            )
+            for item in payload.get("dbpedia", [])
+        ],
+    )
+    definition.validate()
+    return definition
+
+
+def _relationship_from_dict(item: dict) -> EntityRelationship:
+    return EntityRelationship(
+        name=item["name"],
+        layer=item["layer"],
+        left=item["left"],
+        right=item["right"],
+        kind=item.get("kind", "n1"),
+    )
+
+
+def _term_from_dict(item: dict) -> OntologyTerm:
+    filter_spec = None
+    if "filter" in item:
+        raw = item["filter"]
+        filter_spec = FilterSpec(
+            table=raw["table"], column=raw["column"], op=raw["op"],
+            value=raw["value"],
+        )
+    agg_spec = None
+    if "aggregation" in item:
+        raw = item["aggregation"]
+        agg_spec = AggSpec(
+            func=raw["func"], table=raw["table"], column=raw["column"]
+        )
+    return OntologyTerm(
+        term=item["term"],
+        classifies=tuple(item.get("classifies", ())),
+        filter=filter_spec,
+        aggregation=agg_spec,
+    )
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+
+
+def save_definition(definition: WarehouseDefinition, path) -> None:
+    """Write a definition to a JSON file."""
+    Path(path).write_text(
+        json.dumps(definition_to_dict(definition), indent=2, sort_keys=True)
+    )
+
+
+def load_definition(path) -> WarehouseDefinition:
+    """Read a definition from a JSON file (validated)."""
+    return definition_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,140 @@
+"""The `Warehouse` facade: definition + database + metadata graph + indexes.
+
+Bundles everything SODA needs about one data warehouse:
+
+* the declarative :class:`~repro.warehouse.model.WarehouseDefinition`,
+* the populated relational :class:`~repro.sqlengine.database.Database`,
+* the metadata graph (a :class:`~repro.graph.triples.TripleStore`),
+* the base-data inverted index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import WarehouseError
+from repro.graph.node import Text, Vocab
+from repro.graph.triples import TripleStore
+from repro.index.inverted import InvertedIndex
+from repro.sqlengine.database import Database
+from repro.warehouse.graphbuilder import (
+    build_metadata_graph,
+    column_uri,
+    graph_statistics,
+    join_uri,
+)
+from repro.warehouse.model import WarehouseDefinition, build_database
+
+
+class Warehouse:
+    """One fully materialised data warehouse."""
+
+    def __init__(
+        self,
+        definition: WarehouseDefinition,
+        database: Database,
+        graph: TripleStore,
+        inverted: InvertedIndex,
+    ) -> None:
+        self.definition = definition
+        self.database = database
+        self.graph = graph
+        self.inverted = inverted
+
+    @classmethod
+    def build(
+        cls,
+        definition: WarehouseDefinition,
+        populate: "Callable[[Database], None] | None" = None,
+    ) -> "Warehouse":
+        """Create tables, load data, build graph and inverted index."""
+        database = build_database(definition)
+        if populate is not None:
+            populate(database)
+        graph = build_metadata_graph(definition)
+        inverted = InvertedIndex.build(database.catalog)
+        return cls(
+            definition=definition,
+            database=database,
+            graph=graph,
+            inverted=inverted,
+        )
+
+    # ------------------------------------------------------------------
+    # metadata repair (the paper's war stories, Section 5.3.1)
+    # ------------------------------------------------------------------
+    def annotate_join(self, join_name: str) -> None:
+        """Add a previously unannotated join relationship to the graph.
+
+        This is the paper's remedy for the bi-temporal historization
+        recall loss: *"the schema graph needs to be annotated with join
+        relationships that reflect bi-temporal historization"*.  The next
+        `Soda` built on this warehouse immediately uses the join.
+        """
+        join = self._join_by_name(join_name)
+        node = join_uri(join.name)
+        if list(self.graph.outgoing(node)):
+            raise WarehouseError(f"join {join_name!r} is already annotated")
+        left = column_uri(join.left_table, join.left_column)
+        right = column_uri(join.right_table, join.right_column)
+        self.graph.add(node, Vocab.TYPE, Vocab.JOIN_NODE)
+        self.graph.add(node, Vocab.JOIN_LEFT, left)
+        self.graph.add(node, Vocab.JOIN_RIGHT, right)
+        self.graph.add(left, Vocab.HAS_JOIN, node)
+        self.graph.add(right, Vocab.HAS_JOIN, node)
+        index = self.definition.join_relationships.index(join)
+        self.definition.join_relationships[index] = dataclasses.replace(
+            join, annotated=True
+        )
+
+    def ignore_join(self, join_name: str) -> None:
+        """Annotate a join relationship as ignored.
+
+        The paper: *"if some database tables that are part of a bridge
+        table between siblings are not populated yet, the schema can be
+        annotated indicating that the respective relationship should be
+        ignored"*.  SODA's join discovery skips ignored join nodes.
+        """
+        join = self._join_by_name(join_name)
+        node = join_uri(join.name)
+        if not list(self.graph.outgoing(node)):
+            raise WarehouseError(
+                f"join {join_name!r} is not annotated in the graph"
+            )
+        self.graph.add(node, Vocab.IGNORED, Text("true"))
+
+    def unignore_join(self, join_name: str) -> None:
+        """Remove the ignore annotation from a join relationship."""
+        join = self._join_by_name(join_name)
+        node = join_uri(join.name)
+        try:
+            self.graph.remove(node, Vocab.IGNORED, Text("true"))
+        except Exception as exc:  # GraphError: not ignored
+            raise WarehouseError(
+                f"join {join_name!r} is not ignored"
+            ) from exc
+
+    def _join_by_name(self, join_name: str):
+        for join in self.definition.join_relationships:
+            if join.name == join_name:
+                return join
+        raise WarehouseError(f"no join relationship named {join_name!r}")
+
+    # ------------------------------------------------------------------
+    def row_counts(self) -> dict:
+        """Table name -> row count."""
+        return {
+            name: self.database.row_count(name)
+            for name in self.database.table_names()
+        }
+
+    def statistics(self) -> dict:
+        """Combined schema/graph/index statistics."""
+        stats = dict(self.definition.schema_statistics())
+        stats.update({f"graph_{k}": v for k, v in graph_statistics(self.graph).items()})
+        stats.update(
+            {f"index_{k}": v for k, v in self.inverted.size_summary().items()}
+        )
+        stats["total_rows"] = sum(self.row_counts().values())
+        return stats

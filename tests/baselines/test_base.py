@@ -1,0 +1,102 @@
+"""Tests for the shared baseline infrastructure."""
+
+import pytest
+
+from repro.baselines.base import BaselineAnswer, KeywordSearchSystem, build_sql
+
+
+@pytest.fixture(scope="module")
+def system(warehouse):
+    return KeywordSearchSystem(warehouse.database, warehouse.inverted)
+
+
+class TestFkGraph:
+    def test_all_tables_are_nodes(self, system, warehouse):
+        graph = system.fk_graph()
+        assert set(graph.nodes) == set(warehouse.database.table_names())
+
+    def test_fk_edges_present(self, system):
+        graph = system.fk_graph()
+        assert graph.has_edge("individuals", "parties")
+        assert graph.has_edge("associate_employment", "organizations")
+
+    def test_parallel_edges_kept(self, system):
+        graph = system.fk_graph()
+        # transactions has two FKs to parties (from/to party)
+        assert graph.number_of_edges("transactions", "parties") == 2
+
+
+class TestCycleDetection:
+    def test_parallel_fk_counts_as_cycle(self, system):
+        assert system.schema_has_cycle(["transactions", "parties"])
+
+    def test_tree_is_acyclic(self, system):
+        assert not system.schema_has_cycle(["individuals", "parties"])
+
+    def test_triangle_counts_as_cycle(self, system):
+        # individuals-parties, individuals-addresses, party_address closes
+        # a cycle with parties and addresses
+        assert system.schema_has_cycle(
+            ["individuals", "parties", "addresses", "party_address"]
+        )
+
+
+class TestJoinTree:
+    def test_single_table_needs_no_joins(self, system):
+        assert system.join_tree(["parties"]) == []
+
+    def test_adjacent_pair(self, system):
+        joins = system.join_tree(["individuals", "parties"])
+        assert joins == [("individuals", "id", "parties", "id")]
+
+    def test_path_with_intermediate(self, system):
+        joins = system.join_tree(["individual_name_hist", "parties"])
+        tables = {t for join in joins for t in (join[0], join[2])}
+        assert "individuals" in tables
+
+    def test_unreachable_returns_none(self, system, warehouse):
+        warehouse.database.create_table("island_x", [("id", "INT")])
+        try:
+            assert system.join_tree(["island_x", "parties"]) is None
+        finally:
+            warehouse.database.catalog.drop_table("island_x")
+
+
+class TestHelpers:
+    def test_keyword_hits_per_column(self, system):
+        hits = system.keyword_hits("sara")
+        assert ("individuals", "given_nm") in hits
+        assert len(hits) == 4
+
+    def test_segment_greedy(self, system):
+        assert system.segment("credit suisse zurich") == [
+            "credit suisse", "zurich"
+        ]
+
+    def test_segment_unknown_words_kept(self, system):
+        assert "flurbl" in system.segment("flurbl zurich")
+
+    def test_build_sql_plain(self):
+        sql = build_sql(
+            ["a", "b"],
+            [("a", "x", "b", "y")],
+            [("a", "name", "gold")],
+        )
+        assert sql == (
+            "SELECT * FROM a, b WHERE a.x = b.y AND a.name LIKE '%gold%'"
+        )
+
+    def test_build_sql_aggregate(self):
+        sql = build_sql(
+            ["t"], [], [], aggregate="sum(t.amount)", group_by="t.ccy"
+        )
+        assert "GROUP BY t.ccy" in sql
+        assert sql.startswith("SELECT sum(t.amount), t.ccy")
+
+    def test_answer_answered_property(self):
+        answer = BaselineAnswer(system="x", query_text="q")
+        assert not answer.answered
+        answer.sqls.append("SELECT 1")
+        assert answer.answered
+        answer.supported = False
+        assert not answer.answered

@@ -1,0 +1,88 @@
+"""Tests for relevance feedback (paper Section 6.3)."""
+
+import pytest
+
+from repro.core.feedback import FeedbackStore
+from repro.core.soda import Soda, SodaConfig
+
+
+class TestFeedbackStore:
+    def test_empty_store_is_neutral(self):
+        store = FeedbackStore()
+        assert store.bonus("SELECT * FROM parties") == 0.0
+        assert len(store) == 0
+
+    def test_like_raises_similar_statements(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM agreements_td")
+        assert store.bonus("SELECT * FROM agreements_td") > 0
+        assert store.bonus("SELECT * FROM agreements_td, parties") > 0
+
+    def test_dislike_lowers_similar_statements(self):
+        store = FeedbackStore()
+        store.dislike("SELECT * FROM organizations")
+        assert store.bonus("SELECT * FROM organizations, parties") < 0
+
+    def test_unrelated_statement_unaffected(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM agreements_td")
+        assert store.bonus("SELECT * FROM currencies") == 0.0
+
+    def test_exact_match_strongest(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM agreements_td")
+        exact = store.bonus("SELECT * FROM agreements_td")
+        partial = store.bonus("SELECT * FROM agreements_td, parties, addresses")
+        assert exact > partial > 0
+
+    def test_feedback_accumulates(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM parties")
+        store.like("SELECT * FROM parties")
+        single = FeedbackStore()
+        single.like("SELECT * FROM parties")
+        assert store.bonus("SELECT * FROM parties") > (
+            single.bonus("SELECT * FROM parties")
+        )
+
+    def test_clear(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM parties")
+        store.clear()
+        assert store.bonus("SELECT * FROM parties") == 0.0
+
+    def test_join_tables_count_for_similarity(self):
+        store = FeedbackStore()
+        store.like("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert store.bonus("SELECT * FROM b") > 0
+
+
+class TestSodaIntegration:
+    def test_dislike_demotes_top_statement(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        before = soda.search("Credit Suisse", execute=False)
+        assert len(before.statements) >= 2
+        top_sql = before.best.sql
+
+        soda.feedback.dislike(top_sql)
+        after = soda.search("Credit Suisse", execute=False)
+        assert after.best.sql != top_sql
+        assert top_sql in after.sql_texts()  # still offered, ranked lower
+
+    def test_like_promotes_alternative(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        before = soda.search("Credit Suisse", execute=False)
+        alternative = before.statements[-1].sql
+        soda.feedback.like(alternative)
+        soda.feedback.like(alternative)
+        after = soda.search("Credit Suisse", execute=False)
+        assert after.sql_texts().index(alternative) <= (
+            before.sql_texts().index(alternative)
+        )
+
+    def test_feedback_does_not_change_statement_set(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        before = set(soda.search("Sara", execute=False).sql_texts())
+        soda.feedback.dislike(sorted(before)[0])
+        after = set(soda.search("Sara", execute=False).sql_texts())
+        assert before == after

@@ -1,0 +1,136 @@
+"""Tests for Step 4 — filter collection and column resolution."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Lookup
+from repro.core.patterns import build_default_library
+from repro.core.ranking import rank
+from repro.core.filters import FiltersStep, _parse_metadata_value
+from repro.core.tables import TablesStep
+from repro.warehouse.graphbuilder import build_classification_index
+
+
+@pytest.fixture(scope="module")
+def pipeline(warehouse):
+    classification = build_classification_index(warehouse.graph)
+    lookup = Lookup(classification, warehouse.inverted)
+    tables = TablesStep(warehouse.graph, build_default_library())
+    filters = FiltersStep(warehouse.graph, warehouse.database.catalog)
+    return lookup, tables, filters
+
+
+def run_best(pipeline, text):
+    lookup, tables, filters = pipeline
+    result = lookup.run(parse_query(text))
+    best = rank(result, top_n=1)[0]
+    tables_result = tables.run(best.interpretation)
+    return filters.run(best.interpretation, result.slots, tables_result)
+
+
+class TestBaseDataFilters:
+    def test_like_filter_for_keyword(self, pipeline):
+        result = run_best(pipeline, "Zurich")
+        assert len(result.filters) == 1
+        condition = result.filters[0]
+        assert condition.origin == "base_data"
+        assert condition.expr.to_sql() == "(addresses.city LIKE '%zurich%')"
+
+    def test_phrase_filter(self, pipeline):
+        lookup, tables, filters = pipeline
+        result = lookup.run(parse_query("Credit Suisse"))
+        ranked = rank(result, top_n=10)
+        sqls = set()
+        for r in ranked:
+            tr = tables.run(r.interpretation)
+            fr = filters.run(r.interpretation, result.slots, tr)
+            sqls.update(c.expr.to_sql() for c in fr.filters)
+        assert "(organizations.org_nm LIKE '%credit suisse%')" in sqls
+
+    def test_filters_deduplicated(self, pipeline):
+        result = run_best(pipeline, "Zurich Zurich")
+        assert len(result.filters) == 1
+
+
+class TestInputOperatorFilters:
+    def test_comparison_resolves_attribute_to_column(self, pipeline):
+        result = run_best(pipeline, "trade order period > date(2011-09-01)")
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert "(orders_td.order_period_dt > '2011-09-01')" in rendered
+
+    def test_salary_comparison(self, pipeline):
+        result = run_best(pipeline, "salary >= 100000")
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert "(individuals.salary >= 100000)" in rendered
+
+    def test_between_builds_range(self, pipeline):
+        result = run_best(
+            pipeline,
+            "transaction date between date(2010-01-01) date(2010-12-31)",
+        )
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert any("BETWEEN" in sql for sql in rendered)
+
+    def test_like_operator(self, pipeline):
+        result = run_best(pipeline, "family name like gutt")
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert "(individuals.family_nm LIKE '%gutt%')" in rendered
+
+    def test_dbpedia_synonym_resolves(self, pipeline):
+        # "birthday" is a DBpedia synonym of individuals.birth_dt
+        result = run_best(pipeline, "birthday = date(1981-04-23)")
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert "(individuals.birth_dt = '1981-04-23')" in rendered
+
+    def test_unresolvable_operand_reported(self, pipeline):
+        result = run_best(pipeline, "customers > 5")
+        # 'customers' resolves to entities, never to a column... the
+        # resolution walks down to *some* column, so either a filter or an
+        # unresolved marker must exist
+        assert result.filters or result.unresolved
+
+
+class TestMetadataFilters:
+    def test_wealthy_customers_business_filter(self, pipeline):
+        # the paper's flagship metadata predicate
+        result = run_best(pipeline, "wealthy customers")
+        rendered = [c.expr.to_sql() for c in result.filters]
+        assert "(individuals.salary >= 1000000)" in rendered
+        origins = {c.origin for c in result.filters}
+        assert "metadata" in origins
+
+
+class TestAggregations:
+    def test_explicit_sum_resolves_via_ontology(self, pipeline):
+        result = run_best(pipeline, "sum(investments) group by (currency)")
+        assert len(result.aggregations) == 1
+        agg = result.aggregations[0]
+        assert (agg.func, agg.table, agg.column) == (
+            "sum", "investments_td", "amount"
+        )
+
+    def test_group_by_resolved(self, pipeline):
+        result = run_best(pipeline, "sum(investments) group by (currency)")
+        assert len(result.group_by) == 1
+        assert result.group_by[0].column in ("currency_cd",)
+
+    def test_count_star(self, pipeline):
+        result = run_best(pipeline, "select count() private customers")
+        agg = result.aggregations[0]
+        assert agg.func == "count" and agg.table is None
+
+
+class TestValueParsing:
+    def test_metadata_value_int(self):
+        assert _parse_metadata_value("1000000") == 1000000
+
+    def test_metadata_value_float(self):
+        assert _parse_metadata_value("1.5") == 1.5
+
+    def test_metadata_value_date(self):
+        import datetime
+
+        assert _parse_metadata_value("2011-09-01") == datetime.date(2011, 9, 1)
+
+    def test_metadata_value_text(self):
+        assert _parse_metadata_value("EXECUTED") == "EXECUTED"

@@ -1,0 +1,116 @@
+"""Tests for language extensions: stopwords, spelled top-N, valid-at.
+
+These implement the paper's conversational intro queries ("Show me all
+my wealthy customers who live in Zurich", "Who are my top ten customers
+in terms of revenue?") and its future-work item on bi-temporal
+historization ("valid at date(...)").
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.input_patterns import STOPWORDS, parse_query
+from repro.core.soda import Soda, SodaConfig
+
+
+class TestStopwords:
+    def test_stopwords_removed_from_keywords(self):
+        query = parse_query("show me all my wealthy customers")
+        assert query.keywords == (("wealthy", "customers"),)
+
+    def test_stopwords_do_not_split_phrases(self):
+        query = parse_query("the private customers")
+        assert query.keywords == (("private", "customers"),)
+
+    def test_stopword_list_sane(self):
+        # stopwords must never shadow schema vocabulary
+        for term in ("customers", "salary", "currency", "period", "names"):
+            assert term not in STOPWORDS
+
+
+class TestSpelledTopN:
+    def test_top_ten(self):
+        assert parse_query("top ten customers").top_n == 10
+
+    def test_top_five(self):
+        assert parse_query("Top five trading volume").top_n == 5
+
+    def test_numeric_still_works(self):
+        assert parse_query("top 7 customers").top_n == 7
+
+
+class TestIntroQueries:
+    """The two queries from the paper's Section 1.2."""
+
+    def test_wealthy_customers_in_zurich(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        result = soda.search(
+            "Show me all my wealthy customers who live in Zurich"
+        )
+        assert result.best is not None
+        sql = result.best.sql
+        assert "individuals.salary >= 1000000" in sql
+        assert "addresses.city LIKE '%zurich%'" in sql
+
+    def test_top_ten_customers_by_revenue(self, warehouse):
+        # "revenue" reaches the trading-volume business term via DBpedia
+        soda = Soda(warehouse, SodaConfig())
+        result = soda.search(
+            "Who are my top ten customers in terms of revenue"
+        )
+        assert result.best is not None
+        sql = result.best.sql
+        assert "sum(fi_transactions.amount)" in sql
+        assert "LIMIT 10" in sql
+
+
+class TestValidAt:
+    def test_parse_valid_at(self):
+        query = parse_query("Sara given name valid at date(2003-01-01)")
+        assert query.valid_at == datetime.date(2003, 1, 1)
+        assert "valid at 2003-01-01" in query.describe()
+
+    def test_valid_at_not_a_keyword(self):
+        query = parse_query("names valid at date(2003-01-01)")
+        assert query.keywords == (("names",),)
+
+    def test_valid_at_filters_historized_tables(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        result = soda.search(
+            "Sara given name valid at date(2003-01-01)", execute=False
+        )
+        hist_statements = [
+            s for s in result.statements
+            if "individual_name_hist" in s.statement.tables
+        ]
+        assert hist_statements
+        sql = hist_statements[0].sql
+        assert "individual_name_hist.valid_from_dt <= '2003-01-01'" in sql
+        assert "individual_name_hist.valid_to_dt IS NULL" in sql
+        assert "individual_name_hist.valid_to_dt >= '2003-01-01'" in sql
+
+    def test_valid_at_ignored_for_snapshot_tables(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        result = soda.search("Zurich valid at date(2003-01-01)", execute=False)
+        assert result.best is not None
+        assert "valid_from_dt" not in result.best.sql
+
+    def test_valid_at_returns_historical_names(self, warehouse):
+        # with the historization join annotated, a valid-at query finds
+        # the Saras of 2003 (four historical + the current one)
+        import copy
+
+        wh = copy.deepcopy(warehouse)
+        wh.annotate_join("j_indiv_name_hist")
+        soda = Soda(wh, SodaConfig())
+        result = soda.search("Sara given name valid at date(2003-01-01)")
+        counts = []
+        for statement in result.statements:
+            if (
+                statement.snippet is not None
+                and "individual_name_hist" in statement.statement.tables
+                and "individuals" in statement.statement.tables
+            ):
+                counts.append(len(statement.snippet.rows))
+        assert counts and max(counts) == 5

@@ -1,0 +1,125 @@
+"""Tests for Step 1 — Lookup (Fig. 5 query classification)."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Lookup
+from repro.index.classification import EntrySource
+from repro.warehouse.graphbuilder import build_classification_index
+
+
+@pytest.fixture(scope="module")
+def lookup(warehouse):
+    classification = build_classification_index(warehouse.graph)
+    return Lookup(classification, warehouse.inverted)
+
+
+class TestSegmentation:
+    def test_longest_match_wins(self, lookup):
+        segments, unknown = lookup.segment_words(
+            ["private", "customers", "switzerland"]
+        )
+        assert segments == ["private customers", "switzerland"]
+        assert unknown == []
+
+    def test_unknown_words_ignored(self, lookup):
+        # the paper: "'and' might be unknown and we therefore ignore it"
+        segments, unknown = lookup.segment_words(["salary", "flurbl"])
+        assert segments == ["salary"]
+        assert unknown == ["flurbl"]
+
+    def test_base_data_phrase_merges(self, lookup):
+        segments, __ = lookup.segment_words(["credit", "suisse"])
+        assert segments == ["credit suisse"]
+
+    def test_gold_agreement_stays_split(self, lookup):
+        # "gold agreement" is not contiguous in any stored value, so the
+        # two words classify separately (B + S, as in Table 2 / Q4.0)
+        segments, __ = lookup.segment_words(["gold", "agreement"])
+        assert segments == ["gold", "agreement"]
+
+
+class TestAlternatives:
+    def test_fig5_customers_once_in_ontology(self, lookup):
+        entries = lookup.alternatives("customers")
+        assert len(entries) == 1
+        assert entries[0].source is EntrySource.DOMAIN_ONTOLOGY
+
+    def test_fig5_zurich_once_in_base_data(self, lookup):
+        entries = lookup.alternatives("zurich")
+        assert len(entries) == 1
+        assert entries[0].source is EntrySource.BASE_DATA
+        assert (entries[0].table, entries[0].column) == ("addresses", "city")
+
+    def test_fig5_financial_instruments_twice(self, lookup):
+        entries = lookup.alternatives("financial instruments")
+        assert [e.source for e in entries] == [
+            EntrySource.CONCEPTUAL_SCHEMA, EntrySource.LOGICAL_SCHEMA
+        ]
+
+    def test_sara_in_four_columns(self, lookup):
+        # individuals, individual_name_hist, organizations, org hist
+        entries = lookup.base_data_alternatives("sara")
+        assert len(entries) == 4
+
+    def test_metadata_alternatives_exclude_base_data(self, lookup):
+        for entry in lookup.metadata_alternatives("salary"):
+            assert entry.source is not EntrySource.BASE_DATA
+
+
+class TestRun:
+    def test_fig5_complexity_is_two(self, lookup):
+        # 1 (customers) x 1 (zurich) x 2 (financial instruments) = 2
+        result = lookup.run(parse_query("customers Zurich financial instruments"))
+        assert result.complexity == 2
+        assert len(result.interpretations) == 2
+
+    def test_classification_summary(self, lookup):
+        result = lookup.run(parse_query("customers Zurich financial instruments"))
+        summary = result.classification_summary()
+        assert summary["customers"] == ["domain_ontology"]
+        assert summary["zurich"] == ["base_data"]
+        assert summary["financial instruments"] == [
+            "conceptual_schema", "logical_schema"
+        ]
+
+    def test_comparison_operand_binds_last_segment(self, lookup):
+        result = lookup.run(parse_query("trade order period > date(2011-09-01)"))
+        kinds = [(slot.kind, slot.term) for slot in result.slots]
+        assert ("keyword", "trade order") in kinds
+        assert ("comparison", "period") in kinds
+
+    def test_aggregation_slot_without_argument(self, lookup):
+        result = lookup.run(parse_query("select count() private customers"))
+        agg_slots = [s for s in result.slots if s.kind == "aggregation"]
+        assert len(agg_slots) == 1
+        assert agg_slots[0].term is None
+        assert agg_slots[0].option_count() == 1
+
+    def test_groupby_slot(self, lookup):
+        result = lookup.run(parse_query("sum(investments) group by (currency)"))
+        group_slots = [s for s in result.slots if s.kind == "groupby"]
+        assert len(group_slots) == 1
+        assert group_slots[0].alternatives
+
+    def test_complexity_is_product(self, lookup):
+        result = lookup.run(parse_query("Sara"))
+        assert result.complexity == 4  # four columns hold a Sara
+
+    def test_interpretation_product_capped(self, warehouse):
+        classification = build_classification_index(warehouse.graph)
+        capped = Lookup(classification, warehouse.inverted, max_interpretations=2)
+        result = capped.run(parse_query("Sara"))
+        assert len(result.interpretations) == 2
+        assert result.truncated
+
+    def test_ignored_terms_recorded(self, lookup):
+        result = lookup.run(parse_query("flurbl customers"))
+        assert "flurbl" in result.ignored_terms
+
+    def test_entry_point_describe(self, lookup):
+        result = lookup.run(parse_query("Zurich"))
+        entry = result.slots[0].alternatives[0]
+        assert "addresses.city" in entry.describe()
+        description = result.interpretations[0].describe(result.slots)
+        assert "zurich" in description

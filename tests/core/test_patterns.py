@@ -1,0 +1,124 @@
+"""Tests for the default Credit Suisse pattern set (Figs. 7/8)."""
+
+import pytest
+
+from repro.core.patterns import (
+    DEFAULT_RESOLVER,
+    PATTERN_SOURCES,
+    build_default_library,
+)
+from repro.errors import PatternError
+from repro.graph.pattern import match_pattern
+from repro.warehouse.graphbuilder import (
+    column_uri,
+    join_uri,
+    ontology_term_uri,
+    table_uri,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library()
+
+
+class TestLibrary:
+    def test_all_paper_patterns_present(self, library):
+        for name in (
+            "table", "column", "foreign_key", "join_relationship",
+            "inheritance_child", "business_filter", "business_aggregation",
+        ):
+            assert name in library
+
+    def test_sources_parse_cleanly(self):
+        # the library builder would raise on malformed sources
+        assert set(PATTERN_SOURCES) == set(build_default_library().names())
+
+    def test_override_replaces_pattern(self):
+        library = build_default_library(
+            {"table": '( x tablename t:"only_this" ) & '
+                      "( x type physical_table )"}
+        )
+        pattern = library.get("table")
+        assert any(
+            getattr(clause, "obj", None) is not None for clause in pattern.clauses
+        )
+
+    def test_bad_override_raises(self):
+        with pytest.raises(PatternError):
+            build_default_library({"table": "( broken"})
+
+
+class TestPatternsOnMinibank:
+    def test_table_pattern_matches_every_table(self, library, warehouse):
+        pattern = library.get("table")
+        for name in warehouse.database.table_names():
+            matches = match_pattern(
+                warehouse.graph, pattern, table_uri(name), library
+            )
+            assert matches, name
+
+    def test_column_pattern(self, library, warehouse):
+        pattern = library.get("column")
+        matches = match_pattern(
+            warehouse.graph, pattern, column_uri("individuals", "family_nm"),
+            library,
+        )
+        assert matches
+        assert matches[0]["z"] == table_uri("individuals")
+
+    def test_join_relationship_pattern(self, library, warehouse):
+        pattern = library.get("join_relationship")
+        matches = match_pattern(
+            warehouse.graph, pattern, join_uri("j_indiv_domicile"), library
+        )
+        assert matches
+        binding = matches[0]
+        assert binding["l"] == column_uri("individuals", "domicile_adr_id")
+        assert binding["r"] == column_uri("addresses", "id")
+
+    def test_inheritance_child_pattern_at_child(self, library, warehouse):
+        pattern = library.get("inheritance_child")
+        matches = match_pattern(
+            warehouse.graph, pattern, table_uri("individuals"), library
+        )
+        assert matches
+        assert matches[0]["p"] == table_uri("parties")
+
+    def test_inheritance_child_pattern_rejects_parent(self, library, warehouse):
+        pattern = library.get("inheritance_child")
+        assert not match_pattern(
+            warehouse.graph, pattern, table_uri("parties"), library
+        )
+
+    def test_business_filter_pattern(self, library, warehouse):
+        pattern = library.get("business_filter")
+        node = ontology_term_uri("customer_ontology", "wealthy customers")
+        matches = match_pattern(warehouse.graph, pattern, node, library)
+        assert matches
+        assert matches[0]["op"].value == ">="
+
+    def test_business_aggregation_pattern(self, library, warehouse):
+        pattern = library.get("business_aggregation")
+        node = ontology_term_uri("product_ontology", "trading volume")
+        matches = match_pattern(warehouse.graph, pattern, node, library)
+        assert matches
+        assert matches[0]["f"].value == "sum"
+
+    def test_resolver_covers_pattern_vocabulary(self):
+        # every bare word used in the sources must resolve
+        import re
+
+        words = set()
+        for source in PATTERN_SOURCES.values():
+            for clause in re.findall(r"\(([^)]*)\)", source):
+                for word in clause.split():
+                    if word.startswith("t:") or word.startswith("matches-"):
+                        continue
+                    words.add(word)
+        unresolved = {
+            w for w in words
+            if w not in DEFAULT_RESOLVER and len(w) > 2
+        }
+        # anything longer than 2 chars that is not a variable must be known
+        assert unresolved == set(), unresolved

@@ -1,0 +1,95 @@
+"""Tests for Step 2 — rank and top N."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Assignment, Interpretation, Lookup
+from repro.core.ranking import (
+    SOURCE_SCORES,
+    UNRESOLVED_SCORE,
+    rank,
+    score_interpretation,
+)
+from repro.core.lookup import EntryPoint
+from repro.index.classification import EntrySource
+from repro.warehouse.graphbuilder import build_classification_index
+
+
+def entry(source, node="soda://x/y"):
+    return EntryPoint(term="t", source=source, node=node)
+
+
+def interpretation(*entries):
+    return Interpretation(
+        assignments=tuple(
+            Assignment(i, e) for i, e in enumerate(entries)
+        )
+    )
+
+
+class TestScores:
+    def test_ontology_beats_dbpedia(self):
+        # the paper: "a keyword found in DBpedia gets a lower score than a
+        # keyword found in the domain ontology"
+        assert SOURCE_SCORES[EntrySource.DOMAIN_ONTOLOGY] > (
+            SOURCE_SCORES[EntrySource.DBPEDIA]
+        )
+
+    def test_conceptual_beats_physical(self):
+        assert SOURCE_SCORES[EntrySource.CONCEPTUAL_SCHEMA] > (
+            SOURCE_SCORES[EntrySource.PHYSICAL_SCHEMA]
+        )
+
+    def test_score_is_mean(self):
+        score = score_interpretation(
+            interpretation(
+                entry(EntrySource.DOMAIN_ONTOLOGY), entry(EntrySource.DBPEDIA)
+            )
+        )
+        expected = (
+            SOURCE_SCORES[EntrySource.DOMAIN_ONTOLOGY]
+            + SOURCE_SCORES[EntrySource.DBPEDIA]
+        ) / 2
+        assert score == pytest.approx(expected)
+
+    def test_unresolved_slot_scores_low(self):
+        score = score_interpretation(
+            Interpretation(assignments=(Assignment(0, None),))
+        )
+        assert score == UNRESOLVED_SCORE
+
+    def test_empty_interpretation(self):
+        assert score_interpretation(Interpretation(assignments=())) == 0.0
+
+
+class TestRank:
+    @pytest.fixture(scope="class")
+    def lookup_result(self, warehouse):
+        classification = build_classification_index(warehouse.graph)
+        lookup = Lookup(classification, warehouse.inverted)
+        return lookup.run(parse_query("Sara given name"))
+
+    def test_descending_scores(self, lookup_result):
+        ranked = rank(lookup_result, top_n=10)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_n_cut(self, lookup_result):
+        assert len(rank(lookup_result, top_n=3)) == 3
+
+    def test_deterministic_tie_break(self, lookup_result):
+        first = rank(lookup_result, top_n=10)
+        second = rank(lookup_result, top_n=10)
+        assert [r.interpretation for r in first] == [
+            r.interpretation for r in second
+        ]
+
+    def test_conceptual_interpretation_ranks_first(self, lookup_result):
+        # "given name" in the conceptual schema outranks the logical hits
+        best = rank(lookup_result, top_n=1)[0]
+        sources = [
+            a.entry.source
+            for a in best.interpretation.assignments
+            if a.entry is not None
+        ]
+        assert EntrySource.CONCEPTUAL_SCHEMA in sources

@@ -1,0 +1,76 @@
+"""Tests for the alternative specificity ranking strategy."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Lookup
+from repro.core.ranking import (
+    STRATEGIES,
+    rank,
+    score_interpretation,
+    score_interpretation_specificity,
+)
+from repro.core.soda import Soda, SodaConfig
+from repro.errors import ReproError
+from repro.warehouse.graphbuilder import build_classification_index
+
+
+@pytest.fixture(scope="module")
+def lookup(warehouse):
+    classification = build_classification_index(warehouse.graph)
+    return Lookup(classification, warehouse.inverted)
+
+
+class TestSpecificityScores:
+    def test_unambiguous_term_keeps_score(self, lookup):
+        result = lookup.run(parse_query("Zurich"))
+        interpretation = result.interpretations[0]
+        assert score_interpretation_specificity(
+            interpretation, result
+        ) == pytest.approx(score_interpretation(interpretation))
+
+    def test_ambiguous_term_discounted(self, lookup):
+        result = lookup.run(parse_query("Sara"))  # four alternatives
+        interpretation = result.interpretations[0]
+        specific = score_interpretation_specificity(interpretation, result)
+        location = score_interpretation(interpretation)
+        assert specific < location
+
+    def test_scores_bounded(self, lookup):
+        result = lookup.run(parse_query("Sara given name"))
+        for interpretation in result.interpretations:
+            score = score_interpretation_specificity(interpretation, result)
+            assert 0.0 < score <= 1.0
+
+
+class TestStrategySelection:
+    def test_strategies_listed(self):
+        assert set(STRATEGIES) == {"location", "specificity"}
+
+    def test_unknown_strategy_raises(self, lookup):
+        result = lookup.run(parse_query("Zurich"))
+        with pytest.raises(ReproError):
+            rank(result, strategy="pagerank")
+
+    def test_both_strategies_produce_ranked_lists(self, lookup):
+        result = lookup.run(parse_query("Sara given name"))
+        for strategy in STRATEGIES:
+            ranked = rank(result, top_n=5, strategy=strategy)
+            scores = [r.score for r in ranked]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_soda_config_plumbs_strategy(self, warehouse):
+        location = Soda(warehouse, SodaConfig(ranking="location"))
+        specificity = Soda(warehouse, SodaConfig(ranking="specificity"))
+        a = location.search("Credit Suisse", execute=False)
+        b = specificity.search("Credit Suisse", execute=False)
+        # the same statements are produced; only scores/order may differ
+        assert set(a.sql_texts()) == set(b.sql_texts())
+        assert max(s.score for s in b.statements) <= max(
+            s.score for s in a.statements
+        )
+
+    def test_invalid_config_surfaces(self, warehouse):
+        bad = Soda(warehouse, SodaConfig(ranking="bogus"))
+        with pytest.raises(ReproError):
+            bad.search("Zurich", execute=False)

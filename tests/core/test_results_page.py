@@ -1,0 +1,62 @@
+"""Tests for the Google-style result page rendering."""
+
+import pytest
+
+from repro.core.results import render_page
+
+
+@pytest.fixture(scope="module")
+def search_result(soda):
+    return soda.search("Credit Suisse")
+
+
+class TestRenderPage:
+    def test_entries_numbered_and_scored(self, search_result):
+        page = render_page(search_result, page=1, page_size=3)
+        assert page.entries[0].position == 1
+        assert page.entries[0].score >= page.entries[-1].score
+
+    def test_titles_name_entry_tables(self, search_result):
+        page = render_page(search_result)
+        titles = [entry.title for entry in page.entries]
+        assert any("organizations" in title for title in titles)
+        assert any("agreements_td" in title for title in titles)
+
+    def test_snippets_included(self, search_result):
+        page = render_page(search_result)
+        with_snippets = [e for e in page.entries if e.snippet_lines]
+        assert with_snippets
+        header = with_snippets[0].snippet_lines[0]
+        assert "," in header or header  # column header line
+
+    def test_pagination(self, search_result):
+        total = len(search_result.statements)
+        page_size = max(1, total - 1)
+        first = render_page(search_result, page=1, page_size=page_size)
+        second = render_page(search_result, page=2, page_size=page_size)
+        assert first.page_count == second.page_count
+        positions = [e.position for e in first.entries] + [
+            e.position for e in second.entries
+        ]
+        assert positions == sorted(set(positions))
+
+    def test_page_clamped(self, search_result):
+        page = render_page(search_result, page=999)
+        assert page.page == page.page_count
+
+    def test_render_text(self, search_result):
+        rendered = render_page(search_result).render()
+        assert "results for: Credit Suisse" in rendered
+        assert "SELECT" in rendered
+
+    def test_disconnected_note(self, soda):
+        result = soda.search("Sara given name", execute=False)
+        page = render_page(result, page_size=len(result.statements))
+        notes = [e.note for e in page.entries if e.note]
+        assert any("joined" in note for note in notes)
+
+    def test_empty_result_page(self, soda):
+        result = soda.search("zzzzqq", execute=False)
+        page = render_page(result)
+        assert page.entries == ()
+        assert "no results" in page.render()

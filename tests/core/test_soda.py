@@ -1,0 +1,98 @@
+"""Tests for the Soda facade: pipeline wiring, snippets, timings, config."""
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+
+
+class TestSearch:
+    def test_returns_scored_statements(self, soda):
+        result = soda.search("Sara Guttinger")
+        assert result.statements
+        scores = [s.score for s in result.statements]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best_property(self, soda):
+        result = soda.search("Zurich")
+        assert result.best is result.statements[0]
+
+    def test_empty_lookup_yields_no_statements(self, soda):
+        result = soda.search("zzzkwxq")
+        assert result.statements == []
+        assert result.best is None
+
+    def test_complexity_exposed(self, soda):
+        result = soda.search("Sara")
+        assert result.complexity == 4
+
+    def test_timings_populated(self, soda):
+        result = soda.search("customers Zurich financial instruments")
+        timings = result.timings
+        assert timings.lookup >= 0
+        assert timings.soda_total > 0
+        assert timings.total >= timings.soda_total
+
+    def test_interpretation_description_attached(self, soda):
+        result = soda.search("Zurich")
+        assert "addresses.city" in result.best.interpretation_description
+
+
+class TestSnippets:
+    def test_snippet_capped_at_twenty_rows(self, soda):
+        # "partially executes the Top 10 in order to generate result
+        # snippets (up to twenty tuples)"
+        result = soda.search("customers")
+        for statement in result.statements:
+            if statement.snippet is not None:
+                assert len(statement.snippet.rows) <= 20
+
+    def test_execute_false_skips_snippets(self, soda):
+        result = soda.search("Zurich", execute=False)
+        assert all(s.snippet is None for s in result.statements)
+        assert result.timings.execute == 0.0
+
+    def test_oversized_statement_skipped(self, warehouse):
+        config = SodaConfig(max_execution_rows=10)
+        soda = Soda(warehouse, config)
+        result = soda.search("Sara given name")
+        skipped = [s for s in result.statements if s.execution_error]
+        assert skipped
+        assert "exceeds" in skipped[0].execution_error
+
+    def test_snippet_rows_config(self, warehouse):
+        soda = Soda(warehouse, SodaConfig(snippet_rows=3))
+        result = soda.search("customers")
+        lengths = [
+            len(s.snippet.rows) for s in result.statements if s.snippet is not None
+        ]
+        assert lengths and max(lengths) <= 3
+
+
+class TestConfig:
+    def test_top_n_limits_statements(self, warehouse):
+        narrow = Soda(warehouse, SodaConfig(top_n=1))
+        result = narrow.search("Sara")
+        assert len(result.statements) <= 1
+
+    def test_dbpedia_ablation_changes_lookup(self, warehouse):
+        with_dbpedia = Soda(warehouse, SodaConfig(use_dbpedia=True))
+        without = Soda(warehouse, SodaConfig(use_dbpedia=False))
+        assert with_dbpedia.search("client", execute=False).complexity >= 1
+        assert without.search("client", execute=False).statements == []
+
+    def test_pattern_override_extension_point(self, warehouse):
+        # replacing the basic patterns with ones that match nothing makes
+        # the tables step come up empty -> no statements
+        overrides = {
+            "table": '( x tablename t:"no_such_table" ) & '
+                     "( x type physical_table )",
+            "column": '( x columnname t:"no_such_column" ) & '
+                      "( x type physical_column ) & ( z column x )",
+        }
+        crippled = Soda(warehouse, SodaConfig(pattern_overrides=overrides))
+        result = crippled.search("private customers", execute=False)
+        assert result.statements == []
+
+    def test_parse_helper(self, soda):
+        query = soda.parse("sum(investments) group by (currency)")
+        assert query.has_aggregation

@@ -1,0 +1,112 @@
+"""Tests for Step 5 — SQL generation."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.sqlengine.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def search(soda):
+    def run(text):
+        return soda.search(text, execute=False)
+
+    return run
+
+
+class TestNonAggregate:
+    def test_select_star_for_keyword_queries(self, search):
+        result = search("private customers family name")
+        assert result.best.sql.startswith("SELECT *")
+
+    def test_generated_sql_parses(self, search):
+        for text in (
+            "Sara Guttinger",
+            "customers Zurich financial instruments",
+            "gold agreement",
+        ):
+            for statement in search(text).statements:
+                parse_select(statement.sql)  # must not raise
+
+    def test_join_conditions_in_where(self, search):
+        result = search("private customers family name")
+        assert "individuals.id = parties.id" in result.best.sql
+
+    def test_filters_in_where(self, search):
+        result = search("Sara Guttinger")
+        positive = [
+            s for s in result.statements
+            if "individuals.given_nm LIKE '%sara%'" in s.sql
+        ]
+        assert positive
+        assert any(
+            "individuals.family_nm LIKE '%guttinger%'" in s.sql
+            for s in positive
+        )
+
+    def test_paper_query1_shape(self, search):
+        # paper Query 1: SELECT * FROM parties, individuals WHERE join AND
+        # firstName = 'Sara' AND lastName = 'Guttinger'
+        result = search("Sara Guttinger")
+        best_like_paper = [
+            s for s in result.statements
+            if set(s.statement.tables) == {"parties", "individuals"}
+        ]
+        assert best_like_paper
+        sql = best_like_paper[0].sql
+        assert "individuals.id = parties.id" in sql
+        assert "LIKE '%sara%'" in sql and "LIKE '%guttinger%'" in sql
+
+    def test_statements_deduplicated(self, search):
+        result = search("private customers family name")
+        sqls = result.sql_texts()
+        assert len(sqls) == len(set(sqls))
+
+
+class TestAggregate:
+    def test_paper_query3_shape(self, search):
+        # sum (amount) group by (transaction date)
+        result = search("sum (amount) group by (transaction date)")
+        assert result.best is not None
+        sql = result.best.sql
+        assert sql.startswith("SELECT sum(")
+        assert "GROUP BY" in sql
+
+    def test_count_star_for_q9(self, search):
+        result = search("select count() private customers Switzerland")
+        assert "count(*)" in result.best.sql
+
+    def test_sum_investments_group_currency(self, search):
+        result = search("sum(investments) group by (currency)")
+        sql = result.best.sql
+        assert "sum(investments_td.amount)" in sql
+        assert "GROUP BY" in sql
+
+    def test_aggregate_ordered_descending(self, search):
+        # the paper's Query 4 orders by the aggregate, descending
+        result = search("sum(investments) group by (currency)")
+        assert "ORDER BY sum(investments_td.amount) DESC" in result.best.sql
+
+
+class TestTopN:
+    def test_top_10_trading_volume(self, search):
+        # paper Section 4.4.2: metadata-defined aggregation + top N
+        result = search("Top 10 trading volume customers")
+        assert result.best is not None
+        sql = result.best.sql
+        assert "sum(fi_transactions.amount)" in sql
+        assert "LIMIT 10" in sql
+        assert "DESC" in sql
+
+    def test_top_n_groups_by_entity_key(self, search):
+        result = search("Top 10 trading volume customers")
+        assert "GROUP BY parties.id" in result.best.sql
+
+
+class TestDisconnected:
+    def test_disconnected_statement_flagged(self, search):
+        result = search("Sara given name")
+        flagged = [s for s in result.statements if s.disconnected]
+        assert flagged
+        # disconnected statements have no join between the island and rest
+        assert any("individual_name_hist" in s.sql for s in flagged)

@@ -1,0 +1,142 @@
+"""Tests for Step 3 — tables, joins, bridges, inheritance (Figs. 6, 9, 10)."""
+
+import pytest
+
+from repro.core.input_patterns import parse_query
+from repro.core.lookup import Lookup
+from repro.core.patterns import build_default_library
+from repro.core.ranking import rank
+from repro.core.tables import TablesStep
+from repro.warehouse.graphbuilder import build_classification_index
+
+
+@pytest.fixture(scope="module")
+def steps(warehouse):
+    classification = build_classification_index(warehouse.graph)
+    lookup = Lookup(classification, warehouse.inverted)
+    tables = TablesStep(warehouse.graph, build_default_library())
+    return lookup, tables
+
+
+def run_best(steps, text):
+    lookup, tables = steps
+    result = lookup.run(parse_query(text))
+    best = rank(result, top_n=1)[0]
+    return tables.run(best.interpretation)
+
+
+class TestFig6TablesStep:
+    def test_seven_tables_for_fig5_query(self, steps):
+        # Fig. 6: parties, individuals, organizations, addresses,
+        # financial_instruments, fi_contains_sec, securities
+        result = run_best(steps, "customers Zurich financial instruments")
+        assert set(result.tables) == {
+            "parties", "individuals", "organizations", "addresses",
+            "financial_instruments", "fi_contains_sec", "securities",
+        }
+
+    def test_customers_expands_inheritance_tree(self, steps):
+        result = run_best(steps, "customers")
+        assert {"parties", "individuals", "organizations"} <= set(result.tables)
+
+    def test_zurich_maps_to_addresses(self, steps):
+        result = run_best(steps, "Zurich")
+        assert result.tables == ["addresses"]
+
+    def test_column_hit_recorded(self, steps):
+        lookup, tables = steps
+        result = lookup.run(parse_query("family name"))
+        best = rank(result, top_n=1)[0]
+        expansion = tables.run(best.interpretation).expansions[0]
+        assert ("individuals", "family_nm") in expansion.columns
+
+
+class TestInheritanceClosure:
+    def test_base_data_child_pulls_parent(self, steps):
+        # 'Sara' in individuals.given_nm must pull in parties (the paper:
+        # "we collect the table name of the inheritance parent")
+        lookup, tables = steps
+        result = lookup.run(parse_query("Sara"))
+        for ranked in rank(result, top_n=10):
+            tables_result = tables.run(ranked.interpretation)
+            if "individuals" in tables_result.tables:
+                assert "parties" in tables_result.tables
+                assert tables_result.inheritance_parents.get("individuals") == (
+                    "parties"
+                )
+
+    def test_trade_orders_pull_orders_parent(self, steps):
+        result = run_best(steps, "trade order")
+        assert {"trade_orders", "orders_td"} <= set(result.tables)
+
+
+class TestJoinSelection:
+    def test_inheritance_join_selected(self, steps):
+        result = run_best(steps, "private customers family name")
+        conditions = {j.condition_sql() for j in result.joins}
+        assert "individuals.id = parties.id" in conditions
+
+    def test_direct_path_join_for_zurich(self, steps):
+        # Q9.0 failure mode: the *shorter* stale domicile edge is chosen
+        result = run_best(steps, "private customers Switzerland")
+        conditions = {j.condition_sql() for j in result.joins}
+        assert "individuals.domicile_adr_id = addresses.id" in conditions
+        assert "party_address" not in result.tables
+
+    def test_bridge_table_on_path(self, steps):
+        # fi_contains_sec joins financial_instruments with securities
+        result = run_best(steps, "customers Zurich financial instruments")
+        conditions = {j.condition_sql() for j in result.joins}
+        assert "fi_contains_sec.fi_id = financial_instruments.id" in conditions
+        assert "fi_contains_sec.sec_id = securities.id" in conditions
+
+    def test_connected_result_reports_single_component(self, steps):
+        result = run_best(steps, "private customers family name")
+        assert result.is_connected
+
+    def test_unannotated_join_leaves_component_disconnected(self, steps):
+        # individual_name_hist has no annotated join -> stays an island
+        lookup, tables = steps
+        result = lookup.run(parse_query("Sara given name"))
+        disconnected = []
+        for ranked in rank(result, top_n=12):
+            tables_result = tables.run(ranked.interpretation)
+            if (
+                "individual_name_hist" in tables_result.tables
+                and len(tables_result.tables) > 1
+            ):
+                disconnected.append(not tables_result.is_connected)
+        assert disconnected and all(disconnected)
+
+
+class TestFig10SiblingBridge:
+    def test_sibling_pruning_keeps_first_child_parent_join(self, steps):
+        # customers names: individuals keeps parties.id join, organizations
+        # connects through the associate_employment bridge instead
+        result = run_best(steps, "customers names")
+        conditions = {j.condition_sql() for j in result.joins}
+        assert "individuals.id = parties.id" in conditions
+        assert "organizations.id = parties.id" not in conditions
+        assert "associate_employment" in result.tables
+
+    def test_business_filter_collected(self, steps):
+        result = run_best(steps, "wealthy customers")
+        filters = [
+            business
+            for expansion in result.expansions
+            for business in expansion.business_filters
+        ]
+        assert filters
+        assert filters[0].column == "salary"
+        assert filters[0].op == ">="
+
+    def test_business_aggregation_collected(self, steps):
+        result = run_best(steps, "trading volume")
+        aggs = [
+            agg
+            for expansion in result.expansions
+            for agg in expansion.business_aggregations
+        ]
+        assert aggs
+        assert aggs[0].func == "sum"
+        assert (aggs[0].table, aggs[0].column) == ("fi_transactions", "amount")

@@ -1,0 +1,46 @@
+"""Tests for paper-style table rendering."""
+
+from repro.experiments.reporting import (
+    format_rows,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+
+
+class TestFormatRows:
+    def test_alignment(self):
+        rendered = format_rows(("A", "LongHeader"), [(1, "x"), (22, "yy")])
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert all(len(line) <= len(lines[0]) + 2 for line in lines)
+
+    def test_cells_stringified(self):
+        rendered = format_rows(("n",), [(1.5,), (None,)])
+        assert "1.5" in rendered and "None" in rendered
+
+
+class TestPaperTables:
+    def test_table1_includes_paper_column(self, warehouse):
+        rendered = format_table1(warehouse.definition.schema_statistics())
+        assert "472" in rendered  # the paper's physical table count
+        assert "conceptual_entities" in rendered
+
+    def test_table2_lists_all_queries(self):
+        rendered = format_table2()
+        for qid in ("1.0", "9.0", "10.0"):
+            assert qid in rendered
+
+    def test_table3_renders_outcomes(self, experiment_outcomes):
+        rendered = format_table3(experiment_outcomes)
+        assert "P(best)" in rendered
+        assert "paperP" in rendered
+        assert rendered.count("\n") >= 14  # header + separator + 13 rows
+
+    def test_table4_renders_runtimes(self, experiment_outcomes):
+        rendered = format_table4(experiment_outcomes)
+        assert "Cmplx" in rendered
+        assert "SODA(s)" in rendered
+        assert "40min" in rendered  # the paper's Q10.0 total

@@ -1,0 +1,83 @@
+"""Tests for the synthetic workload generator and scalability study."""
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.experiments.synthetic_workload import (
+    SyntheticQuery,
+    build_synthetic_warehouse,
+    generate_workload,
+    run_scalability_study,
+)
+from repro.warehouse.synthetic import SyntheticConfig
+
+
+@pytest.fixture(scope="module")
+def synthetic_warehouse():
+    return build_synthetic_warehouse(SyntheticConfig().scaled(0.05))
+
+
+class TestPopulation:
+    def test_every_table_populated(self, synthetic_warehouse):
+        counts = synthetic_warehouse.row_counts()
+        assert counts and all(count == 5 for count in counts.values())
+
+    def test_inverted_index_has_tokens(self, synthetic_warehouse):
+        assert synthetic_warehouse.inverted.entry_count() > 0
+
+    def test_deterministic(self):
+        config = SyntheticConfig().scaled(0.05)
+        a = build_synthetic_warehouse(config)
+        b = build_synthetic_warehouse(config)
+        name = a.database.table_names()[0]
+        assert a.database.execute(f"SELECT * FROM {name}").rows == (
+            b.database.execute(f"SELECT * FROM {name}").rows
+        )
+
+
+class TestWorkload:
+    def test_requested_count(self, synthetic_warehouse):
+        workload = generate_workload(synthetic_warehouse.definition, count=9)
+        assert len(workload) == 9
+
+    def test_kinds_mixed(self, synthetic_warehouse):
+        workload = generate_workload(synthetic_warehouse.definition, count=9)
+        kinds = {query.kind for query in workload}
+        assert kinds == {"entity", "attribute", "mixed"}
+
+    def test_queries_draw_from_schema_vocabulary(self, synthetic_warehouse):
+        labels = {
+            entity.label or entity.name.replace("_", " ").lower()
+            for entity in synthetic_warehouse.definition.logical_entities
+        }
+        workload = generate_workload(synthetic_warehouse.definition, count=6)
+        for query in workload:
+            if query.kind == "entity":
+                assert query.text in labels
+
+    def test_deterministic_given_seed(self, synthetic_warehouse):
+        first = generate_workload(synthetic_warehouse.definition, seed=5)
+        second = generate_workload(synthetic_warehouse.definition, seed=5)
+        assert first == second
+
+    def test_soda_answers_entity_queries(self, synthetic_warehouse):
+        soda = Soda(synthetic_warehouse, SodaConfig())
+        workload = generate_workload(synthetic_warehouse.definition, count=6)
+        answered = sum(
+            1
+            for query in workload
+            if soda.search(query.text, execute=False).statements
+        )
+        assert answered >= len(workload) // 2
+
+
+class TestScalabilityStudy:
+    def test_study_returns_points(self):
+        points = run_scalability_study(
+            factors=(0.03, 0.06), queries_per_scale=3
+        )
+        assert len(points) == 2
+        assert points[0].tables < points[1].tables
+        for point in points:
+            assert point.mean_total_ms > 0
+            assert point.answered >= 0

@@ -1,0 +1,87 @@
+"""Tests for the Table 2 workload definition."""
+
+import pytest
+
+from repro.experiments.workload import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    WORKLOAD,
+    query_by_id,
+)
+from repro.sqlengine.parser import parse_select
+
+
+class TestWorkloadShape:
+    def test_thirteen_queries(self):
+        assert len(WORKLOAD) == 13
+
+    def test_ids_match_paper(self):
+        assert [q.qid for q in WORKLOAD] == [
+            "1.0", "2.1", "2.2", "2.3", "3.1", "3.2", "4.0",
+            "5.0", "6.0", "7.0", "8.0", "9.0", "10.0",
+        ]
+
+    def test_all_type_tags_covered(self):
+        tags = {tag for q in WORKLOAD for tag in q.types}
+        assert tags == {"B", "S", "D", "I", "P", "A"}
+
+    def test_gold_sql_parses(self):
+        for query in WORKLOAD:
+            for sql in query.gold:
+                parse_select(sql)
+
+    def test_gold_executes(self, warehouse):
+        for query in WORKLOAD:
+            for sql in query.gold:
+                warehouse.database.execute(sql)
+
+    def test_q5_gold_has_two_statements(self):
+        assert len(query_by_id("5.0").gold) == 2
+
+    def test_query_by_id(self):
+        assert query_by_id("2.1").text == "Sara"
+        with pytest.raises(KeyError):
+            query_by_id("99")
+
+    def test_uses_helper(self):
+        assert query_by_id("9.0").uses("A")
+        assert not query_by_id("3.1").uses("A")
+
+    def test_paper_reference_tables_cover_all_queries(self):
+        ids = {q.qid for q in WORKLOAD}
+        assert set(PAPER_TABLE3) == ids
+        assert set(PAPER_TABLE4) == ids
+
+
+class TestGoldSemantics:
+    def test_q21_gold_finds_five_saras(self, warehouse):
+        rows = warehouse.database.execute(query_by_id("2.1").gold[0]).rows
+        assert len(set(rows)) == 5
+
+    def test_q23_gold_finds_one_sara(self, warehouse):
+        rows = warehouse.database.execute(query_by_id("2.3").gold[0]).rows
+        assert len(rows) == 1
+
+    def test_q31_gold_single_org(self, warehouse):
+        rows = warehouse.database.execute(query_by_id("3.1").gold[0]).rows
+        assert rows == [(1001, "Credit Suisse")]
+
+    def test_q70_gold_subset_of_yen_orders(self, warehouse):
+        executed = warehouse.database.execute(query_by_id("7.0").gold[0]).rows
+        all_yen = warehouse.database.execute(
+            "SELECT trade_orders.id FROM trade_orders "
+            "WHERE currency_cd = 'YEN'"
+        ).rows
+        assert 0 < len(executed) < len(all_yen)
+
+    def test_q90_gold_counts_via_bridge(self, warehouse):
+        bridge_count = warehouse.database.execute(
+            query_by_id("9.0").gold[0]
+        ).rows[0][0]
+        stale_count = warehouse.database.execute(
+            "SELECT count(*) FROM parties, individuals, addresses "
+            "WHERE parties.id = individuals.id "
+            "AND individuals.domicile_adr_id = addresses.id "
+            "AND addresses.country = 'Switzerland'"
+        ).rows[0][0]
+        assert bridge_count > stale_count > 0

@@ -1,0 +1,74 @@
+"""Tests for URI helpers and the Text label type."""
+
+import pytest
+
+from repro.graph.node import (
+    Text,
+    Vocab,
+    is_uri,
+    local_name,
+    namespace_of,
+    uri,
+)
+
+
+class TestUri:
+    def test_uri_builds_expected_form(self):
+        assert uri("physical", "table", "parties") == (
+            "soda://physical/table/parties"
+        )
+
+    def test_uri_skips_empty_parts(self):
+        assert uri("meta", "", "type") == "soda://meta/type"
+
+    def test_uri_replaces_spaces(self):
+        assert uri("conceptual", "attr", "family name").endswith("family_name")
+
+    def test_is_uri_accepts_soda_scheme(self):
+        assert is_uri("soda://meta/type")
+
+    def test_is_uri_rejects_plain_strings(self):
+        assert not is_uri("parties")
+
+    def test_is_uri_rejects_non_strings(self):
+        assert not is_uri(42)
+        assert not is_uri(Text("parties"))
+
+    def test_local_name(self):
+        assert local_name("soda://physical/table/parties") == "parties"
+
+    def test_namespace_of(self):
+        assert namespace_of("soda://physical/table/parties") == "physical"
+
+    def test_namespace_of_rejects_non_uri(self):
+        with pytest.raises(ValueError):
+            namespace_of("parties")
+
+
+class TestText:
+    def test_equality(self):
+        assert Text("a") == Text("a")
+        assert Text("a") != Text("b")
+
+    def test_hashable(self):
+        assert len({Text("a"), Text("a"), Text("b")}) == 2
+
+    def test_ordering(self):
+        assert Text("a") < Text("b")
+
+    def test_str(self):
+        assert str(Text("parties")) == "t:parties"
+
+
+class TestVocab:
+    def test_all_vocab_entries_are_uris(self):
+        for name in dir(Vocab):
+            if name.startswith("_"):
+                continue
+            assert is_uri(getattr(Vocab, name)), name
+
+    def test_vocab_entries_distinct(self):
+        values = [
+            getattr(Vocab, name) for name in dir(Vocab) if not name.startswith("_")
+        ]
+        assert len(values) == len(set(values))

@@ -1,0 +1,184 @@
+"""Tests for the pattern language: parser, matcher, references (Figs. 7/8)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.node import Text, Vocab, uri
+from repro.graph.pattern import (
+    Pattern,
+    PatternLibrary,
+    PatternRef,
+    TextVar,
+    TriplePattern,
+    Var,
+    match_pattern,
+    parse_pattern,
+)
+from repro.graph.triples import TripleStore
+
+RESOLVER = {
+    "type": Vocab.TYPE,
+    "tablename": Vocab.TABLENAME,
+    "columnname": Vocab.COLUMNNAME,
+    "column": Vocab.COLUMN,
+    "foreign_key": Vocab.FOREIGN_KEY,
+    "physical_table": Vocab.PHYSICAL_TABLE,
+    "physical_column": Vocab.PHYSICAL_COLUMN,
+}
+
+TABLE = uri("physical", "table", "parties")
+COL_A = uri("physical", "column", "parties", "id")
+COL_B = uri("physical", "column", "individuals", "id")
+TABLE_B = uri("physical", "table", "individuals")
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(TABLE, Vocab.TABLENAME, Text("parties"))
+    s.add(TABLE, Vocab.TYPE, Vocab.PHYSICAL_TABLE)
+    s.add(COL_A, Vocab.COLUMNNAME, Text("id"))
+    s.add(COL_A, Vocab.TYPE, Vocab.PHYSICAL_COLUMN)
+    s.add(TABLE, Vocab.COLUMN, COL_A)
+    s.add(TABLE_B, Vocab.TABLENAME, Text("individuals"))
+    s.add(TABLE_B, Vocab.TYPE, Vocab.PHYSICAL_TABLE)
+    s.add(COL_B, Vocab.COLUMNNAME, Text("id"))
+    s.add(COL_B, Vocab.TYPE, Vocab.PHYSICAL_COLUMN)
+    s.add(TABLE_B, Vocab.COLUMN, COL_B)
+    s.add(COL_B, Vocab.FOREIGN_KEY, COL_A)
+    return s
+
+
+TABLE_PATTERN_SRC = "( x tablename t:y ) & ( x type physical_table )"
+COLUMN_PATTERN_SRC = (
+    "( x columnname t:y ) & ( x type physical_column ) & ( z column x )"
+)
+FK_PATTERN_SRC = (
+    "( x foreign_key y ) & ( x matches-column ) & ( y matches-column )"
+)
+
+
+class TestParser:
+    def test_parses_table_pattern(self):
+        pattern = parse_pattern("table", TABLE_PATTERN_SRC, RESOLVER)
+        assert len(pattern.clauses) == 2
+        first = pattern.clauses[0]
+        assert isinstance(first, TriplePattern)
+        assert first.subject == Var("x")
+        assert first.predicate == Vocab.TABLENAME
+        assert first.obj == TextVar("y")
+
+    def test_static_object_resolved(self):
+        pattern = parse_pattern("table", TABLE_PATTERN_SRC, RESOLVER)
+        second = pattern.clauses[1]
+        assert second.obj == Vocab.PHYSICAL_TABLE
+
+    def test_parses_reference_clause(self):
+        pattern = parse_pattern("fk", FK_PATTERN_SRC, RESOLVER)
+        refs = [c for c in pattern.clauses if isinstance(c, PatternRef)]
+        assert len(refs) == 2
+        assert refs[0].pattern_name == "column"
+
+    def test_quoted_text_literal(self):
+        pattern = parse_pattern(
+            "named", '( x tablename t:"parties" )', RESOLVER
+        )
+        assert pattern.clauses[0].obj == Text("parties")
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(PatternError):
+            parse_pattern("bad", "( x frobnicate y )", RESOLVER)
+
+    def test_unbalanced_parens_raise(self):
+        with pytest.raises(PatternError):
+            parse_pattern("bad", "( x type physical_table", RESOLVER)
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(PatternError):
+            parse_pattern("bad", "   ", RESOLVER)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PatternError):
+            parse_pattern("bad", "( x )", RESOLVER)
+
+    def test_variables_listed(self):
+        # node variables only; t:y is a text variable and not included
+        pattern = parse_pattern("column", COLUMN_PATTERN_SRC, RESOLVER)
+        assert pattern.variables() == {"x", "z"}
+
+
+class TestMatcher:
+    def test_table_pattern_matches_table_node(self, store):
+        pattern = parse_pattern("table", TABLE_PATTERN_SRC, RESOLVER)
+        matches = match_pattern(store, pattern, TABLE)
+        assert len(matches) == 1
+        assert matches[0]["y"] == Text("parties")
+
+    def test_table_pattern_rejects_column_node(self, store):
+        pattern = parse_pattern("table", TABLE_PATTERN_SRC, RESOLVER)
+        assert match_pattern(store, pattern, COL_A) == []
+
+    def test_column_pattern_binds_owning_table(self, store):
+        pattern = parse_pattern("column", COLUMN_PATTERN_SRC, RESOLVER)
+        matches = match_pattern(store, pattern, COL_A)
+        assert len(matches) == 1
+        assert matches[0]["z"] == TABLE
+
+    def test_reference_pattern(self, store):
+        library = PatternLibrary(
+            [
+                parse_pattern("column", COLUMN_PATTERN_SRC, RESOLVER),
+                parse_pattern("fk", FK_PATTERN_SRC, RESOLVER),
+            ]
+        )
+        matches = match_pattern(store, library.get("fk"), COL_B, library)
+        assert len(matches) == 1
+        assert matches[0]["y"] == COL_A
+
+    def test_reference_fails_when_target_not_column(self, store):
+        store.add(TABLE_B, Vocab.FOREIGN_KEY, COL_A)  # table, not a column
+        library = PatternLibrary(
+            [
+                parse_pattern("column", COLUMN_PATTERN_SRC, RESOLVER),
+                parse_pattern("fk", FK_PATTERN_SRC, RESOLVER),
+            ]
+        )
+        assert match_pattern(store, library.get("fk"), TABLE_B, library) == []
+
+    def test_variable_keeps_binding_within_match(self, store):
+        # ( x columnname t:y ) & ( x type physical_column ): both clauses
+        # must bind the same x
+        pattern = parse_pattern("column", COLUMN_PATTERN_SRC, RESOLVER)
+        for node in (COL_A, COL_B):
+            for match in match_pattern(store, pattern, node):
+                assert match["x"] == node
+
+    def test_unknown_reference_raises(self, store):
+        pattern = parse_pattern("fk", FK_PATTERN_SRC, RESOLVER)
+        with pytest.raises(PatternError):
+            match_pattern(store, pattern, COL_B, PatternLibrary())
+
+    def test_text_var_does_not_bind_uri(self, store):
+        # tablename edge pointing at a URI must not match t:y
+        other = uri("physical", "table", "weird")
+        store.add(other, Vocab.TABLENAME, COL_A)
+        store.add(other, Vocab.TYPE, Vocab.PHYSICAL_TABLE)
+        pattern = parse_pattern("table", TABLE_PATTERN_SRC, RESOLVER)
+        assert match_pattern(store, pattern, other) == []
+
+
+class TestLibrary:
+    def test_duplicate_name_raises(self):
+        library = PatternLibrary()
+        library.add(parse_pattern("p", TABLE_PATTERN_SRC, RESOLVER))
+        with pytest.raises(PatternError):
+            library.add(parse_pattern("p", TABLE_PATTERN_SRC, RESOLVER))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(PatternError):
+            PatternLibrary().get("nope")
+
+    def test_contains_and_names(self):
+        library = PatternLibrary([parse_pattern("p", TABLE_PATTERN_SRC, RESOLVER)])
+        assert "p" in library
+        assert library.names() == ["p"]

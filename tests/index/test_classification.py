@@ -1,0 +1,92 @@
+"""Tests for the classification index and term normalisation."""
+
+import pytest
+
+from repro.index.classification import (
+    ClassificationIndex,
+    EntrySource,
+    TermMatch,
+    depluralize,
+    normalize_term,
+)
+
+
+class TestNormalize:
+    def test_whitespace_and_case(self):
+        assert normalize_term("  Private   CUSTOMERS ") == "private customers"
+
+    def test_depluralize_simple(self):
+        assert depluralize("customers") == "customer"
+
+    def test_depluralize_ies(self):
+        assert depluralize("parties") == "party"
+        assert depluralize("currencies") == "currency"
+
+    def test_depluralize_sses(self):
+        assert depluralize("addresses") == "address"
+
+    def test_depluralize_keeps_ss(self):
+        assert depluralize("class") == "class"
+
+    def test_depluralize_short_words(self):
+        assert depluralize("is") == "is"
+
+    def test_depluralize_multiword(self):
+        assert depluralize("trade orders") == "trade order"
+
+
+class TestClassificationIndex:
+    @pytest.fixture
+    def index(self):
+        idx = ClassificationIndex()
+        idx.add_term("customers", "soda://ontology/c/customers",
+                     EntrySource.DOMAIN_ONTOLOGY)
+        idx.add_term("financial instruments", "soda://conceptual/entity/FI",
+                     EntrySource.CONCEPTUAL_SCHEMA)
+        idx.add_term("financial instruments", "soda://logical/entity/FI",
+                     EntrySource.LOGICAL_SCHEMA)
+        return idx
+
+    def test_lookup_exact(self, index):
+        matches = index.lookup("customers")
+        assert len(matches) == 1
+        assert matches[0].source is EntrySource.DOMAIN_ONTOLOGY
+
+    def test_lookup_singular_matches_plural(self, index):
+        assert index.lookup("customer")
+
+    def test_lookup_multiple_sources(self, index):
+        assert len(index.lookup("financial instruments")) == 2
+
+    def test_lookup_order_deterministic(self, index):
+        sources = [m.source for m in index.lookup("financial instrument")]
+        assert sources == [
+            EntrySource.CONCEPTUAL_SCHEMA, EntrySource.LOGICAL_SCHEMA
+        ]
+
+    def test_contains(self, index):
+        assert "customers" in index
+        assert "nonexistent" not in index
+
+    def test_duplicate_add_ignored(self, index):
+        index.add_term("customers", "soda://ontology/c/customers",
+                       EntrySource.DOMAIN_ONTOLOGY)
+        assert len(index.lookup("customers")) == 1
+
+    def test_empty_term_ignored(self, index):
+        index.add_term("  ", "soda://x/y", EntrySource.DBPEDIA)
+        assert index.term_count() == 2
+
+    def test_max_term_words(self, index):
+        assert index.max_term_words == 2
+        index.add_term("very long business term", "soda://x/y",
+                       EntrySource.DOMAIN_ONTOLOGY)
+        assert index.max_term_words == 4
+
+    def test_terms_listing(self, index):
+        assert "customer" in index.terms()
+
+    def test_term_match_sort_key(self):
+        a = TermMatch("t", "soda://a", EntrySource.BASE_DATA)
+        b = TermMatch("t", "soda://b", EntrySource.BASE_DATA)
+        assert sorted([b, a], key=TermMatch.sort_key)[0] is a

@@ -1,0 +1,115 @@
+"""Tests for the base-data inverted index."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex, Posting, tokenize_text
+from repro.sqlengine.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orgs (id INT, org_nm TEXT, notes TEXT)"
+    )
+    database.execute(
+        "INSERT INTO orgs VALUES "
+        "(1, 'Credit Suisse', 'bank'), "
+        "(2, 'Suisse Credit Union', NULL), "
+        "(3, 'Alpine Trading AG', 'gold dealer')"
+    )
+    database.execute("CREATE TABLE nums (id INT, amount REAL)")
+    database.execute("INSERT INTO nums VALUES (1, 5.0)")
+    return database
+
+
+@pytest.fixture
+def index(db):
+    return InvertedIndex.build(db.catalog)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize_text("Credit Suisse AG") == ["credit", "suisse", "ag"]
+
+    def test_punctuation_split(self):
+        assert tokenize_text("a-b_c.d") == ["a", "b", "c", "d"]
+
+    def test_numbers_kept(self):
+        assert tokenize_text("Loan 2011") == ["loan", "2011"]
+
+    def test_empty(self):
+        assert tokenize_text("   ") == []
+
+
+class TestBuild:
+    def test_only_text_columns_indexed(self, index):
+        # the paper: numeric columns are not in the inverted index
+        assert not index.lookup("5")
+
+    def test_null_values_skipped(self, index):
+        assert index.entry_count() == 5  # 3 org names + 2 non-null notes
+
+    def test_restricted_tables(self, db):
+        partial = InvertedIndex.build(db.catalog, tables=["nums"])
+        assert partial.entry_count() == 0
+
+
+class TestLookup:
+    def test_single_token(self, index):
+        postings = index.lookup("credit")
+        assert len(postings) == 2
+        assert all(p.column == "org_nm" for p in postings)
+
+    def test_lookup_is_case_insensitive(self, index):
+        assert index.lookup("CREDIT") == index.lookup("credit")
+
+    def test_unknown_token(self, index):
+        assert index.lookup("zzz") == []
+
+    def test_has_token(self, index):
+        assert index.has_token("gold")
+        assert not index.has_token("silver")
+
+    def test_occurrences_counted(self):
+        index = InvertedIndex()
+        index.add("t", "c", "Zurich")
+        index.add("t", "c", "Zurich")
+        assert index.lookup("zurich")[0].occurrences == 2
+
+
+class TestPhrase:
+    def test_contiguous_phrase_matches(self, index):
+        postings = index.lookup_phrase("credit suisse")
+        assert [p.value for p in postings] == ["Credit Suisse"]
+
+    def test_non_contiguous_rejected(self, index):
+        # 'Suisse Credit Union' has both tokens but not adjacent in order
+        values = [p.value for p in index.lookup_phrase("credit union")]
+        assert values == ["Suisse Credit Union"]
+        assert not [
+            p for p in index.lookup_phrase("credit suisse")
+            if p.value == "Suisse Credit Union"
+        ]
+
+    def test_single_word_phrase(self, index):
+        assert index.lookup_phrase("gold")
+
+    def test_empty_phrase(self, index):
+        assert index.lookup_phrase("") == []
+
+    def test_missing_token_short_circuits(self, index):
+        assert index.lookup_phrase("credit zzz") == []
+
+
+class TestStats:
+    def test_size_summary(self, index):
+        summary = index.size_summary()
+        assert summary["indexed_values"] == 5
+        assert summary["distinct_tokens"] == index.token_count()
+        assert summary["postings"] >= summary["distinct_tokens"]
+
+    def test_posting_sort_key(self):
+        a = Posting("a", "c", "v")
+        b = Posting("b", "c", "v")
+        assert sorted([b, a], key=Posting.sort_key)[0] is a

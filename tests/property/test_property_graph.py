@@ -1,0 +1,124 @@
+"""Property-based tests for the triple store and traversal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.node import Text, uri
+from repro.graph.traversal import iter_reachable
+from repro.graph.triples import Triple, TripleStore
+
+settings.register_profile("graph", max_examples=60, deadline=None)
+settings.load_profile("graph")
+
+node_ids = st.integers(min_value=0, max_value=12)
+predicate_ids = st.integers(min_value=0, max_value=3)
+
+
+def node(i):
+    return uri("n", str(i))
+
+
+def predicate(i):
+    return uri("p", str(i))
+
+
+triples_strategy = st.lists(
+    st.tuples(node_ids, predicate_ids, node_ids), max_size=50
+).map(
+    lambda items: [
+        Triple(node(s), predicate(p), node(o)) for s, p, o in items
+    ]
+)
+
+
+class TestStoreModel:
+    @given(triples=triples_strategy)
+    def test_store_is_a_set(self, triples):
+        store = TripleStore(triples)
+        assert len(store) == len(set(triples))
+
+    @given(triples=triples_strategy, s=node_ids, p=predicate_ids, o=node_ids)
+    def test_match_equals_naive_filter(self, triples, s, p, o):
+        store = TripleStore(triples)
+        unique = set(triples)
+        for subject, pred, obj in [
+            (node(s), None, None),
+            (None, predicate(p), None),
+            (None, None, node(o)),
+            (node(s), predicate(p), None),
+            (None, predicate(p), node(o)),
+            (node(s), None, node(o)),
+            (node(s), predicate(p), node(o)),
+        ]:
+            got = set(store.match(subject, pred, obj))
+            expected = {
+                t for t in unique
+                if (subject is None or t.subject == subject)
+                and (pred is None or t.predicate == pred)
+                and (obj is None or t.obj == obj)
+            }
+            assert got == expected
+
+    @given(triples=triples_strategy)
+    def test_remove_then_absent(self, triples):
+        store = TripleStore(triples)
+        for triple in set(triples):
+            store.remove(triple.subject, triple.predicate, triple.obj)
+            assert triple not in store
+            assert not list(
+                store.match(triple.subject, triple.predicate, triple.obj)
+            )
+
+    @given(triples=triples_strategy)
+    def test_subjects_objects_inverse(self, triples):
+        store = TripleStore(triples)
+        for triple in set(triples):
+            assert triple.obj in store.objects(triple.subject, triple.predicate)
+            assert triple.subject in store.subjects(triple.predicate, triple.obj)
+
+
+class TestTraversalModel:
+    @given(triples=triples_strategy, start=node_ids)
+    def test_reachable_matches_networkx(self, triples, start):
+        import networkx as nx
+
+        store = TripleStore(triples)
+        graph = nx.DiGraph()
+        graph.add_node(node(start))
+        for triple in triples:
+            graph.add_edge(triple.subject, triple.obj)
+        got = {n for n, __ in iter_reachable(store, node(start))}
+        expected = {node(start)} | nx.descendants(graph, node(start))
+        assert got == expected
+
+    @given(triples=triples_strategy, start=node_ids,
+           depth=st.integers(0, 4))
+    def test_depth_monotone(self, triples, start, depth):
+        store = TripleStore(triples)
+        shallow = {n for n, __ in iter_reachable(store, node(start), depth)}
+        deeper = {n for n, __ in iter_reachable(store, node(start), depth + 1)}
+        assert shallow <= deeper
+
+    @given(triples=triples_strategy, start=node_ids)
+    def test_depths_are_shortest_paths(self, triples, start):
+        import networkx as nx
+
+        store = TripleStore(triples)
+        graph = nx.DiGraph()
+        graph.add_node(node(start))
+        for triple in triples:
+            graph.add_edge(triple.subject, triple.obj)
+        lengths = nx.single_source_shortest_path_length(graph, node(start))
+        for n, depth in iter_reachable(store, node(start)):
+            assert lengths[n] == depth
+
+
+class TestTextLabels:
+    @given(labels=st.lists(st.text(max_size=8), max_size=10))
+    def test_text_labels_never_traversed(self, labels):
+        store = TripleStore()
+        start = node(0)
+        for i, label in enumerate(labels):
+            store.add(start, predicate(0), Text(label))
+        reached = list(iter_reachable(store, start))
+        assert reached == [(start, 0)]

@@ -1,0 +1,100 @@
+"""Property-based tests for the inverted/classification indexes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index.classification import (
+    ClassificationIndex,
+    EntrySource,
+    depluralize,
+    normalize_term,
+)
+from repro.index.inverted import InvertedIndex, tokenize_text
+
+settings.register_profile("index", max_examples=80, deadline=None)
+settings.load_profile("index")
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+values = st.lists(words, min_size=1, max_size=4).map(" ".join)
+
+
+class TestInvertedIndexModel:
+    @given(stored=st.lists(values, max_size=25), probe=words)
+    def test_lookup_finds_exactly_containing_values(self, stored, probe):
+        index = InvertedIndex()
+        for i, value in enumerate(stored):
+            index.add("t", "c", value)
+        got = {p.value for p in index.lookup(probe)}
+        expected = {v for v in stored if probe in tokenize_text(v)}
+        assert got == expected
+
+    @given(stored=st.lists(values, max_size=25),
+           phrase=st.lists(words, min_size=1, max_size=3).map(" ".join))
+    def test_phrase_postings_subset_of_token_postings(self, stored, phrase):
+        index = InvertedIndex()
+        for value in stored:
+            index.add("t", "c", value)
+        phrase_values = {p.value for p in index.lookup_phrase(phrase)}
+        for token in tokenize_text(phrase):
+            token_values = {p.value for p in index.lookup(token)}
+            assert phrase_values <= token_values
+
+    @given(stored=st.lists(values, max_size=25))
+    def test_phrase_contiguity(self, stored):
+        index = InvertedIndex()
+        for value in stored:
+            index.add("t", "c", value)
+        for value in stored:
+            # every stored value matches itself as a phrase
+            assert value in {p.value for p in index.lookup_phrase(value)}
+
+    @given(stored=st.lists(values, max_size=25))
+    def test_entry_count(self, stored):
+        index = InvertedIndex()
+        for value in stored:
+            index.add("t", "c", value)
+        assert index.entry_count() == len(stored)
+
+
+class TestNormalisation:
+    @given(term=st.text(max_size=20))
+    def test_normalize_idempotent(self, term):
+        once = normalize_term(term)
+        assert normalize_term(once) == once
+
+    @given(term=st.text(alphabet="abcdefgh s", max_size=20))
+    def test_depluralize_idempotent(self, term):
+        once = depluralize(term)
+        assert depluralize(once) == once
+
+    @given(word=st.text(alphabet="abcdefgh", min_size=3, max_size=6))
+    def test_plural_and_singular_unify(self, word):
+        # long enough, not already ending in s: the naive rule unifies
+        if word.endswith("s"):
+            return
+        assert depluralize(word + "s") == depluralize(word)
+
+
+class TestClassificationModel:
+    @given(terms=st.lists(st.tuples(values, st.integers(0, 5)), max_size=20),
+           probe=values)
+    def test_lookup_consistent_with_membership(self, terms, probe):
+        index = ClassificationIndex()
+        for term, i in terms:
+            index.add_term(term, f"soda://x/{i}", EntrySource.LOGICAL_SCHEMA)
+        assert bool(index.lookup(probe)) == (probe in index)
+
+    @given(terms=st.lists(values, min_size=1, max_size=20))
+    def test_every_added_term_findable(self, terms):
+        index = ClassificationIndex()
+        for i, term in enumerate(terms):
+            index.add_term(term, f"soda://x/{i}", EntrySource.DBPEDIA)
+        for term in terms:
+            assert index.lookup(term)
+
+    @given(terms=st.lists(values, min_size=1, max_size=20))
+    def test_max_term_words_bound(self, terms):
+        index = ClassificationIndex()
+        for i, term in enumerate(terms):
+            index.add_term(term, f"soda://x/{i}", EntrySource.DBPEDIA)
+        longest = max(len(normalize_term(t).split(" ")) for t in terms)
+        assert index.max_term_words >= longest

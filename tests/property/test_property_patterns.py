@@ -1,0 +1,114 @@
+"""Property-based tests for the graph pattern matcher.
+
+The matcher is checked against a brute-force model: for random small
+graphs and the Table/Column patterns, the set of matching nodes must
+equal the set computed by naive triple filtering.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.node import Text, Vocab, uri
+from repro.graph.pattern import PatternLibrary, match_pattern, parse_pattern
+from repro.graph.triples import TripleStore
+
+settings.register_profile("patterns", max_examples=50, deadline=None)
+settings.load_profile("patterns")
+
+RESOLVER = {
+    "type": Vocab.TYPE,
+    "tablename": Vocab.TABLENAME,
+    "columnname": Vocab.COLUMNNAME,
+    "column": Vocab.COLUMN,
+    "physical_table": Vocab.PHYSICAL_TABLE,
+    "physical_column": Vocab.PHYSICAL_COLUMN,
+}
+
+TABLE_PATTERN = parse_pattern(
+    "table", "( x tablename t:y ) & ( x type physical_table )", RESOLVER
+)
+COLUMN_PATTERN = parse_pattern(
+    "column",
+    "( x columnname t:y ) & ( x type physical_column ) & ( z column x )",
+    RESOLVER,
+)
+
+
+def node(i):
+    return uri("n", str(i))
+
+
+# random graph: per node, independent flags for tablename/type/column edges
+graph_strategy = st.lists(
+    st.tuples(
+        st.booleans(),  # has tablename text
+        st.booleans(),  # typed as physical_table
+        st.booleans(),  # typed as physical_column + columnname
+        st.integers(min_value=-1, max_value=9),  # incoming column edge from
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build(store_spec):
+    store = TripleStore()
+    for i, (has_name, is_table, is_column, owner) in enumerate(store_spec):
+        if has_name:
+            store.add(node(i), Vocab.TABLENAME, Text(f"t{i}"))
+        if is_table:
+            store.add(node(i), Vocab.TYPE, Vocab.PHYSICAL_TABLE)
+        if is_column:
+            store.add(node(i), Vocab.TYPE, Vocab.PHYSICAL_COLUMN)
+            store.add(node(i), Vocab.COLUMNNAME, Text(f"c{i}"))
+        if owner >= 0:
+            store.add(node(owner), Vocab.COLUMN, node(i))
+    return store
+
+
+class TestAgainstBruteForce:
+    @given(spec=graph_strategy)
+    def test_table_pattern_matches_expected_nodes(self, spec):
+        store = build(spec)
+        got = {
+            node(i)
+            for i in range(len(spec))
+            if match_pattern(store, TABLE_PATTERN, node(i))
+        }
+        expected = {
+            node(i)
+            for i, (has_name, is_table, __, __) in enumerate(spec)
+            if has_name and is_table
+        }
+        assert got == expected
+
+    @given(spec=graph_strategy)
+    def test_column_pattern_requires_incoming_edge(self, spec):
+        store = build(spec)
+        owners = {i: owner for i, (__, __, __, owner) in enumerate(spec)}
+        got = {
+            node(i)
+            for i in range(len(spec))
+            if match_pattern(store, COLUMN_PATTERN, node(i))
+        }
+        expected = {
+            node(i)
+            for i, (__, __, is_column, owner) in enumerate(spec)
+            if is_column and owner >= 0
+        }
+        assert got == expected
+
+    @given(spec=graph_strategy)
+    def test_bindings_always_include_tested_var(self, spec):
+        store = build(spec)
+        for i in range(len(spec)):
+            for binding in match_pattern(store, TABLE_PATTERN, node(i)):
+                assert binding["x"] == node(i)
+                assert isinstance(binding["y"], Text)
+
+    @given(spec=graph_strategy)
+    def test_matching_is_deterministic(self, spec):
+        store = build(spec)
+        for i in range(len(spec)):
+            first = match_pattern(store, COLUMN_PATTERN, node(i))
+            second = match_pattern(store, COLUMN_PATTERN, node(i))
+            assert first == second

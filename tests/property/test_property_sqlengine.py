@@ -1,0 +1,198 @@
+"""Property-based tests for the relational engine.
+
+Each property checks the engine against an independent Python-level
+model: filters against list comprehensions, joins against nested loops,
+aggregates against builtins, LIKE against a naive interpreter.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.expressions import like_to_regex
+
+settings.register_profile("suite", max_examples=60, deadline=None)
+settings.load_profile("suite")
+
+names = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+)
+ints = st.integers(min_value=-1000, max_value=1000)
+rows_strategy = st.lists(
+    st.tuples(ints, names, st.one_of(st.none(), ints)),
+    min_size=0,
+    max_size=40,
+)
+
+
+def make_db(rows):
+    db = Database()
+    db.create_table("t", [("id", "INT"), ("name", "TEXT"), ("v", "INT")])
+    db.insert_rows("t", [(i, n, v) for i, (__, n, v) in enumerate(rows)])
+    return db
+
+
+class TestFilters:
+    @given(rows=rows_strategy, threshold=ints)
+    def test_comparison_filter_matches_python(self, rows, threshold):
+        db = make_db(rows)
+        got = db.execute(f"SELECT id FROM t WHERE v > {threshold}").column("id")
+        expected = [
+            i for i, (__, __, v) in enumerate(rows)
+            if v is not None and v > threshold
+        ]
+        assert got == expected
+
+    @given(rows=rows_strategy)
+    def test_is_null_partition(self, rows):
+        db = make_db(rows)
+        nulls = db.execute("SELECT count(*) FROM t WHERE v IS NULL").rows[0][0]
+        not_nulls = db.execute(
+            "SELECT count(*) FROM t WHERE v IS NOT NULL"
+        ).rows[0][0]
+        assert nulls + not_nulls == len(rows)
+
+    @given(rows=rows_strategy, low=ints, high=ints)
+    def test_between_equals_two_comparisons(self, rows, low, high):
+        db = make_db(rows)
+        a = db.execute(
+            f"SELECT id FROM t WHERE v BETWEEN {low} AND {high}"
+        ).column("id")
+        b = db.execute(
+            f"SELECT id FROM t WHERE v >= {low} AND v <= {high}"
+        ).column("id")
+        assert a == b
+
+
+class TestAggregates:
+    @given(rows=rows_strategy)
+    def test_count_star_is_row_count(self, rows):
+        db = make_db(rows)
+        assert db.execute("SELECT count(*) FROM t").rows[0][0] == len(rows)
+
+    @given(rows=rows_strategy)
+    def test_sum_matches_python(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT sum(v) FROM t").rows[0][0]
+        values = [v for __, __, v in rows if v is not None]
+        assert got == (sum(values) if values else None)
+
+    @given(rows=rows_strategy)
+    def test_min_max_bound_all_values(self, rows):
+        db = make_db(rows)
+        low, high = db.execute("SELECT min(v), max(v) FROM t").rows[0]
+        values = [v for __, __, v in rows if v is not None]
+        if values:
+            assert low == min(values) and high == max(values)
+        else:
+            assert low is None and high is None
+
+    @given(rows=rows_strategy)
+    def test_group_counts_sum_to_total(self, rows):
+        db = make_db(rows)
+        grouped = db.execute(
+            "SELECT name, count(*) FROM t GROUP BY name"
+        ).rows
+        assert sum(count for __, count in grouped) == len(rows)
+        names_seen = {n for __, n, __ in rows}
+        assert {name for name, __ in grouped} == names_seen
+
+    @given(rows=rows_strategy)
+    def test_avg_consistent_with_sum_count(self, rows):
+        db = make_db(rows)
+        total, count, average = db.execute(
+            "SELECT sum(v), count(v), avg(v) FROM t"
+        ).rows[0]
+        if count:
+            assert math.isclose(average, total / count)
+        else:
+            assert average is None
+
+
+class TestOrderLimit:
+    @given(rows=rows_strategy)
+    def test_order_by_sorts(self, rows):
+        db = make_db(rows)
+        got = db.execute(
+            "SELECT v FROM t WHERE v IS NOT NULL ORDER BY v"
+        ).column("v")
+        assert got == sorted(got)
+
+    @given(rows=rows_strategy, limit=st.integers(min_value=0, max_value=50))
+    def test_limit_bounds_output(self, rows, limit):
+        db = make_db(rows)
+        got = db.execute(f"SELECT id FROM t LIMIT {limit}").rows
+        assert len(got) == min(limit, len(rows))
+
+    @given(rows=rows_strategy)
+    def test_distinct_removes_duplicates_only(self, rows):
+        db = make_db(rows)
+        got = db.execute("SELECT DISTINCT name FROM t").column("name")
+        assert len(got) == len(set(got))
+        assert set(got) == {n for __, n, __ in rows}
+
+
+class TestJoins:
+    two_tables = st.tuples(
+        st.lists(st.tuples(st.integers(0, 8), names), max_size=15),
+        st.lists(st.tuples(st.integers(0, 8), ints), max_size=15),
+    )
+
+    @given(data=two_tables)
+    def test_hash_join_matches_nested_loop_model(self, data):
+        left, right = data
+        db = Database()
+        db.create_table("l", [("k", "INT"), ("a", "TEXT")])
+        db.create_table("r", [("k", "INT"), ("b", "INT")])
+        db.insert_rows("l", left)
+        db.insert_rows("r", right)
+        got = sorted(
+            db.execute(
+                "SELECT l.a, r.b FROM l, r WHERE l.k = r.k"
+            ).rows
+        )
+        expected = sorted(
+            (a, b)
+            for lk, a in left
+            for rk, b in right
+            if lk == rk
+        )
+        assert got == expected
+
+    @given(data=two_tables)
+    def test_join_count_times_filter(self, data):
+        left, right = data
+        db = Database()
+        db.create_table("l", [("k", "INT"), ("a", "TEXT")])
+        db.create_table("r", [("k", "INT"), ("b", "INT")])
+        db.insert_rows("l", left)
+        db.insert_rows("r", right)
+        cross = db.execute("SELECT count(*) FROM l, r").rows[0][0]
+        assert cross == len(left) * len(right)
+
+
+class TestLike:
+    @given(
+        value=st.text(alphabet="abc%_ ", max_size=12),
+        pattern=st.text(alphabet="abc%_", max_size=6),
+    )
+    def test_like_matches_naive_interpreter(self, value, pattern):
+        def naive(value, pattern):
+            # recursive LIKE matcher (case-insensitive)
+            v, p = value.lower(), pattern.lower()
+
+            def rec(i, j):
+                if j == len(p):
+                    return i == len(v)
+                if p[j] == "%":
+                    return any(rec(k, j + 1) for k in range(i, len(v) + 1))
+                if i < len(v) and (p[j] == "_" or p[j] == v[i]):
+                    return rec(i + 1, j + 1)
+                return False
+
+            return rec(0, 0)
+
+        got = like_to_regex(pattern).match(value) is not None
+        assert got == naive(value, pattern)

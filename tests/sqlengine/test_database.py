@@ -1,0 +1,150 @@
+"""Tests for the Database facade and catalog/table storage."""
+
+import pytest
+
+from repro.errors import SqlCatalogError, SqlError
+from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
+from repro.sqlengine.database import Database
+from repro.sqlengine.types import SqlType
+
+
+class TestCatalog:
+    def test_create_and_fetch(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("id", SqlType.INTEGER, True)])
+        assert catalog.table("t").name == "t"
+        assert catalog.has_table("T")  # case-insensitive
+
+    def test_duplicate_table_raises(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("id", SqlType.INTEGER)])
+        with pytest.raises(SqlCatalogError):
+            catalog.create_table("T", [Column("id", SqlType.INTEGER)])
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SqlCatalogError):
+            Catalog().table("nope")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("id", SqlType.INTEGER)])
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(SqlCatalogError):
+            catalog.drop_table("t")
+
+    def test_foreign_key_edges(self):
+        catalog = Catalog()
+        catalog.create_table("u", [Column("id", SqlType.INTEGER, True)])
+        catalog.create_table(
+            "t",
+            [Column("id", SqlType.INTEGER, True), Column("u_id", SqlType.INTEGER)],
+            [ForeignKey(("u_id",), "u", ("id",))],
+        )
+        edges = catalog.foreign_key_edges()
+        assert edges[0][0] == "t" and edges[0][1] == "u"
+
+    def test_fk_arity_mismatch_raises(self):
+        with pytest.raises(SqlCatalogError):
+            ForeignKey(("a", "b"), "u", ("id",))
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            "t",
+            [
+                Column("id", SqlType.INTEGER, True),
+                Column("name", SqlType.TEXT),
+            ],
+        )
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(SqlCatalogError):
+            Table("t", [])
+
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(SqlCatalogError):
+            Table("t", [Column("a", SqlType.INTEGER), Column("a", SqlType.TEXT)])
+
+    def test_insert_coerces(self):
+        table = self.make()
+        table.insert((1.0, "x"))
+        assert table.rows == [(1, "x")]
+
+    def test_insert_wrong_arity_raises(self):
+        with pytest.raises(SqlCatalogError):
+            self.make().insert((1,))
+
+    def test_insert_named_defaults_null(self):
+        table = self.make()
+        table.insert_named(id=2)
+        assert table.rows == [(2, None)]
+
+    def test_insert_named_unknown_column_raises(self):
+        with pytest.raises(SqlCatalogError):
+            self.make().insert_named(id=1, nope=2)
+
+    def test_column_index_and_lookup(self):
+        table = self.make()
+        assert table.column_index("name") == 1
+        assert table.column("id").primary_key
+        assert table.primary_key_columns() == ["id"]
+        with pytest.raises(SqlCatalogError):
+            table.column_index("zzz")
+
+    def test_len_and_iter(self):
+        table = self.make()
+        table.insert_many([(1, "a"), (2, "b")])
+        assert len(table) == 2
+        assert list(table) == [(1, "a"), (2, "b")]
+
+
+class TestDatabaseFacade:
+    def test_ddl_dml_select_roundtrip(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'a')")
+        db.execute("INSERT INTO t (name, id) VALUES ('b', 2)")
+        rs = db.execute("SELECT name FROM t ORDER BY id")
+        assert rs.column("name") == ["a", "b"]
+
+    def test_insert_arity_mismatch(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT, name TEXT)")
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO t (id) VALUES (1, 2)")
+
+    def test_programmatic_create(self):
+        db = Database()
+        db.create_table(
+            "t",
+            [("id", "INT"), ("ref", "INT")],
+            primary_key=["id"],
+            foreign_keys=[(("ref",), "t2", ("id",))],
+        )
+        table = db.table("t")
+        assert table.primary_key_columns() == ["id"]
+        assert table.foreign_keys[0].ref_table == "t2"
+
+    def test_insert_rows_bulk(self):
+        db = Database()
+        db.create_table("t", [("id", "INT")])
+        assert db.insert_rows("t", [(1,), (2,), (3,)]) == 3
+        assert db.row_count("t") == 3
+
+    def test_table_names(self):
+        db = Database()
+        db.create_table("b", [("id", "INT")])
+        db.create_table("a", [("id", "INT")])
+        assert db.table_names() == ["a", "b"]
+
+    def test_result_set_helpers(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT, name TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'a')")
+        rs = db.execute("SELECT * FROM t")
+        assert rs.as_dicts() == [{"id": 1, "name": "a"}]
+        assert len(rs) == 1
+        with pytest.raises(SqlError):
+            rs.column("missing")

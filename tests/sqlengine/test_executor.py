@@ -1,0 +1,280 @@
+"""Tests for planning + execution: joins, aggregation, ordering, limits."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE parties (id INT PRIMARY KEY, kind TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE individuals (id INT PRIMARY KEY, given_nm TEXT, "
+        "family_nm TEXT, salary REAL, birth_dt DATE)"
+    )
+    database.execute(
+        "CREATE TABLE orders_td (id INT PRIMARY KEY, party_id INT, "
+        "amount REAL, status TEXT)"
+    )
+    database.execute(
+        "INSERT INTO parties VALUES (1, 'I'), (2, 'I'), (3, 'O'), (4, 'I')"
+    )
+    database.execute(
+        "INSERT INTO individuals VALUES "
+        "(1, 'Sara', 'Guttinger', 120000.0, DATE '1981-04-23'), "
+        "(2, 'Hans', 'Meier', 80000.0, DATE '1975-01-02'), "
+        "(4, 'Anna', 'Meier', 95000.0, DATE '1990-07-14')"
+    )
+    database.execute(
+        "INSERT INTO orders_td VALUES "
+        "(10, 1, 100.0, 'EXECUTED'), (11, 1, 50.0, 'PENDING'), "
+        "(12, 2, 75.0, 'EXECUTED'), (13, 3, 20.0, 'EXECUTED'), "
+        "(14, 2, NULL, 'CANCELLED')"
+    )
+    return database
+
+
+class TestFilters:
+    def test_equality(self, db):
+        rs = db.execute("SELECT id FROM individuals WHERE given_nm = 'Sara'")
+        assert rs.rows == [(1,)]
+
+    def test_comparison_on_date(self, db):
+        rs = db.execute(
+            "SELECT id FROM individuals WHERE birth_dt >= DATE '1980-01-01'"
+        )
+        assert sorted(rs.column("id")) == [1, 4]
+
+    def test_like_case_insensitive(self, db):
+        rs = db.execute("SELECT id FROM individuals WHERE family_nm LIKE '%gut%'")
+        assert rs.rows == [(1,)]
+
+    def test_null_comparison_filters_row_out(self, db):
+        rs = db.execute("SELECT id FROM orders_td WHERE amount > 0")
+        assert 14 not in rs.column("id")
+
+    def test_is_null(self, db):
+        rs = db.execute("SELECT id FROM orders_td WHERE amount IS NULL")
+        assert rs.rows == [(14,)]
+
+    def test_in_list(self, db):
+        rs = db.execute("SELECT id FROM parties WHERE id IN (1, 3)")
+        assert sorted(rs.column("id")) == [1, 3]
+
+    def test_between(self, db):
+        rs = db.execute("SELECT id FROM orders_td WHERE amount BETWEEN 50 AND 100")
+        assert sorted(rs.column("id")) == [10, 11, 12]
+
+    def test_not(self, db):
+        rs = db.execute("SELECT id FROM parties WHERE NOT kind = 'I'")
+        assert rs.rows == [(3,)]
+
+    def test_or(self, db):
+        rs = db.execute(
+            "SELECT id FROM individuals WHERE given_nm = 'Sara' OR "
+            "given_nm = 'Hans'"
+        )
+        assert sorted(rs.column("id")) == [1, 2]
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, db):
+        rs = db.execute(
+            "SELECT individuals.given_nm FROM parties, individuals "
+            "WHERE parties.id = individuals.id AND parties.kind = 'I'"
+        )
+        assert sorted(rs.column("individuals.given_nm")) == [
+            "Anna", "Hans", "Sara"
+        ]
+
+    def test_explicit_join(self, db):
+        rs = db.execute(
+            "SELECT i.given_nm FROM individuals i "
+            "JOIN orders_td o ON o.party_id = i.id WHERE o.status = 'EXECUTED'"
+        )
+        assert sorted(rs.column("i.given_nm")) == ["Hans", "Sara"]
+
+    def test_three_way_join(self, db):
+        rs = db.execute(
+            "SELECT count(*) FROM parties, individuals, orders_td "
+            "WHERE parties.id = individuals.id "
+            "AND orders_td.party_id = individuals.id"
+        )
+        assert rs.rows == [(4,)]
+
+    def test_cross_join_when_no_predicate(self, db):
+        rs = db.execute("SELECT count(*) FROM parties, individuals")
+        assert rs.rows == [(12,)]
+
+    def test_left_join_pads_nulls(self, db):
+        rs = db.execute(
+            "SELECT parties.id, individuals.given_nm FROM parties "
+            "LEFT JOIN individuals ON parties.id = individuals.id"
+        )
+        as_dict = dict(rs.rows)
+        assert as_dict[3] is None
+        assert as_dict[1] == "Sara"
+
+    def test_join_with_null_keys_never_matches(self, db):
+        db.execute("CREATE TABLE n (id INT, ref INT)")
+        db.execute("INSERT INTO n VALUES (1, NULL)")
+        rs = db.execute(
+            "SELECT count(*) FROM n, parties WHERE n.ref = parties.id"
+        )
+        assert rs.rows == [(0,)]
+
+    def test_duplicate_binding_raises(self, db):
+        with pytest.raises(SqlCatalogError):
+            db.execute("SELECT * FROM parties, parties")
+
+    def test_self_join_with_aliases(self, db):
+        rs = db.execute(
+            "SELECT count(*) FROM parties a, parties b WHERE a.id = b.id"
+        )
+        assert rs.rows == [(4,)]
+
+    def test_star_columns_qualified_for_multi_table(self, db):
+        rs = db.execute(
+            "SELECT * FROM parties, individuals "
+            "WHERE parties.id = individuals.id"
+        )
+        assert "parties.id" in rs.columns
+        assert "individuals.family_nm" in rs.columns
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM orders_td").rows == [(5,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT count(amount) FROM orders_td").rows == [(4,)]
+
+    def test_sum_avg_min_max(self, db):
+        rs = db.execute(
+            "SELECT sum(amount), avg(amount), min(amount), max(amount) "
+            "FROM orders_td"
+        )
+        total, average, low, high = rs.rows[0]
+        assert total == 245.0
+        assert average == pytest.approx(61.25)
+        assert (low, high) == (20.0, 100.0)
+
+    def test_sum_of_empty_is_null(self, db):
+        rs = db.execute("SELECT sum(amount) FROM orders_td WHERE id > 999")
+        assert rs.rows == [(None,)]
+
+    def test_count_of_empty_is_zero(self, db):
+        rs = db.execute("SELECT count(*) FROM orders_td WHERE id > 999")
+        assert rs.rows == [(0,)]
+
+    def test_group_by(self, db):
+        rs = db.execute(
+            "SELECT status, count(*) FROM orders_td GROUP BY status"
+        )
+        assert dict(rs.rows) == {"EXECUTED": 3, "PENDING": 1, "CANCELLED": 1}
+
+    def test_group_by_with_having(self, db):
+        rs = db.execute(
+            "SELECT status FROM orders_td GROUP BY status HAVING count(*) > 1"
+        )
+        assert rs.rows == [("EXECUTED",)]
+
+    def test_order_by_aggregate_desc(self, db):
+        rs = db.execute(
+            "SELECT count(*), status FROM orders_td GROUP BY status "
+            "ORDER BY count(*) DESC"
+        )
+        assert rs.rows[0] == (3, "EXECUTED")
+
+    def test_count_distinct(self, db):
+        rs = db.execute("SELECT count(DISTINCT status) FROM orders_td")
+        assert rs.rows == [(3,)]
+
+    def test_aggregate_with_join_group(self, db):
+        rs = db.execute(
+            "SELECT sum(orders_td.amount), individuals.family_nm "
+            "FROM individuals, orders_td "
+            "WHERE orders_td.party_id = individuals.id "
+            "GROUP BY individuals.family_nm ORDER BY 1 DESC"
+        )
+        assert rs.rows[0][1] == "Guttinger"
+        assert rs.rows[0][0] == 150.0
+
+
+class TestOrderingAndLimit:
+    def test_order_by_column(self, db):
+        rs = db.execute("SELECT given_nm FROM individuals ORDER BY given_nm")
+        assert rs.column("given_nm") == ["Anna", "Hans", "Sara"]
+
+    def test_order_by_desc(self, db):
+        rs = db.execute("SELECT id FROM orders_td ORDER BY id DESC LIMIT 2")
+        assert rs.column("id") == [14, 13]
+
+    def test_order_by_alias(self, db):
+        rs = db.execute(
+            "SELECT salary AS pay FROM individuals ORDER BY pay DESC"
+        )
+        assert rs.column("pay")[0] == 120000.0
+
+    def test_order_by_position(self, db):
+        rs = db.execute("SELECT id, salary FROM individuals ORDER BY 2")
+        assert rs.column("id") == [2, 4, 1]
+
+    def test_order_by_position_out_of_range(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT id FROM individuals ORDER BY 9")
+
+    def test_nulls_sort_first(self, db):
+        rs = db.execute("SELECT amount FROM orders_td ORDER BY amount")
+        assert rs.rows[0] == (None,)
+
+    def test_multi_key_sort_stable(self, db):
+        rs = db.execute(
+            "SELECT family_nm, given_nm FROM individuals "
+            "ORDER BY family_nm, given_nm DESC"
+        )
+        assert rs.rows == [
+            ("Guttinger", "Sara"), ("Meier", "Hans"), ("Meier", "Anna")
+        ]
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT * FROM parties LIMIT 0").rows == []
+
+    def test_distinct(self, db):
+        rs = db.execute("SELECT DISTINCT family_nm FROM individuals")
+        assert sorted(rs.column("family_nm")) == ["Guttinger", "Meier"]
+
+
+class TestExpressionsInSelect:
+    def test_arithmetic(self, db):
+        rs = db.execute("SELECT salary / 1000 AS k FROM individuals WHERE id = 1")
+        assert rs.rows == [(120.0,)]
+
+    def test_scalar_functions(self, db):
+        rs = db.execute(
+            "SELECT lower(given_nm), year(birth_dt) FROM individuals "
+            "WHERE id = 1"
+        )
+        assert rs.rows == [("sara", 1981)]
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT 1 / 0 FROM parties")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SqlCatalogError):
+            db.execute("SELECT nonexistent FROM parties")
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(SqlCatalogError):
+            db.execute("SELECT id FROM parties, individuals")
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT frobnicate(id) FROM parties")

@@ -1,0 +1,116 @@
+"""Direct tests for the aggregate accumulators."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlTypeError
+from repro.sqlengine.functions import (
+    AvgAccumulator,
+    CountAccumulator,
+    MaxAccumulator,
+    MinAccumulator,
+    SumAccumulator,
+    make_accumulator,
+)
+
+
+class TestCount:
+    def test_counts_non_null(self):
+        acc = CountAccumulator()
+        for value in (1, None, 2, None):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_star_counts_everything(self):
+        acc = CountAccumulator(count_nulls=True)
+        for value in (1, None, None):
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_distinct(self):
+        acc = CountAccumulator(distinct=True)
+        for value in (1, 1, 2, 2, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+
+class TestSum:
+    def test_sum(self):
+        acc = SumAccumulator()
+        for value in (1, 2.5, None):
+            acc.add(value)
+        assert acc.result() == 3.5
+
+    def test_empty_is_null(self):
+        assert SumAccumulator().result() is None
+
+    def test_distinct(self):
+        acc = SumAccumulator(distinct=True)
+        for value in (5, 5, 3):
+            acc.add(value)
+        assert acc.result() == 8
+
+    def test_non_number_raises(self):
+        with pytest.raises(SqlTypeError):
+            SumAccumulator().add("x")
+
+    def test_bool_raises(self):
+        with pytest.raises(SqlTypeError):
+            SumAccumulator().add(True)
+
+
+class TestAvg:
+    def test_avg(self):
+        acc = AvgAccumulator()
+        for value in (2, 4, None):
+            acc.add(value)
+        assert acc.result() == 3.0
+
+    def test_empty_is_null(self):
+        assert AvgAccumulator().result() is None
+
+    def test_distinct(self):
+        acc = AvgAccumulator(distinct=True)
+        for value in (2, 2, 4):
+            acc.add(value)
+        assert acc.result() == 3.0
+
+    def test_non_number_raises(self):
+        with pytest.raises(SqlTypeError):
+            AvgAccumulator().add("x")
+
+
+class TestMinMax:
+    def test_min_max(self):
+        low, high = MinAccumulator(), MaxAccumulator()
+        for value in (3, None, 1, 2):
+            low.add(value)
+            high.add(value)
+        assert low.result() == 1
+        assert high.result() == 3
+
+    def test_strings_supported(self):
+        acc = MinAccumulator()
+        for value in ("pear", "apple"):
+            acc.add(value)
+        assert acc.result() == "apple"
+
+    def test_empty_is_null(self):
+        assert MinAccumulator().result() is None
+        assert MaxAccumulator().result() is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["count", "sum", "avg", "min", "max"])
+    def test_known_aggregates(self, name):
+        acc = make_accumulator(name, star=False, distinct=False)
+        acc.add(1)
+        assert acc.result() is not None
+
+    def test_count_star(self):
+        acc = make_accumulator("count", star=True, distinct=False)
+        acc.add(None)
+        assert acc.result() == 1
+
+    def test_unknown_raises(self):
+        with pytest.raises(SqlExecutionError):
+            make_accumulator("median", star=False, distinct=False)

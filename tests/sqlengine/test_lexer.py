@@ -1,0 +1,72 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        assert values("Parties INDIVIDUALS") == ["parties", "individuals"]
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.14")
+        numbers = [t for t in tokens if t.type is TokenType.NUMBER]
+        assert [t.value for t in numbers] == ["42", "3.14"]
+
+    def test_string_literal_strips_quotes(self):
+        token = tokenize("'Zurich'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "Zurich"
+
+    def test_string_literal_unescapes_doubled_quotes(self):
+        token = tokenize("'O''Brien'")[0]
+        assert token.value == "O'Brien"
+
+    def test_operators(self):
+        assert values("a <> b != c <= d >= e") == [
+            "a", "<>", "b", "<>", "c", "<=", "d", ">=", "e"
+        ]
+
+    def test_punctuation(self):
+        assert values("( ) , . ; *") == ["(", ")", ",", ".", ";", "*"]
+
+    def test_comment_skipped(self):
+        assert values("SELECT 1 -- trailing comment") == ["SELECT", "1"]
+
+    def test_eof_token_appended(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_matches_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_identifier_with_dollar(self):
+        assert values("col$1") == ["col$1"]
+
+    def test_date_keyword(self):
+        assert values("DATE '2010-01-01'") == ["DATE", "2010-01-01"]

@@ -1,0 +1,275 @@
+"""Tests for the SQL parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Select,
+    UnaryOp,
+)
+from repro.sqlengine.parser import parse_select, parse_sql
+from repro.sqlengine.types import SqlType
+
+
+class TestSelectBasics:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.items[0].is_star
+
+    def test_table_star(self):
+        stmt = parse_select("SELECT t.* FROM t")
+        assert stmt.items[0].star_table == "t"
+
+    def test_column_list(self):
+        stmt = parse_select("SELECT a, b.c FROM t")
+        assert stmt.items[0].expr == ColumnRef(None, "a")
+        assert stmt.items[1].expr == ColumnRef("b", "c")
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_multiple_tables(self):
+        stmt = parse_select("SELECT * FROM t1, t2 t, t3 AS u")
+        assert [t.binding for t in stmt.tables] == ["t1", "t", "u"]
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit(self):
+        assert parse_select("SELECT * FROM t LIMIT 7").limit == 7
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse_sql("SELECT * FROM t;"), Select)
+
+    def test_garbage_after_statement_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t garbage extra ,")
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("DELETE FROM t")
+
+    def test_parse_select_rejects_ddl(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("CREATE TABLE t (a INT)")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_select("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_explicit_inner_keyword(self):
+        stmt = parse_select("SELECT * FROM a INNER JOIN b ON a.id = b.id")
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_select("SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_select("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_chained_joins(self):
+        stmt = parse_select(
+            "SELECT * FROM a JOIN b ON a.id = b.id JOIN c ON b.id = c.id"
+        )
+        assert len(stmt.joins) == 2
+
+
+class TestExpressions:
+    def where(self, condition):
+        return parse_select(f"SELECT * FROM t WHERE {condition}").where
+
+    def test_comparison(self):
+        expr = self.where("a > 5")
+        assert isinstance(expr, BinaryOp) and expr.op == ">"
+
+    def test_precedence_and_or(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = self.where("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_like(self):
+        expr = self.where("name LIKE '%zurich%'")
+        assert isinstance(expr, Like) and not expr.negated
+
+    def test_not_like(self):
+        expr = self.where("name NOT LIKE 'x%'")
+        assert isinstance(expr, Like) and expr.negated
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = self.where("a NOT IN (1)")
+        assert expr.negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+
+    def test_is_null(self):
+        expr = self.where("a IS NULL")
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = self.where("a IS NOT NULL")
+        assert expr.negated
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a = 1 + 2 * 3")
+        plus = expr.right
+        assert plus.op == "+"
+        assert plus.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = self.where("a = -5")
+        assert isinstance(expr.right, UnaryOp)
+
+    def test_parenthesised(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_date_literal(self):
+        expr = self.where("d >= DATE '2011-09-01'")
+        assert expr.right == Literal(datetime.date(2011, 9, 1))
+
+    def test_null_true_false_literals(self):
+        expr = self.where("a = NULL OR b = TRUE OR c = FALSE")
+        assert expr.right.right == Literal(False)
+
+    def test_string_concat(self):
+        expr = self.where("a = b || c")
+        assert expr.right.op == "||"
+
+    def test_missing_value_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            self.where("a = ")
+
+
+class TestFunctions:
+    def test_count_star(self):
+        stmt = parse_select("SELECT count(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, FuncCall) and call.star
+
+    def test_count_empty_means_star(self):
+        # the paper's Q9.0 writes count()
+        stmt = parse_select("SELECT count() FROM t")
+        assert stmt.items[0].expr.star
+
+    def test_sum_column(self):
+        stmt = parse_select("SELECT sum(amount) FROM t")
+        call = stmt.items[0].expr
+        assert call.name == "sum"
+        assert call.args == (ColumnRef(None, "amount"),)
+
+    def test_count_distinct(self):
+        stmt = parse_select("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+
+class TestGroupOrder:
+    def test_group_by(self):
+        stmt = parse_select("SELECT count(*), a FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_desc(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_paper_query4_shape(self):
+        stmt = parse_select(
+            "SELECT count(fi_transactions.id), companyname "
+            "FROM transactions, fi_transactions, organizations "
+            "WHERE transactions.id = fi_transactions.id "
+            "AND transactions.toparty = organizations.id "
+            "GROUP BY organizations.companyname "
+            "ORDER BY count(fi_transactions.id) DESC"
+        )
+        assert len(stmt.tables) == 3
+        assert stmt.order_by[0].descending
+
+
+class TestCreateInsert:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT, amount REAL)"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].sql_type is SqlType.TEXT
+
+    def test_create_table_with_table_level_pk(self):
+        stmt = parse_sql("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert all(c.primary_key for c in stmt.columns)
+
+    def test_create_table_with_fk(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES u (id))"
+        )
+        assert stmt.foreign_keys[0].ref_table == "u"
+
+    def test_insert_positional(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_named_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_negative_number(self):
+        stmt = parse_sql("INSERT INTO t VALUES (-5)")
+        assert stmt.rows[0][0] == -5
+
+    def test_insert_date(self):
+        stmt = parse_sql("INSERT INTO t VALUES (DATE '2010-01-01')")
+        assert stmt.rows[0][0] == datetime.date(2010, 1, 1)
+
+    def test_insert_non_literal_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("INSERT INTO t VALUES (a + 1)")
+
+
+class TestToSql:
+    def test_roundtrip_parses_again(self):
+        original = parse_select(
+            "SELECT count(*), a FROM t, u WHERE t.id = u.id AND a LIKE '%x%' "
+            "GROUP BY a ORDER BY count(*) DESC LIMIT 5"
+        )
+        rendered = original.to_sql()
+        reparsed = parse_select(rendered)
+        assert reparsed.to_sql() == rendered

@@ -1,0 +1,136 @@
+"""Tests for the SQL value model and three-valued comparisons."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlTypeError
+from repro.sqlengine.types import (
+    SqlType,
+    coerce_value,
+    compare_values,
+    format_value,
+    infer_type,
+    parse_date,
+    values_equal,
+)
+
+
+class TestSqlType:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("int", SqlType.INTEGER),
+            ("BIGINT", SqlType.INTEGER),
+            ("varchar", SqlType.TEXT),
+            ("double", SqlType.REAL),
+            ("decimal", SqlType.REAL),
+            ("bool", SqlType.BOOLEAN),
+            ("date", SqlType.DATE),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert SqlType.from_name(alias) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.from_name("blob")
+
+
+class TestCoerce:
+    def test_null_valid_everywhere(self):
+        for sql_type in SqlType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_int_from_whole_float(self):
+        assert coerce_value(3.0, SqlType.INTEGER) == 3
+
+    def test_int_from_fractional_float_raises(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value(3.5, SqlType.INTEGER)
+
+    def test_bool_not_an_int(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value(True, SqlType.INTEGER)
+
+    def test_real_from_int(self):
+        assert coerce_value(3, SqlType.REAL) == 3.0
+        assert isinstance(coerce_value(3, SqlType.REAL), float)
+
+    def test_text(self):
+        assert coerce_value("x", SqlType.TEXT) == "x"
+        with pytest.raises(SqlTypeError):
+            coerce_value(1, SqlType.TEXT)
+
+    def test_date_from_string(self):
+        assert coerce_value("2010-01-02", SqlType.DATE) == datetime.date(2010, 1, 2)
+
+    def test_date_from_date(self):
+        today = datetime.date(2011, 5, 6)
+        assert coerce_value(today, SqlType.DATE) is today
+
+    def test_datetime_rejected_for_date(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value(datetime.datetime(2010, 1, 1, 12), SqlType.DATE)
+
+    def test_boolean(self):
+        assert coerce_value(True, SqlType.BOOLEAN) is True
+        with pytest.raises(SqlTypeError):
+            coerce_value(1, SqlType.BOOLEAN)
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+        assert values_equal(None, None) is None
+
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 2.5) == -1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_dates(self):
+        assert compare_values(
+            datetime.date(2010, 1, 1), datetime.date(2011, 1, 1)
+        ) == -1
+
+    def test_date_vs_iso_string(self):
+        assert compare_values(datetime.date(2010, 1, 1), "2010-01-01") == 0
+        assert compare_values("2012-06-30", datetime.date(2010, 1, 1)) == 1
+
+    def test_mixed_types_raise(self):
+        with pytest.raises(SqlTypeError):
+            compare_values(1, "x")
+
+    def test_bool_vs_number_raises(self):
+        with pytest.raises(SqlTypeError):
+            compare_values(True, 1)
+
+    def test_values_equal(self):
+        assert values_equal(2, 2.0) is True
+        assert values_equal("a", "b") is False
+
+
+class TestMisc:
+    def test_parse_date_invalid(self):
+        with pytest.raises(SqlTypeError):
+            parse_date("not-a-date")
+
+    def test_infer_type(self):
+        assert infer_type(True) is SqlType.BOOLEAN
+        assert infer_type(1) is SqlType.INTEGER
+        assert infer_type(1.5) is SqlType.REAL
+        assert infer_type("x") is SqlType.TEXT
+        assert infer_type(datetime.date(2010, 1, 1)) is SqlType.DATE
+        with pytest.raises(SqlTypeError):
+            infer_type([])
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(True) == "TRUE"
+        assert format_value(3) == "3"
+        assert format_value("O'Brien") == "'O''Brien'"
+        assert format_value(datetime.date(2010, 1, 1)) == "'2010-01-01'"

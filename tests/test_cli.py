@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSearch:
+    def test_search_prints_statements(self):
+        code, output = run_cli(
+            "--scale", "0.25", "search", "Sara Guttinger", "--no-execute"
+        )
+        assert code == 0
+        assert "complexity:" in output
+        assert "SELECT" in output
+
+    def test_search_with_snippets(self):
+        code, output = run_cli("--scale", "0.25", "search", "Zurich")
+        assert code == 0
+        assert "snippet tuple" in output
+
+    def test_search_limit(self):
+        __, output = run_cli(
+            "--scale", "0.25", "search", "Sara", "--no-execute", "--limit", "1"
+        )
+        assert output.count("score ") == 1
+
+    def test_search_no_dbpedia(self):
+        __, output = run_cli(
+            "--scale", "0.25", "search", "client", "--no-execute",
+            "--no-dbpedia",
+        )
+        assert "no executable statements" in output
+
+    def test_unknown_keywords(self):
+        code, output = run_cli(
+            "--scale", "0.25", "search", "zzzz qqqq", "--no-execute"
+        )
+        assert code == 0
+        assert "no executable statements" in output
+
+
+class TestOtherCommands:
+    def test_stats(self):
+        code, output = run_cli("--scale", "0.25", "stats")
+        assert code == 0
+        assert "physical_tables" in output
+        assert "472" in output  # Table 1 paper scale
+
+    def test_experiments(self):
+        code, output = run_cli("--scale", "0.5", "experiments")
+        assert code == 0
+        assert "Table 3" in output
+        assert "paperP" in output
+
+    def test_compare(self):
+        code, output = run_cli("--scale", "0.25", "compare")
+        assert code == 0
+        assert "Keymantic" in output
+        assert "SODA" in output
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            run_cli("--scale", "0.25")
+
+    def test_browse_table(self):
+        code, output = run_cli("--scale", "0.25", "browse", "individuals")
+        assert code == 0
+        assert "inherits from: parties" in output
+
+    def test_browse_term(self):
+        code, output = run_cli("--scale", "0.25", "browse", "customers")
+        assert code == 0
+        assert "reaches tables" in output
+
+    def test_page(self):
+        code, output = run_cli("--scale", "0.25", "page", "Credit Suisse")
+        assert code == 0
+        assert "results for: Credit Suisse" in output
+        assert "page 1/" in output

@@ -1,0 +1,93 @@
+"""Tests for the schema browser (war stories, Section 5.3.2)."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse.browser import SchemaBrowser
+
+
+@pytest.fixture(scope="module")
+def browser(warehouse):
+    return SchemaBrowser(warehouse)
+
+
+class TestDescribeTable:
+    def test_columns_listed(self, browser):
+        description = browser.describe_table("individuals")
+        names = [name for name, __, __ in description.columns]
+        assert "given_nm" in names and "salary" in names
+        pk = [name for name, __, is_pk in description.columns if is_pk]
+        assert pk == ["id"]
+
+    def test_inheritance_roles(self, browser):
+        child = browser.describe_table("individuals")
+        assert child.inheritance_parent == "parties"
+        parent = browser.describe_table("parties")
+        assert set(parent.inheritance_children) == {
+            "individuals", "organizations"
+        }
+
+    def test_refinement_chain(self, browser):
+        description = browser.describe_table("individuals")
+        assert description.refinement_chain == [
+            "logical:Individuals", "conceptual:Individuals"
+        ]
+
+    def test_unannotated_join_flagged(self, browser):
+        description = browser.describe_table("individual_name_hist")
+        unannotated = [
+            rendered for rendered, annotated in description.joins
+            if not annotated
+        ]
+        assert unannotated
+        rendered = description.render()
+        assert "NOT ANNOTATED" in rendered
+
+    def test_classifying_terms(self, browser):
+        # "names" classifies organization_name_hist through its org_nm column
+        description = browser.describe_table("organization_name_hist")
+        assert "names" in description.classified_by
+
+    def test_business_term_classification(self, browser):
+        description = browser.describe_table("individuals")
+        assert "private customers" in description.classified_by
+        assert "wealthy customers" in description.classified_by
+
+    def test_unknown_table_raises(self, browser):
+        with pytest.raises(WarehouseError):
+            browser.describe_table("zzz")
+
+    def test_render_contains_sections(self, browser):
+        rendered = browser.describe_table("parties").render()
+        assert "columns:" in rendered
+        assert "children:" in rendered
+
+
+class TestDescribeTerm:
+    def test_ontology_term(self, browser):
+        description = browser.describe_term("private customers")
+        assert ("domain_ontology" in source
+                for source, __ in description.locations)
+        assert "individuals" in description.reachable_tables
+
+    def test_multi_location_term(self, browser):
+        description = browser.describe_term("financial instruments")
+        sources = {source for source, __ in description.locations}
+        assert sources == {"conceptual_schema", "logical_schema"}
+        assert "securities" in description.reachable_tables
+
+    def test_unknown_term(self, browser):
+        description = browser.describe_term("flurbl")
+        assert description.locations == []
+        assert "unknown term" in description.render()
+
+    def test_render(self, browser):
+        rendered = browser.describe_term("customers").render()
+        assert "reaches tables:" in rendered
+        assert "parties" in rendered
+
+
+class TestQualityReport:
+    def test_unannotated_joins_reported(self, browser):
+        joins = browser.unannotated_joins()
+        assert [join.name for join in joins] == ["j_indiv_name_hist"]

@@ -1,0 +1,197 @@
+"""Tests for warehouse-definition -> metadata-graph construction (Fig. 3)."""
+
+import pytest
+
+from repro.graph.node import Text, Vocab
+from repro.index.classification import EntrySource
+from repro.warehouse.graphbuilder import (
+    build_classification_index,
+    build_metadata_graph,
+    column_uri,
+    conceptual_entity_uri,
+    dbpedia_uri,
+    graph_statistics,
+    inheritance_uri,
+    join_uri,
+    logical_entity_uri,
+    ontology_term_uri,
+    resolve_target,
+    table_uri,
+)
+from repro.warehouse.minibank import build_definition
+
+
+@pytest.fixture(scope="module")
+def definition():
+    return build_definition()
+
+
+@pytest.fixture(scope="module")
+def graph(definition):
+    return build_metadata_graph(definition)
+
+
+class TestLayers:
+    def test_conceptual_entity_typed_and_labelled(self, graph):
+        node = conceptual_entity_uri("Parties")
+        assert graph.has_type(node, Vocab.CONCEPTUAL_ENTITY)
+        assert graph.object(node, Vocab.LABEL) == Text("parties")
+
+    def test_refinement_chain_conceptual_to_physical(self, graph):
+        conceptual = conceptual_entity_uri("Parties")
+        logical = logical_entity_uri("Parties")
+        physical = table_uri("parties")
+        assert logical in graph.objects(conceptual, Vocab.REFINES)
+        assert physical in graph.objects(logical, Vocab.REFINES)
+
+    def test_attribute_refinement(self, graph):
+        # conceptual "family name" -> logical -> physical individuals.family_nm
+        from repro.warehouse.graphbuilder import (
+            conceptual_attr_uri,
+            logical_attr_uri,
+        )
+
+        conceptual = conceptual_attr_uri("Individuals", "family name")
+        logical = logical_attr_uri("Individuals", "family name")
+        column = column_uri("individuals", "family_nm")
+        assert logical in graph.objects(conceptual, Vocab.REFINES)
+        assert column in graph.objects(logical, Vocab.REFINES)
+
+    def test_table_has_tablename_and_columns(self, graph):
+        node = table_uri("parties")
+        assert graph.object(node, Vocab.TABLENAME) == Text("parties")
+        columns = graph.objects(node, Vocab.COLUMN)
+        assert column_uri("parties", "id") in columns
+
+    def test_column_belongs_to_table(self, graph):
+        column = column_uri("parties", "id")
+        assert graph.object(column, Vocab.BELONGS_TO) == table_uri("parties")
+
+
+class TestJoinsAndInheritance:
+    def test_annotated_join_node(self, graph):
+        node = join_uri("j_indiv_domicile")
+        assert graph.has_type(node, Vocab.JOIN_NODE)
+        assert graph.object(node, Vocab.JOIN_LEFT) == column_uri(
+            "individuals", "domicile_adr_id"
+        )
+        assert graph.object(node, Vocab.JOIN_RIGHT) == column_uri("addresses", "id")
+
+    def test_unannotated_join_absent(self, graph):
+        # the bi-temporal historization gap of the paper
+        node = join_uri("j_indiv_name_hist")
+        assert not list(graph.outgoing(node))
+
+    def test_has_join_back_edges(self, graph):
+        column = column_uri("individuals", "domicile_adr_id")
+        assert join_uri("j_indiv_domicile") in graph.objects(column, Vocab.HAS_JOIN)
+
+    def test_inheritance_node_structure(self, graph):
+        node = inheritance_uri("physical", "inh_parties")
+        assert graph.has_type(node, Vocab.INHERITANCE_NODE)
+        assert graph.object(node, Vocab.INHERITANCE_PARENT) == table_uri("parties")
+        children = graph.objects(node, Vocab.INHERITANCE_CHILD)
+        assert table_uri("individuals") in children
+        assert table_uri("organizations") in children
+
+    def test_parent_points_at_inheritance_node(self, graph):
+        parent = table_uri("parties")
+        assert inheritance_uri("physical", "inh_parties") in graph.objects(
+            parent, Vocab.HAS_INHERITANCE
+        )
+
+
+class TestOntologyAndDbpedia:
+    def test_ontology_term_classifies(self, graph):
+        node = ontology_term_uri("customer_ontology", "customers")
+        assert graph.has_type(node, Vocab.ONTOLOGY_TERM)
+        assert conceptual_entity_uri("Parties") in graph.objects(
+            node, Vocab.CLASSIFIES
+        )
+
+    def test_business_term_filter_triples(self, graph):
+        node = ontology_term_uri("customer_ontology", "wealthy customers")
+        assert graph.has_type(node, Vocab.BUSINESS_TERM)
+        assert graph.object(node, Vocab.FILTER_COLUMN) == column_uri(
+            "individuals", "salary"
+        )
+        assert graph.object(node, Vocab.FILTER_OP) == Text(">=")
+
+    def test_business_term_aggregation_triples(self, graph):
+        node = ontology_term_uri("product_ontology", "trading volume")
+        assert graph.object(node, Vocab.AGG_FUNC) == Text("sum")
+        assert graph.object(node, Vocab.AGG_COLUMN) == column_uri(
+            "fi_transactions", "amount"
+        )
+
+    def test_dbpedia_synonym(self, graph):
+        node = dbpedia_uri("client")
+        assert graph.has_type(node, Vocab.DBPEDIA_TERM)
+        assert ontology_term_uri("customer_ontology", "customers") in graph.objects(
+            node, Vocab.SYNONYM_OF
+        )
+
+
+class TestResolveTarget:
+    def test_all_layers(self, definition):
+        assert resolve_target(definition, "conceptual:Parties") == (
+            conceptual_entity_uri("Parties")
+        )
+        assert resolve_target(definition, "logical:Parties") == (
+            logical_entity_uri("Parties")
+        )
+        assert resolve_target(definition, "physical:parties") == table_uri("parties")
+        assert resolve_target(definition, "column:parties.id") == column_uri(
+            "parties", "id"
+        )
+        assert resolve_target(definition, "ontology:customers") == (
+            ontology_term_uri("customer_ontology", "customers")
+        )
+
+    def test_unknown_ontology_term(self, definition):
+        from repro.errors import WarehouseError
+
+        with pytest.raises(WarehouseError):
+            resolve_target(definition, "ontology:nonexistent")
+
+
+class TestClassificationBuilding:
+    def test_ontology_terms_registered(self, graph):
+        index = build_classification_index(graph)
+        matches = index.lookup("private customers")
+        assert any(m.source is EntrySource.DOMAIN_ONTOLOGY for m in matches)
+
+    def test_fig5_financial_instruments_found_twice(self, graph):
+        # Fig. 5: "financial instruments" appears in conceptual AND logical
+        index = build_classification_index(graph)
+        sources = sorted(m.source.value for m in index.lookup("financial instruments"))
+        assert sources == ["conceptual_schema", "logical_schema"]
+
+    def test_dbpedia_exclusion(self, graph):
+        index = build_classification_index(graph, include_dbpedia=False)
+        assert not index.lookup("client")
+        index_with = build_classification_index(graph, include_dbpedia=True)
+        assert index_with.lookup("client")
+
+    def test_physical_names_excluded_by_default(self, graph):
+        index = build_classification_index(graph)
+        for match in index.lookup("financial instruments"):
+            assert match.source is not EntrySource.PHYSICAL_SCHEMA
+
+    def test_physical_names_included_on_request(self, graph):
+        index = build_classification_index(graph, include_physical=True)
+        sources = {m.source for m in index.lookup("financial instruments")}
+        assert EntrySource.PHYSICAL_SCHEMA in sources
+
+
+class TestStatistics:
+    def test_graph_statistics_counts(self, graph, definition):
+        stats = graph_statistics(graph)
+        expected = definition.schema_statistics()
+        assert stats["conceptual_entities"] == expected["conceptual_entities"]
+        assert stats["physical_tables"] == expected["physical_tables"]
+        assert stats["physical_columns"] == expected["physical_columns"]
+        assert stats["triples"] == len(graph)
+        # one join node per *annotated* join relationship
+        annotated = sum(1 for j in definition.join_relationships if j.annotated)
+        assert stats["join_nodes"] == annotated

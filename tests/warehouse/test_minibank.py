@@ -1,0 +1,180 @@
+"""Tests for the finbank warehouse: schema shape, sentinel data, indexes."""
+
+import datetime
+
+import pytest
+
+from repro.warehouse.minibank import (
+    CREDIT_SUISSE_ORG_ID,
+    SARA_ID,
+    build_definition,
+    build_minibank,
+)
+
+
+@pytest.fixture(scope="module")
+def wh():
+    return build_minibank(seed=42, scale=0.5)
+
+
+class TestDefinition:
+    def test_definition_validates(self):
+        build_definition().validate()
+
+    def test_fig1_conceptual_entities_present(self):
+        names = {e.name for e in build_definition().conceptual_entities}
+        assert {
+            "Parties", "Individuals", "Organizations", "Transactions",
+            "FinancialInstruments",
+        } <= names
+
+    def test_fig2_logical_split(self):
+        names = {e.name for e in build_definition().logical_entities}
+        # the logical layer splits transactions and stores addresses separately
+        assert {
+            "FinancialInstrumentTransactions", "MoneyTransactions", "Addresses",
+        } <= names
+
+    def test_fig10_sibling_bridge_exists(self):
+        definition = build_definition()
+        joins = {j.name: j for j in definition.join_relationships}
+        assert joins["j_assoc_indiv"].kind == "bridge"
+        assert joins["j_assoc_org"].kind == "bridge"
+
+    def test_historization_join_not_annotated(self):
+        definition = build_definition()
+        join = next(
+            j for j in definition.join_relationships
+            if j.name == "j_indiv_name_hist"
+        )
+        assert not join.annotated
+
+    def test_three_physical_inheritances(self):
+        definition = build_definition()
+        physical = [i for i in definition.inheritances if i.layer == "physical"]
+        assert {i.parent for i in physical} == {
+            "parties", "transactions", "orders_td"
+        }
+
+
+class TestData:
+    def test_sara_guttinger_exists(self, wh):
+        rs = wh.database.execute(
+            "SELECT given_nm, family_nm, birth_dt FROM individuals "
+            f"WHERE id = {SARA_ID}"
+        )
+        assert rs.rows == [("Sara", "Guttinger", datetime.date(1981, 4, 23))]
+
+    def test_exactly_one_current_sara(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM individuals WHERE given_nm = 'Sara'"
+        )
+        assert rs.rows == [(1,)]
+
+    def test_five_historical_saras(self, wh):
+        # the Q2.1 story: the gold standard finds five Saras in the history
+        rs = wh.database.execute(
+            "SELECT count(DISTINCT indiv_id) FROM individual_name_hist "
+            "WHERE given_nm = 'Sara'"
+        )
+        assert rs.rows == [(5,)]
+
+    def test_credit_suisse_org(self, wh):
+        rs = wh.database.execute(
+            f"SELECT org_nm FROM organizations WHERE id = {CREDIT_SUISSE_ORG_ID}"
+        )
+        assert rs.rows == [("Credit Suisse",)]
+
+    def test_credit_suisse_agreements(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM agreements_td "
+            "WHERE agreement_nm LIKE '%Credit Suisse%'"
+        )
+        assert rs.rows == [(3,)]
+
+    def test_gold_agreement(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM agreements_td WHERE agreement_nm LIKE '%Gold%'"
+        )
+        assert rs.rows == [(1,)]
+
+    def test_lehman_product(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM investment_products "
+            "WHERE product_nm LIKE '%Lehman XYZ%'"
+        )
+        assert rs.rows == [(1,)]
+
+    def test_yen_trade_orders_exist(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM trade_orders WHERE currency_cd = 'YEN'"
+        )
+        assert rs.rows[0][0] > 0
+
+    def test_party_per_individual_and_org(self, wh):
+        individuals = wh.database.row_count("individuals")
+        organizations = wh.database.row_count("organizations")
+        assert wh.database.row_count("parties") == individuals + organizations
+
+    def test_inheritance_is_mutually_exclusive(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM individuals, organizations "
+            "WHERE individuals.id = organizations.id"
+        )
+        assert rs.rows == [(0,)]
+
+    def test_every_investment_has_known_currency(self, wh):
+        rs = wh.database.execute(
+            "SELECT count(*) FROM investments_td "
+            "WHERE currency_cd NOT IN "
+            "('CHF', 'USD', 'EUR', 'GBP', 'YEN', 'SEK')"
+        )
+        assert rs.rows == [(0,)]
+
+    def test_domicile_partially_populated(self, wh):
+        # Q9.0 story: the domicile FK is stale/incomplete
+        with_domicile = wh.database.execute(
+            "SELECT count(*) FROM individuals WHERE domicile_adr_id IS NOT NULL"
+        ).rows[0][0]
+        total = wh.database.row_count("individuals")
+        assert 0 < with_domicile < total
+
+    def test_party_address_complete(self, wh):
+        assert wh.database.row_count("party_address") >= (
+            wh.database.row_count("parties")
+        )
+
+    def test_deterministic_given_seed(self):
+        a = build_minibank(seed=7, scale=0.25)
+        b = build_minibank(seed=7, scale=0.25)
+        assert a.row_counts() == b.row_counts()
+        assert a.database.execute("SELECT * FROM individuals").rows == (
+            b.database.execute("SELECT * FROM individuals").rows
+        )
+
+    def test_different_seeds_differ(self):
+        a = build_minibank(seed=7, scale=0.25)
+        b = build_minibank(seed=8, scale=0.25)
+        assert a.database.execute("SELECT * FROM addresses").rows != (
+            b.database.execute("SELECT * FROM addresses").rows
+        )
+
+
+class TestFacade:
+    def test_row_counts(self, wh):
+        counts = wh.row_counts()
+        assert counts["currencies"] == 6
+        assert all(count > 0 for count in counts.values())
+
+    def test_statistics_combined(self, wh):
+        stats = wh.statistics()
+        assert stats["physical_tables"] == 21
+        assert stats["graph_triples"] > 0
+        assert stats["index_indexed_values"] > 0
+        assert stats["total_rows"] == sum(wh.row_counts().values())
+
+    def test_inverted_index_covers_sentinels(self, wh):
+        assert wh.inverted.lookup_phrase("credit suisse")
+        assert wh.inverted.lookup_phrase("zurich")
+        assert wh.inverted.lookup_phrase("lehman xyz")
+        assert wh.inverted.lookup_phrase("switzerland")

@@ -1,0 +1,191 @@
+"""Tests for the warehouse schema model and its validation."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse.model import (
+    ConceptualEntity,
+    Inheritance,
+    JoinRelationship,
+    LogicalEntity,
+    PhysicalColumn,
+    PhysicalTable,
+    WarehouseDefinition,
+    build_database,
+)
+from repro.warehouse.ontology import Ontology, OntologyTerm
+
+
+def tiny_definition() -> WarehouseDefinition:
+    return WarehouseDefinition(
+        name="tiny",
+        conceptual_entities=[ConceptualEntity("Parties", attributes=("name",))],
+        logical_entities=[
+            LogicalEntity("Parties", attributes=("name",), refines="Parties")
+        ],
+        physical_tables=[
+            PhysicalTable(
+                "parties",
+                refines="Parties",
+                columns=(
+                    PhysicalColumn("id", "INT", primary_key=True),
+                    PhysicalColumn("name_nm", "TEXT", refines=("Parties", "name")),
+                ),
+            ),
+            PhysicalTable(
+                "children",
+                columns=(
+                    PhysicalColumn("id", "INT", primary_key=True),
+                    PhysicalColumn("parent_id", "INT"),
+                ),
+            ),
+        ],
+        join_relationships=[
+            JoinRelationship("j1", "children", "parent_id", "parties", "id")
+        ],
+        inheritances=[],
+        ontologies=[],
+        dbpedia=[],
+    )
+
+
+class TestValidation:
+    def test_valid_definition_passes(self):
+        tiny_definition().validate()
+
+    def test_logical_refines_unknown_conceptual(self):
+        definition = tiny_definition()
+        definition.logical_entities.append(
+            LogicalEntity("Broken", refines="Nonexistent")
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_physical_refines_unknown_logical(self):
+        definition = tiny_definition()
+        definition.physical_tables.append(
+            PhysicalTable(
+                "broken",
+                refines="Nonexistent",
+                columns=(PhysicalColumn("id", "INT"),),
+            )
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_join_references_unknown_table(self):
+        definition = tiny_definition()
+        definition.join_relationships.append(
+            JoinRelationship("bad", "nope", "id", "parties", "id")
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_join_references_unknown_column(self):
+        definition = tiny_definition()
+        definition.join_relationships.append(
+            JoinRelationship("bad", "children", "zzz", "parties", "id")
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_inheritance_unknown_parent(self):
+        definition = tiny_definition()
+        definition.inheritances.append(
+            Inheritance("bad", "nope", ("children",), layer="physical")
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_inheritance_needs_children(self):
+        with pytest.raises(WarehouseError):
+            Inheritance("bad", "parties", ())
+
+    def test_ontology_target_validated(self):
+        definition = tiny_definition()
+        definition.ontologies.append(
+            Ontology("o", terms=(OntologyTerm("x", classifies=("physical:zzz",)),))
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_malformed_target_spec(self):
+        definition = tiny_definition()
+        definition.ontologies.append(
+            Ontology("o", terms=(OntologyTerm("x", classifies=("no-colon",)),))
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+    def test_column_target_spec(self):
+        definition = tiny_definition()
+        definition.ontologies.append(
+            Ontology(
+                "o",
+                terms=(OntologyTerm("x", classifies=("column:parties.name_nm",)),),
+            )
+        )
+        definition.validate()
+
+    def test_duplicate_columns_rejected(self):
+        definition = tiny_definition()
+        definition.physical_tables.append(
+            PhysicalTable(
+                "dup",
+                columns=(
+                    PhysicalColumn("a", "INT"),
+                    PhysicalColumn("a", "TEXT"),
+                ),
+            )
+        )
+        with pytest.raises(WarehouseError):
+            definition.validate()
+
+
+class TestLookups:
+    def test_physical_table_lookup(self):
+        definition = tiny_definition()
+        assert definition.physical_table("parties").name == "parties"
+        assert definition.has_physical_table("parties")
+        assert not definition.has_physical_table("zzz")
+        with pytest.raises(WarehouseError):
+            definition.physical_table("zzz")
+
+    def test_entity_lookups(self):
+        definition = tiny_definition()
+        assert definition.logical_entity("Parties").refines == "Parties"
+        assert definition.conceptual_entity("Parties").attributes == ("name",)
+
+    def test_joins_of_table(self):
+        definition = tiny_definition()
+        assert len(definition.joins_of_table("parties")) == 1
+        assert definition.joins_of_table("zzz") == []
+
+    def test_table_column_lookup(self):
+        table = tiny_definition().physical_table("parties")
+        assert table.column("id").primary_key
+        with pytest.raises(WarehouseError):
+            table.column("zzz")
+
+
+class TestStatistics:
+    def test_schema_statistics(self):
+        stats = tiny_definition().schema_statistics()
+        assert stats["conceptual_entities"] == 1
+        assert stats["physical_tables"] == 2
+        assert stats["physical_columns"] == 4
+
+
+class TestBuildDatabase:
+    def test_tables_created_with_fks(self):
+        db = build_database(tiny_definition())
+        assert db.table_names() == ["children", "parties"]
+        assert db.table("children").foreign_keys[0].ref_table == "parties"
+
+    def test_unannotated_joins_still_become_fks(self):
+        definition = tiny_definition()
+        definition.join_relationships[0] = JoinRelationship(
+            "j1", "children", "parent_id", "parties", "id", annotated=False
+        )
+        db = build_database(definition)
+        assert db.table("children").foreign_keys

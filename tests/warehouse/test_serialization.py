@@ -1,0 +1,103 @@
+"""Tests for warehouse-definition JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse.minibank import build_definition
+from repro.warehouse.serialization import (
+    FORMAT_VERSION,
+    definition_from_dict,
+    definition_to_dict,
+    load_definition,
+    save_definition,
+)
+from repro.warehouse.synthetic import SyntheticConfig, generate_definition
+
+
+class TestRoundTrip:
+    def test_finbank_round_trip(self):
+        original = build_definition()
+        restored = definition_from_dict(definition_to_dict(original))
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_synthetic_round_trip(self):
+        original = generate_definition(SyntheticConfig().scaled(0.05))
+        restored = definition_from_dict(definition_to_dict(original))
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_payload_is_json_compatible(self):
+        payload = definition_to_dict(build_definition())
+        json.dumps(payload)  # must not raise
+
+    def test_business_terms_survive(self):
+        restored = definition_from_dict(definition_to_dict(build_definition()))
+        wealthy = None
+        for ontology in restored.ontologies:
+            for term in ontology.terms:
+                if term.term == "wealthy customers":
+                    wealthy = term
+        assert wealthy is not None
+        assert wealthy.filter.op == ">="
+        assert wealthy.filter.value == 1_000_000
+
+    def test_unannotated_joins_survive(self):
+        restored = definition_from_dict(definition_to_dict(build_definition()))
+        join = next(
+            j for j in restored.join_relationships
+            if j.name == "j_indiv_name_hist"
+        )
+        assert not join.annotated
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "finbank.json"
+        original = build_definition()
+        save_definition(original, path)
+        restored = load_definition(path)
+        assert definition_to_dict(restored) == definition_to_dict(original)
+
+    def test_loaded_definition_builds_working_warehouse(self, tmp_path):
+        from repro.core.soda import Soda
+        from repro.warehouse.minibank import populate
+        from repro.warehouse.warehouse import Warehouse
+
+        path = tmp_path / "finbank.json"
+        save_definition(build_definition(), path)
+        warehouse = Warehouse.build(
+            load_definition(path),
+            populate=lambda db: populate(db, scale=0.25),
+        )
+        result = Soda(warehouse).search("Credit Suisse", execute=False)
+        assert result.statements
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self):
+        payload = definition_to_dict(build_definition())
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(WarehouseError):
+            definition_from_dict(payload)
+
+    def test_invalid_definition_rejected(self):
+        payload = definition_to_dict(build_definition())
+        payload["join_relationships"][0]["left_table"] = "nonexistent"
+        with pytest.raises(WarehouseError):
+            definition_from_dict(payload)
+
+    def test_defaults_applied(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "name": "tiny",
+            "physical_tables": [
+                {
+                    "name": "t",
+                    "columns": [{"name": "id", "sql_type": "INT"}],
+                }
+            ],
+        }
+        definition = definition_from_dict(payload)
+        assert definition.physical_tables[0].columns[0].primary_key is False
+        assert definition.ontologies == []

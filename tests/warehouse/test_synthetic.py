@@ -1,0 +1,86 @@
+"""Tests for the Table 1 synthetic schema generator."""
+
+import pytest
+
+from repro.warehouse.graphbuilder import build_metadata_graph, graph_statistics
+from repro.warehouse.synthetic import SyntheticConfig, generate_definition
+
+
+class TestCardinalities:
+    def test_paper_defaults_exact(self):
+        stats = generate_definition().schema_statistics()
+        assert stats == {
+            "conceptual_entities": 226,
+            "conceptual_attributes": 985,
+            "conceptual_relationships": 243,
+            "logical_entities": 436,
+            "logical_attributes": 2700,
+            "logical_relationships": 254,
+            "physical_tables": 472,
+            "physical_columns": 3181,
+        }
+
+    def test_scaled_config(self):
+        config = SyntheticConfig().scaled(0.1)
+        stats = generate_definition(config).schema_statistics()
+        assert stats["conceptual_entities"] == 22
+        assert stats["physical_tables"] == 47
+
+    def test_custom_config(self):
+        config = SyntheticConfig(
+            conceptual_entities=5,
+            conceptual_attributes=20,
+            conceptual_relationships=4,
+            logical_entities=8,
+            logical_attributes=30,
+            logical_relationships=5,
+            physical_tables=10,
+            physical_columns=40,
+        )
+        stats = generate_definition(config).schema_statistics()
+        assert stats["physical_columns"] == 40
+        assert stats["logical_entities"] == 8
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return generate_definition(SyntheticConfig().scaled(0.05))
+
+    def test_definition_validates(self, small):
+        small.validate()  # does not raise
+
+    def test_cryptic_physical_names(self, small):
+        assert all(t.name.endswith("_td") for t in small.physical_tables)
+
+    def test_join_backbone_connects_everything(self, small):
+        import networkx as nx
+
+        graph = nx.Graph()
+        for table in small.physical_tables:
+            graph.add_node(table.name)
+        for join in small.join_relationships:
+            graph.add_edge(join.left_table, join.right_table)
+        assert nx.is_connected(graph)
+
+    def test_inheritance_trees_present(self, small):
+        assert small.inheritances
+        for inheritance in small.inheritances:
+            assert len(inheritance.children) == 2
+
+    def test_deterministic(self):
+        config = SyntheticConfig().scaled(0.05)
+        a = generate_definition(config)
+        b = generate_definition(config)
+        assert [t.name for t in a.physical_tables] == [
+            t.name for t in b.physical_tables
+        ]
+        assert [j.right_table for j in a.join_relationships] == [
+            j.right_table for j in b.join_relationships
+        ]
+
+    def test_graph_builds_at_scale(self, small):
+        graph = build_metadata_graph(small)
+        stats = graph_statistics(graph)
+        assert stats["physical_tables"] == len(small.physical_tables)
+        assert stats["inheritance_nodes"] == len(small.inheritances)
