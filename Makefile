@@ -1,0 +1,22 @@
+# Single entry points for CI and local development.
+#
+#   make test         tier-1 test suite (the PR gate)
+#   make bench-smoke  quick planner benchmark (correctness + speedup asserts)
+#   make lint         bytecode-compile every source tree (import/syntax gate)
+#   make check        all of the above
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke lint check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py -q -s
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+check: lint test bench-smoke

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro search "customers Zurich financial instruments"
+    python -m repro search --explain "customers Zurich"   # plans inline
+    python -m repro explain "SELECT ..."  # optimized query plan tree
     python -m repro experiments          # Tables 2, 3 and 4
     python -m repro compare              # Table 5 (runs the baselines)
     python -m repro stats                # warehouse + Table 1 statistics
@@ -42,6 +44,13 @@ def make_parser() -> argparse.ArgumentParser:
                         help="generate SQL only, skip result snippets")
     search.add_argument("--limit", type=int, default=5,
                         help="statements to display (default 5)")
+    search.add_argument("--explain", action="store_true",
+                        help="print the query plan under each statement")
+
+    explain = commands.add_parser(
+        "explain", help="show the optimized query plan for a SQL statement"
+    )
+    explain.add_argument("sql", help="a SELECT statement (quote it)")
 
     commands.add_parser(
         "experiments", help="run the 13-query workload (Tables 2-4)"
@@ -85,9 +94,31 @@ def cmd_search(args, out) -> int:
                 print(f"       {row}", file=out)
         elif statement.execution_error:
             print(f"    -> {statement.execution_error}", file=out)
+        if args.explain:
+            from repro.errors import SqlError
+
+            try:
+                plan = statement.plan or soda.explain(statement.sql)
+            except SqlError as exc:
+                plan = f"(not plannable: {exc})"
+            for line in plan.splitlines():
+                print(f"    | {line}", file=out)
     if not result.statements:
         print("\n(no executable statements — try different keywords)",
               file=out)
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    from repro.errors import SqlError
+
+    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    try:
+        plan = warehouse.database.explain(args.sql)
+    except SqlError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    print(plan, file=out)
     return 0
 
 
@@ -178,6 +209,7 @@ def main(argv=None, out=None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
         "search": cmd_search,
+        "explain": cmd_explain,
         "experiments": cmd_experiments,
         "compare": cmd_compare,
         "stats": cmd_stats,

@@ -72,7 +72,7 @@ class StepTimings:
 
 @dataclass
 class ScoredStatement:
-    """One generated SQL statement with score and snippet."""
+    """One generated SQL statement with score, snippet and query plan."""
 
     sql: str
     score: float
@@ -83,6 +83,8 @@ class ScoredStatement:
     snippet: "ResultSet | None" = None
     execution_error: str | None = None
     estimated_rows: int = 0
+    #: the optimizer's plan tree (populated when the statement executes)
+    plan: str | None = None
 
     @property
     def disconnected(self) -> bool:
@@ -139,6 +141,19 @@ class Soda:
     def parse(self, text: str) -> SodaQuery:
         """Parse the input query text (input patterns only)."""
         return parse_query(text)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN an SQL statement against the warehouse database.
+
+        Renders the optimized plan tree the engine would execute —
+        works for generated statements (``result.best.sql``) as well as
+        hand-written SQL.
+        """
+        return self.warehouse.database.explain(sql)
+
+    def plan_cache_stats(self):
+        """Hit/miss counters of the database's LRU plan cache."""
+        return self.warehouse.database.planner.cache.stats
 
     def search(self, text: str, execute: bool = True) -> SearchResult:
         """Run the full five-step pipeline for *text*."""
@@ -256,3 +271,9 @@ class Soda:
         scored.snippet = ResultSet(
             columns=result.columns, rows=result.rows[: self.config.snippet_rows]
         )
+        try:
+            scored.plan = self.warehouse.database.explain_select_ast(
+                scored.statement.select
+            )
+        except SqlError:  # pragma: no cover - executable implies explainable
+            scored.plan = None

@@ -17,6 +17,7 @@ from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
 from repro.sqlengine.database import Database
 from repro.sqlengine.executor import ResultSet, execute_select
 from repro.sqlengine.parser import parse_select, parse_sql
+from repro.sqlengine.planner import PlanCache, QueryPlanner
 from repro.sqlengine.types import SqlType
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "Like",
     "Literal",
     "OrderItem",
+    "PlanCache",
+    "QueryPlanner",
     "ResultSet",
     "Select",
     "SelectItem",

@@ -116,10 +116,16 @@ class Table:
 
 
 class Catalog:
-    """All tables of one database, with FK metadata."""
+    """All tables of one database, with FK metadata.
+
+    The catalog tracks a DDL version so the planner can fingerprint it
+    (see :meth:`fingerprint`) and invalidate cached plans when the
+    schema or the data volume changes.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._ddl_version = 0
 
     def create_table(
         self,
@@ -132,6 +138,7 @@ class Catalog:
             raise SqlCatalogError(f"table already exists: {name!r}")
         table = Table(key, columns, foreign_keys)
         self._tables[key] = table
+        self._ddl_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -139,6 +146,22 @@ class Catalog:
         if key not in self._tables:
             raise SqlCatalogError(f"no such table: {name!r}")
         del self._tables[key]
+        self._ddl_version += 1
+
+    @property
+    def ddl_version(self) -> int:
+        """Bumped on every CREATE/DROP; part of the plan-cache key."""
+        return self._ddl_version
+
+    def fingerprint(self) -> tuple:
+        """A cheap token that changes whenever plans could go stale.
+
+        Combines the DDL version with the total row count: CREATE/DROP
+        bumps the former, inserts grow the latter (rows are append-only,
+        so the sum is strictly monotonic per table).
+        """
+        total_rows = sum(len(table.rows) for table in self._tables.values())
+        return (self._ddl_version, total_rows)
 
     def table(self, name: str) -> Table:
         try:

@@ -12,18 +12,19 @@ from typing import Any, Iterable, Sequence
 from repro.errors import SqlError
 from repro.sqlengine.ast_nodes import CreateTable, Insert, Select, Union
 from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
-from repro.sqlengine.executor import (
-    ResultSet,
-    execute_select,
-    execute_union,
-    explain_select,
-)
+from repro.sqlengine.executor import ResultSet, execute_union
 from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.planner import DEFAULT_PLAN_CACHE_SIZE, QueryPlanner
 from repro.sqlengine.types import SqlType
 
 
 class Database:
     """An in-memory relational database.
+
+    SELECT statements run through a cost-aware :class:`QueryPlanner`
+    whose LRU plan cache (``plan_cache_size`` prepared plans, keyed by
+    normalized SQL + catalog fingerprint) lets repeated statements skip
+    re-planning entirely.
 
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
@@ -32,8 +33,9 @@ class Database:
     [('beta',)]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.catalog = Catalog()
+        self.planner = QueryPlanner(self.catalog, cache_size=plan_cache_size)
 
     # ------------------------------------------------------------------
     # SQL entry point
@@ -45,9 +47,9 @@ class Database:
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):
-            return execute_select(self.catalog, statement)
+            return self.planner.execute(statement)
         if isinstance(statement, Union):
-            return execute_union(self.catalog, statement)
+            return execute_union(self.catalog, statement, self.planner)
         if isinstance(statement, CreateTable):
             columns = [
                 Column(c.name, c.sql_type, c.primary_key) for c in statement.columns
@@ -74,27 +76,31 @@ class Database:
 
     def execute_select_ast(self, select: Select) -> ResultSet:
         """Execute an already-parsed SELECT (used by SODA internals)."""
-        return execute_select(self.catalog, select)
+        return self.planner.execute(select)
 
     def explain(self, sql: str) -> str:
-        """A human-readable plan for a SELECT statement.
+        """The optimized plan of a SELECT, as a deterministic text tree.
 
         >>> db = Database()
         >>> _ = db.execute("CREATE TABLE t (id INT)")
         >>> print(db.explain("SELECT * FROM t WHERE id = 1"))
-        scan t as t (0 rows) filter: (t.id = 1)
+        project *
+        └─ scan t as t (0 rows) filter: (t.id = 1) [~0 rows]
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):
-            return explain_select(self.catalog, statement)
+            return self.planner.explain(statement)
         if isinstance(statement, Union):
             branches = [
-                explain_select(self.catalog, select)
-                for select in statement.selects
+                self.planner.explain(select) for select in statement.selects
             ]
             keyword = "union all" if statement.all else "union"
             return f"\n{keyword}\n".join(branches)
         raise SqlError("EXPLAIN supports SELECT statements only")
+
+    def explain_select_ast(self, select: Select) -> str:
+        """Explain an already-parsed SELECT (used by SODA internals)."""
+        return self.planner.explain(select)
 
     # ------------------------------------------------------------------
     # programmatic schema/data API (used by the warehouse generators)

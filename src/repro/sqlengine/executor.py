@@ -1,86 +1,59 @@
-"""Query planner and executor.
+"""Thin execution facade over the planner subsystem.
 
-The executor turns a parsed :class:`~repro.sqlengine.ast_nodes.Select`
-into a :class:`ResultSet`:
+Historically this module interpreted the ``Select`` AST directly with
+ad-hoc inline planning.  Execution now flows through
+:mod:`repro.sqlengine.planner`: the AST is lowered to a logical plan
+DAG, optimized (constant folding, predicate pushdown, projection
+pruning, statistics-driven join ordering) and compiled into
+volcano-style physical operators.  :class:`~repro.sqlengine.database.
+Database` owns a long-lived :class:`~repro.sqlengine.planner.
+QueryPlanner` whose LRU plan cache makes repeated statements skip
+re-planning; the module-level functions below create a transient
+planner per call and exist for API compatibility (tests, notebooks).
 
-1. FROM tables and INNER JOIN tables are planned together: predicates are
-   split into single-table filters (pushed below joins), equi-join
-   predicates (executed as hash joins, greedily following connectivity),
-   and residual predicates (applied as soon as their bindings exist).
-2. LEFT joins are applied sequentially after the inner block.
-3. Aggregation (GROUP BY / aggregate functions) runs on the joined rows;
-   non-aggregated, non-grouped expressions are evaluated on the first row
-   of each group (documented leniency, matching classic MySQL).
-4. HAVING, projection, DISTINCT, ORDER BY (aliases, positions or
-   expressions) and LIMIT follow.
+All pre-planner semantics are preserved — see
+:mod:`repro.sqlengine.planner.physical` for the operator contracts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from repro.errors import SqlExecutionError
+from repro.sqlengine.ast_nodes import Select
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.results import ResultSet
 
-from repro.errors import SqlCatalogError, SqlExecutionError
-from repro.sqlengine.ast_nodes import (
-    AGGREGATE_FUNCTIONS,
-    BinaryOp,
-    ColumnRef,
-    Expr,
-    FuncCall,
-    Literal,
-    OrderItem,
-    Select,
-    SelectItem,
-    collect_column_refs,
-    contains_aggregate,
-)
-from repro.sqlengine.catalog import Catalog, Table
-from repro.sqlengine.expressions import Scope, compile_expr, split_conjuncts
-from repro.sqlengine.functions import make_accumulator
+__all__ = [
+    "ResultSet",
+    "execute_select",
+    "execute_union",
+    "explain_select",
+]
 
 
-@dataclass
-class ResultSet:
-    """The rows produced by a SELECT."""
+def _planner_for(catalog: Catalog, planner=None):
+    if planner is not None:
+        return planner
+    from repro.sqlengine.planner import QueryPlanner
 
-    columns: list[str]
-    rows: list[tuple]
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def as_dicts(self) -> list[dict]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
-
-    def column(self, name: str) -> list[Any]:
-        try:
-            index = self.columns.index(name)
-        except ValueError:
-            raise SqlExecutionError(
-                f"no column {name!r} in result (have {self.columns})"
-            ) from None
-        return [row[index] for row in self.rows]
+    return QueryPlanner(catalog)
 
 
-@dataclass
-class _Relation:
-    """Intermediate rows plus their column layout."""
-
-    scope: Scope
-    rows: list
+def execute_select(catalog: Catalog, select: Select, planner=None) -> ResultSet:
+    """Plan and execute a SELECT statement against *catalog*."""
+    return _planner_for(catalog, planner).execute(select)
 
 
-def execute_union(catalog: Catalog, union) -> ResultSet:
+def execute_union(catalog: Catalog, union, planner=None) -> ResultSet:
     """Execute a UNION [ALL] chain; columns come from the first branch."""
-    results = [execute_select(catalog, select) for select in union.selects]
+    owner = _planner_for(catalog, planner)
+    results = [owner.execute(select) for select in union.selects]
     width = len(results[0].columns)
-    for result in results[1:]:
+    for index, result in enumerate(results[1:], start=2):
         if len(result.columns) != width:
             raise SqlExecutionError(
-                "UNION branches must have the same number of columns"
+                f"UNION branches must have the same number of columns: "
+                f"branch 1 has {width}, branch {index} has "
+                f"{len(result.columns)}"
             )
     rows: list = []
     if union.all:
@@ -96,591 +69,6 @@ def execute_union(catalog: Catalog, union) -> ResultSet:
     return ResultSet(columns=results[0].columns, rows=rows)
 
 
-def execute_select(catalog: Catalog, select: Select) -> ResultSet:
-    """Execute a SELECT statement against *catalog*."""
-    relation, conjuncts = _plan_joins(catalog, select)
-    relation = _apply_conjuncts(relation, conjuncts)
-
-    needs_aggregation = bool(select.group_by) or any(
-        item.expr is not None and contains_aggregate(item.expr)
-        for item in select.items
-    )
-    if select.having is not None:
-        needs_aggregation = True
-    if any(contains_aggregate(item.expr) for item in select.order_by):
-        needs_aggregation = True
-
-    if needs_aggregation:
-        relation, agg_slots = _aggregate(relation, select)
-    else:
-        agg_slots = {}
-
-    columns, out_rows, pre_rows = _project(relation, select, agg_slots)
-
-    if select.distinct:
-        seen: set = set()
-        deduped_out: list[tuple] = []
-        deduped_pre: list[tuple] = []
-        for out_row, pre_row in zip(out_rows, pre_rows):
-            if out_row in seen:
-                continue
-            seen.add(out_row)
-            deduped_out.append(out_row)
-            deduped_pre.append(pre_row)
-        out_rows, pre_rows = deduped_out, deduped_pre
-
-    if select.order_by:
-        out_rows = _order(
-            select.order_by, columns, out_rows, pre_rows, relation.scope, agg_slots
-        )
-
-    if select.limit is not None:
-        out_rows = out_rows[: select.limit]
-
-    return ResultSet(columns=columns, rows=out_rows)
-
-
-def explain_select(catalog: Catalog, select: Select) -> str:
-    """A human-readable plan description (no execution).
-
-    Mirrors the planner's decisions: filter pushdown, equi-join
-    recognition, greedy join order, residual predicates, aggregation and
-    final ordering.
-    """
-    inner_tables: list = [(ref.binding, catalog.table(ref.name))
-                          for ref in select.tables]
-    conjuncts: list = split_conjuncts(select.where)
-    left_joins = []
-    for join in select.joins:
-        if join.kind == "INNER":
-            inner_tables.append((join.table.binding, catalog.table(join.table.name)))
-            conjuncts.extend(split_conjuncts(join.condition))
-        else:
-            left_joins.append(join)
-    scopes = {
-        binding: Scope([(binding, name) for name in table.column_names()])
-        for binding, table in inner_tables
-    }
-    filters: dict = {binding: [] for binding, __ in inner_tables}
-    equi_joins: list = []
-    residual: list = []
-    for conjunct in conjuncts:
-        refs = collect_column_refs(conjunct)
-        ref_bindings = _bindings_of(refs, scopes)
-        if ref_bindings is not None and len(ref_bindings) == 1:
-            filters[next(iter(ref_bindings))].append(conjunct)
-            continue
-        equi = _as_equi_join(conjunct, scopes) if ref_bindings else None
-        if equi is not None:
-            equi_joins.append(equi)
-        else:
-            residual.append(conjunct)
-
-    lines = []
-    for binding, table in inner_tables:
-        pushed = filters[binding]
-        suffix = ""
-        if pushed:
-            suffix = " filter: " + " AND ".join(p.to_sql() for p in pushed)
-        lines.append(f"scan {table.name} as {binding} "
-                     f"({len(table.rows)} rows){suffix}")
-
-    order = [binding for binding, __ in inner_tables]
-    joined = {order[0]}
-    pending = order[1:]
-    remaining = list(equi_joins)
-    while pending:
-        next_binding = _pick_connected(pending, joined, remaining)
-        if next_binding is None:
-            next_binding = pending[0]
-            lines.append(f"cross join {next_binding}")
-        pending.remove(next_binding)
-        usable, remaining = _split_usable_equi(remaining, joined, next_binding)
-        if usable:
-            conditions = " AND ".join(item[4].to_sql() for item in usable)
-            lines.append(f"hash join {next_binding} on {conditions}")
-        joined.add(next_binding)
-    for join in left_joins:
-        lines.append(
-            f"left join {join.table.binding} on {join.condition.to_sql()}"
-        )
-    for conjunct in residual:
-        lines.append(f"residual filter {conjunct.to_sql()}")
-
-    if select.group_by or any(
-        item.expr is not None and contains_aggregate(item.expr)
-        for item in select.items
-    ):
-        keys = ", ".join(e.to_sql() for e in select.group_by) or "(all rows)"
-        lines.append(f"aggregate group by {keys}")
-    if select.having is not None:
-        lines.append(f"having {select.having.to_sql()}")
-    if select.distinct:
-        lines.append("distinct")
-    if select.order_by:
-        lines.append(
-            "sort by " + ", ".join(item.to_sql() for item in select.order_by)
-        )
-    if select.limit is not None:
-        lines.append(f"limit {select.limit}")
-    return "\n".join(lines)
-
-
-# ---------------------------------------------------------------------------
-# join planning
-# ---------------------------------------------------------------------------
-
-
-def _plan_joins(catalog: Catalog, select: Select) -> tuple[_Relation, list]:
-    """Join all tables; return the joined relation and residual conjuncts."""
-    inner_tables: list[tuple] = []  # (binding, Table)
-    bindings_seen: set[str] = set()
-
-    def register(binding: str, table_name: str) -> Table:
-        if binding in bindings_seen:
-            raise SqlCatalogError(f"duplicate table binding: {binding!r}")
-        bindings_seen.add(binding)
-        return catalog.table(table_name)
-
-    for table_ref in select.tables:
-        inner_tables.append(
-            (table_ref.binding, register(table_ref.binding, table_ref.name))
-        )
-
-    conjuncts: list = split_conjuncts(select.where)
-    left_joins: list = []
-    for join in select.joins:
-        if join.kind == "INNER":
-            inner_tables.append(
-                (join.table.binding, register(join.table.binding, join.table.name))
-            )
-            conjuncts.extend(split_conjuncts(join.condition))
-        else:
-            left_joins.append(join)
-
-    scopes = {
-        binding: Scope([(binding, name) for name in table.column_names()])
-        for binding, table in inner_tables
-    }
-
-    # classify conjuncts
-    filters: dict[str, list] = {binding: [] for binding, __ in inner_tables}
-    equi_joins: list[tuple] = []  # (binding_a, ref_a, binding_b, ref_b, expr)
-    residual: list = []
-    for conjunct in conjuncts:
-        refs = collect_column_refs(conjunct)
-        ref_bindings = _bindings_of(refs, scopes)
-        if ref_bindings is None:
-            residual.append(conjunct)
-            continue
-        if len(ref_bindings) == 1:
-            filters[next(iter(ref_bindings))].append(conjunct)
-            continue
-        equi = _as_equi_join(conjunct, scopes)
-        if equi is not None:
-            equi_joins.append(equi)
-        else:
-            residual.append(conjunct)
-
-    # scan + pushdown
-    relations: dict[str, _Relation] = {}
-    for binding, table in inner_tables:
-        scope = scopes[binding]
-        rows = list(table.rows)
-        for predicate in filters[binding]:
-            fn = compile_expr(predicate, scope)
-            rows = [row for row in rows if fn(row) is True]
-        relations[binding] = _Relation(scope=scope, rows=rows)
-
-    # greedy hash-join ordering
-    order = [binding for binding, __ in inner_tables]
-    joined = relations[order[0]]
-    joined_bindings = {order[0]}
-    pending = order[1:]
-    remaining_equi = list(equi_joins)
-    remaining_residual = list(residual)
-
-    while pending:
-        next_binding = _pick_connected(pending, joined_bindings, remaining_equi)
-        if next_binding is None:
-            next_binding = pending[0]
-        pending.remove(next_binding)
-        usable, remaining_equi = _split_usable_equi(
-            remaining_equi, joined_bindings, next_binding
-        )
-        joined = _hash_join(joined, relations[next_binding], usable)
-        joined_bindings.add(next_binding)
-        joined, remaining_residual = _apply_ready_residuals(
-            joined, remaining_residual, joined_bindings, scopes
-        )
-
-    # any leftover equi joins reference bindings already merged (e.g. cycles)
-    for __, left_ref, __, right_ref, expr in remaining_equi:
-        fn = compile_expr(expr, joined.scope)
-        joined.rows = [row for row in joined.rows if fn(row) is True]
-
-    # LEFT joins applied sequentially
-    for join in left_joins:
-        table = register(join.table.binding, join.table.name)
-        right_scope = Scope(
-            [(join.table.binding, name) for name in table.column_names()]
-        )
-        right = _Relation(scope=right_scope, rows=list(table.rows))
-        joined = _left_join(joined, right, join.condition)
-
-    return joined, remaining_residual
-
-
-def _bindings_of(refs: Sequence[ColumnRef], scopes: dict) -> set | None:
-    """The set of bindings referenced, or None if any ref is unresolvable."""
-    found: set[str] = set()
-    for ref in refs:
-        if ref.table is not None:
-            if ref.table not in scopes:
-                return None
-            found.add(ref.table)
-            continue
-        owners = [
-            binding
-            for binding, scope in scopes.items()
-            if scope.try_resolve(ColumnRef(binding, ref.column)) is not None
-        ]
-        if len(owners) != 1:
-            return None
-        found.add(owners[0])
-    return found
-
-
-def _as_equi_join(conjunct: Expr, scopes: dict) -> tuple | None:
-    """Recognise ``a.x = b.y`` between two different bindings."""
-    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
-        return None
-    left, right = conjunct.left, conjunct.right
-    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
-        return None
-    left_binding = _owner_of(left, scopes)
-    right_binding = _owner_of(right, scopes)
-    if left_binding is None or right_binding is None:
-        return None
-    if left_binding == right_binding:
-        return None
-    return (left_binding, left, right_binding, right, conjunct)
-
-
-def _owner_of(ref: ColumnRef, scopes: dict) -> str | None:
-    if ref.table is not None:
-        return ref.table if ref.table in scopes else None
-    owners = [
-        binding
-        for binding, scope in scopes.items()
-        if scope.try_resolve(ColumnRef(binding, ref.column)) is not None
-    ]
-    return owners[0] if len(owners) == 1 else None
-
-
-def _pick_connected(
-    pending: list, joined_bindings: set, equi_joins: list
-) -> str | None:
-    for binding in pending:
-        for left_b, __, right_b, __, __ in equi_joins:
-            if binding == left_b and right_b in joined_bindings:
-                return binding
-            if binding == right_b and left_b in joined_bindings:
-                return binding
-    return None
-
-
-def _split_usable_equi(
-    equi_joins: list, joined_bindings: set, new_binding: str
-) -> tuple[list, list]:
-    usable, remaining = [], []
-    for item in equi_joins:
-        left_b, __, right_b, __, __ = item
-        endpoints = {left_b, right_b}
-        if new_binding in endpoints and (endpoints - {new_binding}) <= joined_bindings:
-            usable.append(item)
-        else:
-            remaining.append(item)
-    return usable, remaining
-
-
-def _hash_join(left: _Relation, right: _Relation, equi: list) -> _Relation:
-    """Hash join on the usable equi predicates; cross join if none."""
-    out_scope = left.scope.concat(right.scope)
-    if not equi:
-        rows = [l + r for l in left.rows for r in right.rows]
-        return _Relation(scope=out_scope, rows=rows)
-
-    left_indexes: list[int] = []
-    right_indexes: list[int] = []
-    for left_b, left_ref, right_b, right_ref, __ in equi:
-        if left.scope.try_resolve(left_ref) is not None:
-            left_indexes.append(left.scope.resolve(left_ref))
-            right_indexes.append(right.scope.resolve(right_ref))
-        else:
-            left_indexes.append(left.scope.resolve(right_ref))
-            right_indexes.append(right.scope.resolve(left_ref))
-
-    table: dict = {}
-    for row in right.rows:
-        key = tuple(row[i] for i in right_indexes)
-        if any(v is None for v in key):
-            continue
-        table.setdefault(key, []).append(row)
-
-    rows = []
-    for row in left.rows:
-        key = tuple(row[i] for i in left_indexes)
-        if any(v is None for v in key):
-            continue
-        for match in table.get(key, ()):
-            rows.append(row + match)
-    return _Relation(scope=out_scope, rows=rows)
-
-
-def _left_join(left: _Relation, right: _Relation, condition: Expr) -> _Relation:
-    out_scope = left.scope.concat(right.scope)
-    fn = compile_expr(condition, out_scope)
-    null_pad = (None,) * len(right.scope)
-    rows = []
-    for left_row in left.rows:
-        matched = False
-        for right_row in right.rows:
-            combined = left_row + right_row
-            if fn(combined) is True:
-                rows.append(combined)
-                matched = True
-        if not matched:
-            rows.append(left_row + null_pad)
-    return _Relation(scope=out_scope, rows=rows)
-
-
-def _apply_ready_residuals(
-    relation: _Relation, residuals: list, joined_bindings: set, scopes: dict
-) -> tuple[_Relation, list]:
-    still_waiting = []
-    for conjunct in residuals:
-        refs = collect_column_refs(conjunct)
-        needed = _bindings_of(refs, scopes)
-        if needed is not None and needed <= joined_bindings:
-            fn = compile_expr(conjunct, relation.scope)
-            relation.rows = [row for row in relation.rows if fn(row) is True]
-        else:
-            still_waiting.append(conjunct)
-    return relation, still_waiting
-
-
-def _apply_conjuncts(relation: _Relation, conjuncts: list) -> _Relation:
-    for conjunct in conjuncts:
-        fn = compile_expr(conjunct, relation.scope)
-        relation.rows = [row for row in relation.rows if fn(row) is True]
-    return relation
-
-
-# ---------------------------------------------------------------------------
-# aggregation
-# ---------------------------------------------------------------------------
-
-
-def _collect_aggregates(expr: Expr | None, found: list) -> None:
-    if expr is None:
-        return
-    if isinstance(expr, FuncCall):
-        if expr.name in AGGREGATE_FUNCTIONS:
-            if expr not in found:
-                found.append(expr)
-            return
-        for arg in expr.args:
-            _collect_aggregates(arg, found)
-        return
-    for child in _children(expr):
-        _collect_aggregates(child, found)
-
-
-def _children(expr: Expr) -> list:
-    from repro.sqlengine.ast_nodes import Between, InList, IsNull, Like, UnaryOp
-
-    if isinstance(expr, BinaryOp):
-        return [expr.left, expr.right]
-    if isinstance(expr, UnaryOp):
-        return [expr.operand]
-    if isinstance(expr, Like):
-        return [expr.operand, expr.pattern]
-    if isinstance(expr, InList):
-        return [expr.operand, *expr.items]
-    if isinstance(expr, Between):
-        return [expr.operand, expr.low, expr.high]
-    if isinstance(expr, IsNull):
-        return [expr.operand]
-    return []
-
-
-def _aggregate(relation: _Relation, select: Select) -> tuple[_Relation, dict]:
-    """Group rows and append aggregate results to a representative row."""
-    scope = relation.scope
-    agg_calls: list = []
-    for item in select.items:
-        _collect_aggregates(item.expr, agg_calls)
-    _collect_aggregates(select.having, agg_calls)
-    for order_item in select.order_by:
-        _collect_aggregates(order_item.expr, agg_calls)
-
-    group_fns = [compile_expr(expr, scope) for expr in select.group_by]
-
-    arg_fns = []
-    for call in agg_calls:
-        if call.star:
-            arg_fns.append(None)
-        else:
-            if len(call.args) != 1:
-                raise SqlExecutionError(
-                    f"aggregate {call.name}() takes exactly one argument"
-                )
-            arg_fns.append(compile_expr(call.args[0], scope))
-
-    groups: dict = {}
-    group_order: list = []
-    for row in relation.rows:
-        key = tuple(fn(row) for fn in group_fns)
-        if key not in groups:
-            accumulators = [
-                make_accumulator(call.name, call.star, call.distinct)
-                for call in agg_calls
-            ]
-            groups[key] = (row, accumulators)
-            group_order.append(key)
-        __, accumulators = groups[key]
-        for call, arg_fn, accumulator in zip(agg_calls, arg_fns, accumulators):
-            accumulator.add(1 if call.star else arg_fn(row))
-
-    # aggregate query over empty input and no GROUP BY -> one empty group
-    if not groups and not select.group_by:
-        accumulators = [
-            make_accumulator(call.name, call.star, call.distinct)
-            for call in agg_calls
-        ]
-        null_row = (None,) * len(scope)
-        groups[()] = (null_row, accumulators)
-        group_order.append(())
-
-    agg_slots = {call: len(scope) + i for i, call in enumerate(agg_calls)}
-    extended_scope = Scope(
-        scope.pairs + [(None, f"__agg_{i}") for i in range(len(agg_calls))]
-    )
-    extended_rows = []
-    for key in group_order:
-        rep_row, accumulators = groups[key]
-        extended_rows.append(
-            rep_row + tuple(acc.result() for acc in accumulators)
-        )
-
-    out = _Relation(scope=extended_scope, rows=extended_rows)
-    if select.having is not None:
-        fn = compile_expr(select.having, extended_scope, agg_slots)
-        out.rows = [row for row in out.rows if fn(row) is True]
-    return out, agg_slots
-
-
-# ---------------------------------------------------------------------------
-# projection & ordering
-# ---------------------------------------------------------------------------
-
-
-def _project(
-    relation: _Relation, select: Select, agg_slots: dict
-) -> tuple[list, list, list]:
-    """Evaluate the select list; returns (columns, out_rows, pre_rows)."""
-    scope = relation.scope
-    columns: list[str] = []
-    fns: list = []
-
-    multi_table = len({b for b, __ in scope.pairs if b is not None}) > 1
-    for item in select.items:
-        if item.is_star:
-            for index, (binding, column) in enumerate(scope.pairs):
-                if column.startswith("__agg_"):
-                    continue
-                if item.star_table is not None and binding != item.star_table:
-                    continue
-                if item.star_table is None and multi_table and binding is not None:
-                    columns.append(f"{binding}.{column}")
-                else:
-                    columns.append(column)
-                fns.append(_make_picker(index))
-            if item.star_table is not None and not any(
-                binding == item.star_table for binding, __ in scope.pairs
-            ):
-                raise SqlCatalogError(f"unknown table in star: {item.star_table!r}")
-            continue
-        assert item.expr is not None
-        columns.append(item.alias or item.expr.to_sql())
-        fns.append(compile_expr(item.expr, scope, agg_slots))
-
-    out_rows = []
-    pre_rows = []
-    for row in relation.rows:
-        out_rows.append(tuple(fn(row) for fn in fns))
-        pre_rows.append(row)
-    return columns, out_rows, pre_rows
-
-
-def _make_picker(index: int):
-    return lambda row: row[index]
-
-
-def _order(
-    order_by: Sequence[OrderItem],
-    columns: list,
-    out_rows: list,
-    pre_rows: list,
-    scope: Scope,
-    agg_slots: dict,
-) -> list:
-    """Sort output rows; supports aliases, positions and expressions."""
-    pairs = list(zip(out_rows, pre_rows))
-
-    key_fns: list = []
-    for item in order_by:
-        expr = item.expr
-        if isinstance(expr, Literal) and isinstance(expr.value, int):
-            position = expr.value - 1
-            if not 0 <= position < len(columns):
-                raise SqlExecutionError(f"ORDER BY position out of range: {expr.value}")
-            key_fns.append((_make_out_picker(position), item.descending))
-            continue
-        if (
-            isinstance(expr, ColumnRef)
-            and expr.table is None
-            and expr.column in columns
-        ):
-            position = columns.index(expr.column)
-            key_fns.append((_make_out_picker(position), item.descending))
-            continue
-        fn = compile_expr(expr, scope, agg_slots)
-        key_fns.append((_make_pre_picker(fn), item.descending))
-
-    # stable multi-pass sort, last key first
-    for key_fn, descending in reversed(key_fns):
-        pairs.sort(key=lambda pair: _sort_key(key_fn(pair)), reverse=descending)
-    return [out_row for out_row, __ in pairs]
-
-
-def _make_out_picker(position: int):
-    return lambda pair: pair[0][position]
-
-
-def _make_pre_picker(fn):
-    return lambda pair: fn(pair[1])
-
-
-def _sort_key(value: Any) -> tuple:
-    """Total order over mixed values: NULLs first, then by type group."""
-    if value is None:
-        return (0, 0, 0)
-    if isinstance(value, bool):
-        return (1, 0, int(value))
-    if isinstance(value, (int, float)):
-        return (1, 1, value)
-    if isinstance(value, str):
-        return (1, 2, value)
-    return (1, 3, str(value))
+def explain_select(catalog: Catalog, select: Select, planner=None) -> str:
+    """The optimized plan of a SELECT as a deterministic text tree."""
+    return _planner_for(catalog, planner).explain(select)

@@ -199,7 +199,10 @@ def compile_expr(
             slot = agg_slots[expr]
             return lambda row: row[slot]
         if expr.name not in SCALAR_FUNCTIONS:
-            raise SqlExecutionError(f"unknown function: {expr.name!r}")
+            raise SqlExecutionError(
+                f"unknown function {expr.name!r} in {expr.to_sql()} "
+                f"(available: {', '.join(sorted(SCALAR_FUNCTIONS))})"
+            )
         fn = SCALAR_FUNCTIONS[expr.name]
         arg_fns = [compile_expr(arg, scope, agg_slots) for arg in expr.args]
         return lambda row: fn(*[arg_fn(row) for arg_fn in arg_fns])
@@ -215,16 +218,20 @@ def compile_expr(
 
             return _not
         if expr.op == "-":
+            rendered = expr.to_sql()
+
             def _neg(row: tuple) -> Any:
                 value = operand(row)
                 if value is None:
                     return None
                 if not isinstance(value, (int, float)) or isinstance(value, bool):
-                    raise SqlTypeError(f"cannot negate {value!r}")
+                    raise SqlTypeError(f"cannot negate {value!r} in {rendered}")
                 return -value
 
             return _neg
-        raise SqlExecutionError(f"unknown unary operator: {expr.op!r}")
+        raise SqlExecutionError(
+            f"unknown unary operator {expr.op!r} in {expr.to_sql()}"
+        )
 
     if isinstance(expr, BinaryOp):
         return _compile_binary(expr, scope, agg_slots)
@@ -376,15 +383,21 @@ def _compile_binary(
         return _compare
 
     if op in ("+", "-", "*", "/"):
+        rendered = expr.to_sql()
+
         def _arith(row: tuple) -> Any:
             lhs = left(row)
             rhs = right(row)
             if lhs is None or rhs is None:
                 return None
             if not isinstance(lhs, (int, float)) or isinstance(lhs, bool):
-                raise SqlTypeError(f"arithmetic on non-number: {lhs!r}")
+                raise SqlTypeError(
+                    f"arithmetic on non-number {lhs!r} in {rendered}"
+                )
             if not isinstance(rhs, (int, float)) or isinstance(rhs, bool):
-                raise SqlTypeError(f"arithmetic on non-number: {rhs!r}")
+                raise SqlTypeError(
+                    f"arithmetic on non-number {rhs!r} in {rendered}"
+                )
             if op == "+":
                 return lhs + rhs
             if op == "-":
@@ -392,7 +405,7 @@ def _compile_binary(
             if op == "*":
                 return lhs * rhs
             if rhs == 0:
-                raise SqlExecutionError("division by zero")
+                raise SqlExecutionError(f"division by zero in {rendered}")
             return lhs / rhs
 
         return _arith
@@ -407,7 +420,9 @@ def _compile_binary(
 
         return _concat
 
-    raise SqlExecutionError(f"unknown binary operator: {op!r}")
+    raise SqlExecutionError(
+        f"unknown binary operator {op!r} in {expr.to_sql()}"
+    )
 
 
 def split_conjuncts(expr: Expr | None) -> list[Expr]:

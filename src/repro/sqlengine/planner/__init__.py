@@ -1,0 +1,86 @@
+"""Cost-aware query planner: lower → optimize → compile → (cache) → run.
+
+The planner turns a parsed :class:`~repro.sqlengine.ast_nodes.Select`
+into a logical plan DAG (:mod:`.logical`), optimizes it with rule-based
+rewrites driven by catalog statistics (:mod:`.optimizer`, :mod:`.stats`),
+compiles it into volcano-style physical operators (:mod:`.physical`) and
+memoizes the result in an LRU plan cache (:mod:`.cache`) keyed by the
+normalized SQL text plus the catalog fingerprint.  ``EXPLAIN`` output is
+rendered from the optimized logical plan (:mod:`.explain`).
+
+Knobs:
+
+* ``cache_size`` — prepared plans kept per planner (default 128; 0
+  disables caching),
+* ``optimize`` — set False for the canonical (naive) plan, used by the
+  planner-speedup benchmark as its baseline.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.ast_nodes import Select
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.planner.cache import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    PlanCache,
+    PlanCacheStats,
+)
+from repro.sqlengine.planner.explain import render_plan
+from repro.sqlengine.planner.logical import LogicalNode, lower_select
+from repro.sqlengine.planner.optimizer import optimize_plan
+from repro.sqlengine.planner.physical import PreparedPlan, build_physical
+from repro.sqlengine.planner.stats import StatisticsProvider
+from repro.sqlengine.results import ResultSet
+
+__all__ = [
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedPlan",
+    "QueryPlanner",
+    "build_physical",
+    "lower_select",
+    "optimize_plan",
+    "render_plan",
+]
+
+
+class QueryPlanner:
+    """Plans and executes SELECT statements against one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        optimize: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.statistics = StatisticsProvider(catalog)
+        self.cache = PlanCache(cache_size)
+        self._optimize = optimize
+
+    # ------------------------------------------------------------------
+    def prepare(self, select: Select) -> PreparedPlan:
+        """Return a compiled plan, reusing a cached one when possible."""
+        key = (select.to_sql(), self.catalog.fingerprint())
+        plan = self.cache.get(key)
+        if plan is not None:
+            return plan
+        logical = self.plan_logical(select)
+        plan = build_physical(logical, self.catalog)
+        self.cache.put(key, plan)
+        return plan
+
+    def plan_logical(self, select: Select) -> LogicalNode:
+        """Lower (and optionally optimize) without compiling or caching."""
+        logical = lower_select(self.catalog, select)
+        if self._optimize:
+            logical = optimize_plan(logical, self.catalog, self.statistics)
+        return logical
+
+    # ------------------------------------------------------------------
+    def execute(self, select: Select) -> ResultSet:
+        return self.prepare(select).execute()
+
+    def explain(self, select: Select) -> str:
+        return render_plan(self.prepare(select).logical)

@@ -1,0 +1,66 @@
+"""An LRU cache of prepared plans.
+
+SODA generates many template-shaped statements (same structure,
+different literals are still frequent repeats across searches), so
+skipping lower + optimize + compile for a statement seen before is a
+direct win on the hot path.  Keys combine the *normalized SQL* (the
+canonical ``Select.to_sql()`` rendering of the parsed statement, which
+collapses whitespace/keyword-case differences) with the catalog
+fingerprint, so DDL changes or inserts invalidate naturally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: default number of prepared plans kept per database
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters exposed for benchmarks and monitoring."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded mapping from plan keys to prepared plans (LRU eviction)."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        self.capacity = max(0, capacity)
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key, plan) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = plan
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

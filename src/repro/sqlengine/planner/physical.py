@@ -1,0 +1,469 @@
+"""Physical operators: an iterator (volcano) execution engine.
+
+``build_physical`` compiles an optimized logical plan into a tree of
+operators.  Expression compilation happens once, at build time, so a
+cached :class:`PreparedPlan` can be re-executed without re-planning —
+each ``rows()`` / ``pairs()`` call streams fresh results from the
+underlying tables.
+
+Two row shapes flow through the tree:
+
+* relational operators (scan/filter/join/aggregate) yield plain row
+  tuples laid out by their :class:`~repro.sqlengine.expressions.Scope`;
+* presentation operators (project/distinct/sort/limit) yield
+  ``(out_row, pre_row)`` pairs, keeping the pre-projection row around so
+  ORDER BY can sort on expressions that were never projected.
+
+All pre-planner semantics are preserved: three-valued predicate logic,
+hash joins skipping NULL keys, LEFT JOIN null padding, the
+representative-row leniency for non-aggregated GROUP BY expressions,
+ORDER BY aliases/positions, and NULLs-first mixed-type ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.ast_nodes import ColumnRef, Literal, OrderItem
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.expressions import Scope, compile_expr
+from repro.sqlengine.functions import make_accumulator
+from repro.sqlengine.planner.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLeftJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sqlengine.results import ResultSet
+
+
+class PhysicalOperator:
+    """Base class: a re-runnable iterator over row tuples."""
+
+    scope: Scope
+
+    def rows(self) -> Iterator[tuple]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class ScanOp(PhysicalOperator):
+    """Scan one table, applying pushed filters, then pruning columns."""
+
+    def __init__(self, catalog: Catalog, node: LogicalScan) -> None:
+        self._table = catalog.table(node.table)
+        full_scope = Scope(
+            [(node.binding, name) for name in self._table.column_names()]
+        )
+        self._predicate_fns = [
+            compile_expr(predicate, full_scope) for predicate in node.predicates
+        ]
+        if node.columns is None:
+            self._indexes = None
+            self.scope = full_scope
+        else:
+            self._indexes = [
+                self._table.column_index(name) for name in node.columns
+            ]
+            self.scope = Scope([(node.binding, name) for name in node.columns])
+
+    def rows(self) -> Iterator[tuple]:
+        indexes = self._indexes
+        predicate_fns = self._predicate_fns
+        for row in self._table.rows:
+            ok = True
+            for fn in predicate_fns:
+                if fn(row) is not True:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if indexes is None:
+                yield row
+            else:
+                yield tuple(row[i] for i in indexes)
+
+
+class FilterOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicates) -> None:
+        self._child = child
+        self.scope = child.scope
+        self._fns = [compile_expr(p, self.scope) for p in predicates]
+
+    def rows(self) -> Iterator[tuple]:
+        fns = self._fns
+        for row in self._child.rows():
+            if all(fn(row) is True for fn in fns):
+                yield row
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash join on equi predicates; degrades to a cross join without any."""
+
+    def __init__(
+        self, left: PhysicalOperator, right: PhysicalOperator, equi
+    ) -> None:
+        self._left = left
+        self._right = right
+        self.scope = left.scope.concat(right.scope)
+        self._left_indexes: list = []
+        self._right_indexes: list = []
+        for predicate in equi:
+            if left.scope.try_resolve(predicate.left) is not None:
+                self._left_indexes.append(left.scope.resolve(predicate.left))
+                self._right_indexes.append(right.scope.resolve(predicate.right))
+            else:
+                self._left_indexes.append(left.scope.resolve(predicate.right))
+                self._right_indexes.append(right.scope.resolve(predicate.left))
+
+    def rows(self) -> Iterator[tuple]:
+        if not self._left_indexes:  # cross join
+            right_rows = list(self._right.rows())
+            for left_row in self._left.rows():
+                for right_row in right_rows:
+                    yield left_row + right_row
+            return
+        table: dict = {}
+        right_indexes = self._right_indexes
+        for row in self._right.rows():
+            key = tuple(row[i] for i in right_indexes)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+        left_indexes = self._left_indexes
+        for row in self._left.rows():
+            key = tuple(row[i] for i in left_indexes)
+            if any(value is None for value in key):
+                continue
+            for match in table.get(key, ()):
+                yield row + match
+
+
+class LeftJoinOp(PhysicalOperator):
+    """Nested-loop LEFT OUTER join with NULL padding."""
+
+    def __init__(
+        self, left: PhysicalOperator, right: PhysicalOperator, condition
+    ) -> None:
+        self._left = left
+        self._right = right
+        self.scope = left.scope.concat(right.scope)
+        self._condition_fn = compile_expr(condition, self.scope)
+        self._null_pad = (None,) * len(right.scope)
+
+    def rows(self) -> Iterator[tuple]:
+        right_rows = list(self._right.rows())
+        condition_fn = self._condition_fn
+        null_pad = self._null_pad
+        for left_row in self._left.rows():
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition_fn(combined) is True:
+                    yield combined
+                    matched = True
+            if not matched:
+                yield left_row + null_pad
+
+
+class AggregateOp(PhysicalOperator):
+    """GROUP BY with accumulator-based aggregates and HAVING.
+
+    Output rows are the *representative row* of each group (its first
+    input row) extended with one slot per aggregate call; the extended
+    scope names those slots ``__agg_<i>`` and :attr:`agg_slots` maps each
+    aggregate ``FuncCall`` to its slot so later expressions can read the
+    results.
+    """
+
+    def __init__(self, child: PhysicalOperator, node: LogicalAggregate) -> None:
+        self._child = child
+        self._node = node
+        scope = child.scope
+        self._group_fns = [compile_expr(expr, scope) for expr in node.group_by]
+        self._arg_fns: list = []
+        for call in node.agg_calls:
+            if call.star:
+                self._arg_fns.append(None)
+            else:
+                if len(call.args) != 1:
+                    raise SqlExecutionError(
+                        f"aggregate {call.to_sql()} takes exactly one argument"
+                    )
+                self._arg_fns.append(compile_expr(call.args[0], scope))
+        self.agg_slots = {
+            call: len(scope) + i for i, call in enumerate(node.agg_calls)
+        }
+        self.scope = Scope(
+            scope.pairs
+            + [(None, f"__agg_{i}") for i in range(len(node.agg_calls))]
+        )
+        self._having_fn = (
+            compile_expr(node.having, self.scope, self.agg_slots)
+            if node.having is not None
+            else None
+        )
+
+    def rows(self) -> Iterator[tuple]:
+        node = self._node
+        groups: dict = {}
+        group_order: list = []
+        for row in self._child.rows():
+            key = tuple(fn(row) for fn in self._group_fns)
+            if key not in groups:
+                accumulators = [
+                    make_accumulator(call.name, call.star, call.distinct)
+                    for call in node.agg_calls
+                ]
+                groups[key] = (row, accumulators)
+                group_order.append(key)
+            __, accumulators = groups[key]
+            for call, arg_fn, accumulator in zip(
+                node.agg_calls, self._arg_fns, accumulators
+            ):
+                accumulator.add(1 if call.star else arg_fn(row))
+
+        # aggregate query over empty input and no GROUP BY -> one empty group
+        if not groups and not node.group_by:
+            accumulators = [
+                make_accumulator(call.name, call.star, call.distinct)
+                for call in node.agg_calls
+            ]
+            null_row = (None,) * len(self._child.scope)
+            groups[()] = (null_row, accumulators)
+            group_order.append(())
+
+        having_fn = self._having_fn
+        for key in group_order:
+            representative, accumulators = groups[key]
+            extended = representative + tuple(
+                accumulator.result() for accumulator in accumulators
+            )
+            if having_fn is None or having_fn(extended) is True:
+                yield extended
+
+
+class ProjectOp:
+    """Evaluate the select list; yields ``(out_row, pre_row)`` pairs.
+
+    Star items expand in *canonical* (FROM-clause) column order, so the
+    visible column order never depends on the optimizer's join order.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        node: LogicalProject,
+        agg_slots: "dict | None",
+    ) -> None:
+        self._child = child
+        self.scope = child.scope
+        self.agg_slots = agg_slots or {}
+        scope = child.scope
+        bindings = {b for b, __ in scope.pairs if b is not None}
+        multi_table = len(bindings) > 1
+        self.columns: list = []
+        self._fns: list = []
+        for item in node.items:
+            if item.is_star:
+                matched_any = False
+                for binding, column in node.canonical_pairs:
+                    if item.star_table is not None and binding != item.star_table:
+                        continue
+                    index = scope.try_resolve(ColumnRef(binding, column))
+                    if index is None:
+                        continue  # pruned away (only possible without '*')
+                    matched_any = True
+                    if item.star_table is None and multi_table:
+                        self.columns.append(f"{binding}.{column}")
+                    else:
+                        self.columns.append(column)
+                    self._fns.append(_make_picker(index))
+                if item.star_table is not None and not matched_any:
+                    raise SqlCatalogError(
+                        f"unknown table in star: {item.star_table!r}"
+                    )
+                continue
+            assert item.expr is not None
+            self.columns.append(item.alias or item.expr.to_sql())
+            self._fns.append(compile_expr(item.expr, scope, self.agg_slots))
+
+    def pairs(self) -> Iterator[tuple]:
+        fns = self._fns
+        for row in self._child.rows():
+            yield tuple(fn(row) for fn in fns), row
+
+
+class DistinctOp:
+    """Deduplicate projected rows, keeping first occurrences."""
+
+    def __init__(self, child) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+
+    def pairs(self) -> Iterator[tuple]:
+        seen: set = set()
+        for out_row, pre_row in self._child.pairs():
+            if out_row in seen:
+                continue
+            seen.add(out_row)
+            yield out_row, pre_row
+
+
+class SortOp:
+    """Stable multi-key sort over aliases, positions or expressions."""
+
+    def __init__(self, child, node: LogicalSort) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._key_fns: list = []
+        for item in node.order_by:
+            expr = item.expr
+            if isinstance(expr, Literal) and isinstance(expr.value, int):
+                position = expr.value - 1
+                if not 0 <= position < len(self.columns):
+                    raise SqlExecutionError(
+                        f"ORDER BY position out of range: {expr.value} "
+                        f"(select list has {len(self.columns)} columns)"
+                    )
+                self._key_fns.append((_make_out_picker(position), item.descending))
+                continue
+            if (
+                isinstance(expr, ColumnRef)
+                and expr.table is None
+                and expr.column in self.columns
+            ):
+                position = self.columns.index(expr.column)
+                self._key_fns.append((_make_out_picker(position), item.descending))
+                continue
+            fn = compile_expr(expr, self.scope, self.agg_slots)
+            self._key_fns.append((_make_pre_picker(fn), item.descending))
+
+    def pairs(self) -> Iterator[tuple]:
+        items = list(self._child.pairs())
+        # stable multi-pass sort, last key first
+        for key_fn, descending in reversed(self._key_fns):
+            items.sort(key=lambda pair: sort_key(key_fn(pair)), reverse=descending)
+        return iter(items)
+
+
+class LimitOp:
+    def __init__(self, child, limit: int) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._limit = limit
+
+    def pairs(self) -> Iterator[tuple]:
+        count = 0
+        if self._limit <= 0:
+            return
+        for pair in self._child.pairs():
+            yield pair
+            count += 1
+            if count >= self._limit:
+                return
+
+
+def _make_picker(index: int):
+    return lambda row: row[index]
+
+
+def _make_out_picker(position: int):
+    return lambda pair: pair[0][position]
+
+
+def _make_pre_picker(fn):
+    return lambda pair: fn(pair[1])
+
+
+def sort_key(value: Any) -> tuple:
+    """Total order over mixed values: NULLs first, then by type group."""
+    if value is None:
+        return (0, 0, 0)
+    if isinstance(value, bool):
+        return (1, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, 1, value)
+    if isinstance(value, str):
+        return (1, 2, value)
+    return (1, 3, str(value))
+
+
+# ---------------------------------------------------------------------------
+# building
+# ---------------------------------------------------------------------------
+
+
+class PreparedPlan:
+    """A compiled, re-executable plan (what the plan cache stores)."""
+
+    def __init__(self, root, logical: LogicalNode, columns: list) -> None:
+        self._root = root
+        self.logical = logical
+        self.columns = columns
+
+    def execute(self) -> ResultSet:
+        return ResultSet(
+            columns=list(self.columns),
+            rows=[out_row for out_row, __ in self._root.pairs()],
+        )
+
+
+def build_physical(root: LogicalNode, catalog: Catalog) -> PreparedPlan:
+    """Compile a logical plan into a :class:`PreparedPlan`."""
+    operator = _build_presentation(root, catalog)
+    return PreparedPlan(
+        root=operator, logical=root, columns=list(operator.columns)
+    )
+
+
+def _build_presentation(node: LogicalNode, catalog: Catalog):
+    """Build the pair-yielding presentation tree (project and above)."""
+    if isinstance(node, LogicalLimit):
+        return LimitOp(_build_presentation(node.child, catalog), node.limit)
+    if isinstance(node, LogicalSort):
+        return SortOp(_build_presentation(node.child, catalog), node)
+    if isinstance(node, LogicalDistinct):
+        return DistinctOp(_build_presentation(node.child, catalog))
+    if isinstance(node, LogicalProject):
+        child, agg_slots = _build_relational(node.child, catalog)
+        return ProjectOp(child, node, agg_slots)
+    raise SqlExecutionError(
+        f"malformed plan: unexpected presentation node {type(node).__name__}"
+    )
+
+
+def _build_relational(node: LogicalNode, catalog: Catalog):
+    """Build a row-yielding operator; returns ``(operator, agg_slots)``."""
+    if isinstance(node, LogicalScan):
+        return ScanOp(catalog, node), None
+    if isinstance(node, LogicalFilter):
+        child, agg_slots = _build_relational(node.child, catalog)
+        return FilterOp(child, node.predicates), agg_slots
+    if isinstance(node, LogicalJoin):
+        left, __ = _build_relational(node.left, catalog)
+        right, __ = _build_relational(node.right, catalog)
+        return HashJoinOp(left, right, node.equi), None
+    if isinstance(node, LogicalLeftJoin):
+        left, __ = _build_relational(node.left, catalog)
+        right, __ = _build_relational(node.right, catalog)
+        return LeftJoinOp(left, right, node.condition), None
+    if isinstance(node, LogicalAggregate):
+        child, __ = _build_relational(node.child, catalog)
+        operator = AggregateOp(child, node)
+        return operator, operator.agg_slots
+    raise SqlExecutionError(
+        f"malformed plan: unexpected relational node {type(node).__name__}"
+    )

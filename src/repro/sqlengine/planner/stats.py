@@ -1,0 +1,169 @@
+"""Table statistics and selectivity estimation for the planner.
+
+Statistics are gathered lazily from the :class:`~repro.sqlengine.catalog.
+Catalog` (one pass per table) and cached per ``(table, row_count)`` so
+that repeated planning against an unchanged table is free.  Estimates
+use classic System-R style heuristics: ``1/distinct`` for equality,
+fixed fractions for ranges and LIKE, measured null fractions for IS
+NULL, and independence across conjuncts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sqlengine.catalog import Catalog
+
+#: default selectivities for predicate shapes the estimator cannot
+#: inspect more precisely (same spirit as Selinger et al.'s constants)
+RANGE_SELECTIVITY = 1 / 3
+LIKE_SELECTIVITY = 1 / 4
+DEFAULT_SELECTIVITY = 1 / 2
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Distinct/null counts of one column."""
+
+    distinct: int
+    nulls: int
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics of one table."""
+
+    row_count: int
+    columns: dict
+
+    def column(self, name: str) -> "ColumnStats | None":
+        return self.columns.get(name)
+
+    def distinct(self, name: str) -> int:
+        stats = self.columns.get(name)
+        if stats is None or stats.distinct == 0:
+            return 1
+        return stats.distinct
+
+    def null_fraction(self, name: str) -> float:
+        stats = self.columns.get(name)
+        if stats is None or self.row_count == 0:
+            return 0.0
+        return stats.nulls / self.row_count
+
+
+class StatisticsProvider:
+    """Lazily computes and caches :class:`TableStats` for a catalog.
+
+    One entry per table, validated against the row count and the
+    catalog's DDL version: statistics refresh automatically after
+    inserts or a DROP + re-CREATE, and stale snapshots never
+    accumulate.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._cache: dict = {}  # table name -> (validity token, TableStats)
+
+    def table_stats(self, table_name: str) -> TableStats:
+        table = self._catalog.table(table_name)
+        token = (len(table.rows), self._catalog.ddl_version)
+        cached = self._cache.get(table.name)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        columns: dict = {}
+        for index, column in enumerate(table.columns):
+            values = set()
+            nulls = 0
+            for row in table.rows:
+                value = row[index]
+                if value is None:
+                    nulls += 1
+                else:
+                    values.add(value)
+            columns[column.name] = ColumnStats(distinct=len(values), nulls=nulls)
+        stats = TableStats(row_count=len(table.rows), columns=columns)
+        self._cache[table.name] = (token, stats)
+        return stats
+
+
+def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
+    """Estimated fraction of rows of one table satisfying *predicate*."""
+    if isinstance(predicate, Literal):
+        return 1.0 if predicate.value is True else 0.0
+    if isinstance(predicate, BinaryOp):
+        if predicate.op == "AND":
+            return predicate_selectivity(
+                predicate.left, stats
+            ) * predicate_selectivity(predicate.right, stats)
+        if predicate.op == "OR":
+            left = predicate_selectivity(predicate.left, stats)
+            right = predicate_selectivity(predicate.right, stats)
+            return min(1.0, left + right - left * right)
+        if predicate.op in ("=", "<>"):
+            column = _single_column(predicate)
+            if column is not None:
+                equality = 1.0 / stats.distinct(column)
+                return equality if predicate.op == "=" else 1.0 - equality
+            return DEFAULT_SELECTIVITY
+        if predicate.op in ("<", "<=", ">", ">="):
+            return RANGE_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+    if isinstance(predicate, UnaryOp) and predicate.op == "NOT":
+        return 1.0 - predicate_selectivity(predicate.operand, stats)
+    if isinstance(predicate, Like):
+        inside = LIKE_SELECTIVITY
+        return 1.0 - inside if predicate.negated else inside
+    if isinstance(predicate, InList):
+        column = _in_list_column(predicate)
+        if column is not None:
+            inside = min(1.0, len(predicate.items) / stats.distinct(column))
+        else:
+            inside = DEFAULT_SELECTIVITY
+        return 1.0 - inside if predicate.negated else inside
+    if isinstance(predicate, Between):
+        inside = RANGE_SELECTIVITY
+        return 1.0 - inside if predicate.negated else inside
+    if isinstance(predicate, IsNull):
+        refs = [predicate.operand] if isinstance(predicate.operand, ColumnRef) else []
+        if refs:
+            fraction = stats.null_fraction(refs[0].column)
+            return 1.0 - fraction if predicate.negated else fraction
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _single_column(predicate: BinaryOp) -> "str | None":
+    """The column name of a ``col <op> literal`` comparison, if that shape."""
+    left, right = predicate.left, predicate.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left.column
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        return right.column
+    return None
+
+
+def _in_list_column(predicate: InList) -> "str | None":
+    if isinstance(predicate.operand, ColumnRef):
+        return predicate.operand.column
+    return None
+
+
+def join_selectivity(
+    left_stats: TableStats, left_column: str, right_stats: TableStats, right_column: str
+) -> float:
+    """Equi-join selectivity: ``1 / max(distinct(a), distinct(b))``."""
+    return 1.0 / max(
+        left_stats.distinct(left_column), right_stats.distinct(right_column), 1
+    )

@@ -1,0 +1,172 @@
+"""Edge-case semantics locked in before the planner refactor.
+
+These tests pin down executor behaviours that are easy to lose in a
+plan/execute rewrite: LEFT JOIN with residual WHERE predicates, ORDER BY
+by position and by alias (including alias shadowing a column name),
+GROUP BY with non-aggregated expressions (representative-row leniency),
+and DISTINCT combined with LIMIT.  They must pass against both the
+pre-planner executor and the planner-based one.
+"""
+
+import pytest
+
+from repro.sqlengine.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE parties (id INT PRIMARY KEY, kind TEXT)")
+    database.execute(
+        "CREATE TABLE individuals (id INT PRIMARY KEY, given_nm TEXT, "
+        "family_nm TEXT, salary REAL)"
+    )
+    database.execute(
+        "CREATE TABLE orders_td (id INT PRIMARY KEY, party_id INT, "
+        "amount REAL, status TEXT)"
+    )
+    database.execute(
+        "INSERT INTO parties VALUES (1, 'I'), (2, 'I'), (3, 'O'), (4, 'I')"
+    )
+    database.execute(
+        "INSERT INTO individuals VALUES "
+        "(1, 'Sara', 'Guttinger', 120000.0), "
+        "(2, 'Hans', 'Meier', 80000.0), "
+        "(4, 'Anna', 'Meier', 95000.0)"
+    )
+    database.execute(
+        "INSERT INTO orders_td VALUES "
+        "(10, 1, 100.0, 'EXECUTED'), (11, 1, 50.0, 'PENDING'), "
+        "(12, 2, 75.0, 'EXECUTED'), (13, 3, 20.0, 'EXECUTED'), "
+        "(14, 2, NULL, 'CANCELLED')"
+    )
+    return database
+
+
+class TestLeftJoinResiduals:
+    def test_anti_join_via_is_null(self, db):
+        """WHERE on the left-joined table runs after the join (anti join)."""
+        rs = db.execute(
+            "SELECT p.id FROM parties p "
+            "LEFT JOIN individuals i ON p.id = i.id "
+            "WHERE i.given_nm IS NULL"
+        )
+        assert rs.rows == [(3,)]
+
+    def test_residual_on_left_table_filters_padded_rows(self, db):
+        rs = db.execute(
+            "SELECT p.id, i.given_nm FROM parties p "
+            "LEFT JOIN individuals i ON p.id = i.id "
+            "WHERE i.given_nm IS NOT NULL"
+        )
+        assert dict(rs.rows) == {1: "Sara", 2: "Hans", 4: "Anna"}
+
+    def test_compound_on_condition_pads_non_matches(self, db):
+        """Extra ON predicates restrict matches but keep every left row."""
+        rs = db.execute(
+            "SELECT p.id, i.given_nm FROM parties p "
+            "LEFT JOIN individuals i "
+            "ON p.id = i.id AND i.family_nm = 'Meier'"
+        )
+        assert dict(rs.rows) == {1: None, 2: "Hans", 3: None, 4: "Anna"}
+
+    def test_inner_filter_applies_before_left_join(self, db):
+        """A pushable predicate on the inner side composes with residuals."""
+        rs = db.execute(
+            "SELECT p.id, i.family_nm FROM parties p "
+            "LEFT JOIN individuals i ON p.id = i.id "
+            "WHERE p.kind = 'I' AND i.family_nm = 'Meier'"
+        )
+        assert sorted(rs.rows) == [(2, "Meier"), (4, "Meier")]
+
+    def test_order_by_left_join_column_nulls_first(self, db):
+        rs = db.execute(
+            "SELECT p.id FROM parties p "
+            "LEFT JOIN individuals i ON p.id = i.id "
+            "ORDER BY i.given_nm, p.id"
+        )
+        assert rs.column("p.id") == [3, 4, 2, 1]
+
+
+class TestOrderByPositionAndAlias:
+    def test_position_and_alias_combined(self, db):
+        rs = db.execute(
+            "SELECT family_nm AS fam, salary AS pay FROM individuals "
+            "ORDER BY fam, 2 DESC"
+        )
+        assert rs.rows == [
+            ("Guttinger", 120000.0),
+            ("Meier", 95000.0),
+            ("Meier", 80000.0),
+        ]
+
+    def test_alias_shadowing_column_sorts_by_output(self, db):
+        """An alias equal to a column name resolves to the output column."""
+        rs = db.execute(
+            "SELECT salary AS family_nm FROM individuals ORDER BY family_nm"
+        )
+        assert rs.column("family_nm") == [80000.0, 95000.0, 120000.0]
+
+    def test_position_refers_to_projected_expression(self, db):
+        rs = db.execute(
+            "SELECT id, salary / 1000 FROM individuals ORDER BY 2 DESC"
+        )
+        assert rs.column("id") == [1, 4, 2]
+
+    def test_order_by_non_projected_column(self, db):
+        rs = db.execute("SELECT given_nm FROM individuals ORDER BY salary")
+        assert rs.column("given_nm") == ["Hans", "Anna", "Sara"]
+
+
+class TestGroupByNonAggregated:
+    def test_non_grouped_column_uses_first_row_of_group(self, db):
+        """Documented leniency: first row of each group supplies the value."""
+        rs = db.execute(
+            "SELECT status, amount FROM orders_td GROUP BY status"
+        )
+        assert dict(rs.rows) == {
+            "EXECUTED": 100.0,
+            "PENDING": 50.0,
+            "CANCELLED": None,
+        }
+
+    def test_expression_over_group_key(self, db):
+        rs = db.execute(
+            "SELECT lower(status), count(*) FROM orders_td GROUP BY status"
+        )
+        assert dict(rs.rows) == {"executed": 3, "pending": 1, "cancelled": 1}
+
+    def test_group_rows_in_first_seen_order(self, db):
+        rs = db.execute("SELECT status FROM orders_td GROUP BY status")
+        assert rs.column("status") == ["EXECUTED", "PENDING", "CANCELLED"]
+
+    def test_having_on_aggregate_not_in_select(self, db):
+        rs = db.execute(
+            "SELECT status FROM orders_td GROUP BY status "
+            "HAVING sum(amount) > 60"
+        )
+        assert rs.column("status") == ["EXECUTED"]
+
+
+class TestDistinctWithLimit:
+    def test_distinct_limit_after_dedup(self, db):
+        """LIMIT applies to the deduplicated rows, not the raw ones."""
+        rs = db.execute(
+            "SELECT DISTINCT status FROM orders_td ORDER BY status LIMIT 2"
+        )
+        assert rs.column("status") == ["CANCELLED", "EXECUTED"]
+
+    def test_distinct_keeps_first_occurrence_order(self, db):
+        rs = db.execute("SELECT DISTINCT family_nm FROM individuals LIMIT 1")
+        assert rs.rows == [("Guttinger",)]
+
+    def test_distinct_on_expression_with_limit(self, db):
+        rs = db.execute(
+            "SELECT DISTINCT amount > 60 FROM orders_td "
+            "WHERE amount IS NOT NULL LIMIT 5"
+        )
+        assert sorted(rs.rows, key=str) == [(False,), (True,)]
+
+    def test_distinct_limit_zero(self, db):
+        rs = db.execute("SELECT DISTINCT kind FROM parties LIMIT 0")
+        assert rs.rows == []

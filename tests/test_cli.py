@@ -86,3 +86,38 @@ class TestOtherCommands:
         assert code == 0
         assert "results for: Credit Suisse" in output
         assert "page 1/" in output
+
+
+class TestExplain:
+    def test_explain_renders_plan_tree(self):
+        code, output = run_cli(
+            "--scale", "0.25", "explain",
+            "SELECT count(*), o.status_cd FROM orders_td o, parties p "
+            "WHERE o.party_id = p.id AND p.party_type_cd = 'I' "
+            "GROUP BY o.status_cd ORDER BY count(*) DESC LIMIT 3",
+        )
+        assert code == 0
+        assert "hash join" in output
+        assert "aggregate group by o.status_cd" in output
+        assert "limit 3" in output
+
+    def test_explain_is_deterministic(self):
+        sql = "SELECT id FROM parties WHERE party_type_cd = 'I'"
+        __, first = run_cli("--scale", "0.25", "explain", sql)
+        __, second = run_cli("--scale", "0.25", "explain", sql)
+        assert first == second
+
+    def test_explain_rejects_non_select(self):
+        code, output = run_cli(
+            "--scale", "0.25", "explain", "INSERT INTO parties VALUES (1)"
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_search_with_explain_flag(self):
+        code, output = run_cli(
+            "--scale", "0.25", "search", "Sara Guttinger", "--explain"
+        )
+        assert code == 0
+        assert "    | " in output
+        assert "scan" in output
