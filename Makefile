@@ -1,20 +1,28 @@
 # Single entry points for CI and local development.
 #
 #   make test         tier-1 test suite (the PR gate)
-#   make bench-smoke  quick planner benchmark (correctness + speedup asserts)
+#   make test-fast    unit subset (index/core/sqlengine/graph/warehouse):
+#                     seconds, for tight edit loops
+#   make bench-smoke  quick benchmarks with hard correctness + speedup
+#                     asserts (planner; search serving + warm-start)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
 #   make check        all of the above
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke lint check
+.PHONY: test test-fast bench-smoke lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+test-fast:
+	$(PYTHON) -m pytest -x -q tests/index tests/core tests/sqlengine \
+		tests/graph tests/warehouse
+
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py -q -s
+	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py \
+		benchmarks/bench_search_serving.py -q -s
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

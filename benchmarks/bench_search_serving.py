@@ -1,0 +1,178 @@
+"""Serving-path benchmarks: snapshot warm-start and batch search.
+
+The paper amortizes a 24-hour index build across many interactive
+searches.  This bench shows the reproduction doing the same at its own
+scale, with hard assertions:
+
+* **warm-start** — loading a saved index snapshot must be at least 5x
+  faster than the cold build (full catalog scan + classification
+  build) it replaces;
+* **batch serving** — ``Soda.search_many`` over a realistic 20-query
+  batch (duplicates included, as in real traffic) must beat the same
+  queries issued as N sequential ``search`` calls, while returning
+  statement-for-statement identical results;
+* **incremental maintenance** — applying an insert delta through the
+  write-through maintainer must beat rebuilding the index from
+  scratch.
+
+Run with::
+
+    pytest benchmarks/bench_search_serving.py -q -s
+"""
+
+import time
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.index.inverted import InvertedIndex
+from repro.index.snapshot import load_snapshot
+from repro.warehouse.graphbuilder import build_classification_index
+from repro.warehouse.minibank import build_minibank
+
+#: a zipf-ish 20-query serving batch over 8 distinct texts
+UNIQUE_QUERIES = [
+    "Zurich",
+    "Sara Guttinger",
+    "customers Zurich",
+    "gold agreement",
+    "private customers family name",
+    "Credit Suisse",
+    "customers names",
+    "trade order",
+]
+BATCH = [
+    UNIQUE_QUERIES[i % len(UNIQUE_QUERIES) if i < 8 else i % 4]
+    for i in range(20)
+]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _fingerprints(results) -> list:
+    return [
+        [(s.sql, round(s.score, 12)) for s in result.statements]
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def big_warehouse():
+    """Large enough that index-build work dominates fixed costs."""
+    return build_minibank(seed=42, scale=6.0)
+
+
+class TestWarmStart:
+    def test_snapshot_warm_start_at_least_5x_faster(
+        self, big_warehouse, tmp_path
+    ):
+        warehouse = big_warehouse
+        warehouse.classification_index()  # materialize the default variant
+        path = tmp_path / "snapshot.json"
+        warehouse.save_index_snapshot(path)
+
+        def cold_build():
+            InvertedIndex.build(warehouse.database.catalog)
+            build_classification_index(warehouse.graph)
+
+        def warm_start():
+            load_snapshot(path)
+
+        cold = _best_of(cold_build, 5)
+        warm = _best_of(warm_start, 5)
+        speedup = cold / warm
+        print(
+            f"\nwarm-start: cold build {cold * 1e3:.1f} ms, "
+            f"snapshot load {warm * 1e3:.1f} ms ({speedup:.1f}x)"
+        )
+        # correctness: the loaded index equals the built one
+        loaded = load_snapshot(path)
+        assert loaded.inverted.size_summary() == (
+            warehouse.inverted.size_summary()
+        )
+        assert speedup >= 5.0
+
+    def test_snapshot_loads_what_was_saved(self, big_warehouse, tmp_path):
+        path = tmp_path / "roundtrip.json"
+        big_warehouse.save_index_snapshot(path)
+        loaded = load_snapshot(path)
+        assert loaded.inverted.lookup("zurich") == (
+            big_warehouse.inverted.lookup("zurich")
+        )
+
+
+class TestBatchServing:
+    def test_search_many_beats_sequential_on_20_query_batch(self, warehouse):
+        sequential_soda = Soda(warehouse, SodaConfig())
+        batched_soda = Soda(warehouse, SodaConfig())
+
+        # parity first (also warms both engines equally)
+        expected = _fingerprints(
+            [sequential_soda.search(text) for text in BATCH]
+        )
+        assert _fingerprints(batched_soda.search_many(BATCH)) == expected
+
+        def sequential():
+            soda = Soda(warehouse, SodaConfig())
+            for text in BATCH:
+                soda.search(text)
+
+        def batched():
+            soda = Soda(warehouse, SodaConfig())
+            soda.search_many(BATCH)
+
+        sequential_time = _best_of(sequential, 3)
+        batched_time = _best_of(batched, 3)
+        speedup = sequential_time / batched_time
+        print(
+            f"\nbatch serving: {len(BATCH)} queries "
+            f"({len(set(BATCH))} unique) — sequential "
+            f"{sequential_time * 1e3:.0f} ms "
+            f"({len(BATCH) / sequential_time:.0f} q/s), search_many "
+            f"{batched_time * 1e3:.0f} ms "
+            f"({len(BATCH) / batched_time:.0f} q/s), {speedup:.2f}x"
+        )
+        assert batched_time < sequential_time
+
+    def test_warm_engine_throughput(self, warehouse):
+        """Second batch over the same engine: memoized steps dominate."""
+        soda = Soda(warehouse, SodaConfig())
+        soda.search_many(BATCH)  # warm
+        warm_time = _best_of(lambda: soda.search_many(BATCH), 3)
+        print(
+            f"\nwarm engine: {len(BATCH)} queries in "
+            f"{warm_time * 1e3:.0f} ms ({len(BATCH) / warm_time:.0f} q/s)"
+        )
+        assert warm_time < 5.0  # sanity bound, not a race
+
+
+class TestIncrementalMaintenance:
+    def test_write_through_beats_rebuild(self, big_warehouse):
+        warehouse = big_warehouse
+        delta = [
+            ("XX%03d" % i, f"Synthetic Currency {i}") for i in range(50)
+        ]
+
+        def incremental():
+            index = InvertedIndex.from_dict(warehouse.inverted.to_dict())
+            for code, name in delta:
+                index.add("currencies", "currency_nm", name)
+
+        def rebuild():
+            InvertedIndex.build(warehouse.database.catalog)
+
+        incremental_time = _best_of(incremental, 3)
+        rebuild_time = _best_of(rebuild, 3)
+        print(
+            f"\nmaintenance: {len(delta)}-row delta applied in "
+            f"{incremental_time * 1e3:.1f} ms vs full rebuild "
+            f"{rebuild_time * 1e3:.1f} ms"
+        )
+        assert incremental_time < rebuild_time

@@ -4,12 +4,19 @@ Usage::
 
     python -m repro search "customers Zurich financial instruments"
     python -m repro search --explain "customers Zurich"   # plans inline
+    python -m repro search --batch queries.txt  # one query per line
     python -m repro explain "SELECT ..."  # optimized query plan tree
     python -m repro experiments          # Tables 2, 3 and 4
+    python -m repro experiments --batch  # same, served via search_many
     python -m repro compare              # Table 5 (runs the baselines)
     python -m repro stats                # warehouse + Table 1 statistics
+    python -m repro index build          # time a cold index build
+    python -m repro index save           # snapshot indexes to disk
+    python -m repro index load           # verify a warm-start snapshot
+    python -m repro index stats          # index sizes + maintenance state
 
-All commands build the finbank warehouse (deterministic, seconds).
+All commands build the finbank warehouse (deterministic, seconds);
+``--snapshot PATH`` warm-starts its indexes from a saved snapshot.
 """
 
 from __future__ import annotations
@@ -31,11 +38,18 @@ def make_parser() -> argparse.ArgumentParser:
                         help="data generation seed (default 42)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="data volume scale factor (default 1.0)")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="warm-start indexes from this snapshot file "
+                             "when it matches the catalog")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
     search = commands.add_parser("search", help="run a SODA query")
-    search.add_argument("query", help="keywords + operators + values")
+    search.add_argument("query", nargs="?", default=None,
+                        help="keywords + operators + values")
+    search.add_argument("--batch", metavar="FILE", default=None,
+                        help="serve a batch: one query per line of FILE "
+                             "('-' reads stdin)")
     search.add_argument("--top-n", type=int, default=10,
                         help="interpretations kept by step 2 (default 10)")
     search.add_argument("--no-dbpedia", action="store_true",
@@ -52,13 +66,28 @@ def make_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("sql", help="a SELECT statement (quote it)")
 
-    commands.add_parser(
+    experiments = commands.add_parser(
         "experiments", help="run the 13-query workload (Tables 2-4)"
+    )
+    experiments.add_argument(
+        "--batch", action="store_true",
+        help="serve the workload through Soda.search_many",
     )
     commands.add_parser(
         "compare", help="run the five baselines (Table 5)"
     )
     commands.add_parser("stats", help="warehouse statistics (Table 1)")
+
+    index = commands.add_parser(
+        "index", help="manage the long-lived search indexes"
+    )
+    index.add_argument(
+        "action", choices=["build", "save", "load", "stats"],
+        help="build: time a cold build; save/load: snapshot round-trip; "
+             "stats: sizes + maintenance state",
+    )
+    index.add_argument("--path", default="soda_index_snapshot.json",
+                       help="snapshot file (default soda_index_snapshot.json)")
 
     browse = commands.add_parser(
         "browse", help="schema browser: describe a table or a term"
@@ -74,10 +103,29 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_warehouse(args, **overrides):
+    kwargs = {
+        "seed": args.seed,
+        "scale": args.scale,
+        "snapshot": getattr(args, "snapshot", None),
+    }
+    kwargs.update(overrides)
+    return build_minibank(**kwargs)
+
+
 def cmd_search(args, out) -> int:
-    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    if args.query is None and args.batch is None:
+        print("error: provide a query or --batch FILE", file=out)
+        return 2
+    if args.query is not None and args.batch is not None:
+        print("error: give either a query or --batch FILE, not both",
+              file=out)
+        return 2
+    warehouse = _build_warehouse(args)
     config = SodaConfig(top_n=args.top_n, use_dbpedia=not args.no_dbpedia)
     soda = Soda(warehouse, config)
+    if args.batch is not None:
+        return _run_search_batch(args, soda, out)
     result = soda.search(args.query, execute=not args.no_execute)
 
     print(f"query:      {result.query.describe()}", file=out)
@@ -109,10 +157,66 @@ def cmd_search(args, out) -> int:
     return 0
 
 
+def _run_search_batch(args, soda, out) -> int:
+    import sys as _sys
+    import time
+
+    from repro.core.serving import SearchSession
+
+    if args.batch == "-":
+        lines = _sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.batch, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read batch file: {exc}", file=out)
+            return 1
+    queries = [line.strip() for line in lines if line.strip()]
+    if not queries:
+        print("error: batch file contains no queries", file=out)
+        return 1
+
+    session = SearchSession(
+        soda, execute=not args.no_execute, limit=args.limit
+    )
+    started = time.perf_counter()
+    results = session.search_many(queries)
+    elapsed = time.perf_counter() - started
+
+    for text, result in zip(queries, results):
+        best = result.best
+        if best is None:
+            print(f"{text!r}: no statements", file=out)
+            continue
+        print(
+            f"{text!r}: {len(result.statements)} statement(s), "
+            f"best score {best.score:.2f}",
+            file=out,
+        )
+        print(f"    {best.sql}", file=out)
+        if args.explain:
+            from repro.errors import SqlError
+
+            try:
+                plan = best.plan or soda.explain(best.sql)
+            except SqlError as exc:
+                plan = f"(not plannable: {exc})"
+            for line in plan.splitlines():
+                print(f"    | {line}", file=out)
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"\nbatch: {len(queries)} queries "
+        f"({len(set(queries))} unique) in {elapsed:.3f}s ({qps:.1f} q/s)",
+        file=out,
+    )
+    return 0
+
+
 def cmd_explain(args, out) -> int:
     from repro.errors import SqlError
 
-    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    warehouse = _build_warehouse(args)
     try:
         plan = warehouse.database.explain(args.sql)
     except SqlError as exc:
@@ -130,8 +234,8 @@ def cmd_experiments(args, out) -> int:
     )
     from repro.experiments.runner import ExperimentRunner
 
-    runner = ExperimentRunner(seed=args.seed, scale=args.scale)
-    outcomes = runner.run_all()
+    runner = ExperimentRunner(warehouse=_build_warehouse(args))
+    outcomes = runner.run_all(batch=args.batch)
     print("Table 2: Experiment queries", file=out)
     print(format_table2(), file=out)
     print("\nTable 3: Precision and recall (measured vs paper)", file=out)
@@ -151,7 +255,7 @@ def cmd_compare(args, out) -> int:
     )
     from repro.experiments.runner import ExperimentRunner
 
-    warehouse = build_minibank(seed=args.seed, scale=min(args.scale, 0.5))
+    warehouse = _build_warehouse(args, scale=min(args.scale, 0.5), snapshot=None)
     evaluations = [
         evaluate_system(system, warehouse)
         for system in default_systems(warehouse)
@@ -168,11 +272,69 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def cmd_index(args, out) -> int:
+    import time
+
+    from repro.errors import WarehouseError
+    from repro.index.inverted import InvertedIndex
+
+    # "load" warm-starts the build from the snapshot under test so the
+    # success path never pays the cold scan it is meant to replace;
+    # the other actions always start cold
+    warehouse = _build_warehouse(
+        args, snapshot=args.path if args.action == "load" else None
+    )
+    if args.action == "build":
+        started = time.perf_counter()
+        rebuilt = InvertedIndex.build(warehouse.database.catalog)
+        warehouse.classification_index()
+        elapsed = time.perf_counter() - started
+        print(f"cold index build: {elapsed:.3f}s", file=out)
+        for key, value in sorted(rebuilt.size_summary().items()):
+            print(f"  {key:32s} {value}", file=out)
+    elif args.action == "save":
+        warehouse.classification_index()  # materialize the default variant
+        started = time.perf_counter()
+        warehouse.save_index_snapshot(args.path)
+        elapsed = time.perf_counter() - started
+        print(f"saved index snapshot to {args.path} ({elapsed:.3f}s)",
+              file=out)
+    elif args.action == "load":
+        started = time.perf_counter()
+        try:
+            snapshot = warehouse.load_index_snapshot(args.path)
+        except WarehouseError as exc:
+            print(f"error: {exc}", file=out)
+            return 1
+        elapsed = time.perf_counter() - started
+        print(
+            f"loaded snapshot {args.path} ({elapsed:.3f}s, "
+            f"fingerprint {snapshot.fingerprint}, "
+            f"{len(snapshot.classifications)} classification variant(s))",
+            file=out,
+        )
+        for key, value in sorted(warehouse.inverted.size_summary().items()):
+            print(f"  {key:32s} {value}", file=out)
+    else:  # stats
+        for key, value in sorted(warehouse.inverted.size_summary().items()):
+            print(f"  {key:32s} {value}", file=out)
+        classification = warehouse.classification_index()
+        print(f"  {'classification_terms':32s} {classification.term_count()}",
+              file=out)
+        maintainer = warehouse.maintainer
+        if maintainer is not None:
+            print(f"  {'maintained_inserts':32s} {maintainer.applied_inserts}",
+                  file=out)
+            print(f"  {'maintained_ddl':32s} {maintainer.applied_ddl}",
+                  file=out)
+    return 0
+
+
 def cmd_stats(args, out) -> int:
     from repro.experiments.reporting import format_table1
     from repro.warehouse.synthetic import generate_definition
 
-    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    warehouse = _build_warehouse(args)
     print("finbank warehouse:", file=out)
     for key, value in sorted(warehouse.statistics().items()):
         print(f"  {key:32s} {value}", file=out)
@@ -184,7 +346,7 @@ def cmd_stats(args, out) -> int:
 def cmd_browse(args, out) -> int:
     from repro.warehouse.browser import SchemaBrowser
 
-    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    warehouse = _build_warehouse(args)
     browser = SchemaBrowser(warehouse)
     if warehouse.definition.has_physical_table(args.name):
         print(browser.describe_table(args.name).render(), file=out)
@@ -196,7 +358,7 @@ def cmd_browse(args, out) -> int:
 def cmd_page(args, out) -> int:
     from repro.core.results import render_page
 
-    warehouse = build_minibank(seed=args.seed, scale=args.scale)
+    warehouse = _build_warehouse(args)
     soda = Soda(warehouse, SodaConfig())
     result = soda.search(args.query)
     page = render_page(result, page=args.page, page_size=args.page_size)
@@ -213,6 +375,7 @@ def main(argv=None, out=None) -> int:
         "experiments": cmd_experiments,
         "compare": cmd_compare,
         "stats": cmd_stats,
+        "index": cmd_index,
         "browse": cmd_browse,
         "page": cmd_page,
     }

@@ -1,4 +1,4 @@
-"""SODA core: the five-step keyword-to-SQL pipeline."""
+"""SODA core: the staged keyword-to-SQL search pipeline."""
 
 from repro.core.evaluation import (
     PrecisionRecall,
@@ -23,7 +23,13 @@ from repro.core.ranking import (
     score_interpretation,
     score_interpretation_specificity,
 )
+from repro.core.pipeline import (
+    PipelineStep,
+    SearchContext,
+    SearchPipeline,
+)
 from repro.core.results import ResultEntry, ResultPage, render_page
+from repro.core.serving import SearchSession
 from repro.core.soda import (
     ScoredStatement,
     SearchResult,
@@ -48,6 +54,7 @@ __all__ = [
     "Lookup",
     "LookupResult",
     "PATTERN_SOURCES",
+    "PipelineStep",
     "PrecisionRecall",
     "RangeCondition",
     "ResultEntry",
@@ -55,7 +62,10 @@ __all__ = [
     "SOURCE_SCORES",
     "STRATEGIES",
     "ScoredStatement",
+    "SearchContext",
+    "SearchPipeline",
     "SearchResult",
+    "SearchSession",
     "Soda",
     "SodaConfig",
     "SodaQuery",

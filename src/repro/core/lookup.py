@@ -118,6 +118,19 @@ class Lookup:
         self._classification = classification
         self._inverted = inverted
         self._max_interpretations = max_interpretations
+        # term -> tuple[EntryPoint] memos; valid while both indexes keep
+        # the version they had when the entry was cached
+        self._alternatives_cache: dict[str, tuple] = {}
+        self._metadata_cache: dict[str, tuple] = {}
+        self._cache_stamp = (classification.version, inverted.version)
+
+    def _check_cache_stamp(self) -> None:
+        """Drop term memos when either underlying index has changed."""
+        stamp = (self._classification.version, self._inverted.version)
+        if stamp != self._cache_stamp:
+            self._alternatives_cache.clear()
+            self._metadata_cache.clear()
+            self._cache_stamp = stamp
 
     # ------------------------------------------------------------------
     def run(self, query: SodaQuery) -> LookupResult:
@@ -214,20 +227,34 @@ class Lookup:
         return segments, unknown
 
     def alternatives(self, term: str) -> list:
-        """All entry points of one term (metadata + base data)."""
-        found = list(self.metadata_alternatives(term))
-        found.extend(self.base_data_alternatives(term))
-        return sorted(found, key=EntryPoint.sort_key)
+        """All entry points of one term (metadata + base data), memoized."""
+        self._check_cache_stamp()
+        cached = self._alternatives_cache.get(term)
+        if cached is None:
+            found = list(self.metadata_alternatives(term))
+            found.extend(self.base_data_alternatives(term))
+            cached = tuple(sorted(found, key=EntryPoint.sort_key))
+            self._alternatives_cache[term] = cached
+        return list(cached)
 
     def metadata_alternatives(self, term: str) -> list:
         """Entry points of *term* in the classification index only."""
-        return sorted(
-            (
-                EntryPoint(term=term, source=match.source, node=match.node)
-                for match in self._classification.lookup(term)
-            ),
-            key=EntryPoint.sort_key,
-        )
+        self._check_cache_stamp()
+        cached = self._metadata_cache.get(term)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    (
+                        EntryPoint(
+                            term=term, source=match.source, node=match.node
+                        )
+                        for match in self._classification.lookup(term)
+                    ),
+                    key=EntryPoint.sort_key,
+                )
+            )
+            self._metadata_cache[term] = cached
+        return list(cached)
 
     def base_data_alternatives(self, term: str) -> list:
         """Entry points of *term* in the inverted index, one per column."""

@@ -1,0 +1,338 @@
+"""The staged search pipeline (paper Figure 4, as an explicit engine).
+
+``Soda.search`` used to be one hard-coded five-step method; it is now a
+:class:`SearchPipeline` — an ordered list of :class:`PipelineStep`
+objects that communicate through a shared :class:`SearchContext`:
+
+``lookup -> rank -> tables -> filters -> sqlgen -> finalize -> execute``
+
+Each step's wall-clock time is recorded into :class:`StepTimings` under
+its ``timing_field`` (the fields of the Fig. 4 / Table 4 reproduction
+are unchanged), and *hooks* run between steps, so callers can
+instrument or early-terminate a search without touching step code.
+The batch stages (tables/filters/sqlgen) process the ranked
+interpretations in rank order, exactly like the old per-interpretation
+loop, so results are identical statement-for-statement.
+
+Early termination comes in two forms:
+
+* ``SodaConfig.max_statements`` stops SQL generation once that many
+  distinct statements exist (the top-ranked interpretations win);
+* a hook registered with :meth:`SearchPipeline.add_hook` may return
+  truthy to stop the pipeline after the current step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.input_patterns import parse_query
+from repro.core.ranking import rank
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock seconds per pipeline step (Fig. 4 / Table 4)."""
+
+    lookup: float = 0.0
+    rank: float = 0.0
+    tables: float = 0.0
+    filters: float = 0.0
+    sql: float = 0.0
+    execute: float = 0.0
+
+    @property
+    def soda_total(self) -> float:
+        """Time to produce SQL (excludes executing it), as in Table 4."""
+        return self.lookup + self.rank + self.tables + self.filters + self.sql
+
+    @property
+    def total(self) -> float:
+        return self.soda_total + self.execute
+
+
+@dataclass
+class ScoredStatement:
+    """One generated SQL statement with score, snippet and query plan."""
+
+    sql: str
+    score: float
+    statement: object  # GeneratedStatement
+    tables_result: object  # TablesResult
+    filters_result: object  # FiltersResult
+    interpretation_description: str
+    snippet: object = None  # ResultSet | None
+    execution_error: str | None = None
+    estimated_rows: int = 0
+    #: the optimizer's plan tree (populated when the statement executes)
+    plan: str | None = None
+
+    @property
+    def disconnected(self) -> bool:
+        return self.statement.disconnected
+
+
+@dataclass
+class SearchResult:
+    """Everything one `Soda.search` call produced."""
+
+    query: object  # SodaQuery
+    lookup: object  # LookupResult
+    statements: list
+    timings: StepTimings
+
+    @property
+    def complexity(self) -> int:
+        return self.lookup.complexity
+
+    @property
+    def best(self) -> "ScoredStatement | None":
+        return self.statements[0] if self.statements else None
+
+    def sql_texts(self) -> list:
+        return [statement.sql for statement in self.statements]
+
+
+@dataclass
+class InterpretationState:
+    """One ranked interpretation flowing through the batch stages."""
+
+    ranked: object  # RankedInterpretation
+    tables_result: object = None
+    filters_result: object = None
+    statement: object = None  # GeneratedStatement, set by sqlgen
+
+
+@dataclass
+class SearchContext:
+    """Shared state of one search as it moves down the pipeline."""
+
+    text: str
+    config: object  # SodaConfig
+    execute: bool = True
+    query: object = None  # SodaQuery, set by the lookup step
+    lookup: object = None  # LookupResult, set by the lookup step
+    items: list = field(default_factory=list)  # InterpretationState list
+    statements: list = field(default_factory=list)  # ScoredStatement list
+    timings: StepTimings = field(default_factory=StepTimings)
+    stopped_at: str | None = None
+
+    def request_stop(self, step_name: str) -> None:
+        """Skip all remaining pipeline steps (early-termination hook)."""
+        self.stopped_at = step_name
+
+    @property
+    def stopped(self) -> bool:
+        return self.stopped_at is not None
+
+    def result(self) -> SearchResult:
+        return SearchResult(
+            query=self.query,
+            lookup=self.lookup,
+            statements=self.statements,
+            timings=self.timings,
+        )
+
+
+class PipelineStep:
+    """One named stage; subclasses implement :meth:`run`.
+
+    ``timing_field`` names the :class:`StepTimings` attribute the
+    step's wall-clock time accumulates into (None: untimed).
+    """
+
+    name: str = "step"
+    timing_field: "str | None" = None
+
+    def active(self, context: SearchContext) -> bool:
+        """Inactive steps are skipped entirely (no timing recorded)."""
+        return True
+
+    def run(self, context: SearchContext) -> None:
+        raise NotImplementedError
+
+
+class LookupStep(PipelineStep):
+    """Step 1 — parse the text and map terms to entry points."""
+
+    name = "lookup"
+    timing_field = "lookup"
+
+    def __init__(self, lookup) -> None:
+        self._lookup = lookup
+
+    def run(self, context: SearchContext) -> None:
+        context.query = parse_query(context.text)
+        context.lookup = self._lookup.run(context.query)
+
+
+class RankStep(PipelineStep):
+    """Step 2 — score interpretations, keep the top N."""
+
+    name = "rank"
+    timing_field = "rank"
+
+    def run(self, context: SearchContext) -> None:
+        ranked = rank(
+            context.lookup,
+            top_n=context.config.top_n,
+            strategy=context.config.ranking,
+        )
+        context.items = [InterpretationState(ranked=r) for r in ranked]
+
+
+class TablesStage(PipelineStep):
+    """Step 3 — discover tables and joins for every interpretation."""
+
+    name = "tables"
+    timing_field = "tables"
+
+    def __init__(self, tables_step) -> None:
+        self._tables = tables_step
+
+    def run(self, context: SearchContext) -> None:
+        for item in context.items:
+            item.tables_result = self._tables.run(item.ranked.interpretation)
+
+
+class FiltersStage(PipelineStep):
+    """Step 4 — collect predicates for every interpretation."""
+
+    name = "filters"
+    timing_field = "filters"
+
+    def __init__(self, filters_step) -> None:
+        self._filters = filters_step
+
+    def run(self, context: SearchContext) -> None:
+        for item in context.items:
+            item.filters_result = self._filters.run(
+                item.ranked.interpretation,
+                context.lookup.slots,
+                item.tables_result,
+                context.query,
+            )
+
+
+class SqlGenStage(PipelineStep):
+    """Step 5 — assemble one SQL statement per interpretation.
+
+    Only SQL *generation* runs here (and hence lands in ``timings.sql``,
+    matching the old hand-coded pipeline); deduplication bookkeeping is
+    kept just to honour ``max_statements`` early termination, and the
+    scored-statement construction happens untimed in
+    :class:`FinalizeStep`.
+    """
+
+    name = "sqlgen"
+    timing_field = "sql"
+
+    def __init__(self, sqlgen) -> None:
+        self._sqlgen = sqlgen
+
+    def run(self, context: SearchContext) -> None:
+        limit = context.config.max_statements
+        seen_sql: set = set()
+        for item in context.items:
+            if limit is not None and len(seen_sql) >= limit:
+                break
+            statement = self._sqlgen.generate(
+                context.query, item.tables_result, item.filters_result
+            )
+            if statement is None or statement.sql in seen_sql:
+                continue
+            seen_sql.add(statement.sql)
+            item.statement = statement
+
+
+class FinalizeStep(PipelineStep):
+    """Build scored statements, apply feedback bonuses, sort (untimed)."""
+
+    name = "finalize"
+    timing_field = None
+
+    def __init__(self, feedback_provider, estimate_rows) -> None:
+        self._feedback_provider = feedback_provider
+        self._estimate_rows = estimate_rows
+
+    def run(self, context: SearchContext) -> None:
+        for item in context.items:
+            if item.statement is None:
+                continue
+            context.statements.append(
+                ScoredStatement(
+                    sql=item.statement.sql,
+                    score=item.ranked.score,
+                    statement=item.statement,
+                    tables_result=item.tables_result,
+                    filters_result=item.filters_result,
+                    interpretation_description=item.ranked.interpretation.describe(
+                        context.lookup.slots
+                    ),
+                    estimated_rows=self._estimate_rows(item.tables_result),
+                )
+            )
+        feedback = self._feedback_provider()
+        if len(feedback):
+            for scored in context.statements:
+                scored.score += feedback.bonus(scored.sql)
+        context.statements.sort(key=lambda s: (-s.score, s.sql))
+
+
+class ExecuteStep(PipelineStep):
+    """Execute the statements to produce result snippets."""
+
+    name = "execute"
+    timing_field = "execute"
+
+    def __init__(self, attach_snippet) -> None:
+        self._attach_snippet = attach_snippet
+
+    def active(self, context: SearchContext) -> bool:
+        return context.execute
+
+    def run(self, context: SearchContext) -> None:
+        for scored in context.statements:
+            self._attach_snippet(scored)
+
+
+class SearchPipeline:
+    """An ordered list of steps plus between-step hooks."""
+
+    def __init__(self, steps, hooks=()) -> None:
+        self.steps = list(steps)
+        self._hooks = list(hooks)
+
+    def add_hook(self, hook) -> None:
+        """Register ``hook(context, step) -> bool``; truthy stops the run."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook) -> None:
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def step_names(self) -> list:
+        return [step.name for step in self.steps]
+
+    def run(self, context: SearchContext) -> SearchContext:
+        """Drive *context* through every step, timing each one."""
+        for step in self.steps:
+            if context.stopped:
+                break
+            if not step.active(context):
+                continue
+            started = time.perf_counter()
+            step.run(context)
+            elapsed = time.perf_counter() - started
+            if step.timing_field is not None:
+                setattr(
+                    context.timings,
+                    step.timing_field,
+                    getattr(context.timings, step.timing_field) + elapsed,
+                )
+            for hook in self._hooks:
+                if hook(context, step):
+                    context.request_stop(step.name)
+                    break
+        return context

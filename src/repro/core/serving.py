@@ -1,0 +1,69 @@
+"""Stateless serving sessions over one warm `Soda` instance.
+
+One long-lived :class:`~repro.core.soda.Soda` holds the expensive
+state — indexes, memoized term resolutions, join plans, the plan
+cache — while many callers each get a cheap :class:`SearchSession`.
+A session is frozen: it carries only per-caller presentation knobs and
+never mutates the shared engine (relevance feedback in particular stays
+a deliberate, explicit `Soda.feedback` operation), so sessions can be
+created per request, shared, or discarded freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import SearchResult
+from repro.core.soda import Soda
+
+
+@dataclass(frozen=True)
+class SearchSession:
+    """One caller's view of a shared, warm `Soda` engine.
+
+    >>> # session = SearchSession(soda, execute=False, limit=3)
+    >>> # session.search("customers Zurich").statements  # at most 3
+    """
+
+    soda: Soda
+    #: execute statements and attach snippets (False: SQL text only)
+    execute: bool = True
+    #: truncate each result's statement list (None: keep all)
+    limit: "int | None" = None
+
+    def search(self, text: str) -> SearchResult:
+        """Run one query through the shared pipeline."""
+        return self._trim(self.soda.search(text, execute=self.execute))
+
+    def search_many(self, texts) -> "list[SearchResult]":
+        """Serve a batch (shared caches, deduplicated query texts)."""
+        results = self.soda.search_many(texts, execute=self.execute)
+        if self.limit is None:
+            return results
+        trimmed: dict = {}  # id(result) -> trimmed result; keeps dedup identity
+        out = []
+        for result in results:
+            key = id(result)
+            if key not in trimmed:
+                trimmed[key] = self._trim(result)
+            out.append(trimmed[key])
+        return out
+
+    def best_sql(self, text: str) -> "str | None":
+        """The top-ranked generated statement's SQL (None: no results)."""
+        result = self.soda.search(text, execute=False)
+        return result.best.sql if result.best else None
+
+    def explain(self, sql: str) -> str:
+        return self.soda.explain(sql)
+
+    # ------------------------------------------------------------------
+    def _trim(self, result: SearchResult) -> SearchResult:
+        if self.limit is None or len(result.statements) <= self.limit:
+            return result
+        return SearchResult(
+            query=result.query,
+            lookup=result.lookup,
+            statements=result.statements[: self.limit],
+            timings=result.timings,
+        )

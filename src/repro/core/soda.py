@@ -1,6 +1,7 @@
 """The SODA facade: the five-step pipeline of Figure 4.
 
-``Soda.search("customers Zurich financial instruments")`` runs:
+``Soda.search("customers Zurich financial instruments")`` runs the
+:class:`~repro.core.pipeline.SearchPipeline`:
 
 1. **lookup** — terms to entry points (combinatorial product),
 2. **rank and top N** — heuristic location scores, keep the best N,
@@ -12,31 +13,64 @@ then executes the top statements to produce result snippets (up to
 twenty tuples each), just like the paper's Google-style result page.
 Per-step wall-clock timings are recorded for the Table 4 / Fig. 4
 reproductions.
+
+A `Soda` instance is designed to stay *warm*: its indexes come from the
+warehouse (incrementally maintained, snapshot-loadable), and its lookup
+and tables steps memoize term resolutions and join plans, so the
+second search is much cheaper than the first.  :meth:`Soda.search_many`
+serves a whole batch of queries over those shared caches, deduplicating
+identical query texts.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.feedback import FeedbackStore
-from repro.core.filters import FiltersResult, FiltersStep
+from repro.core.filters import FiltersStep
 from repro.core.input_patterns import parse_query
-from repro.core.lookup import Lookup, LookupResult
+from repro.core.lookup import Lookup
 from repro.core.patterns import build_default_library
+from repro.core.pipeline import (
+    ExecuteStep,
+    FiltersStage,
+    FinalizeStep,
+    LookupStep,
+    RankStep,
+    ScoredStatement,
+    SearchContext,
+    SearchPipeline,
+    SearchResult,
+    SqlGenStage,
+    StepTimings,
+    TablesStage,
+)
 from repro.core.query import SodaQuery
-from repro.core.ranking import RankedInterpretation, rank
-from repro.core.sqlgen import GeneratedStatement, SqlGenerator
+from repro.core.sqlgen import SqlGenerator
 from repro.core.tables import TablesResult, TablesStep
 from repro.errors import SqlError
 from repro.sqlengine.executor import ResultSet
-from repro.warehouse.graphbuilder import build_classification_index
 from repro.warehouse.warehouse import Warehouse
+
+__all__ = [
+    "ScoredStatement",
+    "SearchResult",
+    "Soda",
+    "SodaConfig",
+    "StepTimings",
+]
 
 
 @dataclass
 class SodaConfig:
-    """Tunable knobs of the pipeline (all paper-motivated)."""
+    """Tunable knobs of the pipeline (all paper-motivated).
+
+    Serving knobs: ``max_statements`` early-terminates SQL generation
+    after that many distinct statements (None: generate all, the paper
+    behaviour); ``batch_dedup`` lets :meth:`Soda.search_many` serve
+    duplicate query texts in a batch from one computation (the repeated
+    result objects are shared, not copied).
+    """
 
     top_n: int = 10  # interpretations kept by Step 2
     join_depth: int = 16  # traversal bound for join discovery
@@ -47,69 +81,8 @@ class SodaConfig:
     max_execution_rows: int = 1_000_000  # skip executing blow-up queries
     ranking: str = "location"  # "location" (paper) or "specificity"
     pattern_overrides: dict = field(default_factory=dict)
-
-
-@dataclass
-class StepTimings:
-    """Wall-clock seconds per pipeline step (Fig. 4 / Table 4)."""
-
-    lookup: float = 0.0
-    rank: float = 0.0
-    tables: float = 0.0
-    filters: float = 0.0
-    sql: float = 0.0
-    execute: float = 0.0
-
-    @property
-    def soda_total(self) -> float:
-        """Time to produce SQL (excludes executing it), as in Table 4."""
-        return self.lookup + self.rank + self.tables + self.filters + self.sql
-
-    @property
-    def total(self) -> float:
-        return self.soda_total + self.execute
-
-
-@dataclass
-class ScoredStatement:
-    """One generated SQL statement with score, snippet and query plan."""
-
-    sql: str
-    score: float
-    statement: GeneratedStatement
-    tables_result: TablesResult
-    filters_result: FiltersResult
-    interpretation_description: str
-    snippet: "ResultSet | None" = None
-    execution_error: str | None = None
-    estimated_rows: int = 0
-    #: the optimizer's plan tree (populated when the statement executes)
-    plan: str | None = None
-
-    @property
-    def disconnected(self) -> bool:
-        return self.statement.disconnected
-
-
-@dataclass
-class SearchResult:
-    """Everything one `Soda.search` call produced."""
-
-    query: SodaQuery
-    lookup: LookupResult
-    statements: list
-    timings: StepTimings
-
-    @property
-    def complexity(self) -> int:
-        return self.lookup.complexity
-
-    @property
-    def best(self) -> "ScoredStatement | None":
-        return self.statements[0] if self.statements else None
-
-    def sql_texts(self) -> list:
-        return [statement.sql for statement in self.statements]
+    max_statements: "int | None" = None  # early-stop SQL generation
+    batch_dedup: bool = True  # dedup identical texts in search_many
 
 
 class Soda:
@@ -118,8 +91,7 @@ class Soda:
     def __init__(self, warehouse: Warehouse, config: SodaConfig | None = None):
         self.warehouse = warehouse
         self.config = config or SodaConfig()
-        self.classification = build_classification_index(
-            warehouse.graph,
+        self.classification = warehouse.classification_index(
             include_dbpedia=self.config.use_dbpedia,
             include_physical=self.config.index_physical_names,
         )
@@ -136,6 +108,19 @@ class Soda:
         self._sqlgen = SqlGenerator(warehouse.database.catalog)
         #: relevance feedback (paper Section 6.3): like/dislike statements
         self.feedback = FeedbackStore()
+        #: the staged engine behind :meth:`search`; hooks may be added
+        self.pipeline = SearchPipeline(
+            [
+                LookupStep(self._lookup),
+                RankStep(),
+                TablesStage(self._tables),
+                FiltersStage(self._filters),
+                SqlGenStage(self._sqlgen),
+                # read self.feedback live so reassigning it keeps working
+                FinalizeStep(lambda: self.feedback, self._estimate_rows),
+                ExecuteStep(self._attach_snippet),
+            ]
+        )
 
     # ------------------------------------------------------------------
     def parse(self, text: str) -> SodaQuery:
@@ -156,89 +141,37 @@ class Soda:
         return self.warehouse.database.planner.cache.stats
 
     def search(self, text: str, execute: bool = True) -> SearchResult:
-        """Run the full five-step pipeline for *text*."""
-        timings = StepTimings()
-
-        started = time.perf_counter()
-        query = parse_query(text)
-        lookup_result = self._lookup.run(query)
-        timings.lookup = time.perf_counter() - started
-
-        started = time.perf_counter()
-        ranked = rank(
-            lookup_result,
-            top_n=self.config.top_n,
-            strategy=self.config.ranking,
+        """Run the full staged pipeline for *text*."""
+        context = SearchContext(
+            text=text, config=self.config, execute=execute
         )
-        timings.rank = time.perf_counter() - started
+        self.pipeline.run(context)
+        return context.result()
 
-        statements: list = []
-        seen_sql: set = set()
-        for ranked_interpretation in ranked:
-            scored = self._process_interpretation(
-                query, lookup_result, ranked_interpretation, timings
-            )
-            if scored is None:
+    def search_many(
+        self, texts, execute: bool = True
+    ) -> "list[SearchResult]":
+        """Serve a batch of queries over this warm instance.
+
+        Lookup term memos and tables-step join plans are shared across
+        the whole batch, and (with ``config.batch_dedup``) duplicate
+        query texts are computed once — the returned list then contains
+        the *same* :class:`SearchResult` object at each duplicate
+        position.  Results are byte-identical to sequential
+        :meth:`search` calls.
+        """
+        results: list = []
+        memo: dict = {}
+        for text in texts:
+            if self.config.batch_dedup and text in memo:
+                results.append(memo[text])
                 continue
-            if scored.sql in seen_sql:
-                continue
-            seen_sql.add(scored.sql)
-            statements.append(scored)
-
-        if len(self.feedback):
-            for scored in statements:
-                scored.score += self.feedback.bonus(scored.sql)
-        statements.sort(key=lambda s: (-s.score, s.sql))
-
-        if execute:
-            started = time.perf_counter()
-            for scored in statements:
-                self._attach_snippet(scored)
-            timings.execute = time.perf_counter() - started
-
-        return SearchResult(
-            query=query,
-            lookup=lookup_result,
-            statements=statements,
-            timings=timings,
-        )
+            result = self.search(text, execute=execute)
+            memo[text] = result
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
-    def _process_interpretation(
-        self,
-        query: SodaQuery,
-        lookup_result: LookupResult,
-        ranked: RankedInterpretation,
-        timings: StepTimings,
-    ) -> "ScoredStatement | None":
-        started = time.perf_counter()
-        tables_result = self._tables.run(ranked.interpretation)
-        timings.tables += time.perf_counter() - started
-
-        started = time.perf_counter()
-        filters_result = self._filters.run(
-            ranked.interpretation, lookup_result.slots, tables_result, query
-        )
-        timings.filters += time.perf_counter() - started
-
-        started = time.perf_counter()
-        statement = self._sqlgen.generate(query, tables_result, filters_result)
-        timings.sql += time.perf_counter() - started
-        if statement is None:
-            return None
-
-        return ScoredStatement(
-            sql=statement.sql,
-            score=ranked.score,
-            statement=statement,
-            tables_result=tables_result,
-            filters_result=filters_result,
-            interpretation_description=ranked.interpretation.describe(
-                lookup_result.slots
-            ),
-            estimated_rows=self._estimate_rows(tables_result),
-        )
-
     def _estimate_rows(self, tables_result: TablesResult) -> int:
         """Crude upper-bound estimate: product over disconnected components."""
         estimate = 1

@@ -122,11 +122,32 @@ class TablesStep:
         self._library = library
         self._join_depth = join_depth
         self._children_cache: set | None = None
+        # memos, dropped whenever the metadata graph changes:
+        #   entry point -> EntryExpansion (the schema-edge traversal)
+        #   frozenset(entry tables) -> (parents, tables, joins, components)
+        self._expansion_cache: dict = {}
+        self._plan_cache: dict = {}
+        self._graph_version = store.version
+
+    def _check_graph_version(self) -> None:
+        """Invalidate all memos after graph mutations (e.g. annotate_join)."""
+        if self._store.version != self._graph_version:
+            self._expansion_cache.clear()
+            self._plan_cache.clear()
+            self._children_cache = None
+            self._graph_version = self._store.version
+
+    def cache_stats(self) -> dict:
+        return {
+            "expansions": len(self._expansion_cache),
+            "join_plans": len(self._plan_cache),
+        }
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, interpretation: Interpretation) -> TablesResult:
+        self._check_graph_version()
         expansions = [
             self.expand_entry(entry) for entry in interpretation.entry_points()
         ]
@@ -135,32 +156,62 @@ class TablesStep:
         for expansion in expansions:
             preliminary |= expansion.tables
 
-        inheritance_parents = self._inheritance_closure(preliminary)
-
-        join_graph = self._discover_join_graph(sorted(preliminary))
-        pruned = self._prune_sibling_parent_edges(
-            join_graph, preliminary, inheritance_parents
-        )
-        selected, final_tables = self._select_joins(pruned, preliminary)
-
-        components = self._components(final_tables, selected)
+        plan = self._join_plan(preliminary)
+        inheritance_parents, final_tables, selected, components = plan
         return TablesResult(
             expansions=expansions,
-            tables=sorted(final_tables),
-            joins=sorted(selected, key=JoinEdge.sort_key),
-            components=components,
-            inheritance_parents=inheritance_parents,
+            tables=list(final_tables),
+            joins=list(selected),
+            components=[set(component) for component in components],
+            inheritance_parents=dict(inheritance_parents),
         )
+
+    def _join_plan(self, preliminary: set) -> tuple:
+        """The join-discovery outcome for one entry-table set (memoized).
+
+        Join discovery (graph traversal + shortest paths) only depends
+        on the set of preliminary tables, which repeats heavily across
+        interpretations and across the queries of a batch.
+        """
+        key = frozenset(preliminary)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            working = set(preliminary)
+            inheritance_parents = self._inheritance_closure(working)
+            join_graph = self._discover_join_graph(sorted(working))
+            pruned = self._prune_sibling_parent_edges(
+                join_graph, working, inheritance_parents
+            )
+            selected, final_tables = self._select_joins(pruned, working)
+            components = self._components(final_tables, selected)
+            cached = (
+                inheritance_parents,
+                sorted(final_tables),
+                sorted(selected, key=JoinEdge.sort_key),
+                components,
+            )
+            self._plan_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # tables pass
     # ------------------------------------------------------------------
     def expand_entry(self, entry: EntryPoint) -> EntryExpansion:
-        """Traverse schema edges from *entry*, testing the basic patterns."""
+        """Traverse schema edges from *entry*, testing the basic patterns.
+
+        Memoized per entry point: the traversal depends only on the
+        metadata graph, so the same term resolution across ranked
+        interpretations (or across a query batch) is computed once.
+        """
+        self._check_graph_version()
+        cached = self._expansion_cache.get(entry)
+        if cached is not None:
+            return cached
         expansion = EntryExpansion(entry=entry)
         follow = _make_follow(SCHEMA_EDGES)
         for node, __ in iter_reachable(self._store, entry.node, follow=follow):
             self._test_patterns_at(node, expansion)
+        self._expansion_cache[entry] = expansion
         return expansion
 
     def _test_patterns_at(self, node: str, expansion: EntryExpansion) -> None:

@@ -58,6 +58,7 @@ class TripleStore:
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
         self._triples: set[Triple] = set()
+        self._version = 0
         self._spo: dict[str, dict[str, set["str | Text"]]] = defaultdict(
             lambda: defaultdict(set)
         )
@@ -83,6 +84,7 @@ class TripleStore:
         """Insert an existing triple (idempotent)."""
         if triple in self._triples:
             return
+        self._version += 1
         self._triples.add(triple)
         self._spo[triple.subject][triple.predicate].add(triple.obj)
         self._pos[triple.predicate][triple.obj].add(triple.subject)
@@ -93,10 +95,16 @@ class TripleStore:
         triple = Triple(subject, predicate, obj)
         if triple not in self._triples:
             raise GraphError(f"triple not in store: {triple}")
+        self._version += 1
         self._triples.discard(triple)
         self._spo[subject][predicate].discard(obj)
         self._pos[predicate][obj].discard(subject)
         self._osp[obj][subject].discard(predicate)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every mutation; lets derived caches detect staleness."""
+        return self._version
 
     # ------------------------------------------------------------------
     # lookup

@@ -1,4 +1,8 @@
-"""Index substrates: base-data inverted index and metadata classification."""
+"""Index substrates: base-data inverted index and metadata classification.
+
+Long-lived indexes are maintained incrementally (``maintenance``) and
+persist across processes via versioned snapshots (``snapshot``).
+"""
 
 from repro.index.classification import (
     ClassificationIndex,
@@ -7,15 +11,34 @@ from repro.index.classification import (
     depluralize,
     normalize_term,
 )
-from repro.index.inverted import InvertedIndex, Posting, tokenize_text
+from repro.index.inverted import (
+    InvertedIndex,
+    Posting,
+    count_phrase_occurrences,
+    tokenize_text,
+)
+from repro.index.maintenance import InvertedIndexMaintainer, attach_maintainer
+from repro.index.snapshot import (
+    SNAPSHOT_VERSION,
+    IndexSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "ClassificationIndex",
     "EntrySource",
+    "IndexSnapshot",
     "InvertedIndex",
+    "InvertedIndexMaintainer",
     "Posting",
+    "SNAPSHOT_VERSION",
     "TermMatch",
+    "attach_maintainer",
+    "count_phrase_occurrences",
     "depluralize",
+    "load_snapshot",
     "normalize_term",
+    "save_snapshot",
     "tokenize_text",
 ]

@@ -79,6 +79,7 @@ class ClassificationIndex:
     def __init__(self) -> None:
         self._terms: dict[str, list[TermMatch]] = defaultdict(list)
         self._max_words = 1
+        self._version = 0
 
     def add_term(self, term: str, node: str, source: EntrySource) -> None:
         """Register *term* as referring to graph *node*."""
@@ -89,7 +90,13 @@ class ClassificationIndex:
         bucket = self._terms[canonical]
         if match not in bucket:
             bucket.append(match)
+            self._version += 1
         self._max_words = max(self._max_words, canonical.count(" ") + 1)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every new registration; lets caches detect staleness."""
+        return self._version
 
     def lookup(self, term: str) -> list[TermMatch]:
         """All matches of *term* (plural-insensitive)."""
@@ -109,3 +116,39 @@ class ClassificationIndex:
 
     def terms(self) -> list[str]:
         return sorted(self._terms)
+
+    # ------------------------------------------------------------------
+    # snapshot serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible representation (see :mod:`repro.index.snapshot`)."""
+        return {
+            "terms": {
+                canonical: [
+                    [match.term, match.node, match.source.value]
+                    for match in bucket
+                ]
+                for canonical, bucket in self._terms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClassificationIndex":
+        """Rebuild an index from :meth:`to_dict` output."""
+        from repro.errors import WarehouseError
+
+        index = cls()
+        try:
+            for canonical, bucket in payload["terms"].items():
+                index._terms[canonical] = [
+                    TermMatch(term=term, node=node, source=EntrySource(source))
+                    for term, node, source in bucket
+                ]
+                index._max_words = max(
+                    index._max_words, canonical.count(" ") + 1
+                )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise WarehouseError(
+                f"malformed classification-index payload: {exc}"
+            ) from exc
+        return index

@@ -18,6 +18,26 @@ class Column:
     primary_key: bool = False
 
 
+class CatalogObserver:
+    """Write-through hook interface for derived structures (indexes).
+
+    A registered observer is told about every row insert and every DDL
+    statement, so long-lived structures built over the catalog (the
+    SODA inverted index, statistics, caches) can maintain themselves
+    incrementally instead of being rebuilt by full scans.  All methods
+    are no-ops by default; subclasses override what they need.
+    """
+
+    def on_insert(self, table: "Table", row: tuple) -> None:
+        """One coerced row was appended to *table*."""
+
+    def on_create_table(self, table: "Table") -> None:
+        """*table* was just created (empty)."""
+
+    def on_drop_table(self, name: str) -> None:
+        """The table called *name* was dropped."""
+
+
 @dataclass(frozen=True)
 class ForeignKey:
     """A foreign-key constraint from this table to *ref_table*."""
@@ -56,6 +76,8 @@ class Table:
         self.foreign_keys = tuple(foreign_keys)
         self._index_of = {c.name: i for i, c in enumerate(self.columns)}
         self.rows: list[tuple] = []
+        # shared with the owning catalog (see Catalog.register_observer)
+        self._observers: list[CatalogObserver] = []
 
     # ------------------------------------------------------------------
     def column_names(self) -> list[str]:
@@ -91,6 +113,8 @@ class Table:
             for value, column in zip(values, self.columns)
         )
         self.rows.append(row)
+        for observer in self._observers:
+            observer.on_insert(self, row)
 
     def insert_named(self, **values: Any) -> None:
         """Insert one row given by column name; missing columns become NULL."""
@@ -126,6 +150,23 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._ddl_version = 0
+        self._observers: list[CatalogObserver] = []
+
+    def register_observer(self, observer: CatalogObserver) -> None:
+        """Subscribe *observer* to inserts/DDL on all current and future tables."""
+        if observer in self._observers:
+            return
+        self._observers.append(observer)
+        for table in self._tables.values():
+            table._observers = self._observers
+
+    def unregister_observer(self, observer: CatalogObserver) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def observers(self) -> list[CatalogObserver]:
+        return list(self._observers)
 
     def create_table(
         self,
@@ -137,8 +178,11 @@ class Catalog:
         if key in self._tables:
             raise SqlCatalogError(f"table already exists: {name!r}")
         table = Table(key, columns, foreign_keys)
+        table._observers = self._observers
         self._tables[key] = table
         self._ddl_version += 1
+        for observer in self._observers:
+            observer.on_create_table(table)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -147,6 +191,8 @@ class Catalog:
             raise SqlCatalogError(f"no such table: {name!r}")
         del self._tables[key]
         self._ddl_version += 1
+        for observer in self._observers:
+            observer.on_drop_table(key)
 
     @property
     def ddl_version(self) -> int:

@@ -884,8 +884,13 @@ def populate(
     database.insert_rows("investments_td", investment_rows)
 
 
-def build_minibank(seed: int = 42, scale: float = 1.0) -> Warehouse:
+def build_minibank(
+    seed: int = 42, scale: float = 1.0, snapshot: "str | None" = None
+) -> Warehouse:
     """Build the fully populated finbank warehouse.
+
+    *snapshot* warm-starts the indexes from a saved snapshot file when
+    it matches the populated catalog (see :meth:`Warehouse.build`).
 
     >>> warehouse = build_minibank(scale=0.2)
     >>> warehouse.database.row_count('currencies')
@@ -893,5 +898,7 @@ def build_minibank(seed: int = 42, scale: float = 1.0) -> Warehouse:
     """
     definition = build_definition()
     return Warehouse.build(
-        definition, populate=lambda db: populate(db, seed=seed, scale=scale)
+        definition,
+        populate=lambda db: populate(db, seed=seed, scale=scale),
+        snapshot=snapshot,
     )

@@ -1,0 +1,165 @@
+"""The staged search pipeline: steps, hooks, memoization, batching."""
+
+import pytest
+
+from repro.core.pipeline import SearchContext, SearchPipeline
+from repro.core.soda import Soda, SodaConfig
+
+
+def result_fingerprint(result):
+    return [
+        (s.sql, round(s.score, 12), s.estimated_rows, s.execution_error)
+        for s in result.statements
+    ]
+
+
+class TestStructure:
+    def test_step_names_in_paper_order(self, soda):
+        assert soda.pipeline.step_names() == [
+            "lookup", "rank", "tables", "filters", "sqlgen",
+            "finalize", "execute",
+        ]
+
+    def test_context_records_all_timings(self, soda):
+        result = soda.search("customers Zurich")
+        timings = result.timings
+        for step in ["lookup", "rank", "tables", "filters", "sql"]:
+            assert getattr(timings, step) >= 0.0
+        assert timings.soda_total > 0.0
+
+    def test_pipeline_reusable_across_searches(self, soda):
+        first = soda.search("Zurich", execute=False)
+        second = soda.search("Zurich", execute=False)
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+
+class TestHooks:
+    def test_hook_observes_every_step(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        seen = []
+        soda.pipeline.add_hook(lambda ctx, step: seen.append(step.name))
+        soda.search("Zurich", execute=False)
+        assert seen == [
+            "lookup", "rank", "tables", "filters", "sqlgen",
+            "finalize", "execute",
+        ][:len(seen)]
+        assert "lookup" in seen and "sqlgen" in seen
+
+    def test_hook_can_stop_early(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+
+        def stop_after_rank(context, step):
+            return step.name == "rank"
+
+        soda.pipeline.add_hook(stop_after_rank)
+        result = soda.search("Zurich")
+        assert result.statements == []
+        assert result.timings.tables == 0.0
+        soda.pipeline.remove_hook(stop_after_rank)
+        assert soda.search("Zurich").statements
+
+    def test_execute_false_skips_execute_step(self, soda):
+        result = soda.search("Zurich", execute=False)
+        assert result.timings.execute == 0.0
+        assert all(s.snippet is None for s in result.statements)
+
+
+class TestEarlyTermination:
+    def test_max_statements_caps_generation(self, warehouse):
+        unlimited = Soda(warehouse, SodaConfig()).search("Sara", execute=False)
+        assert len(unlimited.statements) > 1
+        capped_soda = Soda(warehouse, SodaConfig(max_statements=1))
+        capped = capped_soda.search("Sara", execute=False)
+        assert len(capped.statements) == 1
+        # the survivor is the top-ranked statement's SQL
+        assert capped.statements[0].sql in unlimited.sql_texts()
+
+    def test_default_is_unlimited(self, warehouse):
+        assert SodaConfig().max_statements is None
+
+
+class TestMemoization:
+    @pytest.fixture
+    def scratch_soda(self):
+        from repro.warehouse.minibank import build_minibank
+
+        return Soda(build_minibank(seed=42, scale=0.1), SodaConfig())
+
+    def test_lookup_term_cache_hits_are_equal(self, soda):
+        first = soda._lookup.alternatives("customers")
+        second = soda._lookup.alternatives("customers")
+        assert first == second
+
+    def test_lookup_cache_invalidated_by_index_write(self, scratch_soda):
+        soda = scratch_soda
+        before = soda._lookup.alternatives("zurich")
+        soda.warehouse.inverted.add("currencies", "currency_nm", "Zurich Franc")
+        after = soda._lookup.alternatives("zurich")
+        assert len(after) == len(before) + 1
+
+    def test_tables_join_plans_accumulate(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        soda.search("customers Zurich", execute=False)
+        stats = soda._tables.cache_stats()
+        assert stats["expansions"] > 0
+        assert stats["join_plans"] > 0
+
+    def test_graph_mutation_drops_tables_memos(self, scratch_soda):
+        soda = scratch_soda
+        soda.search("customers Zurich", execute=False)
+        assert soda._tables.cache_stats()["join_plans"] > 0
+        from repro.graph.node import Text
+
+        soda.warehouse.graph.add(
+            "soda://test/memo", "soda://test/pred", Text("x")
+        )
+        soda.search("customers Zurich", execute=False)
+        # memos were rebuilt under the new graph version
+        assert soda._tables._graph_version == soda.warehouse.graph.version
+
+
+class TestSearchMany:
+    def test_batch_matches_sequential(self, warehouse):
+        texts = ["Zurich", "Sara Guttinger", "customers Zurich", "Zurich"]
+        sequential = Soda(warehouse, SodaConfig())
+        expected = [
+            result_fingerprint(sequential.search(t, execute=False))
+            for t in texts
+        ]
+        batched = Soda(warehouse, SodaConfig())
+        results = batched.search_many(texts, execute=False)
+        assert [result_fingerprint(r) for r in results] == expected
+
+    def test_duplicates_share_one_result_object(self, warehouse):
+        soda = Soda(warehouse, SodaConfig())
+        results = soda.search_many(["Zurich", "Zurich"], execute=False)
+        assert results[0] is results[1]
+
+    def test_batch_dedup_can_be_disabled(self, warehouse):
+        soda = Soda(warehouse, SodaConfig(batch_dedup=False))
+        results = soda.search_many(["Zurich", "Zurich"], execute=False)
+        assert results[0] is not results[1]
+        assert result_fingerprint(results[0]) == result_fingerprint(results[1])
+
+    def test_empty_batch(self, soda):
+        assert soda.search_many([]) == []
+
+
+class TestFeedbackWiring:
+    def test_reassigned_feedback_store_is_used(self, warehouse):
+        """The pipeline reads soda.feedback live, not a captured copy."""
+        from repro.core.feedback import FeedbackStore
+
+        soda = Soda(warehouse, SodaConfig())
+        baseline = soda.search("Sara", execute=False)
+        target = baseline.statements[-1].sql
+        soda.feedback = FeedbackStore()
+        soda.feedback.like(target)
+        boosted = soda.search("Sara", execute=False)
+        base_score = next(
+            s.score for s in baseline.statements if s.sql == target
+        )
+        new_score = next(
+            s.score for s in boosted.statements if s.sql == target
+        )
+        assert new_score > base_score

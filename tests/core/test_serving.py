@@ -1,0 +1,61 @@
+"""SearchSession: stateless serving over one warm Soda engine."""
+
+import pytest
+
+from repro.core.serving import SearchSession
+from repro.core.soda import Soda, SodaConfig
+
+
+class TestSearchSession:
+    def test_search_delegates_to_engine(self, soda):
+        session = SearchSession(soda, execute=False)
+        result = session.search("Zurich")
+        assert result.statements
+        assert all(s.snippet is None for s in result.statements)
+
+    def test_limit_trims_statements(self, soda):
+        session = SearchSession(soda, execute=False, limit=2)
+        result = session.search("Sara")
+        assert len(result.statements) <= 2
+
+    def test_limit_preserves_order_and_metadata(self, soda):
+        full = soda.search("Sara", execute=False)
+        trimmed = SearchSession(soda, execute=False, limit=1).search("Sara")
+        assert trimmed.statements == full.statements[:1]
+        assert trimmed.query.describe() == full.query.describe()
+        assert trimmed.complexity == full.complexity
+
+    def test_sessions_share_the_engine_state(self, soda):
+        a = SearchSession(soda, execute=False)
+        b = SearchSession(soda, execute=False, limit=1)
+        assert a.soda is b.soda
+        assert a.search("Zurich").statements[:1] == b.search("Zurich").statements
+
+    def test_session_is_frozen(self, soda):
+        session = SearchSession(soda)
+        with pytest.raises(Exception):
+            session.execute = False
+
+    def test_search_many_applies_limit(self, soda):
+        session = SearchSession(soda, execute=False, limit=1)
+        results = session.search_many(["Sara", "Sara", "Zurich"])
+        assert len(results) == 3
+        assert all(len(r.statements) <= 1 for r in results)
+        # dedup survives trimming: duplicate inputs share one object
+        assert results[0] is results[1]
+
+    def test_best_sql(self, soda):
+        session = SearchSession(soda)
+        sql = session.best_sql("Zurich")
+        assert sql is not None and sql.startswith("SELECT")
+        assert session.best_sql("zzzkwxq") is None
+
+    def test_explain_passthrough(self, soda):
+        session = SearchSession(soda)
+        sql = session.best_sql("Zurich")
+        assert "scan" in session.explain(sql)
+
+    def test_no_feedback_mutation(self, warehouse):
+        engine = Soda(warehouse, SodaConfig())
+        SearchSession(engine, execute=False).search("Zurich")
+        assert len(engine.feedback) == 0

@@ -102,6 +102,62 @@ class TestPhrase:
         assert index.lookup_phrase("credit zzz") == []
 
 
+class TestPhraseOccurrences:
+    """occurrences = contiguous phrase matches, not per-token minimum."""
+
+    def test_repeated_token_not_overcounted(self):
+        # 'alpha' appears twice but the phrase 'alpha beta' only once:
+        # the per-token minimum would claim a match count driven by the
+        # stray leading 'alpha'
+        index = InvertedIndex()
+        index.add("t", "c", "alpha gamma alpha beta")
+        postings = index.lookup_phrase("alpha beta")
+        assert [p.occurrences for p in postings] == [1]
+
+    def test_phrase_repeated_in_value_counted(self):
+        index = InvertedIndex()
+        index.add("t", "c", "ping pong ping pong")
+        assert index.lookup_phrase("ping pong")[0].occurrences == 2
+
+    def test_row_multiplicity_multiplies(self):
+        index = InvertedIndex()
+        index.add("t", "c", "credit suisse")
+        index.add("t", "c", "credit suisse")
+        assert index.lookup_phrase("credit suisse")[0].occurrences == 2
+
+    def test_overlapping_needle(self):
+        index = InvertedIndex()
+        index.add("t", "c", "la la la")
+        assert index.lookup_phrase("la la")[0].occurrences == 2
+
+
+class TestCaching:
+    def test_lookup_results_stable_after_cache_hit(self, index):
+        first = index.lookup("credit")
+        second = index.lookup("credit")
+        assert first == second
+        assert first is not second  # callers get their own list
+
+    def test_caller_mutation_does_not_poison_cache(self, index):
+        index.lookup("credit").clear()
+        assert len(index.lookup("credit")) == 2
+
+    def test_incremental_add_invalidates_lookup(self, index):
+        assert len(index.lookup("credit")) == 2
+        index.add("orgs", "org_nm", "Credit Nouveau")
+        assert len(index.lookup("credit")) == 3
+
+    def test_incremental_add_invalidates_phrase(self, index):
+        assert len(index.lookup_phrase("credit suisse")) == 1
+        index.add("orgs", "notes", "another credit suisse deal")
+        assert len(index.lookup_phrase("credit suisse")) == 2
+
+    def test_version_property_tracks_mutations(self, index):
+        before = index.version
+        index.add("orgs", "org_nm", "Delta")
+        assert index.version > before
+
+
 class TestStats:
     def test_size_summary(self, index):
         summary = index.size_summary()

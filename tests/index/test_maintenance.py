@@ -1,0 +1,130 @@
+"""Incremental index maintenance: write-through parity with full builds."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.maintenance import InvertedIndexMaintainer, attach_maintainer
+from repro.sqlengine.database import Database
+
+
+def index_state(index: InvertedIndex) -> dict:
+    """Everything observable about an index, for equality assertions."""
+    tokens = sorted(
+        token for token in ["zurich", "basel", "credit", "suisse", "alpha",
+                            "beta", "gamma", "bond", "gold"]
+    )
+    return {
+        "summary": index.size_summary(),
+        "lookups": {token: index.lookup(token) for token in tokens},
+        "phrases": {
+            phrase: index.lookup_phrase(phrase)
+            for phrase in ["credit suisse", "alpha beta", "gold bond"]
+        },
+    }
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE orgs (id INT, org_nm TEXT)")
+    database.execute(
+        "INSERT INTO orgs VALUES (1, 'Credit Suisse'), (2, 'Alpha Beta AG')"
+    )
+    return database
+
+
+class TestWriteThrough:
+    def test_parity_after_mixed_workload(self, db):
+        """Maintained index == from-scratch build after INSERTs + DDL."""
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+
+        # mixed workload: inserts into an existing table, a new table
+        # with inserts, another wave of inserts, and a drop
+        db.execute("INSERT INTO orgs VALUES (3, 'Zurich Kantonalbank')")
+        db.execute("CREATE TABLE notes (id INT, body TEXT, amount REAL)")
+        db.execute(
+            "INSERT INTO notes VALUES (1, 'gold bond', 5.0), "
+            "(2, 'credit line Basel', 1.0)"
+        )
+        db.insert_rows("orgs", [(4, "Gamma Trading"), (5, None)])
+        db.execute("CREATE TABLE scratch (id INT, label TEXT)")
+        db.execute("INSERT INTO scratch VALUES (1, 'ephemeral zurich')")
+        db.catalog.drop_table("scratch")
+
+        rebuilt = InvertedIndex.build(db.catalog)
+        assert index_state(maintained) == index_state(rebuilt)
+
+    def test_null_and_numeric_values_skipped(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("CREATE TABLE nums (id INT, amount REAL)")
+        db.execute("INSERT INTO nums VALUES (1, 7.5)")
+        db.execute("INSERT INTO orgs VALUES (9, NULL)")
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
+    def test_counters_track_applied_deltas(self, db):
+        maintainer = attach_maintainer(db.catalog, InvertedIndex.build(db.catalog))
+        db.execute("CREATE TABLE t (id INT, name TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        db.catalog.drop_table("t")
+        assert maintainer.applied_inserts == 2
+        assert maintainer.applied_ddl == 2  # create + drop
+
+    def test_unregister_stops_maintenance(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        maintainer = attach_maintainer(db.catalog, maintained)
+        db.catalog.unregister_observer(maintainer)
+        db.execute("INSERT INTO orgs VALUES (7, 'Unseen Holdings')")
+        assert not maintained.lookup("unseen")
+
+    def test_version_bumps_on_maintenance(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        before = maintained.version
+        db.execute("INSERT INTO orgs VALUES (8, 'Fresh Value')")
+        assert maintained.version > before
+
+
+class TestRemoveTable:
+    def test_remove_table_drops_all_postings(self, db):
+        index = InvertedIndex.build(db.catalog)
+        index.remove_table("orgs")
+        assert index.entry_count() == 0
+        assert index.lookup("credit") == []
+        assert index.size_summary()["distinct_tokens"] == 0
+
+    def test_remove_missing_table_is_noop(self, db):
+        index = InvertedIndex.build(db.catalog)
+        before = index.size_summary()
+        index.remove_table("missing")
+        assert index.size_summary() == before
+
+
+class TestWarehouseMaintenance:
+    @pytest.fixture
+    def fresh_warehouse(self):
+        from repro.warehouse.minibank import build_minibank
+
+        return build_minibank(seed=42, scale=0.1)
+
+    def test_warehouse_registers_maintainer(self, fresh_warehouse):
+        wh = fresh_warehouse
+        assert wh.maintainer is not None
+        assert wh.maintainer in wh.database.catalog.observers()
+
+    def test_warehouse_index_stays_fresh(self, fresh_warehouse):
+        """INSERT through the warehouse database is immediately findable."""
+        wh = fresh_warehouse
+        assert not wh.inverted.lookup("xyzzyfresh")
+        wh.database.execute(
+            "INSERT INTO currencies VALUES ('XZY', 'Xyzzyfresh Dollar')"
+        )
+        postings = wh.inverted.lookup("xyzzyfresh")
+        assert [p.table for p in postings] == ["currencies"]
+        # and equals a from-scratch build over the grown catalog
+        assert index_state(wh.inverted) == index_state(
+            InvertedIndex.build(wh.database.catalog)
+        )

@@ -1,0 +1,170 @@
+"""Index snapshots: versioning, fingerprint stamping, round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.index.classification import ClassificationIndex, EntrySource
+from repro.index.inverted import InvertedIndex
+from repro.index.snapshot import (
+    SNAPSHOT_VERSION,
+    IndexSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.sqlengine.database import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE orgs (id INT, org_nm TEXT)")
+    database.execute(
+        "INSERT INTO orgs VALUES (1, 'Credit Suisse'), "
+        "(2, 'Credit Suisse'), (3, 'Alpine Gold AG')"
+    )
+    return database
+
+
+@pytest.fixture
+def snapshot(db):
+    classification = ClassificationIndex()
+    classification.add_term("organizations", "soda://x", EntrySource.LOGICAL_SCHEMA)
+    return IndexSnapshot(
+        name="testbank",
+        fingerprint=db.catalog.fingerprint(),
+        inverted=InvertedIndex.build(db.catalog),
+        classifications={(True, False): classification},
+    )
+
+
+class TestRoundTrip:
+    def test_inverted_round_trip_exact(self, snapshot):
+        restored = InvertedIndex.from_dict(snapshot.inverted.to_dict())
+        assert restored.size_summary() == snapshot.inverted.size_summary()
+        assert restored.lookup("credit") == snapshot.inverted.lookup("credit")
+        assert restored.lookup_phrase("credit suisse") == (
+            snapshot.inverted.lookup_phrase("credit suisse")
+        )
+        assert restored.entry_count() == snapshot.inverted.entry_count()
+
+    def test_classification_round_trip_exact(self, snapshot):
+        original = snapshot.classifications[(True, False)]
+        restored = ClassificationIndex.from_dict(original.to_dict())
+        assert restored.terms() == original.terms()
+        assert restored.lookup("organization") == original.lookup("organization")
+        assert restored.max_term_words == original.max_term_words
+
+    def test_file_round_trip(self, snapshot, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.name == "testbank"
+        assert loaded.fingerprint == snapshot.fingerprint
+        assert loaded.inverted.size_summary() == snapshot.inverted.size_summary()
+        assert set(loaded.classifications) == {(True, False)}
+
+    def test_restored_index_accepts_incremental_adds(self, snapshot):
+        restored = InvertedIndex.from_dict(snapshot.inverted.to_dict())
+        restored.add("orgs", "org_nm", "Brand New Credit")
+        values = [p.value for p in restored.lookup("credit")]
+        assert values == ["Brand New Credit", "Credit Suisse"]
+
+
+class TestVerification:
+    def test_verify_accepts_matching_stamp(self, snapshot, db):
+        snapshot.verify("testbank", db.catalog.fingerprint())
+
+    def test_verify_rejects_wrong_name(self, snapshot, db):
+        with pytest.raises(WarehouseError, match="testbank"):
+            snapshot.verify("otherbank", db.catalog.fingerprint())
+
+    def test_verify_rejects_stale_fingerprint(self, snapshot, db):
+        db.execute("INSERT INTO orgs VALUES (4, 'Late Arrival')")
+        with pytest.raises(WarehouseError, match="stale"):
+            snapshot.verify("testbank", db.catalog.fingerprint())
+
+    def test_unsupported_version_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "snap.json"
+        payload = snapshot.to_dict()
+        payload["snapshot_version"] = SNAPSHOT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(WarehouseError, match="version"):
+            load_snapshot(path)
+
+    def test_malformed_payload_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"snapshot_version": SNAPSHOT_VERSION}))
+        with pytest.raises(WarehouseError, match="malformed"):
+            load_snapshot(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WarehouseError, match="cannot read"):
+            load_snapshot(tmp_path / "missing.json")
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("[]")
+        with pytest.raises(WarehouseError, match="malformed"):
+            load_snapshot(path)
+
+    def test_non_dict_snapshot_falls_back_in_build(self, tmp_path):
+        from repro.warehouse.minibank import build_minibank
+
+        path = tmp_path / "snap.json"
+        path.write_text("42")
+        warehouse = build_minibank(seed=42, scale=0.1, snapshot=str(path))
+        assert warehouse.inverted.entry_count() > 0
+
+    def test_structurally_malformed_inner_payload_rejected(
+        self, snapshot, tmp_path
+    ):
+        # 'postings' as a list instead of a dict must not escape as
+        # AttributeError: Warehouse.build relies on WarehouseError to
+        # fall back to a cold build
+        path = tmp_path / "snap.json"
+        payload = snapshot.to_dict()
+        payload["inverted"]["postings"] = []
+        path.write_text(json.dumps(payload))
+        with pytest.raises(WarehouseError, match="malformed"):
+            load_snapshot(path)
+
+
+class TestContentDigest:
+    def test_same_shape_different_data_rejected(self, tmp_path):
+        """Same fingerprint, different seed: the digest must catch it."""
+        from repro.index.snapshot import catalog_digest
+        from repro.warehouse.minibank import build_minibank
+
+        donor = build_minibank(seed=42, scale=0.2)
+        other = build_minibank(seed=5, scale=0.2)
+        assert donor.database.catalog.fingerprint() == (
+            other.database.catalog.fingerprint()
+        )
+        assert catalog_digest(donor.database.catalog) != (
+            catalog_digest(other.database.catalog)
+        )
+        path = tmp_path / "snap.json"
+        donor.save_index_snapshot(path)
+        # strict load refuses
+        with pytest.raises(WarehouseError, match="content digest"):
+            other.load_index_snapshot(path)
+        # soft build falls back to a cold build of ITS OWN data
+        from repro.index.inverted import InvertedIndex
+
+        rebuilt = build_minibank(seed=5, scale=0.2, snapshot=str(path))
+        assert rebuilt.inverted.size_summary() == (
+            InvertedIndex.build(other.database.catalog).size_summary()
+        )
+
+    def test_matching_data_accepted(self, tmp_path):
+        from repro.warehouse.minibank import build_minibank
+
+        donor = build_minibank(seed=42, scale=0.2)
+        path = tmp_path / "snap.json"
+        donor.save_index_snapshot(path)
+        twin = build_minibank(seed=42, scale=0.2)
+        snapshot = twin.load_index_snapshot(path)
+        assert snapshot.content_digest
+        assert twin.inverted is snapshot.inverted

@@ -121,3 +121,118 @@ class TestExplain:
         assert code == 0
         assert "    | " in output
         assert "scan" in output
+
+
+class TestIndexCommand:
+    def test_index_build_reports_timing_and_sizes(self):
+        code, output = run_cli("--scale", "0.25", "index", "build")
+        assert code == 0
+        assert "cold index build:" in output
+        assert "distinct_tokens" in output
+
+    def test_index_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        code, output = run_cli(
+            "--scale", "0.25", "index", "save", "--path", path
+        )
+        assert code == 0
+        assert "saved index snapshot" in output
+        code, output = run_cli(
+            "--scale", "0.25", "index", "load", "--path", path
+        )
+        assert code == 0
+        assert "loaded snapshot" in output
+        assert "classification variant" in output
+
+    def test_index_load_rejects_mismatched_snapshot(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        run_cli("--scale", "0.25", "index", "save", "--path", path)
+        code, output = run_cli(
+            "--scale", "0.1", "index", "load", "--path", path
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_index_stats(self):
+        code, output = run_cli("--scale", "0.25", "index", "stats")
+        assert code == 0
+        assert "classification_terms" in output
+        assert "maintained_inserts" in output
+
+    def test_snapshot_warm_start_search(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        run_cli("--scale", "0.25", "index", "save", "--path", path)
+        cold_code, cold = run_cli(
+            "--scale", "0.25", "search", "Zurich", "--no-execute"
+        )
+        warm_code, warm = run_cli(
+            "--scale", "0.25", "--snapshot", path,
+            "search", "Zurich", "--no-execute",
+        )
+        assert (cold_code, warm_code) == (0, 0)
+        assert warm == cold
+
+
+class TestSearchBatch:
+    def test_batch_file(self, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("Zurich\nSara Guttinger\n\nZurich\n")
+        code, output = run_cli(
+            "--scale", "0.25", "search", "--batch", str(batch), "--no-execute"
+        )
+        assert code == 0
+        assert "3 queries (2 unique)" in output
+        assert output.count("'Zurich'") == 2
+
+    def test_batch_missing_file(self):
+        code, output = run_cli(
+            "--scale", "0.25", "search", "--batch", "/nonexistent/q.txt"
+        )
+        assert code == 1
+        assert "cannot read batch file" in output
+
+    def test_batch_empty_file(self, tmp_path):
+        batch = tmp_path / "empty.txt"
+        batch.write_text("\n\n")
+        code, output = run_cli(
+            "--scale", "0.25", "search", "--batch", str(batch)
+        )
+        assert code == 1
+        assert "no queries" in output
+
+    def test_no_query_and_no_batch(self):
+        code, output = run_cli("--scale", "0.25", "search")
+        assert code == 2
+        assert "provide a query or --batch" in output
+
+    def test_experiments_batch_flag(self):
+        code, output = run_cli("--scale", "0.25", "experiments", "--batch")
+        assert code == 0
+        assert "Table 4" in output
+
+    def test_batch_with_explain(self, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("Zurich\n")
+        code, output = run_cli(
+            "--scale", "0.25", "search", "--batch", str(batch), "--explain"
+        )
+        assert code == 0
+        assert "    | " in output and "scan" in output
+
+    def test_query_and_batch_are_mutually_exclusive(self, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("Zurich\n")
+        code, output = run_cli(
+            "--scale", "0.25", "search", "Zurich", "--batch", str(batch)
+        )
+        assert code == 2
+        assert "not both" in output
+
+    def test_experiments_honors_snapshot(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        run_cli("--scale", "0.25", "index", "save", "--path", path)
+        code, output = run_cli(
+            "--scale", "0.25", "--snapshot", path, "experiments"
+        )
+        assert code == 0
+        assert "Table 4" in output

@@ -1,0 +1,107 @@
+"""Warehouse warm-start: snapshot save/load produces identical search."""
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.errors import WarehouseError
+from repro.warehouse.minibank import build_minibank
+
+QUERIES = ["Zurich", "Sara Guttinger", "customers Zurich", "gold agreement"]
+
+
+def result_fingerprint(result):
+    return [
+        (s.sql, round(s.score, 12), s.estimated_rows)
+        for s in result.statements
+    ]
+
+
+@pytest.fixture(scope="module")
+def cold_warehouse():
+    return build_minibank(seed=42, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(cold_warehouse, tmp_path_factory):
+    path = tmp_path_factory.mktemp("snapshots") / "minibank.json"
+    cold_warehouse.classification_index()  # materialize the default variant
+    cold_warehouse.save_index_snapshot(path)
+    return path
+
+
+class TestWarmStart:
+    def test_search_results_identical(self, cold_warehouse, snapshot_path):
+        warm = build_minibank(seed=42, scale=0.25, snapshot=str(snapshot_path))
+        cold_soda = Soda(cold_warehouse, SodaConfig())
+        warm_soda = Soda(warm, SodaConfig())
+        for text in QUERIES:
+            cold_result = cold_soda.search(text, execute=False)
+            warm_result = warm_soda.search(text, execute=False)
+            assert result_fingerprint(cold_result) == result_fingerprint(
+                warm_result
+            )
+
+    def test_size_summary_round_trips(self, cold_warehouse, snapshot_path):
+        warm = build_minibank(seed=42, scale=0.25, snapshot=str(snapshot_path))
+        assert warm.inverted.size_summary() == (
+            cold_warehouse.inverted.size_summary()
+        )
+
+    def test_stale_snapshot_falls_back_to_cold_build(self, snapshot_path):
+        # a different scale yields a different fingerprint: build() must
+        # silently rebuild rather than serve stale postings
+        warehouse = build_minibank(
+            seed=42, scale=0.1, snapshot=str(snapshot_path)
+        )
+        from repro.index.inverted import InvertedIndex
+
+        rebuilt = InvertedIndex.build(warehouse.database.catalog)
+        assert warehouse.inverted.size_summary() == rebuilt.size_summary()
+
+    def test_missing_snapshot_falls_back(self, tmp_path):
+        warehouse = build_minibank(
+            seed=42, scale=0.1, snapshot=str(tmp_path / "nope.json")
+        )
+        assert warehouse.inverted.entry_count() > 0
+
+    def test_strict_load_rejects_stale(self, snapshot_path):
+        other = build_minibank(seed=42, scale=0.1)
+        with pytest.raises(WarehouseError):
+            other.load_index_snapshot(snapshot_path)
+
+    def test_strict_load_replaces_indexes(self, snapshot_path):
+        warehouse = build_minibank(seed=42, scale=0.25)
+        old_index = warehouse.inverted
+        snapshot = warehouse.load_index_snapshot(snapshot_path)
+        assert warehouse.inverted is snapshot.inverted
+        assert warehouse.inverted is not old_index
+        # maintenance got re-pointed at the loaded index
+        assert warehouse.maintainer.index is warehouse.inverted
+        warehouse.database.execute(
+            "INSERT INTO currencies VALUES ('QQQ', 'Warmstart Quid')"
+        )
+        assert warehouse.inverted.lookup("warmstart")
+
+
+class TestClassificationCache:
+    def test_sodas_share_one_classification_build(self):
+        warehouse = build_minibank(seed=42, scale=0.1)
+        first = Soda(warehouse, SodaConfig())
+        second = Soda(warehouse, SodaConfig())
+        assert first.classification is second.classification
+
+    def test_flag_variants_are_distinct(self):
+        warehouse = build_minibank(seed=42, scale=0.1)
+        default = warehouse.classification_index()
+        no_dbpedia = warehouse.classification_index(include_dbpedia=False)
+        assert default is not no_dbpedia
+        assert default.term_count() >= no_dbpedia.term_count()
+
+    def test_graph_mutation_invalidates(self):
+        warehouse = build_minibank(seed=42, scale=0.1)
+        before = warehouse.classification_index()
+        from repro.graph.node import Text, Vocab
+
+        warehouse.graph.add("soda://test/extra", Vocab.TYPE, Text("x"))
+        after = warehouse.classification_index()
+        assert after is not before
