@@ -4,7 +4,8 @@
 #   make test-fast    unit subset (index/core/sqlengine/graph/warehouse):
 #                     seconds, for tight edit loops
 #   make bench-smoke  quick benchmarks with hard correctness + speedup
-#                     asserts (planner; search serving + warm-start)
+#                     asserts (planner; vectorized engine >=3x + parity,
+#                     emits BENCH_engine.json; search serving + warm-start)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
 #   make check        all of the above
 
@@ -22,6 +23,7 @@ test-fast:
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py \
+		benchmarks/bench_vectorized_engine.py \
 		benchmarks/bench_search_serving.py -q -s
 
 lint:

@@ -1,0 +1,189 @@
+"""Vectorized batch engine vs. the row-at-a-time volcano engine.
+
+Correctness gate first: the full operator matrix must produce
+byte-identical ``ResultSet``s in both execution modes.  Then the
+headline measurement: a 50k-row filter + hash join + group-by
+aggregation workload must run at least **3x faster** vectorized —
+the per-row closure/iterator overhead this PR removes is the dominant
+cost of the row engine.  All measurements are written to
+``BENCH_engine.json`` (workload -> wall-time + speedup) so the perf
+trajectory is tracked across PRs.
+
+Run with::
+
+    pytest benchmarks/bench_vectorized_engine.py -q -s
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sqlengine.database import Database
+from repro.sqlengine.parser import parse_select
+
+FACT_ROWS = 50_000
+DIM_ROWS = 200
+STATUSES = ["NEW", "OPEN", "HELD", "DONE"]
+
+#: the headline workload: filter two columns, hash join the dimension,
+#: aggregate per region with three accumulators, sort the groups
+HEADLINE_SQL = (
+    "SELECT d.region, count(*), sum(f.amount), avg(f.qty) "
+    "FROM facts f, dims d "
+    "WHERE f.dim_id = d.id AND f.status = 'DONE' AND f.amount > 2500 "
+    "GROUP BY d.region ORDER BY sum(f.amount) DESC"
+)
+
+SECONDARY_WORKLOADS = {
+    "filter_scan": (
+        "SELECT f.id, f.amount FROM facts f "
+        "WHERE f.status = 'DONE' AND f.amount > 7500"
+    ),
+    "join_project": (
+        "SELECT f.id, d.name FROM facts f, dims d WHERE f.dim_id = d.id"
+    ),
+    "distinct_sort": (
+        "SELECT DISTINCT f.status, f.qty FROM facts f "
+        "ORDER BY f.status, f.qty LIMIT 100"
+    ),
+}
+
+#: must match in both modes before any timing matters
+OPERATOR_MATRIX = [
+    "SELECT * FROM dims",
+    "SELECT f.id FROM facts f WHERE f.amount BETWEEN 100 AND 200",
+    "SELECT f.id FROM facts f WHERE f.status IN ('DONE', 'HELD') LIMIT 50",
+    "SELECT f.id FROM facts f WHERE f.status LIKE 'D%' LIMIT 50",
+    "SELECT count(*), min(amount), max(amount) FROM facts",
+    "SELECT status, count(*) FROM facts GROUP BY status "
+    "HAVING count(*) > 1 ORDER BY count(*) DESC",
+    "SELECT d.region, f.status, count(*) FROM facts f, dims d "
+    "WHERE f.dim_id = d.id GROUP BY d.region, f.status "
+    "ORDER BY 3 DESC, 1, 2 LIMIT 10",
+    "SELECT d.name, f.amount FROM dims d "
+    "LEFT JOIN facts f ON d.id = f.dim_id AND f.amount > 9900 "
+    "ORDER BY d.name, f.amount LIMIT 40",
+    "SELECT DISTINCT status FROM facts ORDER BY status",
+    "SELECT CASE WHEN amount > 5000 THEN 'hi' ELSE 'lo' END, count(*) "
+    "FROM facts GROUP BY 1 ORDER BY 1",
+    "SELECT id FROM facts WHERE qty IS NULL",
+    "SELECT f.id FROM facts f WHERE f.amount > 9000 "
+    "UNION SELECT d.id FROM dims d WHERE d.id < 5",
+]
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def make_db(mode: str) -> Database:
+    rng = random.Random(7)
+    db = Database(execution_mode=mode)
+    db.create_table(
+        "dims",
+        [("id", "INT"), ("name", "TEXT"), ("region", "TEXT")],
+        primary_key=["id"],
+    )
+    db.create_table(
+        "facts",
+        [("id", "INT"), ("dim_id", "INT"), ("amount", "REAL"),
+         ("status", "TEXT"), ("qty", "INT")],
+        primary_key=["id"],
+    )
+    db.insert_rows(
+        "dims",
+        [(i, f"dim {i}", f"region {i % 10}") for i in range(DIM_ROWS)],
+    )
+    db.insert_rows(
+        "facts",
+        [
+            (
+                i,
+                rng.randrange(DIM_ROWS),
+                float(rng.randrange(1, 10_000)),
+                STATUSES[i % 4],
+                None if i % 97 == 0 else rng.randrange(100),
+            )
+            for i in range(FACT_ROWS)
+        ],
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def row_db():
+    return make_db("row")
+
+
+@pytest.fixture(scope="module")
+def batch_db():
+    return make_db("batch")
+
+
+def _best_time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure(row_db: Database, batch_db: Database, sql: str) -> dict:
+    select = parse_select(sql)
+    row_plan = row_db.planner.prepare(select)
+    batch_plan = batch_db.planner.prepare(select)
+    row_rs = row_plan.execute()
+    batch_rs = batch_plan.execute()
+    assert batch_rs.columns == row_rs.columns
+    assert batch_rs.rows == row_rs.rows
+    row_s = _best_time(row_plan.execute)
+    batch_s = _best_time(batch_plan.execute)
+    return {
+        "row_s": round(row_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(row_s / batch_s, 2),
+    }
+
+
+class TestOperatorMatrixParity:
+    @pytest.mark.parametrize("sql", OPERATOR_MATRIX)
+    def test_byte_identical_result_sets(self, row_db, batch_db, sql):
+        row_rs = row_db.execute(sql)
+        batch_rs = batch_db.execute(sql)
+        assert batch_rs.columns == row_rs.columns
+        assert batch_rs.rows == row_rs.rows
+
+
+class TestVectorizedSpeedup:
+    def test_headline_workload_3x_and_report(self, row_db, batch_db):
+        report = {
+            "fact_rows": FACT_ROWS,
+            "dim_rows": DIM_ROWS,
+            "workloads": {},
+        }
+        headline = _measure(row_db, batch_db, HEADLINE_SQL)
+        report["workloads"]["filter_join_aggregate"] = headline
+        for name, sql in SECONDARY_WORKLOADS.items():
+            report["workloads"][name] = _measure(row_db, batch_db, sql)
+
+        BENCH_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+        print("\nvectorized engine vs row engine "
+              f"({FACT_ROWS} fact rows):")
+        for name, numbers in report["workloads"].items():
+            print(
+                f"  {name:22s} row {numbers['row_s'] * 1e3:7.1f} ms   "
+                f"batch {numbers['batch_s'] * 1e3:7.1f} ms   "
+                f"({numbers['speedup']:.2f}x)"
+            )
+        print(f"  -> {BENCH_OUTPUT.name} written")
+
+        assert headline["speedup"] >= 3.0, (
+            f"filter+join+aggregate must be >= 3x vectorized, got "
+            f"{headline['speedup']}x"
+        )
+        # the secondary workloads must never regress below the row engine
+        for name, numbers in report["workloads"].items():
+            assert numbers["speedup"] > 1.0, (name, numbers)

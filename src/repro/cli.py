@@ -41,6 +41,10 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--snapshot", default=None, metavar="PATH",
                         help="warm-start indexes from this snapshot file "
                              "when it matches the catalog")
+    parser.add_argument("--execution-mode", choices=["batch", "row"],
+                        default=None,
+                        help="SQL engine: vectorized batch operators "
+                             "(default) or row-at-a-time volcano")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -110,7 +114,11 @@ def _build_warehouse(args, **overrides):
         "snapshot": getattr(args, "snapshot", None),
     }
     kwargs.update(overrides)
-    return build_minibank(**kwargs)
+    warehouse = build_minibank(**kwargs)
+    mode = getattr(args, "execution_mode", None)
+    if mode is not None:
+        warehouse.database.set_execution_mode(mode)
+    return warehouse
 
 
 def cmd_search(args, out) -> int:

@@ -49,6 +49,7 @@ class FeedbackStore:
 
     def __init__(self) -> None:
         self._entries: list = []
+        self._version = 0
 
     # ------------------------------------------------------------------
     def like(self, sql: str) -> None:
@@ -56,15 +57,23 @@ class FeedbackStore:
         self._entries.append(
             FeedbackEntry(sql=sql, tables=_tables_of(sql), liked=True)
         )
+        self._version += 1
 
     def dislike(self, sql: str) -> None:
         """Record that the user rejected this statement."""
         self._entries.append(
             FeedbackEntry(sql=sql, tables=_tables_of(sql), liked=False)
         )
+        self._version += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every like/dislike/clear (result-cache token)."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -7,14 +7,26 @@ A session is frozen: it carries only per-caller presentation knobs and
 never mutates the shared engine (relevance feedback in particular stays
 a deliberate, explicit `Soda.feedback` operation), so sessions can be
 created per request, shared, or discarded freely.
+
+Sessions also memoize their own results: repeated query texts are
+served from a per-session LRU keyed by the query text plus an *engine
+token* — the version counters of the inverted index, classification
+index and metadata graph, the catalog fingerprint, and the feedback
+state.  Any write that could change an answer (an INSERT, DDL, a graph
+annotation, new feedback) changes the token and empties the cache, so
+a session can never serve stale results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from repro.core.pipeline import SearchResult
 from repro.core.soda import Soda
+
+#: results memoized per session unless overridden (0 disables caching)
+DEFAULT_RESULT_CACHE_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -30,13 +42,30 @@ class SearchSession:
     execute: bool = True
     #: truncate each result's statement list (None: keep all)
     limit: "int | None" = None
+    #: per-session result memo capacity (0 disables)
+    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
+    #: internal memo state; shared dict so the frozen dataclass can update
+    _cache: dict = field(
+        default_factory=lambda: {
+            "token": None,
+            "entries": OrderedDict(),
+            "hits": 0,
+            "misses": 0,
+        },
+        repr=False,
+        compare=False,
+    )
 
     def search(self, text: str) -> SearchResult:
-        """Run one query through the shared pipeline."""
-        return self._trim(self.soda.search(text, execute=self.execute))
+        """Run one query through the shared pipeline (memoized)."""
+        return self._serve(text)
 
     def search_many(self, texts) -> "list[SearchResult]":
         """Serve a batch (shared caches, deduplicated query texts)."""
+        if self.result_cache_size > 0:
+            # the session memo subsumes batch dedup: duplicate texts get
+            # the same result object, and repeats across batches are free
+            return [self._serve(text) for text in texts]
         results = self.soda.search_many(texts, execute=self.execute)
         if self.limit is None:
             return results
@@ -56,6 +85,51 @@ class SearchSession:
 
     def explain(self, sql: str) -> str:
         return self.soda.explain(sql)
+
+    # ------------------------------------------------------------------
+    # result memoization
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of the per-session result memo."""
+        return {
+            "hits": self._cache["hits"],
+            "misses": self._cache["misses"],
+            "size": len(self._cache["entries"]),
+        }
+
+    def _engine_token(self) -> tuple:
+        """Changes whenever any input to a search result can change."""
+        soda = self.soda
+        warehouse = soda.warehouse
+        return (
+            warehouse.inverted.version,
+            soda.classification.version,
+            warehouse.graph.version,
+            warehouse.database.catalog.fingerprint(),
+            id(soda.feedback),
+            soda.feedback.version,
+        )
+
+    def _serve(self, text: str) -> SearchResult:
+        if self.result_cache_size <= 0:
+            return self._trim(self.soda.search(text, execute=self.execute))
+        cache = self._cache
+        token = self._engine_token()
+        if cache["token"] != token:  # a write happened: drop everything
+            cache["token"] = token
+            cache["entries"].clear()
+        entries: OrderedDict = cache["entries"]
+        hit = entries.get(text)
+        if hit is not None:
+            entries.move_to_end(text)
+            cache["hits"] += 1
+            return hit
+        cache["misses"] += 1
+        result = self._trim(self.soda.search(text, execute=self.execute))
+        entries[text] = result
+        while len(entries) > self.result_cache_size:
+            entries.popitem(last=False)
+        return result
 
     # ------------------------------------------------------------------
     def _trim(self, result: SearchResult) -> SearchResult:

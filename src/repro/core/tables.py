@@ -26,6 +26,7 @@ Faithful to Section 4.2.1 "Application in SODA":
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -410,9 +411,10 @@ class TablesStep:
         for source, target in pairs:
             if source not in graph or target not in graph:
                 continue
-            try:
-                path = nx.shortest_path(graph, source, target, weight=weight_fn)
-            except nx.NetworkXNoPath:
+            path = deterministic_shortest_path(
+                graph, source, target, weight_fn
+            )
+            if path is None:
                 continue
             for u, v in zip(path, path[1:]):
                 key = (min(u, v), max(u, v))
@@ -471,6 +473,42 @@ class TablesStep:
             (set(component) for component in nx.connected_components(graph)),
             key=lambda c: sorted(c)[0],
         )
+
+
+def deterministic_shortest_path(
+    graph: "nx.Graph", source: str, target: str, weight_fn
+) -> "list | None":
+    """Dijkstra with deterministic tie-breaking by node-name sequence.
+
+    ``nx.shortest_path`` breaks equal-weight ties by adjacency iteration
+    order, which inherits the process hash seed through the set-built
+    join graph — so equally-good join paths could differ between runs
+    unless ``PYTHONHASHSEED`` was pinned.  This variant orders the
+    frontier heap by ``(cost, path)``: among equal-cost routes the
+    lexicographically smallest table-name sequence always wins,
+    independent of insertion or iteration order.  Returns the node list
+    (like ``nx.shortest_path``) or ``None`` when *target* is
+    unreachable.
+    """
+    if source == target:
+        return [source]
+    frontier: list = [(0.0, (source,))]
+    settled: set = set()
+    adjacency = graph.adj
+    while frontier:
+        cost, path = heapq.heappop(frontier)
+        node = path[-1]
+        if node == target:
+            return list(path)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor in adjacency[node]:
+            if neighbor in settled:
+                continue
+            step = weight_fn(node, neighbor, graph.edges[node, neighbor])
+            heapq.heappush(frontier, (cost + step, path + (neighbor,)))
+    return None
 
 
 def _make_follow(allowed: frozenset):

@@ -54,10 +54,17 @@ class ForeignKey:
 
 
 class Table:
-    """A named table: column schema plus row storage.
+    """A named table: column schema plus dual row/columnar storage.
 
     Rows are tuples in column order.  Values are validated and coerced on
     insert so that downstream operators can rely on type invariants.
+
+    Storage is kept in two synchronized layouts: ``rows`` (a list of
+    tuples, the view used by the inverted-index maintainer, snapshots and
+    the row-at-a-time operators) and one Python list per column
+    (``column_data``), which the vectorized batch operators slice
+    directly without per-row tuple indexing.  Both are appended by the
+    single insert path, so they can never diverge.
     """
 
     def __init__(
@@ -76,6 +83,8 @@ class Table:
         self.foreign_keys = tuple(foreign_keys)
         self._index_of = {c.name: i for i, c in enumerate(self.columns)}
         self.rows: list[tuple] = []
+        #: columnar storage: one value list per column, in schema order
+        self._column_data: list[list] = [[] for __ in self.columns]
         # shared with the owning catalog (see Catalog.register_observer)
         self._observers: list[CatalogObserver] = []
 
@@ -101,6 +110,15 @@ class Table:
         return [c.name for c in self.columns if c.primary_key]
 
     # ------------------------------------------------------------------
+    def column_data(self, index: int) -> list:
+        """The value list of the column at *index* (live, do not mutate)."""
+        return self._column_data[index]
+
+    def column_values(self, name: str) -> list:
+        """The value list of the named column (live, do not mutate)."""
+        return self._column_data[self.column_index(name)]
+
+    # ------------------------------------------------------------------
     def insert(self, values: Sequence[Any]) -> None:
         """Insert one row given positionally."""
         if len(values) != len(self.columns):
@@ -113,6 +131,8 @@ class Table:
             for value, column in zip(values, self.columns)
         )
         self.rows.append(row)
+        for store, value in zip(self._column_data, row):
+            store.append(value)
         for observer in self._observers:
             observer.on_insert(self, row)
 

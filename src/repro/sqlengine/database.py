@@ -14,7 +14,11 @@ from repro.sqlengine.ast_nodes import CreateTable, Insert, Select, Union
 from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
 from repro.sqlengine.executor import ResultSet, execute_union
 from repro.sqlengine.parser import parse_sql
-from repro.sqlengine.planner import DEFAULT_PLAN_CACHE_SIZE, QueryPlanner
+from repro.sqlengine.planner import (
+    DEFAULT_EXECUTION_MODE,
+    DEFAULT_PLAN_CACHE_SIZE,
+    QueryPlanner,
+)
 from repro.sqlengine.types import SqlType
 
 
@@ -24,7 +28,10 @@ class Database:
     SELECT statements run through a cost-aware :class:`QueryPlanner`
     whose LRU plan cache (``plan_cache_size`` prepared plans, keyed by
     normalized SQL + catalog fingerprint) lets repeated statements skip
-    re-planning entirely.
+    re-planning entirely.  Plans compile to the vectorized batch engine
+    by default; ``execution_mode="row"`` selects the row-at-a-time
+    volcano engine instead (byte-identical results, useful for
+    debugging and as the vectorization benchmark baseline).
 
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
@@ -33,9 +40,26 @@ class Database:
     [('beta',)]
     """
 
-    def __init__(self, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        execution_mode: str = DEFAULT_EXECUTION_MODE,
+    ) -> None:
         self.catalog = Catalog()
-        self.planner = QueryPlanner(self.catalog, cache_size=plan_cache_size)
+        self.planner = QueryPlanner(
+            self.catalog,
+            cache_size=plan_cache_size,
+            execution_mode=execution_mode,
+        )
+
+    @property
+    def execution_mode(self) -> str:
+        """Which engine SELECTs compile to: ``"batch"`` or ``"row"``."""
+        return self.planner.execution_mode
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch engines; cached plans for the old mode are dropped."""
+        self.planner.set_execution_mode(mode)
 
     # ------------------------------------------------------------------
     # SQL entry point
@@ -84,8 +108,8 @@ class Database:
         >>> db = Database()
         >>> _ = db.execute("CREATE TABLE t (id INT)")
         >>> print(db.explain("SELECT * FROM t WHERE id = 1"))
-        project *
-        └─ scan t as t (0 rows) filter: (t.id = 1) [~0 rows]
+        project * [batch]
+        └─ scan t as t (0 rows) filter: (id = 1) [~0 rows] [batch]
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):

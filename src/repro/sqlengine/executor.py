@@ -4,9 +4,10 @@ Historically this module interpreted the ``Select`` AST directly with
 ad-hoc inline planning.  Execution now flows through
 :mod:`repro.sqlengine.planner`: the AST is lowered to a logical plan
 DAG, optimized (constant folding, predicate pushdown, projection
-pruning, statistics-driven join ordering) and compiled into
-volcano-style physical operators.  :class:`~repro.sqlengine.database.
-Database` owns a long-lived :class:`~repro.sqlengine.planner.
+pruning, statistics-driven join ordering) and compiled into physical
+operators — vectorized batch operators by default, or the row-at-a-time
+volcano engine via ``execution_mode="row"``.  :class:`~repro.sqlengine.
+database.Database` owns a long-lived :class:`~repro.sqlengine.planner.
 QueryPlanner` whose LRU plan cache makes repeated statements skip
 re-planning; the module-level functions below create a transient
 planner per call and exist for API compatibility (tests, notebooks).

@@ -425,6 +425,555 @@ def _compile_binary(
     )
 
 
+# ---------------------------------------------------------------------------
+# vectorized (batch) compilation
+# ---------------------------------------------------------------------------
+
+#: a batch expression: ``fn(cols, n) -> list`` where *cols* is a sequence
+#: of aligned per-column value lists (each of length *n*) laid out by the
+#: operator's :class:`Scope`, and the result is one value list of length
+#: *n*.  Returned lists may alias input columns — callers must not mutate
+#: them.
+BatchFn = Callable[[Sequence[list], int], list]
+
+
+def gather_columns(cols: Sequence[list], indices: Sequence[int]) -> list:
+    """Compact every column of a batch down to the selected row indices."""
+    return [[column[i] for i in indices] for column in cols]
+
+
+def compile_expr_batch(
+    expr: Expr,
+    scope: Scope,
+    agg_slots: "dict[FuncCall, int] | None" = None,
+) -> BatchFn:
+    """Compile *expr* into a function evaluating it over a column batch.
+
+    The companion of :func:`compile_expr` for the vectorized engine: the
+    same three-valued logic, ``compare_values`` ordering and error
+    semantics, but one call evaluates a whole batch.  Sub-expressions
+    that row mode would skip via short-circuiting (the right side of
+    AND/OR, CASE branch values, IN list items) are evaluated only over
+    the rows that actually reach them, by compacting the batch through a
+    selection vector first — so data-dependent errors (division by zero,
+    type errors) surface exactly when they would row-at-a-time.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda cols, n: [value] * n
+
+    if isinstance(expr, ColumnRef):
+        index = scope.resolve(expr)
+        return lambda cols, n: cols[index]
+
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            if agg_slots is None or expr not in agg_slots:
+                raise SqlExecutionError(
+                    f"aggregate {expr.to_sql()} used outside aggregation context"
+                )
+            slot = agg_slots[expr]
+            return lambda cols, n: cols[slot]
+        if expr.name not in SCALAR_FUNCTIONS:
+            raise SqlExecutionError(
+                f"unknown function {expr.name!r} in {expr.to_sql()} "
+                f"(available: {', '.join(sorted(SCALAR_FUNCTIONS))})"
+            )
+        fn = SCALAR_FUNCTIONS[expr.name]
+        arg_fns = [
+            compile_expr_batch(arg, scope, agg_slots) for arg in expr.args
+        ]
+        if len(arg_fns) == 1:
+            arg_fn = arg_fns[0]
+            return lambda cols, n: [fn(value) for value in arg_fn(cols, n)]
+
+        def _call(cols: Sequence[list], n: int) -> list:
+            arg_cols = [arg_fn(cols, n) for arg_fn in arg_fns]
+            if not arg_cols:
+                return [fn() for __ in range(n)]
+            return [fn(*args) for args in zip(*arg_cols)]
+
+        return _call
+
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr_batch(expr.operand, scope, agg_slots)
+        if expr.op == "NOT":
+            return lambda cols, n: [
+                None if value is None else not value
+                for value in operand(cols, n)
+            ]
+        if expr.op == "-":
+            rendered = expr.to_sql()
+
+            def _neg_value(value: Any) -> Any:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise SqlTypeError(f"cannot negate {value!r} in {rendered}")
+                return -value
+
+            return lambda cols, n: [
+                None if value is None else _neg_value(value)
+                for value in operand(cols, n)
+            ]
+        raise SqlExecutionError(
+            f"unknown unary operator {expr.op!r} in {expr.to_sql()}"
+        )
+
+    if isinstance(expr, BinaryOp):
+        return _compile_binary_batch(expr, scope, agg_slots)
+
+    if isinstance(expr, Like):
+        operand = compile_expr_batch(expr.operand, scope, agg_slots)
+        negated = expr.negated
+        if isinstance(expr.pattern, Literal):
+            if expr.pattern.value is None:
+                def _null_pattern(cols: Sequence[list], n: int) -> list:
+                    operand(cols, n)  # operand errors must still surface
+                    return [None] * n
+
+                return _null_pattern
+            match = like_to_regex(str(expr.pattern.value)).match
+            if negated:
+                return lambda cols, n: [
+                    None if value is None else match(str(value)) is None
+                    for value in operand(cols, n)
+                ]
+            return lambda cols, n: [
+                None if value is None else match(str(value)) is not None
+                for value in operand(cols, n)
+            ]
+        pattern_fn = compile_expr_batch(expr.pattern, scope, agg_slots)
+
+        def _like(cols: Sequence[list], n: int) -> list:
+            values = operand(cols, n)
+            patterns = pattern_fn(cols, n)
+            out: list = []
+            for value, pattern in zip(values, patterns):
+                if value is None or pattern is None:
+                    out.append(None)
+                    continue
+                matched = (
+                    like_to_regex(str(pattern)).match(str(value)) is not None
+                )
+                out.append((not matched) if negated else matched)
+            return out
+
+        return _like
+
+    if isinstance(expr, InList):
+        return _compile_in_list_batch(expr, scope, agg_slots)
+
+    if isinstance(expr, Between):
+        operand = compile_expr_batch(expr.operand, scope, agg_slots)
+        low_fn = compile_expr_batch(expr.low, scope, agg_slots)
+        high_fn = compile_expr_batch(expr.high, scope, agg_slots)
+        negated = expr.negated
+
+        def _between(cols: Sequence[list], n: int) -> list:
+            values = operand(cols, n)
+            lows = low_fn(cols, n)
+            highs = high_fn(cols, n)
+            out: list = []
+            for value, low, high in zip(values, lows, highs):
+                cmp_low = compare_values(value, low)
+                cmp_high = compare_values(value, high)
+                if cmp_low is None or cmp_high is None:
+                    out.append(None)
+                    continue
+                inside = cmp_low >= 0 and cmp_high <= 0
+                out.append((not inside) if negated else inside)
+            return out
+
+        return _between
+
+    if isinstance(expr, IsNull):
+        operand = compile_expr_batch(expr.operand, scope, agg_slots)
+        if expr.negated:
+            return lambda cols, n: [
+                value is not None for value in operand(cols, n)
+            ]
+        return lambda cols, n: [value is None for value in operand(cols, n)]
+
+    if isinstance(expr, CaseWhen):
+        branch_fns = [
+            (compile_expr_batch(condition, scope, agg_slots),
+             compile_expr_batch(value, scope, agg_slots))
+            for condition, value in expr.branches
+        ]
+        default_fn = (
+            compile_expr_batch(expr.default, scope, agg_slots)
+            if expr.default is not None
+            else None
+        )
+
+        def _case(cols: Sequence[list], n: int) -> list:
+            out: list = [None] * n
+            live = list(range(n))  # absolute row indices still undecided
+            sub_cols: Sequence[list] = cols
+            for condition_fn, value_fn in branch_fns:
+                if not live:
+                    return out
+                conditions = condition_fn(sub_cols, len(live))
+                taken = [j for j, c in enumerate(conditions) if c is True]
+                if not taken:
+                    continue
+                if len(taken) == len(live):
+                    values = value_fn(sub_cols, len(live))
+                    for j, i in enumerate(live):
+                        out[i] = values[j]
+                    return out
+                values = value_fn(gather_columns(sub_cols, taken), len(taken))
+                for j, position in enumerate(taken):
+                    out[live[position]] = values[j]
+                kept = [j for j, c in enumerate(conditions) if c is not True]
+                live = [live[j] for j in kept]
+                sub_cols = gather_columns(sub_cols, kept)
+            if default_fn is not None and live:
+                values = default_fn(sub_cols, len(live))
+                for j, i in enumerate(live):
+                    out[i] = values[j]
+            return out
+
+        return _case
+
+    raise SqlExecutionError(f"cannot compile expression: {expr!r}")
+
+
+#: post-``compare_values`` checks, shared by the generic comparison path
+_COMPARE_CHECKS: dict[str, Callable[[int], bool]] = {
+    "=": lambda r: r == 0,
+    "<>": lambda r: r != 0,
+    "<": lambda r: r < 0,
+    "<=": lambda r: r <= 0,
+    ">": lambda r: r > 0,
+    ">=": lambda r: r >= 0,
+}
+
+
+def _compile_binary_batch(
+    expr: BinaryOp, scope: Scope, agg_slots: "dict[FuncCall, int] | None"
+) -> BatchFn:
+    op = expr.op
+
+    if op == "AND":
+        left = compile_expr_batch(expr.left, scope, agg_slots)
+        right = compile_expr_batch(expr.right, scope, agg_slots)
+
+        def _and(cols: Sequence[list], n: int) -> list:
+            lhs = left(cols, n)
+            live = [i for i, value in enumerate(lhs) if value is not False]
+            if not live:
+                return lhs  # everything False already
+            if len(live) == n:
+                rhs = right(cols, n)
+                return [
+                    False if b is False
+                    else (None if a is None or b is None else True)
+                    for a, b in zip(lhs, rhs)
+                ]
+            # evaluate the right side only where row mode would
+            rhs = right(gather_columns(cols, live), len(live))
+            out: list = [False] * n
+            for j, i in enumerate(live):
+                b = rhs[j]
+                if b is False:
+                    continue
+                out[i] = None if lhs[i] is None or b is None else True
+            return out
+
+        return _and
+
+    if op == "OR":
+        left = compile_expr_batch(expr.left, scope, agg_slots)
+        right = compile_expr_batch(expr.right, scope, agg_slots)
+
+        def _or(cols: Sequence[list], n: int) -> list:
+            lhs = left(cols, n)
+            live = [i for i, value in enumerate(lhs) if value is not True]
+            if not live:
+                return lhs  # everything True already
+            if len(live) == n:
+                rhs = right(cols, n)
+                return [
+                    True if b is True
+                    else (None if a is None or b is None else False)
+                    for a, b in zip(lhs, rhs)
+                ]
+            rhs = right(gather_columns(cols, live), len(live))
+            out: list = [True] * n
+            for j, i in enumerate(live):
+                b = rhs[j]
+                if b is True:
+                    out[i] = True
+                    continue
+                out[i] = None if lhs[i] is None or b is None else False
+            return out
+
+        return _or
+
+    if op in _COMPARE_CHECKS:
+        fast = _compile_compare_fast_path(expr, scope)
+        if fast is not None:
+            return fast
+        left = compile_expr_batch(expr.left, scope, agg_slots)
+        right = compile_expr_batch(expr.right, scope, agg_slots)
+        check = _COMPARE_CHECKS[op]
+
+        def _compare(cols: Sequence[list], n: int) -> list:
+            return [
+                None if (result := compare_values(a, b)) is None
+                else check(result)
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+
+        return _compare
+
+    if op in ("+", "-", "*", "/"):
+        left = compile_expr_batch(expr.left, scope, agg_slots)
+        right = compile_expr_batch(expr.right, scope, agg_slots)
+        rendered = expr.to_sql()
+
+        def _num(value: Any) -> Any:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SqlTypeError(
+                    f"arithmetic on non-number {value!r} in {rendered}"
+                )
+            return value
+
+        if op == "+":
+            return lambda cols, n: [
+                None if a is None or b is None else _num(a) + _num(b)
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+        if op == "-":
+            return lambda cols, n: [
+                None if a is None or b is None else _num(a) - _num(b)
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+        if op == "*":
+            return lambda cols, n: [
+                None if a is None or b is None else _num(a) * _num(b)
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+
+        def _div(a: Any, b: Any) -> Any:
+            a, b = _num(a), _num(b)
+            if b == 0:
+                raise SqlExecutionError(f"division by zero in {rendered}")
+            return a / b
+
+        return lambda cols, n: [
+            None if a is None or b is None else _div(a, b)
+            for a, b in zip(left(cols, n), right(cols, n))
+        ]
+
+    if op == "||":
+        left = compile_expr_batch(expr.left, scope, agg_slots)
+        right = compile_expr_batch(expr.right, scope, agg_slots)
+        return lambda cols, n: [
+            None if a is None or b is None else str(a) + str(b)
+            for a, b in zip(left(cols, n), right(cols, n))
+        ]
+
+    raise SqlExecutionError(
+        f"unknown binary operator {op!r} in {expr.to_sql()}"
+    )
+
+
+def _compile_compare_fast_path(
+    expr: BinaryOp, scope: Scope
+) -> "BatchFn | None":
+    """Specialized ``column <op> literal`` comparisons.
+
+    The hottest predicate shape gets a single list comprehension with no
+    per-row function calls.  Equality is phrased through ``<``/``>`` so
+    the result matches :func:`compare_values` for every input it accepts
+    (including NaN); values the fast type test rejects fall back to
+    ``compare_values``, which raises the identical type errors.
+    """
+    column_side, literal_side, op = expr.left, expr.right, expr.op
+    if isinstance(column_side, Literal) and isinstance(literal_side, ColumnRef):
+        column_side, literal_side = literal_side, column_side
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        op = flip.get(op, op)
+    if not (
+        isinstance(column_side, ColumnRef) and isinstance(literal_side, Literal)
+    ):
+        return None
+    lit = literal_side.value
+    if lit is None:
+        return lambda cols, n: [None] * n
+    if isinstance(lit, bool) or not isinstance(lit, (int, float, str)):
+        return None
+    index = scope.resolve(column_side)
+    check = _COMPARE_CHECKS[op]
+    # exact-type membership is call-free per row; anything else (bool,
+    # date, cross-type) drops to compare_values for identical semantics
+    ok = frozenset((str,)) if isinstance(lit, str) else frozenset((int, float))
+
+    if op == "=":
+        def _eq(cols: Sequence[list], n: int) -> list:
+            return [
+                None if v is None
+                else (not (v < lit or v > lit) if type(v) in ok
+                      else check(compare_values(v, lit)))
+                for v in cols[index]
+            ]
+
+        return _eq
+    if op == "<>":
+        def _ne(cols: Sequence[list], n: int) -> list:
+            return [
+                None if v is None
+                else ((v < lit or v > lit) if type(v) in ok
+                      else check(compare_values(v, lit)))
+                for v in cols[index]
+            ]
+
+        return _ne
+    if op == "<":
+        def _lt(cols: Sequence[list], n: int) -> list:
+            return [
+                None if v is None
+                else (v < lit if type(v) in ok
+                      else check(compare_values(v, lit)))
+                for v in cols[index]
+            ]
+
+        return _lt
+    if op == "<=":
+        def _le(cols: Sequence[list], n: int) -> list:
+            return [
+                None if v is None
+                else (not (v > lit) if type(v) in ok
+                      else check(compare_values(v, lit)))
+                for v in cols[index]
+            ]
+
+        return _le
+    if op == ">":
+        def _gt(cols: Sequence[list], n: int) -> list:
+            return [
+                None if v is None
+                else (v > lit if type(v) in ok
+                      else check(compare_values(v, lit)))
+                for v in cols[index]
+            ]
+
+        return _gt
+
+    def _ge(cols: Sequence[list], n: int) -> list:
+        return [
+            None if v is None
+            else (not (v < lit) if type(v) in ok
+                  else check(compare_values(v, lit)))
+            for v in cols[index]
+        ]
+
+    return _ge
+
+
+def _compile_in_list_batch(
+    expr: InList, scope: Scope, agg_slots: "dict[FuncCall, int] | None"
+) -> BatchFn:
+    operand = compile_expr_batch(expr.operand, scope, agg_slots)
+    negated = expr.negated
+
+    # fast path: a homogeneous list of non-NULL literals becomes one set
+    # membership test per row (falling back where the type test fails so
+    # mixed-type errors still surface via values_equal)
+    literals = [
+        item.value for item in expr.items if isinstance(item, Literal)
+    ]
+    if len(literals) == len(expr.items) and literals:
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in literals
+        )
+        textual = all(type(v) is str for v in literals)
+        if numeric or textual:
+            member_set = set(literals)
+
+            def _in_set(cols: Sequence[list], n: int) -> list:
+                values = operand(cols, n)
+                out: list = []
+                for value in values:
+                    if value is None:
+                        out.append(None)
+                        continue
+                    if numeric:
+                        # NaN must take the values_equal walk below:
+                        # compare_values treats NaN as equal to any
+                        # number, set membership would never match it
+                        ok = type(value) is int or (
+                            type(value) is float and value == value
+                        )
+                    else:
+                        ok = type(value) is str
+                    if ok:
+                        out.append(
+                            (value not in member_set)
+                            if negated
+                            else (value in member_set)
+                        )
+                        continue
+                    # mixed types: mirror the row-mode item walk so the
+                    # same SqlTypeError surfaces from values_equal
+                    hit = False
+                    for item in literals:
+                        if values_equal(value, item):
+                            out.append(not negated)
+                            hit = True
+                            break
+                    if not hit:
+                        out.append(negated)
+                return out
+
+            return _in_set
+
+    item_fns = [
+        compile_expr_batch(item, scope, agg_slots) for item in expr.items
+    ]
+
+    def _in(cols: Sequence[list], n: int) -> list:
+        values = operand(cols, n)
+        out: list = [None] * n  # NULL operands stay NULL
+        live = [i for i, value in enumerate(values) if value is not None]
+        if not live:
+            return out
+        # each item expression is evaluated only over the rows that
+        # actually reach it (no earlier item matched), mirroring row
+        # mode's per-row early exit and its error behavior
+        if len(live) == n:
+            sub_cols: Sequence[list] = cols
+        else:
+            sub_cols = gather_columns(cols, live)
+        live_values = [values[i] for i in live]
+        null_flags = [False] * len(live)
+        for item_fn in item_fns:
+            if not live:
+                break
+            item_col = item_fn(sub_cols, len(live))
+            kept: list = []
+            for position, value in enumerate(live_values):
+                equal = values_equal(value, item_col[position])
+                if equal is None:
+                    null_flags[position] = True
+                elif equal:
+                    out[live[position]] = not negated
+                    continue
+                kept.append(position)
+            if len(kept) != len(live):
+                live = [live[p] for p in kept]
+                live_values = [live_values[p] for p in kept]
+                null_flags = [null_flags[p] for p in kept]
+                sub_cols = gather_columns(sub_cols, kept)
+        for position, i in enumerate(live):
+            out[i] = None if null_flags[position] else negated
+        return out
+
+    return _in
+
+
 def split_conjuncts(expr: Expr | None) -> list[Expr]:
     """Split an expression on top-level ANDs.
 

@@ -8,10 +8,28 @@ from repro.errors import SqlExecutionError, SqlTypeError
 
 
 class Accumulator:
-    """Base class for aggregate accumulators (one instance per group)."""
+    """Base class for aggregate accumulators (one instance per group).
+
+    ``add`` is the row-at-a-time interface; the vectorized engine feeds
+    whole value slices through ``add_many`` / ``add_repeat``, which
+    subclasses override with bulk implementations that produce results
+    identical to the equivalent sequence of ``add`` calls (same
+    accumulation order, same type errors).
+    """
 
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def add_many(self, values) -> None:
+        add = self.add
+        for value in values:
+            add(value)
+
+    def add_repeat(self, count: int) -> None:
+        """``count`` successive ``add(1)`` calls (the ``count(*)`` shape)."""
+        add = self.add
+        for __ in range(count):
+            add(1)
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -34,6 +52,21 @@ class CountAccumulator(Accumulator):
                 return
             self._seen.add(value)
         self._count += 1
+
+    def add_many(self, values) -> None:
+        if self._distinct:
+            super().add_many(values)
+            return
+        if self._count_nulls:
+            self._count += len(values)
+        else:
+            self._count += len(values) - values.count(None)
+
+    def add_repeat(self, count: int) -> None:
+        if self._distinct:
+            super().add_repeat(count)
+            return
+        self._count += count
 
     def result(self) -> int:
         return self._count
@@ -58,6 +91,24 @@ class SumAccumulator(Accumulator):
             self._seen.add(value)
         self._total = value if self._total is None else self._total + value
 
+    def add_many(self, values) -> None:
+        if self._distinct:
+            super().add_many(values)
+            return
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        for value in present:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SqlTypeError(f"sum() expects numbers, got {value!r}")
+        # left-to-right binary adds: identical to sequential add() calls
+        # (the first value seeds the total directly, as add() does — an
+        # integer-0 seed would turn a leading -0.0 into 0.0)
+        if self._total is None:
+            self._total = sum(present[1:], present[0])
+        else:
+            self._total = sum(present, self._total)
+
     def result(self) -> "int | float | None":
         return self._total
 
@@ -81,6 +132,19 @@ class AvgAccumulator(Accumulator):
         self._total += value
         self._count += 1
 
+    def add_many(self, values) -> None:
+        if self._distinct:
+            super().add_many(values)
+            return
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        for value in present:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SqlTypeError(f"avg() expects numbers, got {value!r}")
+        self._total = sum(present, self._total)
+        self._count += len(present)
+
     def result(self) -> float | None:
         if self._count == 0:
             return None
@@ -97,6 +161,14 @@ class MinAccumulator(Accumulator):
         if self._best is None or value < self._best:
             self._best = value
 
+    def add_many(self, values) -> None:
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        candidate = min(present)
+        if self._best is None or candidate < self._best:
+            self._best = candidate
+
     def result(self) -> Any:
         return self._best
 
@@ -110,6 +182,14 @@ class MaxAccumulator(Accumulator):
             return
         if self._best is None or value > self._best:
             self._best = value
+
+    def add_many(self, values) -> None:
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        candidate = max(present)
+        if self._best is None or candidate > self._best:
+            self._best = candidate
 
     def result(self) -> Any:
         return self._best

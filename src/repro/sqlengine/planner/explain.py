@@ -4,7 +4,10 @@ The node phrasing intentionally keeps the pre-planner vocabulary
 (``scan t as t (N rows)``, ``hash join b on (...)``, ``cross join``,
 ``left join``, ``aggregate group by``, ``sort by``, ``limit N``) so the
 output stays grep-friendly, and adds tree structure, cardinality
-estimates (``~N rows``) and pruned column lists.
+estimates (``~N rows``) and pruned column lists.  When an execution
+*mode* is supplied, every operator line is suffixed with the engine it
+runs in (``[batch]`` for the vectorized engine, ``[row]`` for the
+volcano engine).
 """
 
 from __future__ import annotations
@@ -23,15 +26,22 @@ from repro.sqlengine.planner.logical import (
 )
 
 
-def render_plan(root: LogicalNode) -> str:
-    """The whole plan as an indented tree, one node per line."""
+def render_plan(root: LogicalNode, mode: "str | None" = None) -> str:
+    """The whole plan as an indented tree, one node per line.
+
+    *mode* annotates each operator with the execution engine it is
+    compiled for; ``None`` renders the bare logical tree.
+    """
     lines: list = []
-    _render(root, prefix="", connector="", lines=lines)
+    suffix = f" [{mode}]" if mode is not None else ""
+    _render(root, prefix="", connector="", lines=lines, suffix=suffix)
     return "\n".join(lines)
 
 
-def _render(node: LogicalNode, prefix: str, connector: str, lines: list) -> None:
-    lines.append(prefix + connector + describe_node(node))
+def _render(
+    node: LogicalNode, prefix: str, connector: str, lines: list, suffix: str
+) -> None:
+    lines.append(prefix + connector + describe_node(node) + suffix)
     children = node.children()
     if not children:
         return
@@ -43,7 +53,9 @@ def _render(node: LogicalNode, prefix: str, connector: str, lines: list) -> None
         child_prefix = prefix + "   "
     for index, child in enumerate(children):
         last = index == len(children) - 1
-        _render(child, child_prefix, "└─ " if last else "├─ ", lines)
+        _render(
+            child, child_prefix, "└─ " if last else "├─ ", lines, suffix
+        )
 
 
 def describe_node(node: LogicalNode) -> str:

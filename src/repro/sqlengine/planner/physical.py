@@ -1,12 +1,14 @@
-"""Physical operators: an iterator (volcano) execution engine.
+"""Physical operators: volcano (row) and vectorized (batch) engines.
 
 ``build_physical`` compiles an optimized logical plan into a tree of
-operators.  Expression compilation happens once, at build time, so a
-cached :class:`PreparedPlan` can be re-executed without re-planning —
-each ``rows()`` / ``pairs()`` call streams fresh results from the
-underlying tables.
+operators in one of two execution modes.  Expression compilation happens
+once, at build time, so a cached :class:`PreparedPlan` can be
+re-executed without re-planning — each execution streams fresh results
+from the underlying tables.
 
-Two row shapes flow through the tree:
+**Row mode** is the classic volcano engine: every operator is an
+iterator over row tuples, one ``next()`` and a handful of closure calls
+per row.  Two row shapes flow through the tree:
 
 * relational operators (scan/filter/join/aggregate) yield plain row
   tuples laid out by their :class:`~repro.sqlengine.expressions.Scope`;
@@ -14,10 +16,23 @@ Two row shapes flow through the tree:
   ``(out_row, pre_row)`` pairs, keeping the pre-projection row around so
   ORDER BY can sort on expressions that were never projected.
 
-All pre-planner semantics are preserved: three-valued predicate logic,
-hash joins skipping NULL keys, LEFT JOIN null padding, the
-representative-row leniency for non-aggregated GROUP BY expressions,
-ORDER BY aliases/positions, and NULLs-first mixed-type ordering.
+**Batch mode** is the vectorized engine: operators exchange *column
+batches* — ``(cols, n)`` where ``cols`` is one Python list per scope
+column, all of length ``n`` (at most :data:`BATCH_SIZE` rows out of a
+scan).  Scans slice the table's columnar storage directly, filters turn
+whole-batch predicate evaluation into selection vectors, hash joins
+build and probe from column slices, and aggregation feeds grouped
+accumulators from per-batch argument columns.  Expressions are compiled
+by :func:`~repro.sqlengine.expressions.compile_expr_batch`, which
+preserves row-mode semantics exactly (three-valued logic,
+``compare_values`` ordering, short-circuit error behavior), so the two
+modes produce byte-identical :class:`ResultSet`\\ s.
+
+All pre-planner semantics are preserved in both modes: three-valued
+predicate logic, hash joins skipping NULL keys, LEFT JOIN null padding,
+the representative-row leniency for non-aggregated GROUP BY
+expressions, ORDER BY aliases/positions, and NULLs-first mixed-type
+ordering.
 """
 
 from __future__ import annotations
@@ -25,9 +40,14 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.errors import SqlCatalogError, SqlExecutionError
-from repro.sqlengine.ast_nodes import ColumnRef, Literal, OrderItem
+from repro.sqlengine.ast_nodes import ColumnRef, Literal
 from repro.sqlengine.catalog import Catalog
-from repro.sqlengine.expressions import Scope, compile_expr
+from repro.sqlengine.expressions import (
+    Scope,
+    compile_expr,
+    compile_expr_batch,
+    gather_columns,
+)
 from repro.sqlengine.functions import make_accumulator
 from repro.sqlengine.planner.logical import (
     LogicalAggregate,
@@ -42,6 +62,12 @@ from repro.sqlengine.planner.logical import (
     LogicalSort,
 )
 from repro.sqlengine.results import ResultSet
+
+#: rows per column batch flowing through the vectorized operators
+BATCH_SIZE = 1024
+
+#: the execution modes ``build_physical`` understands
+EXECUTION_MODES = ("row", "batch")
 
 
 class PhysicalOperator:
@@ -249,12 +275,76 @@ class AggregateOp(PhysicalOperator):
                 yield extended
 
 
-class ProjectOp:
-    """Evaluate the select list; yields ``(out_row, pre_row)`` pairs.
+def _project_targets(node: LogicalProject, scope: Scope) -> tuple:
+    """Resolve the select list against *scope*.
 
-    Star items expand in *canonical* (FROM-clause) column order, so the
+    Returns ``(columns, targets)`` where each target is either a scope
+    index (star expansion / plain pickers) or the item's ``Expr``.  Star
+    items expand in *canonical* (FROM-clause) column order, so the
     visible column order never depends on the optimizer's join order.
     """
+    bindings = {b for b, __ in scope.pairs if b is not None}
+    multi_table = len(bindings) > 1
+    columns: list = []
+    targets: list = []
+    for item in node.items:
+        if item.is_star:
+            matched_any = False
+            for binding, column in node.canonical_pairs:
+                if item.star_table is not None and binding != item.star_table:
+                    continue
+                index = scope.try_resolve(ColumnRef(binding, column))
+                if index is None:
+                    continue  # pruned away (only possible without '*')
+                matched_any = True
+                if item.star_table is None and multi_table:
+                    columns.append(f"{binding}.{column}")
+                else:
+                    columns.append(column)
+                targets.append(index)
+            if item.star_table is not None and not matched_any:
+                raise SqlCatalogError(
+                    f"unknown table in star: {item.star_table!r}"
+                )
+            continue
+        assert item.expr is not None
+        columns.append(item.alias or item.expr.to_sql())
+        targets.append(item.expr)
+    return columns, targets
+
+
+def _sort_targets(node: LogicalSort, columns: list) -> list:
+    """Resolve ORDER BY items to ``(out_position, expr, descending)``.
+
+    Exactly one of ``out_position`` / ``expr`` is set per item: integer
+    positions and select-list aliases sort on the projected value,
+    anything else sorts on an expression over the pre-projection row.
+    """
+    specs: list = []
+    for item in node.order_by:
+        expr = item.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < len(columns):
+                raise SqlExecutionError(
+                    f"ORDER BY position out of range: {expr.value} "
+                    f"(select list has {len(columns)} columns)"
+                )
+            specs.append((position, None, item.descending))
+            continue
+        if (
+            isinstance(expr, ColumnRef)
+            and expr.table is None
+            and expr.column in columns
+        ):
+            specs.append((columns.index(expr.column), None, item.descending))
+            continue
+        specs.append((None, expr, item.descending))
+    return specs
+
+
+class ProjectOp:
+    """Evaluate the select list; yields ``(out_row, pre_row)`` pairs."""
 
     def __init__(
         self,
@@ -265,34 +355,13 @@ class ProjectOp:
         self._child = child
         self.scope = child.scope
         self.agg_slots = agg_slots or {}
-        scope = child.scope
-        bindings = {b for b, __ in scope.pairs if b is not None}
-        multi_table = len(bindings) > 1
-        self.columns: list = []
-        self._fns: list = []
-        for item in node.items:
-            if item.is_star:
-                matched_any = False
-                for binding, column in node.canonical_pairs:
-                    if item.star_table is not None and binding != item.star_table:
-                        continue
-                    index = scope.try_resolve(ColumnRef(binding, column))
-                    if index is None:
-                        continue  # pruned away (only possible without '*')
-                    matched_any = True
-                    if item.star_table is None and multi_table:
-                        self.columns.append(f"{binding}.{column}")
-                    else:
-                        self.columns.append(column)
-                    self._fns.append(_make_picker(index))
-                if item.star_table is not None and not matched_any:
-                    raise SqlCatalogError(
-                        f"unknown table in star: {item.star_table!r}"
-                    )
-                continue
-            assert item.expr is not None
-            self.columns.append(item.alias or item.expr.to_sql())
-            self._fns.append(compile_expr(item.expr, scope, self.agg_slots))
+        self.columns, targets = _project_targets(node, child.scope)
+        self._fns: list = [
+            _make_picker(target)
+            if isinstance(target, int)
+            else compile_expr(target, child.scope, self.agg_slots)
+            for target in targets
+        ]
 
     def pairs(self) -> Iterator[tuple]:
         fns = self._fns
@@ -327,27 +396,12 @@ class SortOp:
         self.scope = child.scope
         self.agg_slots = child.agg_slots
         self._key_fns: list = []
-        for item in node.order_by:
-            expr = item.expr
-            if isinstance(expr, Literal) and isinstance(expr.value, int):
-                position = expr.value - 1
-                if not 0 <= position < len(self.columns):
-                    raise SqlExecutionError(
-                        f"ORDER BY position out of range: {expr.value} "
-                        f"(select list has {len(self.columns)} columns)"
-                    )
-                self._key_fns.append((_make_out_picker(position), item.descending))
-                continue
-            if (
-                isinstance(expr, ColumnRef)
-                and expr.table is None
-                and expr.column in self.columns
-            ):
-                position = self.columns.index(expr.column)
-                self._key_fns.append((_make_out_picker(position), item.descending))
-                continue
-            fn = compile_expr(expr, self.scope, self.agg_slots)
-            self._key_fns.append((_make_pre_picker(fn), item.descending))
+        for position, expr, descending in _sort_targets(node, self.columns):
+            if position is not None:
+                self._key_fns.append((_make_out_picker(position), descending))
+            else:
+                fn = compile_expr(expr, self.scope, self.agg_slots)
+                self._key_fns.append((_make_pre_picker(fn), descending))
 
     def pairs(self) -> Iterator[tuple]:
         items = list(self._child.pairs())
@@ -402,6 +456,537 @@ def sort_key(value: Any) -> tuple:
 
 
 # ---------------------------------------------------------------------------
+# vectorized (batch) operators
+# ---------------------------------------------------------------------------
+
+
+class BatchOperator:
+    """Base class: a re-runnable stream of ``(cols, n)`` column batches."""
+
+    scope: Scope
+
+    def batches(self) -> Iterator[tuple]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+def _materialize_batches(operator: BatchOperator) -> tuple:
+    """Concatenate an operator's batches into full columns; ``(cols, n)``."""
+    cols: list = [[] for __ in range(len(operator.scope))]
+    total = 0
+    for batch_cols, n in operator.batches():
+        total += n
+        for accumulated, column in zip(cols, batch_cols):
+            accumulated.extend(column)
+    return cols, total
+
+
+def _apply_predicates(fns: list, cols: list, n: int) -> tuple:
+    """Run predicate batch-fns in order, compacting between them.
+
+    Returns the surviving ``(cols, n)``; predicates after the first are
+    only evaluated over rows that passed the earlier ones, exactly like
+    the row engine's per-row short-circuit.
+    """
+    for fn in fns:
+        if n == 0:
+            break
+        mask = fn(cols, n)
+        selected = [i for i, value in enumerate(mask) if value is True]
+        if len(selected) == n:
+            continue
+        if not selected:
+            return cols, 0
+        cols = gather_columns(cols, selected)
+        n = len(selected)
+    return cols, n
+
+
+class BatchScanOp(BatchOperator):
+    """Slice the table's columnar storage into batches; filter and prune."""
+
+    def __init__(self, catalog: Catalog, node: LogicalScan) -> None:
+        self._table = catalog.table(node.table)
+        full_scope = Scope(
+            [(node.binding, name) for name in self._table.column_names()]
+        )
+        self._predicate_fns = [
+            compile_expr_batch(predicate, full_scope)
+            for predicate in node.predicates
+        ]
+        if node.columns is None:
+            self._indexes = None
+            self.scope = full_scope
+        else:
+            self._indexes = [
+                self._table.column_index(name) for name in node.columns
+            ]
+            self.scope = Scope([(node.binding, name) for name in node.columns])
+
+    def batches(self) -> Iterator[tuple]:
+        table = self._table
+        total = len(table.rows)
+        width = len(table.columns)
+        data = [table.column_data(i) for i in range(width)]
+        indexes = self._indexes
+        predicate_fns = self._predicate_fns
+        if not predicate_fns:
+            # nothing evaluates against the full layout: slice only the
+            # columns the scan actually emits
+            if indexes is not None:
+                data = [data[i] for i in indexes]
+            for start in range(0, total, BATCH_SIZE):
+                stop = min(start + BATCH_SIZE, total)
+                yield [column[start:stop] for column in data], stop - start
+            return
+        for start in range(0, total, BATCH_SIZE):
+            stop = min(start + BATCH_SIZE, total)
+            cols = [column[start:stop] for column in data]
+            n = stop - start
+            cols, n = _apply_predicates(predicate_fns, cols, n)
+            if n == 0:
+                continue
+            if indexes is not None:
+                cols = [cols[i] for i in indexes]
+            yield cols, n
+
+
+class BatchFilterOp(BatchOperator):
+    def __init__(self, child: BatchOperator, predicates) -> None:
+        self._child = child
+        self.scope = child.scope
+        self._fns = [compile_expr_batch(p, self.scope) for p in predicates]
+
+    def batches(self) -> Iterator[tuple]:
+        fns = self._fns
+        for cols, n in self._child.batches():
+            cols, n = _apply_predicates(fns, cols, n)
+            if n:
+                yield cols, n
+
+
+class BatchHashJoinOp(BatchOperator):
+    """Hash join building and probing from column slices.
+
+    The build (right) side is materialized into full columns once; the
+    hash table maps key -> row indices into those columns.  Probe output
+    is assembled by gathering both sides through selection vectors, so
+    no per-row tuples are built below the presentation operators.
+    """
+
+    def __init__(
+        self, left: BatchOperator, right: BatchOperator, equi
+    ) -> None:
+        self._left = left
+        self._right = right
+        self.scope = left.scope.concat(right.scope)
+        self._left_indexes: list = []
+        self._right_indexes: list = []
+        for predicate in equi:
+            if left.scope.try_resolve(predicate.left) is not None:
+                self._left_indexes.append(left.scope.resolve(predicate.left))
+                self._right_indexes.append(right.scope.resolve(predicate.right))
+            else:
+                self._left_indexes.append(left.scope.resolve(predicate.right))
+                self._right_indexes.append(right.scope.resolve(predicate.left))
+
+    def batches(self) -> Iterator[tuple]:
+        if not self._left_indexes:
+            yield from self._cross_batches()
+            return
+        right_cols, right_n = _materialize_batches(self._right)
+        table: dict = {}
+        right_indexes = self._right_indexes
+        if len(right_indexes) == 1:
+            key_column = right_cols[right_indexes[0]]
+            for i in range(right_n):
+                key = key_column[i]
+                if key is None:
+                    continue
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = bucket = []
+                bucket.append(i)
+        else:
+            key_columns = [right_cols[i] for i in right_indexes]
+            for i, key in enumerate(zip(*key_columns)):
+                if any(value is None for value in key):
+                    continue
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = bucket = []
+                bucket.append(i)
+
+        left_indexes = self._left_indexes
+        single = len(left_indexes) == 1
+        get = table.get
+        for cols, n in self._left.batches():
+            left_sel: list = []
+            right_sel: list = []
+            extend_left = left_sel.extend
+            append_left = left_sel.append
+            extend_right = right_sel.extend
+            append_right = right_sel.append
+            if single:
+                key_column = cols[left_indexes[0]]
+                for i in range(n):
+                    key = key_column[i]
+                    if key is None:
+                        continue
+                    bucket = get(key)
+                    if not bucket:
+                        continue
+                    if len(bucket) == 1:
+                        append_left(i)
+                        append_right(bucket[0])
+                    else:
+                        extend_left([i] * len(bucket))
+                        extend_right(bucket)
+            else:
+                key_columns = [cols[i] for i in left_indexes]
+                for i, key in enumerate(zip(*key_columns)):
+                    if any(value is None for value in key):
+                        continue
+                    bucket = get(key)
+                    if not bucket:
+                        continue
+                    if len(bucket) == 1:
+                        append_left(i)
+                        append_right(bucket[0])
+                    else:
+                        extend_left([i] * len(bucket))
+                        extend_right(bucket)
+            if not left_sel:
+                continue
+            out = [[column[i] for i in left_sel] for column in cols]
+            out.extend(
+                [column[j] for j in right_sel] for column in right_cols
+            )
+            yield out, len(left_sel)
+
+    def _cross_batches(self) -> Iterator[tuple]:
+        right_cols, right_n = _materialize_batches(self._right)
+        if right_n == 0:
+            return
+        for cols, n in self._left.batches():
+            for i in range(n):
+                out = [[column[i]] * right_n for column in cols]
+                out.extend(right_cols)
+                yield out, right_n
+
+
+class BatchLeftJoinOp(BatchOperator):
+    """LEFT OUTER join: per-left-row vectorized condition, NULL padding."""
+
+    def __init__(
+        self, left: BatchOperator, right: BatchOperator, condition
+    ) -> None:
+        self._left = left
+        self._right = right
+        self.scope = left.scope.concat(right.scope)
+        self._condition_fn = compile_expr_batch(condition, self.scope)
+
+    def batches(self) -> Iterator[tuple]:
+        right_cols, right_n = _materialize_batches(self._right)
+        condition_fn = self._condition_fn
+        for cols, n in self._left.batches():
+            left_sel: list = []
+            right_sel: list = []  # right row index, or None for padding
+            for i in range(n):
+                matches: list = []
+                if right_n:
+                    combined = [[column[i]] * right_n for column in cols]
+                    combined.extend(right_cols)
+                    mask = condition_fn(combined, right_n)
+                    matches = [j for j, v in enumerate(mask) if v is True]
+                if matches:
+                    left_sel.extend([i] * len(matches))
+                    right_sel.extend(matches)
+                else:
+                    left_sel.append(i)
+                    right_sel.append(None)
+            out = [[column[i] for i in left_sel] for column in cols]
+            out.extend(
+                [None if j is None else column[j] for j in right_sel]
+                for column in right_cols
+            )
+            yield out, len(left_sel)
+
+
+class BatchAggregateOp(BatchOperator):
+    """GROUP BY over batches: grouped hash table + accumulators.
+
+    Group keys and aggregate arguments are evaluated once per batch as
+    whole columns; the per-row work is one dict probe and the
+    accumulator updates.  Output follows row mode exactly: the
+    representative (first) row of each group extended with the
+    aggregate results, groups in first-occurrence order, HAVING applied
+    over the extended batch.
+    """
+
+    def __init__(self, child: BatchOperator, node: LogicalAggregate) -> None:
+        self._child = child
+        self._node = node
+        scope = child.scope
+        self._group_fns = [
+            compile_expr_batch(expr, scope) for expr in node.group_by
+        ]
+        self._arg_fns: list = []
+        for call in node.agg_calls:
+            if call.star:
+                self._arg_fns.append(None)
+            else:
+                if len(call.args) != 1:
+                    raise SqlExecutionError(
+                        f"aggregate {call.to_sql()} takes exactly one argument"
+                    )
+                self._arg_fns.append(compile_expr_batch(call.args[0], scope))
+        self.agg_slots = {
+            call: len(scope) + i for i, call in enumerate(node.agg_calls)
+        }
+        self.scope = Scope(
+            scope.pairs
+            + [(None, f"__agg_{i}") for i in range(len(node.agg_calls))]
+        )
+        self._having_fn = (
+            compile_expr_batch(node.having, self.scope, self.agg_slots)
+            if node.having is not None
+            else None
+        )
+
+    def batches(self) -> Iterator[tuple]:
+        node = self._node
+        groups: dict = {}
+        group_order: list = []
+        calls = node.agg_calls
+        arg_fns = self._arg_fns
+        group_fns = self._group_fns
+        for cols, n in self._child.batches():
+            key_cols = [fn(cols, n) for fn in group_fns]
+            arg_cols = [
+                None if fn is None else fn(cols, n) for fn in arg_fns
+            ]
+            if len(key_cols) == 1:
+                keys = key_cols[0]
+            elif key_cols:
+                keys = list(zip(*key_cols))
+            else:
+                keys = None  # no GROUP BY: a single global group
+
+            # bucket this batch's row indices per group (one dict probe
+            # and one C-level append per row) ...
+            touched: dict = {}
+            get = touched.get
+            if keys is None:
+                if () not in groups:
+                    groups[()] = (
+                        tuple(column[0] for column in cols) if n else (),
+                        [
+                            make_accumulator(
+                                call.name, call.star, call.distinct
+                            )
+                            for call in calls
+                        ],
+                    )
+                    group_order.append(())
+                touched[()] = list(range(n))
+            else:
+                for i in range(n):
+                    key = keys[i]
+                    bucket = get(key)
+                    if bucket is None:
+                        touched[key] = bucket = []
+                        if key not in groups:
+                            groups[key] = (
+                                tuple(column[i] for column in cols),
+                                [
+                                    make_accumulator(
+                                        call.name, call.star, call.distinct
+                                    )
+                                    for call in calls
+                                ],
+                            )
+                            group_order.append(key)
+                    bucket.append(i)
+
+            # ... then feed each accumulator a whole value slice
+            for key, indices in touched.items():
+                accumulators = groups[key][1]
+                count = len(indices)
+                whole = count == n
+                for arg_col, accumulator in zip(arg_cols, accumulators):
+                    if arg_col is None:
+                        accumulator.add_repeat(count)
+                    elif whole:
+                        accumulator.add_many(arg_col)
+                    else:
+                        accumulator.add_many([arg_col[i] for i in indices])
+
+        # aggregate query over empty input and no GROUP BY -> one empty group
+        if not groups and not node.group_by:
+            accumulators = [
+                make_accumulator(call.name, call.star, call.distinct)
+                for call in calls
+            ]
+            null_row = (None,) * len(self._child.scope)
+            groups[()] = (null_row, accumulators)
+            group_order.append(())
+
+        extended_rows = [
+            groups[key][0]
+            + tuple(accumulator.result() for accumulator in groups[key][1])
+            for key in group_order
+        ]
+        n = len(extended_rows)
+        if n == 0:
+            return
+        out_cols = [list(column) for column in zip(*extended_rows)]
+        if self._having_fn is not None:
+            mask = self._having_fn(out_cols, n)
+            selected = [i for i, value in enumerate(mask) if value is True]
+            if len(selected) != n:
+                out_cols = gather_columns(out_cols, selected)
+                n = len(selected)
+        if n:
+            yield out_cols, n
+
+
+class BatchProjectOp:
+    """Evaluate the select list over batches.
+
+    Yields ``(out_cols, pre_cols, n)`` triples — the projected columns
+    plus the pre-projection batch, the columnar analogue of row mode's
+    ``(out_row, pre_row)`` pairs.
+    """
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        node: LogicalProject,
+        agg_slots: "dict | None",
+    ) -> None:
+        self._child = child
+        self.scope = child.scope
+        self.agg_slots = agg_slots or {}
+        self.columns, targets = _project_targets(node, child.scope)
+        self._fns: list = [
+            _make_batch_picker(target)
+            if isinstance(target, int)
+            else compile_expr_batch(target, child.scope, self.agg_slots)
+            for target in targets
+        ]
+
+    def pres_batches(self) -> Iterator[tuple]:
+        fns = self._fns
+        for cols, n in self._child.batches():
+            yield [fn(cols, n) for fn in fns], cols, n
+
+
+class BatchDistinctOp:
+    """Deduplicate projected rows across batches, keeping first occurrences."""
+
+    def __init__(self, child) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+
+    def pres_batches(self) -> Iterator[tuple]:
+        seen: set = set()
+        add = seen.add
+        for out_cols, pre_cols, n in self._child.pres_batches():
+            kept: list = []
+            keep = kept.append
+            for i, row in enumerate(zip(*out_cols)):
+                if row in seen:
+                    continue
+                add(row)
+                keep(i)
+            if not kept:
+                continue
+            if len(kept) == n:
+                yield out_cols, pre_cols, n
+            else:
+                yield (
+                    gather_columns(out_cols, kept),
+                    gather_columns(pre_cols, kept),
+                    len(kept),
+                )
+
+
+class BatchSortOp:
+    """Stable multi-key sort: materialize, argsort indices, gather."""
+
+    def __init__(self, child, node: LogicalSort) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._key_specs: list = []
+        for position, expr, descending in _sort_targets(node, self.columns):
+            if position is not None:
+                self._key_specs.append((position, None, descending))
+            else:
+                fn = compile_expr_batch(expr, self.scope, self.agg_slots)
+                self._key_specs.append((None, fn, descending))
+
+    def pres_batches(self) -> Iterator[tuple]:
+        out_cols: list = [[] for __ in range(len(self.columns))]
+        pre_cols: list = [[] for __ in range(len(self.scope))]
+        total = 0
+        for batch_out, batch_pre, n in self._child.pres_batches():
+            total += n
+            for accumulated, column in zip(out_cols, batch_out):
+                accumulated.extend(column)
+            for accumulated, column in zip(pre_cols, batch_pre):
+                accumulated.extend(column)
+        if total == 0:
+            return
+        indices = list(range(total))
+        # stable multi-pass argsort, last key first (same as row mode)
+        for position, key_fn, descending in reversed(self._key_specs):
+            key_column = (
+                out_cols[position]
+                if position is not None
+                else key_fn(pre_cols, total)
+            )
+            decorated = [sort_key(value) for value in key_column]
+            indices.sort(key=decorated.__getitem__, reverse=descending)
+        yield (
+            gather_columns(out_cols, indices),
+            gather_columns(pre_cols, indices),
+            total,
+        )
+
+
+class BatchLimitOp:
+    def __init__(self, child, limit: int) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._limit = limit
+
+    def pres_batches(self) -> Iterator[tuple]:
+        remaining = self._limit
+        if remaining <= 0:
+            return
+        for out_cols, pre_cols, n in self._child.pres_batches():
+            if n >= remaining:
+                yield (
+                    [column[:remaining] for column in out_cols],
+                    [column[:remaining] for column in pre_cols],
+                    remaining,
+                )
+                return
+            yield out_cols, pre_cols, n
+            remaining -= n
+
+
+def _make_batch_picker(index: int):
+    return lambda cols, n: cols[index]
+
+
+# ---------------------------------------------------------------------------
 # building
 # ---------------------------------------------------------------------------
 
@@ -409,23 +994,45 @@ def sort_key(value: Any) -> tuple:
 class PreparedPlan:
     """A compiled, re-executable plan (what the plan cache stores)."""
 
-    def __init__(self, root, logical: LogicalNode, columns: list) -> None:
+    def __init__(
+        self, root, logical: LogicalNode, columns: list, mode: str = "row"
+    ) -> None:
         self._root = root
         self.logical = logical
         self.columns = columns
+        self.mode = mode
 
     def execute(self) -> ResultSet:
+        if self.mode == "batch":
+            rows: list = []
+            extend = rows.extend
+            for out_cols, __, n in self._root.pres_batches():
+                if out_cols:
+                    extend(zip(*out_cols))
+                else:  # pragma: no cover - select lists are never empty
+                    extend(() for __ in range(n))
+            return ResultSet(columns=list(self.columns), rows=rows)
         return ResultSet(
             columns=list(self.columns),
             rows=[out_row for out_row, __ in self._root.pairs()],
         )
 
 
-def build_physical(root: LogicalNode, catalog: Catalog) -> PreparedPlan:
-    """Compile a logical plan into a :class:`PreparedPlan`."""
-    operator = _build_presentation(root, catalog)
+def build_physical(
+    root: LogicalNode, catalog: Catalog, mode: str = "row"
+) -> PreparedPlan:
+    """Compile a logical plan into a :class:`PreparedPlan` for *mode*."""
+    if mode not in EXECUTION_MODES:
+        raise SqlExecutionError(
+            f"unknown execution mode {mode!r} (choose from "
+            f"{', '.join(EXECUTION_MODES)})"
+        )
+    if mode == "batch":
+        operator = _build_presentation_batch(root, catalog)
+    else:
+        operator = _build_presentation(root, catalog)
     return PreparedPlan(
-        root=operator, logical=root, columns=list(operator.columns)
+        root=operator, logical=root, columns=list(operator.columns), mode=mode
     )
 
 
@@ -463,6 +1070,48 @@ def _build_relational(node: LogicalNode, catalog: Catalog):
     if isinstance(node, LogicalAggregate):
         child, __ = _build_relational(node.child, catalog)
         operator = AggregateOp(child, node)
+        return operator, operator.agg_slots
+    raise SqlExecutionError(
+        f"malformed plan: unexpected relational node {type(node).__name__}"
+    )
+
+
+def _build_presentation_batch(node: LogicalNode, catalog: Catalog):
+    """Build the batch presentation tree (project and above)."""
+    if isinstance(node, LogicalLimit):
+        return BatchLimitOp(
+            _build_presentation_batch(node.child, catalog), node.limit
+        )
+    if isinstance(node, LogicalSort):
+        return BatchSortOp(_build_presentation_batch(node.child, catalog), node)
+    if isinstance(node, LogicalDistinct):
+        return BatchDistinctOp(_build_presentation_batch(node.child, catalog))
+    if isinstance(node, LogicalProject):
+        child, agg_slots = _build_relational_batch(node.child, catalog)
+        return BatchProjectOp(child, node, agg_slots)
+    raise SqlExecutionError(
+        f"malformed plan: unexpected presentation node {type(node).__name__}"
+    )
+
+
+def _build_relational_batch(node: LogicalNode, catalog: Catalog):
+    """Build a batch-yielding operator; returns ``(operator, agg_slots)``."""
+    if isinstance(node, LogicalScan):
+        return BatchScanOp(catalog, node), None
+    if isinstance(node, LogicalFilter):
+        child, agg_slots = _build_relational_batch(node.child, catalog)
+        return BatchFilterOp(child, node.predicates), agg_slots
+    if isinstance(node, LogicalJoin):
+        left, __ = _build_relational_batch(node.left, catalog)
+        right, __ = _build_relational_batch(node.right, catalog)
+        return BatchHashJoinOp(left, right, node.equi), None
+    if isinstance(node, LogicalLeftJoin):
+        left, __ = _build_relational_batch(node.left, catalog)
+        right, __ = _build_relational_batch(node.right, catalog)
+        return BatchLeftJoinOp(left, right, node.condition), None
+    if isinstance(node, LogicalAggregate):
+        child, __ = _build_relational_batch(node.child, catalog)
+        operator = BatchAggregateOp(child, node)
         return operator, operator.agg_slots
     raise SqlExecutionError(
         f"malformed plan: unexpected relational node {type(node).__name__}"

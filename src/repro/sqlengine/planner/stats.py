@@ -3,13 +3,21 @@
 Statistics are gathered lazily from the :class:`~repro.sqlengine.catalog.
 Catalog` (one pass per table) and cached per ``(table, row_count)`` so
 that repeated planning against an unchanged table is free.  Estimates
-use classic System-R style heuristics: ``1/distinct`` for equality,
-fixed fractions for ranges and LIKE, measured null fractions for IS
-NULL, and independence across conjuncts.
+use classic System-R style heuristics — ``1/distinct`` for equality,
+measured null fractions for IS NULL, independence across conjuncts —
+refined with **equi-width histograms**: every numeric/date column gets
+a :class:`Histogram` over its non-NULL values, so range predicates
+(``<``, ``<=``, ``>``, ``>=``, BETWEEN) against literals are estimated
+from the actual value distribution instead of a fixed fraction, and
+equi-join selectivity is damped by the overlap of the two key ranges.
+Shapes the histogram cannot see (non-literal comparisons, LIKE) fall
+back to the fixed Selinger constants.
 """
 
 from __future__ import annotations
 
+import datetime
+import math
 from dataclasses import dataclass
 
 from repro.sqlengine.ast_nodes import (
@@ -24,6 +32,7 @@ from repro.sqlengine.ast_nodes import (
     UnaryOp,
 )
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.types import SqlType
 
 #: default selectivities for predicate shapes the estimator cannot
 #: inspect more precisely (same spirit as Selinger et al.'s constants)
@@ -31,13 +40,82 @@ RANGE_SELECTIVITY = 1 / 3
 LIKE_SELECTIVITY = 1 / 4
 DEFAULT_SELECTIVITY = 1 / 2
 
+#: buckets per equi-width histogram (0 disables histogram collection)
+HISTOGRAM_BINS = 16
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width histogram over a column's non-NULL orderable values.
+
+    Values are mapped to floats before binning (``date`` via
+    ``toordinal``), so one histogram shape serves numeric and date
+    columns alike.
+    """
+
+    low: float
+    high: float
+    counts: tuple
+    total: int
+
+    @classmethod
+    def build(cls, values: list, bins: int) -> "Histogram | None":
+        """Bin *values* (already floats) into *bins* buckets.
+
+        Non-finite values (NaN, +/-inf) are excluded: they have no bin
+        and would poison the min/max bounds.
+        """
+        if bins <= 0:
+            return None
+        if any(not math.isfinite(value) for value in values):
+            values = [value for value in values if math.isfinite(value)]
+        if not values:
+            return None
+        low = min(values)
+        high = max(values)
+        if low == high:
+            return cls(low=low, high=high, counts=(len(values),),
+                       total=len(values))
+        width = (high - low) / bins
+        counts = [0] * bins
+        top = bins - 1
+        for value in values:
+            index = int((value - low) / width)
+            counts[top if index > top else index] += 1
+        return cls(low=low, high=high, counts=tuple(counts),
+                   total=len(values))
+
+    def fraction_below(self, value: float) -> float:
+        """Estimated fraction of values ``<= value`` (linear within bins)."""
+        if self.total == 0 or value < self.low:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        if self.low == self.high:
+            return 1.0
+        bins = len(self.counts)
+        position = (value - self.low) / (self.high - self.low) * bins
+        index = min(int(position), bins - 1)
+        covered = sum(self.counts[:index])
+        covered += self.counts[index] * (position - index)
+        return min(1.0, covered / self.total)
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """Estimated fraction of values in ``[low, high]``."""
+        if high < low:
+            return 0.0
+        if self.low == self.high:
+            return 1.0 if low <= self.low <= high else 0.0
+        return max(0.0, self.fraction_below(high) - self.fraction_below(low))
+
 
 @dataclass(frozen=True)
 class ColumnStats:
-    """Distinct/null counts of one column."""
+    """Distinct/null counts plus the value histogram of one column."""
 
     distinct: int
     nulls: int
+    histogram: "Histogram | None" = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +140,27 @@ class TableStats:
             return 0.0
         return stats.nulls / self.row_count
 
+    def histogram(self, name: str) -> "Histogram | None":
+        stats = self.columns.get(name)
+        return stats.histogram if stats is not None else None
+
+
+def _as_number(value) -> "float | None":
+    """Map a value onto the histogram axis; None if not orderable here."""
+    if isinstance(value, bool) or value is None:
+        return None
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return number if math.isfinite(number) else None
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    if isinstance(value, str):
+        try:
+            return float(datetime.date.fromisoformat(value.strip()).toordinal())
+        except ValueError:
+            return None
+    return None
+
 
 class StatisticsProvider:
     """Lazily computes and caches :class:`TableStats` for a catalog.
@@ -69,11 +168,15 @@ class StatisticsProvider:
     One entry per table, validated against the row count and the
     catalog's DDL version: statistics refresh automatically after
     inserts or a DROP + re-CREATE, and stale snapshots never
-    accumulate.
+    accumulate.  ``histogram_bins`` tunes the per-column equi-width
+    histograms (0 disables them, restoring the fixed range constants).
     """
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(
+        self, catalog: Catalog, histogram_bins: int = HISTOGRAM_BINS
+    ) -> None:
         self._catalog = catalog
+        self._bins = max(0, histogram_bins)
         self._cache: dict = {}  # table name -> (validity token, TableStats)
 
     def table_stats(self, table_name: str) -> TableStats:
@@ -85,14 +188,31 @@ class StatisticsProvider:
         columns: dict = {}
         for index, column in enumerate(table.columns):
             values = set()
+            numbers: list = []
             nulls = 0
-            for row in table.rows:
-                value = row[index]
+            # histograms are collected type-directed: numeric columns
+            # map straight onto the axis, DATE columns via toordinal;
+            # TEXT/BOOLEAN columns carry no histogram (so the histogram
+            # total is exactly the column's non-NULL count)
+            is_date = column.sql_type is SqlType.DATE
+            binned = self._bins and (
+                is_date
+                or column.sql_type in (SqlType.INTEGER, SqlType.REAL)
+            )
+            for value in table.column_data(index):
                 if value is None:
                     nulls += 1
-                else:
-                    values.add(value)
-            columns[column.name] = ColumnStats(distinct=len(values), nulls=nulls)
+                    continue
+                values.add(value)
+                if binned:
+                    numbers.append(
+                        float(value.toordinal()) if is_date else float(value)
+                    )
+            columns[column.name] = ColumnStats(
+                distinct=len(values),
+                nulls=nulls,
+                histogram=Histogram.build(numbers, self._bins),
+            )
         stats = TableStats(row_count=len(table.rows), columns=columns)
         self._cache[table.name] = (token, stats)
         return stats
@@ -118,7 +238,8 @@ def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
                 return equality if predicate.op == "=" else 1.0 - equality
             return DEFAULT_SELECTIVITY
         if predicate.op in ("<", "<=", ">", ">="):
-            return RANGE_SELECTIVITY
+            estimate = _range_selectivity(predicate, stats)
+            return estimate if estimate is not None else RANGE_SELECTIVITY
         return DEFAULT_SELECTIVITY
     if isinstance(predicate, UnaryOp) and predicate.op == "NOT":
         return 1.0 - predicate_selectivity(predicate.operand, stats)
@@ -133,7 +254,9 @@ def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
             inside = DEFAULT_SELECTIVITY
         return 1.0 - inside if predicate.negated else inside
     if isinstance(predicate, Between):
-        inside = RANGE_SELECTIVITY
+        inside = _between_selectivity(predicate, stats)
+        if inside is None:
+            inside = RANGE_SELECTIVITY
         return 1.0 - inside if predicate.negated else inside
     if isinstance(predicate, IsNull):
         refs = [predicate.operand] if isinstance(predicate.operand, ColumnRef) else []
@@ -142,6 +265,48 @@ def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
             return 1.0 - fraction if predicate.negated else fraction
         return DEFAULT_SELECTIVITY
     return DEFAULT_SELECTIVITY
+
+
+def _range_selectivity(
+    predicate: BinaryOp, stats: TableStats
+) -> "float | None":
+    """Histogram estimate for ``col <op> literal``; None without one."""
+    shape = _column_literal(predicate)
+    if shape is None:
+        return None
+    column, op, value = shape
+    histogram = stats.histogram(column)
+    number = _as_number(value)
+    if histogram is None or number is None or stats.row_count == 0:
+        return None
+    below = histogram.fraction_below(number)
+    if op in ("<", "<="):
+        inside = below
+    else:
+        inside = 1.0 - below
+    # rows with NULL in the column never satisfy a comparison
+    non_null = histogram.total / stats.row_count
+    return max(0.0, min(1.0, inside * non_null))
+
+
+def _between_selectivity(
+    predicate: Between, stats: TableStats
+) -> "float | None":
+    if not isinstance(predicate.operand, ColumnRef):
+        return None
+    if not (
+        isinstance(predicate.low, Literal)
+        and isinstance(predicate.high, Literal)
+    ):
+        return None
+    histogram = stats.histogram(predicate.operand.column)
+    low = _as_number(predicate.low.value)
+    high = _as_number(predicate.high.value)
+    if histogram is None or low is None or high is None or stats.row_count == 0:
+        return None
+    inside = histogram.fraction_between(low, high)
+    non_null = histogram.total / stats.row_count
+    return max(0.0, min(1.0, inside * non_null))
 
 
 def _single_column(predicate: BinaryOp) -> "str | None":
@@ -154,6 +319,21 @@ def _single_column(predicate: BinaryOp) -> "str | None":
     return None
 
 
+def _column_literal(predicate: BinaryOp) -> "tuple | None":
+    """``(column, op, literal value)`` with the column on the left."""
+    left, right = predicate.left, predicate.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left.column, predicate.op, right.value
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return (
+            right.column,
+            flipped.get(predicate.op, predicate.op),
+            left.value,
+        )
+    return None
+
+
 def _in_list_column(predicate: InList) -> "str | None":
     if isinstance(predicate.operand, ColumnRef):
         return predicate.operand.column
@@ -163,7 +343,31 @@ def _in_list_column(predicate: InList) -> "str | None":
 def join_selectivity(
     left_stats: TableStats, left_column: str, right_stats: TableStats, right_column: str
 ) -> float:
-    """Equi-join selectivity: ``1 / max(distinct(a), distinct(b))``."""
-    return 1.0 / max(
+    """Equi-join selectivity: ``1 / max(distinct)``, damped by overlap.
+
+    When both join keys carry histograms, the classic estimate is
+    multiplied by the fraction of each side's values falling inside the
+    other side's range — disjoint key ranges estimate (near) zero
+    matches, partially overlapping ranges shrink proportionally, and
+    fully nested ranges reduce to the classic formula.
+    """
+    base = 1.0 / max(
         left_stats.distinct(left_column), right_stats.distinct(right_column), 1
     )
+    left_hist = left_stats.histogram(left_column)
+    right_hist = right_stats.histogram(right_column)
+    if (
+        left_hist is None
+        or right_hist is None
+        or left_hist.total == 0
+        or right_hist.total == 0
+    ):
+        return base
+    low = max(left_hist.low, right_hist.low)
+    high = min(left_hist.high, right_hist.high)
+    if high < low:
+        return 0.0
+    overlap = left_hist.fraction_between(low, high) * right_hist.fraction_between(
+        low, high
+    )
+    return base * max(0.0, min(1.0, overlap))

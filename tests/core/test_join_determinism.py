@@ -1,0 +1,86 @@
+"""Deterministic join tie-breaking in the tables step.
+
+`deterministic_shortest_path` must pick the lexicographically smallest
+table-name sequence among equal-cost paths, no matter how (or in which
+order) the join graph was assembled — so SODA's selected joins are
+stable without pinning ``PYTHONHASHSEED``.
+"""
+
+import networkx as nx
+
+from repro.core.tables import deterministic_shortest_path
+
+
+def _weight(weights):
+    def fn(u, v, data):
+        return weights.get((min(u, v), max(u, v)), 1.0)
+
+    return fn
+
+
+class TestDeterministicShortestPath:
+    def test_tie_broken_by_sorted_node_name(self):
+        graph = nx.Graph()
+        graph.add_edges_from([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        path = deterministic_shortest_path(graph, "a", "d", _weight({}))
+        assert path == ["a", "b", "d"]
+
+    def test_insertion_order_does_not_matter(self):
+        edges = [("a", "c"), ("c", "d"), ("a", "b"), ("b", "d")]
+        forward = nx.Graph()
+        forward.add_edges_from(edges)
+        backward = nx.Graph()
+        backward.add_edges_from(reversed(edges))
+        weight = _weight({})
+        assert deterministic_shortest_path(
+            forward, "a", "d", weight
+        ) == deterministic_shortest_path(backward, "a", "d", weight)
+
+    def test_cheaper_path_beats_lexicographic_order(self):
+        graph = nx.Graph()
+        graph.add_edges_from([("a", "b"), ("b", "d"), ("a", "z"), ("z", "d")])
+        weights = {("a", "z"): 0.1, ("d", "z"): 0.1}
+        path = deterministic_shortest_path(graph, "a", "d", _weight(weights))
+        assert path == ["a", "z", "d"]
+
+    def test_longer_but_cheaper_route(self):
+        graph = nx.Graph()
+        graph.add_edges_from(
+            [("a", "d"), ("a", "b"), ("b", "c"), ("c", "d")]
+        )
+        weights = {
+            ("a", "d"): 1.0,
+            ("a", "b"): 0.2,
+            ("b", "c"): 0.2,
+            ("c", "d"): 0.2,
+        }
+        path = deterministic_shortest_path(graph, "a", "d", _weight(weights))
+        assert path == ["a", "b", "c", "d"]
+
+    def test_unreachable_returns_none(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        graph.add_node("z")
+        assert deterministic_shortest_path(graph, "a", "z", _weight({})) is None
+
+    def test_source_equals_target(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        assert deterministic_shortest_path(
+            graph, "a", "a", _weight({})
+        ) == ["a"]
+
+
+class TestTablesStepStability:
+    def test_selected_joins_stable_across_engines(self, warehouse):
+        """Two independent SODA instances select identical join plans."""
+        from repro.core.soda import Soda, SodaConfig
+
+        first = Soda(warehouse, SodaConfig())
+        second = Soda(warehouse, SodaConfig())
+        for query in ("Sara Guttinger", "customers Zurich", "Credit Suisse"):
+            a = first.search(query, execute=False)
+            b = second.search(query, execute=False)
+            assert [s.sql for s in a.statements] == [
+                s.sql for s in b.statements
+            ]

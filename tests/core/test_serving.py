@@ -59,3 +59,83 @@ class TestSearchSession:
         engine = Soda(warehouse, SodaConfig())
         SearchSession(engine, execute=False).search("Zurich")
         assert len(engine.feedback) == 0
+
+
+@pytest.fixture(scope="module")
+def writable_warehouse():
+    """A private warehouse this module may mutate (inserts, feedback)."""
+    from repro.warehouse.minibank import build_minibank
+
+    return build_minibank(seed=42, scale=0.25)
+
+
+class TestSessionResultCache:
+    def test_repeat_query_served_from_cache(self, soda):
+        session = SearchSession(soda, execute=False)
+        first = session.search("Zurich")
+        second = session.search("Zurich")
+        assert second is first
+        stats = session.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cache_is_per_session(self, soda):
+        a = SearchSession(soda, execute=False)
+        b = SearchSession(soda, execute=False)
+        assert a.search("Zurich") is not b.search("Zurich")
+
+    def test_zero_capacity_disables_memo(self, soda):
+        session = SearchSession(soda, execute=False, result_cache_size=0)
+        assert session.search("Zurich") is not session.search("Zurich")
+        assert session.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_search_many_shares_cached_results(self, soda):
+        session = SearchSession(soda, execute=False, limit=1)
+        results = session.search_many(["Sara", "Sara", "Zurich"])
+        assert results[0] is results[1]
+        assert all(len(r.statements) <= 1 for r in results)
+        # a later batch reuses the same memo entries
+        again = session.search_many(["Sara"])
+        assert again[0] is results[0]
+
+    def test_insert_invalidates_cached_results(self, writable_warehouse):
+        engine = Soda(writable_warehouse, SodaConfig())
+        session = SearchSession(engine, execute=False)
+        first = session.search("Zurich")
+        table = writable_warehouse.database.table_names()[0]
+        columns = writable_warehouse.database.table(table).columns
+        writable_warehouse.database.insert_rows(
+            table, [tuple(None for __ in columns)]
+        )
+        second = session.search("Zurich")
+        assert second is not first
+        assert session.cache_stats()["misses"] == 2
+
+    def test_feedback_invalidates_cached_results(self, writable_warehouse):
+        engine = Soda(writable_warehouse, SodaConfig())
+        session = SearchSession(engine, execute=False)
+        first = session.search("Zurich")
+        best = first.best
+        assert best is not None
+        engine.feedback.like(best.sql)
+        assert session.search("Zurich") is not first
+
+    def test_feedback_clear_and_readd_invalidates(self, writable_warehouse):
+        # clear() + a new judgement restores the old length; the token
+        # must still change (FeedbackStore.version counts mutations)
+        engine = Soda(writable_warehouse, SodaConfig())
+        session = SearchSession(engine, execute=False)
+        best = session.search("Zurich").best
+        engine.feedback.like(best.sql)
+        liked = session.search("Zurich")
+        engine.feedback.clear()
+        engine.feedback.dislike(best.sql)
+        assert len(engine.feedback) == 1
+        assert session.search("Zurich") is not liked
+
+    def test_lru_eviction_respects_capacity(self, soda):
+        session = SearchSession(soda, execute=False, result_cache_size=1)
+        session.search("Zurich")
+        session.search("Sara")  # evicts Zurich
+        assert session.cache_stats()["size"] == 1
+        session.search("Zurich")
+        assert session.cache_stats()["misses"] == 3

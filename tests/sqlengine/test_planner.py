@@ -106,7 +106,7 @@ class TestOptimizerRules:
         # big is narrowed to the join key; small needs both its columns
         # (join key + projected tag) so it keeps its full layout
         assert "[cols: small_id]" in plan
-        assert "scan small as small (3 rows)\n" in plan + "\n"
+        assert "scan small as small (3 rows) [batch]\n" in plan + "\n"
 
     def test_no_pruning_with_star(self, db):
         plan = db.explain(
@@ -164,9 +164,10 @@ class TestExplain:
     def test_render_plan_matches_database_explain(self, db):
         select = parse_select("SELECT tag FROM small WHERE id = 2")
         planner = db.planner
-        assert render_plan(planner.prepare(select).logical) == db.explain(
-            "SELECT tag FROM small WHERE id = 2"
+        rendered = render_plan(
+            planner.prepare(select).logical, mode=planner.execution_mode
         )
+        assert rendered == db.explain("SELECT tag FROM small WHERE id = 2")
 
 
 NAIVE_EQUIVALENCE_QUERIES = [

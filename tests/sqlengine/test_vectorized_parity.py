@@ -1,0 +1,318 @@
+"""Row/batch execution parity across the whole query corpus.
+
+Property-style lock for the vectorized engine: every query shape the
+SQL layer supports is executed through both ``execution_mode="row"``
+and ``execution_mode="batch"`` and must produce *byte-identical*
+``ResultSet``s — same columns, same rows, same order.  Includes the
+planner fixture corpus plus edge cases: empty tables, all-NULL
+columns, LEFT JOIN padding, DISTINCT + ORDER BY, and error parity.
+"""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sqlengine.database import Database
+
+from tests.sqlengine.test_planner import NAIVE_EQUIVALENCE_QUERIES
+
+
+def _populate_planner_schema(db: Database) -> None:
+    """The test_planner fixture schema (small / big / small2)."""
+    db.execute("CREATE TABLE small (id INT PRIMARY KEY, tag TEXT)")
+    db.execute(
+        "CREATE TABLE big (id INT PRIMARY KEY, small_id INT, amount REAL, "
+        "status TEXT)"
+    )
+    db.execute("CREATE TABLE small2 (id INT PRIMARY KEY, note TEXT)")
+    db.execute("INSERT INTO small VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+    db.execute(
+        "INSERT INTO big VALUES "
+        + ", ".join(
+            f"({i}, {i % 3 + 1}, {i * 10.0}, "
+            f"'{'OPEN' if i % 4 else 'DONE'}')"
+            for i in range(1, 41)
+        )
+    )
+    db.execute("INSERT INTO small2 VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+
+
+def _populate_rich_schema(db: Database) -> None:
+    """NULL-heavy schema with empty / all-NULL / date / boolean columns."""
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, name TEXT, val REAL, "
+        "flag BOOLEAN, born DATE, grp TEXT)"
+    )
+    db.execute("CREATE TABLE child (id INT, t_id INT, label TEXT)")
+    db.execute("CREATE TABLE empty_t (id INT, name TEXT)")
+    db.execute("CREATE TABLE all_null (id INT, hole TEXT)")
+    rows = [
+        "(1, 'alpha', 1.5, TRUE, '1990-01-15', 'g1')",
+        "(2, 'beta', NULL, FALSE, '1985-06-30', 'g1')",
+        "(3, NULL, -2.25, TRUE, NULL, 'g2')",
+        "(4, 'delta', 0.0, NULL, '2000-12-01', 'g2')",
+        "(5, 'Echo', 7.0, FALSE, '1990-01-15', NULL)",
+        "(6, 'alpha', 3.5, TRUE, '1970-03-03', 'g3')",
+    ]
+    db.execute("INSERT INTO t VALUES " + ", ".join(rows))
+    db.execute(
+        "INSERT INTO child VALUES (1, 1, 'c1'), (2, 1, 'c2'), (3, 3, 'c3'), "
+        "(4, NULL, 'c4'), (5, 99, 'c5')"
+    )
+    db.execute(
+        "INSERT INTO all_null VALUES (1, NULL), (2, NULL), (3, NULL)"
+    )
+
+
+def _dual(populate) -> tuple:
+    databases = []
+    for mode in ("row", "batch"):
+        db = Database(execution_mode=mode)
+        populate(db)
+        databases.append(db)
+    return tuple(databases)
+
+
+@pytest.fixture(scope="module")
+def planner_dbs():
+    return _dual(_populate_planner_schema)
+
+
+@pytest.fixture(scope="module")
+def rich_dbs():
+    return _dual(_populate_rich_schema)
+
+
+def _assert_parity(dbs, sql: str) -> None:
+    row_db, batch_db = dbs
+    row_rs = row_db.execute(sql)
+    batch_rs = batch_db.execute(sql)
+    assert batch_rs.columns == row_rs.columns, sql
+    assert batch_rs.rows == row_rs.rows, sql
+
+
+class TestPlannerCorpusParity:
+    @pytest.mark.parametrize("sql", NAIVE_EQUIVALENCE_QUERIES)
+    def test_fixture_queries_identical(self, planner_dbs, sql):
+        _assert_parity(planner_dbs, sql)
+
+
+RICH_CORPUS = [
+    # scans + projection
+    "SELECT * FROM t",
+    "SELECT t.* FROM t",
+    "SELECT id, name FROM t",
+    "SELECT id + 1, val * 2, -val FROM t",
+    "SELECT name || '!' FROM t",
+    "SELECT lower(name), upper(name), length(name) FROM t",
+    "SELECT abs(val), coalesce(name, grp, 'none') FROM t",
+    "SELECT year(born), month(born) FROM t",
+    "SELECT CASE WHEN val > 1 THEN 'big' WHEN val >= 0 THEN 'small' "
+    "ELSE 'neg' END FROM t",
+    # filters: every comparison + logic shape
+    "SELECT id FROM t WHERE id = 3",
+    "SELECT id FROM t WHERE id <> 3",
+    "SELECT id FROM t WHERE val < 2.0",
+    "SELECT id FROM t WHERE val <= 1.5",
+    "SELECT id FROM t WHERE val > 0",
+    "SELECT id FROM t WHERE val >= 0.0",
+    "SELECT id FROM t WHERE 4 > id",
+    "SELECT id FROM t WHERE name = 'alpha' AND val > 1",
+    "SELECT id FROM t WHERE name = 'alpha' OR grp = 'g2'",
+    "SELECT id FROM t WHERE NOT (flag = TRUE)",
+    "SELECT id FROM t WHERE name LIKE 'a%'",
+    "SELECT id FROM t WHERE name NOT LIKE '%a'",
+    "SELECT id FROM t WHERE name LIKE grp",
+    "SELECT id FROM t WHERE id IN (1, 3, 5)",
+    "SELECT id FROM t WHERE id NOT IN (1, 3, 5)",
+    "SELECT id FROM t WHERE name IN ('alpha', 'Echo')",
+    "SELECT id FROM t WHERE id IN (val, 2)",
+    "SELECT id FROM t WHERE val BETWEEN 0 AND 4",
+    "SELECT id FROM t WHERE val NOT BETWEEN 0 AND 4",
+    "SELECT id FROM t WHERE name IS NULL",
+    "SELECT id FROM t WHERE born IS NOT NULL",
+    "SELECT id FROM t WHERE CASE WHEN grp = 'g1' THEN 1 ELSE 0 END = 1",
+    "SELECT id FROM t WHERE born > '1989-01-01'",
+    # joins
+    "SELECT t.id, child.label FROM t, child WHERE t.id = child.t_id",
+    "SELECT t.id, c.label FROM t JOIN child c ON t.id = c.t_id "
+    "WHERE c.label <> 'c2'",
+    "SELECT a.id, b.id FROM t a, t b WHERE a.id = b.id AND a.grp = b.grp",
+    "SELECT t.id, e.id FROM t, empty_t e",
+    "SELECT t.id, c.label FROM t LEFT JOIN child c ON t.id = c.t_id",
+    "SELECT t.id, c.label FROM t LEFT JOIN child c "
+    "ON t.id = c.t_id AND c.label <> 'c1'",
+    "SELECT t.id, e.name FROM t LEFT JOIN empty_t e ON t.id = e.id",
+    # aggregates
+    "SELECT count(*) FROM t",
+    "SELECT count(name) FROM t",
+    "SELECT count(DISTINCT name) FROM t",
+    "SELECT sum(val), avg(val), min(val), max(val) FROM t",
+    "SELECT grp, count(*) FROM t GROUP BY grp",
+    "SELECT grp, sum(val) FROM t GROUP BY grp HAVING count(*) > 1",
+    "SELECT grp, flag, count(*) FROM t GROUP BY grp, flag",
+    "SELECT year(born), count(*) FROM t GROUP BY year(born)",
+    "SELECT count(*) FROM empty_t",
+    "SELECT sum(id), min(name) FROM empty_t",
+    "SELECT count(hole), count(*) FROM all_null",
+    "SELECT sum(id) FROM all_null WHERE hole IS NOT NULL",
+    "SELECT min(hole), max(hole) FROM all_null",
+    # distinct / sort / limit
+    "SELECT DISTINCT grp FROM t",
+    "SELECT DISTINCT grp FROM t ORDER BY grp",
+    "SELECT DISTINCT grp, flag FROM t ORDER BY grp DESC, flag",
+    "SELECT id, name FROM t ORDER BY name",
+    "SELECT id, name FROM t ORDER BY 2 DESC, 1",
+    "SELECT id, val FROM t ORDER BY val DESC",
+    "SELECT id FROM t ORDER BY grp, born DESC, id",
+    "SELECT id AS ident FROM t ORDER BY ident DESC",
+    "SELECT id FROM t ORDER BY val + id",
+    "SELECT id FROM t ORDER BY id LIMIT 3",
+    "SELECT id FROM t ORDER BY id LIMIT 0",
+    "SELECT id FROM t ORDER BY id LIMIT 99",
+    "SELECT grp, count(*) FROM t GROUP BY grp ORDER BY count(*) DESC, grp",
+    # set operations
+    "SELECT id FROM t UNION SELECT t_id FROM child",
+    "SELECT grp FROM t UNION ALL SELECT label FROM child",
+    "SELECT id FROM empty_t UNION SELECT id FROM t WHERE id > 4",
+]
+
+
+class TestRichCorpusParity:
+    @pytest.mark.parametrize("sql", RICH_CORPUS)
+    def test_byte_identical_results(self, rich_dbs, sql):
+        _assert_parity(rich_dbs, sql)
+
+
+class TestErrorParity:
+    ERROR_QUERIES = [
+        "SELECT id FROM t WHERE id = 1 / 0",
+        "SELECT val / 0 FROM t",
+        "SELECT name + 1 FROM t",
+        "SELECT -name FROM t",
+        "SELECT abs(name) FROM t",
+        "SELECT sum(name) FROM t",
+    ]
+
+    @pytest.mark.parametrize("sql", ERROR_QUERIES)
+    def test_same_error_both_modes(self, rich_dbs, sql):
+        row_db, batch_db = rich_dbs
+        with pytest.raises(SqlError) as row_error:
+            row_db.execute(sql)
+        with pytest.raises(SqlError) as batch_error:
+            batch_db.execute(sql)
+        assert type(batch_error.value) is type(row_error.value)
+        assert str(batch_error.value) == str(row_error.value)
+
+    def test_short_circuit_protects_division(self, rich_dbs):
+        # row mode never divides where the guard is False; batch mode
+        # must compact the batch the same way instead of raising
+        sql = "SELECT id FROM t WHERE val <> 0.0 AND 10 / val > 1"
+        _assert_parity(rich_dbs, sql)
+
+    def test_case_guards_division(self, rich_dbs):
+        sql = (
+            "SELECT CASE WHEN val > 0 THEN 10 / val ELSE 0 END FROM t "
+            "WHERE val IS NOT NULL"
+        )
+        _assert_parity(rich_dbs, sql)
+
+    def test_in_list_items_short_circuit(self):
+        # row mode never evaluates 10 / y for the row whose x matched
+        # the first item; batch mode must confine later items to the
+        # rows that actually reach them
+        row_db, batch_db = _dual(
+            lambda db: (
+                db.execute("CREATE TABLE g (x INT, y INT)"),
+                db.execute("INSERT INTO g VALUES (1, 0), (5, 2)"),
+            )
+        )
+        sql = "SELECT x FROM g WHERE x IN (1, 10 / y)"
+        assert batch_db.execute(sql).rows == row_db.execute(sql).rows == [
+            (1,),
+            (5,),
+        ]
+
+    def test_like_null_pattern_still_evaluates_operand(self):
+        row_db, batch_db = _dual(
+            lambda db: (
+                db.execute("CREATE TABLE g (x INT, y INT)"),
+                db.execute("INSERT INTO g VALUES (1, 0)"),
+            )
+        )
+        sql = "SELECT x FROM g WHERE (10 / y) LIKE NULL"
+        for db in (row_db, batch_db):
+            with pytest.raises(SqlError, match="division by zero"):
+                db.execute(sql)
+
+
+class TestFloatEdgeParity:
+    """NaN and -0.0 reach the engine via the programmatic insert path."""
+
+    @staticmethod
+    def _nan_dbs():
+        def populate(db):
+            db.create_table("f", [("id", "INT"), ("x", "REAL")])
+            db.insert_rows(
+                "f", [(1, float("nan")), (2, 1.0), (3, -0.0), (4, None)]
+            )
+
+        return _dual(populate)
+
+    def test_nan_in_list_matches_row_mode(self):
+        row_db, batch_db = self._nan_dbs()
+        # compare_values treats NaN as equal to any number, so row mode
+        # keeps the NaN row; the batch set fast path must agree
+        sql = "SELECT id FROM f WHERE x IN (5.0, 6.0)"
+        row_rows = row_db.execute(sql).rows
+        assert batch_db.execute(sql).rows == row_rows == [(1,)]
+
+    def test_nan_survives_statistics_collection(self):
+        row_db, batch_db = self._nan_dbs()
+        # histogram build must not crash on non-finite values
+        for db in (row_db, batch_db):
+            assert db.execute("SELECT count(*) FROM f WHERE x > 0.5").rows \
+                == [(1,)]
+
+    def test_negative_zero_sum_is_byte_identical(self):
+        def populate(db):
+            db.create_table("z", [("x", "REAL")])
+            db.insert_rows("z", [(-0.0,), (None,)])
+
+        row_db, batch_db = _dual(populate)
+        sql = "SELECT sum(x) FROM z"
+        row_rows = row_db.execute(sql).rows
+        batch_rows = batch_db.execute(sql).rows
+        assert repr(batch_rows) == repr(row_rows) == "[(-0.0,)]"
+
+
+class TestModeSwitching:
+    def test_set_execution_mode_switches_engine(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT)")
+        db.execute("INSERT INTO x VALUES (1), (2)")
+        assert db.execution_mode == "batch"
+        batch_rows = db.execute("SELECT id FROM x ORDER BY id").rows
+        db.set_execution_mode("row")
+        assert db.execution_mode == "row"
+        assert db.execute("SELECT id FROM x ORDER BY id").rows == batch_rows
+
+    def test_switch_drops_cached_plans(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT)")
+        db.execute("SELECT id FROM x")
+        assert len(db.planner.cache) == 1
+        db.set_execution_mode("row")
+        assert len(db.planner.cache) == 0
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import SqlExecutionError
+
+        with pytest.raises(SqlExecutionError, match="unknown execution mode"):
+            Database(execution_mode="turbo")
+
+    def test_explain_annotates_mode(self):
+        db = Database()
+        db.execute("CREATE TABLE x (id INT)")
+        assert "[batch]" in db.explain("SELECT id FROM x")
+        db.set_execution_mode("row")
+        assert "[row]" in db.explain("SELECT id FROM x")

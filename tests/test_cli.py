@@ -114,6 +114,23 @@ class TestExplain:
         assert code == 1
         assert "error:" in output
 
+    def test_explain_annotates_batch_mode_by_default(self):
+        code, output = run_cli(
+            "--scale", "0.25", "explain", "SELECT id FROM parties"
+        )
+        assert code == 0
+        assert "[batch]" in output
+        assert "[row]" not in output
+
+    def test_execution_mode_flag_switches_engine(self):
+        sql = "SELECT id FROM parties WHERE party_type_cd = 'I'"
+        code, output = run_cli(
+            "--scale", "0.25", "--execution-mode", "row", "explain", sql
+        )
+        assert code == 0
+        assert "[row]" in output
+        assert "[batch]" not in output
+
     def test_search_with_explain_flag(self):
         code, output = run_cli(
             "--scale", "0.25", "search", "Sara Guttinger", "--explain"
