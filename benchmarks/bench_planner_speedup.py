@@ -18,6 +18,7 @@ import time
 
 import pytest
 
+from bench_utils import speedup_floor
 from repro.sqlengine.database import Database
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.planner import QueryPlanner
@@ -112,7 +113,7 @@ class TestJoinOrderAndPushdown:
             f"\n3-way join: naive {naive_time * 1e3:.1f} ms, "
             f"planned {planned_time * 1e3:.1f} ms ({speedup:.0f}x)"
         )
-        assert planned_time < naive_time
+        assert naive_time / planned_time > speedup_floor(1.0)
 
     def test_planned_vs_naive_pushdown(self, db, naive_planner):
         select = parse_select(PUSHDOWN_SQL)
@@ -127,7 +128,7 @@ class TestJoinOrderAndPushdown:
             f"planned {planned_time * 1e3:.1f} ms "
             f"({naive_time / planned_time:.0f}x)"
         )
-        assert planned_time < naive_time
+        assert naive_time / planned_time > speedup_floor(1.0)
 
 
 class TestPlanCache:
@@ -157,7 +158,7 @@ class TestPlanCache:
             f"\nplanning x{repeats}: cold {cold * 1e3:.1f} ms, "
             f"cached {warm * 1e3:.1f} ms ({cold / warm:.0f}x)"
         )
-        assert warm < cold
+        assert cold / warm > speedup_floor(1.0)
 
     def test_cache_hit_rate_on_template_workload(self, db):
         statements = [

@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from bench_utils import speedup_floor
 from repro.core.soda import Soda, SodaConfig
 from repro.index.inverted import InvertedIndex
 from repro.index.snapshot import load_snapshot
@@ -97,7 +98,7 @@ class TestWarmStart:
         assert loaded.inverted.size_summary() == (
             warehouse.inverted.size_summary()
         )
-        assert speedup >= 5.0
+        assert speedup >= speedup_floor(5.0)
 
     def test_snapshot_loads_what_was_saved(self, big_warehouse, tmp_path):
         path = tmp_path / "roundtrip.json"
@@ -139,7 +140,7 @@ class TestBatchServing:
             f"{batched_time * 1e3:.0f} ms "
             f"({len(BATCH) / batched_time:.0f} q/s), {speedup:.2f}x"
         )
-        assert batched_time < sequential_time
+        assert speedup > speedup_floor(1.0)
 
     def test_warm_engine_throughput(self, warehouse):
         """Second batch over the same engine: memoized steps dominate."""
@@ -175,4 +176,4 @@ class TestIncrementalMaintenance:
             f"{incremental_time * 1e3:.1f} ms vs full rebuild "
             f"{rebuild_time * 1e3:.1f} ms"
         )
-        assert incremental_time < rebuild_time
+        assert rebuild_time / incremental_time > speedup_floor(1.0)

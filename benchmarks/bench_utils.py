@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+The speedup benchmarks gate real performance locks (vectorized engine
+>= 3x, snapshot warm-start >= 5x, planned < naive).  On a quiet
+development machine those floors hold with a wide margin, but shared CI
+runners are noisy neighbours — so CI sets ``BENCH_SPEEDUP_MIN`` to a
+relaxed absolute floor and every *timing* assertion clamps to it, while
+*correctness* assertions (byte-identical results, parity, counters)
+always stay hard.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: environment variable holding the relaxed CI-wide speedup floor
+SPEEDUP_MIN_ENV = "BENCH_SPEEDUP_MIN"
+
+
+def speedup_floor(default: float) -> float:
+    """The minimum speedup a timing assert should require.
+
+    Locally (``BENCH_SPEEDUP_MIN`` unset or empty) this is *default* —
+    the full lock.  When the variable is set, the floor is relaxed to
+    ``min(default, BENCH_SPEEDUP_MIN)``: the override can only ever
+    loosen a bound, never tighten one, so a misconfigured CI job cannot
+    turn jitter into spurious failures *or* sneak a weaker lock past a
+    local run.
+    """
+    raw = os.environ.get(SPEEDUP_MIN_ENV, "").strip()
+    if not raw:
+        return default
+    return min(default, float(raw))

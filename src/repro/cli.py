@@ -6,6 +6,7 @@ Usage::
     python -m repro search --explain "customers Zurich"   # plans inline
     python -m repro search --batch queries.txt  # one query per line
     python -m repro explain "SELECT ..."  # optimized query plan tree
+    python -m repro sql "UPDATE ..."     # run SQL (incl. UPDATE/DELETE)
     python -m repro experiments          # Tables 2, 3 and 4
     python -m repro experiments --batch  # same, served via search_many
     python -m repro compare              # Table 5 (runs the baselines)
@@ -69,6 +70,16 @@ def make_parser() -> argparse.ArgumentParser:
         "explain", help="show the optimized query plan for a SQL statement"
     )
     explain.add_argument("sql", help="a SELECT statement (quote it)")
+
+    sql = commands.add_parser(
+        "sql", help="execute one SQL statement against the warehouse"
+    )
+    sql.add_argument(
+        "statement",
+        help="SELECT / INSERT / UPDATE / DELETE / CREATE TABLE (quote it)",
+    )
+    sql.add_argument("--limit", type=int, default=20,
+                     help="result rows to display (default 20)")
 
     experiments = commands.add_parser(
         "experiments", help="run the 13-query workload (Tables 2-4)"
@@ -234,6 +245,29 @@ def cmd_explain(args, out) -> int:
     return 0
 
 
+def cmd_sql(args, out) -> int:
+    from repro.errors import SqlError
+
+    warehouse = _build_warehouse(args)
+    try:
+        result = warehouse.database.execute(args.statement)
+    except SqlError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    if result.columns:
+        print(" | ".join(result.columns), file=out)
+        for row in result.rows[: args.limit]:
+            print(" | ".join(str(value) for value in row), file=out)
+        shown = min(len(result.rows), args.limit)
+        suffix = "" if shown == len(result.rows) else f" ({shown} shown)"
+        print(f"{len(result.rows)} row(s){suffix}", file=out)
+    elif result.rowcount is not None:
+        print(f"{result.rowcount} row(s) affected", file=out)
+    else:
+        print("ok", file=out)
+    return 0
+
+
 def cmd_experiments(args, out) -> int:
     from repro.experiments.reporting import (
         format_table2,
@@ -333,6 +367,10 @@ def cmd_index(args, out) -> int:
         if maintainer is not None:
             print(f"  {'maintained_inserts':32s} {maintainer.applied_inserts}",
                   file=out)
+            print(f"  {'maintained_updates':32s} {maintainer.applied_updates}",
+                  file=out)
+            print(f"  {'maintained_deletes':32s} {maintainer.applied_deletes}",
+                  file=out)
             print(f"  {'maintained_ddl':32s} {maintainer.applied_ddl}",
                   file=out)
     return 0
@@ -380,6 +418,7 @@ def main(argv=None, out=None) -> int:
     handlers = {
         "search": cmd_search,
         "explain": cmd_explain,
+        "sql": cmd_sql,
         "experiments": cmd_experiments,
         "compare": cmd_compare,
         "stats": cmd_stats,

@@ -12,9 +12,9 @@ Sessions also memoize their own results: repeated query texts are
 served from a per-session LRU keyed by the query text plus an *engine
 token* — the version counters of the inverted index, classification
 index and metadata graph, the catalog fingerprint, and the feedback
-state.  Any write that could change an answer (an INSERT, DDL, a graph
-annotation, new feedback) changes the token and empties the cache, so
-a session can never serve stale results.
+state.  Any write that could change an answer (an INSERT, UPDATE,
+DELETE, DDL, a graph annotation, new feedback) changes the token and
+empties the cache, so a session can never serve stale results.
 """
 
 from __future__ import annotations

@@ -11,9 +11,10 @@ Step 4 (filters) turns a posting into an equality filter such as
 The index is designed for *long-lived* service (the paper amortizes its
 24-hour build across many interactive searches):
 
-* postings can be added (and whole tables removed) incrementally, so a
-  registered :class:`~repro.index.maintenance.InvertedIndexMaintainer`
-  keeps the index fresh under INSERT/DDL without any rebuild;
+* postings can be added and removed (and whole tables dropped)
+  incrementally, so a registered
+  :class:`~repro.index.maintenance.InvertedIndexMaintainer` keeps the
+  index fresh under INSERT/UPDATE/DELETE/DDL without any rebuild;
 * sorted posting lists, tokenized haystacks and phrase-lookup results
   are cached and invalidated precisely by the incremental write path;
 * :meth:`to_dict` / :meth:`from_dict` serialize the index for the
@@ -138,6 +139,35 @@ class InvertedIndex:
             self._postings[token].add(key)
         self._value_counts[key] = self._value_counts.get(key, 0) + 1
         self._entries += 1
+        self._invalidate(tokens)
+
+    def remove(self, table: str, column: str, value: str) -> None:
+        """Un-index one stored value (the incremental UPDATE/DELETE path).
+
+        The exact inverse of :meth:`add`: the value count is
+        decremented, and when the last row storing *value* is gone its
+        postings disappear from every token's list.
+        """
+        key = (table, column, value)
+        count = self._value_counts.get(key)
+        if count is None:
+            raise WarehouseError(
+                f"cannot remove unindexed value {value!r} "
+                f"({table}.{column})"
+            )
+        tokens = set(tokenize_text(value))
+        if count <= 1:
+            del self._value_counts[key]
+            for token in tokens:
+                bucket = self._postings.get(token)
+                if bucket is None:
+                    continue
+                bucket.discard(key)
+                if not bucket:
+                    del self._postings[token]
+        else:
+            self._value_counts[key] = count - 1
+        self._entries -= 1
         self._invalidate(tokens)
 
     def remove_table(self, table: str) -> None:

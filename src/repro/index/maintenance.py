@@ -4,9 +4,11 @@ The paper's inverted index takes 24 hours to build, so it cannot be
 rebuilt whenever the warehouse loads new rows.  This module provides the
 write-through path instead: an :class:`InvertedIndexMaintainer`
 registered as a :class:`~repro.sqlengine.catalog.CatalogObserver` sees
-every INSERT and DDL statement and applies the delta to the index, so a
-long-lived :class:`~repro.warehouse.warehouse.Warehouse` keeps serving
-fresh lookups without a full scan.
+every INSERT, UPDATE, DELETE and DDL statement and applies the delta to
+the index, so a long-lived :class:`~repro.warehouse.warehouse.Warehouse`
+keeps serving fresh lookups without a full scan.  Updates un-index the
+old value of each changed TEXT column and index the new one; deletes
+un-index every TEXT value of the removed row.
 
 The maintained index is guaranteed to equal a from-scratch
 :meth:`~repro.index.inverted.InvertedIndex.build` over the same catalog
@@ -29,20 +31,38 @@ class InvertedIndexMaintainer(CatalogObserver):
         self._text_columns: dict[str, list[tuple]] = {}
         #: counts applied deltas, for observability (`repro index stats`)
         self.applied_inserts = 0
+        self.applied_updates = 0
+        self.applied_deletes = 0
         self.applied_ddl = 0
 
     # ------------------------------------------------------------------
     # CatalogObserver interface
     # ------------------------------------------------------------------
     def on_insert(self, table: Table, row: tuple) -> None:
-        columns = self._text_columns.get(table.name)
-        if columns is None:
-            columns = self._scan_text_columns(table)
-        for position, column_name in columns:
+        for position, column_name in self._columns_for(table):
             value = row[position]
             if value is not None:
                 self.index.add(table.name, column_name, value)
         self.applied_inserts += 1
+
+    def on_update(self, table: Table, old_row: tuple, new_row: tuple) -> None:
+        for position, column_name in self._columns_for(table):
+            old_value = old_row[position]
+            new_value = new_row[position]
+            if old_value == new_value:
+                continue
+            if old_value is not None:
+                self.index.remove(table.name, column_name, old_value)
+            if new_value is not None:
+                self.index.add(table.name, column_name, new_value)
+        self.applied_updates += 1
+
+    def on_delete(self, table: Table, row: tuple) -> None:
+        for position, column_name in self._columns_for(table):
+            value = row[position]
+            if value is not None:
+                self.index.remove(table.name, column_name, value)
+        self.applied_deletes += 1
 
     def on_create_table(self, table: Table) -> None:
         self._scan_text_columns(table)
@@ -54,6 +74,13 @@ class InvertedIndexMaintainer(CatalogObserver):
         self.applied_ddl += 1
 
     # ------------------------------------------------------------------
+    def _columns_for(self, table: Table) -> list[tuple]:
+        """The cached (position, name) TEXT columns of *table*."""
+        columns = self._text_columns.get(table.name)
+        if columns is None:
+            columns = self._scan_text_columns(table)
+        return columns
+
     def _scan_text_columns(self, table: Table) -> list[tuple]:
         columns = [
             (position, column.name)

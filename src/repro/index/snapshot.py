@@ -10,8 +10,12 @@ snapshot bundles:
   :class:`~repro.index.classification.ClassificationIndex` variant
   (keyed by its ``include_dbpedia`` / ``include_physical`` build flags),
 * a format version and a *catalog stamp* — the warehouse name,
-  ``Catalog.fingerprint()`` (DDL version, total rows) and a sampled
-  content digest (:func:`catalog_digest`) taken at save time.
+  ``Catalog.fingerprint()`` (DDL version, total rows, total
+  UPDATE/DELETE mutations) and a sampled content digest
+  (:func:`catalog_digest`) taken at save time.  The mutation count
+  makes a snapshot stale after any UPDATE or DELETE, even one that
+  leaves the row count unchanged (an in-place rewrite, or a delete
+  followed by a same-size reinsert).
 
 Loading verifies the stamp against the live catalog, so a snapshot
 cannot silently serve postings for data it has not seen — the digest
@@ -60,7 +64,7 @@ class IndexSnapshot:
     """The in-memory form of one saved snapshot."""
 
     name: str
-    fingerprint: tuple  # (ddl_version, total_rows) at save time
+    fingerprint: tuple  # (ddl_version, total_rows, total_mutations) at save
     inverted: InvertedIndex
     #: (include_dbpedia, include_physical) -> ClassificationIndex
     classifications: dict = field(default_factory=dict)
@@ -101,9 +105,16 @@ class IndexSnapshot:
                 f"(expected {SNAPSHOT_VERSION})"
             )
         try:
+            fingerprint = tuple(payload["fingerprint"])
+            if len(fingerprint) == 2:
+                # pre-DML snapshots stamped (ddl_version, total_rows);
+                # a catalog that has never seen an UPDATE/DELETE has
+                # mutation count 0, so the migrated stamp still matches
+                # and the warm start is preserved
+                fingerprint += (0,)
             return cls(
                 name=payload["name"],
-                fingerprint=tuple(payload["fingerprint"]),
+                fingerprint=fingerprint,
                 inverted=InvertedIndex.from_dict(payload["inverted"]),
                 classifications={
                     (entry["include_dbpedia"], entry["include_physical"]):

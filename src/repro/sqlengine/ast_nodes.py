@@ -362,3 +362,44 @@ class Insert:
     table: str
     columns: tuple  # may be empty -> all columns in order
     rows: tuple  # tuple of tuples of Literal values
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expr`` item of an UPDATE's SET list."""
+
+    column: str
+    value: Expr
+
+    def to_sql(self) -> str:
+        return f"{self.column} = {self.value.to_sql()}"
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE table SET col = expr [, ...] [WHERE predicate]``."""
+
+    table: str
+    assignments: tuple  # of Assignment
+    where: Expr | None = None
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(a.to_sql() for a in self.assignments)
+        sql = f"UPDATE {self.table} SET {rendered}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM table [WHERE predicate]``."""
+
+    table: str
+    where: Expr | None = None
+
+    def to_sql(self) -> str:
+        sql = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql

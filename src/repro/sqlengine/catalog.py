@@ -21,15 +21,22 @@ class Column:
 class CatalogObserver:
     """Write-through hook interface for derived structures (indexes).
 
-    A registered observer is told about every row insert and every DDL
-    statement, so long-lived structures built over the catalog (the
-    SODA inverted index, statistics, caches) can maintain themselves
-    incrementally instead of being rebuilt by full scans.  All methods
-    are no-ops by default; subclasses override what they need.
+    A registered observer is told about every row insert, update and
+    delete, and every DDL statement, so long-lived structures built
+    over the catalog (the SODA inverted index, statistics, caches) can
+    maintain themselves incrementally instead of being rebuilt by full
+    scans.  All methods are no-ops by default; subclasses override what
+    they need.
     """
 
     def on_insert(self, table: "Table", row: tuple) -> None:
         """One coerced row was appended to *table*."""
+
+    def on_update(self, table: "Table", old_row: tuple, new_row: tuple) -> None:
+        """One row of *table* was rewritten in place."""
+
+    def on_delete(self, table: "Table", row: tuple) -> None:
+        """One row of *table* was removed."""
 
     def on_create_table(self, table: "Table") -> None:
         """*table* was just created (empty)."""
@@ -63,8 +70,18 @@ class Table:
     tuples, the view used by the inverted-index maintainer, snapshots and
     the row-at-a-time operators) and one Python list per column
     (``column_data``), which the vectorized batch operators slice
-    directly without per-row tuple indexing.  Both are appended by the
-    single insert path, so they can never diverge.
+    directly without per-row tuple indexing.  All mutation flows through
+    the single insert/update/delete paths below, which write both
+    layouts in lockstep (in-place column writes for UPDATE, tombstone-
+    free compaction for DELETE), so they can never diverge.  Both list
+    objects keep their identity across mutations, so operators holding a
+    reference always see the live data.
+
+    Every mutation bumps :attr:`version` (the per-table plan-cache
+    validity token); updates and deletes additionally bump
+    :attr:`mutation_count`, which feeds the catalog fingerprint so
+    non-append writes are visible to snapshot staleness checks even when
+    the row count ends up unchanged.
     """
 
     def __init__(
@@ -85,6 +102,10 @@ class Table:
         self.rows: list[tuple] = []
         #: columnar storage: one value list per column, in schema order
         self._column_data: list[list] = [[] for __ in self.columns]
+        #: bumped on every insert/update/delete (plan-cache validity)
+        self._version = 0
+        #: updates + deletes only (feeds the catalog fingerprint)
+        self._mutation_count = 0
         # shared with the owning catalog (see Catalog.register_observer)
         self._observers: list[CatalogObserver] = []
 
@@ -119,6 +140,17 @@ class Table:
         return self._column_data[self.column_index(name)]
 
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Bumped on every insert/update/delete of this table."""
+        return self._version
+
+    @property
+    def mutation_count(self) -> int:
+        """Updates + deletes applied to this table (never appends)."""
+        return self._mutation_count
+
+    # ------------------------------------------------------------------
     def insert(self, values: Sequence[Any]) -> None:
         """Insert one row given positionally."""
         if len(values) != len(self.columns):
@@ -133,6 +165,7 @@ class Table:
         self.rows.append(row)
         for store, value in zip(self._column_data, row):
             store.append(value)
+        self._version += 1
         for observer in self._observers:
             observer.on_insert(self, row)
 
@@ -148,6 +181,98 @@ class Table:
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
         for row in rows:
             self.insert(row)
+
+    # ------------------------------------------------------------------
+    # the single mutation path (shared by both execution engines)
+    # ------------------------------------------------------------------
+    def update_positions(
+        self, positions: Sequence[int], new_rows: Sequence[Sequence[Any]]
+    ) -> int:
+        """Rewrite the rows at *positions* with *new_rows*, in place.
+
+        Values are validated and coerced exactly like inserts.  The
+        tuple list and every per-column list are written together, and
+        observers see one ``on_update(table, old_row, new_row)`` per
+        row.  All validation (positions in range, values coercible)
+        happens before the first write, so an error leaves the table
+        untouched.  Returns the row count.
+        """
+        if len(positions) != len(new_rows):
+            raise SqlCatalogError(
+                f"table {self.name!r}: {len(positions)} positions but "
+                f"{len(new_rows)} replacement rows"
+            )
+        if positions and (
+            min(positions) < 0 or max(positions) >= len(self.rows)
+        ):
+            raise SqlCatalogError(
+                f"table {self.name!r}: update position out of range "
+                f"(have {len(self.rows)} rows)"
+            )
+        coerced = []
+        for values in new_rows:
+            if len(values) != len(self.columns):
+                raise SqlCatalogError(
+                    f"table {self.name!r} expects {len(self.columns)} "
+                    f"values, got {len(values)}"
+                )
+            coerced.append(
+                tuple(
+                    coerce_value(value, column.sql_type)
+                    for value, column in zip(values, self.columns)
+                )
+            )
+        if not coerced:
+            return 0
+        rows = self.rows
+        column_data = self._column_data
+        changes = []
+        for position, new_row in zip(positions, coerced):
+            old_row = rows[position]
+            rows[position] = new_row
+            for store, value in zip(column_data, new_row):
+                store[position] = value
+            changes.append((old_row, new_row))
+        self._version += 1
+        self._mutation_count += 1
+        for observer in self._observers:
+            for old_row, new_row in changes:
+                observer.on_update(self, old_row, new_row)
+        return len(changes)
+
+    def delete_positions(self, positions: Sequence[int]) -> int:
+        """Remove the rows at *positions* (tombstone-free compaction).
+
+        Both storages are compacted together via in-place slice
+        assignment, preserving list object identity for any operator
+        holding a reference.  Observers see one ``on_delete(table,
+        row)`` per removed row, in table order.  Returns the row count.
+        """
+        doomed = set(positions)
+        if not doomed:
+            return 0
+        rows = self.rows
+        if min(doomed) < 0 or max(doomed) >= len(rows):
+            raise SqlCatalogError(
+                f"table {self.name!r}: delete position out of range "
+                f"(have {len(rows)} rows)"
+            )
+        removed = [rows[position] for position in sorted(doomed)]
+        rows[:] = [
+            row for position, row in enumerate(rows) if position not in doomed
+        ]
+        for store in self._column_data:
+            store[:] = [
+                value
+                for position, value in enumerate(store)
+                if position not in doomed
+            ]
+        self._version += 1
+        self._mutation_count += 1
+        for observer in self._observers:
+            for row in removed:
+                observer.on_delete(self, row)
+        return len(removed)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -220,14 +345,35 @@ class Catalog:
         return self._ddl_version
 
     def fingerprint(self) -> tuple:
-        """A cheap token that changes whenever plans could go stale.
+        """A cheap token that changes whenever derived state could go stale.
 
-        Combines the DDL version with the total row count: CREATE/DROP
-        bumps the former, inserts grow the latter (rows are append-only,
-        so the sum is strictly monotonic per table).
+        ``(ddl_version, total_rows, total_mutations)``: CREATE/DROP
+        bumps the first, inserts grow the second, and UPDATE/DELETE bump
+        the third — so a delete-then-reinsert that restores the row
+        count, or an update that never changes it, still produces a new
+        fingerprint.  Used by index snapshots and the serving-session
+        result memo; the plan cache uses the finer-grained per-table
+        :meth:`table_versions` instead.
         """
-        total_rows = sum(len(table.rows) for table in self._tables.values())
-        return (self._ddl_version, total_rows)
+        total_rows = 0
+        total_mutations = 0
+        for table in self._tables.values():
+            total_rows += len(table.rows)
+            total_mutations += table.mutation_count
+        return (self._ddl_version, total_rows, total_mutations)
+
+    def table_versions(self, names: Iterable[str]) -> tuple:
+        """``(name, version)`` per table, the plan-cache validity token.
+
+        Unknown tables get version ``None`` so a cached plan whose table
+        was dropped (or dropped and re-created, which resets the
+        counter) can never validate.
+        """
+        tokens = []
+        for name in names:
+            table = self._tables.get(name.lower())
+            tokens.append((name, table.version if table is not None else None))
+        return tuple(tokens)
 
     def table(self, name: str) -> Table:
         try:

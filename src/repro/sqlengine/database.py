@@ -10,8 +10,16 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from repro.errors import SqlError
-from repro.sqlengine.ast_nodes import CreateTable, Insert, Select, Union
+from repro.sqlengine.ast_nodes import (
+    CreateTable,
+    Delete,
+    Insert,
+    Select,
+    Union,
+    Update,
+)
 from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
+from repro.sqlengine.dml import execute_delete, execute_update
 from repro.sqlengine.executor import ResultSet, execute_union
 from repro.sqlengine.parser import parse_sql
 from repro.sqlengine.planner import (
@@ -67,7 +75,19 @@ class Database:
     def execute(self, sql: str) -> ResultSet:
         """Parse and execute one SQL statement.
 
-        DDL/DML statements return an empty ResultSet.
+        DDL statements return an empty ResultSet; DML statements return
+        an empty ResultSet whose ``rowcount`` is the number of rows
+        inserted/updated/deleted.
+
+        >>> db = Database()
+        >>> _ = db.execute("CREATE TABLE t (id INT, name TEXT)")
+        >>> _ = db.execute("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')")
+        >>> db.execute("UPDATE t SET name = 'gamma' WHERE id = 2").rowcount
+        1
+        >>> db.execute("DELETE FROM t WHERE id = 1").rowcount
+        1
+        >>> db.execute("SELECT name FROM t").rows
+        [('gamma',)]
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):
@@ -95,7 +115,17 @@ class Database:
                     table.insert_named(**dict(zip(statement.columns, row)))
             else:
                 table.insert_many(statement.rows)
-            return ResultSet(columns=[], rows=[])
+            return ResultSet(columns=[], rows=[], rowcount=len(statement.rows))
+        if isinstance(statement, Update):
+            changed = execute_update(
+                self.catalog, statement, mode=self.execution_mode
+            )
+            return ResultSet(columns=[], rows=[], rowcount=changed)
+        if isinstance(statement, Delete):
+            removed = execute_delete(
+                self.catalog, statement, mode=self.execution_mode
+            )
+            return ResultSet(columns=[], rows=[], rowcount=removed)
         raise SqlError(f"unsupported statement type: {type(statement).__name__}")
 
     def execute_select_ast(self, select: Select) -> ResultSet:

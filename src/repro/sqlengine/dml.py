@@ -1,0 +1,106 @@
+"""DML execution: UPDATE and DELETE over the shared catalog mutation path.
+
+Unlike SELECT, DML needs no plan DAG — the work is one predicate over one
+table — but it reuses the planner's expression machinery end to end:
+WHERE predicates and SET values compile through
+:func:`~repro.sqlengine.expressions.compile_expr` (or its vectorized twin
+for the batch engine), so three-valued logic holds exactly as in
+queries: a WHERE that evaluates to NULL does *not* match the row.
+
+Matching happens first, mutation second, and all mutation flows through
+:meth:`~repro.sqlengine.catalog.Table.update_positions` /
+:meth:`~repro.sqlengine.catalog.Table.delete_positions` — the single
+path that keeps the tuple list and the columnar store in lockstep and
+notifies catalog observers (index maintenance, statistics) row by row.
+SET expressions are evaluated against the *old* row, per standard SQL,
+so ``SET a = b, b = a`` swaps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlengine.ast_nodes import Delete, Expr, Update
+from repro.sqlengine.catalog import Catalog, Table
+from repro.sqlengine.expressions import Scope, compile_expr, compile_expr_batch
+
+__all__ = ["execute_delete", "execute_update"]
+
+
+def _table_scope(table: Table) -> Scope:
+    return Scope([(table.name, column.name) for column in table.columns])
+
+
+def _matching_positions(
+    table: Table, where: "Expr | None", mode: str
+) -> list[int]:
+    """Row positions where *where* is ``True`` (3VL: NULL never matches)."""
+    if where is None:
+        return list(range(len(table.rows)))
+    scope = _table_scope(table)
+    if mode == "batch":
+        from repro.sqlengine.planner.physical import BATCH_SIZE
+
+        fn = compile_expr_batch(where, scope)
+        data = [table.column_data(i) for i in range(len(table.columns))]
+        total = len(table.rows)
+        positions: list[int] = []
+        for start in range(0, total, BATCH_SIZE):
+            stop = min(start + BATCH_SIZE, total)
+            cols = [column[start:stop] for column in data]
+            mask = fn(cols, stop - start)
+            positions.extend(
+                start + offset
+                for offset, value in enumerate(mask)
+                if value is True
+            )
+        return positions
+    if mode != "row":
+        raise SqlExecutionError(f"unknown execution mode {mode!r}")
+    row_fn = compile_expr(where, scope)
+    return [
+        position
+        for position, row in enumerate(table.rows)
+        if row_fn(row) is True
+    ]
+
+
+def execute_update(
+    catalog: Catalog, statement: Update, mode: str = "row"
+) -> int:
+    """Apply one UPDATE statement; returns the number of rows changed."""
+    table = catalog.table(statement.table)
+    scope = _table_scope(table)
+    seen: set[str] = set()
+    compiled = []
+    for assignment in statement.assignments:
+        index = table.column_index(assignment.column)
+        if assignment.column in seen:
+            raise SqlCatalogError(
+                f"column {assignment.column!r} assigned twice in UPDATE "
+                f"{table.name!r}"
+            )
+        seen.add(assignment.column)
+        compiled.append((index, compile_expr(assignment.value, scope)))
+    positions = _matching_positions(table, statement.where, mode)
+    if not positions:
+        return 0
+    rows = table.rows
+    new_rows = []
+    for position in positions:
+        old_row = rows[position]
+        new_row = list(old_row)
+        for index, value_fn in compiled:
+            new_row[index] = value_fn(old_row)
+        new_rows.append(new_row)
+    return table.update_positions(positions, new_rows)
+
+
+def execute_delete(
+    catalog: Catalog, statement: Delete, mode: str = "row"
+) -> int:
+    """Apply one DELETE statement; returns the number of rows removed."""
+    table = catalog.table(statement.table)
+    positions = _matching_positions(table, statement.where, mode)
+    if not positions:
+        return 0
+    return table.delete_positions(positions)

@@ -25,7 +25,8 @@ KEYWORDS = {
     "LIKE", "IN", "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN",
     "INNER", "LEFT", "RIGHT", "OUTER", "ON", "CREATE", "TABLE", "PRIMARY",
     "FOREIGN", "KEY", "REFERENCES", "INSERT", "INTO", "VALUES", "UNION",
-    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE",
+    "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE", "UPDATE",
+    "SET", "DELETE",
 }
 
 

@@ -1,9 +1,11 @@
 """Recursive-descent parser for the SQL subset.
 
 Supported statements: ``SELECT`` (comma joins and explicit ``JOIN .. ON``,
-WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, DISTINCT), ``CREATE TABLE``
-and ``INSERT INTO .. VALUES``.  This covers everything SODA generates
-(Queries 1-4 in the paper) plus what the gold-standard statements need.
+WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, DISTINCT), ``CREATE TABLE``,
+``INSERT INTO .. VALUES``, ``UPDATE .. SET .. [WHERE]`` and ``DELETE FROM
+.. [WHERE]``.  This covers everything SODA generates (Queries 1-4 in the
+paper), what the gold-standard statements need, and the corrections /
+retractions a long-lived warehouse service receives.
 """
 
 from __future__ import annotations
@@ -13,12 +15,14 @@ from typing import Any
 
 from repro.errors import SqlSyntaxError
 from repro.sqlengine.ast_nodes import (
+    Assignment,
     Between,
     BinaryOp,
     CaseWhen,
     ColumnDef,
     ColumnRef,
     CreateTable,
+    Delete,
     Expr,
     ForeignKeyDef,
     FuncCall,
@@ -34,6 +38,7 @@ from repro.sqlengine.ast_nodes import (
     TableRef,
     UnaryOp,
     Union,
+    Update,
 )
 from repro.sqlengine.lexer import Token, TokenType, tokenize
 from repro.sqlengine.types import SqlType, parse_date
@@ -81,13 +86,19 @@ class Parser:
     # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------
-    def parse_statement(self) -> "Select | Union | CreateTable | Insert":
+    def parse_statement(
+        self,
+    ) -> "Select | Union | CreateTable | Insert | Update | Delete":
         if self._check(TokenType.KEYWORD, "SELECT"):
             statement = self._parse_select_or_union()
         elif self._check(TokenType.KEYWORD, "CREATE"):
             statement = self._parse_create_table()
         elif self._check(TokenType.KEYWORD, "INSERT"):
             statement = self._parse_insert()
+        elif self._check(TokenType.KEYWORD, "UPDATE"):
+            statement = self._parse_update()
+        elif self._check(TokenType.KEYWORD, "DELETE"):
+            statement = self._parse_delete()
         else:
             raise SqlSyntaxError(f"unsupported statement: {self._sql[:60]!r}")
         self._accept(TokenType.PUNCT, ";")
@@ -476,6 +487,35 @@ class Parser:
                 break
         return Insert(table=table, columns=tuple(columns), rows=tuple(rows))
 
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE
+    # ------------------------------------------------------------------
+    def _parse_update(self) -> Update:
+        self._expect(TokenType.KEYWORD, "UPDATE")
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.KEYWORD, "SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(TokenType.PUNCT, ","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expr()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> Assignment:
+        column = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.OPERATOR, "=")
+        return Assignment(column=column, value=self._parse_expr())
+
+    def _parse_delete(self) -> Delete:
+        self._expect(TokenType.KEYWORD, "DELETE")
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect(TokenType.IDENTIFIER).value
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_expr()
+        return Delete(table=table, where=where)
+
     def _parse_literal_value(self) -> Any:
         expr = self._parse_expr()
         if isinstance(expr, Literal):
@@ -487,7 +527,7 @@ class Parser:
         raise SqlSyntaxError("INSERT values must be literals")
 
 
-def parse_sql(sql: str) -> "Select | CreateTable | Insert":
+def parse_sql(sql: str) -> "Select | CreateTable | Insert | Update | Delete":
     """Parse a single SQL statement.
 
     >>> stmt = parse_sql("SELECT * FROM parties")

@@ -5,9 +5,12 @@ into a logical plan DAG (:mod:`.logical`), optimizes it with rule-based
 rewrites driven by catalog statistics (:mod:`.optimizer`, :mod:`.stats`),
 compiles it into physical operators (:mod:`.physical`) and memoizes the
 result in an LRU plan cache (:mod:`.cache`) keyed by the normalized SQL
-text plus the catalog fingerprint.  ``EXPLAIN`` output is rendered from
-the optimized logical plan (:mod:`.explain`), annotated with the
-execution mode each operator runs in.
+text.  Each cache entry is stamped with the mutation versions of
+exactly the tables its plan scans, so DML on one table invalidates only
+the plans that read it — prepared plans for untouched tables survive.
+``EXPLAIN`` output is rendered from the optimized logical plan
+(:mod:`.explain`), annotated with the execution mode each operator runs
+in.
 
 Physical compilation targets one of two engines: the **vectorized
 batch engine** (the default — operators exchange ~1024-row column
@@ -36,7 +39,11 @@ from repro.sqlengine.planner.cache import (
     PlanCacheStats,
 )
 from repro.sqlengine.planner.explain import render_plan
-from repro.sqlengine.planner.logical import LogicalNode, lower_select
+from repro.sqlengine.planner.logical import (
+    LogicalNode,
+    lower_select,
+    referenced_tables,
+)
 from repro.sqlengine.planner.optimizer import optimize_plan
 from repro.sqlengine.planner.physical import (
     BATCH_SIZE,
@@ -58,11 +65,24 @@ __all__ = [
     "build_physical",
     "lower_select",
     "optimize_plan",
+    "referenced_tables",
     "render_plan",
 ]
 
 #: the engine new planners compile for unless told otherwise
 DEFAULT_EXECUTION_MODE = "batch"
+
+
+class _CachedPlan:
+    """One plan-cache entry: the compiled plan plus its validity stamp."""
+
+    __slots__ = ("plan", "ddl_version", "table_versions")
+
+    def __init__(self, plan, ddl_version, table_versions) -> None:
+        self.plan = plan
+        self.ddl_version = ddl_version
+        #: ``(table name, Table.version)`` for every table the plan scans
+        self.table_versions = table_versions
 
 
 class QueryPlanner:
@@ -104,15 +124,39 @@ class QueryPlanner:
 
     # ------------------------------------------------------------------
     def prepare(self, select: Select) -> PreparedPlan:
-        """Return a compiled plan, reusing a cached one when possible."""
-        key = (select.to_sql(), self.catalog.fingerprint())
-        plan = self.cache.get(key)
-        if plan is not None:
-            return plan
+        """Return a compiled plan, reusing a cached one when possible.
+
+        Cache entries are keyed by the normalized SQL alone and stamped
+        with the versions of exactly the tables the plan scans, so a
+        write to one table invalidates only the plans that read it —
+        prepared plans for untouched tables survive unrelated DML.
+        The DDL version is part of the stamp because a DROP + re-CREATE
+        swaps the underlying table object out from under the compiled
+        operators.
+        """
+        key = select.to_sql()
+        entry = self.cache.get(key, validate=self._entry_is_fresh)
+        if entry is not None:
+            return entry.plan
         logical = self.plan_logical(select)
         plan = build_physical(logical, self.catalog, mode=self._execution_mode)
-        self.cache.put(key, plan)
+        tables = referenced_tables(logical)
+        self.cache.put(
+            key,
+            _CachedPlan(
+                plan=plan,
+                ddl_version=self.catalog.ddl_version,
+                table_versions=self.catalog.table_versions(tables),
+            ),
+        )
         return plan
+
+    def _entry_is_fresh(self, entry: "_CachedPlan") -> bool:
+        if entry.ddl_version != self.catalog.ddl_version:
+            return False
+        return self.catalog.table_versions(
+            name for name, __ in entry.table_versions
+        ) == entry.table_versions
 
     def plan_logical(self, select: Select) -> LogicalNode:
         """Lower (and optionally optimize) without compiling or caching."""

@@ -1,12 +1,16 @@
-"""An LRU cache of prepared plans.
+"""An LRU cache of prepared plans with per-entry staleness validation.
 
 SODA generates many template-shaped statements (same structure,
 different literals are still frequent repeats across searches), so
 skipping lower + optimize + compile for a statement seen before is a
-direct win on the hot path.  Keys combine the *normalized SQL* (the
+direct win on the hot path.  Keys are the *normalized SQL* (the
 canonical ``Select.to_sql()`` rendering of the parsed statement, which
-collapses whitespace/keyword-case differences) with the catalog
-fingerprint, so DDL changes or inserts invalidate naturally.
+collapses whitespace/keyword-case differences); staleness is handled by
+an optional per-lookup ``validate`` callback rather than by baking a
+whole-catalog fingerprint into the key, so the planner can check a
+cached plan against exactly the tables it scans — a write to one table
+drops only the plans that touch it, and prepared plans for every other
+table keep serving hits.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: entries dropped because validation found them stale
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -43,9 +49,20 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key):
+    def get(self, key, validate=None):
+        """The cached entry for *key*, or None.
+
+        With *validate* (a predicate over the stored entry), a stale
+        entry is dropped and counted as an invalidation + miss instead
+        of being returned.
+        """
         entry = self._entries.get(key)
         if entry is None:
+            self.stats.misses += 1
+            return None
+        if validate is not None and not validate(entry):
+            del self._entries[key]
+            self.stats.invalidations += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)

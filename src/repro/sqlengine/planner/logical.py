@@ -158,6 +158,23 @@ class LogicalLimit(LogicalNode):
         return (self.child,)
 
 
+def referenced_tables(node: LogicalNode) -> tuple:
+    """The sorted base-table names scanned anywhere in *node*'s tree.
+
+    The plan cache validates a cached plan against exactly these
+    tables' mutation versions, so writes to unrelated tables never
+    evict it.
+    """
+    names: set = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, LogicalScan):
+            names.add(current.table)
+        stack.extend(current.children())
+    return tuple(sorted(names))
+
+
 # ---------------------------------------------------------------------------
 # lowering
 # ---------------------------------------------------------------------------

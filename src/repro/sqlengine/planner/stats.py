@@ -165,11 +165,12 @@ def _as_number(value) -> "float | None":
 class StatisticsProvider:
     """Lazily computes and caches :class:`TableStats` for a catalog.
 
-    One entry per table, validated against the row count and the
-    catalog's DDL version: statistics refresh automatically after
-    inserts or a DROP + re-CREATE, and stale snapshots never
-    accumulate.  ``histogram_bins`` tunes the per-column equi-width
-    histograms (0 disables them, restoring the fixed range constants).
+    One entry per table, validated against the table's mutation version
+    and the catalog's DDL version: statistics refresh automatically
+    after inserts, updates, deletes or a DROP + re-CREATE, and stale
+    snapshots never accumulate.  ``histogram_bins`` tunes the
+    per-column equi-width histograms (0 disables them, restoring the
+    fixed range constants).
     """
 
     def __init__(
@@ -181,7 +182,10 @@ class StatisticsProvider:
 
     def table_stats(self, table_name: str) -> TableStats:
         table = self._catalog.table(table_name)
-        token = (len(table.rows), self._catalog.ddl_version)
+        # the table version covers inserts, updates and deletes, so
+        # histograms refresh after in-place mutations too; the DDL
+        # version covers DROP + re-CREATE (which resets the counter)
+        token = (table.version, self._catalog.ddl_version)
         cached = self._cache.get(table.name)
         if cached is not None and cached[0] == token:
             return cached[1]

@@ -14,10 +14,15 @@ from repro.errors import SqlExecutionError
 
 @dataclass
 class ResultSet:
-    """The rows produced by a SELECT."""
+    """The rows produced by a SELECT.
+
+    DML statements return an empty result whose ``rowcount`` records how
+    many rows the statement touched (None for queries and DDL).
+    """
 
     columns: list[str]
     rows: list[tuple]
+    rowcount: "int | None" = None
 
     def __len__(self) -> int:
         return len(self.rows)

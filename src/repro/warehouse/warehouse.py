@@ -7,8 +7,8 @@ Bundles everything SODA needs about one data warehouse:
 * the metadata graph (a :class:`~repro.graph.triples.TripleStore`),
 * the base-data inverted index (incrementally maintained: an
   :class:`~repro.index.maintenance.InvertedIndexMaintainer` is
-  registered on the catalog, so INSERT/DDL keep the index fresh
-  without rebuilds),
+  registered on the catalog, so INSERT/UPDATE/DELETE/DDL keep the
+  index fresh without rebuilds),
 * a cache of classification-index variants shared by every `Soda`
   built on this warehouse.
 

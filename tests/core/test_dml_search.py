@@ -1,0 +1,102 @@
+"""Search freshness after UPDATE/DELETE on the base data.
+
+The whole point of DML-aware index maintenance: a long-lived engine
+(warm `Soda`, memoized steps, serving sessions, plan cache) must serve
+*current* answers immediately after a correction or retraction, with no
+rebuild and no stale memo.
+"""
+
+import pytest
+
+from repro.core.serving import SearchSession
+from repro.core.soda import Soda, SodaConfig
+from repro.index.inverted import InvertedIndex
+from repro.warehouse.minibank import build_minibank
+
+
+@pytest.fixture
+def fresh_warehouse():
+    return build_minibank(seed=42, scale=0.25)
+
+
+class TestSearchAfterDml:
+    def test_update_of_indexed_value_moves_search_results(
+        self, fresh_warehouse
+    ):
+        """Renaming a city re-targets keyword search with no rebuild."""
+        soda = Soda(fresh_warehouse, SodaConfig())
+        before = soda.search("Zurich", execute=False)
+        assert before.statements  # the city is indexed and findable
+
+        changed = fresh_warehouse.database.execute(
+            "UPDATE addresses SET city = 'Altstetten' WHERE city = 'Zurich'"
+        ).rowcount
+        assert changed > 0
+
+        # the old value is gone from lookups, the new one resolves
+        after_old = soda.search("Zurich", execute=False)
+        assert not any(
+            "addresses.city" in s.sql and "zurich" in s.sql.lower()
+            for s in after_old.statements
+        )
+        after_new = soda.search("Altstetten", execute=False)
+        assert any(
+            "altstetten" in s.sql.lower() for s in after_new.statements
+        )
+        # and the maintained index still equals a from-scratch rebuild
+        rebuilt = InvertedIndex.build(fresh_warehouse.database.catalog)
+        assert fresh_warehouse.inverted.size_summary() == (
+            rebuilt.size_summary()
+        )
+
+    def test_update_of_join_key_changes_executed_results(
+        self, fresh_warehouse
+    ):
+        """Re-pointing a join key column re-joins on the next search."""
+        database = fresh_warehouse.database
+        probe = (
+            "SELECT count(*) FROM agreements_td a, parties p "
+            "WHERE a.party_id = p.id"
+        )
+        joined_before = database.execute(probe).rows[0][0]
+        assert joined_before > 0
+        # retarget every agreement at a party id that does not exist
+        database.execute("UPDATE agreements_td SET party_id = 999999")
+        assert database.execute(probe).rows[0][0] == 0
+
+        # a search that executes over the re-keyed join sees the change
+        soda = Soda(fresh_warehouse, SodaConfig())
+        result = soda.search("gold agreement", execute=True)
+        for statement in result.statements:
+            if statement.snippet is None:
+                continue
+            if "parties" in statement.sql and "agreements_td" in statement.sql:
+                assert statement.snippet.rows == []
+
+    def test_delete_of_indexed_rows_empties_search(self, fresh_warehouse):
+        soda = Soda(fresh_warehouse, SodaConfig())
+        assert soda.search("Zurich", execute=False).statements
+        removed = fresh_warehouse.database.execute(
+            "DELETE FROM addresses WHERE city = 'Zurich'"
+        ).rowcount
+        assert removed > 0
+        after = soda.search("Zurich", execute=False)
+        assert not any(
+            "addresses" in s.sql and "zurich" in s.sql.lower()
+            for s in after.statements
+        )
+
+    def test_serving_session_memo_invalidated_by_dml(self, fresh_warehouse):
+        session = SearchSession(
+            Soda(fresh_warehouse, SodaConfig()), execute=False
+        )
+        first = session.search("Zurich")
+        assert session.search("Zurich") is first  # memo hit
+        assert session.cache_stats()["hits"] == 1
+
+        fresh_warehouse.database.execute(
+            "UPDATE addresses SET city = 'Oerlikon' WHERE city = 'Zurich'"
+        )
+        second = session.search("Zurich")
+        assert second is not first  # token changed: memo was emptied
+        assert session.cache_stats()["hits"] == 1

@@ -169,3 +169,48 @@ class TestStats:
         a = Posting("a", "c", "v")
         b = Posting("b", "c", "v")
         assert sorted([b, a], key=Posting.sort_key)[0] is a
+
+
+class TestRemove:
+    """The incremental un-index path (UPDATE/DELETE write-through)."""
+
+    def test_remove_last_occurrence_drops_postings(self, db):
+        index = InvertedIndex.build(db.catalog)
+        index.remove("orgs", "org_nm", "Alpine Trading AG")
+        assert index.lookup("alpine") == []
+        assert index.lookup("trading") == []
+        # shared tokens from other values survive
+        assert index.lookup("credit")
+
+    def test_remove_decrements_occurrences(self, db):
+        index = InvertedIndex.build(db.catalog)
+        index.add("orgs", "org_nm", "Credit Suisse")  # second row, same value
+        assert index.lookup("credit")[0].occurrences == 2
+        index.remove("orgs", "org_nm", "Credit Suisse")
+        postings = [p for p in index.lookup("credit")
+                    if p.value == "Credit Suisse"]
+        assert postings[0].occurrences == 1
+        assert index.entry_count() == 5  # back to the as-built count
+
+    def test_remove_add_round_trip_is_identity(self, db):
+        index = InvertedIndex.build(db.catalog)
+        before = (index.size_summary(), index.lookup("gold"),
+                  index.lookup_phrase("credit suisse"))
+        index.remove("orgs", "notes", "gold dealer")
+        index.add("orgs", "notes", "gold dealer")
+        after = (index.size_summary(), index.lookup("gold"),
+                 index.lookup_phrase("credit suisse"))
+        assert after == before
+
+    def test_remove_unknown_value_raises(self, db):
+        from repro.errors import WarehouseError
+
+        index = InvertedIndex.build(db.catalog)
+        with pytest.raises(WarehouseError, match="unindexed"):
+            index.remove("orgs", "org_nm", "Never Indexed")
+
+    def test_remove_bumps_version(self, db):
+        index = InvertedIndex.build(db.catalog)
+        before = index.version
+        index.remove("orgs", "notes", "bank")
+        assert index.version > before

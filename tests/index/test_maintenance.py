@@ -73,6 +73,81 @@ class TestWriteThrough:
         assert maintainer.applied_inserts == 2
         assert maintainer.applied_ddl == 2  # create + drop
 
+    def test_counters_track_updates_and_deletes(self, db):
+        maintainer = attach_maintainer(db.catalog, InvertedIndex.build(db.catalog))
+        db.execute("UPDATE orgs SET org_nm = 'Renamed AG' WHERE id = 1")
+        db.execute("DELETE FROM orgs WHERE id = 2")
+        assert maintainer.applied_updates == 1
+        assert maintainer.applied_deletes == 1
+
+
+class TestDmlWriteThrough:
+    """UPDATE/DELETE deltas keep the index equal to a full rebuild."""
+
+    def test_update_unindexes_old_value_and_indexes_new(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("UPDATE orgs SET org_nm = 'Zurich Trust' WHERE id = 1")
+        assert not maintained.lookup("credit")  # only row 1 held 'Credit...'
+        assert [p.value for p in maintained.lookup("zurich")] == [
+            "Zurich Trust"
+        ]
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
+    def test_update_of_duplicated_value_keeps_other_rows(self, db):
+        db.execute("INSERT INTO orgs VALUES (3, 'Credit Suisse')")
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("UPDATE orgs SET org_nm = 'Solo Bank' WHERE id = 1")
+        postings = maintained.lookup("credit")
+        assert [(p.value, p.occurrences) for p in postings] == [
+            ("Credit Suisse", 1)
+        ]
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
+    def test_delete_removes_postings(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("DELETE FROM orgs WHERE id = 1")
+        assert not maintained.lookup("credit")
+        assert maintained.lookup("alpha")  # row 2 survives
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
+    def test_update_touching_null_values(self, db):
+        db.execute("INSERT INTO orgs VALUES (4, NULL)")
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("UPDATE orgs SET org_nm = 'Was Null Gmbh' WHERE id = 4")
+        db.execute("UPDATE orgs SET org_nm = NULL WHERE id = 1")
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
+    def test_parity_after_mixed_dml_workload(self, db):
+        maintained = InvertedIndex.build(db.catalog)
+        attach_maintainer(db.catalog, maintained)
+        db.execute("INSERT INTO orgs VALUES (3, 'Zurich Kantonalbank')")
+        db.execute("UPDATE orgs SET org_nm = 'Beta Gamma AG' WHERE id = 2")
+        db.execute("CREATE TABLE notes (id INT, body TEXT)")
+        db.execute(
+            "INSERT INTO notes VALUES (1, 'gold bond'), (2, 'basel note')"
+        )
+        db.execute("DELETE FROM orgs WHERE id = 1")
+        db.execute("UPDATE notes SET body = 'gold suisse bond' WHERE id = 1")
+        db.execute("DELETE FROM notes WHERE body LIKE '%basel%'")
+        db.execute("INSERT INTO orgs VALUES (5, 'Credit Suisse')")
+        db.execute("DELETE FROM orgs")
+        db.execute("INSERT INTO orgs VALUES (6, 'Final Alpha Holdings')")
+        assert index_state(maintained) == index_state(
+            InvertedIndex.build(db.catalog)
+        )
+
     def test_unregister_stops_maintenance(self, db):
         maintained = InvertedIndex.build(db.catalog)
         maintainer = attach_maintainer(db.catalog, maintained)

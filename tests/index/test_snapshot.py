@@ -85,6 +85,40 @@ class TestVerification:
         with pytest.raises(WarehouseError, match="stale"):
             snapshot.verify("testbank", db.catalog.fingerprint())
 
+    def test_verify_rejects_post_delete_fingerprint(self, snapshot, db):
+        db.execute("DELETE FROM orgs WHERE id = 2")
+        with pytest.raises(WarehouseError, match="stale"):
+            snapshot.verify("testbank", db.catalog.fingerprint())
+
+    def test_verify_rejects_post_update_fingerprint(self, snapshot, db):
+        """An in-place rewrite changes no row count but still stales."""
+        db.execute("UPDATE orgs SET org_nm = 'Renamed AG' WHERE id = 3")
+        with pytest.raises(WarehouseError, match="stale"):
+            snapshot.verify("testbank", db.catalog.fingerprint())
+
+    def test_legacy_two_field_fingerprint_still_warm_starts(
+        self, snapshot, db, tmp_path
+    ):
+        """Pre-DML snapshots stamped (ddl, rows) migrate to (ddl, rows, 0)."""
+        path = tmp_path / "legacy.json"
+        payload = snapshot.to_dict()
+        payload["fingerprint"] = payload["fingerprint"][:2]
+        path.write_text(json.dumps(payload))
+        loaded = load_snapshot(path)
+        assert loaded.fingerprint == db.catalog.fingerprint()
+        loaded.verify("testbank", db.catalog.fingerprint())  # no raise
+        # but any mutation since the save still reads as stale
+        db.execute("UPDATE orgs SET org_nm = 'Churned' WHERE id = 1")
+        with pytest.raises(WarehouseError, match="stale"):
+            loaded.verify("testbank", db.catalog.fingerprint())
+
+    def test_verify_rejects_delete_reinsert_churn(self, snapshot, db):
+        """Deleting and re-adding the same number of rows still stales."""
+        db.execute("DELETE FROM orgs WHERE id = 1")
+        db.execute("INSERT INTO orgs VALUES (1, 'Credit Suisse')")
+        with pytest.raises(WarehouseError, match="stale"):
+            snapshot.verify("testbank", db.catalog.fingerprint())
+
     def test_unsupported_version_rejected(self, snapshot, tmp_path):
         path = tmp_path / "snap.json"
         payload = snapshot.to_dict()

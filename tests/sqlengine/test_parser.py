@@ -64,7 +64,7 @@ class TestSelectBasics:
 
     def test_unsupported_statement_raises(self):
         with pytest.raises(SqlSyntaxError):
-            parse_sql("DELETE FROM t")
+            parse_sql("DROP TABLE t")
 
     def test_parse_select_rejects_ddl(self):
         with pytest.raises(SqlSyntaxError):

@@ -255,6 +255,55 @@ class TestPlanCache:
         assert second == first + ["zz"]
 
 
+class TestPerTableInvalidation:
+    """Writes drop only the cached plans that scan the written table."""
+
+    def test_write_to_other_table_keeps_plan_cached(self, db):
+        small_sql = "SELECT tag FROM small WHERE id = 1"
+        db.execute(small_sql)
+        hits = db.planner.cache.stats.hits
+        db.execute("UPDATE big SET status = 'HELD' WHERE id = 1")
+        db.execute("INSERT INTO big VALUES (99, 1, 990.0, 'OPEN')")
+        db.execute("DELETE FROM big WHERE id = 99")
+        db.execute(small_sql)
+        assert db.planner.cache.stats.hits == hits + 1
+        assert db.planner.cache.stats.invalidations == 0
+
+    def test_write_to_scanned_table_invalidates(self, db):
+        big_sql = "SELECT count(*) FROM big WHERE status = 'DONE'"
+        before = db.execute(big_sql).rows
+        db.execute("UPDATE big SET status = 'OPEN' WHERE status = 'DONE'")
+        assert db.execute(big_sql).rows == [(0,)]
+        assert before != [(0,)]
+        assert db.planner.cache.stats.invalidations == 1
+
+    def test_update_invalidates_join_plans_of_either_table(self, db):
+        join_sql = (
+            "SELECT count(*) FROM small, big "
+            "WHERE small.id = big.small_id AND small.tag = 'a'"
+        )
+        db.execute(join_sql)
+        db.execute("UPDATE small SET tag = 'z' WHERE tag = 'a'")
+        assert db.execute(join_sql).rows == [(0,)]
+        assert db.planner.cache.stats.invalidations == 1
+
+    def test_delete_then_count_via_cached_statement(self, db):
+        sql = "SELECT count(*) FROM big"
+        total = db.execute(sql).rows[0][0]
+        removed = db.execute("DELETE FROM big WHERE status = 'DONE'").rowcount
+        assert removed > 0
+        assert db.execute(sql).rows == [(total - removed,)]
+
+    def test_drop_and_recreate_invalidates_via_ddl_version(self, db):
+        sql = "SELECT count(*) FROM small"
+        assert db.execute(sql).rows == [(3,)]
+        db.catalog.drop_table("small")
+        db.execute("CREATE TABLE small (id INT PRIMARY KEY, tag TEXT)")
+        # the re-created table starts empty; a stale plan would still
+        # scan the old table object and report 3
+        assert db.execute(sql).rows == [(0,)]
+
+
 class TestStatistics:
     def test_distinct_and_null_counts(self, db):
         provider = StatisticsProvider(db.catalog)

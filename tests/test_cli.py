@@ -114,6 +114,46 @@ class TestExplain:
         assert code == 1
         assert "error:" in output
 
+    def test_sql_select_prints_rows(self):
+        code, output = run_cli(
+            "--scale", "0.25", "sql",
+            "SELECT city, count(*) FROM addresses GROUP BY city "
+            "ORDER BY count(*) DESC, city LIMIT 2",
+        )
+        assert code == 0
+        assert "city | count(*)" in output
+        assert "row(s)" in output
+
+    def test_sql_update_reports_rowcount(self):
+        code, output = run_cli(
+            "--scale", "0.25", "sql",
+            "UPDATE addresses SET country = 'CH' WHERE country = 'CH'",
+        )
+        assert code == 0
+        assert "row(s) affected" in output
+
+    def test_sql_delete_no_match_reports_zero(self):
+        code, output = run_cli(
+            "--scale", "0.25", "sql",
+            "DELETE FROM addresses WHERE city = 'Nowhereville'",
+        )
+        assert code == 0
+        assert "0 row(s) affected" in output
+
+    def test_sql_error_exits_nonzero(self):
+        code, output = run_cli(
+            "--scale", "0.25", "sql", "UPDATE missing SET x = 1"
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_sql_respects_display_limit(self):
+        code, output = run_cli(
+            "--scale", "0.25", "sql", "SELECT id FROM parties", "--limit", "3"
+        )
+        assert code == 0
+        assert "(3 shown)" in output
+
     def test_explain_annotates_batch_mode_by_default(self):
         code, output = run_cli(
             "--scale", "0.25", "explain", "SELECT id FROM parties"

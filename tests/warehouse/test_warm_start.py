@@ -69,6 +69,31 @@ class TestWarmStart:
         with pytest.raises(WarehouseError):
             other.load_index_snapshot(snapshot_path)
 
+    def test_strict_load_rejects_post_delete_snapshot(self, tmp_path):
+        """A DELETE after saving makes the snapshot unloadable (strict)."""
+        warehouse = build_minibank(seed=42, scale=0.1)
+        path = tmp_path / "predelete.json"
+        warehouse.save_index_snapshot(path)
+        warehouse.database.execute("DELETE FROM currencies WHERE currency_cd = 'CHF'")
+        with pytest.raises(WarehouseError, match="stale"):
+            warehouse.load_index_snapshot(path)
+        # and the soft build() path falls back to a cold build
+        rebuilt = build_minibank(seed=42, scale=0.1, snapshot=str(path))
+        assert rebuilt.inverted.entry_count() > 0
+
+    def test_strict_load_rejects_post_update_snapshot(self, tmp_path):
+        """An UPDATE leaves the row count unchanged but still stales."""
+        warehouse = build_minibank(seed=42, scale=0.1)
+        path = tmp_path / "preupdate.json"
+        warehouse.save_index_snapshot(path)
+        changed = warehouse.database.execute(
+            "UPDATE currencies SET currency_nm = 'Renamed Franc' "
+            "WHERE currency_cd = 'CHF'"
+        ).rowcount
+        assert changed == 1
+        with pytest.raises(WarehouseError, match="stale"):
+            warehouse.load_index_snapshot(path)
+
     def test_strict_load_replaces_indexes(self, snapshot_path):
         warehouse = build_minibank(seed=42, scale=0.25)
         old_index = warehouse.inverted
