@@ -5,18 +5,22 @@
 #                     seconds, for tight edit loops
 #   make bench-smoke  quick benchmarks with hard correctness + speedup
 #                     asserts (planner; vectorized engine >=3x + parity,
-#                     emits BENCH_engine.json; search serving + warm-start;
+#                     emits BENCH_engine.json; dictionary encoding >=2x +
+#                     hash LEFT JOIN >=2x + TopN beats Sort+Limit, emits
+#                     BENCH_dict.json; search serving + warm-start;
 #                     DML plan-cache invalidation, emits BENCH_dml.json).
 #                     BENCH_SPEEDUP_MIN relaxes the *timing* floors on
 #                     noisy shared runners (see benchmarks/bench_utils.py);
 #                     correctness asserts always stay hard.
+#   make coverage     tier-1 suite under pytest-cov (CI gate: >=85% on
+#                     src/repro, writes coverage.xml)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
-#   make check        all of the above
+#   make check        all of the above (except coverage)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke lint check
+.PHONY: test test-fast bench-smoke coverage lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,8 +32,13 @@ test-fast:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py \
 		benchmarks/bench_vectorized_engine.py \
+		benchmarks/bench_dictionary_engine.py \
 		benchmarks/bench_search_serving.py \
 		benchmarks/bench_dml_invalidation.py -q -s
+
+coverage:
+	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \
+		--cov-report=xml --cov-fail-under=85
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -1,0 +1,228 @@
+"""Engine perf round 2: dictionary encoding, hash LEFT JOIN, TOP-N.
+
+Three locks over a 50k-row string-heavy warehouse workload, each
+correctness-gated (byte-identical ``ResultSet``s across the row engine,
+the unencoded batch engine and the encoded batch engine) before any
+timing is trusted:
+
+* **string filter + GROUP BY** — LIKE/IN/equality over dictionary-
+  encoded TEXT columns plus a code-keyed aggregation must run at least
+  **2x** faster than the same batch plan over unencoded columns (the
+  PR-3 engine): LIKE evaluates its regex once per dictionary entry
+  instead of once per row, equality/IN compare integer codes;
+* **hash vs broadcast LEFT JOIN** — the gather-based hash path must
+  beat the per-left-row broadcast evaluation by at least **2x** (in
+  practice it is orders of magnitude on any non-trivial right side);
+* **TOP-N pushdown** — the fused bounded-heap ``top-n`` operator must
+  beat the unfused full Sort+Limit plan.
+
+Timing floors clamp to ``BENCH_SPEEDUP_MIN`` on noisy shared runners
+(see ``bench_utils.speedup_floor``); correctness asserts stay hard.
+All measurements land in ``BENCH_dict.json``.
+
+Run with::
+
+    pytest benchmarks/bench_dictionary_engine.py -q -s
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_utils import speedup_floor
+from repro.sqlengine.database import Database
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.planner import build_physical, lower_select
+from repro.sqlengine.planner import physical
+
+FACT_ROWS = 50_000
+DIM_ROWS = 400
+LEFT_JOIN_ROWS = 5_000  # broadcast is O(left x right); keep the smoke quick
+
+STATUSES = ["NEW", "OPEN", "HELD", "DONE", "SETTLED", "VOID"]
+CITIES = [f"city {i}" for i in range(37)] + ["Hamburg", "Strasburg", "Augsburg"]
+CLASSES = [f"class {i}" for i in range(24)]
+
+STRING_GROUPBY_SQL = (
+    "SELECT classification, count(*), sum(amount) FROM facts "
+    "WHERE city LIKE '%burg%' AND status IN ('DONE', 'HELD') "
+    "GROUP BY classification ORDER BY classification"
+)
+LEFT_JOIN_SQL = (
+    "SELECT f.id, f.status, d.region FROM facts f "
+    f"LEFT JOIN dims d ON f.dim_id = d.id AND d.region <> 'region 3' "
+    f"WHERE f.id < {LEFT_JOIN_ROWS}"
+)
+TOPN_SQL = (
+    "SELECT id, amount, status FROM facts "
+    "ORDER BY amount DESC, id LIMIT 10"
+)
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dict.json"
+
+
+def make_db(mode: str, dict_encoding_threshold: "int | None" = None) -> Database:
+    rng = random.Random(11)
+    db = Database(
+        execution_mode=mode,
+        dict_encoding_threshold=dict_encoding_threshold,
+    )
+    db.create_table(
+        "facts",
+        [("id", "INT"), ("status", "TEXT"), ("city", "TEXT"),
+         ("classification", "TEXT"), ("amount", "REAL"), ("dim_id", "INT")],
+        primary_key=["id"],
+    )
+    db.create_table(
+        "dims", [("id", "INT"), ("region", "TEXT")], primary_key=["id"]
+    )
+    db.insert_rows(
+        "facts",
+        [
+            (
+                i,
+                STATUSES[i % 6],
+                CITIES[rng.randrange(len(CITIES))],
+                CLASSES[rng.randrange(len(CLASSES))],
+                float(rng.randrange(1, 10_000)),
+                rng.randrange(DIM_ROWS),
+            )
+            for i in range(FACT_ROWS)
+        ],
+    )
+    db.insert_rows("dims", [(i, f"region {i % 12}") for i in range(DIM_ROWS)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def row_db():
+    return make_db("row")
+
+
+@pytest.fixture(scope="module")
+def encoded_db():
+    return make_db("batch")
+
+
+@pytest.fixture(scope="module")
+def unencoded_db():
+    return make_db("batch", dict_encoding_threshold=0)
+
+
+def _best_time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _assert_three_way(row_db, encoded_db, unencoded_db, sql: str) -> None:
+    reference = row_db.execute(sql)
+    for db in (encoded_db, unencoded_db):
+        result = db.execute(sql)
+        assert result.columns == reference.columns, sql
+        assert result.rows == reference.rows, sql
+
+
+class TestDictionaryEngine:
+    def test_fixture_is_encoded_as_expected(self, encoded_db, unencoded_db):
+        assert encoded_db.table("facts").encoded_column_names() == [
+            "status", "city", "classification",
+        ]
+        assert unencoded_db.table("facts").encoded_column_names() == []
+        plan = encoded_db.explain(STRING_GROUPBY_SQL)
+        assert "[dict:" in plan
+
+    def test_speedups_and_report(self, row_db, encoded_db, unencoded_db):
+        report = {
+            "fact_rows": FACT_ROWS,
+            "dim_rows": DIM_ROWS,
+            "workloads": {},
+        }
+
+        # 1. dictionary encoding: string filter + GROUP BY ------------
+        _assert_three_way(row_db, encoded_db, unencoded_db,
+                          STRING_GROUPBY_SQL)
+        select = parse_select(STRING_GROUPBY_SQL)
+        encoded_plan = encoded_db.planner.prepare(select)
+        unencoded_plan = unencoded_db.planner.prepare(select)
+        encoded_s = _best_time(encoded_plan.execute)
+        unencoded_s = _best_time(unencoded_plan.execute)
+        report["workloads"]["string_filter_groupby"] = {
+            "encoded_s": round(encoded_s, 6),
+            "unencoded_s": round(unencoded_s, 6),
+            "speedup": round(unencoded_s / encoded_s, 2),
+        }
+
+        # 2. LEFT JOIN: hash path vs PR-3 broadcast --------------------
+        _assert_three_way(row_db, encoded_db, unencoded_db, LEFT_JOIN_SQL)
+        join_select = parse_select(LEFT_JOIN_SQL)
+        hash_plan = encoded_db.planner.prepare(join_select)
+        assert physical.HASH_LEFT_JOIN_ENABLED
+        physical.HASH_LEFT_JOIN_ENABLED = False
+        try:
+            broadcast_plan = build_physical(
+                encoded_db.planner.plan_logical(join_select),
+                encoded_db.catalog,
+                mode="batch",
+            )
+        finally:
+            physical.HASH_LEFT_JOIN_ENABLED = True
+        assert broadcast_plan.execute().rows == hash_plan.execute().rows
+        hash_s = _best_time(hash_plan.execute)
+        broadcast_s = _best_time(broadcast_plan.execute)
+        report["workloads"]["left_join"] = {
+            "left_rows": LEFT_JOIN_ROWS,
+            "hash_s": round(hash_s, 6),
+            "broadcast_s": round(broadcast_s, 6),
+            "speedup": round(broadcast_s / hash_s, 2),
+        }
+
+        # 3. TOP-N pushdown vs full Sort+Limit -------------------------
+        _assert_three_way(row_db, encoded_db, unencoded_db, TOPN_SQL)
+        topn_select = parse_select(TOPN_SQL)
+        topn_plan = encoded_db.planner.prepare(topn_select)
+        assert "top-n 10 by amount DESC, id" in encoded_db.explain(TOPN_SQL)
+        sort_limit_plan = build_physical(
+            lower_select(encoded_db.catalog, topn_select),
+            encoded_db.catalog,
+            mode="batch",
+        )
+        assert sort_limit_plan.execute().rows == topn_plan.execute().rows
+        topn_s = _best_time(topn_plan.execute)
+        sort_limit_s = _best_time(sort_limit_plan.execute)
+        report["workloads"]["topn"] = {
+            "topn_s": round(topn_s, 6),
+            "sort_limit_s": round(sort_limit_s, 6),
+            "speedup": round(sort_limit_s / topn_s, 2),
+        }
+
+        BENCH_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+        print(f"\ndictionary engine round 2 ({FACT_ROWS} fact rows):")
+        for name, numbers in report["workloads"].items():
+            print(f"  {name:24s} {numbers['speedup']:6.2f}x  {numbers}")
+        print(f"  -> {BENCH_OUTPUT.name} written")
+
+        floor = speedup_floor(2.0)
+        groupby = report["workloads"]["string_filter_groupby"]
+        assert groupby["speedup"] >= floor, (
+            f"encoded string filter + GROUP BY must be >= {floor}x over the "
+            f"unencoded batch engine, got {groupby['speedup']}x"
+        )
+        join = report["workloads"]["left_join"]
+        assert join["speedup"] >= floor, (
+            f"hash LEFT JOIN must be >= {floor}x over broadcast, got "
+            f"{join['speedup']}x"
+        )
+        topn_floor = speedup_floor(1.2)
+        topn = report["workloads"]["topn"]
+        assert topn["speedup"] >= topn_floor, (
+            f"TopN must beat full Sort+Limit (>= {topn_floor}x), got "
+            f"{topn['speedup']}x"
+        )

@@ -101,8 +101,8 @@ def make_parser() -> argparse.ArgumentParser:
         help="build: time a cold build; save/load: snapshot round-trip; "
              "stats: sizes + maintenance state",
     )
-    index.add_argument("--path", default="soda_index_snapshot.json",
-                       help="snapshot file (default soda_index_snapshot.json)")
+    index.add_argument("--path", default="soda_index_snapshot.json.gz",
+                       help="snapshot file (default soda_index_snapshot.json.gz, gzip-compressed)")
 
     browse = commands.add_parser(
         "browse", help="schema browser: describe a table or a term"
@@ -315,10 +315,22 @@ def cmd_compare(args, out) -> int:
 
 
 def cmd_index(args, out) -> int:
+    import os
     import time
 
     from repro.errors import WarehouseError
     from repro.index.inverted import InvertedIndex
+
+    # a load left on the default path falls back to the pre-compression
+    # default name when only that file exists (the loader reads both
+    # formats, so legacy snapshots keep working without --path)
+    if (
+        args.action == "load"
+        and args.path == "soda_index_snapshot.json.gz"
+        and not os.path.exists(args.path)
+        and os.path.exists("soda_index_snapshot.json")
+    ):
+        args.path = "soda_index_snapshot.json"
 
     # "load" warm-starts the build from the snapshot under test so the
     # success path never pays the cold scan it is meant to replace;

@@ -6,6 +6,10 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import SqlCatalogError, SqlTypeError
+from repro.sqlengine.encoding import (
+    DICT_ENCODING_MAX_DISTINCT,
+    ColumnDictionary,
+)
 from repro.sqlengine.types import SqlType, coerce_value
 
 
@@ -82,6 +86,18 @@ class Table:
     :attr:`mutation_count`, which feeds the catalog fingerprint so
     non-append writes are visible to snapshot staleness checks even when
     the row count ends up unchanged.
+
+    TEXT columns additionally carry a **dictionary encoding** while
+    their live distinct-value count stays at or below
+    ``dict_encoding_threshold`` (default
+    :data:`~repro.sqlengine.encoding.DICT_ENCODING_MAX_DISTINCT`; 0
+    disables encoding): a refcounted
+    :class:`~repro.sqlengine.encoding.ColumnDictionary` plus one code
+    per row, maintained through the same single mutation path as the
+    two value layouts.  The vectorized engine reads the codes for
+    integer-speed string predicates and code-keyed GROUP BY / DISTINCT
+    / join probes; a column whose cardinality outgrows the threshold
+    drops its dictionary and falls back to plain value batches.
     """
 
     def __init__(
@@ -89,6 +105,7 @@ class Table:
         name: str,
         columns: Sequence[Column],
         foreign_keys: Iterable[ForeignKey] = (),
+        dict_encoding_threshold: "int | None" = None,
     ) -> None:
         if not columns:
             raise SqlCatalogError(f"table {name!r} must have at least one column")
@@ -102,6 +119,26 @@ class Table:
         self.rows: list[tuple] = []
         #: columnar storage: one value list per column, in schema order
         self._column_data: list[list] = [[] for __ in self.columns]
+        self._dict_threshold = (
+            DICT_ENCODING_MAX_DISTINCT
+            if dict_encoding_threshold is None
+            else max(0, dict_encoding_threshold)
+        )
+        #: per-column dictionary (TEXT columns under the threshold; None
+        #: once a column is unencoded) and the aligned code lists
+        self._dictionaries: list = [
+            ColumnDictionary()
+            if self._dict_threshold and column.sql_type is SqlType.TEXT
+            else None
+            for column in self.columns
+        ]
+        self._codes: list = [
+            [] if dictionary is not None else None
+            for dictionary in self._dictionaries
+        ]
+        self._encoded_indexes: list[int] = [
+            i for i, d in enumerate(self._dictionaries) if d is not None
+        ]
         #: bumped on every insert/update/delete (plan-cache validity)
         self._version = 0
         #: updates + deletes only (feeds the catalog fingerprint)
@@ -139,6 +176,29 @@ class Table:
         """The value list of the named column (live, do not mutate)."""
         return self._column_data[self.column_index(name)]
 
+    def column_dictionary(self, index: int) -> "ColumnDictionary | None":
+        """The dictionary of the column at *index*, or None if unencoded."""
+        return self._dictionaries[index]
+
+    def column_codes(self, index: int) -> "list | None":
+        """The per-row code list of the column at *index* (live), or None."""
+        return self._codes[index]
+
+    def encoded_column_names(self) -> list[str]:
+        """Names of the columns currently carrying a dictionary."""
+        return [self.columns[i].name for i in self._encoded_indexes]
+
+    def _disable_dictionary(self, index: int) -> None:
+        """Drop the dictionary of one column (cardinality outgrew the cap)."""
+        self._dictionaries[index] = None
+        self._codes[index] = None
+        self._encoded_indexes.remove(index)
+
+    def _check_dictionary_thresholds(self) -> None:
+        for index in list(self._encoded_indexes):
+            if self._dictionaries[index].live_count > self._dict_threshold:
+                self._disable_dictionary(index)
+
     # ------------------------------------------------------------------
     @property
     def version(self) -> int:
@@ -165,6 +225,15 @@ class Table:
         self.rows.append(row)
         for store, value in zip(self._column_data, row):
             store.append(value)
+        if self._encoded_indexes:
+            for index in self._encoded_indexes:
+                value = row[index]
+                self._codes[index].append(
+                    None
+                    if value is None
+                    else self._dictionaries[index].encode(value)
+                )
+            self._check_dictionary_thresholds()
         self._version += 1
         for observer in self._observers:
             observer.on_insert(self, row)
@@ -226,13 +295,26 @@ class Table:
             return 0
         rows = self.rows
         column_data = self._column_data
+        encoded_indexes = self._encoded_indexes
         changes = []
         for position, new_row in zip(positions, coerced):
             old_row = rows[position]
             rows[position] = new_row
             for store, value in zip(column_data, new_row):
                 store[position] = value
+            for index in encoded_indexes:
+                dictionary = self._dictionaries[index]
+                codes = self._codes[index]
+                old_code = codes[position]
+                if old_code is not None:
+                    dictionary.release(old_code)
+                value = new_row[index]
+                codes[position] = (
+                    None if value is None else dictionary.encode(value)
+                )
             changes.append((old_row, new_row))
+        if encoded_indexes:
+            self._check_dictionary_thresholds()
         self._version += 1
         self._mutation_count += 1
         for observer in self._observers:
@@ -267,6 +349,18 @@ class Table:
                 for position, value in enumerate(store)
                 if position not in doomed
             ]
+        for index in self._encoded_indexes:
+            dictionary = self._dictionaries[index]
+            codes = self._codes[index]
+            for position in doomed:
+                code = codes[position]
+                if code is not None:
+                    dictionary.release(code)
+            codes[:] = [
+                code
+                for position, code in enumerate(codes)
+                if position not in doomed
+            ]
         self._version += 1
         self._mutation_count += 1
         for observer in self._observers:
@@ -292,10 +386,12 @@ class Catalog:
     schema or the data volume changes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dict_encoding_threshold: "int | None" = None) -> None:
         self._tables: dict[str, Table] = {}
         self._ddl_version = 0
         self._observers: list[CatalogObserver] = []
+        #: passed to every table this catalog creates (None = default)
+        self._dict_encoding_threshold = dict_encoding_threshold
 
     def register_observer(self, observer: CatalogObserver) -> None:
         """Subscribe *observer* to inserts/DDL on all current and future tables."""
@@ -322,7 +418,12 @@ class Catalog:
         key = name.lower()
         if key in self._tables:
             raise SqlCatalogError(f"table already exists: {name!r}")
-        table = Table(key, columns, foreign_keys)
+        table = Table(
+            key,
+            columns,
+            foreign_keys,
+            dict_encoding_threshold=self._dict_encoding_threshold,
+        )
         table._observers = self._observers
         self._tables[key] = table
         self._ddl_version += 1

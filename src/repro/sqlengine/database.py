@@ -40,6 +40,10 @@ class Database:
     by default; ``execution_mode="row"`` selects the row-at-a-time
     volcano engine instead (byte-identical results, useful for
     debugging and as the vectorization benchmark baseline).
+    ``dict_encoding_threshold`` tunes dictionary encoding of
+    low-cardinality TEXT columns (None = the
+    :data:`~repro.sqlengine.encoding.DICT_ENCODING_MAX_DISTINCT`
+    default, 0 disables it; results are identical either way).
 
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
@@ -52,8 +56,9 @@ class Database:
         self,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         execution_mode: str = DEFAULT_EXECUTION_MODE,
+        dict_encoding_threshold: "int | None" = None,
     ) -> None:
-        self.catalog = Catalog()
+        self.catalog = Catalog(dict_encoding_threshold=dict_encoding_threshold)
         self.planner = QueryPlanner(
             self.catalog,
             cache_size=plan_cache_size,

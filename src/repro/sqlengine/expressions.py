@@ -27,6 +27,7 @@ from repro.sqlengine.ast_nodes import (
     Literal,
     UnaryOp,
 )
+from repro.sqlengine.encoding import EncodedColumn, gather_column
 from repro.sqlengine.types import compare_values, values_equal
 
 
@@ -438,8 +439,13 @@ BatchFn = Callable[[Sequence[list], int], list]
 
 
 def gather_columns(cols: Sequence[list], indices: Sequence[int]) -> list:
-    """Compact every column of a batch down to the selected row indices."""
-    return [[column[i] for i in indices] for column in cols]
+    """Compact every column of a batch down to the selected row indices.
+
+    Dictionary-encoded columns stay encoded (their codes are gathered,
+    not their decoded values), so compaction never forces early
+    materialization.
+    """
+    return [gather_column(column, indices) for column in cols]
 
 
 def compile_expr_batch(
@@ -532,15 +538,48 @@ def compile_expr_batch(
 
                 return _null_pattern
             match = like_to_regex(str(expr.pattern.value)).match
-            if negated:
-                return lambda cols, n: [
-                    None if value is None else match(str(value)) is None
-                    for value in operand(cols, n)
+            # encoded operands evaluate the regex once per *dictionary
+            # entry* instead of once per row; the match table is memoized
+            # against the dictionary version
+            memo: list = [None, None, None]  # dictionary, version, table
+
+            def _match_table(dictionary) -> list:
+                if (
+                    memo[0] is dictionary
+                    and memo[1] == dictionary.version
+                ):
+                    return memo[2]
+                table = [
+                    None if value is None else match(value) is not None
+                    for value in dictionary.values
                 ]
-            return lambda cols, n: [
-                None if value is None else match(str(value)) is not None
-                for value in operand(cols, n)
-            ]
+                memo[0], memo[1], memo[2] = dictionary, dictionary.version, table
+                return table
+
+            def _like_literal(cols: Sequence[list], n: int) -> list:
+                values = operand(cols, n)
+                if isinstance(values, EncodedColumn):
+                    matched = _match_table(values.dictionary)
+                    if negated:
+                        return [
+                            None if code is None else not matched[code]
+                            for code in values.codes
+                        ]
+                    return [
+                        None if code is None else matched[code]
+                        for code in values.codes
+                    ]
+                if negated:
+                    return [
+                        None if value is None else match(str(value)) is None
+                        for value in values
+                    ]
+                return [
+                    None if value is None else match(str(value)) is not None
+                    for value in values
+                ]
+
+            return _like_literal
         pattern_fn = compile_expr_batch(expr.pattern, scope, agg_slots)
 
         def _like(cols: Sequence[list], n: int) -> list:
@@ -808,25 +847,49 @@ def _compile_compare_fast_path(
     check = _COMPARE_CHECKS[op]
     # exact-type membership is call-free per row; anything else (bool,
     # date, cross-type) drops to compare_values for identical semantics
-    ok = frozenset((str,)) if isinstance(lit, str) else frozenset((int, float))
+    text_literal = isinstance(lit, str)
+    ok = frozenset((str,)) if text_literal else frozenset((int, float))
 
     if op == "=":
         def _eq(cols: Sequence[list], n: int) -> list:
+            column = cols[index]
+            if text_literal and isinstance(column, EncodedColumn):
+                # encoded column: one dictionary probe resolves the
+                # literal to a code, the rows compare small integers
+                # (str = str equality matches compare_values exactly)
+                code = column.dictionary.code_of.get(lit)
+                if code is None:
+                    return [
+                        None if c is None else False for c in column.codes
+                    ]
+                return [
+                    None if c is None else c == code for c in column.codes
+                ]
             return [
                 None if v is None
                 else (not (v < lit or v > lit) if type(v) in ok
                       else check(compare_values(v, lit)))
-                for v in cols[index]
+                for v in column
             ]
 
         return _eq
     if op == "<>":
         def _ne(cols: Sequence[list], n: int) -> list:
+            column = cols[index]
+            if text_literal and isinstance(column, EncodedColumn):
+                code = column.dictionary.code_of.get(lit)
+                if code is None:
+                    return [
+                        None if c is None else True for c in column.codes
+                    ]
+                return [
+                    None if c is None else c != code for c in column.codes
+                ]
             return [
                 None if v is None
                 else ((v < lit or v > lit) if type(v) in ok
                       else check(compare_values(v, lit)))
-                for v in cols[index]
+                for v in column
             ]
 
         return _ne
@@ -895,6 +958,22 @@ def _compile_in_list_batch(
 
             def _in_set(cols: Sequence[list], n: int) -> list:
                 values = operand(cols, n)
+                if textual and isinstance(values, EncodedColumn):
+                    # encoded column: resolve the member strings to codes
+                    # once, then the rows do integer set probes
+                    code_of = values.dictionary.code_of
+                    member_codes = {
+                        code_of[v] for v in member_set if v in code_of
+                    }
+                    if negated:
+                        return [
+                            None if c is None else c not in member_codes
+                            for c in values.codes
+                        ]
+                    return [
+                        None if c is None else c in member_codes
+                        for c in values.codes
+                    ]
                 out: list = []
                 for value in values:
                     if value is None:

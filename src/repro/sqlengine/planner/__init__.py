@@ -171,5 +171,7 @@ class QueryPlanner:
 
     def explain(self, select: Select) -> str:
         return render_plan(
-            self.prepare(select).logical, mode=self._execution_mode
+            self.prepare(select).logical,
+            mode=self._execution_mode,
+            catalog=self.catalog,
         )

@@ -2,12 +2,14 @@
 
 The node phrasing intentionally keeps the pre-planner vocabulary
 (``scan t as t (N rows)``, ``hash join b on (...)``, ``cross join``,
-``left join``, ``aggregate group by``, ``sort by``, ``limit N``) so the
-output stays grep-friendly, and adds tree structure, cardinality
-estimates (``~N rows``) and pruned column lists.  When an execution
-*mode* is supplied, every operator line is suffixed with the engine it
-runs in (``[batch]`` for the vectorized engine, ``[row]`` for the
-volcano engine).
+``left join``, ``aggregate group by``, ``sort by``, ``limit N``,
+``top-n N by ...``) so the output stays grep-friendly, and adds tree
+structure, cardinality estimates (``~N rows``) and pruned column lists.
+When an execution *mode* is supplied, every operator line is suffixed
+with the engine it runs in (``[batch]`` for the vectorized engine,
+``[row]`` for the volcano engine).  When a *catalog* is supplied, scans
+over tables with dictionary-encoded TEXT columns mark the encoded
+columns they emit (``[dict: status, region]``).
 """
 
 from __future__ import annotations
@@ -23,25 +25,31 @@ from repro.sqlengine.planner.logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalTopN,
 )
 
 
-def render_plan(root: LogicalNode, mode: "str | None" = None) -> str:
+def render_plan(
+    root: LogicalNode, mode: "str | None" = None, catalog=None
+) -> str:
     """The whole plan as an indented tree, one node per line.
 
     *mode* annotates each operator with the execution engine it is
-    compiled for; ``None`` renders the bare logical tree.
+    compiled for; ``None`` renders the bare logical tree.  *catalog*
+    (optional) lets scans mark their dictionary-encoded columns.
     """
     lines: list = []
     suffix = f" [{mode}]" if mode is not None else ""
-    _render(root, prefix="", connector="", lines=lines, suffix=suffix)
+    _render(root, prefix="", connector="", lines=lines, suffix=suffix,
+            catalog=catalog)
     return "\n".join(lines)
 
 
 def _render(
-    node: LogicalNode, prefix: str, connector: str, lines: list, suffix: str
+    node: LogicalNode, prefix: str, connector: str, lines: list, suffix: str,
+    catalog=None,
 ) -> None:
-    lines.append(prefix + connector + describe_node(node) + suffix)
+    lines.append(prefix + connector + describe_node(node, catalog) + suffix)
     children = node.children()
     if not children:
         return
@@ -54,11 +62,12 @@ def _render(
     for index, child in enumerate(children):
         last = index == len(children) - 1
         _render(
-            child, child_prefix, "└─ " if last else "├─ ", lines, suffix
+            child, child_prefix, "└─ " if last else "├─ ", lines, suffix,
+            catalog,
         )
 
 
-def describe_node(node: LogicalNode) -> str:
+def describe_node(node: LogicalNode, catalog=None) -> str:
     """One-line description of a plan node."""
     if isinstance(node, LogicalScan):
         text = f"scan {node.table} as {node.binding} ({node.base_rows} rows)"
@@ -68,6 +77,9 @@ def describe_node(node: LogicalNode) -> str:
             text += _estimate(node)
         if node.columns is not None:
             text += f" [cols: {', '.join(node.columns) or '(none)'}]"
+        encoded = _encoded_columns(node, catalog)
+        if encoded:
+            text += f" [dict: {', '.join(encoded)}]"
         return text
     if isinstance(node, LogicalJoin):
         right_binding = _rightmost_binding(node.right)
@@ -98,7 +110,22 @@ def describe_node(node: LogicalNode) -> str:
         return "sort by " + ", ".join(item.to_sql() for item in node.order_by)
     if isinstance(node, LogicalLimit):
         return f"limit {node.limit}"
+    if isinstance(node, LogicalTopN):
+        ordering = ", ".join(item.to_sql() for item in node.order_by)
+        return f"top-n {node.limit} by {ordering}" + _estimate(node)
     return type(node).__name__  # pragma: no cover - future node types
+
+
+def _encoded_columns(node: LogicalScan, catalog) -> list:
+    """The dictionary-encoded columns this scan emits (needs a catalog)."""
+    if catalog is None or not catalog.has_table(node.table):
+        return []
+    table = catalog.table(node.table)
+    emitted = (
+        table.column_names() if node.columns is None else list(node.columns)
+    )
+    encoded = set(table.encoded_column_names())
+    return [name for name in emitted if name in encoded]
 
 
 def _estimate(node: LogicalNode) -> str:

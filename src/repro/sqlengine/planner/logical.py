@@ -158,6 +158,26 @@ class LogicalLimit(LogicalNode):
         return (self.child,)
 
 
+@dataclass
+class LogicalTopN(LogicalNode):
+    """Sort fused with the Limit directly above it (TOP-N pushdown).
+
+    Produced by the optimizer only — the canonical plan always keeps
+    the separate Sort + Limit pair.  Physical operators keep a bounded
+    heap of the best *limit* rows instead of fully sorting the input;
+    the ordering semantics (stable multi-key sort, NULLs-first
+    ``sort_key`` ordering) are identical.
+    """
+
+    child: LogicalNode = None  # type: ignore[assignment]
+    order_by: tuple = ()
+    limit: int = 0
+    est_rows: "float | None" = None
+
+    def children(self) -> tuple:
+        return (self.child,)
+
+
 def referenced_tables(node: LogicalNode) -> tuple:
     """The sorted base-table names scanned anywhere in *node*'s tree.
 

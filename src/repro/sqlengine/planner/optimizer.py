@@ -55,6 +55,7 @@ from repro.sqlengine.planner.logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalTopN,
 )
 from repro.sqlengine.planner.stats import (
     DEFAULT_SELECTIVITY,
@@ -232,6 +233,22 @@ def optimize_plan(
     ):
         wrappers.append(node)
         node = node.child
+
+    # TOP-N pushdown: a Limit directly over a Sort fuses into one
+    # bounded-heap operator (physical TopNOp / BatchTopNOp) — the full
+    # sort never materializes more than `limit` output rows
+    if (
+        len(wrappers) >= 2
+        and isinstance(wrappers[0], LogicalLimit)
+        and isinstance(wrappers[1], LogicalSort)
+    ):
+        wrappers[:2] = [
+            LogicalTopN(
+                child=None,  # re-attached with the rest of the stack below
+                order_by=wrappers[1].order_by,
+                limit=wrappers[0].limit,
+            )
+        ]
     conjuncts: list = []
     if isinstance(node, LogicalFilter):
         conjuncts = [fold_constants(p) for p in node.predicates]
@@ -438,7 +455,7 @@ def _wrapper_estimate(
         if child_est is not None:
             groups = min(groups, child_est)
         return groups
-    if isinstance(wrapper, LogicalLimit):
+    if isinstance(wrapper, (LogicalLimit, LogicalTopN)):
         if child_est is None:
             return float(wrapper.limit)
         return min(child_est, float(wrapper.limit))
@@ -478,7 +495,7 @@ def _prune_projections(
         if aggregate.having is not None:
             exprs.append(aggregate.having)
         exprs.extend(aggregate.agg_calls)
-    sort = _find_wrapper(wrappers, LogicalSort)
+    sort = _find_wrapper(wrappers, (LogicalSort, LogicalTopN))
     if sort is not None:
         exprs.extend(item.expr for item in sort.order_by)
 

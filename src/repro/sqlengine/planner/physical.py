@@ -37,16 +37,31 @@ ordering.
 
 from __future__ import annotations
 
+import datetime
+import heapq
 from typing import Any, Iterator
 
-from repro.errors import SqlCatalogError, SqlExecutionError
-from repro.sqlengine.ast_nodes import ColumnRef, Literal
+from repro.errors import SqlCatalogError, SqlExecutionError, SqlTypeError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.encoding import EncodedColumn, gather_column
 from repro.sqlengine.expressions import (
     Scope,
     compile_expr,
     compile_expr_batch,
     gather_columns,
+    split_conjuncts,
 )
 from repro.sqlengine.functions import make_accumulator
 from repro.sqlengine.planner.logical import (
@@ -60,14 +75,21 @@ from repro.sqlengine.planner.logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalTopN,
 )
 from repro.sqlengine.results import ResultSet
+from repro.sqlengine.types import SqlType, parse_date
 
 #: rows per column batch flowing through the vectorized operators
 BATCH_SIZE = 1024
 
 #: the execution modes ``build_physical`` understands
 EXECUTION_MODES = ("row", "batch")
+
+#: compile equi LEFT JOINs to the gather-based hash operator (module
+#: flag so the dictionary-engine benchmark can measure the broadcast
+#: baseline; correctness is identical either way)
+HASH_LEFT_JOIN_ENABLED = True
 
 
 class PhysicalOperator:
@@ -430,6 +452,67 @@ class LimitOp:
                 return
 
 
+class _ReversedKey:
+    """Inverts the ordering of a ``sort_key`` tuple (descending keys)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_ReversedKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedKey) and self.key == other.key
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are never hashed
+        return hash(self.key)
+
+
+class TopNOp:
+    """Fused Sort+Limit: a bounded heap instead of a full sort.
+
+    ``heapq.nsmallest`` over a composite per-row key (each ORDER BY key
+    mapped through :func:`sort_key`, descending keys wrapped in
+    :class:`_ReversedKey`) is documented to equal
+    ``sorted(...)[:n]`` — including stability — so the output is
+    byte-identical to SortOp + LimitOp while only ever holding the best
+    *limit* rows.
+    """
+
+    def __init__(self, child, node: LogicalTopN) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._limit = node.limit
+        self._key_fns: list = []
+        for position, expr, descending in _sort_targets(node, self.columns):
+            if position is not None:
+                self._key_fns.append((_make_out_picker(position), descending))
+            else:
+                fn = compile_expr(expr, self.scope, self.agg_slots)
+                self._key_fns.append((_make_pre_picker(fn), descending))
+
+    def pairs(self) -> Iterator[tuple]:
+        if self._limit <= 0:
+            return iter(())
+        key_fns = self._key_fns
+
+        def composite(pair: tuple) -> tuple:
+            return tuple(
+                _ReversedKey(sort_key(fn(pair)))
+                if descending
+                else sort_key(fn(pair))
+                for fn, descending in key_fns
+            )
+
+        return iter(
+            heapq.nsmallest(self._limit, self._child.pairs(), key=composite)
+        )
+
+
 def _make_picker(index: int):
     return lambda row: row[index]
 
@@ -526,25 +609,36 @@ class BatchScanOp(BatchOperator):
         table = self._table
         total = len(table.rows)
         width = len(table.columns)
-        data = [table.column_data(i) for i in range(width)]
+        # dictionary-encoded TEXT columns are sliced as code batches
+        # (EncodedColumn) so downstream operators can work on integer
+        # codes; everything else slices the plain value lists
+        sources = []
+        for i in range(width):
+            dictionary = table.column_dictionary(i)
+            if dictionary is not None:
+                sources.append((dictionary, table.column_codes(i)))
+            else:
+                sources.append((None, table.column_data(i)))
         indexes = self._indexes
         predicate_fns = self._predicate_fns
-        if not predicate_fns:
+        if not predicate_fns and indexes is not None:
             # nothing evaluates against the full layout: slice only the
             # columns the scan actually emits
-            if indexes is not None:
-                data = [data[i] for i in indexes]
-            for start in range(0, total, BATCH_SIZE):
-                stop = min(start + BATCH_SIZE, total)
-                yield [column[start:stop] for column in data], stop - start
-            return
+            sources = [sources[i] for i in indexes]
+            indexes = None
         for start in range(0, total, BATCH_SIZE):
             stop = min(start + BATCH_SIZE, total)
-            cols = [column[start:stop] for column in data]
+            cols = [
+                EncodedColumn(dictionary, data[start:stop])
+                if dictionary is not None
+                else data[start:stop]
+                for dictionary, data in sources
+            ]
             n = stop - start
-            cols, n = _apply_predicates(predicate_fns, cols, n)
-            if n == 0:
-                continue
+            if predicate_fns:
+                cols, n = _apply_predicates(predicate_fns, cols, n)
+                if n == 0:
+                    continue
             if indexes is not None:
                 cols = [cols[i] for i in indexes]
             yield cols, n
@@ -562,6 +656,128 @@ class BatchFilterOp(BatchOperator):
             cols, n = _apply_predicates(fns, cols, n)
             if n:
                 yield cols, n
+
+
+def _build_join_hash_table(cols, n: int, key_indexes) -> dict:
+    """Hash the build side of a join: key -> row indices into *cols*.
+
+    Rows whose key contains a NULL never enter the table (SQL equality
+    with NULL is never True).  Bucket lists preserve build-side row
+    order, which both join operators rely on for output determinism.
+    """
+    table: dict = {}
+    if len(key_indexes) == 1:
+        key_column = cols[key_indexes[0]]
+        for i in range(n):
+            key = key_column[i]
+            if key is None:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = bucket = []
+            bucket.append(i)
+    else:
+        key_columns = [cols[i] for i in key_indexes]
+        for i, key in enumerate(zip(*key_columns)):
+            if any(value is None for value in key):
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = bucket = []
+            bucket.append(i)
+    return table
+
+
+def _buckets_by_code(dictionary, get) -> list:
+    """Resolve every dictionary entry to its hash bucket (or None) once.
+
+    The dictionary-encoded probe fast path: after this, probing is one
+    list index per row instead of a hash lookup.  Dead (GC'd) dictionary
+    slots are None and map to no bucket.
+    """
+    return [
+        None if value is None else get(value) for value in dictionary.values
+    ]
+
+
+class _HashProbe:
+    """Per-execution probe of a join hash table, shared by both joins.
+
+    Feeds probe-side batches through :meth:`probe` and returns aligned
+    ``(probe row indices, build row indices)`` selection vectors — one
+    entry per matching pair, in probe-row order, bucket order preserved
+    within a probe row.  NULL keys never match.  The dictionary-encoded
+    fast path (code → bucket, resolved once per dictionary and reused
+    across batches) lives here so the inner and LEFT hash joins stay in
+    lockstep.
+    """
+
+    __slots__ = ("_key_indexes", "_get", "_single", "_dictionary", "_buckets")
+
+    def __init__(self, table: dict, key_indexes) -> None:
+        self._key_indexes = key_indexes
+        self._get = table.get
+        self._single = len(key_indexes) == 1
+        self._dictionary = None
+        self._buckets: list = []
+
+    def probe(self, cols, n: int) -> tuple:
+        left_sel: list = []
+        right_sel: list = []
+        extend_left = left_sel.extend
+        append_left = left_sel.append
+        extend_right = right_sel.extend
+        append_right = right_sel.append
+        get = self._get
+        if self._single:
+            key_column = cols[self._key_indexes[0]]
+            if isinstance(key_column, EncodedColumn):
+                dictionary = key_column.dictionary
+                if dictionary is not self._dictionary:
+                    self._dictionary = dictionary
+                    self._buckets = _buckets_by_code(dictionary, get)
+                buckets = self._buckets
+                for i, code in enumerate(key_column.codes):
+                    if code is None:
+                        continue
+                    bucket = buckets[code]
+                    if not bucket:
+                        continue
+                    if len(bucket) == 1:
+                        append_left(i)
+                        append_right(bucket[0])
+                    else:
+                        extend_left([i] * len(bucket))
+                        extend_right(bucket)
+            else:
+                for i in range(n):
+                    key = key_column[i]
+                    if key is None:
+                        continue
+                    bucket = get(key)
+                    if not bucket:
+                        continue
+                    if len(bucket) == 1:
+                        append_left(i)
+                        append_right(bucket[0])
+                    else:
+                        extend_left([i] * len(bucket))
+                        extend_right(bucket)
+        else:
+            key_columns = [cols[i] for i in self._key_indexes]
+            for i, key in enumerate(zip(*key_columns)):
+                if any(value is None for value in key):
+                    continue
+                bucket = get(key)
+                if not bucket:
+                    continue
+                if len(bucket) == 1:
+                    append_left(i)
+                    append_right(bucket[0])
+                else:
+                    extend_left([i] * len(bucket))
+                    extend_right(bucket)
+        return left_sel, right_sel
 
 
 class BatchHashJoinOp(BatchOperator):
@@ -594,70 +810,15 @@ class BatchHashJoinOp(BatchOperator):
             yield from self._cross_batches()
             return
         right_cols, right_n = _materialize_batches(self._right)
-        table: dict = {}
-        right_indexes = self._right_indexes
-        if len(right_indexes) == 1:
-            key_column = right_cols[right_indexes[0]]
-            for i in range(right_n):
-                key = key_column[i]
-                if key is None:
-                    continue
-                bucket = table.get(key)
-                if bucket is None:
-                    table[key] = bucket = []
-                bucket.append(i)
-        else:
-            key_columns = [right_cols[i] for i in right_indexes]
-            for i, key in enumerate(zip(*key_columns)):
-                if any(value is None for value in key):
-                    continue
-                bucket = table.get(key)
-                if bucket is None:
-                    table[key] = bucket = []
-                bucket.append(i)
-
-        left_indexes = self._left_indexes
-        single = len(left_indexes) == 1
-        get = table.get
+        table = _build_join_hash_table(
+            right_cols, right_n, self._right_indexes
+        )
+        probe = _HashProbe(table, self._left_indexes)
         for cols, n in self._left.batches():
-            left_sel: list = []
-            right_sel: list = []
-            extend_left = left_sel.extend
-            append_left = left_sel.append
-            extend_right = right_sel.extend
-            append_right = right_sel.append
-            if single:
-                key_column = cols[left_indexes[0]]
-                for i in range(n):
-                    key = key_column[i]
-                    if key is None:
-                        continue
-                    bucket = get(key)
-                    if not bucket:
-                        continue
-                    if len(bucket) == 1:
-                        append_left(i)
-                        append_right(bucket[0])
-                    else:
-                        extend_left([i] * len(bucket))
-                        extend_right(bucket)
-            else:
-                key_columns = [cols[i] for i in left_indexes]
-                for i, key in enumerate(zip(*key_columns)):
-                    if any(value is None for value in key):
-                        continue
-                    bucket = get(key)
-                    if not bucket:
-                        continue
-                    if len(bucket) == 1:
-                        append_left(i)
-                        append_right(bucket[0])
-                    else:
-                        extend_left([i] * len(bucket))
-                        extend_right(bucket)
+            left_sel, right_sel = probe.probe(cols, n)
             if not left_sel:
                 continue
-            out = [[column[i] for i in left_sel] for column in cols]
+            out = [gather_column(column, left_sel) for column in cols]
             out.extend(
                 [column[j] for j in right_sel] for column in right_cols
             )
@@ -675,7 +836,26 @@ class BatchHashJoinOp(BatchOperator):
 
 
 class BatchLeftJoinOp(BatchOperator):
-    """LEFT OUTER join: per-left-row vectorized condition, NULL padding."""
+    """LEFT OUTER join with NULL padding: hash path or broadcast.
+
+    The default execution is the **gather-based hash path**: the build
+    (right) side is materialized once and hashed on the recognised equi
+    key columns, each left batch probes it (one lookup per row —
+    dictionary-encoded probe columns resolve every code to its bucket
+    once and then index a list), residual ON conjuncts are evaluated
+    vectorized over the candidate pairs only, and unmatched left rows
+    are NULL-padded through selection vectors in left-row order —
+    byte-identical output to the broadcast path.
+
+    The broadcast path (one vectorized condition evaluation per left
+    row against the whole right side) remains for conditions without a
+    usable equi conjunct, and wherever hashing could diverge from
+    ``compare_values`` semantics: REAL keys (NaN compares equal to
+    every number, but never hash-matches), cross-class keys, and
+    residuals that could raise data-dependent errors the broadcast
+    evaluation order would surface.  ``enable_hash`` is called by the
+    plan builder after that analysis (see :func:`_analyze_left_join`).
+    """
 
     def __init__(
         self, left: BatchOperator, right: BatchOperator, condition
@@ -684,9 +864,80 @@ class BatchLeftJoinOp(BatchOperator):
         self._right = right
         self.scope = left.scope.concat(right.scope)
         self._condition_fn = compile_expr_batch(condition, self.scope)
+        self._key_pairs: tuple = ()
+        self._residual_fns: list = []
+
+    def enable_hash(self, key_pairs, residual_fns) -> None:
+        """Switch to the hash path (builder-verified equi keys)."""
+        self._key_pairs = tuple(key_pairs)
+        self._residual_fns = list(residual_fns)
 
     def batches(self) -> Iterator[tuple]:
         right_cols, right_n = _materialize_batches(self._right)
+        if self._key_pairs:
+            yield from self._hash_batches(right_cols, right_n)
+        else:
+            yield from self._broadcast_batches(right_cols, right_n)
+
+    # ------------------------------------------------------------------
+    def _hash_batches(self, right_cols, right_n) -> Iterator[tuple]:
+        left_keys = [pair[0] for pair in self._key_pairs]
+        right_keys = [pair[1] for pair in self._key_pairs]
+        table = _build_join_hash_table(right_cols, right_n, right_keys)
+        residual_fns = self._residual_fns
+        probe = _HashProbe(table, left_keys)
+        for cols, n in self._left.batches():
+            # probe: candidate (left row, right row) pairs in left order
+            cand_left, cand_right = probe.probe(cols, n)
+
+            # residual ON conjuncts run over the candidates only (they
+            # are builder-proven side-effect free, so this matches the
+            # broadcast evaluation exactly)
+            if residual_fns and cand_left:
+                combined = [
+                    gather_column(column, cand_left) for column in cols
+                ]
+                combined.extend(
+                    [column[j] for j in cand_right] for column in right_cols
+                )
+                m = len(cand_left)
+                for fn in residual_fns:
+                    if m == 0:
+                        break
+                    mask = fn(combined, m)
+                    selected = [
+                        i for i, value in enumerate(mask) if value is True
+                    ]
+                    if len(selected) == m:
+                        continue
+                    cand_left = [cand_left[i] for i in selected]
+                    cand_right = [cand_right[i] for i in selected]
+                    combined = gather_columns(combined, selected)
+                    m = len(selected)
+
+            # merge surviving matches with NULL pads, in left-row order
+            left_sel: list = []
+            right_sel: list = []  # right row index, or None for padding
+            ci = 0
+            total = len(cand_left)
+            for i in range(n):
+                if ci < total and cand_left[ci] == i:
+                    while ci < total and cand_left[ci] == i:
+                        left_sel.append(i)
+                        right_sel.append(cand_right[ci])
+                        ci += 1
+                else:
+                    left_sel.append(i)
+                    right_sel.append(None)
+            out = [gather_column(column, left_sel) for column in cols]
+            out.extend(
+                [None if j is None else column[j] for j in right_sel]
+                for column in right_cols
+            )
+            yield out, len(left_sel)
+
+    # ------------------------------------------------------------------
+    def _broadcast_batches(self, right_cols, right_n) -> Iterator[tuple]:
         condition_fn = self._condition_fn
         for cols, n in self._left.batches():
             left_sel: list = []
@@ -704,12 +955,243 @@ class BatchLeftJoinOp(BatchOperator):
                 else:
                     left_sel.append(i)
                     right_sel.append(None)
-            out = [[column[i] for i in left_sel] for column in cols]
+            out = [gather_column(column, left_sel) for column in cols]
             out.extend(
                 [None if j is None else column[j] for j in right_sel]
                 for column in right_cols
             )
             yield out, len(left_sel)
+
+
+# hash-key compatible SqlTypes: within one class, dict hashing agrees
+# exactly with compare_values equality.  REAL is deliberately absent —
+# NaN compares equal to every number under compare_values but never
+# equals itself in a hash table.
+_HASH_KEY_CLASS = {
+    SqlType.INTEGER: "int",
+    SqlType.TEXT: "str",
+    SqlType.DATE: "date",
+    SqlType.BOOLEAN: "bool",
+}
+
+#: value classes used by the residual-safety analysis
+_VALUE_CLASS = {
+    SqlType.INTEGER: "num",
+    SqlType.REAL: "num",
+    SqlType.TEXT: "str",
+    SqlType.DATE: "date",
+    SqlType.BOOLEAN: "bool",
+}
+
+#: scalar functions that can never raise, whatever their input
+_SAFE_FUNCTIONS = {"lower", "upper", "length", "coalesce"}
+
+
+def _scan_bindings(node: LogicalNode) -> dict:
+    """``binding -> table name`` for every scan in *node*'s subtree."""
+    found: dict = {}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, LogicalScan):
+            found[current.binding] = current.table
+        stack.extend(current.children())
+    return found
+
+
+def _as_left_join_key(conjunct, left_scope: Scope, right_scope: Scope):
+    """``(left index, right index)`` if *conjunct* is a cross-side equi."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    a, b = conjunct.left, conjunct.right
+    if not (isinstance(a, ColumnRef) and isinstance(b, ColumnRef)):
+        return None
+    a_left, a_right = left_scope.try_resolve(a), right_scope.try_resolve(a)
+    b_left, b_right = left_scope.try_resolve(b), right_scope.try_resolve(b)
+    if a_left is not None and a_right is None and b_left is None \
+            and b_right is not None:
+        return a_left, b_right
+    if b_left is not None and b_right is None and a_left is None \
+            and a_right is not None:
+        return b_left, a_right
+    return None
+
+
+def _value_class(expr, class_of) -> tuple:
+    """``(safe, class)``: can *expr* never raise, and what does it yield?
+
+    *class_of* maps a ColumnRef to its ``_VALUE_CLASS`` entry (or None
+    when unresolvable).  ``safe`` is conservative: False means "could
+    raise a data-dependent error", not "will".  A safe expression with
+    class None (e.g. CASE) still composes under operators that accept
+    any value (NOT, AND/OR, LIKE, ``||``) but blocks comparisons.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return True, "null"
+        if isinstance(value, bool):
+            return True, "bool"
+        if isinstance(value, (int, float)):
+            return True, "num"
+        if isinstance(value, str):
+            return True, "str"
+        if isinstance(value, datetime.date):
+            return True, "date"
+        return True, None
+    if isinstance(expr, ColumnRef):
+        cls = class_of(expr)
+        return cls is not None, cls
+    if isinstance(expr, UnaryOp):
+        safe, cls = _value_class(expr.operand, class_of)
+        if expr.op == "NOT":  # `not value` never raises
+            return safe, "bool"
+        if expr.op == "-":  # raises on non-numbers
+            return safe and cls in ("num", "null"), "num"
+        return False, None
+    if isinstance(expr, BinaryOp):
+        op = expr.op
+        left_safe, left_cls = _value_class(expr.left, class_of)
+        right_safe, right_cls = _value_class(expr.right, class_of)
+        if not (left_safe and right_safe):
+            return False, None
+        if op in ("AND", "OR"):  # identity checks only, never raise
+            return True, "bool"
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return _safe_compare(expr.left, left_cls, expr.right,
+                                 right_cls), "bool"
+        if op in ("+", "-", "*"):  # raise on non-numbers only
+            return (left_cls in ("num", "null")
+                    and right_cls in ("num", "null")), "num"
+        if op == "||":  # str() never raises
+            return True, "str"
+        return False, None  # '/' can divide by zero
+    if isinstance(expr, Like):  # str()/regex never raise
+        operand_safe, __ = _value_class(expr.operand, class_of)
+        pattern_safe, __ = _value_class(expr.pattern, class_of)
+        return operand_safe and pattern_safe, "bool"
+    if isinstance(expr, IsNull):
+        safe, __ = _value_class(expr.operand, class_of)
+        return safe, "bool"
+    if isinstance(expr, Between):
+        operand_safe, operand_cls = _value_class(expr.operand, class_of)
+        low_safe, low_cls = _value_class(expr.low, class_of)
+        high_safe, high_cls = _value_class(expr.high, class_of)
+        safe = (
+            operand_safe and low_safe and high_safe
+            and _safe_compare(expr.operand, operand_cls, expr.low, low_cls)
+            and _safe_compare(expr.operand, operand_cls, expr.high, high_cls)
+        )
+        return safe, "bool"
+    if isinstance(expr, InList):
+        operand_safe, operand_cls = _value_class(expr.operand, class_of)
+        if not operand_safe:
+            return False, None
+        for item in expr.items:
+            item_safe, item_cls = _value_class(item, class_of)
+            if not item_safe or not _safe_compare(
+                expr.operand, operand_cls, item, item_cls
+            ):
+                return False, None
+        return True, "bool"
+    if isinstance(expr, CaseWhen):
+        for condition, value in expr.branches:
+            if not _value_class(condition, class_of)[0]:
+                return False, None
+            if not _value_class(value, class_of)[0]:
+                return False, None
+        if expr.default is not None and not _value_class(
+            expr.default, class_of
+        )[0]:
+            return False, None
+        return True, None
+    if isinstance(expr, FuncCall):
+        if expr.name not in _SAFE_FUNCTIONS:
+            return False, None
+        for arg in expr.args:
+            if not _value_class(arg, class_of)[0]:
+                return False, None
+        if expr.name in ("lower", "upper"):
+            return True, "str"
+        if expr.name == "length":
+            return True, "num"
+        return True, None  # coalesce: class depends on its arguments
+    return False, None
+
+
+def _safe_compare(left_expr, left_cls, right_expr, right_cls) -> bool:
+    """Can ``compare_values(left, right)`` never raise for these shapes?"""
+    if left_cls == "null" or right_cls == "null":
+        return True
+    if left_cls is None or right_cls is None:
+        return False
+    if left_cls == right_cls and left_cls in ("num", "str", "bool", "date"):
+        return True
+    # DATE against a string literal parses the literal — validate it now
+    for date_cls, other_cls, other_expr in (
+        (left_cls, right_cls, right_expr),
+        (right_cls, left_cls, left_expr),
+    ):
+        if (
+            date_cls == "date"
+            and other_cls == "str"
+            and isinstance(other_expr, Literal)
+        ):
+            try:
+                parse_date(other_expr.value)
+            except SqlTypeError:
+                return False
+            return True
+    return False
+
+
+def _analyze_left_join(
+    node: LogicalLeftJoin, left_scope: Scope, right_scope: Scope,
+    catalog: Catalog
+):
+    """Hash-path plan for a LEFT JOIN condition, or None for broadcast.
+
+    Returns ``(key_pairs, residual_conjuncts)`` when every ON conjunct
+    is either a hash-compatible cross-side equi predicate or a
+    provably error-free residual — the exact conditions under which the
+    hash path is byte-identical (results *and* errors) to the
+    broadcast/row evaluation.
+    """
+    tables = {
+        binding: catalog.table(name)
+        for binding, name in _scan_bindings(node).items()
+    }
+
+    def sql_type_at(scope: Scope, index: int) -> SqlType:
+        binding, column = scope.pairs[index]
+        return tables[binding].column(column).sql_type
+
+    def class_of(ref: ColumnRef):
+        left_index = left_scope.try_resolve(ref)
+        right_index = right_scope.try_resolve(ref)
+        if left_index is not None and right_index is None:
+            return _VALUE_CLASS.get(sql_type_at(left_scope, left_index))
+        if right_index is not None and left_index is None:
+            return _VALUE_CLASS.get(sql_type_at(right_scope, right_index))
+        return None
+
+    key_pairs: list = []
+    residual: list = []
+    for conjunct in split_conjuncts(node.condition):
+        pair = _as_left_join_key(conjunct, left_scope, right_scope)
+        if pair is not None:
+            left_cls = _HASH_KEY_CLASS.get(sql_type_at(left_scope, pair[0]))
+            right_cls = _HASH_KEY_CLASS.get(sql_type_at(right_scope, pair[1]))
+            if left_cls is not None and left_cls == right_cls:
+                key_pairs.append(pair)
+                continue
+        if _value_class(conjunct, class_of)[0]:
+            residual.append(conjunct)
+        else:
+            return None
+    if not key_pairs:
+        return None
+    return key_pairs, residual
 
 
 class BatchAggregateOp(BatchOperator):
@@ -765,10 +1247,24 @@ class BatchAggregateOp(BatchOperator):
             arg_cols = [
                 None if fn is None else fn(cols, n) for fn in arg_fns
             ]
+            # dictionary-encoded key columns group on their integer
+            # codes (code <-> value is a bijection within the shared
+            # dictionary, so group identity and first-occurrence order
+            # are unchanged); values decode once per group below
             if len(key_cols) == 1:
-                keys = key_cols[0]
+                only = key_cols[0]
+                keys = only.codes if isinstance(only, EncodedColumn) else only
             elif key_cols:
-                keys = list(zip(*key_cols))
+                keys = list(
+                    zip(
+                        *[
+                            column.codes
+                            if isinstance(column, EncodedColumn)
+                            else column
+                            for column in key_cols
+                        ]
+                    )
+                )
             else:
                 keys = None  # no GROUP BY: a single global group
 
@@ -896,7 +1392,14 @@ class BatchDistinctOp:
         for out_cols, pre_cols, n in self._child.pres_batches():
             kept: list = []
             keep = kept.append
-            for i, row in enumerate(zip(*out_cols)):
+            # encoded output columns dedupe on codes (bijective per
+            # dictionary, and the per-column stream type is stable
+            # across batches), skipping the decode for dropped rows
+            key_streams = [
+                column.codes if isinstance(column, EncodedColumn) else column
+                for column in out_cols
+            ]
+            for i, row in enumerate(zip(*key_streams)):
                 if row in seen:
                     continue
                 add(row)
@@ -982,6 +1485,125 @@ class BatchLimitOp:
             remaining -= n
 
 
+class BatchTopNOp:
+    """Fused Sort+Limit over batches: bounded candidate set, one gather.
+
+    Sort keys are still computed vectorized per batch; instead of
+    materializing and fully sorting the input, candidate rows are
+    pruned back down to the best *limit* whenever they outgrow a small
+    multiple of it.  Candidate entries order exactly like BatchSortOp's
+    stable multi-key argsort: the composite key tuple (descending keys
+    wrapped in :class:`_ReversedKey`) is extended with the global input
+    sequence number, so ties keep arrival order and entry comparisons
+    never reach the row payloads.
+    """
+
+    def __init__(self, child, node: LogicalTopN) -> None:
+        self._child = child
+        self.columns = child.columns
+        self.scope = child.scope
+        self.agg_slots = child.agg_slots
+        self._limit = node.limit
+        self._key_specs: list = []
+        for position, expr, descending in _sort_targets(node, self.columns):
+            if position is not None:
+                self._key_specs.append((position, None, descending))
+            else:
+                fn = compile_expr_batch(expr, self.scope, self.agg_slots)
+                self._key_specs.append((None, fn, descending))
+
+    def pres_batches(self) -> Iterator[tuple]:
+        limit = self._limit
+        if limit <= 0:
+            return
+        key_specs = self._key_specs
+        prune_at = max(limit * 4, 64)
+        single = len(key_specs) == 1
+        entries: list = []  # (composite key + (seq,), candidate row index)
+        # the current worst kept composite key: once `limit` candidates
+        # exist, a row whose key sorts at or after the bound is dropped
+        # before its payload is ever materialized (a later row never
+        # beats an equal key: the sequence tiebreaker orders it after).
+        # Only the leading key is decorated vectorized; ties fall
+        # through to the full composite.
+        bound = None
+        first_bound = None
+        seq = 0
+        kept_out: list = []  # candidate payloads, indexed by entries[i][1]
+        kept_pre: list = []
+        for out_cols, pre_cols, n in self._child.pres_batches():
+            # every ORDER BY key expression is evaluated over the whole
+            # batch, exactly like BatchSortOp and the row engine, so
+            # data-dependent errors (division by zero, type errors in a
+            # sort expression) surface identically in all plans; only
+            # the sort_key decoration of secondary keys and the payload
+            # tuples are deferred until a row survives the bound —
+            # neither of those can raise
+            raw_columns = [
+                out_cols[position] if position is not None
+                else key_fn(pre_cols, n)
+                for position, key_fn, __ in key_specs
+            ]
+            first_descending = key_specs[0][2]
+            if first_descending:
+                first_column = [
+                    _ReversedKey(sort_key(value)) for value in raw_columns[0]
+                ]
+            else:
+                first_column = [sort_key(value) for value in raw_columns[0]]
+
+            def composite(i: int) -> tuple:
+                parts = [first_column[i]]
+                for spec, column in zip(key_specs[1:], raw_columns[1:]):
+                    decorated = sort_key(column[i])
+                    parts.append(
+                        _ReversedKey(decorated) if spec[2] else decorated
+                    )
+                return tuple(parts)
+
+            for i in range(n):
+                if bound is not None:
+                    first_key = first_column[i]
+                    if first_bound < first_key:
+                        seq += 1  # leading key already past the bound
+                        continue
+                    if not first_key < first_bound:  # tie on the lead key
+                        if single or not composite(i) < bound:
+                            seq += 1
+                            continue
+                key = composite(i)
+                entries.append((key + (seq,), len(kept_out)))
+                kept_out.append(tuple(column[i] for column in out_cols))
+                kept_pre.append(tuple(column[i] for column in pre_cols))
+                seq += 1
+                if len(entries) >= prune_at or (
+                    bound is None and len(entries) >= limit
+                ):
+                    entries = heapq.nsmallest(limit, entries)
+                    kept_out = [kept_out[entry[1]] for entry in entries]
+                    kept_pre = [kept_pre[entry[1]] for entry in entries]
+                    entries = [
+                        (entry[0], index)
+                        for index, entry in enumerate(entries)
+                    ]
+                    if len(entries) == limit:
+                        bound = entries[-1][0][:-1]
+                        first_bound = bound[0]
+        if not entries:
+            return
+        entries = heapq.nsmallest(limit, entries)
+        total = len(entries)
+        out_cols = [
+            list(column)
+            for column in zip(*[kept_out[entry[1]] for entry in entries])
+        ]
+        pre_cols = [
+            list(column)
+            for column in zip(*[kept_pre[entry[1]] for entry in entries])
+        ]
+        yield out_cols, pre_cols, total
+
+
 def _make_batch_picker(index: int):
     return lambda cols, n: cols[index]
 
@@ -1040,6 +1662,8 @@ def _build_presentation(node: LogicalNode, catalog: Catalog):
     """Build the pair-yielding presentation tree (project and above)."""
     if isinstance(node, LogicalLimit):
         return LimitOp(_build_presentation(node.child, catalog), node.limit)
+    if isinstance(node, LogicalTopN):
+        return TopNOp(_build_presentation(node.child, catalog), node)
     if isinstance(node, LogicalSort):
         return SortOp(_build_presentation(node.child, catalog), node)
     if isinstance(node, LogicalDistinct):
@@ -1082,6 +1706,10 @@ def _build_presentation_batch(node: LogicalNode, catalog: Catalog):
         return BatchLimitOp(
             _build_presentation_batch(node.child, catalog), node.limit
         )
+    if isinstance(node, LogicalTopN):
+        return BatchTopNOp(
+            _build_presentation_batch(node.child, catalog), node
+        )
     if isinstance(node, LogicalSort):
         return BatchSortOp(_build_presentation_batch(node.child, catalog), node)
     if isinstance(node, LogicalDistinct):
@@ -1108,7 +1736,21 @@ def _build_relational_batch(node: LogicalNode, catalog: Catalog):
     if isinstance(node, LogicalLeftJoin):
         left, __ = _build_relational_batch(node.left, catalog)
         right, __ = _build_relational_batch(node.right, catalog)
-        return BatchLeftJoinOp(left, right, node.condition), None
+        operator = BatchLeftJoinOp(left, right, node.condition)
+        if HASH_LEFT_JOIN_ENABLED:
+            analysis = _analyze_left_join(
+                node, left.scope, right.scope, catalog
+            )
+            if analysis is not None:
+                key_pairs, residual = analysis
+                operator.enable_hash(
+                    key_pairs,
+                    [
+                        compile_expr_batch(conjunct, operator.scope)
+                        for conjunct in residual
+                    ],
+                )
+        return operator, None
     if isinstance(node, LogicalAggregate):
         child, __ = _build_relational_batch(node.child, catalog)
         operator = BatchAggregateOp(child, node)

@@ -8,10 +8,12 @@ measured null fractions for IS NULL, independence across conjuncts —
 refined with **equi-width histograms**: every numeric/date column gets
 a :class:`Histogram` over its non-NULL values, so range predicates
 (``<``, ``<=``, ``>``, ``>=``, BETWEEN) against literals are estimated
-from the actual value distribution instead of a fixed fraction, and
-equi-join selectivity is damped by the overlap of the two key ranges.
-Shapes the histogram cannot see (non-literal comparisons, LIKE) fall
-back to the fixed Selinger constants.
+from the actual value distribution instead of a fixed fraction,
+equality against a literal scales ``1/distinct`` by the density of the
+bin the literal falls into (skew-aware; zero outside the observed
+range), and equi-join selectivity is damped by the overlap of the two
+key ranges.  Shapes the histogram cannot see (non-literal comparisons,
+LIKE, TEXT columns) fall back to the flat estimates.
 """
 
 from __future__ import annotations
@@ -107,6 +109,17 @@ class Histogram:
         if self.low == self.high:
             return 1.0 if low <= self.low <= high else 0.0
         return max(0.0, self.fraction_below(high) - self.fraction_below(low))
+
+    def bin_count(self, value: float) -> int:
+        """Rows in the bin containing *value* (0 outside the range)."""
+        if value < self.low or value > self.high:
+            return 0
+        if self.low == self.high:
+            return self.total
+        bins = len(self.counts)
+        width = (self.high - self.low) / bins
+        index = int((value - self.low) / width)
+        return self.counts[min(index, bins - 1)]
 
 
 @dataclass(frozen=True)
@@ -238,7 +251,7 @@ def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
         if predicate.op in ("=", "<>"):
             column = _single_column(predicate)
             if column is not None:
-                equality = 1.0 / stats.distinct(column)
+                equality = _equality_selectivity(predicate, column, stats)
                 return equality if predicate.op == "=" else 1.0 - equality
             return DEFAULT_SELECTIVITY
         if predicate.op in ("<", "<=", ">", ">="):
@@ -269,6 +282,39 @@ def predicate_selectivity(predicate: Expr, stats: TableStats) -> float:
             return 1.0 - fraction if predicate.negated else fraction
         return DEFAULT_SELECTIVITY
     return DEFAULT_SELECTIVITY
+
+
+def _equality_selectivity(
+    predicate: BinaryOp, column: str, stats: TableStats
+) -> float:
+    """Histogram-aware estimate for ``col = literal``.
+
+    The classic ``1/distinct`` assumes every value is equally frequent;
+    with a histogram, the estimate uses the *density of the bin the
+    literal falls into* instead: the bin's row count divided by the
+    expected number of distinct values per bin (distinct values assumed
+    evenly spread over the bins).  Hot values in skewed columns
+    estimate proportionally higher, values in sparse bins lower, and a
+    literal outside the observed range estimates zero.  Without a
+    histogram (TEXT/BOOLEAN columns, or ``histogram_bins=0``) the flat
+    ``1/distinct`` path is unchanged.
+    """
+    flat = 1.0 / stats.distinct(column)
+    shape = _column_literal(predicate)
+    if shape is None:
+        return flat
+    histogram = stats.histogram(column)
+    number = _as_number(shape[2])
+    if histogram is None or number is None or stats.row_count == 0:
+        return flat
+    in_bin = histogram.bin_count(number)
+    if in_bin == 0:
+        return 0.0
+    distinct_per_bin = max(
+        1.0, stats.distinct(column) / len(histogram.counts)
+    )
+    estimate = in_bin / distinct_per_bin / stats.row_count
+    return max(0.0, min(1.0, estimate))
 
 
 def _range_selectivity(

@@ -65,6 +65,52 @@ class TestRoundTrip:
         assert loaded.inverted.size_summary() == snapshot.inverted.size_summary()
         assert set(loaded.classifications) == {(True, False)}
 
+    def test_saved_snapshot_is_gzip_compressed(self, snapshot, tmp_path):
+        import gzip
+
+        path = tmp_path / "snap.json.gz"
+        save_snapshot(snapshot, path)
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"  # gzip magic
+        payload = json.loads(gzip.decompress(raw))
+        assert payload["snapshot_version"] == SNAPSHOT_VERSION
+        # compression must actually pay for itself on real postings
+        plain = tmp_path / "snap.json"
+        save_snapshot(snapshot, plain, compress=False)
+        assert len(raw) < plain.stat().st_size
+
+    def test_loader_reads_legacy_plain_json(self, snapshot, tmp_path):
+        path = tmp_path / "legacy.json"
+        save_snapshot(snapshot, path, compress=False)
+        assert not path.read_bytes().startswith(b"\x1f\x8b")
+        loaded = load_snapshot(path)
+        assert loaded.name == "testbank"
+        assert loaded.inverted.size_summary() == snapshot.inverted.size_summary()
+
+    def test_compressed_save_is_deterministic(self, snapshot, tmp_path):
+        first, second = tmp_path / "a.json.gz", tmp_path / "b.json.gz"
+        save_snapshot(snapshot, first)
+        save_snapshot(snapshot, second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_truncated_gzip_raises_warehouse_error(self, snapshot, tmp_path):
+        path = tmp_path / "snap.json.gz"
+        save_snapshot(snapshot, path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(WarehouseError, match="cannot read index snapshot"):
+            load_snapshot(path)
+
+    def test_corrupted_gzip_raises_warehouse_error(self, snapshot, tmp_path):
+        # valid magic, corrupted deflate stream: zlib.error must surface
+        # as WarehouseError so warm-start falls back to a cold build
+        path = tmp_path / "snap.json.gz"
+        save_snapshot(snapshot, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(WarehouseError, match="cannot read index snapshot"):
+            load_snapshot(path)
+
     def test_restored_index_accepts_incremental_adds(self, snapshot):
         restored = InvertedIndex.from_dict(snapshot.inverted.to_dict())
         restored.add("orgs", "org_nm", "Brand New Credit")

@@ -104,9 +104,10 @@ class TestOptimizerRules:
             "SELECT tag FROM small, big WHERE small.id = big.small_id"
         )
         # big is narrowed to the join key; small needs both its columns
-        # (join key + projected tag) so it keeps its full layout
+        # (join key + projected tag) so it keeps its full layout (tag is
+        # low-cardinality TEXT, hence dictionary-encoded)
         assert "[cols: small_id]" in plan
-        assert "scan small as small (3 rows) [batch]\n" in plan + "\n"
+        assert "scan small as small (3 rows) [dict: tag] [batch]\n" in plan + "\n"
 
     def test_no_pruning_with_star(self, db):
         plan = db.explain(
@@ -152,8 +153,7 @@ class TestExplain:
             "HAVING count(*) > 1 ORDER BY count(*) DESC LIMIT 2"
         )
         for needle in (
-            "limit 2",
-            "sort by count(*) DESC",
+            "top-n 2 by count(*) DESC",  # Sort+Limit fused by the optimizer
             "distinct",
             "project status, count(*)",
             "aggregate group by status having (count(*) > 1)",
@@ -165,7 +165,9 @@ class TestExplain:
         select = parse_select("SELECT tag FROM small WHERE id = 2")
         planner = db.planner
         rendered = render_plan(
-            planner.prepare(select).logical, mode=planner.execution_mode
+            planner.prepare(select).logical,
+            mode=planner.execution_mode,
+            catalog=db.catalog,
         )
         assert rendered == db.explain("SELECT tag FROM small WHERE id = 2")
 

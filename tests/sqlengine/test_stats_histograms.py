@@ -100,6 +100,58 @@ class TestRangeSelectivity:
         assert predicate_selectivity(predicate, stats) < 0.05
 
 
+class TestEqualitySelectivity:
+    """Histogram-aware ``col = literal``: bin density beats 1/distinct."""
+
+    def test_hot_value_estimated_above_flat(self, skewed_db):
+        stats = StatisticsProvider(skewed_db.catalog).table_stats("skewed")
+        # x = 50 sits among the 99% of rows packed into [0, 100): its
+        # bin is dense, so the estimate must exceed the flat 1/distinct
+        predicate = parse_select("SELECT * FROM skewed WHERE x = 50").where
+        estimate = predicate_selectivity(predicate, stats)
+        flat = 1.0 / stats.distinct("x")
+        assert estimate > flat
+
+    def test_sparse_tail_value_estimated_below_flat(self, skewed_db):
+        stats = StatisticsProvider(skewed_db.catalog).table_stats("skewed")
+        predicate = parse_select("SELECT * FROM skewed WHERE x = 950").where
+        estimate = predicate_selectivity(predicate, stats)
+        flat = 1.0 / stats.distinct("x")
+        assert 0.0 < estimate < flat
+
+    def test_literal_outside_range_estimates_zero(self, skewed_db):
+        stats = StatisticsProvider(skewed_db.catalog).table_stats("skewed")
+        predicate = parse_select("SELECT * FROM skewed WHERE x = 5000").where
+        assert predicate_selectivity(predicate, stats) == 0.0
+
+    def test_inequality_is_complement(self, skewed_db):
+        stats = StatisticsProvider(skewed_db.catalog).table_stats("skewed")
+        equal = parse_select("SELECT * FROM skewed WHERE x = 50").where
+        not_equal = parse_select("SELECT * FROM skewed WHERE x <> 50").where
+        assert abs(
+            predicate_selectivity(not_equal, stats)
+            + predicate_selectivity(equal, stats)
+            - 1.0
+        ) < 1e-9
+
+    def test_disabled_histograms_keep_flat_estimate(self, skewed_db):
+        provider = StatisticsProvider(skewed_db.catalog, histogram_bins=0)
+        stats = provider.table_stats("skewed")
+        predicate = parse_select("SELECT * FROM skewed WHERE x = 50").where
+        assert predicate_selectivity(predicate, stats) == (
+            1.0 / stats.distinct("x")
+        )
+
+    def test_text_columns_keep_flat_estimate(self, skewed_db):
+        stats = StatisticsProvider(skewed_db.catalog).table_stats("dim")
+        predicate = parse_select(
+            "SELECT * FROM dim WHERE note = 'note 7'"
+        ).where
+        assert predicate_selectivity(predicate, stats) == (
+            1.0 / stats.distinct("note")
+        )
+
+
 class TestJoinSelectivity:
     def test_disjoint_key_ranges_estimate_zero(self):
         db = Database()

@@ -129,8 +129,8 @@ class TestExplain:
             "ORDER BY count(*) DESC LIMIT 3"
         )
         assert "aggregate group by name" in plan
-        assert "sort by count(*) DESC" in plan
-        assert "limit 3" in plan
+        # ORDER BY + LIMIT fuse into one bounded-heap TOP-N operator
+        assert "top-n 3 by count(*) DESC" in plan
 
     def test_left_join_reported(self, db):
         plan = db.explain("SELECT * FROM a LEFT JOIN b ON a.id = b.id")

@@ -285,6 +285,209 @@ class TestFloatEdgeParity:
         assert repr(batch_rows) == repr(row_rows) == "[(-0.0,)]"
 
 
+def _populate_string_schema(db: Database) -> None:
+    """Low-cardinality TEXT-heavy schema for the dictionary-encoded paths.
+
+    ``items`` carries three encodable TEXT columns (with NULLs and
+    repeated values), ``codes`` is a LEFT JOIN target with NULL keys
+    and duplicate keys, and ``no_rows`` exercises empty right sides.
+    """
+    db.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, status TEXT, city TEXT, "
+        "note TEXT, score REAL)"
+    )
+    db.execute("CREATE TABLE codes (code TEXT, label TEXT)")
+    db.execute("CREATE TABLE no_rows (code TEXT, label TEXT)")
+    statuses = ["NEW", "OPEN", "HELD", "DONE", None]
+    cities = ["Zurich", "Basel", "Geneva", None, "Bern", "Zug"]
+    rows = []
+    for i in range(200):
+        status = statuses[i % 5]
+        city = cities[(i * 3) % 6]
+        note = None if i % 17 == 0 else f"note {i % 9}"
+        rows.append(
+            "({}, {}, {}, {}, {})".format(
+                i,
+                "NULL" if status is None else f"'{status}'",
+                "NULL" if city is None else f"'{city}'",
+                "NULL" if note is None else f"'{note}'",
+                "NULL" if i % 13 == 0 else f"{(i * 7) % 50}.5",
+            )
+        )
+    db.execute("INSERT INTO items VALUES " + ", ".join(rows))
+    db.execute(
+        "INSERT INTO codes VALUES ('NEW', 'fresh'), ('DONE', 'finished'), "
+        "(NULL, 'unkeyed'), ('DONE', 'complete'), ('GONE', 'unmatched')"
+    )
+
+
+STRING_CORPUS = [
+    # encoded fast paths: equality / inequality / IN / LIKE
+    "SELECT id FROM items WHERE status = 'DONE'",
+    "SELECT id FROM items WHERE status <> 'DONE'",
+    "SELECT id FROM items WHERE status = 'ABSENT'",
+    "SELECT id FROM items WHERE status <> 'ABSENT'",
+    "SELECT id FROM items WHERE 'OPEN' = status",
+    "SELECT id FROM items WHERE status IN ('NEW', 'HELD')",
+    "SELECT id FROM items WHERE status NOT IN ('NEW', 'HELD')",
+    "SELECT id FROM items WHERE status IN ('ABSENT', 'MISSING')",
+    "SELECT id FROM items WHERE city LIKE 'Z%'",
+    "SELECT id FROM items WHERE city NOT LIKE '%e%'",
+    "SELECT id FROM items WHERE city LIKE '_asel'",
+    "SELECT id FROM items WHERE status LIKE note",
+    # encoded columns through expressions, ordering, grouping
+    "SELECT lower(status), upper(city) FROM items",
+    "SELECT status || '-' || city FROM items",
+    "SELECT coalesce(status, city, 'none') FROM items",
+    "SELECT id, status FROM items ORDER BY status, id",
+    "SELECT id FROM items ORDER BY city DESC, status, id",
+    "SELECT status, count(*) FROM items GROUP BY status",
+    "SELECT status, city, count(*), min(score) FROM items "
+    "GROUP BY status, city",
+    "SELECT status, count(*) FROM items GROUP BY status "
+    "HAVING count(*) > 30",
+    "SELECT count(DISTINCT status), count(status) FROM items",
+    "SELECT DISTINCT status FROM items",
+    "SELECT DISTINCT status, city FROM items ORDER BY status, city",
+    "SELECT CASE WHEN status = 'DONE' THEN city ELSE status END "
+    "FROM items",
+    # LIMIT with ORDER BY (the fused TopN path), including ties
+    "SELECT id, status FROM items ORDER BY status, id LIMIT 7",
+    "SELECT id FROM items ORDER BY city DESC, id LIMIT 5",
+    "SELECT id FROM items ORDER BY score DESC, id LIMIT 3",
+    "SELECT status, count(*) FROM items GROUP BY status "
+    "ORDER BY count(*) DESC, status LIMIT 2",
+    "SELECT id FROM items ORDER BY status LIMIT 0",
+    "SELECT id FROM items ORDER BY status LIMIT 999",
+    "SELECT DISTINCT status FROM items ORDER BY status LIMIT 3",
+    # joins keyed on encoded TEXT columns
+    "SELECT i.id, c.label FROM items i, codes c WHERE i.status = c.code",
+    "SELECT i.id, c.label FROM items i JOIN codes c ON i.status = c.code "
+    "WHERE c.label <> 'fresh'",
+    # LEFT JOIN: hash path with NULL keys on both sides, duplicate
+    # build keys, residual ON conjuncts, and empty right sides
+    "SELECT i.id, c.label FROM items i LEFT JOIN codes c "
+    "ON i.status = c.code",
+    "SELECT i.id, c.label FROM items i LEFT JOIN codes c "
+    "ON i.status = c.code AND c.label <> 'complete'",
+    "SELECT i.id, c.label FROM items i LEFT JOIN codes c "
+    "ON i.status = c.code AND c.label LIKE 'f%' AND i.score > 10",
+    "SELECT i.id, n.label FROM items i LEFT JOIN no_rows n "
+    "ON i.status = n.code",
+    "SELECT i.id, c.label FROM items i LEFT JOIN codes c "
+    "ON i.status = c.code AND i.city = 'Zurich' "
+    "ORDER BY i.id, c.label LIMIT 20",
+    # non-equi ON condition: broadcast fallback must agree too
+    "SELECT i.id, c.label FROM items i LEFT JOIN codes c "
+    "ON i.status > c.code WHERE i.id < 12",
+]
+
+
+@pytest.fixture(scope="module")
+def string_dbs():
+    """(row, batch-encoded, batch-unencoded) over the same data."""
+    databases = [
+        Database(execution_mode="row"),
+        Database(execution_mode="batch"),
+        Database(execution_mode="batch", dict_encoding_threshold=0),
+    ]
+    for db in databases:
+        _populate_string_schema(db)
+    return tuple(databases)
+
+
+class TestStringHeavyParity:
+    """Row / batch-encoded / batch-unencoded must be byte-identical."""
+
+    def test_fixture_is_actually_encoded(self, string_dbs):
+        __, encoded, unencoded = string_dbs
+        items = encoded.table("items")
+        assert items.encoded_column_names() == ["status", "city", "note"]
+        assert unencoded.table("items").encoded_column_names() == []
+
+    @pytest.mark.parametrize("sql", STRING_CORPUS)
+    def test_three_way_byte_identical(self, string_dbs, sql):
+        row_db, encoded_db, unencoded_db = string_dbs
+        row_rs = row_db.execute(sql)
+        encoded_rs = encoded_db.execute(sql)
+        unencoded_rs = unencoded_db.execute(sql)
+        assert encoded_rs.columns == row_rs.columns, sql
+        assert encoded_rs.rows == row_rs.rows, sql
+        assert unencoded_rs.columns == row_rs.columns, sql
+        assert unencoded_rs.rows == row_rs.rows, sql
+
+    def test_parity_survives_dml_and_gc(self, string_dbs):
+        sql = (
+            "SELECT status, city, count(*) FROM items "
+            "GROUP BY status, city ORDER BY status, city LIMIT 8"
+        )
+        fresh = [
+            Database(execution_mode="row"),
+            Database(execution_mode="batch"),
+            Database(execution_mode="batch", dict_encoding_threshold=0),
+        ]
+        for db in fresh:
+            _populate_string_schema(db)
+            db.execute("UPDATE items SET status = 'HELD' WHERE status = 'NEW'")
+            db.execute("DELETE FROM items WHERE city = 'Zug'")
+            db.execute(
+                "UPDATE items SET city = NULL WHERE status = 'DONE'"
+            )
+        row_db, encoded_db, unencoded_db = fresh
+        # 'NEW' and 'Zug' are gone: their codes must be collected
+        status_dict = encoded_db.table("items").column_dictionary(1)
+        assert "NEW" not in status_dict.code_of
+        expected = row_db.execute(sql).rows
+        assert encoded_db.execute(sql).rows == expected
+        assert unencoded_db.execute(sql).rows == expected
+
+
+class TestTopNParity:
+    """The fused TopN operator vs the canonical Sort+Limit plan."""
+
+    def test_optimized_plan_fuses_sort_limit(self, string_dbs):
+        __, encoded_db, __unused = string_dbs
+        plan = encoded_db.explain(
+            "SELECT id FROM items ORDER BY status, id LIMIT 4"
+        )
+        assert "top-n 4 by status, id" in plan
+        assert "sort by" not in plan
+        assert "[dict: status" in plan
+
+    def test_secondary_key_errors_survive_bound_pruning(self):
+        # >1 batch of rows whose leading key loses to the bound must
+        # still evaluate the secondary ORDER BY expression — row mode
+        # and the unfused Sort+Limit raise, so the fused TopN must too
+        def populate(db):
+            db.execute("CREATE TABLE t (id INT, a INT, b INT)")
+            db.insert_rows(
+                "t",
+                [(i, 0, 1) for i in range(1300)] + [(9999, 5, 0)],
+            )
+
+        row_db, batch_db = _dual(populate)
+        sql = "SELECT id FROM t ORDER BY a, 10 / b LIMIT 2"
+        with pytest.raises(SqlError) as row_error:
+            row_db.execute(sql)
+        with pytest.raises(SqlError) as batch_error:
+            batch_db.execute(sql)
+        assert str(batch_error.value) == str(row_error.value)
+        assert "division by zero" in str(row_error.value)
+
+    def test_canonical_plan_keeps_sort_limit(self, string_dbs):
+        from repro.sqlengine.parser import parse_select
+        from repro.sqlengine.planner import QueryPlanner
+
+        __, encoded_db, __unused = string_dbs
+        naive = QueryPlanner(encoded_db.catalog, optimize=False)
+        select = parse_select(
+            "SELECT id FROM items ORDER BY status, id LIMIT 4"
+        )
+        assert naive.execute(select).rows == encoded_db.execute(
+            "SELECT id FROM items ORDER BY status, id LIMIT 4"
+        ).rows
+
+
 class TestModeSwitching:
     def test_set_execution_mode_switches_engine(self):
         db = Database()

@@ -99,7 +99,7 @@ class TestExplain:
         assert code == 0
         assert "hash join" in output
         assert "aggregate group by o.status_cd" in output
-        assert "limit 3" in output
+        assert "top-n 3 by count(*) DESC" in output
 
     def test_explain_is_deterministic(self):
         sql = "SELECT id FROM parties WHERE party_type_cd = 'I'"
@@ -200,6 +200,21 @@ class TestIndexCommand:
         assert code == 0
         assert "loaded snapshot" in output
         assert "classification variant" in output
+
+    def test_index_load_falls_back_to_legacy_default_path(
+        self, tmp_path, monkeypatch
+    ):
+        # a pre-compression snapshot saved under the old default name
+        # must still load when --path is omitted
+        monkeypatch.chdir(tmp_path)
+        code, __ = run_cli(
+            "--scale", "0.25", "index", "save",
+            "--path", "soda_index_snapshot.json",
+        )
+        assert code == 0
+        code, output = run_cli("--scale", "0.25", "index", "load")
+        assert code == 0
+        assert "loaded snapshot soda_index_snapshot.json " in output
 
     def test_index_load_rejects_mismatched_snapshot(self, tmp_path):
         path = str(tmp_path / "snap.json")
