@@ -8,7 +8,9 @@
 #                     emits BENCH_engine.json; dictionary encoding >=2x +
 #                     hash LEFT JOIN >=2x + TopN beats Sort+Limit, emits
 #                     BENCH_dict.json; search serving + warm-start;
-#                     DML plan-cache invalidation, emits BENCH_dml.json).
+#                     DML plan-cache invalidation, emits BENCH_dml.json;
+#                     observability off-switch overhead <5%, emits
+#                     BENCH_obs.json).
 #                     BENCH_SPEEDUP_MIN relaxes the *timing* floors on
 #                     noisy shared runners (see benchmarks/bench_utils.py);
 #                     correctness asserts always stay hard.
@@ -34,7 +36,8 @@ bench-smoke:
 		benchmarks/bench_vectorized_engine.py \
 		benchmarks/bench_dictionary_engine.py \
 		benchmarks/bench_search_serving.py \
-		benchmarks/bench_dml_invalidation.py -q -s
+		benchmarks/bench_dml_invalidation.py \
+		benchmarks/bench_observability_overhead.py -q -s
 
 coverage:
 	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \

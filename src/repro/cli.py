@@ -6,11 +6,14 @@ Usage::
     python -m repro search --explain "customers Zurich"   # plans inline
     python -m repro search --batch queries.txt  # one query per line
     python -m repro explain "SELECT ..."  # optimized query plan tree
+    python -m repro explain --analyze "SELECT ..."  # + per-op actuals
+    python -m repro trace "customers Zurich"  # rendered span tree
     python -m repro sql "UPDATE ..."     # run SQL (incl. UPDATE/DELETE)
     python -m repro experiments          # Tables 2, 3 and 4
     python -m repro experiments --batch  # same, served via search_many
     python -m repro compare              # Table 5 (runs the baselines)
     python -m repro stats                # warehouse + Table 1 statistics
+    python -m repro stats --metrics      # process-wide metrics registry
     python -m repro index build          # time a cold index build
     python -m repro index save           # snapshot indexes to disk
     python -m repro index load           # verify a warm-start snapshot
@@ -65,11 +68,27 @@ def make_parser() -> argparse.ArgumentParser:
                         help="statements to display (default 5)")
     search.add_argument("--explain", action="store_true",
                         help="print the query plan under each statement")
+    search.add_argument("--analyze", action="store_true",
+                        help="with plans: execute instrumented and show "
+                             "actual rows + self-time (implies --explain)")
 
     explain = commands.add_parser(
         "explain", help="show the optimized query plan for a SQL statement"
     )
     explain.add_argument("sql", help="a SELECT statement (quote it)")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the statement instrumented and "
+                              "annotate each operator with actual rows, "
+                              "batches and self-time")
+
+    trace = commands.add_parser(
+        "trace", help="run a SODA query with tracing and render the span tree"
+    )
+    trace.add_argument("query", help="keywords + operators + values")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the span tree as JSON instead of a tree")
+    trace.add_argument("--no-execute", action="store_true",
+                       help="generate SQL only, skip result snippets")
 
     sql = commands.add_parser(
         "sql", help="execute one SQL statement against the warehouse"
@@ -91,7 +110,16 @@ def make_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "compare", help="run the five baselines (Table 5)"
     )
-    commands.add_parser("stats", help="warehouse statistics (Table 1)")
+    stats = commands.add_parser(
+        "stats", help="warehouse statistics (Table 1)"
+    )
+    stats.add_argument("--metrics", action="store_true",
+                       help="dump the process-wide metrics registry "
+                            "instead of the warehouse tables")
+    stats.add_argument("--metrics-format",
+                       choices=["table", "json", "prometheus"],
+                       default="table",
+                       help="rendering for --metrics (default table)")
 
     index = commands.add_parser(
         "index", help="manage the long-lived search indexes"
@@ -161,11 +189,14 @@ def cmd_search(args, out) -> int:
                 print(f"       {row}", file=out)
         elif statement.execution_error:
             print(f"    -> {statement.execution_error}", file=out)
-        if args.explain:
+        if args.explain or args.analyze:
             from repro.errors import SqlError
 
             try:
-                plan = statement.plan or soda.explain(statement.sql)
+                if args.analyze:
+                    plan = soda.explain(statement.sql, analyze=True)
+                else:
+                    plan = statement.plan or soda.explain(statement.sql)
             except SqlError as exc:
                 plan = f"(not plannable: {exc})"
             for line in plan.splitlines():
@@ -237,11 +268,26 @@ def cmd_explain(args, out) -> int:
 
     warehouse = _build_warehouse(args)
     try:
-        plan = warehouse.database.explain(args.sql)
+        plan = warehouse.database.explain(args.sql, analyze=args.analyze)
     except SqlError as exc:
         print(f"error: {exc}", file=out)
         return 1
     print(plan, file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    warehouse = _build_warehouse(args)
+    soda = Soda(warehouse, SodaConfig())
+    result = soda.search(
+        args.query, execute=not args.no_execute, trace=True
+    )
+    if args.json:
+        print(result.trace.to_json(), file=out)
+        return 0
+    print(f"query:      {result.query.describe()}", file=out)
+    print(f"statements: {len(result.statements)}", file=out)
+    print(result.trace.render(), file=out)
     return 0
 
 
@@ -393,11 +439,35 @@ def cmd_stats(args, out) -> int:
     from repro.warehouse.synthetic import generate_definition
 
     warehouse = _build_warehouse(args)
+    if args.metrics:
+        return _print_metrics(warehouse, args.metrics_format, out)
     print("finbank warehouse:", file=out)
     for key, value in sorted(warehouse.statistics().items()):
         print(f"  {key:32s} {value}", file=out)
     print("\nTable 1 (synthetic generator at paper scale):", file=out)
     print(format_table1(generate_definition().schema_statistics()), file=out)
+    return 0
+
+
+def _print_metrics(warehouse, metrics_format, out) -> int:
+    from repro.obs.metrics import registry
+
+    snapshot = warehouse.database.metrics()  # refreshes the gauges
+    if metrics_format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+    elif metrics_format == "prometheus":
+        print(registry().render_prometheus(), file=out)
+    else:
+        for name, entry in sorted(snapshot.items()):
+            value = entry["value"]
+            if entry["kind"] == "histogram":
+                value = (
+                    f"count={value['count']} sum={value['sum']:.6f} "
+                    f"mean={value['mean']:.6f}"
+                )
+            print(f"  {name:40s} {entry['kind']:9s} {value}", file=out)
     return 0
 
 
@@ -430,6 +500,7 @@ def main(argv=None, out=None) -> int:
     handlers = {
         "search": cmd_search,
         "explain": cmd_explain,
+        "trace": cmd_trace,
         "sql": cmd_sql,
         "experiments": cmd_experiments,
         "compare": cmd_compare,

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field
 from repro.core.query import Aggregation, Comparison, RangeCondition, SodaQuery
 from repro.index.classification import ClassificationIndex, EntrySource
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import registry as _metrics_registry
 from repro.warehouse.graphbuilder import column_uri
+
+_METRICS = _metrics_registry()
+_MEMO_HITS = _METRICS.counter("lookup.memo.hits")
+_MEMO_MISSES = _METRICS.counter("lookup.memo.misses")
 
 
 @dataclass(frozen=True)
@@ -231,10 +236,14 @@ class Lookup:
         self._check_cache_stamp()
         cached = self._alternatives_cache.get(term)
         if cached is None:
+            if _METRICS.enabled:
+                _MEMO_MISSES.inc()
             found = list(self.metadata_alternatives(term))
             found.extend(self.base_data_alternatives(term))
             cached = tuple(sorted(found, key=EntryPoint.sort_key))
             self._alternatives_cache[term] = cached
+        elif _METRICS.enabled:
+            _MEMO_HITS.inc()
         return list(cached)
 
     def metadata_alternatives(self, term: str) -> list:
@@ -242,6 +251,8 @@ class Lookup:
         self._check_cache_stamp()
         cached = self._metadata_cache.get(term)
         if cached is None:
+            if _METRICS.enabled:
+                _MEMO_MISSES.inc()
             cached = tuple(
                 sorted(
                     (
@@ -254,6 +265,8 @@ class Lookup:
                 )
             )
             self._metadata_cache[term] = cached
+        elif _METRICS.enabled:
+            _MEMO_HITS.inc()
         return list(cached)
 
     def base_data_alternatives(self, term: str) -> list:

@@ -29,6 +29,12 @@ from dataclasses import dataclass, field
 
 from repro.core.input_patterns import parse_query
 from repro.core.ranking import rank
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.tracing import NULL_TRACER
+
+_METRICS = _metrics_registry()
+_SEARCHES = _METRICS.counter("pipeline.searches")
+_SEARCH_SECONDS = _METRICS.histogram("pipeline.search.seconds")
 
 
 @dataclass
@@ -81,6 +87,8 @@ class SearchResult:
     lookup: object  # LookupResult
     statements: list
     timings: StepTimings
+    #: the request's Tracer when tracing was on, else None
+    trace: object = None
 
     @property
     def complexity(self) -> int:
@@ -117,6 +125,8 @@ class SearchContext:
     statements: list = field(default_factory=list)  # ScoredStatement list
     timings: StepTimings = field(default_factory=StepTimings)
     stopped_at: str | None = None
+    #: the request's tracer (NULL_TRACER when tracing is off)
+    tracer: object = NULL_TRACER
 
     def request_stop(self, step_name: str) -> None:
         """Skip all remaining pipeline steps (early-termination hook)."""
@@ -132,6 +142,7 @@ class SearchContext:
             lookup=self.lookup,
             statements=self.statements,
             timings=self.timings,
+            trace=self.tracer if self.tracer.enabled else None,
         )
 
 
@@ -317,22 +328,32 @@ class SearchPipeline:
 
     def run(self, context: SearchContext) -> SearchContext:
         """Drive *context* through every step, timing each one."""
+        tracer = context.tracer
+        run_started = time.perf_counter()
         for step in self.steps:
             if context.stopped:
                 break
             if not step.active(context):
                 continue
-            started = time.perf_counter()
-            step.run(context)
-            elapsed = time.perf_counter() - started
+            with tracer.span("step:" + step.name):
+                started = time.perf_counter()
+                step.run(context)
+                elapsed = time.perf_counter() - started
             if step.timing_field is not None:
                 setattr(
                     context.timings,
                     step.timing_field,
                     getattr(context.timings, step.timing_field) + elapsed,
                 )
+            if _METRICS.enabled and step.timing_field is not None:
+                _METRICS.histogram(
+                    f"pipeline.step.{step.name}.seconds"
+                ).observe(elapsed)
             for hook in self._hooks:
                 if hook(context, step):
                     context.request_stop(step.name)
                     break
+        if _METRICS.enabled:
+            _SEARCHES.inc()
+            _SEARCH_SECONDS.observe(time.perf_counter() - run_started)
         return context

@@ -24,9 +24,16 @@ from dataclasses import dataclass, field
 
 from repro.core.pipeline import SearchResult
 from repro.core.soda import Soda
+from repro.obs.metrics import registry as _metrics_registry
 
 #: results memoized per session unless overridden (0 disables caching)
 DEFAULT_RESULT_CACHE_SIZE = 64
+
+# per-session counters keep their public dict shape (cache_stats); the
+# same events are mirrored process-wide for `repro stats --metrics`
+_METRICS = _metrics_registry()
+_RESULT_HITS = _METRICS.counter("serving.result_cache.hits")
+_RESULT_MISSES = _METRICS.counter("serving.result_cache.misses")
 
 
 @dataclass(frozen=True)
@@ -123,8 +130,12 @@ class SearchSession:
         if hit is not None:
             entries.move_to_end(text)
             cache["hits"] += 1
+            if _METRICS.enabled:
+                _RESULT_HITS.inc()
             return hit
         cache["misses"] += 1
+        if _METRICS.enabled:
+            _RESULT_MISSES.inc()
         result = self._trim(self.soda.search(text, execute=self.execute))
         entries[text] = result
         while len(entries) > self.result_cache_size:
@@ -140,4 +151,5 @@ class SearchSession:
             lookup=result.lookup,
             statements=result.statements[: self.limit],
             timings=result.timings,
+            trace=result.trace,
         )

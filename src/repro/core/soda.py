@@ -24,6 +24,9 @@ identical query texts.
 
 from __future__ import annotations
 
+import json
+import logging
+import time
 from dataclasses import dataclass, field
 
 from repro.core.feedback import FeedbackStore
@@ -47,6 +50,8 @@ from repro.core.pipeline import (
 )
 from repro.core.query import SodaQuery
 from repro.core.sqlgen import SqlGenerator
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.tracing import NULL_TRACER, Tracer, activate
 from repro.core.tables import TablesResult, TablesStep
 from repro.errors import SqlError
 from repro.sqlengine.executor import ResultSet
@@ -59,6 +64,13 @@ __all__ = [
     "SodaConfig",
     "StepTimings",
 ]
+
+#: slow searches log one structured JSON line here (stdlib logging, so
+#: applications route/format it like any other `repro.*` logger)
+_SLOW_QUERY_LOG = logging.getLogger("repro.soda.slow_query")
+
+_METRICS = _metrics_registry()
+_SLOW_QUERIES = _METRICS.counter("soda.slow_queries")
 
 
 @dataclass
@@ -83,6 +95,9 @@ class SodaConfig:
     pattern_overrides: dict = field(default_factory=dict)
     max_statements: "int | None" = None  # early-stop SQL generation
     batch_dedup: bool = True  # dedup identical texts in search_many
+    #: searches slower than this (whole pipeline, ms) log one JSON line
+    #: on the ``repro.soda.slow_query`` logger; None disables the log
+    slow_query_ms: "float | None" = None
 
 
 class Soda:
@@ -127,26 +142,81 @@ class Soda:
         """Parse the input query text (input patterns only)."""
         return parse_query(text)
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """EXPLAIN an SQL statement against the warehouse database.
 
         Renders the optimized plan tree the engine would execute —
         works for generated statements (``result.best.sql``) as well as
-        hand-written SQL.
+        hand-written SQL.  ``analyze=True`` runs the statement and adds
+        per-operator actual rows/batches and self-time to each line.
         """
-        return self.warehouse.database.explain(sql)
+        return self.warehouse.database.explain(sql, analyze=analyze)
 
     def plan_cache_stats(self):
         """Hit/miss counters of the database's LRU plan cache."""
         return self.warehouse.database.planner.cache.stats
 
-    def search(self, text: str, execute: bool = True) -> SearchResult:
-        """Run the full staged pipeline for *text*."""
+    def metrics(self) -> dict:
+        """Snapshot of the process-wide metrics registry."""
+        return self.warehouse.database.metrics()
+
+    def search(
+        self, text: str, execute: bool = True, trace: bool = False
+    ) -> SearchResult:
+        """Run the full staged pipeline for *text*.
+
+        With ``trace=True`` the search runs under a fresh
+        :class:`~repro.obs.tracing.Tracer`; the returned result's
+        ``trace`` holds the span tree (search → pipeline steps →
+        plan/execute), renderable via ``result.trace.render()`` or
+        exportable with ``to_json()``.  Results are byte-identical with
+        tracing on or off.
+        """
+        tracer = Tracer() if trace else NULL_TRACER
         context = SearchContext(
-            text=text, config=self.config, execute=execute
+            text=text, config=self.config, execute=execute, tracer=tracer
         )
-        self.pipeline.run(context)
+        hits_before = self.plan_cache_stats().hits
+        started = time.perf_counter()
+        with activate(tracer):
+            with tracer.span("search", query=text):
+                self.pipeline.run(context)
+        self._log_if_slow(
+            text, context, time.perf_counter() - started, hits_before
+        )
         return context.result()
+
+    def _log_if_slow(
+        self,
+        text: str,
+        context: SearchContext,
+        elapsed: float,
+        hits_before: int,
+    ) -> None:
+        """One structured JSON log line for searches over the threshold."""
+        threshold = self.config.slow_query_ms
+        if threshold is None:
+            return
+        total_ms = elapsed * 1000.0
+        if total_ms < threshold:
+            return
+        if _METRICS.enabled:
+            _SLOW_QUERIES.inc()
+        timings = context.timings
+        payload = {
+            "query": text,
+            "total_ms": round(total_ms, 3),
+            "threshold_ms": threshold,
+            "steps_ms": {
+                name: round(getattr(timings, name) * 1000.0, 3)
+                for name in (
+                    "lookup", "rank", "tables", "filters", "sql", "execute"
+                )
+            },
+            "statements": len(context.statements),
+            "plan_cache_hit": self.plan_cache_stats().hits > hits_before,
+        }
+        _SLOW_QUERY_LOG.warning(json.dumps(payload, sort_keys=True))
 
     def search_many(
         self, texts, execute: bool = True

@@ -36,7 +36,14 @@ from repro.graph.pattern import PatternLibrary, match_pattern
 from repro.graph.traversal import iter_reachable
 from repro.graph.triples import TripleStore
 from repro.core.lookup import EntryPoint, Interpretation
+from repro.obs.metrics import registry as _metrics_registry
 from repro.warehouse.graphbuilder import JOIN_EDGES, SCHEMA_EDGES
+
+_METRICS = _metrics_registry()
+_EXPANSION_HITS = _METRICS.counter("tables.memo.expansion_hits")
+_EXPANSION_MISSES = _METRICS.counter("tables.memo.expansion_misses")
+_PLAN_HITS = _METRICS.counter("tables.memo.plan_hits")
+_PLAN_MISSES = _METRICS.counter("tables.memo.plan_misses")
 
 
 @dataclass(frozen=True)
@@ -177,6 +184,8 @@ class TablesStep:
         key = frozenset(preliminary)
         cached = self._plan_cache.get(key)
         if cached is None:
+            if _METRICS.enabled:
+                _PLAN_MISSES.inc()
             working = set(preliminary)
             inheritance_parents = self._inheritance_closure(working)
             join_graph = self._discover_join_graph(sorted(working))
@@ -192,6 +201,8 @@ class TablesStep:
                 components,
             )
             self._plan_cache[key] = cached
+        elif _METRICS.enabled:
+            _PLAN_HITS.inc()
         return cached
 
     # ------------------------------------------------------------------
@@ -207,7 +218,11 @@ class TablesStep:
         self._check_graph_version()
         cached = self._expansion_cache.get(entry)
         if cached is not None:
+            if _METRICS.enabled:
+                _EXPANSION_HITS.inc()
             return cached
+        if _METRICS.enabled:
+            _EXPANSION_MISSES.inc()
         expansion = EntryExpansion(entry=entry)
         follow = _make_follow(SCHEMA_EDGES)
         for node, __ in iter_reachable(self._store, entry.node, follow=follow):

@@ -15,8 +15,14 @@ from dataclasses import dataclass, field
 from repro.core.evaluation import PrecisionRecall, evaluate_sql
 from repro.core.soda import Soda, SodaConfig
 from repro.experiments.workload import WORKLOAD, ExperimentQuery
+from repro.obs.metrics import registry as _metrics_registry
 from repro.warehouse.minibank import build_minibank
 from repro.warehouse.warehouse import Warehouse
+
+_METRICS = _metrics_registry()
+_QUERIES = _METRICS.counter("experiments.queries")
+_SODA_SECONDS = _METRICS.histogram("experiments.soda.seconds")
+_EXECUTE_SECONDS = _METRICS.histogram("experiments.execute.seconds")
 
 
 @dataclass
@@ -109,6 +115,11 @@ class ExperimentRunner:
                 )
             )
         execute_seconds = time.perf_counter() - started
+
+        if _METRICS.enabled:
+            _QUERIES.inc()
+            _SODA_SECONDS.observe(soda_seconds)
+            _EXECUTE_SECONDS.observe(execute_seconds)
 
         return QueryOutcome(
             query=query,

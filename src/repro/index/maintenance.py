@@ -18,6 +18,7 @@ The maintained index is guaranteed to equal a from-scratch
 from __future__ import annotations
 
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import registry as _metrics_registry
 from repro.sqlengine.catalog import Catalog, CatalogObserver, Table
 from repro.sqlengine.types import SqlType
 
@@ -34,6 +35,18 @@ class InvertedIndexMaintainer(CatalogObserver):
         self.applied_updates = 0
         self.applied_deletes = 0
         self.applied_ddl = 0
+        # the same events mirrored into the process-wide registry
+        self._metrics = _metrics_registry()
+        self._inserts_counter = self._metrics.counter(
+            "index.maintainer.inserts"
+        )
+        self._updates_counter = self._metrics.counter(
+            "index.maintainer.updates"
+        )
+        self._deletes_counter = self._metrics.counter(
+            "index.maintainer.deletes"
+        )
+        self._ddl_counter = self._metrics.counter("index.maintainer.ddl")
 
     # ------------------------------------------------------------------
     # CatalogObserver interface
@@ -44,6 +57,8 @@ class InvertedIndexMaintainer(CatalogObserver):
             if value is not None:
                 self.index.add(table.name, column_name, value)
         self.applied_inserts += 1
+        if self._metrics.enabled:
+            self._inserts_counter.inc()
 
     def on_update(self, table: Table, old_row: tuple, new_row: tuple) -> None:
         for position, column_name in self._columns_for(table):
@@ -56,6 +71,8 @@ class InvertedIndexMaintainer(CatalogObserver):
             if new_value is not None:
                 self.index.add(table.name, column_name, new_value)
         self.applied_updates += 1
+        if self._metrics.enabled:
+            self._updates_counter.inc()
 
     def on_delete(self, table: Table, row: tuple) -> None:
         for position, column_name in self._columns_for(table):
@@ -63,15 +80,21 @@ class InvertedIndexMaintainer(CatalogObserver):
             if value is not None:
                 self.index.remove(table.name, column_name, value)
         self.applied_deletes += 1
+        if self._metrics.enabled:
+            self._deletes_counter.inc()
 
     def on_create_table(self, table: Table) -> None:
         self._scan_text_columns(table)
         self.applied_ddl += 1
+        if self._metrics.enabled:
+            self._ddl_counter.inc()
 
     def on_drop_table(self, name: str) -> None:
         self._text_columns.pop(name, None)
         self.index.remove_table(name)
         self.applied_ddl += 1
+        if self._metrics.enabled:
+            self._ddl_counter.inc()
 
     # ------------------------------------------------------------------
     def _columns_for(self, table: Table) -> list[tuple]:

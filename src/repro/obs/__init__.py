@@ -1,0 +1,44 @@
+"""Unified observability: hierarchical tracing and a metrics registry.
+
+Everything the stack reports about itself flows through this package:
+
+* :mod:`repro.obs.tracing` — nested :class:`Span` trees produced by a
+  :class:`Tracer` (``Soda.search(trace=True)``, ``repro trace``),
+  renderable as a deterministic text tree or JSON;
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  of named counters/gauges/histograms every layer emits into
+  (``Database.metrics()``, ``repro stats --metrics``), dumpable as JSON
+  or Prometheus text.
+
+Both are engineered to cost (almost) nothing when idle: the null tracer
+is a shared singleton whose spans are no-ops, and hot-path metric
+emission sites check one ``registry().enabled`` flag.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "registry",
+]

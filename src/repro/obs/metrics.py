@@ -1,0 +1,197 @@
+"""The process-wide metrics registry: named counters, gauges, histograms.
+
+Every layer of the stack emits into one :class:`MetricsRegistry`
+(reached via :func:`registry`): the plan cache its hits/misses, the
+physical operators their rows scanned/filtered/joined, the index
+maintainer its applied ops, the pipeline its per-step latencies.  A
+metric is created on first use and lives for the life of the process;
+:meth:`MetricsRegistry.to_dict` and
+:meth:`MetricsRegistry.render_prometheus` snapshot all of them for
+``Database.metrics()`` / ``repro stats --metrics``.
+
+Hot-path cost discipline: emission sites *cache the metric handle*
+(``self._rows_scanned = registry().counter("engine.rows_scanned")``)
+and guard per-batch emission with the registry's single ``enabled``
+flag, so a disabled registry costs one attribute check per batch, not
+per row.  :meth:`MetricsRegistry.reset` zeroes values in place — the
+cached handles stay valid.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, hits)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (cache entries, open sessions)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A streaming summary of observations (latencies, row counts).
+
+    Keeps count/sum/min/max — enough for the mean and the extremes
+    without storing samples.  Percentile sketches can slot in behind the
+    same ``observe`` API when the serving work needs p50/p99.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def _snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named metric in the process."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        #: hot-path emitters check this one flag before touching handles
+        self.enabled = enabled
+        self._metrics: dict = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Zero every metric in place (handles cached by emitters survive)."""
+        for metric in self._metrics.values():
+            metric._reset()
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """``{name: {"kind": ..., "value": ...}}``, sorted by name."""
+        return {
+            name: {"kind": metric.kind, "value": metric._snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (``repro_`` prefix, dots → ``_``)."""
+        lines: list = []
+        for name, metric in sorted(self._metrics.items()):
+            flat = "repro_" + name.replace(".", "_").replace("-", "_")
+            lines.append(f"# TYPE {flat} {_PROM_TYPE[metric.kind]}")
+            if metric.kind == "histogram":
+                lines.append(f"{flat}_count {_prom_value(metric.count)}")
+                lines.append(f"{flat}_sum {_prom_value(metric.sum)}")
+            else:
+                lines.append(f"{flat} {_prom_value(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_PROM_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry every layer emits into."""
+    return _REGISTRY

@@ -1,0 +1,197 @@
+"""Hierarchical tracing: nested spans over one search/SQL request.
+
+A :class:`Tracer` produces :class:`Span` objects used as context
+managers; entering a span attaches it under the currently-open span (or
+as a root), so the paper's pipeline decomposition — search → pipeline
+step → plan/cache lookup → operator execute — falls out of the call
+structure with no bookkeeping at the call sites::
+
+    tracer = Tracer()
+    with tracer.span("search", query=text):
+        with tracer.span("step:lookup"):
+            ...
+
+The span *tree* (names, nesting, order) is fully deterministic for a
+given query; only the recorded wall-clock durations vary run to run.
+:meth:`Tracer.tree` exposes exactly the deterministic part, which is
+what the tests lock.
+
+When tracing is off the shared :data:`NULL_TRACER` is used instead: its
+``span()`` returns one preallocated no-op span, so an untraced request
+allocates nothing and pays only a couple of attribute lookups.
+
+Instrumented layers that cannot be handed a tracer explicitly (the SQL
+planner below ``Soda.search``) read the *active* tracer via
+:func:`current_tracer`; :func:`activate` installs one for a ``with``
+block.  The process is single-threaded (see ROADMAP item 1), so a
+module global is sufficient — when the concurrent serving layer lands
+this becomes a ``contextvars.ContextVar`` with the same API.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class Span:
+    """One timed node of a trace tree (use as a context manager)."""
+
+    __slots__ = ("name", "attributes", "children", "elapsed", "_tracer",
+                 "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list = []
+        #: wall-clock seconds between enter and exit (0.0 while open)
+        self.elapsed = 0.0
+        self._tracer = tracer
+        self._started = 0.0
+
+    def set(self, **attributes) -> None:
+        """Attach attributes to an open span (e.g. ``cache="hit"``)."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        (stack[-1].children if stack else tracer.roots).append(self)
+        stack.append(self)
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = perf_counter() - self._started
+        self._tracer._stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    def tree(self) -> tuple:
+        """The deterministic shape: ``(name, (child trees...))``."""
+        return self.name, tuple(child.tree() for child in self.children)
+
+    def to_dict(self, timings: bool = True) -> dict:
+        """A JSON-ready dict; ``timings=False`` drops the elapsed_ms."""
+        out: dict = {"name": self.name}
+        if self.attributes:
+            out["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        if timings:
+            out["elapsed_ms"] = round(self.elapsed * 1000.0, 3)
+        if self.children:
+            out["children"] = [
+                child.to_dict(timings=timings) for child in self.children
+            ]
+        return out
+
+
+class Tracer:
+    """Collects one request's span tree; re-usable across requests."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list = []
+        self._stack: list = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new (not yet entered) span; attach it with ``with``."""
+        return Span(self, name, attributes)
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def tree(self) -> tuple:
+        """Deterministic shapes of all root spans."""
+        return tuple(span.tree() for span in self.roots)
+
+    def to_dict(self, timings: bool = True) -> list:
+        return [span.to_dict(timings=timings) for span in self.roots]
+
+    def to_json(self, timings: bool = True, indent: int = 2) -> str:
+        return json.dumps(
+            self.to_dict(timings=timings), indent=indent, sort_keys=False
+        )
+
+    def render(self) -> str:
+        """The span tree as an indented text tree with durations."""
+        lines: list = []
+        for span in self.roots:
+            _render_span(span, prefix="", connector="", lines=lines)
+        return "\n".join(lines)
+
+
+def _render_span(span: Span, prefix: str, connector: str, lines: list) -> None:
+    label = span.name
+    if span.attributes:
+        rendered = ", ".join(
+            f"{key}={span.attributes[key]!r}" for key in sorted(span.attributes)
+        )
+        label += f" [{rendered}]"
+    lines.append(f"{prefix}{connector}{label}  {span.elapsed * 1000.0:.3f}ms")
+    children = span.children
+    if not children:
+        return
+    if connector == "":
+        child_prefix = prefix
+    elif connector.startswith("├"):
+        child_prefix = prefix + "│  "
+    else:
+        child_prefix = prefix + "   "
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        _render_span(child, child_prefix, "└─ " if last else "├─ ", lines)
+
+
+class _NullSpan:
+    """The shared do-nothing span; every no-op call lands here."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: ``span()`` hands back one preallocated no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: the process-wide disabled tracer (a singleton; never collects)
+NULL_TRACER = NullTracer()
+
+_ACTIVE = NULL_TRACER
+
+
+def current_tracer():
+    """The tracer instrumented layers should emit into right now."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(tracer):
+    """Install *tracer* as the active tracer for the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

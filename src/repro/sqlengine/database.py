@@ -137,8 +137,14 @@ class Database:
         """Execute an already-parsed SELECT (used by SODA internals)."""
         return self.planner.execute(select)
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, analyze: bool = False) -> str:
         """The optimized plan of a SELECT, as a deterministic text tree.
+
+        With ``analyze=True`` the query is *executed* through
+        instrumented operators and every plan line gains the actual
+        rows (and batches, in batch mode) it produced plus its
+        self-time, right next to the optimizer's ``[~N rows]``
+        estimate.
 
         >>> db = Database()
         >>> _ = db.execute("CREATE TABLE t (id INT)")
@@ -148,18 +154,33 @@ class Database:
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):
-            return self.planner.explain(statement)
+            return self.planner.explain(statement, analyze=analyze)
         if isinstance(statement, Union):
             branches = [
-                self.planner.explain(select) for select in statement.selects
+                self.planner.explain(select, analyze=analyze)
+                for select in statement.selects
             ]
             keyword = "union all" if statement.all else "union"
             return f"\n{keyword}\n".join(branches)
         raise SqlError("EXPLAIN supports SELECT statements only")
 
-    def explain_select_ast(self, select: Select) -> str:
+    def explain_select_ast(self, select: Select, analyze: bool = False) -> str:
         """Explain an already-parsed SELECT (used by SODA internals)."""
-        return self.planner.explain(select)
+        return self.planner.explain(select, analyze=analyze)
+
+    def metrics(self) -> dict:
+        """A snapshot of the process-wide metrics registry.
+
+        Point-in-time gauges owned by this database (plan-cache entry
+        count) are refreshed here, at dump time, so several databases in
+        one process don't fight over them between snapshots.
+        """
+        from repro.obs.metrics import registry
+
+        reg = registry()
+        reg.gauge("plan_cache.entries").set(len(self.planner.cache))
+        reg.gauge("plan_cache.capacity").set(self.planner.cache.capacity)
+        return reg.to_dict()
 
     # ------------------------------------------------------------------
     # programmatic schema/data API (used by the warehouse generators)

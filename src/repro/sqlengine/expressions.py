@@ -27,8 +27,14 @@ from repro.sqlengine.ast_nodes import (
     Literal,
     UnaryOp,
 )
+from repro.obs.metrics import registry as _metrics_registry
 from repro.sqlengine.encoding import EncodedColumn, gather_column
 from repro.sqlengine.types import compare_values, values_equal
+
+# counts each batch served by the dictionary-code comparison fast path
+# (one dictionary probe instead of per-row string compares)
+_METRICS = _metrics_registry()
+_DICT_FASTPATH = _METRICS.counter("engine.dict_fastpath_batches")
 
 
 class Scope:
@@ -857,6 +863,8 @@ def _compile_compare_fast_path(
                 # encoded column: one dictionary probe resolves the
                 # literal to a code, the rows compare small integers
                 # (str = str equality matches compare_values exactly)
+                if _METRICS.enabled:
+                    _DICT_FASTPATH.inc()
                 code = column.dictionary.code_of.get(lit)
                 if code is None:
                     return [
@@ -877,6 +885,8 @@ def _compile_compare_fast_path(
         def _ne(cols: Sequence[list], n: int) -> list:
             column = cols[index]
             if text_literal and isinstance(column, EncodedColumn):
+                if _METRICS.enabled:
+                    _DICT_FASTPATH.inc()
                 code = column.dictionary.code_of.get(lit)
                 if code is None:
                     return [

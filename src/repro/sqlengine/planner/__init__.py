@@ -31,8 +31,10 @@ Knobs:
 from __future__ import annotations
 
 from repro.errors import SqlExecutionError
+from repro.obs.tracing import current_tracer
 from repro.sqlengine.ast_nodes import Select
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.planner.analyze import Instrumenter
 from repro.sqlengine.planner.cache import (
     DEFAULT_PLAN_CACHE_SIZE,
     PlanCache,
@@ -58,6 +60,7 @@ __all__ = [
     "DEFAULT_EXECUTION_MODE",
     "DEFAULT_PLAN_CACHE_SIZE",
     "EXECUTION_MODES",
+    "Instrumenter",
     "PlanCache",
     "PlanCacheStats",
     "PreparedPlan",
@@ -135,21 +138,43 @@ class QueryPlanner:
         operators.
         """
         key = select.to_sql()
-        entry = self.cache.get(key, validate=self._entry_is_fresh)
-        if entry is not None:
-            return entry.plan
+        with current_tracer().span("plan") as span:
+            entry = self.cache.get(key, validate=self._entry_is_fresh)
+            if entry is not None:
+                span.set(cache="hit")
+                return entry.plan
+            span.set(cache="miss")
+            logical = self.plan_logical(select)
+            plan = build_physical(
+                logical, self.catalog, mode=self._execution_mode
+            )
+            tables = referenced_tables(logical)
+            self.cache.put(
+                key,
+                _CachedPlan(
+                    plan=plan,
+                    ddl_version=self.catalog.ddl_version,
+                    table_versions=self.catalog.table_versions(tables),
+                ),
+            )
+            return plan
+
+    def prepare_instrumented(self, select: Select):
+        """A fresh instrumented plan plus its :class:`Instrumenter`.
+
+        Built outside the plan cache on purpose: the counting/timing
+        shims would tax every later execution of a cached plan, and
+        their stats are single-use.
+        """
         logical = self.plan_logical(select)
-        plan = build_physical(logical, self.catalog, mode=self._execution_mode)
-        tables = referenced_tables(logical)
-        self.cache.put(
-            key,
-            _CachedPlan(
-                plan=plan,
-                ddl_version=self.catalog.ddl_version,
-                table_versions=self.catalog.table_versions(tables),
-            ),
+        instrumenter = Instrumenter()
+        plan = build_physical(
+            logical,
+            self.catalog,
+            mode=self._execution_mode,
+            instrument=instrumenter,
         )
-        return plan
+        return plan, instrumenter
 
     def _entry_is_fresh(self, entry: "_CachedPlan") -> bool:
         if entry.ddl_version != self.catalog.ddl_version:
@@ -167,11 +192,27 @@ class QueryPlanner:
 
     # ------------------------------------------------------------------
     def execute(self, select: Select):
-        return self.prepare(select).execute()
+        plan = self.prepare(select)
+        with current_tracer().span("execute", mode=plan.mode) as span:
+            result = plan.execute()
+            span.set(rows=len(result.rows))
+        return result
 
-    def explain(self, select: Select) -> str:
+    def explain(self, select: Select, analyze: bool = False) -> str:
+        """The plan tree; ``analyze=True`` *runs the query* and adds
+        each operator's actual rows/batches and self-time next to the
+        optimizer's estimates (classic EXPLAIN ANALYZE semantics)."""
+        if not analyze:
+            return render_plan(
+                self.prepare(select).logical,
+                mode=self._execution_mode,
+                catalog=self.catalog,
+            )
+        plan, instrumenter = self.prepare_instrumented(select)
+        plan.execute()
         return render_plan(
-            self.prepare(select).logical,
+            plan.logical,
             mode=self._execution_mode,
             catalog=self.catalog,
+            analyze=instrumenter,
         )

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.metrics import registry as _metrics_registry
+
 #: default number of prepared plans kept per database
 DEFAULT_PLAN_CACHE_SIZE = 128
 
@@ -45,6 +47,15 @@ class PlanCache:
         self.capacity = max(0, capacity)
         self._entries: OrderedDict = OrderedDict()
         self.stats = PlanCacheStats()
+        # per-cache stats stay the public shape; the same increments are
+        # mirrored into the process-wide registry (handles cached here)
+        self._metrics = _metrics_registry()
+        self._hits_counter = self._metrics.counter("plan_cache.hits")
+        self._misses_counter = self._metrics.counter("plan_cache.misses")
+        self._evictions_counter = self._metrics.counter("plan_cache.evictions")
+        self._invalidations_counter = self._metrics.counter(
+            "plan_cache.invalidations"
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -59,14 +70,21 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self._metrics.enabled:
+                self._misses_counter.inc()
             return None
         if validate is not None and not validate(entry):
             del self._entries[key]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            if self._metrics.enabled:
+                self._invalidations_counter.inc()
+                self._misses_counter.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self._metrics.enabled:
+            self._hits_counter.inc()
         return entry
 
     def put(self, key, plan) -> None:
@@ -78,6 +96,8 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._metrics.enabled:
+                self._evictions_counter.inc()
 
     def clear(self) -> None:
         self._entries.clear()

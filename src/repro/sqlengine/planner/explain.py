@@ -30,26 +30,33 @@ from repro.sqlengine.planner.logical import (
 
 
 def render_plan(
-    root: LogicalNode, mode: "str | None" = None, catalog=None
+    root: LogicalNode, mode: "str | None" = None, catalog=None, analyze=None
 ) -> str:
     """The whole plan as an indented tree, one node per line.
 
     *mode* annotates each operator with the execution engine it is
     compiled for; ``None`` renders the bare logical tree.  *catalog*
     (optional) lets scans mark their dictionary-encoded columns.
+    *analyze* (optional, an
+    :class:`~repro.sqlengine.planner.analyze.Instrumenter` that has
+    executed this plan) appends each operator's actual rows/batches and
+    self-time next to the estimates — the EXPLAIN ANALYZE rendering.
     """
     lines: list = []
     suffix = f" [{mode}]" if mode is not None else ""
     _render(root, prefix="", connector="", lines=lines, suffix=suffix,
-            catalog=catalog)
+            catalog=catalog, analyze=analyze)
     return "\n".join(lines)
 
 
 def _render(
     node: LogicalNode, prefix: str, connector: str, lines: list, suffix: str,
-    catalog=None,
+    catalog=None, analyze=None,
 ) -> None:
-    lines.append(prefix + connector + describe_node(node, catalog) + suffix)
+    line = prefix + connector + describe_node(node, catalog) + suffix
+    if analyze is not None:
+        line += analyze.suffix_for(node)
+    lines.append(line)
     children = node.children()
     if not children:
         return
@@ -63,7 +70,7 @@ def _render(
         last = index == len(children) - 1
         _render(
             child, child_prefix, "└─ " if last else "├─ ", lines, suffix,
-            catalog,
+            catalog, analyze,
         )
 
 

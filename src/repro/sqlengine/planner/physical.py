@@ -64,6 +64,7 @@ from repro.sqlengine.expressions import (
     split_conjuncts,
 )
 from repro.sqlengine.functions import make_accumulator
+from repro.obs.metrics import registry as _metrics_registry
 from repro.sqlengine.planner.logical import (
     LogicalAggregate,
     LogicalDistinct,
@@ -90,6 +91,16 @@ EXECUTION_MODES = ("row", "batch")
 #: flag so the dictionary-engine benchmark can measure the broadcast
 #: baseline; correctness is identical either way)
 HASH_LEFT_JOIN_ENABLED = True
+
+# engine-level observability: operators accumulate into locals while
+# streaming and flush once per execution in a ``finally`` (so abandoned
+# iterators — LIMIT, errors — still report what they did), behind the
+# registry's single ``enabled`` flag
+_METRICS = _metrics_registry()
+_ROWS_SCANNED = _METRICS.counter("engine.rows_scanned")
+_ROWS_FILTERED = _METRICS.counter("engine.rows_filtered")
+_ROWS_JOINED = _METRICS.counter("engine.rows_joined")
+_BATCHES_PRODUCED = _METRICS.counter("engine.batches_produced")
 
 
 class PhysicalOperator:
@@ -124,18 +135,28 @@ class ScanOp(PhysicalOperator):
     def rows(self) -> Iterator[tuple]:
         indexes = self._indexes
         predicate_fns = self._predicate_fns
-        for row in self._table.rows:
-            ok = True
-            for fn in predicate_fns:
-                if fn(row) is not True:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            if indexes is None:
-                yield row
-            else:
-                yield tuple(row[i] for i in indexes)
+        scanned = 0
+        dropped = 0
+        try:
+            for row in self._table.rows:
+                scanned += 1
+                ok = True
+                for fn in predicate_fns:
+                    if fn(row) is not True:
+                        ok = False
+                        break
+                if not ok:
+                    dropped += 1
+                    continue
+                if indexes is None:
+                    yield row
+                else:
+                    yield tuple(row[i] for i in indexes)
+        finally:
+            if scanned and _METRICS.enabled:
+                _ROWS_SCANNED.inc(scanned)
+                if dropped:
+                    _ROWS_FILTERED.inc(dropped)
 
 
 class FilterOp(PhysicalOperator):
@@ -146,9 +167,16 @@ class FilterOp(PhysicalOperator):
 
     def rows(self) -> Iterator[tuple]:
         fns = self._fns
-        for row in self._child.rows():
-            if all(fn(row) is True for fn in fns):
-                yield row
+        dropped = 0
+        try:
+            for row in self._child.rows():
+                if all(fn(row) is True for fn in fns):
+                    yield row
+                else:
+                    dropped += 1
+        finally:
+            if dropped and _METRICS.enabled:
+                _ROWS_FILTERED.inc(dropped)
 
 
 class HashJoinOp(PhysicalOperator):
@@ -171,26 +199,33 @@ class HashJoinOp(PhysicalOperator):
                 self._right_indexes.append(right.scope.resolve(predicate.left))
 
     def rows(self) -> Iterator[tuple]:
-        if not self._left_indexes:  # cross join
-            right_rows = list(self._right.rows())
-            for left_row in self._left.rows():
-                for right_row in right_rows:
-                    yield left_row + right_row
-            return
-        table: dict = {}
-        right_indexes = self._right_indexes
-        for row in self._right.rows():
-            key = tuple(row[i] for i in right_indexes)
-            if any(value is None for value in key):
-                continue
-            table.setdefault(key, []).append(row)
-        left_indexes = self._left_indexes
-        for row in self._left.rows():
-            key = tuple(row[i] for i in left_indexes)
-            if any(value is None for value in key):
-                continue
-            for match in table.get(key, ()):
-                yield row + match
+        joined = 0
+        try:
+            if not self._left_indexes:  # cross join
+                right_rows = list(self._right.rows())
+                for left_row in self._left.rows():
+                    for right_row in right_rows:
+                        joined += 1
+                        yield left_row + right_row
+                return
+            table: dict = {}
+            right_indexes = self._right_indexes
+            for row in self._right.rows():
+                key = tuple(row[i] for i in right_indexes)
+                if any(value is None for value in key):
+                    continue
+                table.setdefault(key, []).append(row)
+            left_indexes = self._left_indexes
+            for row in self._left.rows():
+                key = tuple(row[i] for i in left_indexes)
+                if any(value is None for value in key):
+                    continue
+                for match in table.get(key, ()):
+                    joined += 1
+                    yield row + match
+        finally:
+            if joined and _METRICS.enabled:
+                _ROWS_JOINED.inc(joined)
 
 
 class LeftJoinOp(PhysicalOperator):
@@ -209,15 +244,22 @@ class LeftJoinOp(PhysicalOperator):
         right_rows = list(self._right.rows())
         condition_fn = self._condition_fn
         null_pad = self._null_pad
-        for left_row in self._left.rows():
-            matched = False
-            for right_row in right_rows:
-                combined = left_row + right_row
-                if condition_fn(combined) is True:
-                    yield combined
-                    matched = True
-            if not matched:
-                yield left_row + null_pad
+        joined = 0
+        try:
+            for left_row in self._left.rows():
+                matched = False
+                for right_row in right_rows:
+                    combined = left_row + right_row
+                    if condition_fn(combined) is True:
+                        joined += 1
+                        yield combined
+                        matched = True
+                if not matched:
+                    joined += 1
+                    yield left_row + null_pad
+        finally:
+            if joined and _METRICS.enabled:
+                _ROWS_JOINED.inc(joined)
 
 
 class AggregateOp(PhysicalOperator):
@@ -626,22 +668,35 @@ class BatchScanOp(BatchOperator):
             # columns the scan actually emits
             sources = [sources[i] for i in indexes]
             indexes = None
-        for start in range(0, total, BATCH_SIZE):
-            stop = min(start + BATCH_SIZE, total)
-            cols = [
-                EncodedColumn(dictionary, data[start:stop])
-                if dictionary is not None
-                else data[start:stop]
-                for dictionary, data in sources
-            ]
-            n = stop - start
-            if predicate_fns:
-                cols, n = _apply_predicates(predicate_fns, cols, n)
-                if n == 0:
-                    continue
-            if indexes is not None:
-                cols = [cols[i] for i in indexes]
-            yield cols, n
+        scanned = 0
+        dropped = 0
+        batches = 0
+        try:
+            for start in range(0, total, BATCH_SIZE):
+                stop = min(start + BATCH_SIZE, total)
+                cols = [
+                    EncodedColumn(dictionary, data[start:stop])
+                    if dictionary is not None
+                    else data[start:stop]
+                    for dictionary, data in sources
+                ]
+                n = stop - start
+                scanned += n
+                if predicate_fns:
+                    cols, n = _apply_predicates(predicate_fns, cols, n)
+                    dropped += stop - start - n
+                    if n == 0:
+                        continue
+                if indexes is not None:
+                    cols = [cols[i] for i in indexes]
+                batches += 1
+                yield cols, n
+        finally:
+            if scanned and _METRICS.enabled:
+                _ROWS_SCANNED.inc(scanned)
+                _BATCHES_PRODUCED.inc(batches)
+                if dropped:
+                    _ROWS_FILTERED.inc(dropped)
 
 
 class BatchFilterOp(BatchOperator):
@@ -652,10 +707,20 @@ class BatchFilterOp(BatchOperator):
 
     def batches(self) -> Iterator[tuple]:
         fns = self._fns
-        for cols, n in self._child.batches():
-            cols, n = _apply_predicates(fns, cols, n)
-            if n:
-                yield cols, n
+        dropped = 0
+        batches = 0
+        try:
+            for cols, n in self._child.batches():
+                before = n
+                cols, n = _apply_predicates(fns, cols, n)
+                dropped += before - n
+                if n:
+                    batches += 1
+                    yield cols, n
+        finally:
+            if _METRICS.enabled and (dropped or batches):
+                _ROWS_FILTERED.inc(dropped)
+                _BATCHES_PRODUCED.inc(batches)
 
 
 def _build_join_hash_table(cols, n: int, key_indexes) -> dict:
@@ -806,23 +871,35 @@ class BatchHashJoinOp(BatchOperator):
                 self._right_indexes.append(right.scope.resolve(predicate.left))
 
     def batches(self) -> Iterator[tuple]:
-        if not self._left_indexes:
-            yield from self._cross_batches()
-            return
-        right_cols, right_n = _materialize_batches(self._right)
-        table = _build_join_hash_table(
-            right_cols, right_n, self._right_indexes
-        )
-        probe = _HashProbe(table, self._left_indexes)
-        for cols, n in self._left.batches():
-            left_sel, right_sel = probe.probe(cols, n)
-            if not left_sel:
-                continue
-            out = [gather_column(column, left_sel) for column in cols]
-            out.extend(
-                [column[j] for j in right_sel] for column in right_cols
+        joined = 0
+        batches = 0
+        try:
+            if not self._left_indexes:
+                for out, n in self._cross_batches():
+                    joined += n
+                    batches += 1
+                    yield out, n
+                return
+            right_cols, right_n = _materialize_batches(self._right)
+            table = _build_join_hash_table(
+                right_cols, right_n, self._right_indexes
             )
-            yield out, len(left_sel)
+            probe = _HashProbe(table, self._left_indexes)
+            for cols, n in self._left.batches():
+                left_sel, right_sel = probe.probe(cols, n)
+                if not left_sel:
+                    continue
+                out = [gather_column(column, left_sel) for column in cols]
+                out.extend(
+                    [column[j] for j in right_sel] for column in right_cols
+                )
+                joined += len(left_sel)
+                batches += 1
+                yield out, len(left_sel)
+        finally:
+            if joined and _METRICS.enabled:
+                _ROWS_JOINED.inc(joined)
+                _BATCHES_PRODUCED.inc(batches)
 
     def _cross_batches(self) -> Iterator[tuple]:
         right_cols, right_n = _materialize_batches(self._right)
@@ -875,9 +952,20 @@ class BatchLeftJoinOp(BatchOperator):
     def batches(self) -> Iterator[tuple]:
         right_cols, right_n = _materialize_batches(self._right)
         if self._key_pairs:
-            yield from self._hash_batches(right_cols, right_n)
+            source = self._hash_batches(right_cols, right_n)
         else:
-            yield from self._broadcast_batches(right_cols, right_n)
+            source = self._broadcast_batches(right_cols, right_n)
+        joined = 0
+        batches = 0
+        try:
+            for out, n in source:
+                joined += n
+                batches += 1
+                yield out, n
+        finally:
+            if joined and _METRICS.enabled:
+                _ROWS_JOINED.inc(joined)
+                _BATCHES_PRODUCED.inc(batches)
 
     # ------------------------------------------------------------------
     def _hash_batches(self, right_cols, right_n) -> Iterator[tuple]:
@@ -1640,102 +1728,129 @@ class PreparedPlan:
         )
 
 
+def _no_instrument(operator, node):
+    """The default ``instrument`` hook: leave the operator bare."""
+    return operator
+
+
 def build_physical(
-    root: LogicalNode, catalog: Catalog, mode: str = "row"
+    root: LogicalNode, catalog: Catalog, mode: str = "row", instrument=None
 ) -> PreparedPlan:
-    """Compile a logical plan into a :class:`PreparedPlan` for *mode*."""
+    """Compile a logical plan into a :class:`PreparedPlan` for *mode*.
+
+    *instrument* (optional) is called as ``instrument(operator, node)``
+    on every physical operator right after construction, with the
+    logical node it was built from, and its return value takes the
+    operator's place in the tree — EXPLAIN ANALYZE passes an
+    :class:`~repro.sqlengine.planner.analyze.Instrumenter` here to wrap
+    each operator in a counting/timing shim.  Instrumented plans must
+    not be cached.
+    """
     if mode not in EXECUTION_MODES:
         raise SqlExecutionError(
             f"unknown execution mode {mode!r} (choose from "
             f"{', '.join(EXECUTION_MODES)})"
         )
+    if instrument is None:
+        instrument = _no_instrument
     if mode == "batch":
-        operator = _build_presentation_batch(root, catalog)
+        operator = _build_presentation_batch(root, catalog, instrument)
     else:
-        operator = _build_presentation(root, catalog)
+        operator = _build_presentation(root, catalog, instrument)
     return PreparedPlan(
         root=operator, logical=root, columns=list(operator.columns), mode=mode
     )
 
 
-def _build_presentation(node: LogicalNode, catalog: Catalog):
+def _build_presentation(node: LogicalNode, catalog: Catalog, instrument):
     """Build the pair-yielding presentation tree (project and above)."""
     if isinstance(node, LogicalLimit):
-        return LimitOp(_build_presentation(node.child, catalog), node.limit)
+        child = _build_presentation(node.child, catalog, instrument)
+        return instrument(LimitOp(child, node.limit), node)
     if isinstance(node, LogicalTopN):
-        return TopNOp(_build_presentation(node.child, catalog), node)
+        child = _build_presentation(node.child, catalog, instrument)
+        return instrument(TopNOp(child, node), node)
     if isinstance(node, LogicalSort):
-        return SortOp(_build_presentation(node.child, catalog), node)
+        child = _build_presentation(node.child, catalog, instrument)
+        return instrument(SortOp(child, node), node)
     if isinstance(node, LogicalDistinct):
-        return DistinctOp(_build_presentation(node.child, catalog))
+        child = _build_presentation(node.child, catalog, instrument)
+        return instrument(DistinctOp(child), node)
     if isinstance(node, LogicalProject):
-        child, agg_slots = _build_relational(node.child, catalog)
-        return ProjectOp(child, node, agg_slots)
+        child, agg_slots = _build_relational(node.child, catalog, instrument)
+        return instrument(ProjectOp(child, node, agg_slots), node)
     raise SqlExecutionError(
         f"malformed plan: unexpected presentation node {type(node).__name__}"
     )
 
 
-def _build_relational(node: LogicalNode, catalog: Catalog):
+def _build_relational(node: LogicalNode, catalog: Catalog, instrument):
     """Build a row-yielding operator; returns ``(operator, agg_slots)``."""
     if isinstance(node, LogicalScan):
-        return ScanOp(catalog, node), None
+        return instrument(ScanOp(catalog, node), node), None
     if isinstance(node, LogicalFilter):
-        child, agg_slots = _build_relational(node.child, catalog)
-        return FilterOp(child, node.predicates), agg_slots
+        child, agg_slots = _build_relational(node.child, catalog, instrument)
+        return instrument(FilterOp(child, node.predicates), node), agg_slots
     if isinstance(node, LogicalJoin):
-        left, __ = _build_relational(node.left, catalog)
-        right, __ = _build_relational(node.right, catalog)
-        return HashJoinOp(left, right, node.equi), None
+        left, __ = _build_relational(node.left, catalog, instrument)
+        right, __ = _build_relational(node.right, catalog, instrument)
+        return instrument(HashJoinOp(left, right, node.equi), node), None
     if isinstance(node, LogicalLeftJoin):
-        left, __ = _build_relational(node.left, catalog)
-        right, __ = _build_relational(node.right, catalog)
-        return LeftJoinOp(left, right, node.condition), None
+        left, __ = _build_relational(node.left, catalog, instrument)
+        right, __ = _build_relational(node.right, catalog, instrument)
+        return instrument(LeftJoinOp(left, right, node.condition), node), None
     if isinstance(node, LogicalAggregate):
-        child, __ = _build_relational(node.child, catalog)
+        child, __ = _build_relational(node.child, catalog, instrument)
         operator = AggregateOp(child, node)
-        return operator, operator.agg_slots
+        return instrument(operator, node), operator.agg_slots
     raise SqlExecutionError(
         f"malformed plan: unexpected relational node {type(node).__name__}"
     )
 
 
-def _build_presentation_batch(node: LogicalNode, catalog: Catalog):
+def _build_presentation_batch(node: LogicalNode, catalog: Catalog, instrument):
     """Build the batch presentation tree (project and above)."""
     if isinstance(node, LogicalLimit):
-        return BatchLimitOp(
-            _build_presentation_batch(node.child, catalog), node.limit
-        )
+        child = _build_presentation_batch(node.child, catalog, instrument)
+        return instrument(BatchLimitOp(child, node.limit), node)
     if isinstance(node, LogicalTopN):
-        return BatchTopNOp(
-            _build_presentation_batch(node.child, catalog), node
-        )
+        child = _build_presentation_batch(node.child, catalog, instrument)
+        return instrument(BatchTopNOp(child, node), node)
     if isinstance(node, LogicalSort):
-        return BatchSortOp(_build_presentation_batch(node.child, catalog), node)
+        child = _build_presentation_batch(node.child, catalog, instrument)
+        return instrument(BatchSortOp(child, node), node)
     if isinstance(node, LogicalDistinct):
-        return BatchDistinctOp(_build_presentation_batch(node.child, catalog))
+        child = _build_presentation_batch(node.child, catalog, instrument)
+        return instrument(BatchDistinctOp(child), node)
     if isinstance(node, LogicalProject):
-        child, agg_slots = _build_relational_batch(node.child, catalog)
-        return BatchProjectOp(child, node, agg_slots)
+        child, agg_slots = _build_relational_batch(
+            node.child, catalog, instrument
+        )
+        return instrument(BatchProjectOp(child, node, agg_slots), node)
     raise SqlExecutionError(
         f"malformed plan: unexpected presentation node {type(node).__name__}"
     )
 
 
-def _build_relational_batch(node: LogicalNode, catalog: Catalog):
+def _build_relational_batch(node: LogicalNode, catalog: Catalog, instrument):
     """Build a batch-yielding operator; returns ``(operator, agg_slots)``."""
     if isinstance(node, LogicalScan):
-        return BatchScanOp(catalog, node), None
+        return instrument(BatchScanOp(catalog, node), node), None
     if isinstance(node, LogicalFilter):
-        child, agg_slots = _build_relational_batch(node.child, catalog)
-        return BatchFilterOp(child, node.predicates), agg_slots
+        child, agg_slots = _build_relational_batch(
+            node.child, catalog, instrument
+        )
+        return (
+            instrument(BatchFilterOp(child, node.predicates), node),
+            agg_slots,
+        )
     if isinstance(node, LogicalJoin):
-        left, __ = _build_relational_batch(node.left, catalog)
-        right, __ = _build_relational_batch(node.right, catalog)
-        return BatchHashJoinOp(left, right, node.equi), None
+        left, __ = _build_relational_batch(node.left, catalog, instrument)
+        right, __ = _build_relational_batch(node.right, catalog, instrument)
+        return instrument(BatchHashJoinOp(left, right, node.equi), node), None
     if isinstance(node, LogicalLeftJoin):
-        left, __ = _build_relational_batch(node.left, catalog)
-        right, __ = _build_relational_batch(node.right, catalog)
+        left, __ = _build_relational_batch(node.left, catalog, instrument)
+        right, __ = _build_relational_batch(node.right, catalog, instrument)
         operator = BatchLeftJoinOp(left, right, node.condition)
         if HASH_LEFT_JOIN_ENABLED:
             analysis = _analyze_left_join(
@@ -1750,11 +1865,11 @@ def _build_relational_batch(node: LogicalNode, catalog: Catalog):
                         for conjunct in residual
                     ],
                 )
-        return operator, None
+        return instrument(operator, node), None
     if isinstance(node, LogicalAggregate):
-        child, __ = _build_relational_batch(node.child, catalog)
+        child, __ = _build_relational_batch(node.child, catalog, instrument)
         operator = BatchAggregateOp(child, node)
-        return operator, operator.agg_slots
+        return instrument(operator, node), operator.agg_slots
     raise SqlExecutionError(
         f"malformed plan: unexpected relational node {type(node).__name__}"
     )

@@ -1,0 +1,166 @@
+"""End-to-end observability: traced searches, metrics, slow-query log."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core.soda import Soda, SodaConfig
+from repro.obs.metrics import registry
+from repro.obs.tracing import NULL_TRACER, current_tracer
+
+
+@pytest.fixture
+def soda_small(small_warehouse):
+    return Soda(small_warehouse, SodaConfig())
+
+
+def span_names(tree):
+    """Flatten a ``Tracer.tree()`` into depth-first span names."""
+    names = []
+    for name, children in tree:
+        names.append(name)
+        names.extend(span_names(children))
+    return names
+
+
+class TestTracedSearch:
+    def test_untraced_search_has_no_trace(self, soda_small):
+        result = soda_small.search("Zurich", execute=False)
+        assert result.trace is None
+
+    def test_traced_search_exposes_the_span_tree(self, soda_small):
+        result = soda_small.search("Zurich", trace=True)
+        tree = result.trace.tree()
+        assert len(tree) == 1
+        root_name, children = tree[0]
+        assert root_name == "search"
+        step_names = [name for name, __ in children]
+        assert step_names[:5] == [
+            "step:lookup", "step:rank", "step:tables", "step:filters",
+            "step:sqlgen",
+        ]
+        assert "step:execute" in step_names
+
+    def test_execute_step_nests_plan_and_execute_spans(self, soda_small):
+        result = soda_small.search("Zurich", trace=True)
+        (root,) = result.trace.roots
+        execute_step = next(
+            span for span in root.children if span.name == "step:execute"
+        )
+        child_names = {span.name for span in execute_step.children}
+        assert "plan" in child_names
+        assert "execute" in child_names
+
+    def test_trace_tree_is_deterministic(self, soda_small):
+        first = soda_small.search("Zurich", trace=True)
+        second = soda_small.search("Zurich", trace=True)
+        assert first.trace.tree() == second.trace.tree()
+
+    def test_results_identical_with_tracing_on_and_off(self, soda_small):
+        plain = soda_small.search("customers Zurich")
+        traced = soda_small.search("customers Zurich", trace=True)
+        assert [s.sql for s in plain.statements] == [
+            s.sql for s in traced.statements
+        ]
+        for a, b in zip(plain.statements, traced.statements):
+            assert a.score == b.score
+            if a.snippet is None:
+                assert b.snippet is None
+            else:
+                assert a.snippet.rows == b.snippet.rows
+
+    def test_active_tracer_restored_after_search(self, soda_small):
+        soda_small.search("Zurich", trace=True, execute=False)
+        assert current_tracer() is NULL_TRACER
+
+    def test_render_and_json_exports_work_end_to_end(self, soda_small):
+        result = soda_small.search("Zurich", trace=True)
+        rendered = result.trace.render()
+        assert rendered.splitlines()[0].startswith("search")
+        parsed = json.loads(result.trace.to_json())
+        assert parsed[0]["name"] == "search"
+
+
+class TestMetricsEndpoints:
+    def test_database_metrics_snapshot(self, small_warehouse):
+        small_warehouse.database.execute("SELECT count(*) FROM parties")
+        snapshot = small_warehouse.database.metrics()
+        assert snapshot["engine.rows_scanned"]["kind"] == "counter"
+        assert snapshot["engine.rows_scanned"]["value"] > 0
+        assert snapshot["plan_cache.capacity"]["value"] > 0
+
+    def test_soda_metrics_counts_searches(self, soda_small):
+        before = registry().counter("pipeline.searches").value
+        soda_small.search("Zurich", execute=False)
+        snapshot = soda_small.metrics()
+        assert snapshot["pipeline.searches"]["value"] == before + 1
+
+    def test_disabled_registry_freezes_counters(self, soda_small):
+        reg = registry()
+        counter = reg.counter("pipeline.searches")
+        reg.enabled = False
+        try:
+            before = counter.value
+            result = soda_small.search("customers Zurich")
+            assert counter.value == before
+        finally:
+            reg.enabled = True
+        assert result.statements  # the search itself still works
+
+    def test_search_results_identical_with_metrics_disabled(self, soda_small):
+        reg = registry()
+        enabled_result = soda_small.search("customers Zurich")
+        reg.enabled = False
+        try:
+            disabled_result = soda_small.search("customers Zurich")
+        finally:
+            reg.enabled = True
+        assert [s.sql for s in enabled_result.statements] == [
+            s.sql for s in disabled_result.statements
+        ]
+
+
+class TestSlowQueryLog:
+    def test_logs_structured_json_over_threshold(
+        self, small_warehouse, caplog
+    ):
+        soda = Soda(small_warehouse, SodaConfig(slow_query_ms=0.0))
+        with caplog.at_level(logging.WARNING, logger="repro.soda.slow_query"):
+            soda.search("customers Zurich")
+        records = [
+            r for r in caplog.records if r.name == "repro.soda.slow_query"
+        ]
+        assert len(records) == 1
+        payload = json.loads(records[0].getMessage())
+        assert payload["query"] == "customers Zurich"
+        assert payload["total_ms"] >= 0.0
+        assert payload["threshold_ms"] == 0.0
+        assert set(payload["steps_ms"]) == {
+            "lookup", "rank", "tables", "filters", "sql", "execute"
+        }
+        assert payload["statements"] >= 1
+        assert isinstance(payload["plan_cache_hit"], bool)
+
+    def test_fast_queries_stay_silent(self, small_warehouse, caplog):
+        soda = Soda(small_warehouse, SodaConfig(slow_query_ms=60_000.0))
+        with caplog.at_level(logging.WARNING, logger="repro.soda.slow_query"):
+            soda.search("Zurich", execute=False)
+        assert not [
+            r for r in caplog.records if r.name == "repro.soda.slow_query"
+        ]
+
+    def test_disabled_by_default(self, soda_small, caplog):
+        assert SodaConfig().slow_query_ms is None
+        with caplog.at_level(logging.WARNING, logger="repro.soda.slow_query"):
+            soda_small.search("Zurich", execute=False)
+        assert not [
+            r for r in caplog.records if r.name == "repro.soda.slow_query"
+        ]
+
+    def test_slow_query_counter_increments(self, small_warehouse):
+        counter = registry().counter("soda.slow_queries")
+        before = counter.value
+        soda = Soda(small_warehouse, SodaConfig(slow_query_ms=0.0))
+        soda.search("Zurich", execute=False)
+        assert counter.value == before + 1

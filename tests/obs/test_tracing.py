@@ -1,0 +1,162 @@
+"""Tests for the hierarchical tracer: nesting, determinism, no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+
+def build_sample(tracer):
+    with tracer.span("search", query="q"):
+        with tracer.span("step:lookup"):
+            pass
+        with tracer.span("step:execute") as span:
+            span.set(rows=3)
+            with tracer.span("plan", cache="miss"):
+                pass
+
+
+class TestSpanNesting:
+    def test_nested_with_blocks_build_a_tree(self):
+        tracer = Tracer()
+        build_sample(tracer)
+        assert tracer.tree() == (
+            ("search", (
+                ("step:lookup", ()),
+                ("step:execute", (("plan", ()),)),
+            )),
+        )
+
+    def test_sibling_order_is_preserved(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        (root,) = tracer.roots
+        assert [child.name for child in root.children] == ["a", "b", "c"]
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert tracer.tree() == (("first", ()), ("second", ()))
+
+    def test_tree_is_deterministic_across_runs(self):
+        first, second = Tracer(), Tracer()
+        build_sample(first)
+        build_sample(second)
+        assert first.tree() == second.tree()
+
+    def test_elapsed_recorded_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.roots
+        assert span.elapsed >= 0.0
+        assert isinstance(span, Span)
+
+    def test_exception_still_pops_the_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer._stack == []
+        assert tracer.tree() == (("boom", ()),)
+
+
+class TestExports:
+    def test_to_dict_without_timings_is_deterministic(self):
+        tracer = Tracer()
+        build_sample(tracer)
+        expected = [
+            {
+                "name": "search",
+                "attributes": {"query": "q"},
+                "children": [
+                    {"name": "step:lookup"},
+                    {
+                        "name": "step:execute",
+                        "attributes": {"rows": 3},
+                        "children": [
+                            {"name": "plan", "attributes": {"cache": "miss"}}
+                        ],
+                    },
+                ],
+            }
+        ]
+        assert tracer.to_dict(timings=False) == expected
+
+    def test_to_dict_with_timings_adds_elapsed_ms(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        (entry,) = tracer.to_dict()
+        assert "elapsed_ms" in entry
+
+    def test_to_json_round_trips(self):
+        tracer = Tracer()
+        build_sample(tracer)
+        parsed = json.loads(tracer.to_json())
+        assert parsed[0]["name"] == "search"
+        assert parsed[0]["children"][0]["name"] == "step:lookup"
+
+    def test_render_shows_connectors_attributes_and_durations(self):
+        tracer = Tracer()
+        build_sample(tracer)
+        rendered = tracer.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("search [query='q']")
+        assert "├─ step:lookup" in rendered
+        assert "└─ step:execute [rows=3]" in rendered
+        assert "   └─ plan [cache='miss']" in rendered
+        assert all("ms" in line for line in lines)
+
+
+class TestNullTracer:
+    def test_disabled_and_returns_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        first = NULL_TRACER.span("a", key=1)
+        second = NULL_TRACER.span("b")
+        assert first is second  # one preallocated no-op span
+
+    def test_null_span_is_a_noop_context_manager(self):
+        span = NULL_TRACER.span("anything")
+        with span as entered:
+            entered.set(rows=5)
+        assert entered is span
+
+
+class TestActivate:
+    def test_default_active_tracer_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with activate(tracer):
+                raise RuntimeError("x")
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer

@@ -308,3 +308,81 @@ class TestSearchBatch:
         )
         assert code == 0
         assert "Table 4" in output
+
+
+class TestObservabilityCli:
+    def test_explain_analyze_annotates_actuals(self):
+        code, output = run_cli(
+            "--scale", "0.25", "explain", "--analyze",
+            "SELECT currency_cd, count(*) FROM money_transactions "
+            "GROUP BY currency_cd ORDER BY count(*) DESC LIMIT 3",
+        )
+        assert code == 0
+        assert "(actual rows=" in output
+        assert "self=" in output
+        assert "[~" in output  # estimates stay alongside the actuals
+
+    def test_explain_analyze_row_mode(self):
+        code, output = run_cli(
+            "--scale", "0.25", "--execution-mode", "row",
+            "explain", "--analyze",
+            "SELECT count(*) FROM money_transactions",
+        )
+        assert code == 0
+        assert "(actual rows=" in output
+        assert "batches=" not in output
+
+    def test_search_analyze_shows_actuals_under_statements(self):
+        code, output = run_cli(
+            "--scale", "0.25", "search", "Zurich", "--analyze"
+        )
+        assert code == 0
+        assert "    | " in output
+        assert "(actual rows=" in output
+
+    def test_trace_renders_span_tree(self):
+        code, output = run_cli("--scale", "0.25", "trace", "Zurich")
+        assert code == 0
+        assert "search [query='Zurich']" in output
+        assert "step:lookup" in output
+        assert "step:execute" in output
+        assert "ms" in output
+
+    def test_trace_json_is_parseable(self):
+        import json
+
+        code, output = run_cli(
+            "--scale", "0.25", "trace", "--json", "--no-execute", "Zurich"
+        )
+        assert code == 0
+        parsed = json.loads(output)
+        assert parsed[0]["name"] == "search"
+        names = [child["name"] for child in parsed[0]["children"]]
+        assert "step:lookup" in names
+
+    def test_stats_metrics_table(self):
+        code, output = run_cli("--scale", "0.25", "stats", "--metrics")
+        assert code == 0
+        assert "plan_cache.capacity" in output
+        assert "engine.rows_scanned" in output
+        assert "finbank warehouse:" not in output
+
+    def test_stats_metrics_json(self):
+        import json
+
+        code, output = run_cli(
+            "--scale", "0.25", "stats", "--metrics",
+            "--metrics-format", "json",
+        )
+        assert code == 0
+        parsed = json.loads(output)
+        assert parsed["plan_cache.capacity"]["kind"] == "gauge"
+
+    def test_stats_metrics_prometheus(self):
+        code, output = run_cli(
+            "--scale", "0.25", "stats", "--metrics",
+            "--metrics-format", "prometheus",
+        )
+        assert code == 0
+        assert "# TYPE repro_plan_cache_hits counter" in output
+        assert "repro_plan_cache_capacity" in output
