@@ -10,10 +10,15 @@
 #                     BENCH_dict.json; search serving + warm-start;
 #                     DML plan-cache invalidation, emits BENCH_dml.json;
 #                     observability off-switch overhead <5%, emits
-#                     BENCH_obs.json).
+#                     BENCH_obs.json; fused/parallel scale bench at a
+#                     reduced 50k rows, emits BENCH_scale.json).
 #                     BENCH_SPEEDUP_MIN relaxes the *timing* floors on
 #                     noisy shared runners (see benchmarks/bench_utils.py);
 #                     correctness asserts always stay hard.
+#   make bench-scale  the full-size scale benchmark: fused codegen >=10x
+#                     over row mode and >=2x over the unfused batch
+#                     engine at 1M rows (BENCH_SCALE_ROWS overrides the
+#                     row count), emits BENCH_scale.json
 #   make coverage     tier-1 suite under pytest-cov (CI gate: >=85% on
 #                     src/repro, writes coverage.xml)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
@@ -22,7 +27,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke coverage lint check
+.PHONY: test test-fast bench-smoke bench-scale coverage lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,12 +37,17 @@ test-fast:
 		tests/graph tests/warehouse
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_planner_speedup.py \
+	BENCH_SCALE_ROWS=50000 $(PYTHON) -m pytest \
+		benchmarks/bench_planner_speedup.py \
 		benchmarks/bench_vectorized_engine.py \
 		benchmarks/bench_dictionary_engine.py \
 		benchmarks/bench_search_serving.py \
 		benchmarks/bench_dml_invalidation.py \
-		benchmarks/bench_observability_overhead.py -q -s
+		benchmarks/bench_observability_overhead.py \
+		benchmarks/bench_scale.py -q -s
+
+bench-scale:
+	$(PYTHON) -m pytest benchmarks/bench_scale.py -q -s
 
 coverage:
 	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \

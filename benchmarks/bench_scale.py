@@ -1,0 +1,202 @@
+"""Raw-speed scale benchmark: morsel-parallel + fused execution at 1M rows.
+
+Correctness gate first: every engine configuration — row mode, the PR-5
+batch engine (``fused=False``), fused codegen, fused + typed-array
+column store, and fused + 4 morsel workers — must produce byte-identical
+``ResultSet``s on the headline workload and a spread of secondary
+queries.  Then the headline measurement: a filter + hash join + group-by
+aggregation over ``BENCH_SCALE_ROWS`` fact rows (default 1,000,000) must
+run at least **10x faster** fused than the row engine and at least
+**2x faster** than the unfused batch engine — fusing the eight-conjunct
+filter into one generated loop removes the per-batch closure chain and
+its intermediate column materialisations, which dominate the unfused
+profile.  All numbers land in ``BENCH_scale.json``.
+
+The morsel-parallel variant is reported but only floored against the row
+engine: under a single-core CPython interpreter the thread pool adds
+coordination overhead without adding compute, so its value here is
+architectural (ordered morsel merge, partial-aggregate combine) rather
+than raw speed.
+
+Run with::
+
+    pytest benchmarks/bench_scale.py -q -s            # full 1M rows
+    BENCH_SCALE_ROWS=50000 pytest benchmarks/bench_scale.py -q -s
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_utils import speedup_floor
+from repro.sqlengine.database import Database
+from repro.sqlengine.parser import parse_select
+
+SCALE_ROWS = int(os.environ.get("BENCH_SCALE_ROWS", "1000000"))
+DIM_ROWS = 256
+STATUSES = ["NEW", "OPEN", "HELD", "DONE"]
+
+#: the headline workload: an eight-conjunct filter (one dictionary LIKE,
+#: five comparisons, two compound arithmetic predicates), a hash join
+#: against the dimension, per-region aggregation, and a group sort
+HEADLINE_SQL = (
+    "SELECT d.region, count(*), sum(f.amount), avg(f.qty) "
+    "FROM facts f, dims d "
+    "WHERE f.dim_id = d.id AND f.status LIKE 'D%' "
+    "AND f.amount > 1500 AND f.amount < 9200 AND f.qty >= 5 AND f.qty < 85 "
+    "AND f.amount * 0.5 + f.qty > 800 AND f.amount + f.qty * 3 < 12000 "
+    "GROUP BY d.region ORDER BY sum(f.amount) DESC"
+)
+
+#: parity spread: TopN with bound pushdown, arithmetic projection, and a
+#: NULL-sensitive aggregate, so every PR-7 layer sees real data
+PARITY_SQL = [
+    "SELECT f.id, f.amount FROM facts f WHERE f.amount > 9000 "
+    "ORDER BY f.amount DESC, f.id LIMIT 25",
+    "SELECT f.id, f.amount * 2 + f.qty FROM facts f "
+    "WHERE f.status = 'HELD' AND f.qty < 3 ORDER BY f.id LIMIT 50",
+    "SELECT f.status, count(*), min(f.qty), max(f.amount) FROM facts f "
+    "GROUP BY f.status ORDER BY f.status",
+]
+
+#: (name, Database kwargs) for every engine configuration under test
+VARIANTS = [
+    ("row", {"execution_mode": "row"}),
+    ("batch_unfused", {"fused": False}),
+    ("batch_fused", {"fused": True}),
+    ("fused_array", {"fused": True, "array_store": True}),
+    ("fused_parallel4", {"fused": True, "parallel_workers": 4}),
+]
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def _dataset():
+    rng = random.Random(11)
+    dims = [(i, f"region {i % 16}") for i in range(DIM_ROWS)]
+    facts = [
+        (
+            i,
+            rng.randrange(DIM_ROWS),
+            float(rng.randrange(1, 10_000)),
+            rng.randrange(100),
+            STATUSES[i % 4],
+        )
+        for i in range(SCALE_ROWS)
+    ]
+    return dims, facts
+
+
+def make_db(dims, facts, **kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table(
+        "dims", [("id", "INT"), ("region", "TEXT")], primary_key=["id"]
+    )
+    db.create_table(
+        "facts",
+        [("id", "INT"), ("dim_id", "INT"), ("amount", "REAL"),
+         ("qty", "INT"), ("status", "TEXT")],
+        primary_key=["id"],
+    )
+    db.insert_rows("dims", dims)
+    db.insert_rows("facts", facts)
+    return db
+
+
+@pytest.fixture(scope="module")
+def databases():
+    dims, facts = _dataset()
+    return {name: make_db(dims, facts, **kwargs) for name, kwargs in VARIANTS}
+
+
+def _best_time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestScaleParity:
+    @pytest.mark.parametrize("sql", [HEADLINE_SQL] + PARITY_SQL)
+    def test_every_variant_matches_row_mode(self, databases, sql):
+        baseline = databases["row"].execute(sql)
+        for name, __ in VARIANTS[1:]:
+            got = databases[name].execute(sql)
+            assert got.columns == baseline.columns, name
+            assert got.rows == baseline.rows, name
+
+
+class TestScaleSpeedup:
+    def test_headline_floors_and_report(self, databases):
+        select = parse_select(HEADLINE_SQL)
+        plans, results = {}, {}
+        for name, __ in VARIANTS:
+            plans[name] = databases[name].planner.prepare(select)
+            results[name] = plans[name].execute()
+        baseline = results["row"]
+        for name in plans:
+            assert results[name].columns == baseline.columns, name
+            assert results[name].rows == baseline.rows, name
+
+        times = {
+            name: _best_time(plan.execute,
+                             repeats=2 if name == "row" else 3)
+            for name, plan in plans.items()
+        }
+        fused = times["batch_fused"]
+        speedups = {
+            name: round(times[name] / fused, 2) for name in times
+        }
+        report = {
+            "fact_rows": SCALE_ROWS,
+            "dim_rows": DIM_ROWS,
+            "headline": {
+                "sql": HEADLINE_SQL,
+                "times_s": {k: round(v, 6) for k, v in times.items()},
+                "speedup_vs_fused": speedups,
+                "row_over_fused": speedups["row"],
+                "unfused_over_fused": speedups["batch_unfused"],
+            },
+        }
+        BENCH_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+        print(f"\nscale headline ({SCALE_ROWS} fact rows):")
+        for name, seconds in times.items():
+            print(f"  {name:16s} {seconds * 1e3:9.1f} ms   "
+                  f"({speedups[name]:.2f}x of fused)")
+        print(f"  -> {BENCH_OUTPUT.name} written")
+
+        floor_row = speedup_floor(10.0)
+        assert times["row"] / fused >= floor_row, (
+            f"fused engine must be >= {floor_row}x over row mode, got "
+            f"{times['row'] / fused:.2f}x"
+        )
+        floor_unfused = speedup_floor(2.0)
+        assert times["batch_unfused"] / fused >= floor_unfused, (
+            f"fused engine must be >= {floor_unfused}x over the unfused "
+            f"batch engine, got {times['batch_unfused'] / fused:.2f}x"
+        )
+        # the array store and the morsel pool must never fall behind the
+        # row engine; on a single-core GIL interpreter the thread pool
+        # only adds overhead, so no stronger floor applies to it here
+        floor_secondary = speedup_floor(2.0)
+        for name in ("fused_array", "fused_parallel4"):
+            assert times["row"] / times[name] >= floor_secondary, (
+                f"{name} must stay >= {floor_secondary}x over row mode, "
+                f"got {times['row'] / times[name]:.2f}x"
+            )
+
+    def test_parallel_variant_dispatches_morsels(self, databases):
+        db = databases["fused_parallel4"]
+        before = db.metrics().get(
+            "engine.morsels_dispatched", {}
+        ).get("value", 0)
+        db.execute(HEADLINE_SQL)
+        after = db.metrics()["engine.morsels_dispatched"]["value"]
+        assert after > before

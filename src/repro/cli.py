@@ -49,6 +49,13 @@ def make_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="SQL engine: vectorized batch operators "
                              "(default) or row-at-a-time volcano")
+    parser.add_argument("--parallel-workers", type=int, default=None,
+                        metavar="N",
+                        help="morsel-driven parallel scan pipelines on N "
+                             "threads (default 1 = serial; batch mode only)")
+    parser.add_argument("--no-fused", action="store_true",
+                        help="disable fused filter/project expression "
+                             "codegen in the batch engine")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -154,9 +161,15 @@ def _build_warehouse(args, **overrides):
     }
     kwargs.update(overrides)
     warehouse = build_minibank(**kwargs)
+    database = warehouse.database
     mode = getattr(args, "execution_mode", None)
     if mode is not None:
-        warehouse.database.set_execution_mode(mode)
+        database.set_execution_mode(mode)
+    workers = getattr(args, "parallel_workers", None)
+    if workers is not None:
+        database.set_parallel_workers(workers)
+    if getattr(args, "no_fused", False):
+        database.set_fused(False)
     return warehouse
 
 
@@ -495,6 +508,8 @@ def cmd_page(args, out) -> int:
 
 
 def main(argv=None, out=None) -> int:
+    from repro.errors import SqlError
+
     out = out or sys.stdout
     args = make_parser().parse_args(argv)
     handlers = {
@@ -509,7 +524,11 @@ def main(argv=None, out=None) -> int:
         "browse": cmd_browse,
         "page": cmd_page,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    except SqlError as exc:  # e.g. an out-of-range --parallel-workers
+        print(f"error: {exc}", file=out)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,7 @@ from typing import Any, Iterable, Iterator, Sequence
 from repro.errors import SqlCatalogError, SqlTypeError
 from repro.sqlengine.encoding import (
     DICT_ENCODING_MAX_DISTINCT,
+    ArrayColumn,
     ColumnDictionary,
 )
 from repro.sqlengine.types import SqlType, coerce_value
@@ -98,6 +99,14 @@ class Table:
     integer-speed string predicates and code-keyed GROUP BY / DISTINCT
     / join probes; a column whose cardinality outgrows the threshold
     drops its dictionary and falls back to plain value batches.
+
+    With ``array_store=True`` the INTEGER/REAL entries of
+    ``column_data`` are :class:`~repro.sqlengine.encoding.ArrayColumn`
+    typed buffers instead of plain lists (contiguous int64/float64
+    storage, NULLs via a validity bitmap).  They are list-alike — reads
+    and slices decode to plain Python values — and are maintained
+    through the same single mutation path, so nothing downstream
+    changes.
     """
 
     def __init__(
@@ -106,6 +115,7 @@ class Table:
         columns: Sequence[Column],
         foreign_keys: Iterable[ForeignKey] = (),
         dict_encoding_threshold: "int | None" = None,
+        array_store: bool = False,
     ) -> None:
         if not columns:
             raise SqlCatalogError(f"table {name!r} must have at least one column")
@@ -118,7 +128,15 @@ class Table:
         self._index_of = {c.name: i for i, c in enumerate(self.columns)}
         self.rows: list[tuple] = []
         #: columnar storage: one value list per column, in schema order
-        self._column_data: list[list] = [[] for __ in self.columns]
+        #: (ArrayColumn typed buffers for INTEGER/REAL when opted in)
+        self._column_data: list = [
+            ArrayColumn("q" if column.sql_type is SqlType.INTEGER else "d")
+            if array_store
+            and column.sql_type in (SqlType.INTEGER, SqlType.REAL)
+            else []
+            for column in self.columns
+        ]
+        self.array_store = array_store
         self._dict_threshold = (
             DICT_ENCODING_MAX_DISTINCT
             if dict_encoding_threshold is None
@@ -386,12 +404,22 @@ class Catalog:
     schema or the data volume changes.
     """
 
-    def __init__(self, dict_encoding_threshold: "int | None" = None) -> None:
+    def __init__(
+        self,
+        dict_encoding_threshold: "int | None" = None,
+        array_store: bool = False,
+    ) -> None:
+        if not isinstance(array_store, bool):
+            raise SqlCatalogError(
+                f"array_store must be True or False, got {array_store!r}"
+            )
         self._tables: dict[str, Table] = {}
         self._ddl_version = 0
         self._observers: list[CatalogObserver] = []
         #: passed to every table this catalog creates (None = default)
         self._dict_encoding_threshold = dict_encoding_threshold
+        #: INTEGER/REAL columns of new tables use ArrayColumn buffers
+        self.array_store = array_store
 
     def register_observer(self, observer: CatalogObserver) -> None:
         """Subscribe *observer* to inserts/DDL on all current and future tables."""
@@ -423,6 +451,7 @@ class Catalog:
             columns,
             foreign_keys,
             dict_encoding_threshold=self._dict_encoding_threshold,
+            array_store=self.array_store,
         )
         table._observers = self._observers
         self._tables[key] = table

@@ -45,6 +45,14 @@ class Database:
     :data:`~repro.sqlengine.encoding.DICT_ENCODING_MAX_DISTINCT`
     default, 0 disables it; results are identical either way).
 
+    Three further performance knobs, each locked to byte-identical
+    results by construction: ``fused`` (default True) compiles batch
+    filter/project expression chains into one generated function per
+    batch; ``parallel_workers`` (default 1 = serial) runs eligible
+    scan pipelines morsel-parallel on that many threads; and
+    ``array_store`` (default False) backs INTEGER/REAL columns with
+    typed ``array.array`` buffers instead of Python object lists.
+
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
     >>> _ = db.execute("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')")
@@ -57,12 +65,20 @@ class Database:
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         execution_mode: str = DEFAULT_EXECUTION_MODE,
         dict_encoding_threshold: "int | None" = None,
+        fused: bool = True,
+        parallel_workers: int = 1,
+        array_store: bool = False,
     ) -> None:
-        self.catalog = Catalog(dict_encoding_threshold=dict_encoding_threshold)
+        self.catalog = Catalog(
+            dict_encoding_threshold=dict_encoding_threshold,
+            array_store=array_store,
+        )
         self.planner = QueryPlanner(
             self.catalog,
             cache_size=plan_cache_size,
             execution_mode=execution_mode,
+            fused=fused,
+            parallel_workers=parallel_workers,
         )
 
     @property
@@ -73,6 +89,29 @@ class Database:
     def set_execution_mode(self, mode: str) -> None:
         """Switch engines; cached plans for the old mode are dropped."""
         self.planner.set_execution_mode(mode)
+
+    @property
+    def fused(self) -> bool:
+        """Whether batch plans compile fused expression functions."""
+        return self.planner.fused
+
+    def set_fused(self, fused: bool) -> None:
+        """Toggle fused expression codegen; drops cached plans."""
+        self.planner.set_fused(fused)
+
+    @property
+    def parallel_workers(self) -> int:
+        """Morsel worker count for eligible batch pipelines (1 = serial)."""
+        return self.planner.parallel_workers
+
+    def set_parallel_workers(self, workers: int) -> None:
+        """Set the morsel worker count; drops cached plans."""
+        self.planner.set_parallel_workers(workers)
+
+    @property
+    def array_store(self) -> bool:
+        """Whether new tables back INTEGER/REAL columns with typed arrays."""
+        return self.catalog.array_store
 
     # ------------------------------------------------------------------
     # SQL entry point

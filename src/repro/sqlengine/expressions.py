@@ -5,10 +5,18 @@ the rows flowing through an operator) into Python closures.  Three-valued
 logic is used throughout: a predicate evaluates to ``True``, ``False`` or
 ``None`` (unknown), and WHERE keeps only rows where the predicate is
 ``True``.
+
+:func:`fuse_batch_exprs` is the third compilation tier: it translates a
+plan's filter/projection expression trees into *generated Python source*
+— one function per batch, no per-row closure dispatch — for the subset
+of expressions it can prove never raise.  Anything it cannot prove falls
+back to the closure chain, so fused execution is byte-identical to the
+other tiers (results and errors).
 """
 
 from __future__ import annotations
 
+import datetime
 import re
 from typing import Any, Callable, Sequence
 
@@ -29,7 +37,7 @@ from repro.sqlengine.ast_nodes import (
 )
 from repro.obs.metrics import registry as _metrics_registry
 from repro.sqlengine.encoding import EncodedColumn, gather_column
-from repro.sqlengine.types import compare_values, values_equal
+from repro.sqlengine.types import compare_values, parse_date, values_equal
 
 # counts each batch served by the dictionary-code comparison fast path
 # (one dictionary probe instead of per-row string compares)
@@ -1061,6 +1069,696 @@ def _compile_in_list_batch(
         return out
 
     return _in
+
+
+# ---------------------------------------------------------------------------
+# fused expression codegen
+# ---------------------------------------------------------------------------
+
+#: sentinel bound as ``_MISS`` in generated preludes: a string literal
+#: absent from a column's dictionary resolves to it, making ``code ==
+#: _MISS`` False and ``code != _MISS`` True for every present row —
+#: the same outcome the literal would have against the decoded strings
+_FUSION_MISSING = object()
+
+#: compiled code objects keyed by generated source, so plans that fuse
+#: to identical shapes share one ``compile()`` (constants are bound per
+#: plan at exec time)
+_FUSED_CODE_CACHE: dict[str, Any] = {}
+_FUSED_CODE_CACHE_MAX = 512
+
+#: sources above this size fall back to closures: deeply nested trees
+#: duplicate NULL guards, and past this point codegen stops paying off
+_FUSION_MAX_SOURCE = 20000
+
+_FUSIBLE_COMPARES = frozenset(("=", "<>", "<", "<=", ">", ">="))
+
+_NEGATED_COMPARE = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def _cmp_formula(op: str, a: str, b: str, cls: str, positive: bool) -> str:
+    """A Python expression deciding ``a <op> b`` for non-NULL operands.
+
+    Numeric equality is phrased through ``<``/``>`` (and ``<=``/``>=``
+    as negations) so NaN behaves exactly like :func:`compare_values`,
+    which reports 0 for NaN against any number.  Strings and dates are
+    total orders, where the direct operators agree with compare_values.
+    """
+    if not positive:
+        op = _NEGATED_COMPARE[op]
+    if op == "=":
+        if cls == "num":
+            return f"not ({a} < {b} or {a} > {b})"
+        return f"{a} == {b}"
+    if op == "<>":
+        if cls == "num":
+            return f"({a} < {b} or {a} > {b})"
+        return f"{a} != {b}"
+    if op == "<":
+        return f"{a} < {b}"
+    if op == "<=":
+        return f"not ({a} > {b})"
+    if op == ">":
+        return f"{a} > {b}"
+    return f"not ({a} < {b})"
+
+
+class _Unfusible(Exception):
+    """Raised by the codegen visitor on any node it cannot prove safe."""
+
+
+class _Val:
+    """A generated value expression: code string + value class + literal."""
+
+    __slots__ = ("code", "cls", "lit", "is_lit")
+
+    def __init__(self, code, cls, lit=None, is_lit=False) -> None:
+        self.code = code
+        self.cls = cls
+        self.lit = lit
+        self.is_lit = is_lit
+
+
+class FusedBatch:
+    """One generated batch function produced by :func:`fuse_batch_exprs`.
+
+    ``fn(cols, n)`` evaluates the fused expressions over a column batch:
+    in filter mode it returns the selected row indices (all conjuncts
+    True); in value mode it returns a tuple of output columns, one per
+    fused expression.  ``consumed`` is the number of leading predicates
+    folded in (filter mode); ``indexes`` the positions of the fused
+    expressions (value mode).  ``source`` keeps the generated Python for
+    EXPLAIN-style debugging and tests.
+    """
+
+    __slots__ = ("fn", "consumed", "indexes", "source")
+
+    def __init__(self, fn, consumed, indexes, source) -> None:
+        self.fn = fn
+        self.consumed = consumed
+        self.indexes = indexes
+        self.source = source
+
+
+class _Fuser:
+    """Codegen state shared across the expressions of one fuse call."""
+
+    def __init__(self, scope: Scope, class_of) -> None:
+        self.scope = scope
+        self.class_of = class_of
+        #: scope index -> {"id", "order", "eq"}; insertion order assigns
+        #: deterministic variable ids
+        self.cols: dict[int, dict] = {}
+        self.consts: dict[str, Any] = {}
+        #: row-local variable ids used by the expression being generated
+        self.current_used: list[int] = []
+
+    # -- rollback ------------------------------------------------------
+    def snapshot(self):
+        return (
+            {
+                index: {
+                    "id": info["id"],
+                    "order": info["order"],
+                    "eq": list(info["eq"]),
+                }
+                for index, info in self.cols.items()
+            },
+            dict(self.consts),
+        )
+
+    def restore(self, snap) -> None:
+        self.cols, self.consts = snap[0], snap[1]
+
+    # -- registration --------------------------------------------------
+    def use_col(self, index: int, order_sensitive: bool = True) -> dict:
+        info = self.cols.get(index)
+        if info is None:
+            info = {"id": len(self.cols), "order": False, "eq": []}
+            self.cols[index] = info
+        if order_sensitive:
+            info["order"] = True
+        if info["id"] not in self.current_used:
+            self.current_used.append(info["id"])
+        return info
+
+    def const(self, value: Any) -> str:
+        name = f"_k{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    def eq_const(self, info: dict, value: Any, is_set: bool) -> str:
+        """A literal used in an equality against a (possibly encoded)
+        string column: the generated prelude rebinds the returned name
+        to the literal's dictionary code (or code set) per batch."""
+        raw = self.const(value)
+        mapped = f"{raw}x{info['id']}"
+        info["eq"].append((raw, mapped, is_set))
+        return mapped
+
+    def resolve_col(self, ref: ColumnRef) -> int:
+        try:
+            return self.scope.resolve(ref)
+        except SqlCatalogError:
+            raise _Unfusible from None
+
+    def col_class(self, index: int) -> "str | None":
+        binding, column = self.scope.pairs[index]
+        return self.class_of(binding, column)
+
+    # -- boolean-context generation ------------------------------------
+    def boolish(self, expr: Expr) -> bool:
+        """True when *expr* can only evaluate to True/False/None — the
+        precondition for distributing NOT/AND/OR over it."""
+        if isinstance(expr, (Between, InList, IsNull, Like)):
+            return True
+        if isinstance(expr, BinaryOp):
+            return expr.op in ("AND", "OR") or expr.op in _FUSIBLE_COMPARES
+        if isinstance(expr, UnaryOp):
+            return expr.op == "NOT"
+        if isinstance(expr, Literal):
+            return isinstance(expr.value, bool) or expr.value is None
+        if isinstance(expr, ColumnRef):
+            return self.col_class(self.resolve_col(expr)) == "bool"
+        return False
+
+    def gen_bool(self, expr: Expr, positive: bool) -> str:
+        """Code for t(expr) (``positive``) or f(expr): a plain Python
+        bool deciding whether the 3VL value is True (resp. False)."""
+        if isinstance(expr, Literal):
+            hit = expr.value is True if positive else expr.value is False
+            return "True" if hit else "False"
+        if isinstance(expr, UnaryOp) and expr.op == "NOT":
+            # NOT of a non-boolean uses Python truthiness in row mode;
+            # only distribute over operands confined to 3VL values
+            if not self.boolish(expr.operand):
+                raise _Unfusible
+            return self.gen_bool(expr.operand, not positive)
+        if isinstance(expr, BinaryOp) and expr.op in ("AND", "OR"):
+            if not (self.boolish(expr.left) and self.boolish(expr.right)):
+                raise _Unfusible
+            # t(AND)=t∧t, f(AND)=f∨f, t(OR)=t∨t, f(OR)=f∧f
+            lhs = self.gen_bool(expr.left, positive)
+            rhs = self.gen_bool(expr.right, positive)
+            if expr.op == "AND":
+                joiner = "and" if positive else "or"
+            else:
+                joiner = "or" if positive else "and"
+            return f"(({lhs}) {joiner} ({rhs}))"
+        if isinstance(expr, BinaryOp) and expr.op in _FUSIBLE_COMPARES:
+            parts = self._compare_parts(expr.left, expr.right, expr.op)
+            if parts is None:  # comparison against a NULL literal
+                return "False"
+            a, b, cls, nonlit = parts
+            formula = _cmp_formula(expr.op, a, b, cls, positive)
+            guards = [f"{code} is not None" for code in nonlit]
+            return "(" + " and ".join(guards + [f"({formula})"]) + ")"
+        if isinstance(expr, Between):
+            a, low, high, cls, nonlit = self._between_parts(expr)
+            inside = positive ^ expr.negated
+            if inside:
+                formula = f"not ({a} < {low}) and not ({a} > {high})"
+            else:
+                formula = f"(({a} < {low}) or ({a} > {high}))"
+            guards = [f"{code} is not None" for code in nonlit]
+            return "(" + " and ".join(guards + [f"({formula})"]) + ")"
+        if isinstance(expr, InList):
+            member, operand = self._in_parts(expr)
+            want = positive ^ expr.negated
+            test = f"({member})" if want else f"not ({member})"
+            return f"({operand} is not None and {test})"
+        if isinstance(expr, IsNull):
+            code = self._is_null_operand(expr)
+            test = "is None" if (positive ^ expr.negated) else "is not None"
+            return f"({code} {test})"
+        # generic fallback: the mask semantics are `value is True`; the
+        # False polarity additionally requires a genuinely boolean value
+        value = self.gen_value(expr)
+        if positive:
+            return f"(({value.code}) is True)"
+        if value.cls != "bool":
+            raise _Unfusible
+        return f"(({value.code}) is False)"
+
+    # -- value generation ----------------------------------------------
+    def gen_value(self, expr: Expr) -> _Val:
+        if isinstance(expr, Literal):
+            value = expr.value
+            if value is None:
+                return _Val("None", None, None, True)
+            if isinstance(value, bool):
+                return _Val("True" if value else "False", "bool", value, True)
+            if isinstance(value, (int, float)):
+                return _Val(self.const(value), "num", value, True)
+            if isinstance(value, str):
+                return _Val(self.const(value), "str", value, True)
+            if isinstance(value, datetime.date):
+                return _Val(self.const(value), "date", value, True)
+            raise _Unfusible
+
+        if isinstance(expr, ColumnRef):
+            index = self.resolve_col(expr)
+            cls = self.col_class(index)
+            if cls is None:
+                raise _Unfusible
+            info = self.use_col(index, order_sensitive=True)
+            return _Val(f"_x{info['id']}", cls)
+
+        if isinstance(expr, FuncCall):
+            return self._gen_func(expr)
+
+        if isinstance(expr, UnaryOp):
+            if expr.op == "NOT":
+                value = self.gen_value(expr.operand)
+                return _Val(
+                    f"(None if {value.code} is None else not {value.code})",
+                    "bool",
+                )
+            if expr.op == "-":
+                value = self.gen_value(expr.operand)
+                if value.cls != "num":
+                    raise _Unfusible
+                return _Val(
+                    f"(None if {value.code} is None else -({value.code}))",
+                    "num",
+                )
+            raise _Unfusible
+
+        if isinstance(expr, BinaryOp):
+            return self._gen_binary_value(expr)
+
+        if isinstance(expr, Between):
+            a, low, high, cls, nonlit = self._between_parts(expr)
+            if expr.negated:
+                formula = f"(({a} < {low}) or ({a} > {high}))"
+            else:
+                formula = f"(not ({a} < {low}) and not ({a} > {high}))"
+            if not nonlit:
+                return _Val(formula, "bool")
+            nulls = " or ".join(f"{code} is None" for code in nonlit)
+            return _Val(f"(None if {nulls} else {formula})", "bool")
+
+        if isinstance(expr, InList):
+            member, operand = self._in_parts(expr)
+            test = f"not ({member})" if expr.negated else f"({member})"
+            return _Val(f"(None if {operand} is None else {test})", "bool")
+
+        if isinstance(expr, IsNull):
+            code = self._is_null_operand(expr)
+            test = "is not None" if expr.negated else "is None"
+            return _Val(f"({code} {test})", "bool")
+
+        if isinstance(expr, CaseWhen):
+            return self._gen_case(expr)
+
+        raise _Unfusible
+
+    def _gen_func(self, expr: FuncCall) -> _Val:
+        if expr.name in AGGREGATE_FUNCTIONS:
+            raise _Unfusible
+        if expr.name in ("lower", "upper") and len(expr.args) == 1:
+            value = self.gen_value(expr.args[0])
+            code = (
+                f"(None if {value.code} is None"
+                f" else str({value.code}).{expr.name}())"
+            )
+            return _Val(code, "str")
+        if expr.name == "length" and len(expr.args) == 1:
+            value = self.gen_value(expr.args[0])
+            return _Val(
+                f"(None if {value.code} is None else len(str({value.code})))",
+                "num",
+            )
+        if expr.name == "coalesce" and expr.args:
+            values = [self.gen_value(arg) for arg in expr.args]
+            classes = {v.cls for v in values if v.cls is not None}
+            if len(classes) > 1:
+                raise _Unfusible
+            cls = classes.pop() if classes else None
+            code = "None"
+            for value in reversed(values):
+                code = f"({value.code} if {value.code} is not None else {code})"
+            return _Val(code, cls)
+        raise _Unfusible
+
+    def _gen_binary_value(self, expr: BinaryOp) -> _Val:
+        op = expr.op
+        if op in ("AND", "OR"):
+            a = self.gen_value(expr.left)
+            b = self.gen_value(expr.right)
+            if op == "AND":
+                code = (
+                    f"(False if {a.code} is False or {b.code} is False"
+                    f" else (None if {a.code} is None or {b.code} is None"
+                    f" else True))"
+                )
+            else:
+                code = (
+                    f"(True if {a.code} is True or {b.code} is True"
+                    f" else (None if {a.code} is None or {b.code} is None"
+                    f" else False))"
+                )
+            return _Val(code, "bool")
+        if op in _FUSIBLE_COMPARES:
+            parts = self._compare_parts(expr.left, expr.right, op)
+            if parts is None:
+                return _Val("None", "bool")
+            a, b, cls, nonlit = parts
+            formula = f"({_cmp_formula(op, a, b, cls, True)})"
+            if not nonlit:
+                return _Val(formula, "bool")
+            nulls = " or ".join(f"{code} is None" for code in nonlit)
+            return _Val(f"(None if {nulls} else {formula})", "bool")
+        if op in ("+", "-", "*", "/"):
+            a = self.gen_value(expr.left)
+            b = self.gen_value(expr.right)
+            if a.cls != "num" or b.cls != "num":
+                raise _Unfusible
+            if op == "/":
+                # only a provably nonzero literal divisor cannot raise
+                if not (b.is_lit and b.lit != 0):
+                    raise _Unfusible
+            formula = f"({a.code} {op} {b.code})"
+            nonlit = [v.code for v in (a, b) if not (v.is_lit and v.lit is not None)]
+            if not nonlit:
+                return _Val(formula, "num")
+            nulls = " or ".join(f"{code} is None" for code in nonlit)
+            return _Val(f"(None if {nulls} else {formula})", "num")
+        if op == "||":
+            a = self.gen_value(expr.left)
+            b = self.gen_value(expr.right)
+            formula = f"(str({a.code}) + str({b.code}))"
+            nonlit = [v.code for v in (a, b) if not (v.is_lit and v.lit is not None)]
+            if not nonlit:
+                return _Val(formula, "str")
+            nulls = " or ".join(f"{code} is None" for code in nonlit)
+            return _Val(f"(None if {nulls} else {formula})", "str")
+        raise _Unfusible
+
+    def _gen_case(self, expr: CaseWhen) -> _Val:
+        branches = [
+            (self.gen_bool(condition, True), self.gen_value(value))
+            for condition, value in expr.branches
+        ]
+        default = (
+            self.gen_value(expr.default) if expr.default is not None else None
+        )
+        values = [value for __, value in branches]
+        if default is not None:
+            values.append(default)
+        classes = {v.cls for v in values if v.cls is not None}
+        if len(classes) > 1:
+            raise _Unfusible
+        cls = classes.pop() if classes else None
+        code = default.code if default is not None else "None"
+        for condition, value in reversed(branches):
+            code = f"(({value.code}) if ({condition}) else {code})"
+        return _Val(code, cls)
+
+    # -- comparison plumbing -------------------------------------------
+    def _compare_parts(self, left: Expr, right: Expr, op: str):
+        """Aligned operand codes for a comparison, or None when one side
+        is a NULL literal (a constant-NULL comparison).
+
+        Returns ``(a, b, cls, nonlit)`` where *nonlit* lists the operand
+        codes needing NULL guards.  Bare string column = string literal
+        goes through a per-batch dictionary-code rebind so encoded
+        columns compare small integers.
+        """
+        if op in ("=", "<>"):
+            for col_side, lit_side in ((left, right), (right, left)):
+                if (
+                    isinstance(col_side, ColumnRef)
+                    and isinstance(lit_side, Literal)
+                    and type(lit_side.value) is str
+                ):
+                    index = self.resolve_col(col_side)
+                    if self.col_class(index) == "str":
+                        info = self.use_col(index, order_sensitive=False)
+                        mapped = self.eq_const(info, lit_side.value, False)
+                        x = f"_x{info['id']}"
+                        return x, mapped, "str", [x]
+        a = self.gen_value(left)
+        b = self.gen_value(right)
+        if (a.is_lit and a.lit is None) or (b.is_lit and b.lit is None):
+            return None
+        cls = self._align(a, b)
+        nonlit = [v.code for v in (a, b) if not (v.is_lit and v.lit is not None)]
+        return a.code, b.code, cls, nonlit
+
+    def _align(self, a: _Val, b: _Val) -> str:
+        """The common comparison class, parsing a string literal against
+        a date side at codegen time exactly as compare_values would per
+        row (an unparsable literal would raise per row: unfusible)."""
+        if a.cls == b.cls and a.cls in ("num", "str", "date"):
+            return a.cls
+        for date_side, str_side in ((a, b), (b, a)):
+            if date_side.cls == "date" and str_side.cls == "str" and str_side.is_lit:
+                try:
+                    parsed = parse_date(str_side.lit)
+                except SqlTypeError:
+                    raise _Unfusible from None
+                self.consts[str_side.code] = parsed
+                str_side.cls = "date"
+                return "date"
+        raise _Unfusible
+
+    def _between_parts(self, expr: Between):
+        a = self.gen_value(expr.operand)
+        low = self.gen_value(expr.low)
+        high = self.gen_value(expr.high)
+        cls = self._align(a, low)
+        if self._align(a, high) != cls:
+            raise _Unfusible
+        values = (a, low, high)
+        nonlit = [v.code for v in values if not (v.is_lit and v.lit is not None)]
+        return a.code, low.code, high.code, cls, nonlit
+
+    def _in_parts(self, expr: InList):
+        """``(member_test_code, operand_code)`` for a literal IN list."""
+        literals = []
+        for item in expr.items:
+            if not isinstance(item, Literal) or item.value is None:
+                raise _Unfusible
+            literals.append(item.value)
+        if not literals:
+            raise _Unfusible
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in literals
+        )
+        textual = all(type(v) is str for v in literals)
+        if not (numeric or textual):
+            raise _Unfusible
+        if textual and isinstance(expr.operand, ColumnRef):
+            index = self.resolve_col(expr.operand)
+            if self.col_class(index) != "str":
+                raise _Unfusible
+            info = self.use_col(index, order_sensitive=False)
+            mapped = self.eq_const(info, frozenset(literals), True)
+            x = f"_x{info['id']}"
+            return f"{x} in {mapped}", x
+        value = self.gen_value(expr.operand)
+        if numeric:
+            if value.cls != "num":
+                raise _Unfusible
+            members = self.const(frozenset(literals))
+            # NaN: compare_values calls it equal to any number, so a NaN
+            # operand matches the first item — membership alone wouldn't
+            return (
+                f"{value.code} in {members} or {value.code} != {value.code}",
+                value.code,
+            )
+        if value.cls != "str":
+            raise _Unfusible
+        members = self.const(frozenset(literals))
+        return f"{value.code} in {members}", value.code
+
+    def _is_null_operand(self, expr: IsNull) -> str:
+        if isinstance(expr.operand, ColumnRef):
+            index = self.resolve_col(expr.operand)
+            if self.col_class(index) is None:
+                raise _Unfusible
+            info = self.use_col(index, order_sensitive=False)
+            return f"_x{info['id']}"
+        return self.gen_value(expr.operand).code
+
+    # -- source assembly -----------------------------------------------
+    def preludes(self) -> list[str]:
+        """Per-batch column normalization lines.
+
+        Only string-class columns can arrive dictionary-encoded.  A
+        column used solely in equality/NULL tests keeps its codes and
+        rebinds its literals through the dictionary; any other use
+        decodes the column up front (order comparisons and value uses
+        need real strings).
+        """
+        lines: list[str] = []
+        for index, info in self.cols.items():
+            if self.col_class(index) != "str":
+                continue
+            vid = info["id"]
+            if info["order"]:
+                lines.append(f"    if type(_v{vid}) is _Enc:")
+                lines.append(f"        _v{vid} = _v{vid}.decode()")
+                for raw, mapped, __ in info["eq"]:
+                    lines.append(f"    {mapped} = {raw}")
+            elif info["eq"]:
+                lines.append(f"    if type(_v{vid}) is _Enc:")
+                lines.append(f"        _m{vid} = _v{vid}.dictionary.code_of")
+                lines.append(f"        _v{vid} = _v{vid}.codes")
+                for raw, mapped, is_set in info["eq"]:
+                    if is_set:
+                        lines.append(
+                            f"        {mapped} = frozenset("
+                            f"_c for _c in map(_m{vid}.get, {raw})"
+                            f" if _c is not None)"
+                        )
+                    else:
+                        lines.append(
+                            f"        {mapped} = _m{vid}.get({raw}, _MISS)"
+                        )
+                lines.append("    else:")
+                for raw, mapped, __ in info["eq"]:
+                    lines.append(f"        {mapped} = {raw}")
+            else:
+                lines.append(f"    if type(_v{vid}) is _Enc:")
+                lines.append(f"        _v{vid} = _v{vid}.codes")
+        return lines
+
+    def column_decls(self) -> list[str]:
+        return [
+            f"    _v{info['id']} = cols[{index}]"
+            for index, info in self.cols.items()
+        ]
+
+
+def _row_iter(used: Sequence[int], with_index: bool) -> str:
+    """The ``for`` clause iterating the used columns' row values."""
+    if len(used) == 1:
+        target = f"_x{used[0]}"
+        source = f"_v{used[0]}"
+    else:
+        target = "(" + ", ".join(f"_x{vid}" for vid in used) + ")"
+        source = "zip(" + ", ".join(f"_v{vid}" for vid in used) + ")"
+    if with_index:
+        return f"for _i, {target} in enumerate({source})"
+    if len(used) > 1:
+        target = target[1:-1]  # bare tuple target reads better in a comp
+    return f"for {target} in {source}"
+
+
+def _instantiate(source: str, consts: dict) -> Callable:
+    code = _FUSED_CODE_CACHE.get(source)
+    if code is None:
+        if len(_FUSED_CODE_CACHE) >= _FUSED_CODE_CACHE_MAX:
+            _FUSED_CODE_CACHE.clear()
+        code = compile(source, "<fused-batch-exprs>", "exec")
+        _FUSED_CODE_CACHE[source] = code
+    namespace: dict = {"_Enc": EncodedColumn, "_MISS": _FUSION_MISSING}
+    namespace.update(consts)
+    exec(code, namespace)
+    return namespace["_fused"]
+
+
+def fuse_batch_exprs(
+    exprs: Sequence[Expr],
+    scope: Scope,
+    class_of: Callable[["str | None", str], "str | None"],
+    mode: str = "value",
+) -> "FusedBatch | None":
+    """Compile expression trees into one generated function per batch.
+
+    *class_of* maps a scope pair ``(binding, column)`` to its value
+    class (``"num"``/``"str"``/``"date"``/``"bool"``) or None for
+    columns of unknown provenance; the generator refuses any node whose
+    semantics it cannot pin down from those classes, so everything it
+    emits is provably identical to the closure tier — results *and*
+    errors (fused nodes never raise, making evaluation order and
+    short-circuit differences unobservable).
+
+    ``mode="filter"``: *exprs* are conjuncts applied in order; the
+    longest fusible prefix becomes one function returning the selected
+    row indices.  Remaining conjuncts must keep running as closures, in
+    order, to preserve error semantics.
+
+    ``mode="value"``: each fusible compound expression becomes one
+    output column of the generated function (bare column refs and
+    literals are excluded — the existing closures alias them for free).
+
+    Returns None when nothing worthwhile could be fused.
+    """
+    if mode not in ("filter", "value"):
+        raise ValueError(f"unknown fusion mode {mode!r}")
+    fuser = _Fuser(scope, class_of)
+
+    if mode == "filter":
+        conds: list[str] = []
+        used: list[int] = []
+        for expr in exprs:
+            snap = fuser.snapshot()
+            fuser.current_used = []
+            try:
+                cond = fuser.gen_bool(expr, True)
+            except _Unfusible:
+                fuser.restore(snap)
+                break
+            conds.append(cond)
+            for vid in fuser.current_used:
+                if vid not in used:
+                    used.append(vid)
+        if not conds or not used:
+            return None
+        lines = ["def _fused(cols, n):"]
+        lines += fuser.column_decls()
+        lines += fuser.preludes()
+        condition = " and ".join(f"({c})" for c in conds)
+        lines.append(
+            f"    return [_i {_row_iter(sorted(used), True)} if {condition}]"
+        )
+        source = "\n".join(lines) + "\n"
+        if len(source) > _FUSION_MAX_SOURCE:
+            return None
+        fn = _instantiate(source, fuser.consts)
+        return FusedBatch(fn, len(conds), None, source)
+
+    outputs: list[tuple] = []
+    for position, expr in enumerate(exprs):
+        if not isinstance(expr, Expr) or isinstance(expr, (Literal, ColumnRef)):
+            continue
+        snap = fuser.snapshot()
+        fuser.current_used = []
+        try:
+            value = fuser.gen_value(expr)
+        except _Unfusible:
+            fuser.restore(snap)
+            continue
+        if not fuser.current_used:
+            fuser.restore(snap)
+            continue
+        outputs.append((position, value.code, sorted(fuser.current_used)))
+    if not outputs:
+        return None
+    lines = ["def _fused(cols, n):"]
+    lines += fuser.column_decls()
+    lines += fuser.preludes()
+    names = []
+    for slot, (__, code, used) in enumerate(outputs):
+        names.append(f"_o{slot}")
+        lines.append(f"    _o{slot} = [{code} {_row_iter(used, False)}]")
+    lines.append(f"    return ({', '.join(names)}{',' if len(names) == 1 else ''})")
+    source = "\n".join(lines) + "\n"
+    if len(source) > _FUSION_MAX_SOURCE:
+        return None
+    fn = _instantiate(source, fuser.consts)
+    return FusedBatch(fn, None, [position for position, __, __ in outputs], source)
 
 
 def split_conjuncts(expr: Expr | None) -> list[Expr]:

@@ -25,12 +25,20 @@ Knobs:
   disables caching),
 * ``optimize`` — set False for the canonical (naive) plan, used by the
   planner-speedup benchmark as its baseline,
-* ``execution_mode`` — ``"batch"`` (default) or ``"row"``.
+* ``execution_mode`` — ``"batch"`` (default) or ``"row"``,
+* ``fused`` — compile filter/project expression chains into one
+  generated function per batch (default True; batch mode only),
+* ``parallel_workers`` — morsel-driven parallel scan pipelines when
+  > 1 (default 1 = serial; batch mode only).
+
+Every knob setter drops the plan cache when the value actually
+changes, because cached plans bake the old configuration in.
 """
 
 from __future__ import annotations
 
 from repro.errors import SqlExecutionError
+from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.tracing import current_tracer
 from repro.sqlengine.ast_nodes import Select
 from repro.sqlengine.catalog import Catalog
@@ -47,6 +55,7 @@ from repro.sqlengine.planner.logical import (
     referenced_tables,
 )
 from repro.sqlengine.planner.optimizer import optimize_plan
+from repro.sqlengine.planner.parallel import MAX_PARALLEL_WORKERS
 from repro.sqlengine.planner.physical import (
     BATCH_SIZE,
     EXECUTION_MODES,
@@ -60,6 +69,7 @@ __all__ = [
     "DEFAULT_EXECUTION_MODE",
     "DEFAULT_PLAN_CACHE_SIZE",
     "EXECUTION_MODES",
+    "MAX_PARALLEL_WORKERS",
     "Instrumenter",
     "PlanCache",
     "PlanCacheStats",
@@ -74,6 +84,28 @@ __all__ = [
 
 #: the engine new planners compile for unless told otherwise
 DEFAULT_EXECUTION_MODE = "batch"
+
+_METRICS = _metrics_registry()
+_PARALLEL_WORKERS_GAUGE = _METRICS.gauge("engine.parallel_workers")
+
+
+def _check_fused(fused) -> bool:
+    if not isinstance(fused, bool):
+        raise SqlExecutionError(
+            f"fused must be True or False, got {fused!r}"
+        )
+    return fused
+
+
+def _check_parallel_workers(workers) -> int:
+    if not isinstance(workers, int) or isinstance(workers, bool) or not (
+        1 <= workers <= MAX_PARALLEL_WORKERS
+    ):
+        raise SqlExecutionError(
+            "parallel_workers must be an integer between 1 and "
+            f"{MAX_PARALLEL_WORKERS}, got {workers!r}"
+        )
+    return workers
 
 
 class _CachedPlan:
@@ -97,6 +129,8 @@ class QueryPlanner:
         cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         optimize: bool = True,
         execution_mode: str = DEFAULT_EXECUTION_MODE,
+        fused: bool = True,
+        parallel_workers: int = 1,
     ) -> None:
         if execution_mode not in EXECUTION_MODES:
             raise SqlExecutionError(
@@ -108,10 +142,21 @@ class QueryPlanner:
         self.cache = PlanCache(cache_size)
         self._optimize = optimize
         self._execution_mode = execution_mode
+        self._fused = _check_fused(fused)
+        self._parallel_workers = _check_parallel_workers(parallel_workers)
+        _PARALLEL_WORKERS_GAUGE.set(self._parallel_workers)
 
     @property
     def execution_mode(self) -> str:
         return self._execution_mode
+
+    @property
+    def fused(self) -> bool:
+        return self._fused
+
+    @property
+    def parallel_workers(self) -> int:
+        return self._parallel_workers
 
     def set_execution_mode(self, mode: str) -> None:
         """Switch engines; cached plans for the old mode are dropped."""
@@ -123,6 +168,23 @@ class QueryPlanner:
         if mode == self._execution_mode:
             return
         self._execution_mode = mode
+        self.cache.clear()
+
+    def set_fused(self, fused: bool) -> None:
+        """Toggle fused expression codegen; drops cached plans."""
+        fused = _check_fused(fused)
+        if fused == self._fused:
+            return
+        self._fused = fused
+        self.cache.clear()
+
+    def set_parallel_workers(self, workers: int) -> None:
+        """Set the morsel worker count; drops cached plans."""
+        workers = _check_parallel_workers(workers)
+        if workers == self._parallel_workers:
+            return
+        self._parallel_workers = workers
+        _PARALLEL_WORKERS_GAUGE.set(workers)
         self.cache.clear()
 
     # ------------------------------------------------------------------
@@ -146,7 +208,11 @@ class QueryPlanner:
             span.set(cache="miss")
             logical = self.plan_logical(select)
             plan = build_physical(
-                logical, self.catalog, mode=self._execution_mode
+                logical,
+                self.catalog,
+                mode=self._execution_mode,
+                fused=self._fused,
+                parallel_workers=self._parallel_workers,
             )
             tables = referenced_tables(logical)
             self.cache.put(
@@ -173,6 +239,7 @@ class QueryPlanner:
             self.catalog,
             mode=self._execution_mode,
             instrument=instrumenter,
+            fused=self._fused,
         )
         return plan, instrumenter
 
@@ -194,7 +261,13 @@ class QueryPlanner:
     def execute(self, select: Select):
         plan = self.prepare(select)
         with current_tracer().span("execute", mode=plan.mode) as span:
-            result = plan.execute()
+            if plan.parallel_nodes:
+                with current_tracer().span(
+                    "parallel-execute", workers=self._parallel_workers
+                ):
+                    result = plan.execute()
+            else:
+                result = plan.execute()
             span.set(rows=len(result.rows))
         return result
 
@@ -203,10 +276,12 @@ class QueryPlanner:
         each operator's actual rows/batches and self-time next to the
         optimizer's estimates (classic EXPLAIN ANALYZE semantics)."""
         if not analyze:
+            plan = self.prepare(select)
             return render_plan(
-                self.prepare(select).logical,
+                plan.logical,
                 mode=self._execution_mode,
                 catalog=self.catalog,
+                parallel=plan.parallel_nodes,
             )
         plan, instrumenter = self.prepare_instrumented(select)
         plan.execute()

@@ -60,6 +60,7 @@ from repro.sqlengine.expressions import (
     Scope,
     compile_expr,
     compile_expr_batch,
+    fuse_batch_exprs,
     gather_columns,
     split_conjuncts,
 )
@@ -77,6 +78,11 @@ from repro.sqlengine.planner.logical import (
     LogicalScan,
     LogicalSort,
     LogicalTopN,
+)
+from repro.sqlengine.planner.parallel import (
+    MorselDispatcher,
+    ParallelChainOp,
+    ParallelProjectOp,
 )
 from repro.sqlengine.results import ResultSet
 from repro.sqlengine.types import SqlType, parse_date
@@ -101,6 +107,7 @@ _ROWS_SCANNED = _METRICS.counter("engine.rows_scanned")
 _ROWS_FILTERED = _METRICS.counter("engine.rows_filtered")
 _ROWS_JOINED = _METRICS.counter("engine.rows_joined")
 _BATCHES_PRODUCED = _METRICS.counter("engine.batches_produced")
+_FUSED_BATCHES = _METRICS.counter("engine.fused_batches")
 
 
 class PhysicalOperator:
@@ -626,11 +633,134 @@ def _apply_predicates(fns: list, cols: list, n: int) -> tuple:
     return cols, n
 
 
+def _apply_fused(fused_fn, cols: list, n: int) -> tuple:
+    """Apply one fused filter function (returns selected row indices)."""
+    selected = fused_fn(cols, n)
+    count = len(selected)
+    if count == n:
+        return cols, n
+    if not count:
+        return cols, 0
+    return gather_columns(cols, selected), count
+
+
+def _fusion_stages(predicates, fns, scope, class_of) -> list:
+    """Ordered filter stages: fused runs interleaved with closure runs.
+
+    Each stage is ``("fused", fn)`` — one generated function covering a
+    contiguous run of provably never-raising conjuncts — or
+    ``("closures", [fn, ...])`` for the conjuncts in between, which keep
+    their compiled closures.  Stages apply in predicate order with
+    compaction between them, so a conjunct still only ever sees rows
+    that survived everything before it: the row engine's short-circuit
+    and error surface are preserved exactly, while every fusible run —
+    wherever it sits in the chain — collapses into one loop.
+    """
+    stages: list = []
+    position = 0
+    total = len(predicates)
+    while position < total:
+        fused = fuse_batch_exprs(
+            predicates[position:], scope, class_of, mode="filter"
+        )
+        if fused is not None:
+            stages.append(("fused", fused.fn))
+            position += fused.consumed
+            continue
+        if stages and stages[-1][0] == "closures":
+            stages[-1][1].append(fns[position])
+        else:
+            stages.append(("closures", [fns[position]]))
+        position += 1
+    return stages
+
+
+def _apply_filter_stages(stages: list, cols: list, n: int) -> tuple:
+    """Run filter stages in order; ``(cols, n, fused_stage_ran)``."""
+    used_fused = False
+    for kind, payload in stages:
+        if n == 0:
+            break
+        if kind == "fused":
+            used_fused = True
+            cols, n = _apply_fused(payload, cols, n)
+        else:
+            cols, n = _apply_predicates(payload, cols, n)
+    return cols, n, used_fused
+
+
+class _TopNBound:
+    """A shared cell streaming BatchTopNOp's worst-kept leading key.
+
+    The TopN operator writes its current leading-key bound (already
+    ``sort_key``-decorated, wrapped in :class:`_ReversedKey` for
+    descending orders) whenever it tightens; upstream scans/filters
+    read it per batch and pre-drop rows that sort strictly past it —
+    rows the TopN check itself would have skipped.  ``None`` means "no
+    bound yet" (fewer than N candidates seen).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = None
+
+
+def _apply_topn_bound(cell, key_index: int, descending: bool, cols, n):
+    """Pre-drop rows whose leading sort key is strictly past the bound."""
+    bound = cell.value
+    if bound is None or n == 0:
+        return cols, n
+    column = cols[key_index]
+    if isinstance(column, EncodedColumn):
+        column = column.decode()
+    if descending:
+        selected = [
+            i
+            for i, value in enumerate(column)
+            if not bound < _ReversedKey(sort_key(value))
+        ]
+    else:
+        selected = [
+            i for i, value in enumerate(column) if not bound < sort_key(value)
+        ]
+    count = len(selected)
+    if count == n:
+        return cols, n
+    if not count:
+        return cols, 0
+    return gather_columns(cols, selected), count
+
+
+def _fusion_class_of(node: LogicalNode, catalog: Catalog):
+    """``(binding, column) -> value class`` for :func:`fuse_batch_exprs`.
+
+    Resolves through the scans under *node*; anything it cannot pin to
+    a base-table column (aggregate slots, unknown bindings) maps to
+    None, which makes the fuser refuse the expression.
+    """
+    tables = {
+        binding: catalog.table(name)
+        for binding, name in _scan_bindings(node).items()
+    }
+
+    def class_of(binding, column):
+        table = tables.get(binding)
+        if table is None or not table.has_column(column):
+            return None
+        return _VALUE_CLASS.get(table.column(column).sql_type)
+
+    return class_of
+
+
 class BatchScanOp(BatchOperator):
     """Slice the table's columnar storage into batches; filter and prune."""
 
-    def __init__(self, catalog: Catalog, node: LogicalScan) -> None:
+    def __init__(
+        self, catalog: Catalog, node: LogicalScan, fused: bool = False
+    ) -> None:
         self._table = catalog.table(node.table)
+        self.node = node
         full_scope = Scope(
             [(node.binding, name) for name in self._table.column_names()]
         )
@@ -638,6 +768,17 @@ class BatchScanOp(BatchOperator):
             compile_expr_batch(predicate, full_scope)
             for predicate in node.predicates
         ]
+        if fused and node.predicates:
+            self._filter_stages = _fusion_stages(
+                node.predicates,
+                self._predicate_fns,
+                full_scope,
+                _fusion_class_of(node, catalog),
+            )
+        elif node.predicates:
+            self._filter_stages = [("closures", self._predicate_fns)]
+        else:
+            self._filter_stages = []
         if node.columns is None:
             self._indexes = None
             self.scope = full_scope
@@ -646,10 +787,33 @@ class BatchScanOp(BatchOperator):
                 self._table.column_index(name) for name in node.columns
             ]
             self.scope = Scope([(node.binding, name) for name in node.columns])
+        # TopN bound pushdown (see _connect_topn_bound): a shared cell
+        # plus the leading sort key's index in this scan's output scope
+        self._bound_cell = None
+        self._bound_key = 0
+        self._bound_descending = False
+
+    def connect_bound(
+        self, cell: _TopNBound, key_index: int, descending: bool
+    ) -> None:
+        self._bound_cell = cell
+        self._bound_key = key_index
+        self._bound_descending = descending
+
+    def row_count(self) -> int:
+        """Current table cardinality (morsel partitioning reads this)."""
+        return len(self._table.rows)
 
     def batches(self) -> Iterator[tuple]:
+        return self.batches_range(0, len(self._table.rows))
+
+    def batches_range(self, first: int, last: int) -> Iterator[tuple]:
+        """Batches for the row range ``[first, last)``.
+
+        *first* must be a multiple of :data:`BATCH_SIZE` so a morsel's
+        batch boundaries coincide with the serial scan's.
+        """
         table = self._table
-        total = len(table.rows)
         width = len(table.columns)
         # dictionary-encoded TEXT columns are sliced as code batches
         # (EncodedColumn) so downstream operators can work on integer
@@ -662,18 +826,20 @@ class BatchScanOp(BatchOperator):
             else:
                 sources.append((None, table.column_data(i)))
         indexes = self._indexes
-        predicate_fns = self._predicate_fns
-        if not predicate_fns and indexes is not None:
+        stages = self._filter_stages
+        if not stages and indexes is not None:
             # nothing evaluates against the full layout: slice only the
             # columns the scan actually emits
             sources = [sources[i] for i in indexes]
             indexes = None
+        bound_cell = self._bound_cell
         scanned = 0
         dropped = 0
         batches = 0
+        fused_batches = 0
         try:
-            for start in range(0, total, BATCH_SIZE):
-                stop = min(start + BATCH_SIZE, total)
+            for start in range(first, last, BATCH_SIZE):
+                stop = min(start + BATCH_SIZE, last)
                 cols = [
                     EncodedColumn(dictionary, data[start:stop])
                     if dictionary is not None
@@ -682,37 +848,101 @@ class BatchScanOp(BatchOperator):
                 ]
                 n = stop - start
                 scanned += n
-                if predicate_fns:
-                    cols, n = _apply_predicates(predicate_fns, cols, n)
-                    dropped += stop - start - n
-                    if n == 0:
-                        continue
+                if stages:
+                    cols, n, used_fused = _apply_filter_stages(
+                        stages, cols, n
+                    )
+                    if used_fused:
+                        fused_batches += 1
+                dropped += stop - start - n
+                if n == 0:
+                    continue
                 if indexes is not None:
                     cols = [cols[i] for i in indexes]
+                if bound_cell is not None:
+                    before = n
+                    cols, n = _apply_topn_bound(
+                        bound_cell,
+                        self._bound_key,
+                        self._bound_descending,
+                        cols,
+                        n,
+                    )
+                    dropped += before - n
+                    if n == 0:
+                        continue
                 batches += 1
                 yield cols, n
         finally:
             if scanned and _METRICS.enabled:
                 _ROWS_SCANNED.inc(scanned)
                 _BATCHES_PRODUCED.inc(batches)
+                if fused_batches:
+                    _FUSED_BATCHES.inc(fused_batches)
                 if dropped:
                     _ROWS_FILTERED.inc(dropped)
 
 
 class BatchFilterOp(BatchOperator):
-    def __init__(self, child: BatchOperator, predicates) -> None:
+    def __init__(
+        self,
+        child: BatchOperator,
+        predicates,
+        node: "LogicalNode | None" = None,
+        catalog: "Catalog | None" = None,
+        fused: bool = False,
+    ) -> None:
         self._child = child
         self.scope = child.scope
+        self._predicates = list(predicates)
         self._fns = [compile_expr_batch(p, self.scope) for p in predicates]
+        if fused and node is not None and catalog is not None:
+            self._filter_stages = _fusion_stages(
+                self._predicates,
+                self._fns,
+                self.scope,
+                _fusion_class_of(node, catalog),
+            )
+        else:
+            self._filter_stages = [("closures", self._fns)]
+        self._bound_cell = None
+        self._bound_key = 0
+        self._bound_descending = False
+
+    def connect_bound(
+        self, cell: _TopNBound, key_index: int, descending: bool
+    ) -> None:
+        self._bound_cell = cell
+        self._bound_key = key_index
+        self._bound_descending = descending
 
     def batches(self) -> Iterator[tuple]:
-        fns = self._fns
+        return self.process(self._child.batches())
+
+    def process(self, stream) -> Iterator[tuple]:
+        """Filter one batch stream (the morsel-pipeline entry point)."""
+        stages = self._filter_stages
+        bound_cell = self._bound_cell
         dropped = 0
         batches = 0
+        fused_batches = 0
         try:
-            for cols, n in self._child.batches():
+            for cols, n in stream:
                 before = n
-                cols, n = _apply_predicates(fns, cols, n)
+                if n:
+                    cols, n, used_fused = _apply_filter_stages(
+                        stages, cols, n
+                    )
+                    if used_fused:
+                        fused_batches += 1
+                if n and bound_cell is not None:
+                    cols, n = _apply_topn_bound(
+                        bound_cell,
+                        self._bound_key,
+                        self._bound_descending,
+                        cols,
+                        n,
+                    )
                 dropped += before - n
                 if n:
                     batches += 1
@@ -721,6 +951,8 @@ class BatchFilterOp(BatchOperator):
             if _METRICS.enabled and (dropped or batches):
                 _ROWS_FILTERED.inc(dropped)
                 _BATCHES_PRODUCED.inc(batches)
+                if fused_batches:
+                    _FUSED_BATCHES.inc(fused_batches)
 
 
 def _build_join_hash_table(cols, n: int, key_indexes) -> dict:
@@ -869,6 +1101,53 @@ class BatchHashJoinOp(BatchOperator):
             else:
                 self._left_indexes.append(left.scope.resolve(predicate.right))
                 self._right_indexes.append(right.scope.resolve(predicate.left))
+        #: morsel exchange over the build side (None = serial build)
+        self._build_exchange = None
+
+    def set_parallel_build(self, exchange) -> None:
+        """Partition the build side's materialization + hashing."""
+        self._build_exchange = exchange
+
+    def _build_morsel(self, stream) -> tuple:
+        """Worker task: materialize one morsel and hash it locally."""
+        cols: list = [[] for __ in range(len(self._right.scope))]
+        total = 0
+        for batch_cols, n in stream:
+            total += n
+            for accumulated, column in zip(cols, batch_cols):
+                accumulated.extend(column)
+        return (
+            cols,
+            total,
+            _build_join_hash_table(cols, total, self._right_indexes),
+        )
+
+    def _parallel_build(self) -> tuple:
+        """Merge per-morsel partitions, in morsel order, with offsets.
+
+        Bucket lists stay in build-side row order (partitions cover
+        disjoint, increasing row ranges), so probe output is identical
+        to the serial build; dict *key insertion* order differs, but
+        probing never iterates the table.
+        """
+        cols: list = [[] for __ in range(len(self._right.scope))]
+        table: dict = {}
+        offset = 0
+        for part_cols, part_n, part_table in self._build_exchange.run_tasks(
+            self._build_morsel
+        ):
+            for accumulated, column in zip(cols, part_cols):
+                accumulated.extend(column)
+            for key, bucket in part_table.items():
+                existing = table.get(key)
+                if existing is None:
+                    table[key] = (
+                        [offset + i for i in bucket] if offset else bucket
+                    )
+                else:
+                    existing.extend(offset + i for i in bucket)
+            offset += part_n
+        return cols, offset, table
 
     def batches(self) -> Iterator[tuple]:
         joined = 0
@@ -880,10 +1159,13 @@ class BatchHashJoinOp(BatchOperator):
                     batches += 1
                     yield out, n
                 return
-            right_cols, right_n = _materialize_batches(self._right)
-            table = _build_join_hash_table(
-                right_cols, right_n, self._right_indexes
-            )
+            if self._build_exchange is not None:
+                right_cols, right_n, table = self._parallel_build()
+            else:
+                right_cols, right_n = _materialize_batches(self._right)
+                table = _build_join_hash_table(
+                    right_cols, right_n, self._right_indexes
+                )
             probe = _HashProbe(table, self._left_indexes)
             for cols, n in self._left.batches():
                 left_sel, right_sel = probe.probe(cols, n)
@@ -1322,15 +1604,63 @@ class BatchAggregateOp(BatchOperator):
             if node.having is not None
             else None
         )
+        #: morsel exchange over the input chain (None = serial consume)
+        self._exchange = None
+
+    def set_parallel(self, exchange) -> None:
+        """Fold each morsel into a partial state inside the workers."""
+        self._exchange = exchange
 
     def batches(self) -> Iterator[tuple]:
+        exchange = self._exchange
+        if exchange is not None:
+            state = None
+            for partial in exchange.run_tasks(self._consume_morsel):
+                if state is None:
+                    state = partial
+                else:
+                    self._merge_state(state, partial)
+            if state is None:  # pragma: no cover - exchange always tasks
+                state = ({}, [])
+        else:
+            state = ({}, [])
+            self._consume(state, self._child.batches())
+        return self._finish(state)
+
+    def _consume_morsel(self, stream) -> tuple:
+        state: tuple = ({}, [])
+        self._consume(state, stream)
+        return state
+
+    def _merge_state(self, state: tuple, other: tuple) -> None:
+        """Absorb a later partition's partial state, preserving order.
+
+        Partitions cover increasing input ranges and are merged in
+        partition order, so first-occurrence group order and each
+        group's representative row land exactly where serial
+        consumption would have put them; accumulator ``merge`` is
+        order-independent by construction (exact sums, commutative
+        counts, first-wins min/max ties).
+        """
+        groups, group_order = state
+        other_groups, __ = other
+        for key in other[1]:
+            incoming = other_groups[key]
+            mine = groups.get(key)
+            if mine is None:
+                groups[key] = incoming
+                group_order.append(key)
+            else:
+                for accumulator, partial in zip(mine[1], incoming[1]):
+                    accumulator.merge(partial)
+
+    def _consume(self, state: tuple, stream) -> None:
+        groups, group_order = state
         node = self._node
-        groups: dict = {}
-        group_order: list = []
         calls = node.agg_calls
         arg_fns = self._arg_fns
         group_fns = self._group_fns
-        for cols, n in self._child.batches():
+        for cols, n in stream:
             key_cols = [fn(cols, n) for fn in group_fns]
             arg_cols = [
                 None if fn is None else fn(cols, n) for fn in arg_fns
@@ -1405,6 +1735,10 @@ class BatchAggregateOp(BatchOperator):
                     else:
                         accumulator.add_many([arg_col[i] for i in indices])
 
+    def _finish(self, state: tuple) -> Iterator[tuple]:
+        groups, group_order = state
+        node = self._node
+        calls = node.agg_calls
         # aggregate query over empty input and no GROUP BY -> one empty group
         if not groups and not node.group_by:
             accumulators = [
@@ -1447,22 +1781,61 @@ class BatchProjectOp:
         child: BatchOperator,
         node: LogicalProject,
         agg_slots: "dict | None",
+        catalog: "Catalog | None" = None,
+        fused: bool = False,
     ) -> None:
         self._child = child
         self.scope = child.scope
         self.agg_slots = agg_slots or {}
         self.columns, targets = _project_targets(node, child.scope)
+        self.targets = targets
         self._fns: list = [
             _make_batch_picker(target)
             if isinstance(target, int)
             else compile_expr_batch(target, child.scope, self.agg_slots)
             for target in targets
         ]
+        # fused value codegen: every provably-safe compound target is
+        # computed by one generated function per batch; bare pickers and
+        # unfusible expressions keep their closures.  Fused targets
+        # never raise, so lifting them ahead of the remaining closures
+        # is unobservable.
+        self._fused = None
+        if fused and catalog is not None:
+            self._fused = fuse_batch_exprs(
+                targets,
+                child.scope,
+                _fusion_class_of(node, catalog),
+                mode="value",
+            )
 
     def pres_batches(self) -> Iterator[tuple]:
+        return self.process(self._child.batches())
+
+    def process(self, stream) -> Iterator[tuple]:
+        """Project one batch stream (the morsel-pipeline entry point)."""
         fns = self._fns
-        for cols, n in self._child.batches():
-            yield [fn(cols, n) for fn in fns], cols, n
+        fused = self._fused
+        if fused is None:
+            for cols, n in stream:
+                yield [fn(cols, n) for fn in fns], cols, n
+            return
+        fused_fn = fused.fn
+        positions = fused.indexes
+        fused_batches = 0
+        try:
+            for cols, n in stream:
+                out: list = [None] * len(fns)
+                for position, column in zip(positions, fused_fn(cols, n)):
+                    out[position] = column
+                for i, fn in enumerate(fns):
+                    if out[i] is None:
+                        out[i] = fn(cols, n)
+                fused_batches += 1
+                yield out, cols, n
+        finally:
+            if fused_batches and _METRICS.enabled:
+                _FUSED_BATCHES.inc(fused_batches)
 
 
 class BatchDistinctOp:
@@ -1599,11 +1972,20 @@ class BatchTopNOp:
             else:
                 fn = compile_expr_batch(expr, self.scope, self.agg_slots)
                 self._key_specs.append((None, fn, descending))
+        #: bound-pushdown cell shared with upstream scan/filter ops
+        #: (connected by _connect_topn_bound when provably safe)
+        self._bound_cell = None
+
+    def publish_bound(self, cell: _TopNBound) -> None:
+        self._bound_cell = cell
 
     def pres_batches(self) -> Iterator[tuple]:
         limit = self._limit
         if limit <= 0:
             return
+        cell = self._bound_cell
+        if cell is not None:
+            cell.value = None  # plans re-execute; reset before pulling
         key_specs = self._key_specs
         prune_at = max(limit * 4, 64)
         single = len(key_specs) == 1
@@ -1677,6 +2059,8 @@ class BatchTopNOp:
                     if len(entries) == limit:
                         bound = entries[-1][0][:-1]
                         first_bound = bound[0]
+                        if cell is not None:
+                            cell.value = first_bound
         if not entries:
             return
         entries = heapq.nsmallest(limit, entries)
@@ -1705,12 +2089,20 @@ class PreparedPlan:
     """A compiled, re-executable plan (what the plan cache stores)."""
 
     def __init__(
-        self, root, logical: LogicalNode, columns: list, mode: str = "row"
+        self,
+        root,
+        logical: LogicalNode,
+        columns: list,
+        mode: str = "row",
+        parallel_nodes: "dict | None" = None,
     ) -> None:
         self._root = root
         self.logical = logical
         self.columns = columns
         self.mode = mode
+        #: ``id(logical scan node) -> worker count`` for every scan that
+        #: executes under a morsel exchange (EXPLAIN's ``[parallel n=K]``)
+        self.parallel_nodes = parallel_nodes or {}
 
     def execute(self) -> ResultSet:
         if self.mode == "batch":
@@ -1733,8 +2125,43 @@ def _no_instrument(operator, node):
     return operator
 
 
+class _BuildContext:
+    """Batch-builder state: knobs, instrumentation, parallel bookkeeping."""
+
+    __slots__ = (
+        "catalog",
+        "instrument",
+        "instrumented",
+        "fused",
+        "workers",
+        "dispatcher",
+        "parallel_nodes",
+    )
+
+    def __init__(
+        self, catalog: Catalog, instrument, fused: bool, workers: int
+    ) -> None:
+        self.catalog = catalog
+        self.instrumented = instrument is not None
+        self.instrument = instrument or _no_instrument
+        self.fused = fused
+        # EXPLAIN ANALYZE wraps every operator in timing shims, which
+        # both breaks chain detection and wants serial per-operator
+        # numbers — instrumented plans always run serial and unpushed
+        self.workers = 1 if self.instrumented else max(1, workers)
+        self.dispatcher = (
+            MorselDispatcher(self.workers) if self.workers > 1 else None
+        )
+        self.parallel_nodes: dict = {}
+
+
 def build_physical(
-    root: LogicalNode, catalog: Catalog, mode: str = "row", instrument=None
+    root: LogicalNode,
+    catalog: Catalog,
+    mode: str = "row",
+    instrument=None,
+    fused: bool = True,
+    parallel_workers: int = 1,
 ) -> PreparedPlan:
     """Compile a logical plan into a :class:`PreparedPlan` for *mode*.
 
@@ -1744,19 +2171,31 @@ def build_physical(
     operator's place in the tree — EXPLAIN ANALYZE passes an
     :class:`~repro.sqlengine.planner.analyze.Instrumenter` here to wrap
     each operator in a counting/timing shim.  Instrumented plans must
-    not be cached.
+    not be cached, and always execute serial/unfused-pushdown so the
+    per-operator numbers describe the plain pipeline.
+
+    *fused* (batch mode) compiles provably-safe filter/project
+    expressions into generated per-batch functions; *parallel_workers*
+    > 1 (batch mode) runs scan-rooted pipelines morsel-parallel.  Both
+    layers are locked to byte-identical results and errors, so they are
+    pure speed knobs.
     """
     if mode not in EXECUTION_MODES:
         raise SqlExecutionError(
             f"unknown execution mode {mode!r} (choose from "
             f"{', '.join(EXECUTION_MODES)})"
         )
-    if instrument is None:
-        instrument = _no_instrument
     if mode == "batch":
-        operator = _build_presentation_batch(root, catalog, instrument)
-    else:
-        operator = _build_presentation(root, catalog, instrument)
+        ctx = _BuildContext(catalog, instrument, fused, parallel_workers)
+        operator = _build_presentation_batch(root, ctx)
+        return PreparedPlan(
+            root=operator,
+            logical=root,
+            columns=list(operator.columns),
+            mode=mode,
+            parallel_nodes=ctx.parallel_nodes,
+        )
+    operator = _build_presentation(root, catalog, instrument or _no_instrument)
     return PreparedPlan(
         root=operator, logical=root, columns=list(operator.columns), mode=mode
     )
@@ -1808,49 +2247,187 @@ def _build_relational(node: LogicalNode, catalog: Catalog, instrument):
     )
 
 
-def _build_presentation_batch(node: LogicalNode, catalog: Catalog, instrument):
+def _chain_parts(operator) -> "tuple | None":
+    """``(scan, stages)`` when *operator* is a morsel-splittable chain.
+
+    A chain is a bare :class:`BatchScanOp` leaf under zero or more
+    :class:`BatchFilterOp` stages — the shapes whose batch streams can
+    be partitioned by scan row range with byte-identical output.
+    """
+    stages: list = []
+    current = operator
+    while isinstance(current, BatchFilterOp):
+        stages.append(current)
+        current = current._child
+    if isinstance(current, BatchScanOp):
+        stages.reverse()
+        return current, stages
+    return None
+
+
+def _make_exchange(operator, ctx: _BuildContext) -> "ParallelChainOp | None":
+    """A morsel exchange over *operator*, or None if not parallelizable."""
+    if ctx.dispatcher is None:
+        return None
+    parts = _chain_parts(operator)
+    if parts is None:
+        return None
+    scan, stages = parts
+    ctx.parallel_nodes[id(scan.node)] = ctx.workers
+    return ParallelChainOp(ctx.dispatcher, scan, stages)
+
+
+def _maybe_exchange(operator, ctx: _BuildContext):
+    """*operator* behind a morsel exchange when possible, else itself."""
+    exchange = _make_exchange(operator, ctx)
+    return operator if exchange is None else exchange
+
+
+def _parallel_agg_eligible(node: LogicalAggregate) -> bool:
+    """Can this aggregate merge per-partition partial states?
+
+    DISTINCT sum/avg accumulators keep a seen-set whose merge is not
+    implemented (the exact-sum state already folded the values), so
+    those plans keep serial consumption; everything else merges
+    deterministically.
+    """
+    return all(
+        not (call.distinct and call.name in ("sum", "avg"))
+        for call in node.agg_calls
+    )
+
+
+def _connect_topn_bound(
+    operator: BatchTopNOp, child, node: LogicalTopN, ctx: _BuildContext
+) -> None:
+    """Wire TopN's worst-kept-key bound into the upstream scan/filters.
+
+    Only when provably unobservable: the chain below must be
+    project → filter* → scan over one table, the leading sort key a
+    bare column of that chain's scope, and every expression a
+    pre-dropped row would have skipped (filter predicates, project
+    targets, secondary sort keys) provably error-free, so dropping rows
+    the TopN bound check would discard anyway cannot change results or
+    errors.
+    """
+    project = child
+    if isinstance(project, ParallelProjectOp):
+        project = project._project
+    if not isinstance(project, BatchProjectOp):
+        return
+    parts = _chain_parts(project._child)
+    if parts is None:
+        return
+    scan, filters = parts
+    pre_scope = project.scope
+    pair_class = _fusion_class_of(node, ctx.catalog)
+
+    def ref_class(ref):
+        index = pre_scope.try_resolve(ref)
+        if index is None:
+            return None
+        return pair_class(*pre_scope.pairs[index])
+
+    specs = _sort_targets(node, project.columns)
+    position, expr, descending = specs[0]
+    if position is not None:
+        target = project.targets[position]
+        if isinstance(target, int):
+            key_index = target
+        elif isinstance(target, ColumnRef):
+            key_index = pre_scope.try_resolve(target)
+        else:
+            return
+    elif isinstance(expr, ColumnRef):
+        key_index = pre_scope.try_resolve(expr)
+    else:
+        return
+    if key_index is None:
+        return
+    for __, secondary, __d in specs[1:]:
+        if secondary is not None and not _value_class(secondary, ref_class)[0]:
+            return
+    for target in project.targets:
+        if not isinstance(target, int) and not _value_class(
+            target, ref_class
+        )[0]:
+            return
+    for stage in filters:
+        for predicate in stage._predicates:
+            if not _value_class(predicate, ref_class)[0]:
+                return
+    cell = _TopNBound()
+    operator.publish_bound(cell)
+    scan.connect_bound(cell, key_index, descending)
+    for stage in filters:
+        stage.connect_bound(cell, key_index, descending)
+
+
+def _build_presentation_batch(node: LogicalNode, ctx: _BuildContext):
     """Build the batch presentation tree (project and above)."""
+    instrument = ctx.instrument
     if isinstance(node, LogicalLimit):
-        child = _build_presentation_batch(node.child, catalog, instrument)
+        child = _build_presentation_batch(node.child, ctx)
         return instrument(BatchLimitOp(child, node.limit), node)
     if isinstance(node, LogicalTopN):
-        child = _build_presentation_batch(node.child, catalog, instrument)
-        return instrument(BatchTopNOp(child, node), node)
+        child = _build_presentation_batch(node.child, ctx)
+        operator = BatchTopNOp(child, node)
+        if not ctx.instrumented:
+            _connect_topn_bound(operator, child, node, ctx)
+        return instrument(operator, node)
     if isinstance(node, LogicalSort):
-        child = _build_presentation_batch(node.child, catalog, instrument)
+        child = _build_presentation_batch(node.child, ctx)
         return instrument(BatchSortOp(child, node), node)
     if isinstance(node, LogicalDistinct):
-        child = _build_presentation_batch(node.child, catalog, instrument)
+        child = _build_presentation_batch(node.child, ctx)
         return instrument(BatchDistinctOp(child), node)
     if isinstance(node, LogicalProject):
-        child, agg_slots = _build_relational_batch(
-            node.child, catalog, instrument
+        child, agg_slots = _build_relational_batch(node.child, ctx)
+        operator = BatchProjectOp(
+            child, node, agg_slots, catalog=ctx.catalog, fused=ctx.fused
         )
-        return instrument(BatchProjectOp(child, node, agg_slots), node)
+        exchange = _make_exchange(child, ctx)
+        if exchange is not None:
+            operator = ParallelProjectOp(exchange, operator)
+        return instrument(operator, node)
     raise SqlExecutionError(
         f"malformed plan: unexpected presentation node {type(node).__name__}"
     )
 
 
-def _build_relational_batch(node: LogicalNode, catalog: Catalog, instrument):
+def _build_relational_batch(node: LogicalNode, ctx: _BuildContext):
     """Build a batch-yielding operator; returns ``(operator, agg_slots)``."""
+    catalog = ctx.catalog
+    instrument = ctx.instrument
     if isinstance(node, LogicalScan):
-        return instrument(BatchScanOp(catalog, node), node), None
+        return instrument(BatchScanOp(catalog, node, fused=ctx.fused), node), None
     if isinstance(node, LogicalFilter):
-        child, agg_slots = _build_relational_batch(
-            node.child, catalog, instrument
+        child, agg_slots = _build_relational_batch(node.child, ctx)
+        operator = BatchFilterOp(
+            child, node.predicates, node=node, catalog=catalog, fused=ctx.fused
         )
-        return (
-            instrument(BatchFilterOp(child, node.predicates), node),
-            agg_slots,
-        )
+        return instrument(operator, node), agg_slots
     if isinstance(node, LogicalJoin):
-        left, __ = _build_relational_batch(node.left, catalog, instrument)
-        right, __ = _build_relational_batch(node.right, catalog, instrument)
-        return instrument(BatchHashJoinOp(left, right, node.equi), node), None
+        left, __ = _build_relational_batch(node.left, ctx)
+        right, __ = _build_relational_batch(node.right, ctx)
+        left = _maybe_exchange(left, ctx)
+        if node.equi:
+            # partitioned build: each morsel of the build side hashes
+            # inside its worker; the join merges partitions in order
+            operator = BatchHashJoinOp(left, right, node.equi)
+            build_exchange = _make_exchange(right, ctx)
+            if build_exchange is not None:
+                operator.set_parallel_build(build_exchange)
+        else:
+            operator = BatchHashJoinOp(
+                left, _maybe_exchange(right, ctx), node.equi
+            )
+        return instrument(operator, node), None
     if isinstance(node, LogicalLeftJoin):
-        left, __ = _build_relational_batch(node.left, catalog, instrument)
-        right, __ = _build_relational_batch(node.right, catalog, instrument)
+        left, __ = _build_relational_batch(node.left, ctx)
+        right, __ = _build_relational_batch(node.right, ctx)
+        left = _maybe_exchange(left, ctx)
+        right = _maybe_exchange(right, ctx)
         operator = BatchLeftJoinOp(left, right, node.condition)
         if HASH_LEFT_JOIN_ENABLED:
             analysis = _analyze_left_join(
@@ -1867,8 +2444,15 @@ def _build_relational_batch(node: LogicalNode, catalog: Catalog, instrument):
                 )
         return instrument(operator, node), None
     if isinstance(node, LogicalAggregate):
-        child, __ = _build_relational_batch(node.child, catalog, instrument)
+        child, __ = _build_relational_batch(node.child, ctx)
         operator = BatchAggregateOp(child, node)
+        exchange = _make_exchange(child, ctx)
+        if exchange is not None:
+            if _parallel_agg_eligible(node):
+                operator.set_parallel(exchange)
+            else:
+                # DISTINCT sum/avg: parallelize the scan, consume serial
+                operator._child = exchange
         return instrument(operator, node), operator.agg_slots
     raise SqlExecutionError(
         f"malformed plan: unexpected relational node {type(node).__name__}"

@@ -6,6 +6,13 @@ and ``execution_mode="batch"`` and must produce *byte-identical*
 ``ResultSet``s — same columns, same rows, same order.  Includes the
 planner fixture corpus plus edge cases: empty tables, all-NULL
 columns, LEFT JOIN padding, DISTINCT + ORDER BY, and error parity.
+
+The batch side is additionally swept across the full engine-knob
+matrix — fused expression codegen on/off × array-backed column
+storage on/off × morsel workers 1/4 (with batches shrunk so the
+fixtures genuinely span multiple morsels) — and every combination
+must match row mode byte-for-byte, including which exception a
+failing query raises.
 """
 
 import pytest
@@ -486,6 +493,124 @@ class TestTopNParity:
         assert naive.execute(select).rows == encoded_db.execute(
             "SELECT id FROM items ORDER BY status, id LIMIT 4"
         ).rows
+
+
+#: every combination of the PR-7 engine knobs: fused expression
+#: codegen × array-backed column storage × morsel worker count
+MODE_MATRIX = [
+    pytest.param(fused, array, workers,
+                 id=f"fused={int(fused)}-array={int(array)}-w={workers}")
+    for fused in (True, False)
+    for array in (True, False)
+    for workers in (1, 4)
+]
+
+
+@pytest.fixture(scope="module")
+def small_morsels():
+    """Shrink batches/morsels so 200-row fixtures span many morsels."""
+    import repro.sqlengine.planner.parallel as parallel
+    import repro.sqlengine.planner.physical as physical
+
+    saved = (physical.BATCH_SIZE, parallel.MORSEL_BATCHES)
+    physical.BATCH_SIZE = 16
+    parallel.MORSEL_BATCHES = 2
+    yield
+    physical.BATCH_SIZE, parallel.MORSEL_BATCHES = saved
+
+
+def _matrix(populate, small_morsels) -> tuple:
+    """(row baseline, {(fused, array, workers): batch db}) over one schema."""
+    baseline = Database(execution_mode="row")
+    populate(baseline)
+    combos = {}
+    for fused in (True, False):
+        for array in (True, False):
+            for workers in (1, 4):
+                db = Database(
+                    fused=fused, array_store=array, parallel_workers=workers
+                )
+                populate(db)
+                combos[(fused, array, workers)] = db
+    return baseline, combos
+
+
+@pytest.fixture(scope="module")
+def rich_matrix(small_morsels):
+    return _matrix(_populate_rich_schema, small_morsels)
+
+
+@pytest.fixture(scope="module")
+def string_matrix(small_morsels):
+    return _matrix(_populate_string_schema, small_morsels)
+
+
+class TestModeMatrixParity:
+    """Every knob combination must be byte-identical to row mode.
+
+    {fused on/off} × {array store on/off} × {workers 1/4}, across the
+    rich corpus, the string-heavy (dictionary-encoded) corpus, and the
+    error corpus — results, columns, and exceptions all identical.
+    """
+
+    @staticmethod
+    def _assert_all(matrix, sql):
+        baseline, combos = matrix
+        expected = baseline.execute(sql)
+        for combo, db in combos.items():
+            got = db.execute(sql)
+            assert got.columns == expected.columns, (sql, combo)
+            assert got.rows == expected.rows, (sql, combo)
+
+    @pytest.mark.parametrize("sql", RICH_CORPUS)
+    def test_rich_corpus(self, rich_matrix, sql):
+        self._assert_all(rich_matrix, sql)
+
+    @pytest.mark.parametrize("sql", STRING_CORPUS)
+    def test_string_corpus(self, string_matrix, sql):
+        self._assert_all(string_matrix, sql)
+
+    @pytest.mark.parametrize("sql", TestErrorParity.ERROR_QUERIES)
+    def test_error_parity(self, rich_matrix, sql):
+        baseline, combos = rich_matrix
+        with pytest.raises(SqlError) as expected:
+            baseline.execute(sql)
+        for combo, db in combos.items():
+            with pytest.raises(SqlError) as got:
+                db.execute(sql)
+            assert type(got.value) is type(expected.value), (sql, combo)
+            assert str(got.value) == str(expected.value), (sql, combo)
+
+    def test_parallel_plans_actually_split_morsels(self, rich_matrix):
+        # the workers=4 fixture must really dispatch multiple morsels,
+        # otherwise the matrix silently degrades to serial coverage
+        __, combos = rich_matrix
+        db = combos[(True, False, 4)]
+        before = db.metrics().get("engine.morsels_dispatched", {}).get(
+            "value", 0
+        )
+        db.execute("SELECT count(*), sum(val) FROM t WHERE id >= 0")
+        after = db.metrics()["engine.morsels_dispatched"]["value"]
+        assert after > before
+
+    def test_error_row_identity_across_morsel_boundaries(self, small_morsels):
+        # the failing row sits in a late morsel; every combo must
+        # surface the division error even though earlier morsels
+        # complete and later ones are cancelled
+        def populate(db):
+            db.execute("CREATE TABLE m (id INT, d INT)")
+            db.insert_rows(
+                "m", [(i, 1) for i in range(150)] + [(150, 0), (151, 1)]
+            )
+
+        baseline, combos = _matrix(populate, small_morsels)
+        sql = "SELECT 10 / d FROM m"
+        with pytest.raises(SqlError) as expected:
+            baseline.execute(sql)
+        for combo, db in combos.items():
+            with pytest.raises(SqlError) as got:
+                db.execute(sql)
+            assert str(got.value) == str(expected.value), combo
 
 
 class TestModeSwitching:
