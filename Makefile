@@ -9,6 +9,9 @@
 #                     hash LEFT JOIN >=2x + TopN beats Sort+Limit, emits
 #                     BENCH_dict.json; search serving + warm-start;
 #                     DML plan-cache invalidation, emits BENCH_dml.json;
+#                     durability: checkpoint cold-start >=5x over
+#                     re-ingest + byte-identical recovery, emits
+#                     BENCH_durability.json;
 #                     observability off-switch overhead <5%, emits
 #                     BENCH_obs.json; fused/parallel scale bench at a
 #                     reduced 50k rows, emits BENCH_scale.json).
@@ -43,6 +46,7 @@ bench-smoke:
 		benchmarks/bench_dictionary_engine.py \
 		benchmarks/bench_search_serving.py \
 		benchmarks/bench_dml_invalidation.py \
+		benchmarks/bench_durability.py \
 		benchmarks/bench_observability_overhead.py \
 		benchmarks/bench_scale.py -q -s
 

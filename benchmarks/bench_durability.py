@@ -1,0 +1,174 @@
+"""Durability costs: checkpoint warm-start speedup and WAL overhead.
+
+The paper's warehouse amortizes long builds across many sessions; the
+durable engine does the same for *data*: a columnar checkpoint lets a
+restart skip re-ingesting every row.  This bench locks that trade at
+100k rows:
+
+* **cold-start**: opening a checkpointed data directory must be at
+  least 5x faster than re-ingesting the same rows through the insert
+  path (relaxable on noisy runners via ``BENCH_SPEEDUP_MIN``, like
+  every timing floor in this suite);
+* **byte-identical recovery** (hard assert, never relaxed): the
+  recovered catalog's fingerprint, rows and columnar stores equal the
+  original's exactly — both straight from the WAL and from a
+  checkpoint + WAL tail;
+* **WAL overhead** is measured and recorded (per-statement cost with
+  fsync on, fsync off, and no durability at all) so regressions in the
+  logging hot path show up in ``BENCH_durability.json`` history.
+
+Run with::
+
+    pytest benchmarks/bench_durability.py -q -s
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from bench_utils import speedup_floor
+
+from repro.sqlengine.database import Database
+
+ROWS = 100_000
+CHUNK = 10_000
+
+#: single-row INSERT statements for the WAL-overhead measurement
+#: (kept modest: each durable statement pays a real fsync)
+OVERHEAD_STATEMENTS = 200
+
+COLD_START_SPEEDUP = 5.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+
+def generate_rows(count: int) -> list:
+    return [
+        (i, i % 97, float(i % 1009) * 0.5, f"label {i % 50}")
+        for i in range(count)
+    ]
+
+
+def ingest(db: Database, rows) -> None:
+    db.create_table(
+        "facts",
+        [("id", "INT"), ("grp", "INT"), ("amount", "REAL"), ("label", "TEXT")],
+        primary_key=["id"],
+    )
+    for start in range(0, len(rows), CHUNK):
+        db.insert_rows("facts", rows[start:start + CHUNK])
+
+
+def catalog_state(db: Database) -> tuple:
+    table = db.table("facts")
+    return (
+        db.catalog.fingerprint(),
+        list(table.rows),
+        [list(table.column_data(i)) for i in range(len(table.columns))],
+    )
+
+
+def measure_statement_cost(db: Database) -> float:
+    started = time.perf_counter()
+    for i in range(OVERHEAD_STATEMENTS):
+        db.execute(
+            f"INSERT INTO facts VALUES ({ROWS + i}, 0, 1.0, 'overhead')"
+        )
+    return (time.perf_counter() - started) / OVERHEAD_STATEMENTS
+
+
+def test_durability_benchmarks():
+    rows = generate_rows(ROWS)
+    results = {"rows": ROWS}
+
+    with tempfile.TemporaryDirectory(prefix="benchdur") as data_dir:
+        # ---- ingest durably (WAL records everything) ------------------
+        db = Database(data_dir=data_dir)
+        started = time.perf_counter()
+        ingest(db, rows)
+        results["durable_ingest_seconds"] = time.perf_counter() - started
+        original = catalog_state(db)
+        results["wal_bytes"] = os.path.getsize(
+            os.path.join(data_dir, "wal.0.log")
+        )
+        db.close()
+
+        # ---- recovery from the raw WAL is byte-identical --------------
+        replayed = Database(data_dir=data_dir)
+        assert replayed.recovery_info["checkpoint"] is False
+        assert catalog_state(replayed) == original  # hard, never relaxed
+
+        # ---- checkpoint, then time the warm cold-start ----------------
+        summary = replayed.checkpoint()
+        results["checkpoint_bytes"] = summary["checkpoint_bytes"]
+        replayed.close()
+
+        best_recover = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            recovered = Database(data_dir=data_dir)
+            best_recover = min(best_recover, time.perf_counter() - started)
+            assert recovered.recovery_info == {
+                "checkpoint": True,
+                "replayed": 0,
+                "generation": 1,
+            }
+            assert catalog_state(recovered) == original  # hard
+            recovered.close()
+        results["checkpoint_recover_seconds"] = best_recover
+
+    # ---- the re-ingest baseline the checkpoint must beat --------------
+    started = time.perf_counter()
+    fresh = Database()
+    ingest(fresh, rows)
+    results["reingest_seconds"] = time.perf_counter() - started
+    speedup = results["reingest_seconds"] / results["checkpoint_recover_seconds"]
+    results["cold_start_speedup"] = speedup
+    floor = speedup_floor(COLD_START_SPEEDUP)
+    assert speedup >= floor, (
+        f"checkpoint cold-start speedup {speedup:.2f}x below the "
+        f"{floor:.2f}x floor"
+    )
+
+    # ---- WAL overhead per statement (recorded, not asserted) ----------
+    baseline = measure_statement_cost(fresh)
+    results["statement_seconds_memory"] = baseline
+    for label, kwargs in [
+        ("statement_seconds_wal_fsync", {"wal_sync": True}),
+        ("statement_seconds_wal_nosync", {"wal_sync": False}),
+    ]:
+        with tempfile.TemporaryDirectory(prefix="benchdur") as data_dir:
+            db = Database(data_dir=data_dir, **kwargs)
+            ingest(db, rows[:CHUNK])  # a small base is enough here
+            results[label] = measure_statement_cost(db)
+            db.close()
+    results["wal_fsync_overhead_x"] = (
+        results["statement_seconds_wal_fsync"] / baseline
+    )
+    results["wal_nosync_overhead_x"] = (
+        results["statement_seconds_wal_nosync"] / baseline
+    )
+
+    BENCH_OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print()
+    print("durability bench (100k rows)")
+    print(
+        f"  durable ingest        {results['durable_ingest_seconds']:8.3f} s "
+        f"(WAL {results['wal_bytes'] / 1e6:.1f} MB)"
+    )
+    print(
+        f"  re-ingest baseline    {results['reingest_seconds']:8.3f} s"
+    )
+    print(
+        f"  checkpoint cold-start {results['checkpoint_recover_seconds']:8.3f} s "
+        f"({speedup:.1f}x, floor {floor:.1f}x; "
+        f"image {results['checkpoint_bytes'] / 1e6:.1f} MB)"
+    )
+    print(
+        f"  per-statement overhead: fsync "
+        f"{results['wal_fsync_overhead_x']:.1f}x, nosync "
+        f"{results['wal_nosync_overhead_x']:.1f}x over in-memory"
+    )
+    print(f"  wrote {BENCH_OUTPUT.name}")

@@ -9,6 +9,9 @@ Usage::
     python -m repro explain --analyze "SELECT ..."  # + per-op actuals
     python -m repro trace "customers Zurich"  # rendered span tree
     python -m repro sql "UPDATE ..."     # run SQL (incl. UPDATE/DELETE)
+    python -m repro sql --data-dir d "BEGIN" "INSERT ..." "COMMIT"
+    python -m repro recover d            # replay checkpoint + WAL, report
+    python -m repro recover d --checkpoint  # + write a fresh checkpoint
     python -m repro experiments          # Tables 2, 3 and 4
     python -m repro experiments --batch  # same, served via search_many
     python -m repro compare              # Table 5 (runs the baselines)
@@ -98,14 +101,31 @@ def make_parser() -> argparse.ArgumentParser:
                        help="generate SQL only, skip result snippets")
 
     sql = commands.add_parser(
-        "sql", help="execute one SQL statement against the warehouse"
+        "sql", help="execute SQL statements against the warehouse or a "
+                    "durable database directory"
     )
     sql.add_argument(
-        "statement",
-        help="SELECT / INSERT / UPDATE / DELETE / CREATE TABLE (quote it)",
+        "statements", nargs="+", metavar="statement",
+        help="SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / BEGIN / "
+             "COMMIT / ROLLBACK / CHECKPOINT (quote each; executed in "
+             "order, so one invocation can run a whole transaction)",
     )
     sql.add_argument("--limit", type=int, default=20,
                      help="result rows to display (default 20)")
+    sql.add_argument("--data-dir", default=None, metavar="DIR",
+                     help="run against a durable database in DIR (created "
+                          "or recovered: checkpoint + WAL replay) instead "
+                          "of the in-memory finbank warehouse")
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a durable database directory and report its state",
+    )
+    recover.add_argument("data_dir", metavar="DIR",
+                         help="data directory (checkpoint + WAL)")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="write a fresh checkpoint after recovery "
+                              "(truncates the WAL)")
 
     experiments = commands.add_parser(
         "experiments", help="run the 13-query workload (Tables 2-4)"
@@ -304,26 +324,76 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
-def cmd_sql(args, out) -> int:
-    from repro.errors import SqlError
-
-    warehouse = _build_warehouse(args)
-    try:
-        result = warehouse.database.execute(args.statement)
-    except SqlError as exc:
-        print(f"error: {exc}", file=out)
-        return 1
+def _print_result(result, limit, out) -> None:
     if result.columns:
         print(" | ".join(result.columns), file=out)
-        for row in result.rows[: args.limit]:
+        for row in result.rows[:limit]:
             print(" | ".join(str(value) for value in row), file=out)
-        shown = min(len(result.rows), args.limit)
+        shown = min(len(result.rows), limit)
         suffix = "" if shown == len(result.rows) else f" ({shown} shown)"
         print(f"{len(result.rows)} row(s){suffix}", file=out)
     elif result.rowcount is not None:
         print(f"{result.rowcount} row(s) affected", file=out)
     else:
         print("ok", file=out)
+
+
+def cmd_sql(args, out) -> int:
+    from repro.errors import RecoveryError, SqlError
+
+    if args.data_dir is not None:
+        from repro.sqlengine.database import Database
+
+        try:
+            database = Database(data_dir=args.data_dir)
+        except RecoveryError as exc:
+            print(f"error: cannot recover {args.data_dir}: {exc}", file=out)
+            return 1
+    else:
+        database = _build_warehouse(args).database
+    try:
+        for statement in args.statements:
+            try:
+                result = database.execute(statement)
+            except SqlError as exc:
+                print(f"error: {exc}", file=out)
+                return 1
+            _print_result(result, args.limit, out)
+    finally:
+        if args.data_dir is not None:
+            database.close()
+    return 0
+
+
+def cmd_recover(args, out) -> int:
+    from repro.errors import RecoveryError
+    from repro.sqlengine.database import Database
+
+    try:
+        database = Database(data_dir=args.data_dir)
+    except RecoveryError as exc:
+        where = exc.path or args.data_dir
+        kind = exc.kind or "unknown"
+        print(f"error: recovery failed [{kind}] at {where}: {exc}", file=out)
+        return 1
+    info = database.recovery_info
+    checkpoint_state = "loaded" if info["checkpoint"] else "none"
+    print(
+        f"recovered {args.data_dir}: generation {info['generation']}, "
+        f"checkpoint {checkpoint_state}, "
+        f"{info['replayed']} WAL record(s) replayed",
+        file=out,
+    )
+    for name in database.table_names():
+        print(f"  {name:32s} {database.row_count(name)} row(s)", file=out)
+    if args.checkpoint:
+        summary = database.checkpoint()
+        print(
+            f"checkpoint written: generation {summary['generation']}, "
+            f"{summary['checkpoint_bytes']} byte(s)",
+            file=out,
+        )
+    database.close()
     return 0
 
 
@@ -517,6 +587,7 @@ def main(argv=None, out=None) -> int:
         "explain": cmd_explain,
         "trace": cmd_trace,
         "sql": cmd_sql,
+        "recover": cmd_recover,
         "experiments": cmd_experiments,
         "compare": cmd_compare,
         "stats": cmd_stats,

@@ -40,6 +40,32 @@ class SqlExecutionError(SqlError):
     """Raised when a plan fails during execution."""
 
 
+class TransactionError(SqlError):
+    """Raised for transaction-protocol misuse.
+
+    Examples: ``BEGIN`` while a transaction is already open,
+    ``COMMIT``/``ROLLBACK`` with none open, or DDL inside an explicit
+    transaction (DDL is auto-commit only).
+    """
+
+
+class RecoveryError(ReproError):
+    """Raised when a durable database cannot be recovered consistently.
+
+    Structured: :attr:`path` names the file that failed and
+    :attr:`kind` the failure class (``"checkpoint"``, ``"wal"``,
+    ``"replay"``), so callers and tests can distinguish a torn
+    checkpoint from mid-log corruption without parsing the message.
+    Recovery either reproduces the last committed state exactly or
+    raises this — it never half-applies.
+    """
+
+    def __init__(self, message: str, path: str = "", kind: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
+
+
 class QueryParseError(ReproError):
     """Raised when a SODA input query cannot be parsed."""
 
@@ -54,6 +80,23 @@ class LookupError_(ReproError):
 
 class WarehouseError(ReproError):
     """Raised for inconsistent warehouse model definitions."""
+
+
+class SnapshotError(WarehouseError):
+    """Raised when an index snapshot file cannot be read or is invalid.
+
+    Structured: :attr:`path` is the snapshot file and :attr:`kind` the
+    failure class (``"missing"``, ``"corrupt"``, ``"malformed"``,
+    ``"version"``), so a truncated gzip, a bit-flipped payload and a
+    stale stamp are distinguishable without string matching.  Subclasses
+    :class:`WarehouseError` so existing soft-fallback callers keep
+    working unchanged.
+    """
+
+    def __init__(self, message: str, path: str = "", kind: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.kind = kind
 
 
 class EvaluationError(ReproError):

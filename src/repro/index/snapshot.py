@@ -23,6 +23,13 @@ samples actual row content, catching same-shape catalogs populated
 with different data (e.g. a different generator seed); a mismatch
 raises :class:`~repro.errors.WarehouseError` (callers may catch it and
 fall back to a cold build).
+
+File-level failures raise the structured
+:class:`~repro.errors.SnapshotError` (a ``WarehouseError`` subclass)
+carrying the snapshot ``path`` and a failure ``kind`` — ``"missing"``,
+``"corrupt"`` (unreadable bytes: truncated gzip, damaged deflate),
+``"malformed"`` (valid bytes, wrong shape) or ``"version"`` — so
+callers can log *why* a warm start failed without string matching.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import WarehouseError
+from repro.errors import SnapshotError, WarehouseError
 from repro.index.classification import ClassificationIndex
 from repro.index.inverted import InvertedIndex
 
@@ -96,15 +103,17 @@ class IndexSnapshot:
     @classmethod
     def from_dict(cls, payload: dict) -> "IndexSnapshot":
         if not isinstance(payload, dict):
-            raise WarehouseError(
+            raise SnapshotError(
                 f"malformed index snapshot: expected an object, "
-                f"got {type(payload).__name__}"
+                f"got {type(payload).__name__}",
+                kind="malformed",
             )
         version = payload.get("snapshot_version")
         if version != SNAPSHOT_VERSION:
-            raise WarehouseError(
+            raise SnapshotError(
                 f"unsupported index snapshot version: {version!r} "
-                f"(expected {SNAPSHOT_VERSION})"
+                f"(expected {SNAPSHOT_VERSION})",
+                kind="version",
             )
         try:
             fingerprint = tuple(payload["fingerprint"])
@@ -126,7 +135,9 @@ class IndexSnapshot:
                 content_digest=payload.get("content_digest", ""),
             )
         except (KeyError, TypeError, AttributeError) as exc:
-            raise WarehouseError(f"malformed index snapshot: {exc}") from exc
+            raise SnapshotError(
+                f"malformed index snapshot: {exc}", kind="malformed"
+            ) from exc
 
     # ------------------------------------------------------------------
     def verify(
@@ -178,12 +189,39 @@ def load_snapshot(path) -> IndexSnapshot:
     """
     try:
         raw = Path(path).read_bytes()
+    except FileNotFoundError as exc:
+        raise SnapshotError(
+            f"index snapshot missing: {path!s}", path=str(path), kind="missing"
+        ) from exc
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot read index snapshot {path!s}: {exc}",
+            path=str(path),
+            kind="corrupt",
+        ) from exc
+    try:
         if raw[:2] == b"\x1f\x8b":
             raw = gzip.decompress(raw)
-        payload = json.loads(raw.decode("utf-8"))
-    except (OSError, ValueError, EOFError, zlib.error) as exc:
-        # OSError covers unreadable files and gzip.BadGzipFile; EOFError
-        # is a truncated gzip member; zlib.error a corrupted deflate
-        # stream; ValueError is malformed JSON/UTF-8
-        raise WarehouseError(f"cannot read index snapshot {path!s}: {exc}") from exc
-    return IndexSnapshot.from_dict(payload)
+        text = raw.decode("utf-8")
+    except (OSError, EOFError, zlib.error, UnicodeDecodeError) as exc:
+        # OSError covers gzip.BadGzipFile; EOFError is a truncated gzip
+        # member; zlib.error a corrupted deflate stream
+        raise SnapshotError(
+            f"corrupt index snapshot {path!s}: {exc}",
+            path=str(path),
+            kind="corrupt",
+        ) from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise SnapshotError(
+            f"malformed index snapshot {path!s}: {exc}",
+            path=str(path),
+            kind="malformed",
+        ) from exc
+    try:
+        return IndexSnapshot.from_dict(payload)
+    except SnapshotError as exc:
+        if exc.path:
+            raise
+        raise SnapshotError(str(exc), path=str(path), kind=exc.kind) from exc

@@ -357,11 +357,16 @@ class CreateTable:
     foreign_keys: tuple = ()
 
 
+def _render_returning(returning: tuple) -> str:
+    return "RETURNING " + ", ".join(item.to_sql() for item in returning)
+
+
 @dataclass(frozen=True)
 class Insert:
     table: str
     columns: tuple  # may be empty -> all columns in order
     rows: tuple  # tuple of tuples of Literal values
+    returning: tuple = ()  # of SelectItem; empty -> plain rowcount result
 
 
 @dataclass(frozen=True)
@@ -377,29 +382,72 @@ class Assignment:
 
 @dataclass(frozen=True)
 class Update:
-    """``UPDATE table SET col = expr [, ...] [WHERE predicate]``."""
+    """``UPDATE table SET col = expr [, ...] [WHERE predicate] [RETURNING ...]``."""
 
     table: str
     assignments: tuple  # of Assignment
     where: Expr | None = None
+    returning: tuple = ()  # of SelectItem; evaluated over the new rows
 
     def to_sql(self) -> str:
         rendered = ", ".join(a.to_sql() for a in self.assignments)
         sql = f"UPDATE {self.table} SET {rendered}"
         if self.where is not None:
             sql += f" WHERE {self.where.to_sql()}"
+        if self.returning:
+            sql += " " + _render_returning(self.returning)
         return sql
 
 
 @dataclass(frozen=True)
 class Delete:
-    """``DELETE FROM table [WHERE predicate]``."""
+    """``DELETE FROM table [WHERE predicate] [RETURNING ...]``."""
 
     table: str
     where: Expr | None = None
+    returning: tuple = ()  # of SelectItem; evaluated over the removed rows
 
     def to_sql(self) -> str:
         sql = f"DELETE FROM {self.table}"
         if self.where is not None:
             sql += f" WHERE {self.where.to_sql()}"
+        if self.returning:
+            sql += " " + _render_returning(self.returning)
         return sql
+
+
+# ---------------------------------------------------------------------------
+# Transaction control
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Begin:
+    """``BEGIN [TRANSACTION]`` — open an explicit transaction."""
+
+    def to_sql(self) -> str:
+        return "BEGIN"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """``COMMIT`` — make the open transaction's writes durable."""
+
+    def to_sql(self) -> str:
+        return "COMMIT"
+
+
+@dataclass(frozen=True)
+class Rollback:
+    """``ROLLBACK`` — undo the open transaction's writes."""
+
+    def to_sql(self) -> str:
+        return "ROLLBACK"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """``CHECKPOINT`` — persist a columnar segment file and truncate the WAL."""
+
+    def to_sql(self) -> str:
+        return "CHECKPOINT"

@@ -163,6 +163,10 @@ class Table:
         self._mutation_count = 0
         # shared with the owning catalog (see Catalog.register_observer)
         self._observers: list[CatalogObserver] = []
+        #: active undo log (see repro.sqlengine.txn.undo) or None; every
+        #: mutation below records its inverse here while a transaction —
+        #: explicit or per-statement implicit — is open on this table
+        self._undo = None
 
     # ------------------------------------------------------------------
     def column_names(self) -> list[str]:
@@ -240,6 +244,8 @@ class Table:
             coerce_value(value, column.sql_type)
             for value, column in zip(values, self.columns)
         )
+        if self._undo is not None:
+            self._undo.record_insert(self, len(self.rows))
         self.rows.append(row)
         for store, value in zip(self._column_data, row):
             store.append(value)
@@ -312,6 +318,12 @@ class Table:
         if not coerced:
             return 0
         rows = self.rows
+        if self._undo is not None:
+            self._undo.record_update(
+                self,
+                list(positions),
+                [rows[position] for position in positions],
+            )
         column_data = self._column_data
         encoded_indexes = self._encoded_indexes
         changes = []
@@ -358,6 +370,8 @@ class Table:
                 f"(have {len(rows)} rows)"
             )
         removed = [rows[position] for position in sorted(doomed)]
+        if self._undo is not None:
+            self._undo.record_delete(self, sorted(doomed), removed)
         rows[:] = [
             row for position, row in enumerate(rows) if position not in doomed
         ]
@@ -385,6 +399,68 @@ class Table:
             for row in removed:
                 observer.on_delete(self, row)
         return len(removed)
+
+    def restore_rows(self, positions: Sequence[int], rows: Sequence[tuple]) -> None:
+        """Re-insert previously removed rows at their original positions.
+
+        The exact inverse of :meth:`delete_positions`: *positions* are
+        the (strictly ascending) positions the rows occupied before the
+        delete, and *rows* the already-coerced tuples it removed.  Both
+        storages are rebuilt together via in-place slice assignment
+        (list identity preserved), dictionary codes are re-interned for
+        the restored rows only, and observers see one ``on_insert`` per
+        row — so derived structures (the inverted index) converge to the
+        pre-delete state.  Used by the transaction undo log; not a
+        public mutation path.
+        """
+        if len(positions) != len(rows):
+            raise SqlCatalogError(
+                f"table {self.name!r}: {len(positions)} restore positions "
+                f"but {len(rows)} rows"
+            )
+        if not positions:
+            return
+        final_len = len(self.rows) + len(positions)
+        restored_at = dict(zip(positions, rows))
+        if (
+            len(restored_at) != len(positions)
+            or list(positions) != sorted(positions)
+            or positions[0] < 0
+            or positions[-1] >= final_len
+        ):
+            raise SqlCatalogError(
+                f"table {self.name!r}: restore positions must be unique, "
+                f"ascending and within {final_len} rows"
+            )
+        survivors = iter(list(self.rows))
+        merged = [
+            restored_at[pos] if pos in restored_at else next(survivors)
+            for pos in range(final_len)
+        ]
+        self.rows[:] = merged
+        for index, store in enumerate(self._column_data):
+            store[:] = [row[index] for row in merged]
+        for index in self._encoded_indexes:
+            dictionary = self._dictionaries[index]
+            codes = self._codes[index]
+            old_codes = iter(list(codes))
+            merged_codes = []
+            for pos in range(final_len):
+                if pos in restored_at:
+                    value = restored_at[pos][index]
+                    merged_codes.append(
+                        None if value is None else dictionary.encode(value)
+                    )
+                else:
+                    merged_codes.append(next(old_codes))
+            codes[:] = merged_codes
+        if self._encoded_indexes:
+            self._check_dictionary_thresholds()
+        self._version += 1
+        self._mutation_count += 1
+        for observer in self._observers:
+            for position in positions:
+                observer.on_insert(self, restored_at[position])
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -420,6 +496,9 @@ class Catalog:
         self._dict_encoding_threshold = dict_encoding_threshold
         #: INTEGER/REAL columns of new tables use ArrayColumn buffers
         self.array_store = array_store
+        #: set to a unique token while an explicit transaction is open
+        #: (see fingerprint); None outside transactions
+        self._txn_token = None
 
     def register_observer(self, observer: CatalogObserver) -> None:
         """Subscribe *observer* to inserts/DDL on all current and future tables."""
@@ -484,13 +563,23 @@ class Catalog:
         fingerprint.  Used by index snapshots and the serving-session
         result memo; the plan cache uses the finer-grained per-table
         :meth:`table_versions` instead.
+
+        While an explicit transaction is open a unique ``("txn", n)``
+        token is appended: uncommitted state must never validate a
+        memo, and the token is never reused, so a later transaction
+        that happens to reach the same counters cannot collide.  After
+        COMMIT or ROLLBACK the plain three-tuple form returns, matching
+        a catalog that only ever saw the committed statements.
         """
         total_rows = 0
         total_mutations = 0
         for table in self._tables.values():
             total_rows += len(table.rows)
             total_mutations += table.mutation_count
-        return (self._ddl_version, total_rows, total_mutations)
+        base = (self._ddl_version, total_rows, total_mutations)
+        if self._txn_token is not None:
+            return base + (("txn", self._txn_token),)
+        return base
 
     def table_versions(self, names: Iterable[str]) -> tuple:
         """``(name, version)`` per table, the plan-cache validity token.

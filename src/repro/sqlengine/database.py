@@ -9,17 +9,25 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-from repro.errors import SqlError
+from repro.errors import SqlError, SqlExecutionError, TransactionError
 from repro.sqlengine.ast_nodes import (
+    Begin,
+    Checkpoint,
+    Commit,
     CreateTable,
     Delete,
     Insert,
+    Rollback,
     Select,
     Union,
     Update,
 )
 from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
-from repro.sqlengine.dml import execute_delete, execute_update
+from repro.sqlengine.dml import (
+    evaluate_returning,
+    execute_delete,
+    execute_update,
+)
 from repro.sqlengine.executor import ResultSet, execute_union
 from repro.sqlengine.parser import parse_sql
 from repro.sqlengine.planner import (
@@ -27,6 +35,7 @@ from repro.sqlengine.planner import (
     DEFAULT_PLAN_CACHE_SIZE,
     QueryPlanner,
 )
+from repro.sqlengine.txn import DurabilityManager, TransactionManager
 from repro.sqlengine.types import SqlType
 
 
@@ -68,6 +77,9 @@ class Database:
         fused: bool = True,
         parallel_workers: int = 1,
         array_store: bool = False,
+        data_dir: "str | None" = None,
+        wal_sync: bool = True,
+        wal_storage_factory=None,
     ) -> None:
         self.catalog = Catalog(
             dict_encoding_threshold=dict_encoding_threshold,
@@ -80,6 +92,28 @@ class Database:
             fused=fused,
             parallel_workers=parallel_workers,
         )
+        self.txn = TransactionManager(self.catalog)
+        from repro.obs.metrics import registry
+
+        reg = registry()
+        self._metrics_registry = reg
+        self._txn_begins = reg.counter("txn.begins")
+        self._txn_commits = reg.counter("txn.commits")
+        self._txn_rollbacks = reg.counter("txn.rollbacks")
+        #: recovery summary dict when opened durably, else None
+        self.recovery_info = None
+        self.durability = None
+        if data_dir is not None:
+            self.durability = DurabilityManager(
+                data_dir,
+                wal_sync=wal_sync,
+                storage_factory=wal_storage_factory,
+            )
+            self.recovery_info = self.durability.recover(self)
+
+    def _durable(self) -> bool:
+        """True when statements must be logged (not during replay)."""
+        return self.durability is not None and not self.durability.replaying
 
     @property
     def execution_mode(self) -> str:
@@ -138,7 +172,40 @@ class Database:
             return self.planner.execute(statement)
         if isinstance(statement, Union):
             return execute_union(self.catalog, statement, self.planner)
+        if isinstance(statement, Begin):
+            self.txn.begin()
+            if self._metrics_registry.enabled:
+                self._txn_begins.inc()
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, Commit):
+            # log first, discard the undo log only once durable: a WAL
+            # failure here must leave the transaction rolled back, not
+            # half-remembered
+            ops = self.txn.pending_ops()
+            if self._durable():
+                try:
+                    self.durability.log_transaction(ops)
+                except BaseException:
+                    self.txn.rollback()
+                    raise
+            self.txn.commit()
+            if self._metrics_registry.enabled:
+                self._txn_commits.inc()
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, Rollback):
+            self.txn.rollback()
+            if self._metrics_registry.enabled:
+                self._txn_rollbacks.inc()
+            return ResultSet(columns=[], rows=[])
+        if isinstance(statement, Checkpoint):
+            self.checkpoint()
+            return ResultSet(columns=[], rows=[])
         if isinstance(statement, CreateTable):
+            if self.txn.active:
+                raise TransactionError(
+                    "CREATE TABLE inside an explicit transaction is not "
+                    "supported (DDL is auto-commit)"
+                )
             columns = [
                 Column(c.name, c.sql_type, c.primary_key) for c in statement.columns
             ]
@@ -147,30 +214,92 @@ class Database:
                 for fk in statement.foreign_keys
             ]
             self.catalog.create_table(statement.name, columns, foreign_keys)
+            if self._durable():
+                try:
+                    self.durability.log_statement(sql)
+                except BaseException:
+                    self.catalog.drop_table(statement.name)
+                    raise
             return ResultSet(columns=[], rows=[])
         if isinstance(statement, Insert):
             table = self.catalog.table(statement.table)
-            if statement.columns:
-                for row in statement.rows:
-                    if len(row) != len(statement.columns):
-                        raise SqlError(
-                            f"INSERT arity mismatch for table {statement.table!r}"
-                        )
-                    table.insert_named(**dict(zip(statement.columns, row)))
-            else:
-                table.insert_many(statement.rows)
-            return ResultSet(columns=[], rows=[], rowcount=len(statement.rows))
+            with self.txn.statement([table]):
+                first_new = len(table.rows)
+                if statement.columns:
+                    for row in statement.rows:
+                        if len(row) != len(statement.columns):
+                            raise SqlError(
+                                f"INSERT arity mismatch for table "
+                                f"{statement.table!r}"
+                            )
+                        table.insert_named(**dict(zip(statement.columns, row)))
+                else:
+                    table.insert_many(statement.rows)
+                if statement.returning:
+                    result = evaluate_returning(
+                        table,
+                        table.rows[first_new:],
+                        statement.returning,
+                        len(statement.rows),
+                    )
+                else:
+                    result = ResultSet(
+                        columns=[], rows=[], rowcount=len(statement.rows)
+                    )
+                self._log_dml(sql)
+            return result
         if isinstance(statement, Update):
-            changed = execute_update(
-                self.catalog, statement, mode=self.execution_mode
-            )
-            return ResultSet(columns=[], rows=[], rowcount=changed)
+            table = self.catalog.table(statement.table)
+            with self.txn.statement([table]):
+                result = execute_update(
+                    self.catalog, statement, mode=self.execution_mode
+                )
+                self._log_dml(sql)
+            return result
         if isinstance(statement, Delete):
-            removed = execute_delete(
-                self.catalog, statement, mode=self.execution_mode
-            )
-            return ResultSet(columns=[], rows=[], rowcount=removed)
+            table = self.catalog.table(statement.table)
+            with self.txn.statement([table]):
+                result = execute_delete(
+                    self.catalog, statement, mode=self.execution_mode
+                )
+                self._log_dml(sql)
+            return result
         raise SqlError(f"unsupported statement type: {type(statement).__name__}")
+
+    def _log_dml(self, sql: str) -> None:
+        """Record one applied DML statement for durability.
+
+        Called *inside* the statement's undo guard, after the in-memory
+        apply: a WAL append/fsync failure propagates and the guard rolls
+        the apply back, keeping live state equal to replayable state.
+        """
+        if self.txn.active:
+            self.txn.note_op({"sql": sql})
+        elif self._durable():
+            self.durability.log_statement(sql)
+
+    def checkpoint(self) -> dict:
+        """Write a columnar checkpoint and truncate the WAL.
+
+        Returns the durability manager's summary (new generation,
+        checkpoint size).  Requires a durable database and no open
+        explicit transaction (the image must not contain uncommitted
+        writes).
+        """
+        if self.durability is None:
+            raise SqlExecutionError(
+                "CHECKPOINT requires a durable database (data_dir)"
+            )
+        if self.txn.active:
+            raise TransactionError(
+                "CHECKPOINT inside an explicit transaction is not supported"
+            )
+        return self.durability.checkpoint(self.catalog)
+
+    def close(self) -> None:
+        """Release durable resources (no-op for in-memory databases)."""
+        if self.durability is not None:
+            self.durability.close()
 
     def execute_select_ast(self, select: Select) -> ResultSet:
         """Execute an already-parsed SELECT (used by SODA internals)."""
@@ -235,6 +364,11 @@ class Database:
 
         *foreign_keys* entries are ``(local_cols, ref_table, ref_cols)``.
         """
+        if self.txn.active:
+            raise TransactionError(
+                "create_table inside an explicit transaction is not "
+                "supported (DDL is auto-commit)"
+            )
         pk = set(primary_key)
         column_objects = [
             Column(col_name, SqlType.from_name(type_name), col_name in pk)
@@ -244,15 +378,35 @@ class Database:
             ForeignKey(tuple(local), ref_table, tuple(remote))
             for local, ref_table, remote in foreign_keys
         ]
-        return self.catalog.create_table(name, column_objects, fk_objects)
+        table = self.catalog.create_table(name, column_objects, fk_objects)
+        if self._durable():
+            try:
+                self.durability.log_create(table)
+            except BaseException:
+                self.catalog.drop_table(table.name)
+                raise
+        return table
 
     def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-insert positional rows; returns the number inserted."""
+        """Bulk-insert positional rows; returns the number inserted.
+
+        The insert is atomic: a coercion failure on any row leaves the
+        table untouched.  On a durable database the batch is logged as
+        one WAL record (value-form, skipping SQL round-tripping).
+        """
         table = self.catalog.table(table_name)
+        logged = self.txn.active or self._durable()
+        if logged:
+            rows = [list(row) for row in rows]
         count = 0
-        for row in rows:
-            table.insert(row)
-            count += 1
+        with self.txn.statement([table]):
+            for row in rows:
+                table.insert(row)
+                count += 1
+            if self.txn.active:
+                self.txn.note_op({"table": table.name, "rows": rows})
+            elif self._durable():
+                self.durability.log_rows(table.name, rows)
         return count
 
     def table(self, name: str) -> Table:

@@ -26,7 +26,8 @@ KEYWORDS = {
     "INNER", "LEFT", "RIGHT", "OUTER", "ON", "CREATE", "TABLE", "PRIMARY",
     "FOREIGN", "KEY", "REFERENCES", "INSERT", "INTO", "VALUES", "UNION",
     "ALL", "CASE", "WHEN", "THEN", "ELSE", "END", "DATE", "UPDATE",
-    "SET", "DELETE",
+    "SET", "DELETE", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
+    "RETURNING", "CHECKPOINT",
 }
 
 

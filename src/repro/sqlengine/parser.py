@@ -3,9 +3,11 @@
 Supported statements: ``SELECT`` (comma joins and explicit ``JOIN .. ON``,
 WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, DISTINCT), ``CREATE TABLE``,
 ``INSERT INTO .. VALUES``, ``UPDATE .. SET .. [WHERE]`` and ``DELETE FROM
-.. [WHERE]``.  This covers everything SODA generates (Queries 1-4 in the
-paper), what the gold-standard statements need, and the corrections /
-retractions a long-lived warehouse service receives.
+.. [WHERE]`` (both with an optional ``RETURNING`` tail), plus the
+transaction-control statements ``BEGIN [TRANSACTION]`` / ``COMMIT`` /
+``ROLLBACK`` and ``CHECKPOINT``.  This covers everything SODA generates
+(Queries 1-4 in the paper), what the gold-standard statements need, and
+the corrections / retractions a long-lived warehouse service receives.
 """
 
 from __future__ import annotations
@@ -16,11 +18,14 @@ from typing import Any
 from repro.errors import SqlSyntaxError
 from repro.sqlengine.ast_nodes import (
     Assignment,
+    Begin,
     Between,
     BinaryOp,
     CaseWhen,
+    Checkpoint,
     ColumnDef,
     ColumnRef,
+    Commit,
     CreateTable,
     Delete,
     Expr,
@@ -33,6 +38,7 @@ from repro.sqlengine.ast_nodes import (
     Like,
     Literal,
     OrderItem,
+    Rollback,
     Select,
     SelectItem,
     TableRef,
@@ -99,6 +105,17 @@ class Parser:
             statement = self._parse_update()
         elif self._check(TokenType.KEYWORD, "DELETE"):
             statement = self._parse_delete()
+        elif self._accept(TokenType.KEYWORD, "BEGIN"):
+            self._accept(TokenType.KEYWORD, "TRANSACTION")
+            statement = Begin()
+        elif self._accept(TokenType.KEYWORD, "COMMIT"):
+            self._accept(TokenType.KEYWORD, "TRANSACTION")
+            statement = Commit()
+        elif self._accept(TokenType.KEYWORD, "ROLLBACK"):
+            self._accept(TokenType.KEYWORD, "TRANSACTION")
+            statement = Rollback()
+        elif self._accept(TokenType.KEYWORD, "CHECKPOINT"):
+            statement = Checkpoint()
         else:
             raise SqlSyntaxError(f"unsupported statement: {self._sql[:60]!r}")
         self._accept(TokenType.PUNCT, ";")
@@ -485,7 +502,22 @@ class Parser:
             rows.append(tuple(values))
             if not self._accept(TokenType.PUNCT, ","):
                 break
-        return Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+        returning = self._parse_returning()
+        return Insert(
+            table=table,
+            columns=tuple(columns),
+            rows=tuple(rows),
+            returning=returning,
+        )
+
+    def _parse_returning(self) -> tuple:
+        """The optional ``RETURNING item [, ...]`` tail of a DML statement."""
+        if not self._accept(TokenType.KEYWORD, "RETURNING"):
+            return ()
+        items = [self._parse_select_item()]
+        while self._accept(TokenType.PUNCT, ","):
+            items.append(self._parse_select_item())
+        return tuple(items)
 
     # ------------------------------------------------------------------
     # UPDATE / DELETE
@@ -500,7 +532,13 @@ class Parser:
         where = None
         if self._accept(TokenType.KEYWORD, "WHERE"):
             where = self._parse_expr()
-        return Update(table=table, assignments=tuple(assignments), where=where)
+        returning = self._parse_returning()
+        return Update(
+            table=table,
+            assignments=tuple(assignments),
+            where=where,
+            returning=returning,
+        )
 
     def _parse_assignment(self) -> Assignment:
         column = self._expect(TokenType.IDENTIFIER).value
@@ -514,7 +552,8 @@ class Parser:
         where = None
         if self._accept(TokenType.KEYWORD, "WHERE"):
             where = self._parse_expr()
-        return Delete(table=table, where=where)
+        returning = self._parse_returning()
+        return Delete(table=table, where=where, returning=returning)
 
     def _parse_literal_value(self) -> Any:
         expr = self._parse_expr()

@@ -1,0 +1,30 @@
+"""Transactions and durability for the SQL engine.
+
+Three layers, bottom-up:
+
+- :mod:`repro.sqlengine.txn.undo` — in-memory undo log recorded at the
+  single ``Table`` mutation choke-point, giving BEGIN/COMMIT/ROLLBACK
+  and statement-level atomicity.
+- :mod:`repro.sqlengine.txn.wal` — append-only, CRC-checksummed
+  write-ahead log behind a :class:`~repro.sqlengine.txn.wal.LogStorage`
+  interface, with :mod:`~repro.sqlengine.txn.faults` for crash
+  injection at every byte boundary.
+- :mod:`repro.sqlengine.txn.manager` — the durability manager tying
+  WAL, columnar checkpoints (:mod:`~repro.sqlengine.txn.checkpoint`)
+  and crash recovery together for :class:`~repro.sqlengine.database.Database`.
+"""
+
+from repro.sqlengine.txn.faults import FaultInjector, InjectedCrash
+from repro.sqlengine.txn.manager import DurabilityManager
+from repro.sqlengine.txn.undo import TransactionManager, UndoLog
+from repro.sqlengine.txn.wal import FileLogStorage, LogStorage
+
+__all__ = [
+    "DurabilityManager",
+    "FaultInjector",
+    "FileLogStorage",
+    "InjectedCrash",
+    "LogStorage",
+    "TransactionManager",
+    "UndoLog",
+]

@@ -1,0 +1,297 @@
+"""The durability manager: WAL appends, checkpoints, crash recovery.
+
+One instance per durable :class:`~repro.sqlengine.database.Database`,
+owning a data directory with at most two live files::
+
+    checkpoint.json.gz   columnar image, stamped with generation G
+    wal.<G>.log          committed records since that image
+
+The *generation* scheme is what makes checkpointing crash-safe without
+a separate manifest: a checkpoint is written (atomically) already
+naming the **next** generation, whose WAL starts empty, so wherever a
+crash lands in the checkpoint → new-WAL → delete-old-WAL sequence,
+recovery reads one unambiguous pair and can never replay a record that
+the checkpoint already contains (the classic duplicate-replay bug).
+Stale generations found on disk are deleted, never read.
+
+Write ordering is *apply-then-log*: a statement mutates memory first
+(under an undo guard), then its record is appended and fsynced.  If
+the append or fsync fails, the guard rolls the memory back before the
+error propagates — so live state never runs ahead of what a
+post-crash recovery would rebuild, and a WAL write error degrades to a
+failed statement instead of a poisoned database.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import RecoveryError
+from repro.obs.metrics import registry
+from repro.sqlengine.txn.checkpoint import (
+    load_checkpoint,
+    restore_catalog,
+    save_checkpoint,
+)
+from repro.sqlengine.txn.wal import (
+    FileLogStorage,
+    dump_payload,
+    encode_record,
+    load_payload,
+    scan_records,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sqlengine.database import Database
+
+CHECKPOINT_FILENAME = "checkpoint.json.gz"
+
+
+class DurabilityManager:
+    """WAL + checkpoint lifecycle for one data directory."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        wal_sync: bool = True,
+        storage_factory=None,
+    ) -> None:
+        self.data_dir = str(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        #: fsync on every commit (off trades the durability point for
+        #: speed; the record stream itself is unchanged)
+        self.wal_sync = wal_sync
+        #: path -> LogStorage; the seam tests use to inject crashes
+        self._storage_factory = storage_factory or FileLogStorage
+        self.generation = 0
+        self._wal = None
+        #: True while recovery replays records (suppresses re-logging)
+        self.replaying = False
+        reg = registry()
+        self._metrics_registry = reg
+        self._records_metric = reg.counter("wal.records")
+        self._bytes_metric = reg.counter("wal.bytes")
+        self._fsyncs_metric = reg.counter("wal.fsyncs")
+        self._fsync_seconds = reg.histogram("wal.fsync.seconds")
+        self._replayed_metric = reg.counter("recovery.replayed_records")
+        self._checkpoints_metric = reg.counter("checkpoint.saves")
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.data_dir, CHECKPOINT_FILENAME)
+
+    def wal_path(self, generation: int) -> str:
+        return os.path.join(self.data_dir, f"wal.{generation}.log")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, database: "Database") -> dict:
+        """Rebuild *database* from disk; returns a recovery summary.
+
+        Loads the checkpoint (if any), replays the matching WAL tail,
+        truncates a torn final record, deletes stale generations, and
+        leaves the WAL open for appends.  Raises
+        :class:`~repro.errors.RecoveryError` — never half-applies — on
+        anything inconsistent.
+        """
+        restored = False
+        if os.path.exists(self.checkpoint_path):
+            state = load_checkpoint(self.checkpoint_path)
+            try:
+                self.generation = int(state["generation"])
+            except (KeyError, TypeError, ValueError):
+                raise RecoveryError(
+                    f"checkpoint {self.checkpoint_path} lacks a generation",
+                    path=self.checkpoint_path,
+                    kind="checkpoint",
+                ) from None
+            restore_catalog(
+                database.catalog, state, path=self.checkpoint_path
+            )
+            restored = True
+        else:
+            self.generation = 0
+        replayed = self._replay_wal(database)
+        self._remove_stale_files()
+        self._open_wal()
+        return {
+            "checkpoint": restored,
+            "replayed": replayed,
+            "generation": self.generation,
+        }
+
+    def _replay_wal(self, database: "Database") -> int:
+        path = self.wal_path(self.generation)
+        if not os.path.exists(path):
+            return 0
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payloads, valid_length, corruption = scan_records(data)
+        if corruption:
+            raise RecoveryError(
+                f"corrupt WAL {path}: {corruption}", path=path, kind="wal"
+            )
+        if valid_length < len(data):
+            # a torn final record: the crash interrupted an append that
+            # was never acknowledged — drop it and move on
+            os.truncate(path, valid_length)
+        self.replaying = True
+        try:
+            for payload in payloads:
+                try:
+                    record = load_payload(payload)
+                except ValueError as exc:
+                    raise RecoveryError(
+                        f"undecodable WAL record in {path}: {exc}",
+                        path=path,
+                        kind="wal",
+                    ) from exc
+                self._apply_record(database, record, path)
+        finally:
+            self.replaying = False
+        if self._metrics_registry.enabled and payloads:
+            self._replayed_metric.inc(len(payloads))
+        return len(payloads)
+
+    def _apply_record(
+        self, database: "Database", record, path: str
+    ) -> None:
+        try:
+            kind = record.get("t") if isinstance(record, dict) else None
+            if kind == "sql":
+                database.execute(record["sql"])
+            elif kind == "txn":
+                for op in record["ops"]:
+                    self._apply_op(database, op)
+            elif kind == "rows":
+                self._apply_op(database, record)
+            elif kind == "create":
+                self._apply_create(database, record)
+            else:
+                raise RecoveryError(
+                    f"unknown WAL record type {kind!r} in {path}",
+                    path=path,
+                    kind="wal",
+                )
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(
+                f"WAL replay failed in {path}: {exc}", path=path, kind="replay"
+            ) from exc
+
+    @staticmethod
+    def _apply_op(database: "Database", op: dict) -> None:
+        if "sql" in op:
+            database.execute(op["sql"])
+        else:
+            database.catalog.table(op["table"]).insert_many(op["rows"])
+
+    @staticmethod
+    def _apply_create(database: "Database", record: dict) -> None:
+        from repro.sqlengine.catalog import Column, ForeignKey
+        from repro.sqlengine.types import SqlType
+
+        columns = [
+            Column(name, SqlType(type_name), bool(primary_key))
+            for name, type_name, primary_key in record["columns"]
+        ]
+        foreign_keys = [
+            ForeignKey(tuple(cols), ref_table, tuple(ref_cols))
+            for cols, ref_table, ref_cols in record["foreign_keys"]
+        ]
+        database.catalog.create_table(record["name"], columns, foreign_keys)
+
+    def _remove_stale_files(self) -> None:
+        for name in os.listdir(self.data_dir):
+            full = os.path.join(self.data_dir, name)
+            if name.startswith("wal.") and name.endswith(".log"):
+                generation_text = name[4:-4]
+                if (
+                    generation_text.isdigit()
+                    and int(generation_text) != self.generation
+                ):
+                    os.remove(full)
+            elif name == CHECKPOINT_FILENAME + ".tmp":
+                os.remove(full)
+
+    def _open_wal(self) -> None:
+        self._wal = self._storage_factory(self.wal_path(self.generation))
+
+    # ------------------------------------------------------------------
+    # logging (called after the in-memory apply succeeded)
+    # ------------------------------------------------------------------
+    def log_statement(self, sql: str) -> None:
+        """One auto-committed statement."""
+        self._append({"t": "sql", "sql": sql})
+
+    def log_transaction(self, ops: list) -> None:
+        """All operations of one committed explicit transaction."""
+        if ops:  # an empty transaction has nothing to redo
+            self._append({"t": "txn", "ops": list(ops)})
+
+    def log_rows(self, table_name: str, rows: list) -> None:
+        """One programmatic bulk insert (``Database.insert_rows``)."""
+        self._append({"t": "rows", "table": table_name, "rows": rows})
+
+    def log_create(self, table) -> None:
+        """One programmatic ``Database.create_table`` call."""
+        self._append(
+            {
+                "t": "create",
+                "name": table.name,
+                "columns": [
+                    [c.name, c.sql_type.value, c.primary_key]
+                    for c in table.columns
+                ],
+                "foreign_keys": [
+                    [list(fk.columns), fk.ref_table, list(fk.ref_columns)]
+                    for fk in table.foreign_keys
+                ],
+            }
+        )
+
+    def _append(self, record: dict) -> None:
+        data = encode_record(dump_payload(record))
+        self._wal.append(data)
+        if self.wal_sync:
+            started = time.perf_counter()
+            self._wal.sync()
+            if self._metrics_registry.enabled:
+                self._fsyncs_metric.inc()
+                self._fsync_seconds.observe(time.perf_counter() - started)
+        if self._metrics_registry.enabled:
+            self._records_metric.inc()
+            self._bytes_metric.inc(len(data))
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, catalog) -> dict:
+        """Write a columnar image and start a fresh WAL generation."""
+        new_generation = self.generation + 1
+        size = save_checkpoint(self.checkpoint_path, catalog, new_generation)
+        old_wal = self._wal
+        old_generation = self.generation
+        self.generation = new_generation
+        self._open_wal()
+        if old_wal is not None:
+            old_wal.close()
+        try:
+            os.remove(self.wal_path(old_generation))
+        except FileNotFoundError:
+            pass
+        if self._metrics_registry.enabled:
+            self._checkpoints_metric.inc()
+        return {"generation": new_generation, "checkpoint_bytes": size}
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None

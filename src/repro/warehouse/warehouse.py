@@ -21,6 +21,7 @@ full catalog scan that the paper reports as a 24-hour build.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Callable
 
 from repro.errors import WarehouseError
@@ -43,6 +44,8 @@ from repro.warehouse.graphbuilder import (
     join_uri,
 )
 from repro.warehouse.model import WarehouseDefinition, build_database
+
+logger = logging.getLogger(__name__)
 
 
 class Warehouse:
@@ -77,9 +80,9 @@ class Warehouse:
 
         With *snapshot*, the inverted and classification indexes are
         warm-started from that file instead of scanned from the catalog;
-        a missing, malformed or stale snapshot silently falls back to
-        the cold build (use :meth:`load_index_snapshot` for strict
-        loading).
+        a missing, malformed or stale snapshot falls back to the cold
+        build with a logged warning saying why (use
+        :meth:`load_index_snapshot` for strict loading).
         """
         database = build_database(definition)
         if populate is not None:
@@ -95,7 +98,15 @@ class Warehouse:
                     catalog_digest(database.catalog),
                 )
                 loaded = candidate
-            except WarehouseError:
+            except WarehouseError as exc:
+                kind = getattr(exc, "kind", "") or "stale"
+                logger.warning(
+                    "index snapshot %s unusable (%s): %s -- "
+                    "falling back to cold index build",
+                    snapshot,
+                    kind,
+                    exc,
+                )
                 loaded = None
         inverted = (
             loaded.inverted if loaded is not None

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.errors import WarehouseError
+from repro.errors import SnapshotError, WarehouseError
 from repro.index.classification import ClassificationIndex, EntrySource
 from repro.index.inverted import InvertedIndex
 from repro.index.snapshot import (
@@ -97,8 +97,10 @@ class TestRoundTrip:
         path = tmp_path / "snap.json.gz"
         save_snapshot(snapshot, path)
         path.write_bytes(path.read_bytes()[:20])
-        with pytest.raises(WarehouseError, match="cannot read index snapshot"):
+        with pytest.raises(SnapshotError, match="corrupt index snapshot") as e:
             load_snapshot(path)
+        assert e.value.kind == "corrupt"
+        assert e.value.path == str(path)
 
     def test_corrupted_gzip_raises_warehouse_error(self, snapshot, tmp_path):
         # valid magic, corrupted deflate stream: zlib.error must surface
@@ -108,8 +110,9 @@ class TestRoundTrip:
         raw = bytearray(path.read_bytes())
         raw[len(raw) // 2] ^= 0xFF
         path.write_bytes(bytes(raw))
-        with pytest.raises(WarehouseError, match="cannot read index snapshot"):
+        with pytest.raises(SnapshotError, match="corrupt index snapshot") as e:
             load_snapshot(path)
+        assert e.value.kind == "corrupt"
 
     def test_restored_index_accepts_incremental_adds(self, snapshot):
         restored = InvertedIndex.from_dict(snapshot.inverted.to_dict())
@@ -180,8 +183,9 @@ class TestVerification:
             load_snapshot(path)
 
     def test_missing_file_rejected(self, tmp_path):
-        with pytest.raises(WarehouseError, match="cannot read"):
+        with pytest.raises(SnapshotError, match="missing") as e:
             load_snapshot(tmp_path / "missing.json")
+        assert e.value.kind == "missing"
 
     def test_non_dict_payload_rejected(self, tmp_path):
         path = tmp_path / "snap.json"
@@ -248,3 +252,78 @@ class TestContentDigest:
         snapshot = twin.load_index_snapshot(path)
         assert snapshot.content_digest
         assert twin.inverted is snapshot.inverted
+
+
+class TestStructuredErrors:
+    """SnapshotError carries the path and a failure kind (no string
+    matching needed to know *why* a warm start failed)."""
+
+    def test_version_kind(self, snapshot, tmp_path):
+        path = tmp_path / "snap.json"
+        payload = snapshot.to_dict()
+        payload["snapshot_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as e:
+            load_snapshot(path)
+        assert e.value.kind == "version"
+        assert e.value.path == str(path)
+
+    def test_malformed_kind_carries_path(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError) as e:
+            load_snapshot(path)
+        assert e.value.kind == "malformed"
+        assert e.value.path == str(path)
+
+    def test_snapshot_error_is_a_warehouse_error(self):
+        # Warehouse.build's fallback catches WarehouseError; the
+        # structured subclass must stay inside that net
+        assert issubclass(SnapshotError, WarehouseError)
+
+    def test_build_fallback_logs_the_kind(self, tmp_path, caplog):
+        import logging
+
+        from repro.warehouse.minibank import build_minibank
+
+        path = tmp_path / "snap.json.gz"
+        path.write_bytes(b"\x1f\x8b not actually gzip")
+        with caplog.at_level(
+            logging.WARNING, logger="repro.warehouse.warehouse"
+        ):
+            warehouse = build_minibank(
+                seed=42, scale=0.1, snapshot=str(path)
+            )
+        assert warehouse.inverted.entry_count() > 0  # cold build ran
+        records = [
+            r for r in caplog.records
+            if r.name == "repro.warehouse.warehouse"
+        ]
+        assert len(records) == 1
+        message = records[0].getMessage()
+        assert "corrupt" in message
+        assert "falling back to cold index build" in message
+
+    def test_build_fallback_logs_stale_for_verify_failures(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        from repro.warehouse.minibank import build_minibank
+
+        path = tmp_path / "snap.json.gz"
+        # a snapshot from a *different* warehouse shape: verify() fails
+        # with a plain WarehouseError, logged under the "stale" kind
+        other = build_minibank(seed=7, scale=0.05)
+        other.save_index_snapshot(path)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.warehouse.warehouse"
+        ):
+            warehouse = build_minibank(seed=42, scale=0.1, snapshot=str(path))
+        assert warehouse.inverted.entry_count() > 0
+        messages = [
+            r.getMessage() for r in caplog.records
+            if r.name == "repro.warehouse.warehouse"
+        ]
+        assert len(messages) == 1
+        assert "stale" in messages[0]

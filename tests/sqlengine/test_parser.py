@@ -273,3 +273,48 @@ class TestToSql:
         rendered = original.to_sql()
         reparsed = parse_select(rendered)
         assert reparsed.to_sql() == rendered
+
+
+class TestTransactionsAndReturning:
+    def test_begin_variants(self):
+        from repro.sqlengine.ast_nodes import Begin
+
+        assert isinstance(parse_sql("BEGIN"), Begin)
+        assert isinstance(parse_sql("BEGIN TRANSACTION"), Begin)
+
+    def test_commit_rollback_checkpoint(self):
+        from repro.sqlengine.ast_nodes import Checkpoint, Commit, Rollback
+
+        assert isinstance(parse_sql("COMMIT"), Commit)
+        assert isinstance(parse_sql("ROLLBACK"), Rollback)
+        assert isinstance(parse_sql("CHECKPOINT"), Checkpoint)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("COMMIT NOW")
+
+    def test_insert_returning(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1) RETURNING *")
+        assert isinstance(stmt, Insert)
+        assert len(stmt.returning) == 1
+        assert stmt.returning[0].is_star
+
+    def test_update_returning_with_alias(self):
+        from repro.sqlengine.ast_nodes import Update
+
+        stmt = parse_sql(
+            "UPDATE t SET a = 1 WHERE b = 2 RETURNING a, a + 1 AS next_a"
+        )
+        assert isinstance(stmt, Update)
+        assert [item.alias for item in stmt.returning] == [None, "next_a"]
+
+    def test_delete_returning(self):
+        from repro.sqlengine.ast_nodes import Delete
+
+        stmt = parse_sql("DELETE FROM t WHERE a = 1 RETURNING a")
+        assert isinstance(stmt, Delete)
+        assert len(stmt.returning) == 1
+
+    def test_no_returning_is_empty_tuple(self):
+        stmt = parse_sql("DELETE FROM t")
+        assert stmt.returning == ()

@@ -386,3 +386,74 @@ class TestObservabilityCli:
         assert code == 0
         assert "# TYPE repro_plan_cache_hits counter" in output
         assert "repro_plan_cache_capacity" in output
+
+
+class TestDurableCli:
+    def test_sql_data_dir_persists_across_invocations(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        code, output = run_cli(
+            "sql", "--data-dir", data_dir,
+            "CREATE TABLE t (id INT, label TEXT)",
+            "INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')",
+        )
+        assert code == 0
+        code, output = run_cli(
+            "sql", "--data-dir", data_dir,
+            "SELECT label FROM t ORDER BY id",
+        )
+        assert code == 0
+        assert "alpha" in output and "beta" in output
+
+    def test_sql_data_dir_transactions(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        code, output = run_cli(
+            "sql", "--data-dir", data_dir,
+            "CREATE TABLE t (id INT)",
+            "INSERT INTO t VALUES (1)",
+            "BEGIN",
+            "INSERT INTO t VALUES (2)",
+            "ROLLBACK",
+            "SELECT count(*) FROM t",
+        )
+        assert code == 0
+        assert "1" in output
+        code, output = run_cli("recover", data_dir)
+        assert code == 0
+        assert "1 row(s)" in output
+        assert "2 WAL record(s) replayed" in output
+
+    def test_recover_reports_summary(self, tmp_path):
+        data_dir = str(tmp_path / "db")
+        run_cli(
+            "sql", "--data-dir", data_dir,
+            "CREATE TABLE t (id INT)",
+            "INSERT INTO t VALUES (1), (2)",
+        )
+        code, output = run_cli("recover", data_dir, "--checkpoint")
+        assert code == 0
+        assert "generation" in output
+        assert "replayed" in output
+        # a second recover starts from the checkpoint written above
+        code, output = run_cli("recover", data_dir)
+        assert code == 0
+        assert "checkpoint loaded" in output
+        assert "0 WAL record(s) replayed" in output
+
+    def test_recover_corrupt_wal_exits_nonzero(self, tmp_path):
+        import os
+
+        data_dir = str(tmp_path / "db")
+        run_cli(
+            "sql", "--data-dir", data_dir,
+            "CREATE TABLE t (id INT)",
+            "INSERT INTO t VALUES (1), (2)",
+        )
+        wal = os.path.join(data_dir, "wal.0.log")
+        with open(wal, "r+b") as handle:
+            handle.seek(12)
+            byte = handle.read(1)
+            handle.seek(12)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        code, output = run_cli("recover", data_dir)
+        assert code == 1
+        assert "error:" in output
