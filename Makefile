@@ -14,7 +14,10 @@
 #                     BENCH_durability.json;
 #                     observability off-switch overhead <5%, emits
 #                     BENCH_obs.json; fused/parallel scale bench at a
-#                     reduced 50k rows, emits BENCH_scale.json).
+#                     reduced 50k rows, emits BENCH_scale.json;
+#                     concurrent serving: threaded search_many beats the
+#                     sequential loop + mixed read/write HTTP p50/p99,
+#                     emits BENCH_serving.json).
 #                     BENCH_SPEEDUP_MIN relaxes the *timing* floors on
 #                     noisy shared runners (see benchmarks/bench_utils.py);
 #                     correctness asserts always stay hard.
@@ -22,6 +25,9 @@
 #                     over row mode and >=2x over the unfused batch
 #                     engine at 1M rows (BENCH_SCALE_ROWS overrides the
 #                     row count), emits BENCH_scale.json
+#   make bench-serving  the serving benchmark alone (concurrent
+#                     search_many + HTTP mixed load), emits
+#                     BENCH_serving.json
 #   make coverage     tier-1 suite under pytest-cov (CI gate: >=85% on
 #                     src/repro, writes coverage.xml)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
@@ -30,7 +36,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-scale coverage lint check
+.PHONY: test test-fast bench-smoke bench-scale bench-serving coverage \
+	lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,10 +55,14 @@ bench-smoke:
 		benchmarks/bench_dml_invalidation.py \
 		benchmarks/bench_durability.py \
 		benchmarks/bench_observability_overhead.py \
-		benchmarks/bench_scale.py -q -s
+		benchmarks/bench_scale.py \
+		benchmarks/bench_serving.py -q -s
 
 bench-scale:
 	$(PYTHON) -m pytest benchmarks/bench_scale.py -q -s
+
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
 
 coverage:
 	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \

@@ -1,0 +1,231 @@
+"""Concurrent serving benchmarks: threaded search_many + the HTTP front end.
+
+PR 9 restructured storage into frozen segments + delta so readers pin
+snapshots and never block on writers, promoted the result memo to one
+engine-wide cache, and put an asyncio HTTP front end (``repro serve``)
+over a thread pool.  This bench locks the serving claims:
+
+* **concurrent batch** — ``Soda.search_many(workers=4)`` over a
+  duplicate-heavy 40-request workload must beat the same requests
+  issued as a naive sequential per-request loop, with
+  statement-for-statement identical results;
+* **mixed read/write HTTP** — a background :class:`SodaServer` takes
+  4 client threads of searches with an interleaved writer posting
+  INSERTs through ``/sql``; every request must succeed, and the
+  per-request p50/p99 latency and end-to-end QPS land in
+  ``BENCH_serving.json``.
+
+Timing floors relax under ``BENCH_SPEEDUP_MIN`` (noisy CI runners);
+correctness asserts stay hard.  Run with::
+
+    pytest benchmarks/bench_serving.py -q -s
+"""
+
+import json
+import threading
+import time
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from bench_utils import speedup_floor
+from repro.core.soda import Soda, SodaConfig
+from repro.server import SodaServer
+from repro.sqlengine.config import DEFAULT_SEGMENT_ROWS, EngineConfig
+from repro.warehouse.minibank import build_minibank
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+SERVE_WORKERS = 4
+CLIENT_THREADS = 4
+REQUESTS_PER_CLIENT = 12
+
+#: a zipf-ish 40-request serving workload over 8 distinct texts —
+#: duplicates included, as in real interactive traffic
+UNIQUE_QUERIES = [
+    "Zurich",
+    "Sara Guttinger",
+    "customers Zurich",
+    "gold agreement",
+    "private customers family name",
+    "Credit Suisse",
+    "customers names",
+    "trade order",
+]
+WORKLOAD = [
+    UNIQUE_QUERIES[i % len(UNIQUE_QUERIES) if i % 2 else i % 3]
+    for i in range(40)
+]
+
+#: accumulated across tests; the last test writes BENCH_OUTPUT
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def serving_warehouse():
+    """A private warehouse with the concurrent storage layout enabled."""
+    return build_minibank(
+        seed=42,
+        scale=0.5,
+        engine_config=EngineConfig(segment_rows=DEFAULT_SEGMENT_ROWS),
+    )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _fingerprints(results) -> list:
+    return [
+        [(s.sql, round(s.score, 12)) for s in result.statements]
+        for result in results
+    ]
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class TestConcurrentBatch:
+    def test_concurrent_search_many_beats_sequential(self, serving_warehouse):
+        warehouse = serving_warehouse
+
+        # parity first (also warms the shared index/graph state): the
+        # threaded batch must be statement-for-statement identical to
+        # per-request serial searches
+        reference = Soda(warehouse, SodaConfig())
+        expected = _fingerprints([reference.search(t) for t in WORKLOAD])
+        concurrent_engine = Soda(warehouse, SodaConfig())
+        assert _fingerprints(
+            concurrent_engine.search_many(WORKLOAD, workers=SERVE_WORKERS)
+        ) == expected
+
+        def sequential():
+            soda = Soda(warehouse, SodaConfig())
+            for text in WORKLOAD:
+                soda.search(text)
+
+        def concurrent():
+            soda = Soda(warehouse, SodaConfig())
+            soda.search_many(WORKLOAD, workers=SERVE_WORKERS)
+
+        sequential_time = _best_of(sequential, 3)
+        concurrent_time = _best_of(concurrent, 3)
+        speedup = sequential_time / concurrent_time
+        RESULTS["batch"] = {
+            "requests": len(WORKLOAD),
+            "unique_queries": len(set(WORKLOAD)),
+            "workers": SERVE_WORKERS,
+            "sequential_seconds": sequential_time,
+            "concurrent_seconds": concurrent_time,
+            "speedup_x": speedup,
+            "sequential_qps": len(WORKLOAD) / sequential_time,
+            "concurrent_qps": len(WORKLOAD) / concurrent_time,
+        }
+        print(
+            f"\nconcurrent batch: {len(WORKLOAD)} requests "
+            f"({len(set(WORKLOAD))} unique) — sequential "
+            f"{sequential_time * 1e3:.0f} ms "
+            f"({len(WORKLOAD) / sequential_time:.0f} q/s), "
+            f"search_many(workers={SERVE_WORKERS}) "
+            f"{concurrent_time * 1e3:.0f} ms "
+            f"({len(WORKLOAD) / concurrent_time:.0f} q/s), {speedup:.2f}x"
+        )
+        assert speedup >= speedup_floor(1.3), (
+            f"concurrent search_many speedup {speedup:.2f}x below floor"
+        )
+
+
+class TestHttpMixedLoad:
+    def test_mixed_read_write_http_load(self, serving_warehouse):
+        soda = Soda(serving_warehouse, SodaConfig())
+        server = SodaServer(soda, port=0, workers=SERVE_WORKERS)
+        server.start_background()
+        base = f"http://127.0.0.1:{server.port}"
+        latencies: list = []
+        failures: list = []
+        lock = threading.Lock()
+
+        def request(path: str, body: "bytes | None" = None) -> None:
+            started = time.perf_counter()
+            try:
+                req = urllib.request.Request(base + path, data=body)
+                with urllib.request.urlopen(req, timeout=60) as response:
+                    payload = json.loads(response.read())
+                    status = response.status
+            except urllib.error.HTTPError as exc:
+                payload, status = json.loads(exc.read()), exc.code
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if status != 200:
+                    failures.append((path, status, payload))
+
+        def client(worker: int) -> None:
+            for i in range(REQUESTS_PER_CLIENT):
+                step = worker * REQUESTS_PER_CLIENT + i
+                if worker == 0 and i % 4 == 3:
+                    # the writer: DML lands through /sql while the other
+                    # threads keep searching against pinned snapshots
+                    request(
+                        "/sql",
+                        f"INSERT INTO currencies VALUES "
+                        f"('Z{step:02d}', 'Bench Coin {step}')".encode(),
+                    )
+                else:
+                    text = UNIQUE_QUERIES[step % len(UNIQUE_QUERIES)]
+                    query = urllib.parse.quote(text)
+                    request(f"/search?q={query}&limit=3")
+
+        try:
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(n,))
+                for n in range(CLIENT_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - started
+        finally:
+            server.stop()
+
+        total = CLIENT_THREADS * REQUESTS_PER_CLIENT
+        assert not failures, f"requests failed: {failures[:3]}"
+        assert len(latencies) == total
+        cache = soda.result_cache.stats()
+        RESULTS["http"] = {
+            "requests": total,
+            "client_threads": CLIENT_THREADS,
+            "server_workers": SERVE_WORKERS,
+            "writes": len([i for i in range(REQUESTS_PER_CLIENT) if i % 4 == 3]),
+            "wall_seconds": wall,
+            "qps": total / wall,
+            "p50_seconds": _percentile(latencies, 0.50),
+            "p99_seconds": _percentile(latencies, 0.99),
+            "result_cache_hits": cache["hits"],
+            "result_cache_misses": cache["misses"],
+        }
+        http = RESULTS["http"]
+        print(
+            f"\nhttp mixed load: {total} requests on {CLIENT_THREADS} "
+            f"client threads in {wall:.2f}s ({http['qps']:.0f} q/s), "
+            f"p50 {http['p50_seconds'] * 1e3:.0f} ms, "
+            f"p99 {http['p99_seconds'] * 1e3:.0f} ms, "
+            f"cache {cache['hits']} hit(s) / {cache['misses']} miss(es)"
+        )
+        # the shared result cache must be doing real work under load
+        assert cache["hits"] > 0
+
+        BENCH_OUTPUT.write_text(json.dumps(RESULTS, indent=2) + "\n")
+        print(f"  -> {BENCH_OUTPUT.name} written")

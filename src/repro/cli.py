@@ -10,6 +10,8 @@ Usage::
     python -m repro trace "customers Zurich"  # rendered span tree
     python -m repro sql "UPDATE ..."     # run SQL (incl. UPDATE/DELETE)
     python -m repro sql --data-dir d "BEGIN" "INSERT ..." "COMMIT"
+    python -m repro serve --port 8765    # JSON-over-HTTP search service
+    python -m repro --engine-config parallel-workers=4 serve
     python -m repro recover d            # replay checkpoint + WAL, report
     python -m repro recover d --checkpoint  # + write a fresh checkpoint
     python -m repro experiments          # Tables 2, 3 and 4
@@ -59,6 +61,11 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-fused", action="store_true",
                         help="disable fused filter/project expression "
                              "codegen in the batch engine")
+    parser.add_argument("--engine-config", default=None, metavar="SPEC",
+                        help="engine settings as key=value[,key=value] over "
+                             "the EngineConfig fields, e.g. "
+                             "'segment-rows=4096,parallel-workers=4,"
+                             "array-store=true'")
 
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -81,6 +88,9 @@ def make_parser() -> argparse.ArgumentParser:
     search.add_argument("--analyze", action="store_true",
                         help="with plans: execute instrumented and show "
                              "actual rows + self-time (implies --explain)")
+    search.add_argument("--json", action="store_true",
+                        help="emit the result as JSON (the same stable wire "
+                             "shape `repro serve` answers with)")
 
     explain = commands.add_parser(
         "explain", help="show the optimized query plan for a SQL statement"
@@ -116,6 +126,21 @@ def make_parser() -> argparse.ArgumentParser:
                      help="run against a durable database in DIR (created "
                           "or recovered: checkpoint + WAL replay) instead "
                           "of the in-memory finbank warehouse")
+
+    serve = commands.add_parser(
+        "serve", help="serve searches over JSON-over-HTTP (asyncio front "
+                      "end; /search, /sql, /metrics, /healthz)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--http-workers", type=int, default=4, metavar="N",
+                       help="engine thread pool size: searches/SQL in "
+                            "flight at once (default 4)")
+    serve.add_argument("--limit", type=int, default=5,
+                       help="default statements per /search response "
+                            "(default 5; clients override per request)")
 
     recover = commands.add_parser(
         "recover",
@@ -173,11 +198,27 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_warehouse(args, **overrides):
+def _engine_config(args, base=None):
+    """The resolved EngineConfig for this invocation (or None).
+
+    ``--engine-config`` overrides *base* field by field; commands that
+    want different defaults (``serve`` turns segmented storage on) pass
+    their own base and still honour the user's spec.
+    """
+    from repro.sqlengine.config import EngineConfig
+
+    spec = getattr(args, "engine_config", None)
+    if spec is None:
+        return base
+    return EngineConfig.from_cli(spec, base=base)
+
+
+def _build_warehouse(args, base_config=None, **overrides):
     kwargs = {
         "seed": args.seed,
         "scale": args.scale,
         "snapshot": getattr(args, "snapshot", None),
+        "engine_config": _engine_config(args, base_config),
     }
     kwargs.update(overrides)
     warehouse = build_minibank(**kwargs)
@@ -208,6 +249,9 @@ def cmd_search(args, out) -> int:
         return _run_search_batch(args, soda, out)
     result = soda.search(args.query, execute=not args.no_execute)
 
+    if args.json:
+        print(result.to_json(limit=args.limit, indent=2), file=out)
+        return 0
     print(f"query:      {result.query.describe()}", file=out)
     print(f"complexity: {result.complexity}", file=out)
     print(f"statements: {len(result.statements)}", file=out)
@@ -345,7 +389,9 @@ def cmd_sql(args, out) -> int:
         from repro.sqlengine.database import Database
 
         try:
-            database = Database(data_dir=args.data_dir)
+            database = Database(
+                config=_engine_config(args), data_dir=args.data_dir
+            )
         except RecoveryError as exc:
             print(f"error: cannot recover {args.data_dir}: {exc}", file=out)
             return 1
@@ -362,6 +408,43 @@ def cmd_sql(args, out) -> int:
     finally:
         if args.data_dir is not None:
             database.close()
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    from repro.server import SodaServer
+    from repro.sqlengine.config import DEFAULT_SEGMENT_ROWS, EngineConfig
+
+    # serving turns the concurrent storage layout on by default: frozen
+    # segments + delta let reader threads pin snapshots while /sql
+    # writes land; --engine-config segment-rows=0 restores flat storage
+    base = EngineConfig(segment_rows=DEFAULT_SEGMENT_ROWS)
+    warehouse = _build_warehouse(args, base_config=base)
+    soda = Soda(warehouse, SodaConfig())
+    server = SodaServer(
+        soda,
+        host=args.host,
+        port=args.port,
+        workers=args.http_workers,
+        default_limit=args.limit,
+    )
+    server.start_background()
+    config = warehouse.database.config
+    print(f"serving finbank on http://{args.host}:{server.port}", file=out)
+    print(
+        "engine: "
+        + ", ".join(f"{k}={v}" for k, v in config.as_dict().items()),
+        file=out,
+    )
+    print("endpoints: /search /sql /metrics /healthz  (Ctrl-C stops)",
+          file=out)
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(timeout=1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -587,6 +670,7 @@ def main(argv=None, out=None) -> int:
         "explain": cmd_explain,
         "trace": cmd_trace,
         "sql": cmd_sql,
+        "serve": cmd_serve,
         "recover": cmd_recover,
         "experiments": cmd_experiments,
         "compare": cmd_compare,

@@ -1,0 +1,55 @@
+"""Small concurrency primitives shared across the engine.
+
+:class:`SharedRLock` exists because the storage layer now embeds locks
+in objects the rest of the codebase treats as plain values — tables and
+catalogs are deep-copied by the time-travel tests, pickled into
+checkpoint fixtures, and so on.  A raw ``threading.RLock`` poisons
+``copy.deepcopy`` / ``pickle`` for the whole object graph; this wrapper
+copies as a *fresh, unlocked* lock while preserving sharing (two
+objects holding the same lock before a deepcopy hold one shared lock
+after it, via the deepcopy memo).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SharedRLock"]
+
+
+class SharedRLock:
+    """A reentrant lock that survives deepcopy and pickling.
+
+    Semantics of the copy: brand new and unlocked — lock *state* is
+    inherently tied to live threads and never meaningfully copyable.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "SharedRLock":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._lock.release()
+        return False
+
+    def __deepcopy__(self, memo: dict) -> "SharedRLock":
+        clone = type(self)()
+        memo[id(self)] = clone
+        return clone
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.RLock()

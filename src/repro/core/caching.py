@@ -1,0 +1,104 @@
+"""The shared cross-session result cache.
+
+One :class:`ResultCache` lives on each :class:`~repro.core.soda.Soda`
+instance; every :class:`~repro.core.serving.SearchSession` over that
+engine (and every thread of the HTTP front end) serves repeated query
+texts from it.  Entries are keyed by ``(query text, execute, limit)``
+and guarded by the session layer's *engine token* — the version
+counters of every input a search result depends on — so any write that
+could change an answer empties the cache wholesale rather than risking
+a stale hit.
+
+Thread-safe by a plain lock around each operation; a compute that
+raced a write (its token went stale while the search ran) is returned
+to its caller but **not** stored, so the cache never holds a result
+the current engine state couldn't have produced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.concurrency import SharedRLock
+from repro.obs.metrics import registry as _metrics_registry
+
+#: results memoized per cache unless overridden (0 disables caching)
+DEFAULT_RESULT_CACHE_SIZE = 64
+
+# local counters keep the public cache_stats() dict shape; the same
+# events are mirrored process-wide for `repro stats --metrics`
+_METRICS = _metrics_registry()
+_RESULT_HITS = _METRICS.counter("serving.result_cache.hits")
+_RESULT_MISSES = _METRICS.counter("serving.result_cache.misses")
+
+
+class ResultCache:
+    """A token-guarded LRU of search results, safe to share across threads."""
+
+    def __init__(self, capacity: int = DEFAULT_RESULT_CACHE_SIZE) -> None:
+        self.capacity = max(0, capacity)
+        self._lock = SharedRLock()
+        self._token = None
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, token, key):
+        """The cached result for *key* under *token*, or None (a miss).
+
+        A token change (any engine write since the last call) drops
+        every entry first — the classic all-or-nothing invalidation the
+        per-session memo used, now enforced under one lock.
+        """
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            if self._token != token:
+                self._token = token
+                self._entries.clear()
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if _METRICS.enabled:
+                    _RESULT_HITS.inc()
+                return hit
+            self.misses += 1
+            if _METRICS.enabled:
+                _RESULT_MISSES.inc()
+            return None
+
+    def store(self, token, key, result) -> None:
+        """Insert a freshly computed result, unless its token went stale.
+
+        The re-check closes the compute-then-store race: a write that
+        landed while the search ran changed the engine token, and a
+        result computed from the older state must not be served to
+        later callers.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if self._token != token:
+                return
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -24,6 +24,8 @@ Early termination comes in two forms:
 
 from __future__ import annotations
 
+import datetime
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -35,6 +37,13 @@ from repro.obs.tracing import NULL_TRACER
 _METRICS = _metrics_registry()
 _SEARCHES = _METRICS.counter("pipeline.searches")
 _SEARCH_SECONDS = _METRICS.histogram("pipeline.search.seconds")
+
+
+def _json_value(value):
+    """One snippet cell as a JSON-native value (dates become ISO strings)."""
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return value
 
 
 @dataclass
@@ -100,6 +109,72 @@ class SearchResult:
 
     def sql_texts(self) -> list:
         return [statement.sql for statement in self.statements]
+
+    # ------------------------------------------------------------------
+    # the stable wire contract (used by `repro serve` and --json)
+    # ------------------------------------------------------------------
+    def to_dict(self, limit: "int | None" = None) -> dict:
+        """The result as JSON-native data — the serving wire contract.
+
+        Shape (stable; the HTTP layer and ``repro search --json`` both
+        emit exactly this):
+
+        * ``query``: ``{"text", "description"}``
+        * ``complexity``: the lookup's interpretation count
+        * ``statements``: up to *limit* entries of ``{"sql", "score",
+          "disconnected", "interpretation", "estimated_rows",
+          "execution_error", "snippet"}`` where ``snippet`` is
+          ``{"columns", "rows"}`` or None (DATE values as ISO strings)
+        * ``timings``: the six per-step seconds plus ``soda_total`` and
+          ``total``
+        * ``trace``: the span tree when the search was traced, else
+          absent
+        """
+        statements = self.statements if limit is None else self.statements[:limit]
+        payload = {
+            "query": {
+                "text": self.query.raw,
+                "description": self.query.describe(),
+            },
+            "complexity": self.complexity,
+            "statements": [
+                {
+                    "sql": scored.sql,
+                    "score": scored.score,
+                    "disconnected": scored.disconnected,
+                    "interpretation": scored.interpretation_description,
+                    "estimated_rows": scored.estimated_rows,
+                    "execution_error": scored.execution_error,
+                    "snippet": None
+                    if scored.snippet is None
+                    else {
+                        "columns": list(scored.snippet.columns),
+                        "rows": [
+                            [_json_value(value) for value in row]
+                            for row in scored.snippet.rows
+                        ],
+                    },
+                }
+                for scored in statements
+            ],
+            "timings": {
+                "lookup": self.timings.lookup,
+                "rank": self.timings.rank,
+                "tables": self.timings.tables,
+                "filters": self.timings.filters,
+                "sql": self.timings.sql,
+                "execute": self.timings.execute,
+                "soda_total": self.timings.soda_total,
+                "total": self.timings.total,
+            },
+        }
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_dict()
+        return payload
+
+    def to_json(self, limit: "int | None" = None, indent: "int | None" = None) -> str:
+        """:meth:`to_dict` serialized deterministically (sorted keys)."""
+        return json.dumps(self.to_dict(limit=limit), sort_keys=True, indent=indent)
 
 
 @dataclass

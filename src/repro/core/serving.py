@@ -8,32 +8,28 @@ never mutates the shared engine (relevance feedback in particular stays
 a deliberate, explicit `Soda.feedback` operation), so sessions can be
 created per request, shared, or discarded freely.
 
-Sessions also memoize their own results: repeated query texts are
-served from a per-session LRU keyed by the query text plus an *engine
-token* — the version counters of the inverted index, classification
-index and metadata graph, the catalog fingerprint, and the feedback
-state.  Any write that could change an answer (an INSERT, UPDATE,
-DELETE, DDL, a graph annotation, new feedback) changes the token and
-empties the cache, so a session can never serve stale results.
+Repeated query texts are served from the engine's **shared**
+:class:`~repro.core.caching.ResultCache` (one per `Soda`, used by every
+session and every serving thread), keyed by the query text plus the
+session's presentation knobs and guarded by an *engine token* — the
+version counters of the inverted index, classification index and
+metadata graph, the catalog fingerprint, and the feedback state.  Any
+write that could change an answer (an INSERT, UPDATE, DELETE, DDL, a
+graph annotation, new feedback) changes the token and empties the
+cache, so no caller can ever see a stale result.  A session can still
+opt into a private cache (``result_cache_size=N``) or none at all
+(``result_cache_size=0``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.caching import DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from repro.core.pipeline import SearchResult
 from repro.core.soda import Soda
-from repro.obs.metrics import registry as _metrics_registry
 
-#: results memoized per session unless overridden (0 disables caching)
-DEFAULT_RESULT_CACHE_SIZE = 64
-
-# per-session counters keep their public dict shape (cache_stats); the
-# same events are mirrored process-wide for `repro stats --metrics`
-_METRICS = _metrics_registry()
-_RESULT_HITS = _METRICS.counter("serving.result_cache.hits")
-_RESULT_MISSES = _METRICS.counter("serving.result_cache.misses")
+__all__ = ["DEFAULT_RESULT_CACHE_SIZE", "SearchSession"]
 
 
 @dataclass(frozen=True)
@@ -49,29 +45,33 @@ class SearchSession:
     execute: bool = True
     #: truncate each result's statement list (None: keep all)
     limit: "int | None" = None
-    #: per-session result memo capacity (0 disables)
-    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
-    #: internal memo state; shared dict so the frozen dataclass can update
-    _cache: dict = field(
-        default_factory=lambda: {
-            "token": None,
-            "entries": OrderedDict(),
-            "hits": 0,
-            "misses": 0,
-        },
-        repr=False,
-        compare=False,
+    #: None (default): share the engine-wide result cache; N > 0: a
+    #: private cache of that capacity; 0: no result caching at all
+    result_cache_size: "int | None" = None
+    #: the resolved cache object (None when caching is disabled)
+    _cache: "ResultCache | None" = field(
+        default=None, init=False, repr=False, compare=False
     )
 
+    def __post_init__(self) -> None:
+        if self.result_cache_size is None:
+            cache = self.soda.result_cache
+        elif self.result_cache_size > 0:
+            cache = ResultCache(self.result_cache_size)
+        else:
+            cache = None
+        object.__setattr__(self, "_cache", cache)
+
     def search(self, text: str) -> SearchResult:
-        """Run one query through the shared pipeline (memoized)."""
+        """Run one query through the shared pipeline (cached)."""
         return self._serve(text)
 
     def search_many(self, texts) -> "list[SearchResult]":
         """Serve a batch (shared caches, deduplicated query texts)."""
-        if self.result_cache_size > 0:
-            # the session memo subsumes batch dedup: duplicate texts get
-            # the same result object, and repeats across batches are free
+        if self._cache is not None:
+            # the result cache subsumes batch dedup: duplicate texts get
+            # the same result object, and repeats across batches (or from
+            # other sessions with the same knobs) are free
             return [self._serve(text) for text in texts]
         results = self.soda.search_many(texts, execute=self.execute)
         if self.limit is None:
@@ -94,15 +94,18 @@ class SearchSession:
         return self.soda.explain(sql)
 
     # ------------------------------------------------------------------
-    # result memoization
+    # result caching
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict:
-        """Hit/miss/size counters of the per-session result memo."""
-        return {
-            "hits": self._cache["hits"],
-            "misses": self._cache["misses"],
-            "size": len(self._cache["entries"]),
-        }
+        """Hit/miss/size counters of this session's result cache.
+
+        For a default session these are the *shared* engine-wide
+        cache's counters (every session over the same `Soda` reports
+        the same numbers); a private-cache session reports its own.
+        """
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "size": 0, "capacity": 0}
+        return self._cache.stats()
 
     def _engine_token(self) -> tuple:
         """Changes whenever any input to a search result can change."""
@@ -118,28 +121,18 @@ class SearchSession:
         )
 
     def _serve(self, text: str) -> SearchResult:
-        if self.result_cache_size <= 0:
-            return self._trim(self.soda.search(text, execute=self.execute))
         cache = self._cache
+        if cache is None:
+            return self._trim(self.soda.search(text, execute=self.execute))
+        # presentation knobs are part of the key: sessions with
+        # different execute/limit settings produce different objects
+        key = (text, self.execute, self.limit)
         token = self._engine_token()
-        if cache["token"] != token:  # a write happened: drop everything
-            cache["token"] = token
-            cache["entries"].clear()
-        entries: OrderedDict = cache["entries"]
-        hit = entries.get(text)
+        hit = cache.lookup(token, key)
         if hit is not None:
-            entries.move_to_end(text)
-            cache["hits"] += 1
-            if _METRICS.enabled:
-                _RESULT_HITS.inc()
             return hit
-        cache["misses"] += 1
-        if _METRICS.enabled:
-            _RESULT_MISSES.inc()
         result = self._trim(self.soda.search(text, execute=self.execute))
-        entries[text] = result
-        while len(entries) > self.result_cache_size:
-            entries.popitem(last=False)
+        cache.store(token, key, result)
         return result
 
     # ------------------------------------------------------------------

@@ -27,8 +27,10 @@ from __future__ import annotations
 import json
 import logging
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.caching import ResultCache
 from repro.core.feedback import FeedbackStore
 from repro.core.filters import FiltersStep
 from repro.core.input_patterns import parse_query
@@ -123,6 +125,9 @@ class Soda:
         self._sqlgen = SqlGenerator(warehouse.database.catalog)
         #: relevance feedback (paper Section 6.3): like/dislike statements
         self.feedback = FeedbackStore()
+        #: engine-wide result cache, shared by every SearchSession and
+        #: serving thread over this instance (see repro.core.caching)
+        self.result_cache = ResultCache()
         #: the staged engine behind :meth:`search`; hooks may be added
         self.pipeline = SearchPipeline(
             [
@@ -157,7 +162,19 @@ class Soda:
         return self.warehouse.database.planner.cache.stats
 
     def metrics(self) -> dict:
-        """Snapshot of the process-wide metrics registry."""
+        """Snapshot of the process-wide metrics registry.
+
+        Refreshes the point-in-time gauges this engine owns — the
+        shared result cache's entry count and capacity — at dump time,
+        alongside the database's plan-cache gauges (all safe to read
+        from any thread).  The ``serving.result_cache.hits/misses``
+        counters accumulate process-wide as the cache is used.
+        """
+        reg = _metrics_registry()
+        reg.gauge("serving.result_cache.entries").set(len(self.result_cache))
+        reg.gauge("serving.result_cache.capacity").set(
+            self.result_cache.capacity
+        )
         return self.warehouse.database.metrics()
 
     def search(
@@ -219,7 +236,7 @@ class Soda:
         _SLOW_QUERY_LOG.warning(json.dumps(payload, sort_keys=True))
 
     def search_many(
-        self, texts, execute: bool = True
+        self, texts, execute: bool = True, workers: "int | None" = None
     ) -> "list[SearchResult]":
         """Serve a batch of queries over this warm instance.
 
@@ -229,7 +246,30 @@ class Soda:
         the *same* :class:`SearchResult` object at each duplicate
         position.  Results are byte-identical to sequential
         :meth:`search` calls.
+
+        With ``workers > 1`` the deduplicated query texts run
+        concurrently on a thread pool (each on its own thread-local
+        tracer, each SQL execution over its own pinned snapshots when
+        segmented storage is enabled).  Result order still matches the
+        input, and per-step timings stay per-query.
         """
+        texts = list(texts)
+        if workers is not None and workers > 1 and len(texts) > 1:
+            unique = (
+                list(dict.fromkeys(texts)) if self.config.batch_dedup else texts
+            )
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(unique)),
+                thread_name_prefix="soda-search",
+            ) as pool:
+                futures = [
+                    pool.submit(self.search, text, execute) for text in unique
+                ]
+                computed = [future.result() for future in futures]
+            if not self.config.batch_dedup:
+                return computed
+            memo = dict(zip(unique, computed))
+            return [memo[text] for text in texts]
         results: list = []
         memo: dict = {}
         for text in texts:

@@ -23,14 +23,15 @@ allocates nothing and pays only a couple of attribute lookups.
 Instrumented layers that cannot be handed a tracer explicitly (the SQL
 planner below ``Soda.search``) read the *active* tracer via
 :func:`current_tracer`; :func:`activate` installs one for a ``with``
-block.  The process is single-threaded (see ROADMAP item 1), so a
-module global is sufficient — when the concurrent serving layer lands
-this becomes a ``contextvars.ContextVar`` with the same API.
+block.  The active tracer is **per-thread** (``threading.local``) so
+the concurrent serving layer can trace one request without its spans
+bleeding into searches running on neighbouring threads.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 
@@ -177,21 +178,23 @@ class NullTracer:
 #: the process-wide disabled tracer (a singleton; never collects)
 NULL_TRACER = NullTracer()
 
-_ACTIVE = NULL_TRACER
+# the active tracer is per-thread: concurrent serving runs several
+# searches at once, and a traced request must never leak its spans into
+# (or collect spans from) a neighbouring thread's query
+_ACTIVE = threading.local()
 
 
 def current_tracer():
     """The tracer instrumented layers should emit into right now."""
-    return _ACTIVE
+    return getattr(_ACTIVE, "tracer", NULL_TRACER)
 
 
 @contextmanager
 def activate(tracer):
-    """Install *tracer* as the active tracer for the ``with`` block."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    """Install *tracer* as this thread's active tracer for the block."""
+    previous = getattr(_ACTIVE, "tracer", NULL_TRACER)
+    _ACTIVE.tracer = tracer
     try:
         yield tracer
     finally:
-        _ACTIVE = previous
+        _ACTIVE.tracer = previous

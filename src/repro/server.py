@@ -1,0 +1,331 @@
+"""The asyncio serving front end: JSON-over-HTTP search for one `Soda`.
+
+``repro serve`` answers the paper's deployment setting — SODA inside
+the bank serving "heavy traffic" of interactive keyword searches —
+with a deliberately dependency-free HTTP/1.1 server:
+
+* ``GET/POST /search`` — run a search (``q``/``query``, ``limit``,
+  ``execute``, ``trace`` parameters), returning the stable
+  :meth:`~repro.core.pipeline.SearchResult.to_dict` wire shape;
+* ``POST /sql`` — execute one SQL statement (body = the statement),
+  returning columns/rows/rowcount;
+* ``GET /metrics`` — the process metrics registry (``?format=
+  prometheus`` for text exposition);
+* ``GET /healthz`` — liveness plus engine configuration.
+
+The asyncio event loop only parses requests and shuttles bytes; every
+engine call runs on a thread pool (``workers`` threads), which is
+exactly what the concurrent storage layer is for: SELECTs and searches
+pin frozen-segment snapshots and proceed without blocking, repeated
+query texts hit the engine-wide result cache, and DML statements
+serialize on one writer lock so the single-writer storage model holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.pipeline import _json_value
+from repro.core.serving import SearchSession
+from repro.core.soda import Soda
+from repro.errors import SqlError
+from repro.obs.metrics import registry as _metrics_registry
+from repro.sqlengine.ast_nodes import Select, Union
+from repro.sqlengine.parser import parse_sql
+
+__all__ = ["SodaServer"]
+
+#: request bodies larger than this are rejected (a service guard, not
+#: a protocol limit)
+MAX_BODY_BYTES = 1 << 20
+
+_METRICS = _metrics_registry()
+_HTTP_REQUESTS = _METRICS.counter("serving.http.requests")
+_HTTP_ERRORS = _METRICS.counter("serving.http.errors")
+_HTTP_SECONDS = _METRICS.histogram("serving.http.seconds")
+
+_TRUE_WORDS = ("1", "true", "yes", "on")
+
+
+class _HttpError(Exception):
+    """An error that maps onto one HTTP status + JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SodaServer:
+    """Serve one warm `Soda` engine over HTTP (asyncio front end).
+
+    ``port=0`` binds an ephemeral port; :attr:`port` reports the real
+    one once the server is listening.  ``workers`` bounds the engine
+    thread pool — the number of searches/SQL statements in flight at
+    once.  Use :meth:`run` to serve blocking (the CLI), or
+    :meth:`start_background` / :meth:`stop` from tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        soda: Soda,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        default_limit: "int | None" = 5,
+    ) -> None:
+        self.soda = soda
+        self.host = host
+        self.port = port
+        self.default_limit = default_limit
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="soda-http"
+        )
+        #: DML statements serialize here (the storage model is
+        #: single-writer; readers never take this lock)
+        self._write_lock = threading.Lock()
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stopping: "asyncio.Event | None" = None
+        self._started = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Serve until interrupted (blocking; the CLI entry point)."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    def start_background(self) -> "SodaServer":
+        """Serve on a daemon thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self.run, name="soda-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down from any thread (idempotent)."""
+        loop, stopping = self._loop, self._stopping
+        if loop is not None and stopping is not None:
+            try:
+                loop.call_soon_threadsafe(stopping.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            self._started.clear()
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, body, keep_alive = request
+                status, payload = await self._dispatch(method, target, body)
+                blob = json.dumps(payload, sort_keys=True).encode()
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(blob)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                    "\r\n"
+                ).encode()
+                writer.write(head + blob)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; None on a cleanly closed connection."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(request_line, None)
+        method, target, version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, __, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "").lower() != "close" and (
+            version.upper() != "HTTP/1.0"
+        )
+        return method.upper(), target, body, keep_alive
+
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        started = perf_counter()
+        if _METRICS.enabled:
+            _HTTP_REQUESTS.inc()
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        try:
+            if path == "/healthz":
+                return 200, self._healthz()
+            if path == "/metrics" and method == "GET":
+                return 200, self._metrics_payload(params)
+            if path == "/search" and method in ("GET", "POST"):
+                if method == "POST" and body:
+                    try:
+                        posted = json.loads(body.decode())
+                    except (ValueError, UnicodeDecodeError):
+                        raise _HttpError(400, "POST /search expects JSON")
+                    if not isinstance(posted, dict):
+                        raise _HttpError(400, "POST /search expects an object")
+                    params = {**posted, **params}
+                handler = self._handle_search
+            elif path == "/sql" and method == "POST":
+                params["sql"] = body.decode(errors="replace")
+                handler = self._handle_sql
+            else:
+                raise _HttpError(404, f"no route for {method} {split.path}")
+            # engine work runs on the pool: the event loop stays free to
+            # accept and parse other requests while searches execute
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self._pool, handler, params
+            )
+            return 200, payload
+        except _HttpError as exc:
+            if _METRICS.enabled:
+                _HTTP_ERRORS.inc()
+            return exc.status, {"error": str(exc)}
+        except SqlError as exc:
+            if _METRICS.enabled:
+                _HTTP_ERRORS.inc()
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            if _METRICS.enabled:
+                _HTTP_ERRORS.inc()
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            if _METRICS.enabled:
+                _HTTP_SECONDS.observe(perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # handlers (run on the worker pool)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flag(params: dict, name: str, default: bool) -> bool:
+        value = params.get(name)
+        if value is None:
+            return default
+        if isinstance(value, bool):
+            return value
+        return str(value).lower() in _TRUE_WORDS
+
+    def _handle_search(self, params: dict) -> dict:
+        text = params.get("q") or params.get("query")
+        if not text or not isinstance(text, str):
+            raise _HttpError(400, "missing query parameter 'q'")
+        limit = params.get("limit", self.default_limit)
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError):
+                raise _HttpError(400, f"bad limit {limit!r}")
+            if limit < 0:
+                raise _HttpError(400, "limit must be >= 0")
+        execute = self._flag(params, "execute", True)
+        if self._flag(params, "trace", False):
+            # traced requests bypass the result cache (the trace is
+            # per-request state) but still run concurrently: the active
+            # tracer is thread-local
+            result = self.soda.search(text, execute=execute, trace=True)
+            return result.to_dict(limit=limit)
+        session = SearchSession(self.soda, execute=execute, limit=limit)
+        return session.search(text).to_dict()
+
+    def _handle_sql(self, params: dict) -> dict:
+        sql = (params.get("sql") or "").strip()
+        if not sql:
+            raise _HttpError(400, "POST /sql expects the statement as body")
+        statement = parse_sql(sql)  # surface syntax errors before locking
+        database = self.soda.warehouse.database
+        if isinstance(statement, (Select, Union)):
+            result = database.execute(sql)
+        else:
+            with self._write_lock:
+                result = database.execute(sql)
+        return {
+            "columns": list(result.columns),
+            "rows": [
+                [_json_value(value) for value in row] for row in result.rows
+            ],
+            "rowcount": result.rowcount,
+        }
+
+    def _metrics_payload(self, params: dict) -> dict:
+        metrics = self.soda.metrics()
+        if params.get("format") == "prometheus":
+            return {"prometheus": _metrics_registry().render_prometheus()}
+        return metrics
+
+    def _healthz(self) -> dict:
+        database = self.soda.warehouse.database
+        return {
+            "status": "ok",
+            "engine_config": {
+                key: value
+                for key, value in database.config.as_dict().items()
+            },
+            "tables": len(database.table_names()),
+        }
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+}

@@ -2,16 +2,38 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.concurrency import SharedRLock
 from repro.errors import SqlCatalogError, SqlTypeError
 from repro.sqlengine.encoding import (
     DICT_ENCODING_MAX_DISTINCT,
     ArrayColumn,
     ColumnDictionary,
 )
+from repro.sqlengine.segments import SegmentedStorage
 from repro.sqlengine.types import SqlType, coerce_value
+
+
+def _locked(method):
+    """Run *method* under the table's storage lock.
+
+    Every mutation path is wrapped so the frozen-segment mirror, the
+    flat storage and the dictionary codes always change as one atomic
+    step with respect to :meth:`Table.pin` /
+    :meth:`Catalog.pin_tables`.  The lock is an uncontended C-level
+    RLock for the classic single-threaded setup, so the wrapper costs
+    next to nothing there.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._storage_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -116,6 +138,8 @@ class Table:
         foreign_keys: Iterable[ForeignKey] = (),
         dict_encoding_threshold: "int | None" = None,
         array_store: bool = False,
+        segment_rows: int = 0,
+        storage_lock: "SharedRLock | None" = None,
     ) -> None:
         if not columns:
             raise SqlCatalogError(f"table {name!r} must have at least one column")
@@ -167,6 +191,16 @@ class Table:
         #: mutation below records its inverse here while a transaction —
         #: explicit or per-statement implicit — is open on this table
         self._undo = None
+        #: frozen-segment + delta mirror (see repro.sqlengine.segments),
+        #: or None for the classic flat-only storage
+        self._segments = (
+            SegmentedStorage(segment_rows) if segment_rows > 0 else None
+        )
+        #: guards every mutation and every pin; shared across all tables
+        #: of one catalog so multi-table pins are a single atomic step
+        self._storage_lock = (
+            storage_lock if storage_lock is not None else SharedRLock()
+        )
 
     # ------------------------------------------------------------------
     def column_names(self) -> list[str]:
@@ -223,6 +257,41 @@ class Table:
 
     # ------------------------------------------------------------------
     @property
+    def segmented(self) -> bool:
+        """True when this table keeps a frozen-segment + delta mirror."""
+        return self._segments is not None
+
+    def read_guard(self) -> "SharedRLock":
+        """The storage lock, for callers that must iterate live storage.
+
+        Used as ``with table.read_guard():`` by readers that walk the
+        mutable flat lists directly (e.g. the statistics gatherer) and
+        therefore cannot tolerate a concurrent compaction.  Pinned scans
+        never need it.
+        """
+        return self._storage_lock
+
+    def pin(self):
+        """An immutable :class:`~repro.sqlengine.segments.TableSnapshot`.
+
+        Only meaningful for segmented tables (None otherwise).  Cheap:
+        the segment list plus a copy of the small delta, taken under
+        the storage lock.
+        """
+        if self._segments is None:
+            return None
+        with self._storage_lock:
+            return self._segments.snapshot(self)
+
+    def segment_stats(self) -> "dict | None":
+        """Segment/delta/tombstone counts, or None when unsegmented."""
+        if self._segments is None:
+            return None
+        with self._storage_lock:
+            return self._segments.stats(self)
+
+    # ------------------------------------------------------------------
+    @property
     def version(self) -> int:
         """Bumped on every insert/update/delete of this table."""
         return self._version
@@ -233,6 +302,7 @@ class Table:
         return self._mutation_count
 
     # ------------------------------------------------------------------
+    @_locked
     def insert(self, values: Sequence[Any]) -> None:
         """Insert one row given positionally."""
         if len(values) != len(self.columns):
@@ -258,6 +328,8 @@ class Table:
                     else self._dictionaries[index].encode(value)
                 )
             self._check_dictionary_thresholds()
+        if self._segments is not None:
+            self._segments.note_insert(self)
         self._version += 1
         for observer in self._observers:
             observer.on_insert(self, row)
@@ -278,6 +350,7 @@ class Table:
     # ------------------------------------------------------------------
     # the single mutation path (shared by both execution engines)
     # ------------------------------------------------------------------
+    @_locked
     def update_positions(
         self, positions: Sequence[int], new_rows: Sequence[Sequence[Any]]
     ) -> int:
@@ -345,6 +418,8 @@ class Table:
             changes.append((old_row, new_row))
         if encoded_indexes:
             self._check_dictionary_thresholds()
+        if self._segments is not None:
+            self._segments.note_update(self, positions)
         self._version += 1
         self._mutation_count += 1
         for observer in self._observers:
@@ -352,6 +427,7 @@ class Table:
                 observer.on_update(self, old_row, new_row)
         return len(changes)
 
+    @_locked
     def delete_positions(self, positions: Sequence[int]) -> int:
         """Remove the rows at *positions* (tombstone-free compaction).
 
@@ -372,6 +448,11 @@ class Table:
         removed = [rows[position] for position in sorted(doomed)]
         if self._undo is not None:
             self._undo.record_delete(self, sorted(doomed), removed)
+        segment_plan = (
+            self._segments.plan_delete(sorted(doomed))
+            if self._segments is not None
+            else None
+        )
         rows[:] = [
             row for position, row in enumerate(rows) if position not in doomed
         ]
@@ -393,6 +474,8 @@ class Table:
                 for position, code in enumerate(codes)
                 if position not in doomed
             ]
+        if self._segments is not None:
+            self._segments.commit_delete(self, segment_plan)
         self._version += 1
         self._mutation_count += 1
         for observer in self._observers:
@@ -400,6 +483,7 @@ class Table:
                 observer.on_delete(self, row)
         return len(removed)
 
+    @_locked
     def restore_rows(self, positions: Sequence[int], rows: Sequence[tuple]) -> None:
         """Re-insert previously removed rows at their original positions.
 
@@ -456,6 +540,9 @@ class Table:
             codes[:] = merged_codes
         if self._encoded_indexes:
             self._check_dictionary_thresholds()
+        if self._segments is not None:
+            # rollback rewrites arbitrary ranges; re-derive the mirror
+            self._segments.rebuild(self)
         self._version += 1
         self._mutation_count += 1
         for observer in self._observers:
@@ -484,10 +571,19 @@ class Catalog:
         self,
         dict_encoding_threshold: "int | None" = None,
         array_store: bool = False,
+        segment_rows: int = 0,
     ) -> None:
         if not isinstance(array_store, bool):
             raise SqlCatalogError(
                 f"array_store must be True or False, got {array_store!r}"
+            )
+        if (
+            not isinstance(segment_rows, int)
+            or isinstance(segment_rows, bool)
+            or segment_rows < 0
+        ):
+            raise SqlCatalogError(
+                f"segment_rows must be an integer >= 0, got {segment_rows!r}"
             )
         self._tables: dict[str, Table] = {}
         self._ddl_version = 0
@@ -496,6 +592,11 @@ class Catalog:
         self._dict_encoding_threshold = dict_encoding_threshold
         #: INTEGER/REAL columns of new tables use ArrayColumn buffers
         self.array_store = array_store
+        #: > 0 opts every table into frozen-segment + delta storage
+        self.segment_rows = segment_rows
+        #: one lock for all tables: writers serialize catalog-wide, and
+        #: pin_tables captures a multi-table snapshot set atomically
+        self._storage_lock = SharedRLock()
         #: set to a unique token while an explicit transaction is open
         #: (see fingerprint); None outside transactions
         self._txn_token = None
@@ -531,6 +632,8 @@ class Catalog:
             foreign_keys,
             dict_encoding_threshold=self._dict_encoding_threshold,
             array_store=self.array_store,
+            segment_rows=self.segment_rows,
+            storage_lock=self._storage_lock,
         )
         table._observers = self._observers
         self._tables[key] = table
@@ -593,6 +696,26 @@ class Catalog:
             table = self._tables.get(name.lower())
             tokens.append((name, table.version if table is not None else None))
         return tuple(tokens)
+
+    def pin_tables(self, names: Iterable[str]) -> "dict | None":
+        """Pin snapshots of the named tables as one atomic step.
+
+        Returns ``{id(table): TableSnapshot}`` for installation via
+        :func:`repro.sqlengine.segments.pinned`, or None when nothing
+        is segmented (the common flat-storage case: a cheap fast path
+        with no lock traffic).  Taking every snapshot under one
+        acquisition of the catalog-wide storage lock guarantees a
+        multi-table query reads one mutually consistent state.
+        """
+        if not self.segment_rows:
+            return None
+        pins: dict = {}
+        with self._storage_lock:
+            for name in names:
+                table = self._tables.get(name.lower())
+                if table is not None and table._segments is not None:
+                    pins[id(table)] = table._segments.snapshot(table)
+        return pins or None
 
     def table(self, name: str) -> Table:
         try:

@@ -7,6 +7,8 @@ and precision/recall can be computed.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.errors import SqlError, SqlExecutionError, TransactionError
@@ -23,6 +25,7 @@ from repro.sqlengine.ast_nodes import (
     Update,
 )
 from repro.sqlengine.catalog import Catalog, Column, ForeignKey, Table
+from repro.sqlengine.config import EngineConfig
 from repro.sqlengine.dml import (
     evaluate_returning,
     execute_delete,
@@ -30,13 +33,13 @@ from repro.sqlengine.dml import (
 )
 from repro.sqlengine.executor import ResultSet, execute_union
 from repro.sqlengine.parser import parse_sql
-from repro.sqlengine.planner import (
-    DEFAULT_EXECUTION_MODE,
-    DEFAULT_PLAN_CACHE_SIZE,
-    QueryPlanner,
-)
+from repro.sqlengine.planner import QueryPlanner
 from repro.sqlengine.txn import DurabilityManager, TransactionManager
 from repro.sqlengine.types import SqlType
+
+#: marks a legacy engine kwarg the caller did not pass (None is a real
+#: value for dict_encoding_threshold, so a sentinel is needed)
+_UNSET = object()
 
 
 class Database:
@@ -62,6 +65,18 @@ class Database:
     ``array_store`` (default False) backs INTEGER/REAL columns with
     typed ``array.array`` buffers instead of Python object lists.
 
+    All engine knobs now live on one frozen
+    :class:`~repro.sqlengine.config.EngineConfig` passed as
+    ``Database(config=...)`` — including ``segment_rows``, which opts
+    tables into frozen-segment + delta storage with snapshot-pinned
+    reads (see :mod:`repro.sqlengine.segments`).  The historical
+    individual keyword arguments still work but emit a
+    ``DeprecationWarning`` and fold into the config;
+    :attr:`Database.config` exposes the resolved settings.  The
+    durability knobs (``data_dir``, ``wal_sync``,
+    ``wal_storage_factory``) describe *where* the database lives rather
+    than how the engine runs and stay ordinary keyword arguments.
+
     >>> db = Database()
     >>> _ = db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
     >>> _ = db.execute("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')")
@@ -71,26 +86,52 @@ class Database:
 
     def __init__(
         self,
-        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
-        execution_mode: str = DEFAULT_EXECUTION_MODE,
-        dict_encoding_threshold: "int | None" = None,
-        fused: bool = True,
-        parallel_workers: int = 1,
-        array_store: bool = False,
+        plan_cache_size: int = _UNSET,
+        execution_mode: str = _UNSET,
+        dict_encoding_threshold: "int | None" = _UNSET,
+        fused: bool = _UNSET,
+        parallel_workers: int = _UNSET,
+        array_store: bool = _UNSET,
         data_dir: "str | None" = None,
         wal_sync: bool = True,
         wal_storage_factory=None,
+        config: "EngineConfig | None" = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("plan_cache_size", plan_cache_size),
+                ("execution_mode", execution_mode),
+                ("dict_encoding_threshold", dict_encoding_threshold),
+                ("fused", fused),
+                ("parallel_workers", parallel_workers),
+                ("array_store", array_store),
+            )
+            if value is not _UNSET
+        }
+        if config is None:
+            config = EngineConfig()
+        if legacy:
+            warnings.warn(
+                f"Database({', '.join(sorted(legacy))}) keyword arguments "
+                "are deprecated; pass Database(config=EngineConfig(...)) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = dataclasses.replace(config, **legacy)
+        self._config = config
         self.catalog = Catalog(
-            dict_encoding_threshold=dict_encoding_threshold,
-            array_store=array_store,
+            dict_encoding_threshold=config.dict_encoding_threshold,
+            array_store=config.array_store,
+            segment_rows=config.segment_rows,
         )
         self.planner = QueryPlanner(
             self.catalog,
-            cache_size=plan_cache_size,
-            execution_mode=execution_mode,
-            fused=fused,
-            parallel_workers=parallel_workers,
+            cache_size=config.plan_cache_size,
+            execution_mode=config.execution_mode,
+            fused=config.fused,
+            parallel_workers=config.parallel_workers,
         )
         self.txn = TransactionManager(self.catalog)
         from repro.obs.metrics import registry
@@ -114,6 +155,21 @@ class Database:
     def _durable(self) -> bool:
         """True when statements must be logged (not during replay)."""
         return self.durability is not None and not self.durability.replaying
+
+    @property
+    def config(self) -> EngineConfig:
+        """The resolved engine settings, reflecting any runtime setter.
+
+        ``execution_mode`` / ``fused`` / ``parallel_workers`` can change
+        after construction via the setters below, so the returned config
+        is rebuilt from the planner's live values on every read.
+        """
+        return dataclasses.replace(
+            self._config,
+            execution_mode=self.planner.execution_mode,
+            fused=self.planner.fused,
+            parallel_workers=self.planner.parallel_workers,
+        )
 
     @property
     def execution_mode(self) -> str:

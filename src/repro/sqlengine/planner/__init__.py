@@ -63,6 +63,7 @@ from repro.sqlengine.planner.physical import (
     build_physical,
 )
 from repro.sqlengine.planner.stats import StatisticsProvider
+from repro.sqlengine.segments import current_pins, pinned
 
 __all__ = [
     "BATCH_SIZE",
@@ -258,16 +259,40 @@ class QueryPlanner:
         return logical
 
     # ------------------------------------------------------------------
+    def _pin_scope(self, plan: PreparedPlan) -> pinned:
+        """A pin scope for one execution of *plan*.
+
+        With segmented storage enabled, every table the plan reads is
+        snapshot-pinned in one atomic step so the whole execution —
+        including morsel workers — observes a single consistent state
+        regardless of concurrent DML.  With flat storage this is the
+        no-op ``pinned(None)``.
+        """
+        if not self.catalog.segment_rows:
+            return pinned(None)
+        outer = current_pins()
+        pins = self.catalog.pin_tables(referenced_tables(plan.logical))
+        if outer:
+            # a caller-installed pin scope (e.g. a multi-statement
+            # consistent read) wins for the tables it covers; tables it
+            # doesn't cover still get fresh per-execution snapshots
+            merged = dict(pins or {})
+            merged.update(outer)
+            pins = merged or None
+        return pinned(pins
+        )
+
     def execute(self, select: Select):
         plan = self.prepare(select)
         with current_tracer().span("execute", mode=plan.mode) as span:
-            if plan.parallel_nodes:
-                with current_tracer().span(
-                    "parallel-execute", workers=self._parallel_workers
-                ):
+            with self._pin_scope(plan):
+                if plan.parallel_nodes:
+                    with current_tracer().span(
+                        "parallel-execute", workers=self._parallel_workers
+                    ):
+                        result = plan.execute()
+                else:
                     result = plan.execute()
-            else:
-                result = plan.execute()
             span.set(rows=len(result.rows))
         return result
 
@@ -284,7 +309,8 @@ class QueryPlanner:
                 parallel=plan.parallel_nodes,
             )
         plan, instrumenter = self.prepare_instrumented(select)
-        plan.execute()
+        with self._pin_scope(plan):
+            plan.execute()
         return render_plan(
             plan.logical,
             mode=self._execution_mode,

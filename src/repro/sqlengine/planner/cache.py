@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.concurrency import SharedRLock
 from repro.obs.metrics import registry as _metrics_registry
 
 #: default number of prepared plans kept per database
@@ -41,11 +42,19 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """A bounded mapping from plan keys to prepared plans (LRU eviction)."""
+    """A bounded mapping from plan keys to prepared plans (LRU eviction).
+
+    Thread-safe: concurrent serving sessions share one planner, so the
+    LRU reorder in ``get`` and the insert/evict step in ``put`` run
+    under a lock (an OrderedDict mutated from two threads at once can
+    corrupt its ordering invariants).  Reading ``len()`` from a
+    non-owner thread — the metrics gauges do — takes the same lock.
+    """
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.capacity = max(0, capacity)
         self._entries: OrderedDict = OrderedDict()
+        self._lock = SharedRLock()
         self.stats = PlanCacheStats()
         # per-cache stats stay the public shape; the same increments are
         # mirrored into the process-wide registry (handles cached here)
@@ -58,7 +67,8 @@ class PlanCache:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key, validate=None):
         """The cached entry for *key*, or None.
@@ -67,37 +77,40 @@ class PlanCache:
         entry is dropped and counted as an invalidation + miss instead
         of being returned.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                if self._metrics.enabled:
+                    self._misses_counter.inc()
+                return None
+            if validate is not None and not validate(entry):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                if self._metrics.enabled:
+                    self._invalidations_counter.inc()
+                    self._misses_counter.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
             if self._metrics.enabled:
-                self._misses_counter.inc()
-            return None
-        if validate is not None and not validate(entry):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            if self._metrics.enabled:
-                self._invalidations_counter.inc()
-                self._misses_counter.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        if self._metrics.enabled:
-            self._hits_counter.inc()
-        return entry
+                self._hits_counter.inc()
+            return entry
 
     def put(self, key, plan) -> None:
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = plan
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._metrics.enabled:
-                self._evictions_counter.inc()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._metrics.enabled:
+                    self._evictions_counter.inc()
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

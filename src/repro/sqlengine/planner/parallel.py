@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator
 
 from repro.obs.metrics import registry as _metrics_registry
+from repro.sqlengine.segments import current_pins, pinned
 
 #: scan batches per morsel — a multiple of BATCH_SIZE rows, so parallel
 #: batch boundaries line up exactly with the serial scan's
@@ -112,14 +113,25 @@ class ParallelChainOp:
         from repro.sqlengine.planner.physical import BATCH_SIZE
 
         morsel_rows = MORSEL_BATCHES * BATCH_SIZE
-        total = scan.row_count()
+        # every morsel must read the same snapshot: capture the
+        # coordinator's installed pins (or pin ad hoc for a segmented
+        # scan outside a query scope) and re-install them inside each
+        # worker thread, so partitioning and all workers agree on one
+        # frozen row space even under concurrent DML
+        pins = current_pins()
+        table = getattr(scan, "_table", None)
+        if pins is None and table is not None and table.segmented:
+            pins = {id(table): table.pin()}
+        with pinned(pins):
+            total = scan.row_count()
 
         def make(start: int, stop: int) -> Callable:
             def task():
-                stream = scan.batches_range(start, stop)
-                for stage in stages:
-                    stream = stage.process(stream)
-                return post(stream)
+                with pinned(pins):
+                    stream = scan.batches_range(start, stop)
+                    for stage in stages:
+                        stream = stage.process(stream)
+                    return post(stream)
 
             return task
 

@@ -56,6 +56,7 @@ from repro.sqlengine.ast_nodes import (
 )
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.encoding import EncodedColumn, gather_column
+from repro.sqlengine.segments import snapshot_of
 from repro.sqlengine.expressions import (
     Scope,
     compile_expr,
@@ -142,10 +143,14 @@ class ScanOp(PhysicalOperator):
     def rows(self) -> Iterator[tuple]:
         indexes = self._indexes
         predicate_fns = self._predicate_fns
+        # segmented tables read through a pinned (or ad-hoc) snapshot so
+        # concurrent DML can never mutate the rows mid-iteration
+        snapshot = snapshot_of(self._table)
+        source = self._table.rows if snapshot is None else snapshot.iter_rows()
         scanned = 0
         dropped = 0
         try:
-            for row in self._table.rows:
+            for row in source:
                 scanned += 1
                 ok = True
                 for fn in predicate_fns:
@@ -801,37 +806,81 @@ class BatchScanOp(BatchOperator):
         self._bound_descending = descending
 
     def row_count(self) -> int:
-        """Current table cardinality (morsel partitioning reads this)."""
+        """Current table cardinality (morsel partitioning reads this).
+
+        Under an installed pin scope this is the *snapshot* cardinality,
+        so morsel partitioning and the per-morsel ``batches_range``
+        calls agree on one frozen row space.
+        """
+        snapshot = snapshot_of(self._table)
+        if snapshot is not None:
+            return snapshot.row_count
         return len(self._table.rows)
 
     def batches(self) -> Iterator[tuple]:
-        return self.batches_range(0, len(self._table.rows))
+        snapshot = snapshot_of(self._table)
+        last = (
+            snapshot.row_count if snapshot is not None else len(self._table.rows)
+        )
+        return self.batches_range(0, last, snapshot)
 
-    def batches_range(self, first: int, last: int) -> Iterator[tuple]:
+    def batches_range(
+        self, first: int, last: int, snapshot=None
+    ) -> Iterator[tuple]:
         """Batches for the row range ``[first, last)``.
 
         *first* must be a multiple of :data:`BATCH_SIZE` so a morsel's
-        batch boundaries coincide with the serial scan's.
+        batch boundaries coincide with the serial scan's.  With a
+        snapshot (explicit or installed via a pin scope), batches are
+        assembled from the pinned frozen segments + delta instead of
+        the live lists — same rows, same order, same batch boundaries.
         """
         table = self._table
         width = len(table.columns)
-        # dictionary-encoded TEXT columns are sliced as code batches
-        # (EncodedColumn) so downstream operators can work on integer
-        # codes; everything else slices the plain value lists
-        sources = []
-        for i in range(width):
-            dictionary = table.column_dictionary(i)
-            if dictionary is not None:
-                sources.append((dictionary, table.column_codes(i)))
-            else:
-                sources.append((None, table.column_data(i)))
+        if snapshot is None:
+            snapshot = snapshot_of(table)
         indexes = self._indexes
         stages = self._filter_stages
-        if not stages and indexes is not None:
+        prune_early = not stages and indexes is not None
+        if prune_early:
             # nothing evaluates against the full layout: slice only the
             # columns the scan actually emits
-            sources = [sources[i] for i in indexes]
+            emit = indexes
             indexes = None
+        else:
+            emit = range(width)
+        if snapshot is None:
+            # dictionary-encoded TEXT columns are sliced as code batches
+            # (EncodedColumn) so downstream operators can work on integer
+            # codes; everything else slices the plain value lists
+            sources = []
+            for i in emit:
+                dictionary = table.column_dictionary(i)
+                if dictionary is not None:
+                    sources.append((dictionary, table.column_codes(i)))
+                else:
+                    sources.append((None, table.column_data(i)))
+
+            def slice_batch(start: int, stop: int) -> list:
+                return [
+                    EncodedColumn(dictionary, data[start:stop])
+                    if dictionary is not None
+                    else data[start:stop]
+                    for dictionary, data in sources
+                ]
+
+        else:
+            # snapshot batches carry plain decoded values (segments are
+            # frozen before dictionary codes can be pinned consistently);
+            # downstream operators detect EncodedColumn per batch, so
+            # value batches follow the ordinary unencoded path
+            columns = list(emit)
+
+            def slice_batch(start: int, stop: int) -> list:
+                return [
+                    snapshot.column_slice(i, start, stop) for i in columns
+                ]
+
         bound_cell = self._bound_cell
         scanned = 0
         dropped = 0
@@ -840,12 +889,7 @@ class BatchScanOp(BatchOperator):
         try:
             for start in range(first, last, BATCH_SIZE):
                 stop = min(start + BATCH_SIZE, last)
-                cols = [
-                    EncodedColumn(dictionary, data[start:stop])
-                    if dictionary is not None
-                    else data[start:stop]
-                    for dictionary, data in sources
-                ]
+                cols = slice_batch(start, stop)
                 n = stop - start
                 scanned += n
                 if stages:

@@ -202,35 +202,40 @@ class StatisticsProvider:
         cached = self._cache.get(table.name)
         if cached is not None and cached[0] == token:
             return cached[1]
-        columns: dict = {}
-        for index, column in enumerate(table.columns):
-            values = set()
-            numbers: list = []
-            nulls = 0
-            # histograms are collected type-directed: numeric columns
-            # map straight onto the axis, DATE columns via toordinal;
-            # TEXT/BOOLEAN columns carry no histogram (so the histogram
-            # total is exactly the column's non-NULL count)
-            is_date = column.sql_type is SqlType.DATE
-            binned = self._bins and (
-                is_date
-                or column.sql_type in (SqlType.INTEGER, SqlType.REAL)
-            )
-            for value in table.column_data(index):
-                if value is None:
-                    nulls += 1
-                    continue
-                values.add(value)
-                if binned:
-                    numbers.append(
-                        float(value.toordinal()) if is_date else float(value)
-                    )
-            columns[column.name] = ColumnStats(
-                distinct=len(values),
-                nulls=nulls,
-                histogram=Histogram.build(numbers, self._bins),
-            )
-        stats = TableStats(row_count=len(table.rows), columns=columns)
+        # the gather walks the *live* column lists, so hold the storage
+        # lock for its duration: a concurrent DELETE compaction would
+        # otherwise shrink an ArrayColumn mid-iteration (no-contention
+        # no-op for the classic single-threaded setup)
+        with table.read_guard():
+            columns: dict = {}
+            for index, column in enumerate(table.columns):
+                values = set()
+                numbers: list = []
+                nulls = 0
+                # histograms are collected type-directed: numeric columns
+                # map straight onto the axis, DATE columns via toordinal;
+                # TEXT/BOOLEAN columns carry no histogram (so the histogram
+                # total is exactly the column's non-NULL count)
+                is_date = column.sql_type is SqlType.DATE
+                binned = self._bins and (
+                    is_date
+                    or column.sql_type in (SqlType.INTEGER, SqlType.REAL)
+                )
+                for value in table.column_data(index):
+                    if value is None:
+                        nulls += 1
+                        continue
+                    values.add(value)
+                    if binned:
+                        numbers.append(
+                            float(value.toordinal()) if is_date else float(value)
+                        )
+                columns[column.name] = ColumnStats(
+                    distinct=len(values),
+                    nulls=nulls,
+                    histogram=Histogram.build(numbers, self._bins),
+                )
+            stats = TableStats(row_count=len(table.rows), columns=columns)
         self._cache[table.name] = (token, stats)
         return stats
 

@@ -1,0 +1,407 @@
+"""Frozen columnar segments + mutable delta: snapshot-pinned reads.
+
+The LSM design point (immutable sorted runs plus a small mutable
+memtable) applied to this engine's dual row/columnar storage: when a
+table opts in (``EngineConfig(segment_rows=N)``), its flat storage is
+mirrored by a :class:`SegmentedStorage` — an ordered list of
+:class:`FrozenSegment` objects (immutable row/column tuples frozen off
+the front of the table once the mutable *delta* tail reaches the
+threshold) plus writer-side bookkeeping.  The flat lists stay
+authoritative and byte-identical to the classic layout, so every
+single-threaded code path (DML position scans, undo, WAL checkpoints,
+the inverted-index maintainer) is untouched; the mirror exists so
+*readers* can pin.
+
+A reader calls :meth:`~repro.sqlengine.catalog.Table.pin` (or, for a
+whole query, :meth:`~repro.sqlengine.catalog.Catalog.pin_tables`) and
+gets a :class:`TableSnapshot`: the segment list with each segment's
+tombstone set captured as a frozenset, plus a copy of the (small)
+delta.  Segments are never mutated after freezing — DML maps onto the
+mirror as:
+
+* **INSERT** appends to the delta; full threshold-sized chunks freeze
+  into new segments (:meth:`SegmentedStorage.note_insert`);
+* **UPDATE** touching frozen rows replaces the affected segments with
+  fresh ones built from the flat post-image (copy-on-write — pinned
+  readers keep the old objects);
+* **DELETE** of frozen rows grows the owning segment's tombstone set
+  (grow-only, so a pinned frozenset stays a consistent past state) and
+  compacts a segment once half its rows are dead;
+* **restore_rows** (transaction rollback) rebuilds the mirror.
+
+All mirror maintenance happens inside the table's storage lock (one
+:class:`threading.RLock` per catalog); pinning takes the same lock
+briefly.  Readers never take the lock while scanning, so one writer
+and any number of readers proceed without blocking each other beyond
+the pin/maintenance critical sections.  The engine's scan operators
+consult the current thread's *installed pins* (:func:`pinned`, set up
+by ``QueryPlanner.execute`` around each query, and propagated into
+morsel worker threads) so every batch of one execution reads the same
+snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Iterator
+
+__all__ = [
+    "FrozenSegment",
+    "SegmentedStorage",
+    "TableSnapshot",
+    "current_pins",
+    "pin_for",
+    "pinned",
+    "snapshot_of",
+]
+
+
+class FrozenSegment:
+    """One immutable chunk of a table: row tuples + per-column tuples.
+
+    ``tombstones`` (physical offsets of deleted rows) is the only
+    mutable part, owned by the writer and *grow-only* for the lifetime
+    of the segment object — so a reader that captured the set as a
+    frozenset of size ``k`` sees exactly the state after the first
+    ``k`` deletions.  Live-row projections are cached per tombstone
+    count (at most two states: concurrent readers at different
+    snapshots recompute older states instead of growing the cache).
+    """
+
+    __slots__ = ("rows", "columns", "tombstones", "_live_cache")
+
+    def __init__(self, rows: tuple, columns: tuple) -> None:
+        self.rows = rows
+        self.columns = columns
+        self.tombstones: set = set()
+        self._live_cache: dict = {}
+
+    @property
+    def live_count(self) -> int:
+        return len(self.rows) - len(self.tombstones)
+
+    def _state(self, tombstones) -> dict:
+        """The cached live projection for one tombstone state.
+
+        Keyed by ``len(tombstones)``: the set only ever grows, so the
+        size identifies the state.  Safe under concurrent readers —
+        recomputation is idempotent and dict writes are atomic.
+        """
+        key = len(tombstones)
+        state = self._live_cache.get(key)
+        if state is None:
+            keep = [
+                offset
+                for offset in range(len(self.rows))
+                if offset not in tombstones
+            ]
+            state = {"keep": keep, "rows": None, "cols": {}}
+            if len(self._live_cache) >= 2:
+                # keep only the newest state; a straggler reader on an
+                # evicted one just recomputes
+                newest = max(self._live_cache)
+                self._live_cache = {newest: self._live_cache[newest]}
+            self._live_cache[key] = state
+        return state
+
+    def live_rows(self, tombstones) -> "tuple | list":
+        """Row tuples surviving *tombstones* (None/empty: all rows)."""
+        if not tombstones:
+            return self.rows
+        state = self._state(tombstones)
+        rows = state["rows"]
+        if rows is None:
+            data = self.rows
+            rows = [data[offset] for offset in state["keep"]]
+            state["rows"] = rows
+        return rows
+
+    def live_column(self, index: int, tombstones) -> "tuple | list":
+        """One column's values surviving *tombstones*."""
+        if not tombstones:
+            return self.columns[index]
+        state = self._state(tombstones)
+        column = state["cols"].get(index)
+        if column is None:
+            data = self.columns[index]
+            column = [data[offset] for offset in state["keep"]]
+            state["cols"][index] = column
+        return column
+
+    def live_to_physical(self, tombstones) -> "list | None":
+        """Physical offset of each live row, or None for the identity."""
+        if not tombstones:
+            return None
+        return self._state(tombstones)["keep"]
+
+
+class TableSnapshot:
+    """A pinned, immutable view: frozen segments + a copied delta.
+
+    Row coordinates are *live* positions over the whole snapshot
+    (``0 .. row_count``), exactly matching the table's flat storage at
+    pin time — so batch boundaries, row order and values are identical
+    to a flat scan of the same state.
+    """
+
+    __slots__ = ("entries", "delta_rows", "delta_columns", "prefix", "row_count")
+
+    def __init__(self, entries: list, delta_rows: list, delta_columns: list):
+        #: ``(segment, tombstones frozenset | None, live_count)`` per segment
+        self.entries = entries
+        self.delta_rows = delta_rows
+        self.delta_columns = delta_columns
+        prefix = [0]
+        for __, __, live in entries:
+            prefix.append(prefix[-1] + live)
+        prefix.append(prefix[-1] + len(delta_rows))
+        #: cumulative live counts; parts are segments then the delta
+        self.prefix = prefix
+        self.row_count = prefix[-1]
+
+    def column_slice(self, index: int, start: int, stop: int) -> list:
+        """Values of one column over live positions ``[start, stop)``."""
+        stop = min(stop, self.row_count)
+        if start >= stop:
+            return []
+        prefix = self.prefix
+        entries = self.entries
+        out: list = []
+        part = bisect_right(prefix, start) - 1
+        position = start
+        while position < stop:
+            base = prefix[part]
+            end = prefix[part + 1]
+            if end == base:  # pragma: no cover - empty parts are skipped
+                part += 1
+                continue
+            if part < len(entries):
+                segment, tombstones, __ = entries[part]
+                data = segment.live_column(index, tombstones)
+            else:
+                data = self.delta_columns[index]
+            upto = min(stop, end)
+            out.extend(data[position - base : upto - base])
+            position = upto
+            part += 1
+        return out
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Row tuples in live order (segments first, then the delta)."""
+        for segment, tombstones, __ in self.entries:
+            yield from segment.live_rows(tombstones)
+        yield from self.delta_rows
+
+
+class SegmentedStorage:
+    """Writer-side mirror of one table's flat storage.
+
+    Invariant (checked by the property tests): the concatenation of
+    every segment's live rows followed by the delta equals the table's
+    flat ``rows`` list.  All methods must be called under the table's
+    storage lock, from the single-writer mutation path.
+    """
+
+    __slots__ = ("threshold", "segments", "frozen_live")
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = max(1, int(threshold))
+        self.segments: list = []
+        #: total live rows across segments == the delta's start offset
+        self.frozen_live = 0
+
+    # -- pinning -------------------------------------------------------
+    def snapshot(self, table) -> TableSnapshot:
+        entries = [
+            (
+                segment,
+                frozenset(segment.tombstones) if segment.tombstones else None,
+                segment.live_count,
+            )
+            for segment in self.segments
+        ]
+        start = self.frozen_live
+        delta_rows = list(table.rows[start:])
+        delta_columns = [
+            list(store[start:]) for store in table._column_data
+        ]
+        return TableSnapshot(entries, delta_rows, delta_columns)
+
+    # -- mutation mapping ----------------------------------------------
+    def _freeze_range(self, table, start: int, stop: int) -> FrozenSegment:
+        rows = tuple(table.rows[start:stop])
+        columns = tuple(
+            tuple(store[start:stop]) for store in table._column_data
+        )
+        return FrozenSegment(rows, columns)
+
+    def note_insert(self, table) -> None:
+        """Freeze full threshold-sized chunks off the delta's front."""
+        total = len(table.rows)
+        while total - self.frozen_live >= self.threshold:
+            start = self.frozen_live
+            self.segments.append(
+                self._freeze_range(table, start, start + self.threshold)
+            )
+            self.frozen_live += self.threshold
+
+    def _map_frozen(self, positions) -> dict:
+        """Sorted live positions -> ``{segment index: [physical offsets]}``.
+
+        Positions at or past ``frozen_live`` (the delta) are ignored.
+        """
+        mapping: dict = {}
+        if not self.segments:
+            return mapping
+        base = 0
+        index = 0
+        segment = self.segments[0]
+        for position in positions:
+            if position >= self.frozen_live:
+                break
+            while position >= base + segment.live_count:
+                base += segment.live_count
+                index += 1
+                segment = self.segments[index]
+            offset = position - base
+            live_map = segment.live_to_physical(segment.tombstones)
+            if live_map is not None:
+                offset = live_map[offset]
+            mapping.setdefault(index, []).append(offset)
+        return mapping
+
+    def note_update(self, table, positions) -> None:
+        """Copy-on-write: re-freeze segments whose rows were rewritten.
+
+        Called after the flat in-place writes, so the affected live
+        ranges of the flat storage hold the post-image.  Untouched
+        segments keep their identity (pinned readers notice nothing);
+        live counts are unchanged, so no offsets shift.
+        """
+        frozen_positions = sorted(
+            {p for p in positions if p < self.frozen_live}
+        )
+        touched = self._map_frozen(frozen_positions)
+        if not touched:
+            return
+        prefix = [0]
+        for segment in self.segments:
+            prefix.append(prefix[-1] + segment.live_count)
+        for index in touched:
+            self.segments[index] = self._freeze_range(
+                table, prefix[index], prefix[index + 1]
+            )
+
+    def plan_delete(self, sorted_positions) -> dict:
+        """Map doomed live positions to segments *before* compaction."""
+        return self._map_frozen(
+            [p for p in sorted_positions if p < self.frozen_live]
+        )
+
+    def commit_delete(self, table, mapping: dict) -> None:
+        """Apply a planned delete *after* the flat compaction.
+
+        Grows tombstone sets (never shrinks — pinned frozensets stay
+        valid), drops fully-dead segments, and compacts any segment
+        with at least half its rows dead by re-freezing its live range
+        from the flat post-image.
+        """
+        if not mapping:
+            return
+        removed = 0
+        for index, offsets in mapping.items():
+            segment = self.segments[index]
+            segment.tombstones.update(offsets)
+            removed += len(offsets)
+        self.frozen_live -= removed
+        survivors: list = []
+        start = 0
+        for segment in self.segments:
+            live = segment.live_count
+            if live == 0:
+                continue
+            if len(segment.tombstones) * 2 >= len(segment.rows):
+                segment = self._freeze_range(table, start, start + live)
+            survivors.append(segment)
+            start += live
+        self.segments = survivors
+
+    def rebuild(self, table) -> None:
+        """Re-derive the whole mirror from the flat storage (rollback)."""
+        self.segments = []
+        self.frozen_live = 0
+        self.note_insert(table)
+
+    # -- introspection -------------------------------------------------
+    def stats(self, table) -> dict:
+        return {
+            "segments": len(self.segments),
+            "frozen_live": self.frozen_live,
+            "delta_rows": len(table.rows) - self.frozen_live,
+            "tombstones": sum(
+                len(segment.tombstones) for segment in self.segments
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# per-thread pin scopes (installed by QueryPlanner around execution)
+# ----------------------------------------------------------------------
+_TLS = threading.local()
+
+
+def current_pins() -> "dict | None":
+    """The thread's installed pin set (``id(table) -> TableSnapshot``)."""
+    return getattr(_TLS, "pins", None)
+
+
+def pin_for(table) -> "TableSnapshot | None":
+    """The installed snapshot for *table*, or None."""
+    pins = getattr(_TLS, "pins", None)
+    if pins is None:
+        return None
+    return pins.get(id(table))
+
+
+def snapshot_of(table) -> "TableSnapshot | None":
+    """The snapshot a scan of *table* must read, or None for flat reads.
+
+    Segmented tables always read through a snapshot: the thread's
+    installed pin when a query-level scope is active, otherwise a fresh
+    ad-hoc pin (consistent within the one call that took it).
+    """
+    if table._segments is None:
+        return None
+    pinned_snapshot = pin_for(table)
+    if pinned_snapshot is not None:
+        return pinned_snapshot
+    return table.pin()
+
+
+class pinned:
+    """Install a pin set thread-locally for a ``with`` block.
+
+    ``pinned(None)`` is a no-op scope, so callers can unconditionally
+    wrap execution without branching on whether anything is segmented.
+    Scopes nest (the previous pin set is restored on exit), and the
+    morsel dispatcher re-installs the coordinator's pins inside each
+    worker thread.
+    """
+
+    __slots__ = ("_pins", "_previous")
+
+    def __init__(self, pins: "dict | None") -> None:
+        self._pins = pins
+        self._previous = None
+
+    def __enter__(self) -> "dict | None":
+        if self._pins is not None:
+            self._previous = getattr(_TLS, "pins", None)
+            _TLS.pins = self._pins
+        return self._pins
+
+    def __exit__(self, *exc) -> bool:
+        if self._pins is not None:
+            _TLS.pins = self._previous
+        return False

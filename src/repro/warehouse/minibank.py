@@ -885,12 +885,17 @@ def populate(
 
 
 def build_minibank(
-    seed: int = 42, scale: float = 1.0, snapshot: "str | None" = None
+    seed: int = 42,
+    scale: float = 1.0,
+    snapshot: "str | None" = None,
+    engine_config=None,
 ) -> Warehouse:
     """Build the fully populated finbank warehouse.
 
     *snapshot* warm-starts the indexes from a saved snapshot file when
-    it matches the populated catalog (see :meth:`Warehouse.build`).
+    it matches the populated catalog (see :meth:`Warehouse.build`);
+    *engine_config* (an :class:`~repro.sqlengine.config.EngineConfig`)
+    configures the SQL engine the warehouse is built on.
 
     >>> warehouse = build_minibank(scale=0.2)
     >>> warehouse.database.row_count('currencies')
@@ -901,4 +906,5 @@ def build_minibank(
         definition,
         populate=lambda db: populate(db, seed=seed, scale=scale),
         snapshot=snapshot,
+        engine_config=engine_config,
     )

@@ -299,9 +299,11 @@ class WarehouseDefinition:
         }
 
 
-def build_database(definition: WarehouseDefinition) -> Database:
+def build_database(
+    definition: WarehouseDefinition, engine_config=None
+) -> Database:
     """Create the physical tables of *definition* in a fresh engine."""
-    database = Database()
+    database = Database(config=engine_config)
     # every join relationship is a real foreign key in the database — the
     # paper's historization gap is a *metadata graph* gap, not a DB one
     for table in definition.physical_tables:

@@ -75,6 +75,7 @@ class Warehouse:
         definition: WarehouseDefinition,
         populate: "Callable[[Database], None] | None" = None,
         snapshot: "str | None" = None,
+        engine_config=None,
     ) -> "Warehouse":
         """Create tables, load data, build graph and build/load indexes.
 
@@ -82,9 +83,11 @@ class Warehouse:
         warm-started from that file instead of scanned from the catalog;
         a missing, malformed or stale snapshot falls back to the cold
         build with a logged warning saying why (use
-        :meth:`load_index_snapshot` for strict loading).
+        :meth:`load_index_snapshot` for strict loading).  With
+        *engine_config*, the underlying SQL engine uses those settings
+        (segmented storage, parallel workers, …) instead of defaults.
         """
-        database = build_database(definition)
+        database = build_database(definition, engine_config=engine_config)
         if populate is not None:
             populate(database)
         graph = build_metadata_graph(definition)

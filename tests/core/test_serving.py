@@ -71,22 +71,40 @@ def writable_warehouse():
 
 class TestSessionResultCache:
     def test_repeat_query_served_from_cache(self, soda):
+        # the default cache is shared engine-wide, so other tests may
+        # have touched it: assert on deltas with a text only we use
         session = SearchSession(soda, execute=False)
-        first = session.search("Zurich")
-        second = session.search("Zurich")
+        before = session.cache_stats()
+        first = session.search("gold agreement repeat probe")
+        second = session.search("gold agreement repeat probe")
         assert second is first
         stats = session.cache_stats()
-        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hits"] == before["hits"] + 1
+        assert stats["misses"] == before["misses"] + 1
 
-    def test_cache_is_per_session(self, soda):
+    def test_cache_is_shared_across_sessions(self, soda):
+        # the PR-9 redesign: sessions with the same presentation knobs
+        # serve each other's cached results (one cache per Soda)
         a = SearchSession(soda, execute=False)
         b = SearchSession(soda, execute=False)
-        assert a.search("Zurich") is not b.search("Zurich")
+        assert a.search("Zurich") is b.search("Zurich")
+        # a session with a *private* cache computes its own objects
+        c = SearchSession(soda, execute=False, result_cache_size=4)
+        assert c.search("Zurich") is not a.search("Zurich")
+        assert c.search("Zurich") is c.search("Zurich")
+
+    def test_presentation_knobs_partition_the_shared_cache(self, soda):
+        full = SearchSession(soda, execute=False)
+        trimmed = SearchSession(soda, execute=False, limit=1)
+        assert full.search("Sara") is not trimmed.search("Sara")
+        assert len(trimmed.search("Sara").statements) <= 1
 
     def test_zero_capacity_disables_memo(self, soda):
         session = SearchSession(soda, execute=False, result_cache_size=0)
         assert session.search("Zurich") is not session.search("Zurich")
-        assert session.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+        assert session.cache_stats() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+        }
 
     def test_search_many_shares_cached_results(self, soda):
         session = SearchSession(soda, execute=False, limit=1)

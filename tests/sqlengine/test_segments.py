@@ -1,0 +1,232 @@
+"""Frozen segments + delta: the concurrent storage layout.
+
+With ``EngineConfig(segment_rows=N)`` a table's rows live in immutable
+frozen segments plus one small mutable delta; readers pin a
+``(segments, delta-snapshot)`` set at query start and never observe
+concurrent DML.  These tests lock the layout invariants (freeze on
+threshold, tombstoned deletes, copy-on-write updates, compaction) and
+— the important part — that the segmented engine stays byte-identical
+to the flat row-mode engine across the whole
+{fused} x {array store} x {workers} knob matrix, before and after a
+DML storm.
+"""
+
+import pytest
+
+from repro.sqlengine.config import EngineConfig
+from repro.sqlengine.database import Database
+from repro.sqlengine.segments import pinned
+
+
+def _db(segment_rows=8, **kwargs) -> Database:
+    return Database(
+        config=EngineConfig(segment_rows=segment_rows, **kwargs)
+    )
+
+
+def _populate(db: Database, count: int = 50) -> None:
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, amount REAL, "
+        "tag TEXT)"
+    )
+    db.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(
+            f"({i}, {i % 5}, {i * 1.5}, 'tag{i % 7}')"
+            for i in range(count)
+        )
+    )
+
+
+class TestSegmentLayout:
+    def test_insert_freezes_on_threshold(self):
+        db = _db(segment_rows=8)
+        _populate(db, 50)
+        stats = db.table("t").segment_stats()
+        assert stats["segments"] == 6  # 48 frozen rows in 8-row segments
+        assert stats["frozen_live"] == 48
+        assert stats["delta_rows"] == 2
+        assert stats["tombstones"] == 0
+
+    def test_flat_and_segmented_rows_agree(self):
+        db = _db(segment_rows=8)
+        _populate(db, 50)
+        table = db.table("t")
+        snapshot = table.pin()
+        assert list(snapshot.iter_rows()) == table.rows
+        for index in range(len(table.columns)):
+            assert (
+                snapshot.column_slice(index, 0, snapshot.row_count)
+                == list(table.column_data(index))
+            )
+
+    def test_zero_threshold_disables_segments(self):
+        db = _db(segment_rows=0)
+        _populate(db, 20)
+        table = db.table("t")
+        assert not table.segmented
+        assert table.pin() is None
+        assert table.segment_stats() is None
+
+    def test_delete_leaves_tombstones_then_compacts(self):
+        db = _db(segment_rows=8)
+        _populate(db, 32)
+        db.execute("DELETE FROM t WHERE id = 3")
+        stats = db.table("t").segment_stats()
+        assert stats["tombstones"] == 1
+        assert stats["frozen_live"] == 31
+        # kill most of every segment: each one crosses the half-dead
+        # compaction bound and is rebuilt without tombstones
+        db.execute("DELETE FROM t WHERE grp <> 0")
+        stats = db.table("t").segment_stats()
+        assert stats["tombstones"] == 0
+        assert db.execute("SELECT COUNT(*) FROM t").rows[0][0] == (
+            stats["frozen_live"] + stats["delta_rows"]
+        )
+
+    def test_update_rewrites_frozen_segments(self):
+        db = _db(segment_rows=8)
+        _populate(db, 32)
+        db.execute("UPDATE t SET amount = 0.0 WHERE grp = 1")
+        table = db.table("t")
+        snapshot = table.pin()
+        assert list(snapshot.iter_rows()) == table.rows
+        assert all(
+            row[2] == 0.0 for row in table.rows if row[1] == 1
+        )
+
+    def test_rollback_rebuilds_segments(self):
+        db = _db(segment_rows=8)
+        _populate(db, 32)
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE grp = 0")
+        db.execute("UPDATE t SET tag = 'x' WHERE grp = 1")
+        db.execute("ROLLBACK")
+        table = db.table("t")
+        assert list(table.pin().iter_rows()) == table.rows
+        assert db.execute("SELECT COUNT(*) FROM t").rows[0][0] == 32
+
+
+class TestPinnedSnapshots:
+    def test_pinned_reader_never_sees_later_dml(self):
+        db = _db(segment_rows=8)
+        _populate(db, 40)
+        table = db.table("t")
+        snapshot = table.pin()
+        before = list(snapshot.iter_rows())
+        db.execute("DELETE FROM t WHERE grp = 2")
+        db.execute("INSERT INTO t VALUES (999, 9, 9.0, 'late')")
+        db.execute("UPDATE t SET amount = -1.0 WHERE grp = 3")
+        # the pinned snapshot still yields the pre-DML state while the
+        # live table has moved on
+        assert list(snapshot.iter_rows()) == before
+        assert table.pin().row_count != snapshot.row_count
+
+    def test_pin_scope_serves_queries_from_the_snapshot(self):
+        db = _db(segment_rows=8)
+        _populate(db, 40)
+        pins = db.catalog.pin_tables(["t"])
+        assert pins is not None
+        with pinned(pins):
+            count = db.execute("SELECT COUNT(*) FROM t").rows[0][0]
+            assert count == 40
+        db.execute("DELETE FROM t WHERE grp = 0")
+        with pinned(pins):
+            # queries inside the scope read the pinned past
+            assert db.execute("SELECT COUNT(*) FROM t").rows[0][0] == 40
+        assert db.execute("SELECT COUNT(*) FROM t").rows[0][0] < 40
+
+    def test_unsegmented_catalog_pins_nothing(self):
+        db = _db(segment_rows=0)
+        _populate(db, 10)
+        assert db.catalog.pin_tables(["t"]) is None
+
+
+#: the queries the matrix sweeps — every operator family the batch
+#: engine routes through column slices
+CORPUS = [
+    "SELECT * FROM t",
+    "SELECT id, amount * 2 FROM t WHERE grp = 1",
+    "SELECT id FROM t WHERE tag LIKE 'tag1%' AND amount > 10",
+    "SELECT grp, COUNT(*), SUM(amount) FROM t GROUP BY grp",
+    "SELECT a.id, b.id FROM t a, t b WHERE a.id = b.id AND a.grp = 2",
+    "SELECT DISTINCT tag FROM t ORDER BY tag",
+    "SELECT id FROM t ORDER BY amount DESC LIMIT 7",
+    "SELECT grp, AVG(amount) FROM t WHERE id > 5 GROUP BY grp "
+    "HAVING COUNT(*) > 2",
+]
+
+MODE_MATRIX = [
+    pytest.param(fused, array, workers,
+                 id=f"fused={int(fused)}-array={int(array)}-w={workers}")
+    for fused in (True, False)
+    for array in (True, False)
+    for workers in (1, 4)
+]
+
+
+@pytest.fixture(scope="module")
+def small_morsels():
+    """Shrink batches/morsels so the fixtures span many morsels."""
+    import repro.sqlengine.planner.parallel as parallel
+    import repro.sqlengine.planner.physical as physical
+
+    saved = (physical.BATCH_SIZE, parallel.MORSEL_BATCHES)
+    physical.BATCH_SIZE = 16
+    parallel.MORSEL_BATCHES = 2
+    yield
+    physical.BATCH_SIZE, parallel.MORSEL_BATCHES = saved
+
+
+def _storm(db: Database) -> None:
+    """DML that exercises tombstones, rewrites and a fresh delta."""
+    db.execute("DELETE FROM t WHERE grp = 4")
+    db.execute("UPDATE t SET amount = amount + 100 WHERE grp = 2")
+    db.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(f"({200 + i}, {i % 5}, {i * 0.5}, 'late{i}')"
+                    for i in range(11))
+    )
+    db.execute("DELETE FROM t WHERE id > 100 AND amount < 3")
+
+
+@pytest.fixture(scope="module")
+def segmented_matrix(small_morsels):
+    """(flat row-mode baseline, {(fused, array, workers): segmented db})."""
+    baseline = Database(config=EngineConfig(execution_mode="row"))
+    _populate(baseline, 120)
+    _storm(baseline)
+    combos = {}
+    for fused, array, workers in [p.values for p in MODE_MATRIX]:
+        db = _db(
+            segment_rows=8,
+            fused=fused,
+            array_store=array,
+            parallel_workers=workers,
+        )
+        _populate(db, 120)
+        _storm(db)
+        combos[(fused, array, workers)] = db
+    return baseline, combos
+
+
+class TestSegmentedModeMatrixParity:
+    """Segmented storage must be invisible to every engine knob combo."""
+
+    @pytest.mark.parametrize("sql", CORPUS)
+    def test_matrix_matches_flat_row_baseline(self, segmented_matrix, sql):
+        baseline, combos = segmented_matrix
+        expected = baseline.execute(sql)
+        for combo, db in combos.items():
+            actual = db.execute(sql)
+            assert actual.columns == expected.columns, (combo, sql)
+            assert actual.rows == expected.rows, (combo, sql)
+
+    def test_storm_left_real_segment_state(self, segmented_matrix):
+        __, combos = segmented_matrix
+        for combo, db in combos.items():
+            stats = db.table("t").segment_stats()
+            assert stats["segments"] > 1, combo
+            assert stats["delta_rows"] < 8, combo
+            total = db.execute("SELECT COUNT(*) FROM t").rows[0][0]
+            assert total == stats["frozen_live"] + stats["delta_rows"], combo

@@ -47,6 +47,18 @@ class TestSearch:
         assert code == 0
         assert "no executable statements" in output
 
+    def test_search_json_emits_the_wire_shape(self):
+        import json
+
+        code, output = run_cli(
+            "--scale", "0.25", "search", "Zurich", "--json", "--limit", "2"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["query"]["text"] == "Zurich"
+        assert len(payload["statements"]) <= 2
+        assert payload["statements"][0]["sql"].startswith("SELECT")
+
 
 class TestOtherCommands:
     def test_stats(self):
