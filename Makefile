@@ -28,6 +28,14 @@
 #   make bench-serving  the serving benchmark alone (concurrent
 #                     search_many + HTTP mixed load), emits
 #                     BENCH_serving.json
+#   make test-stress  the stress-marked overload/chaos serving tests
+#                     alone (fault storms, 2x saturation shedding);
+#                     bounded by design, suitable for a CI job with a
+#                     hard timeout
+#   make bench-resilience  the resilience benchmark alone (2x
+#                     saturation sheds with 429s + bounded accepted
+#                     p99; deadline cancellation), emits
+#                     BENCH_resilience.json
 #   make coverage     tier-1 suite under pytest-cov (CI gate: >=85% on
 #                     src/repro, writes coverage.xml)
 #   make lint         bytecode-compile every source tree (import/syntax gate)
@@ -36,8 +44,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-scale bench-serving coverage \
-	lint check
+.PHONY: test test-fast test-stress bench-smoke bench-scale bench-serving \
+	bench-resilience coverage lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -56,13 +64,20 @@ bench-smoke:
 		benchmarks/bench_durability.py \
 		benchmarks/bench_observability_overhead.py \
 		benchmarks/bench_scale.py \
-		benchmarks/bench_serving.py -q -s
+		benchmarks/bench_serving.py \
+		benchmarks/bench_resilience.py -q -s
+
+test-stress:
+	$(PYTHON) -m pytest -q -m stress tests benchmarks/bench_resilience.py
 
 bench-scale:
 	$(PYTHON) -m pytest benchmarks/bench_scale.py -q -s
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving.py -q -s
+
+bench-resilience:
+	$(PYTHON) -m pytest benchmarks/bench_resilience.py -q -s
 
 coverage:
 	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term \

@@ -141,6 +141,36 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--limit", type=int, default=5,
                        help="default statements per /search response "
                             "(default 5; clients override per request)")
+    serve.add_argument("--request-timeout-ms", type=int, default=None,
+                       metavar="MS",
+                       help="per-request deadline: requests over budget "
+                            "cancel cooperatively and answer 503 (default: "
+                            "the engine config's request_timeout_ms; "
+                            "clients override with ?timeout_ms=)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="engine calls admitted at once (default: "
+                            "--http-workers); excess requests queue")
+    serve.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                       help="bounded admission queue: requests waiting for "
+                            "an engine slot (default 16; beyond it, 429)")
+    serve.add_argument("--queue-timeout-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="longest a request may wait for admission "
+                            "before being shed with 429 (default 1000)")
+    serve.add_argument("--drain-timeout-s", type=float, default=10.0,
+                       metavar="S",
+                       help="graceful-drain budget on stop/SIGTERM: "
+                            "in-flight requests get this long to finish "
+                            "(default 10)")
+    serve.add_argument("--maintenance-interval", type=float, default=None,
+                       metavar="S",
+                       help="run background maintenance (warehouse stats "
+                            "refresh; plus index-snapshot saves with "
+                            "--snapshot-save) every S seconds, with "
+                            "exponential backoff on failure")
+    serve.add_argument("--snapshot-save", default=None, metavar="PATH",
+                       help="with --maintenance-interval: periodically "
+                            "save the warm index snapshot to PATH")
 
     recover = commands.add_parser(
         "recover",
@@ -411,7 +441,31 @@ def cmd_sql(args, out) -> int:
     return 0
 
 
+def _build_maintenance(args, warehouse):
+    """A MaintenanceRunner for ``serve``, or None when not requested."""
+    if args.maintenance_interval is None:
+        return None
+    from repro.resilience.maintenance import MaintenanceRunner
+
+    runner = MaintenanceRunner()
+    runner.add_task(
+        "stats_refresh",
+        warehouse.statistics,
+        interval_s=args.maintenance_interval,
+    )
+    if args.snapshot_save is not None:
+        path = args.snapshot_save
+        runner.add_task(
+            "snapshot_save",
+            lambda: warehouse.save_index_snapshot(path),
+            interval_s=args.maintenance_interval,
+        )
+    return runner
+
+
 def cmd_serve(args, out) -> int:
+    import signal
+
     from repro.server import SodaServer
     from repro.sqlengine.config import DEFAULT_SEGMENT_ROWS, EngineConfig
 
@@ -427,8 +481,24 @@ def cmd_serve(args, out) -> int:
         port=args.port,
         workers=args.http_workers,
         default_limit=args.limit,
+        request_timeout_ms=args.request_timeout_ms,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        queue_timeout_ms=args.queue_timeout_ms,
+        drain_timeout_s=args.drain_timeout_s,
+        maintenance=_build_maintenance(args, warehouse),
     )
     server.start_background()
+
+    # SIGTERM drains gracefully, same as Ctrl-C: stop accepting, finish
+    # in-flight requests (up to --drain-timeout-s), then exit cleanly
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (embedded callers)
+        pass
     config = warehouse.database.config
     print(f"serving finbank on http://{args.host}:{server.port}", file=out)
     print(
@@ -436,15 +506,22 @@ def cmd_serve(args, out) -> int:
         + ", ".join(f"{k}={v}" for k, v in config.as_dict().items()),
         file=out,
     )
-    print("endpoints: /search /sql /metrics /healthz  (Ctrl-C stops)",
+    print("endpoints: /search /sql /metrics /healthz  "
+          "(Ctrl-C or SIGTERM drains and stops)",
           file=out)
     try:
         while server._thread is not None and server._thread.is_alive():
             server._thread.join(timeout=1)
     except KeyboardInterrupt:
-        pass
+        print("draining...", file=out)
     finally:
-        server.stop()
+        report = server.stop()
+        if report["stuck_threads"]:  # pragma: no cover - hang reporting
+            print(
+                "warning: threads still running after drain: "
+                + ", ".join(report["stuck_threads"]),
+                file=out,
+            )
     return 0
 
 

@@ -33,6 +33,7 @@ from repro.core.input_patterns import parse_query
 from repro.core.ranking import rank
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.tracing import NULL_TRACER
+from repro.resilience.deadline import current_deadline
 
 _METRICS = _metrics_registry()
 _SEARCHES = _METRICS.counter("pipeline.searches")
@@ -379,7 +380,12 @@ class ExecuteStep(PipelineStep):
         return context.execute
 
     def run(self, context: SearchContext) -> None:
+        deadline = current_deadline()
         for scored in context.statements:
+            # a statement boundary is a safe cancellation point: already
+            # attached snippets stay, the rest of the request unwinds
+            if deadline is not None:
+                deadline.check("execute")
             self._attach_snippet(scored)
 
 
@@ -404,10 +410,15 @@ class SearchPipeline:
     def run(self, context: SearchContext) -> SearchContext:
         """Drive *context* through every step, timing each one."""
         tracer = context.tracer
+        deadline = current_deadline()
         run_started = time.perf_counter()
         for step in self.steps:
             if context.stopped:
                 break
+            # cooperative cancellation: a request over its deadline
+            # stops at the next step boundary and unwinds cleanly
+            if deadline is not None:
+                deadline.check("step:" + step.name)
             if not step.active(context):
                 continue
             with tracer.span("step:" + step.name):

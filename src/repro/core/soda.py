@@ -54,6 +54,11 @@ from repro.core.query import SodaQuery
 from repro.core.sqlgen import SqlGenerator
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.tracing import NULL_TRACER, Tracer, activate
+from repro.resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.core.tables import TablesResult, TablesStep
 from repro.errors import SqlError
 from repro.sqlengine.executor import ResultSet
@@ -195,13 +200,27 @@ class Soda:
         )
         hits_before = self.plan_cache_stats().hits
         started = time.perf_counter()
-        with activate(tracer):
-            with tracer.span("search", query=text):
-                self.pipeline.run(context)
+        with deadline_scope(self._default_deadline()):
+            with activate(tracer):
+                with tracer.span("search", query=text):
+                    self.pipeline.run(context)
         self._log_if_slow(
             text, context, time.perf_counter() - started, hits_before
         )
         return context.result()
+
+    def _default_deadline(self) -> "Deadline | None":
+        """A deadline from ``EngineConfig(request_timeout_ms=)``.
+
+        None when no engine default is configured or when the caller
+        (the HTTP front end's per-request ``?timeout_ms=``) already
+        installed a deadline for this thread — the outermost request
+        budget always wins.
+        """
+        timeout_ms = self.warehouse.database.config.request_timeout_ms
+        if timeout_ms is None or current_deadline() is not None:
+            return None
+        return Deadline(timeout_ms)
 
     def _log_if_slow(
         self,

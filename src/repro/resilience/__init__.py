@@ -1,0 +1,41 @@
+"""Serving resilience: deadlines, shedding, breaker, maintenance.
+
+The building blocks that keep the serving stack (``repro serve``)
+standing under real traffic:
+
+* :mod:`repro.resilience.deadline` — request deadlines with cooperative
+  cancellation at pipeline/batch/morsel boundaries;
+* :mod:`repro.resilience.admission` — a bounded admission queue that
+  sheds excess load instead of queueing unboundedly;
+* :mod:`repro.resilience.breaker` — a circuit breaker that fast-fails
+  while the engine is unhealthy and probes its way back;
+* :mod:`repro.resilience.maintenance` — supervised background tasks
+  (stats refresh, index-snapshot saves) with retry + backoff;
+* :mod:`repro.resilience.faults` — deterministic serving-path fault
+  injection, so every behaviour above is provoked on demand in tests.
+"""
+
+from repro.resilience.admission import AdmissionController, LoadShedError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.faults import InjectedServingFault, ServingFaultInjector
+from repro.resilience.maintenance import MaintenanceRunner, RetryPolicy
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "InjectedServingFault",
+    "LoadShedError",
+    "MaintenanceRunner",
+    "RetryPolicy",
+    "ServingFaultInjector",
+    "current_deadline",
+    "deadline_scope",
+]

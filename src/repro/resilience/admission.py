@@ -1,0 +1,137 @@
+"""Admission control + load shedding for the asyncio front end.
+
+The server's engine pool can run ``max_concurrent`` requests at once;
+beyond that, up to ``queue_depth`` requests may *wait* — but only for
+``queue_timeout_ms``.  Everything else is **shed immediately** with a
+:class:`LoadShedError` (the HTTP layer maps it to 429 + ``Retry-After``)
+instead of piling unbounded tasks onto the event loop, which is what
+keeps accepted-request latency bounded under a saturating burst: the
+worst case an accepted request ever sees is the queue wait plus one
+pool slot's worth of service time, no matter how hard clients hammer.
+
+The controller is asyncio-native (the wait happens on the event loop,
+holding no thread) and must be used from the loop thread only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ReproError
+from repro.obs.metrics import registry as _metrics_registry
+
+__all__ = ["AdmissionController", "LoadShedError"]
+
+_METRICS = _metrics_registry()
+_SHED = _METRICS.counter("serving.admission.shed")
+_ADMITTED = _METRICS.counter("serving.admission.admitted")
+_QUEUE_SECONDS = _METRICS.histogram("serving.admission.queue_wait.seconds")
+
+
+class LoadShedError(ReproError):
+    """The server refused the request to protect itself.
+
+    :attr:`reason` is ``"queue_full"`` (the bounded queue was already
+    at depth) or ``"queue_timeout"`` (the request waited its whole
+    queue budget without a slot freeing up); :attr:`retry_after_s` is
+    the hint clients get in the ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, reason: str = "queue_full",
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """A bounded concurrency gate with a bounded, deadlined queue."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        queue_depth: int = 16,
+        queue_timeout_ms: float = 1000.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if queue_timeout_ms <= 0:
+            raise ValueError("queue_timeout_ms must be > 0")
+        self.max_concurrent = max_concurrent
+        self.queue_depth = queue_depth
+        self.queue_timeout_ms = queue_timeout_ms
+        self._slots = asyncio.Semaphore(max_concurrent)
+        self._active = 0
+        self._waiting = 0
+        self._shed = 0
+        self._admitted = 0
+
+    # ------------------------------------------------------------------
+    async def acquire(self) -> None:
+        """Admit the caller or raise :class:`LoadShedError`.
+
+        The fast path (a free slot) never touches the queue counters.
+        """
+        if self._active < self.max_concurrent and self._waiting == 0:
+            # free slot and nobody queued ahead: admit immediately
+            await self._slots.acquire()
+            self._active += 1
+            self._admitted += 1
+            if _METRICS.enabled:
+                _ADMITTED.inc()
+            return
+        if self._waiting >= self.queue_depth:
+            self._shed += 1
+            if _METRICS.enabled:
+                _SHED.inc()
+            raise LoadShedError(
+                f"admission queue full ({self.queue_depth} waiting); "
+                "load shed",
+                reason="queue_full",
+                retry_after_s=self.queue_timeout_ms / 1000.0,
+            )
+        self._waiting += 1
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            await asyncio.wait_for(
+                self._slots.acquire(), timeout=self.queue_timeout_ms / 1000.0
+            )
+        except asyncio.TimeoutError:
+            self._shed += 1
+            if _METRICS.enabled:
+                _SHED.inc()
+            raise LoadShedError(
+                f"no slot freed within the {self.queue_timeout_ms:g}ms "
+                "queue-wait deadline; load shed",
+                reason="queue_timeout",
+                retry_after_s=self.queue_timeout_ms / 1000.0,
+            ) from None
+        finally:
+            self._waiting -= 1
+        self._active += 1
+        self._admitted += 1
+        if _METRICS.enabled:
+            _ADMITTED.inc()
+            _QUEUE_SECONDS.observe(loop.time() - started)
+
+    def release(self) -> None:
+        self._active -= 1
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time occupancy for ``/healthz``."""
+        return {
+            "max_concurrent": self.max_concurrent,
+            "queue_depth": self.queue_depth,
+            "queue_timeout_ms": self.queue_timeout_ms,
+            "active": self._active,
+            "waiting": self._waiting,
+            "admitted": self._admitted,
+            "shed": self._shed,
+        }

@@ -1,0 +1,158 @@
+"""A circuit breaker for the serving path.
+
+Consecutive *engine* failures (unexpected exceptions out of the search
+pipeline or the SQL engine — not client errors, which prove the engine
+is answering) trip the breaker **open**: requests fast-fail with 503
+instead of queueing onto a broken engine.  After ``cooldown_s`` the
+breaker goes **half-open** and admits one probe request at a time; a
+probe success closes the breaker, a probe failure re-opens it for
+another cooldown.
+
+The class is engine-agnostic and thread-safe: ``allow()`` is called
+before the work, then exactly one of ``record_success()`` /
+``record_failure()`` after it.  The clock is injectable so tests step
+through cooldowns without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+
+from repro.obs.metrics import registry as _metrics_registry
+
+__all__ = ["CircuitBreaker"]
+
+_METRICS = _metrics_registry()
+_OPENED = _METRICS.counter("serving.breaker.opened")
+_FAST_FAILURES = _METRICS.counter("serving.breaker.fast_failures")
+_STATE_GAUGE = _METRICS.gauge("serving.breaker.state")
+
+#: gauge encoding of the three states (0 is healthy on dashboards)
+_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures.
+
+    >>> ticks = iter([float(i) for i in range(10)]).__next__
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown_s=100,
+    ...                          clock=ticks)
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state
+    'open'
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        clock=monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: True while a half-open probe is in flight (one at a time)
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    def _tick(self, now: float) -> None:
+        """Open -> half-open transition (call with the lock held)."""
+        if self._state == "open" and now - self._opened_at >= self.cooldown_s:
+            self._state = "half_open"
+            self._probing = False
+            self._publish()
+
+    def _publish(self) -> None:
+        if _METRICS.enabled:
+            _STATE_GAUGE.set(_STATE_CODES[self._state])
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Closed: always.  Open: no (fast-fail) until the cooldown lapses.
+        Half-open: one probe at a time; the rest keep fast-failing until
+        the probe reports back.
+        """
+        with self._lock:
+            now = self._clock()
+            self._tick(now)
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            if _METRICS.enabled:
+                _FAST_FAILURES.inc()
+            return False
+
+    def record_success(self) -> None:
+        """The admitted work completed: close (and reset) the breaker."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probing = False
+            self._publish()
+
+    def record_failure(self) -> None:
+        """The admitted work failed: count it; trip when over threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            self._probing = False
+            if tripped and self._state != "open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                if _METRICS.enabled:
+                    _OPENED.inc()
+            elif tripped:
+                # already open (e.g. two probes raced): restart cooldown
+                self._opened_at = self._clock()
+            self._publish()
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"half_open"`` | ``"open"`` (cooldown-aware)."""
+        with self._lock:
+            self._tick(self._clock())
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker will accept a probe (0 if not open)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> dict:
+        """The observable state for ``/healthz`` (one consistent read)."""
+        with self._lock:
+            self._tick(self._clock())
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "retry_after_s": round(
+                    max(
+                        0.0,
+                        self.cooldown_s - (self._clock() - self._opened_at),
+                    )
+                    if self._state == "open"
+                    else 0.0,
+                    3,
+                ),
+            }

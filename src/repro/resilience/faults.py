@@ -1,0 +1,73 @@
+"""Deterministic fault injection for the serving path.
+
+The PR-8 :class:`~repro.sqlengine.txn.faults.FaultInjector` proved the
+durability stack by killing the write path at every byte offset; this
+is the same idea one layer up.  A :class:`ServingFaultInjector` is
+handed to :class:`~repro.server.SodaServer` and consulted at the top of
+every engine call, so tests can *provoke* each resilience behaviour on
+demand instead of hoping a race shows up:
+
+* ``fail_requests(n)`` — the next *n* engine calls raise (default
+  :class:`InjectedServingFault`), which is exactly what trips the
+  circuit breaker;
+* ``delay_s`` — every engine call first sleeps, turning a fast test
+  engine into a slow one (saturation for the admission queue, budget
+  exhaustion for request deadlines).
+
+Both knobs are thread-safe (engine calls run on the server's worker
+pool) and can be changed while the server runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["InjectedServingFault", "ServingFaultInjector"]
+
+
+class InjectedServingFault(RuntimeError):
+    """The stand-in engine failure tests inject (an 'unexpected' error)."""
+
+
+class ServingFaultInjector:
+    """Injectable delays and failures for `SodaServer` engine calls."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self.delay_s = delay_s
+        self._pending_failures = 0
+        self._exception_factory = InjectedServingFault
+        #: engine calls that passed through (delayed or not)
+        self.calls = 0
+        #: engine calls that were failed by injection
+        self.failures_injected = 0
+
+    # ------------------------------------------------------------------
+    def fail_requests(
+        self, count: int, exception_factory=InjectedServingFault
+    ) -> None:
+        """Make the next *count* engine calls raise."""
+        with self._lock:
+            self._pending_failures = count
+            self._exception_factory = exception_factory
+
+    def set_delay(self, delay_s: float) -> None:
+        with self._lock:
+            self.delay_s = delay_s
+
+    # ------------------------------------------------------------------
+    def before_engine_call(self, what: str = "search") -> None:
+        """Called by the server just before running engine work."""
+        with self._lock:
+            self.calls += 1
+            delay = self.delay_s
+            fail = self._pending_failures > 0
+            if fail:
+                self._pending_failures -= 1
+                self.failures_injected += 1
+                factory = self._exception_factory
+        if delay:
+            time.sleep(delay)
+        if fail:
+            raise factory(f"injected {what} fault")

@@ -1,0 +1,235 @@
+"""Supervised background maintenance with retry/backoff.
+
+ROADMAP item 1 leaves index rebuilds and statistics refreshes on the
+request path; this module moves them onto a supervised worker thread.
+A :class:`MaintenanceRunner` owns named tasks (plain callables), runs
+each on its own interval, and — crucially for a serving process —
+**keeps running** when a task throws: the failure is recorded, the task
+is retried with exponential backoff plus deterministic jitter (a seeded
+RNG, so tests replay exactly), and one success resets the schedule.
+
+Shutdown is clean and prompt: ``stop()`` wakes the worker, waits for
+the in-flight task (if any) to finish, and joins with a timeout, so a
+server drain never hangs on maintenance.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+from time import monotonic, perf_counter
+
+from repro.obs.metrics import registry as _metrics_registry
+
+__all__ = ["MaintenanceRunner", "RetryPolicy"]
+
+_LOG = logging.getLogger("repro.resilience.maintenance")
+
+_METRICS = _metrics_registry()
+_RUNS = _METRICS.counter("maintenance.runs")
+_FAILURES = _METRICS.counter("maintenance.failures")
+_TASK_SECONDS = _METRICS.histogram("maintenance.task.seconds")
+
+
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    ``delay(n)`` for the *n*-th consecutive failure (n >= 1) is
+    ``base_s * multiplier**(n-1)`` capped at ``max_s``, scaled by a
+    jitter factor drawn uniformly from ``[1 - jitter, 1 + jitter]``
+    from a **seeded** RNG — deterministic backoff sequences in tests,
+    de-synchronised retries in production (pass a random seed).
+
+    >>> policy = RetryPolicy(base_s=1.0, max_s=30.0, jitter=0.0)
+    >>> [policy.delay(n) for n in (1, 2, 3, 6)]
+    [1.0, 2.0, 4.0, 30.0]
+    """
+
+    def __init__(
+        self,
+        base_s: float = 1.0,
+        max_s: float = 60.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if base_s <= 0 or max_s < base_s or multiplier < 1 or jitter < 0:
+            raise ValueError("invalid retry policy parameters")
+        self.base_s = base_s
+        self.max_s = max_s
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, consecutive_failures: int) -> float:
+        exponent = max(0, consecutive_failures - 1)
+        raw = min(self.max_s, self.base_s * self.multiplier**exponent)
+        if not self.jitter:
+            return raw
+        return raw * self._rng.uniform(1 - self.jitter, 1 + self.jitter)
+
+
+class _Task:
+    __slots__ = (
+        "name", "fn", "interval_s", "policy", "next_run", "runs",
+        "failures", "consecutive_failures", "last_error", "last_delay_s",
+    )
+
+    def __init__(self, name, fn, interval_s, policy, now) -> None:
+        self.name = name
+        self.fn = fn
+        self.interval_s = interval_s
+        self.policy = policy
+        self.next_run = now + interval_s
+        self.runs = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.last_error: "str | None" = None
+        self.last_delay_s = 0.0
+
+
+class MaintenanceRunner:
+    """Run named maintenance tasks off the request path, supervised."""
+
+    def __init__(self, clock=monotonic) -> None:
+        self._clock = clock
+        self._tasks: dict = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stopping = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        name: str,
+        fn,
+        interval_s: float,
+        policy: "RetryPolicy | None" = None,
+    ) -> None:
+        """Register *fn* to run every ``interval_s`` seconds."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        with self._lock:
+            if name in self._tasks:
+                raise ValueError(f"maintenance task {name!r} already exists")
+            self._tasks[name] = _Task(
+                name, fn, interval_s, policy or RetryPolicy(), self._clock()
+            )
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    def run_task_now(self, name: str) -> bool:
+        """Run one task synchronously (tests, warm-up); True on success."""
+        with self._lock:
+            task = self._tasks[name]
+        return self._run(task)
+
+    def _run(self, task: _Task) -> bool:
+        started = perf_counter()
+        try:
+            task.fn()
+        except Exception as exc:  # noqa: BLE001 - supervision is the point
+            now = self._clock()
+            with self._lock:
+                task.failures += 1
+                task.consecutive_failures += 1
+                task.last_error = f"{type(exc).__name__}: {exc}"
+                task.last_delay_s = task.policy.delay(
+                    task.consecutive_failures
+                )
+                task.next_run = now + task.last_delay_s
+            if _METRICS.enabled:
+                _FAILURES.inc()
+            _LOG.warning(
+                "maintenance task %s failed (attempt %d, retry in %.2fs): %s",
+                task.name, task.consecutive_failures, task.last_delay_s, exc,
+            )
+            return False
+        now = self._clock()
+        with self._lock:
+            task.runs += 1
+            task.consecutive_failures = 0
+            task.last_error = None
+            task.last_delay_s = 0.0
+            task.next_run = now + task.interval_s
+        if _METRICS.enabled:
+            _RUNS.inc()
+            _TASK_SECONDS.observe(perf_counter() - started)
+        return True
+
+    # ------------------------------------------------------------------
+    def _due(self) -> "tuple[_Task | None, float]":
+        """(the next due task or None, seconds until something is due)."""
+        now = self._clock()
+        soonest = None
+        with self._lock:
+            for task in self._tasks.values():
+                if task.next_run <= now:
+                    return task, 0.0
+                if soonest is None or task.next_run < soonest:
+                    soonest = task.next_run
+        if soonest is None:
+            return None, 3600.0
+        return None, max(0.0, soonest - now)
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            task, wait = self._due()
+            if task is not None:
+                self._run(task)
+                continue
+            self._wake.wait(timeout=min(wait, 0.5))
+            self._wake.clear()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MaintenanceRunner":
+        """Start the worker thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stopping.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="soda-maintenance", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the worker; True once it has joined (idempotent)."""
+        self._stopping.set()
+        self._wake.set()
+        with self._lock:
+            thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        stopped = not thread.is_alive()
+        if stopped:
+            with self._lock:
+                self._thread = None
+        return stopped
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-task supervision state (for ``/healthz`` and tests)."""
+        now = self._clock()
+        with self._lock:
+            return {
+                name: {
+                    "interval_s": task.interval_s,
+                    "runs": task.runs,
+                    "failures": task.failures,
+                    "consecutive_failures": task.consecutive_failures,
+                    "last_error": task.last_error,
+                    "backoff_s": round(task.last_delay_s, 3),
+                    "next_run_in_s": round(max(0.0, task.next_run - now), 3),
+                }
+                for name, task in self._tasks.items()
+            }

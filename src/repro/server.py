@@ -5,13 +5,14 @@ the bank serving "heavy traffic" of interactive keyword searches —
 with a deliberately dependency-free HTTP/1.1 server:
 
 * ``GET/POST /search`` — run a search (``q``/``query``, ``limit``,
-  ``execute``, ``trace`` parameters), returning the stable
-  :meth:`~repro.core.pipeline.SearchResult.to_dict` wire shape;
+  ``execute``, ``trace``, ``timeout_ms`` parameters), returning the
+  stable :meth:`~repro.core.pipeline.SearchResult.to_dict` wire shape;
 * ``POST /sql`` — execute one SQL statement (body = the statement),
   returning columns/rows/rowcount;
 * ``GET /metrics`` — the process metrics registry (``?format=
   prometheus`` for text exposition);
-* ``GET /healthz`` — liveness plus engine configuration.
+* ``GET /healthz`` — liveness, resilience state (``ok`` | ``degraded``
+  | ``open``) and engine configuration.
 
 The asyncio event loop only parses requests and shuttles bytes; every
 engine call runs on a thread pool (``workers`` threads), which is
@@ -19,11 +20,37 @@ exactly what the concurrent storage layer is for: SELECTs and searches
 pin frozen-segment snapshots and proceed without blocking, repeated
 query texts hit the engine-wide result cache, and DML statements
 serialize on one writer lock so the single-writer storage model holds.
+
+Resilience (PR 10) — the server degrades instead of falling over:
+
+* **request deadlines** — ``?timeout_ms=`` (or the engine's
+  ``EngineConfig(request_timeout_ms=)`` default) budgets each request,
+  including its queue wait; the engine cancels cooperatively at
+  pipeline/batch/morsel boundaries and the client gets a structured
+  503 (``kind: deadline_exceeded``) while the engine stays consistent;
+* **admission control + load shedding** — at most ``max_inflight``
+  engine calls run at once, at most ``queue_depth`` wait (for at most
+  ``queue_timeout_ms``); everything beyond that is shed immediately
+  with 429 + ``Retry-After`` instead of queueing unboundedly;
+* **circuit breaker** — consecutive engine failures trip fast-fail
+  503s (``kind: circuit_open``) for a cooldown, then half-open probes
+  feel the engine out; state shows in ``/healthz`` and
+  ``serving.breaker.*`` metrics;
+* **per-connection limits** — request line / header / body sizes are
+  bounded (413) and every read carries a timeout (408), so a stalled
+  (slowloris) client cannot hold a connection slot forever;
+* **graceful drain** — ``stop()`` / SIGTERM stops accepting, lets
+  in-flight requests finish up to ``drain_timeout_s``, then cancels
+  cooperatively; ``stop()`` is idempotent and thread-safe;
+* **background maintenance** — an optional supervised
+  :class:`~repro.resilience.maintenance.MaintenanceRunner` (stats
+  refresh, index-snapshot saves) starts and stops with the server.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -35,29 +62,71 @@ from repro.core.serving import SearchSession
 from repro.core.soda import Soda
 from repro.errors import SqlError
 from repro.obs.metrics import registry as _metrics_registry
+from repro.resilience.admission import AdmissionController, LoadShedError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    deadline_scope,
+)
 from repro.sqlengine.ast_nodes import Select, Union
 from repro.sqlengine.parser import parse_sql
 
 __all__ = ["SodaServer"]
 
-#: request bodies larger than this are rejected (a service guard, not
-#: a protocol limit)
+#: request bodies larger than this are rejected with 413 (a service
+#: guard, not a protocol limit)
 MAX_BODY_BYTES = 1 << 20
+
+#: the request line is bounded separately (long URLs are client bugs)
+MAX_REQUEST_LINE_BYTES = 8192
+
+#: total header bytes / header count a request may carry
+MAX_HEADER_BYTES = 16384
+MAX_HEADER_COUNT = 100
 
 _METRICS = _metrics_registry()
 _HTTP_REQUESTS = _METRICS.counter("serving.http.requests")
 _HTTP_ERRORS = _METRICS.counter("serving.http.errors")
 _HTTP_SECONDS = _METRICS.histogram("serving.http.seconds")
+_DEADLINES_EXCEEDED = _METRICS.counter("serving.deadline_exceeded")
+_READ_TIMEOUTS = _METRICS.counter("serving.read_timeouts")
+_OVERSIZE_REJECTED = _METRICS.counter("serving.oversize_rejected")
 
 _TRUE_WORDS = ("1", "true", "yes", "on")
 
 
 class _HttpError(Exception):
-    """An error that maps onto one HTTP status + JSON body."""
+    """An error that maps onto one HTTP status + structured JSON body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``kind`` is the machine-readable failure class carried in the body
+    (the human text stays in ``error``); ``retry_after_s`` adds a
+    ``Retry-After`` header; ``extra`` merges additional body fields.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        kind: str = "bad_request",
+        retry_after_s: "float | None" = None,
+        extra: "dict | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.kind = kind
+        self.retry_after_s = retry_after_s
+        self.extra = extra or {}
+
+    def payload(self) -> dict:
+        body = {"error": str(self), "kind": self.kind}
+        body.update(self.extra)
+        return body
+
+    def headers(self) -> dict:
+        if self.retry_after_s is None:
+            return {}
+        return {"Retry-After": f"{max(0.0, self.retry_after_s):.0f}" or "0"}
 
 
 class SodaServer:
@@ -65,9 +134,11 @@ class SodaServer:
 
     ``port=0`` binds an ephemeral port; :attr:`port` reports the real
     one once the server is listening.  ``workers`` bounds the engine
-    thread pool — the number of searches/SQL statements in flight at
-    once.  Use :meth:`run` to serve blocking (the CLI), or
-    :meth:`start_background` / :meth:`stop` from tests and benchmarks.
+    thread pool; ``max_inflight`` (default: ``workers``) bounds the
+    engine calls admitted at once, ``queue_depth``/``queue_timeout_ms``
+    the bounded admission queue behind them.  Use :meth:`run` to serve
+    blocking (the CLI), or :meth:`start_background` / :meth:`stop` from
+    tests and benchmarks.
     """
 
     def __init__(
@@ -77,13 +148,44 @@ class SodaServer:
         port: int = 0,
         workers: int = 4,
         default_limit: "int | None" = 5,
+        request_timeout_ms: "float | None" = None,
+        max_inflight: "int | None" = None,
+        queue_depth: int = 16,
+        queue_timeout_ms: float = 1000.0,
+        read_timeout_s: float = 10.0,
+        drain_timeout_s: float = 10.0,
+        breaker: "CircuitBreaker | None" = None,
+        maintenance=None,
+        faults=None,
     ) -> None:
         self.soda = soda
         self.host = host
         self.port = port
         self.default_limit = default_limit
+        #: per-request time budget when the client sends no
+        #: ``?timeout_ms=``; falls back to the engine config's
+        #: ``request_timeout_ms`` when None
+        if request_timeout_ms is None:
+            request_timeout_ms = (
+                soda.warehouse.database.config.request_timeout_ms
+            )
+        self.request_timeout_ms = request_timeout_ms
+        self.workers = max(1, workers)
+        self.max_inflight = (
+            self.workers if max_inflight is None else max(1, max_inflight)
+        )
+        self.queue_depth = queue_depth
+        self.queue_timeout_ms = queue_timeout_ms
+        self.read_timeout_s = read_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: optional supervised MaintenanceRunner; starts/stops with the
+        #: server so maintenance never outlives (or predates) serving
+        self.maintenance = maintenance
+        #: optional ServingFaultInjector consulted before engine calls
+        self.faults = faults
         self._pool = ThreadPoolExecutor(
-            max_workers=max(1, workers), thread_name_prefix="soda-http"
+            max_workers=self.workers, thread_name_prefix="soda-http"
         )
         #: DML statements serialize here (the storage model is
         #: single-writer; readers never take this lock)
@@ -92,6 +194,12 @@ class SodaServer:
         self._stopping: "asyncio.Event | None" = None
         self._started = threading.Event()
         self._thread: "threading.Thread | None" = None
+        #: guards thread/loop handoff between start_background and stop
+        self._lifecycle = threading.Lock()
+        self._admission: "AdmissionController | None" = None
+        self._draining = False
+        self._conn_tasks: set = set()
+        self._busy_tasks: set = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -104,97 +212,280 @@ class SodaServer:
             pass
 
     def start_background(self) -> "SodaServer":
-        """Serve on a daemon thread; returns once the port is bound."""
-        self._thread = threading.Thread(
-            target=self.run, name="soda-server", daemon=True
-        )
-        self._thread.start()
+        """Serve on a daemon thread; returns once the port is bound.
+
+        Idempotent: calling it on an already-running server returns the
+        server untouched (one listener, one loop).
+        """
+        with self._lifecycle:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._started.clear()
+            self._thread = threading.Thread(
+                target=self.run, name="soda-server", daemon=True
+            )
+            self._thread.start()
         if not self._started.wait(timeout=30):  # pragma: no cover - hang guard
             raise RuntimeError("server failed to start within 30s")
         return self
 
-    def stop(self) -> None:
-        """Shut the server down from any thread (idempotent)."""
+    def stop(self) -> dict:
+        """Gracefully drain and stop from any thread (idempotent).
+
+        Safe on a never-started or already-stopped server (a no-op),
+        and safe to call concurrently with :meth:`start_background` or
+        another :meth:`stop`.  Triggers the drain sequence — stop
+        accepting, let in-flight requests finish for up to
+        ``drain_timeout_s``, then cancel cooperatively — and joins the
+        serving thread with a timeout.  Returns a report::
+
+            {"stopped": bool, "stuck_threads": [thread names]}
+        """
+        with self._lifecycle:
+            thread = self._thread
+        if thread is not None and self._loop is None:
+            # racing a start_background that hasn't bound yet: give the
+            # loop a moment to exist so the stop signal has a target
+            self._started.wait(timeout=5)
         loop, stopping = self._loop, self._stopping
         if loop is not None and stopping is not None:
             try:
                 loop.call_soon_threadsafe(stopping.set)
-            except RuntimeError:  # pragma: no cover - loop already closed
+            except RuntimeError:  # loop already closed
                 pass
-        if self._thread is not None:
-            self._thread.join(timeout=30)
-            self._thread = None
+        stuck: list = []
+        if thread is not None:
+            thread.join(timeout=self.drain_timeout_s + 30)
+            if thread.is_alive():  # pragma: no cover - hang reporting
+                stuck.append(thread.name)
+            else:
+                with self._lifecycle:
+                    if self._thread is thread:
+                        self._thread = None
+        return {"stopped": not stuck, "stuck_threads": stuck}
 
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
+        self._draining = False
+        # fresh per serve: asyncio primitives bind to the running loop
+        self._admission = AdmissionController(
+            max_concurrent=self.max_inflight,
+            queue_depth=self.queue_depth,
+            queue_timeout_ms=self.queue_timeout_ms,
+        )
         server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = server.sockets[0].getsockname()[1]
+        if self.maintenance is not None:
+            self.maintenance.start()
         self._started.set()
         try:
-            async with server:
-                await self._stopping.wait()
+            await self._stopping.wait()
+            await self._drain(server)
         finally:
+            server.close()
+            if self.maintenance is not None:
+                self.maintenance.stop(timeout=5)
             self._started.clear()
             self._pool.shutdown(wait=False)
+            self._loop = None
+            self._stopping = None
+
+    async def _drain(self, server) -> None:
+        """Stop accepting; finish in-flight work; cancel the rest."""
+        self._draining = True
+        server.close()
+        # idle keep-alive connections are parked in _read_request —
+        # nothing in flight, cancel them immediately
+        for task in list(self._conn_tasks):
+            if task not in self._busy_tasks:
+                task.cancel()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout_s
+        while self._busy_tasks and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        # past the drain deadline: cancel cooperatively (the await is
+        # cancelled and the connection closed; a compute already on the
+        # engine pool finishes on its thread, its result discarded)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
 
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    if _METRICS.enabled:
+                        _HTTP_ERRORS.inc()
+                    await self._send(
+                        writer, exc.status, exc.payload(), False,
+                        exc.headers(),
+                    )
+                    break
                 if request is None:
                     break
                 method, target, body, keep_alive = request
-                status, payload = await self._dispatch(method, target, body)
-                blob = json.dumps(payload, sort_keys=True).encode()
-                head = (
-                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                    "Content-Type: application/json\r\n"
-                    f"Content-Length: {len(blob)}\r\n"
-                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-                    "\r\n"
-                ).encode()
-                writer.write(head + blob)
-                await writer.drain()
+                if self._draining:
+                    await self._send(
+                        writer, 503,
+                        {"error": "server is draining", "kind": "draining"},
+                        False, {"Retry-After": "1"},
+                    )
+                    break
+                self._busy_tasks.add(task)
+                try:
+                    status, payload, headers = await self._dispatch(
+                        method, target, body
+                    )
+                finally:
+                    self._busy_tasks.discard(task)
+                keep_alive = keep_alive and not self._draining
+                await self._send(writer, status, payload, keep_alive, headers)
                 if not keep_alive:
                     break
+        except asyncio.CancelledError:
+            pass  # drain cancelled the connection; just close it
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
         finally:
+            self._conn_tasks.discard(task)
+            self._busy_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _read_request(self, reader):
-        """Parse one request; None on a cleanly closed connection."""
+    async def _send(
+        self, writer, status: int, payload: dict, keep_alive: bool,
+        extra_headers: "dict | None" = None,
+    ) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(blob)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write("\r\n".join(lines).encode() + b"\r\n\r\n" + blob)
+        await writer.drain()
+
+    async def _read_line(self, reader, what: str) -> bytes:
+        """One CRLF line under the read timeout and the stream limit."""
         try:
-            request_line = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
+            return await asyncio.wait_for(
+                reader.readline(), timeout=self.read_timeout_s
+            )
+        except asyncio.TimeoutError:
+            if _METRICS.enabled:
+                _READ_TIMEOUTS.inc()
+            raise _HttpError(
+                408,
+                f"timed out after {self.read_timeout_s:g}s waiting for "
+                f"{what} (stalled client)",
+                kind="read_timeout",
+            ) from None
+        except ValueError:  # stream-limit overrun: a line with no end
+            if _METRICS.enabled:
+                _OVERSIZE_REJECTED.inc()
+            raise _HttpError(
+                413, f"{what} too large", kind="oversize"
+            ) from None
+
+    async def _read_request(self, reader):
+        """Parse one request; None on a cleanly closed connection.
+
+        Raises :class:`_HttpError` — 400 for malformed requests, 408
+        for stalled reads, 413 for oversized request line / headers /
+        body — so one slow or hostile client degrades into one error
+        response instead of a held connection slot.
+        """
+        try:
+            request_line = await self._read_line(reader, "the request line")
+        except ConnectionError:
             return None
         if not request_line:
             return None
+        if len(request_line) > MAX_REQUEST_LINE_BYTES:
+            if _METRICS.enabled:
+                _OVERSIZE_REJECTED.inc()
+            raise _HttpError(
+                413,
+                f"request line exceeds {MAX_REQUEST_LINE_BYTES} bytes",
+                kind="oversize",
+            )
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3:
-            raise asyncio.IncompleteReadError(request_line, None)
+            raise _HttpError(
+                400, "malformed request line", kind="malformed_request"
+            )
         method, target, version = parts
         headers = {}
+        header_bytes = 0
         while True:
-            line = await reader.readline()
+            line = await self._read_line(reader, "request headers")
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if (
+                len(headers) >= MAX_HEADER_COUNT
+                or header_bytes > MAX_HEADER_BYTES
+            ):
+                if _METRICS.enabled:
+                    _OVERSIZE_REJECTED.inc()
+                raise _HttpError(
+                    413,
+                    f"headers exceed {MAX_HEADER_COUNT} fields / "
+                    f"{MAX_HEADER_BYTES} bytes",
+                    kind="oversize",
+                )
             name, __, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(
+                400, "bad Content-Length header", kind="malformed_request"
+            ) from None
         if length > MAX_BODY_BYTES:
-            raise asyncio.IncompleteReadError(b"", None)
-        body = await reader.readexactly(length) if length else b""
+            if _METRICS.enabled:
+                _OVERSIZE_REJECTED.inc()
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                kind="oversize",
+            )
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=self.read_timeout_s
+                )
+            except asyncio.TimeoutError:
+                if _METRICS.enabled:
+                    _READ_TIMEOUTS.inc()
+                raise _HttpError(
+                    408,
+                    f"timed out after {self.read_timeout_s:g}s reading the "
+                    f"request body (stalled client)",
+                    kind="read_timeout",
+                ) from None
+        else:
+            body = b""
         keep_alive = headers.get("connection", "").lower() != "close" and (
             version.upper() != "HTTP/1.0"
         )
@@ -209,11 +500,12 @@ class SodaServer:
         params = {
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
+        headers: dict = {}
         try:
             if path == "/healthz":
-                return 200, self._healthz()
+                return 200, self._healthz(), headers
             if path == "/metrics" and method == "GET":
-                return 200, self._metrics_payload(params)
+                return 200, self._metrics_payload(params), headers
             if path == "/search" and method in ("GET", "POST"):
                 if method == "POST" and body:
                     try:
@@ -223,34 +515,137 @@ class SodaServer:
                     if not isinstance(posted, dict):
                         raise _HttpError(400, "POST /search expects an object")
                     params = {**posted, **params}
-                handler = self._handle_search
+                handler, what = self._handle_search, "search"
             elif path == "/sql" and method == "POST":
                 params["sql"] = body.decode(errors="replace")
-                handler = self._handle_sql
+                handler, what = self._handle_sql, "sql"
             else:
-                raise _HttpError(404, f"no route for {method} {split.path}")
-            # engine work runs on the pool: the event loop stays free to
-            # accept and parse other requests while searches execute
-            loop = asyncio.get_running_loop()
-            payload = await loop.run_in_executor(
-                self._pool, handler, params
-            )
-            return 200, payload
+                raise _HttpError(
+                    404, f"no route for {method} {split.path}",
+                    kind="not_found",
+                )
+            payload = await self._run_engine_route(handler, params, what)
+            return 200, payload, headers
         except _HttpError as exc:
             if _METRICS.enabled:
                 _HTTP_ERRORS.inc()
-            return exc.status, {"error": str(exc)}
+            return exc.status, exc.payload(), exc.headers()
+        except LoadShedError as exc:
+            if _METRICS.enabled:
+                _HTTP_ERRORS.inc()
+            return (
+                429,
+                {
+                    "error": str(exc),
+                    "kind": "load_shed",
+                    "reason": exc.reason,
+                    "retry_after_s": exc.retry_after_s,
+                },
+                {"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
+        except DeadlineExceeded as exc:
+            if _METRICS.enabled:
+                _HTTP_ERRORS.inc()
+                _DEADLINES_EXCEEDED.inc()
+            return (
+                503,
+                {
+                    "error": str(exc),
+                    "kind": "deadline_exceeded",
+                    "timeout_ms": exc.timeout_ms,
+                    "elapsed_ms": round(exc.elapsed_ms, 3),
+                    "where": exc.where,
+                },
+                {"Retry-After": "1"},
+            )
         except SqlError as exc:
             if _METRICS.enabled:
                 _HTTP_ERRORS.inc()
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc), "kind": "sql_error"}, headers
         except Exception as exc:  # noqa: BLE001 - the server must answer
             if _METRICS.enabled:
                 _HTTP_ERRORS.inc()
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return (
+                500,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "kind": "engine_failure",
+                },
+                headers,
+            )
         finally:
             if _METRICS.enabled:
                 _HTTP_SECONDS.observe(perf_counter() - started)
+
+    async def _run_engine_route(self, handler, params: dict, what: str):
+        """Breaker + admission + deadline around one engine call."""
+        breaker = self.breaker
+        if not breaker.allow():
+            snap = breaker.snapshot()
+            raise _HttpError(
+                503,
+                "circuit breaker open: the engine is failing; request "
+                "fast-failed",
+                kind="circuit_open",
+                retry_after_s=snap["retry_after_s"] or breaker.cooldown_s,
+                extra={"breaker": snap},
+            )
+        timeout_ms = self._timeout_ms(params)
+        # the deadline starts *before* the queue wait: time spent queued
+        # is part of the request's budget, so a request that waited its
+        # deadline away sheds at admission instead of running anyway
+        deadline = Deadline(timeout_ms) if timeout_ms else None
+        admission = self._admission
+        if admission is not None:
+            await admission.acquire()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool, self._run_engine, handler, params, deadline, what
+            )
+        finally:
+            if admission is not None:
+                admission.release()
+
+    def _timeout_ms(self, params: dict) -> "float | None":
+        raw = params.get("timeout_ms")
+        if raw is None:
+            return self.request_timeout_ms
+        try:
+            timeout_ms = int(raw)
+        except (TypeError, ValueError):
+            raise _HttpError(400, f"bad timeout_ms {raw!r}") from None
+        if timeout_ms <= 0:
+            raise _HttpError(400, "timeout_ms must be > 0")
+        return timeout_ms
+
+    def _run_engine(self, handler, params: dict, deadline, what: str):
+        """One engine call on the worker pool, breaker-accounted.
+
+        Client errors (`_HttpError`, `SqlError`) prove the engine is
+        answering and count as breaker successes; a `DeadlineExceeded`
+        is overload, not ill health, and counts as neither; everything
+        else is an engine failure.
+        """
+        try:
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    # admitted but already over budget (queue wait ate
+                    # it): don't start engine work at all
+                    deadline.check("admission")
+                if self.faults is not None:
+                    self.faults.before_engine_call(what)
+                result = handler(params)
+        except (_HttpError, SqlError):
+            self.breaker.record_success()
+            raise
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
 
     # ------------------------------------------------------------------
     # handlers (run on the worker pool)
@@ -312,20 +707,44 @@ class SodaServer:
         return metrics
 
     def _healthz(self) -> dict:
+        """Liveness + resilience state (part of the wire contract).
+
+        ``status`` is ``"ok"`` (breaker closed), ``"degraded"`` (breaker
+        half-open — probing its way back — or the server is draining),
+        or ``"open"`` (breaker open: engine calls fast-fail).
+        """
         database = self.soda.warehouse.database
-        return {
-            "status": "ok",
+        breaker = self.breaker.snapshot()
+        status = {"closed": "ok", "half_open": "degraded", "open": "open"}[
+            breaker["state"]
+        ]
+        if self._draining and status == "ok":
+            status = "degraded"
+        payload = {
+            "status": status,
+            "draining": self._draining,
+            "breaker": breaker,
             "engine_config": {
                 key: value
                 for key, value in database.config.as_dict().items()
             },
             "tables": len(database.table_names()),
         }
+        admission = self._admission
+        if admission is not None:
+            payload["admission"] = admission.snapshot()
+        if self.maintenance is not None:
+            payload["maintenance"] = self.maintenance.stats()
+        return payload
 
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }

@@ -78,6 +78,13 @@ class EngineConfig:
     #: flat single-threaded storage, > 0 opts tables into immutable
     #: frozen segments + one mutable delta with snapshot-pinned reads
     segment_rows: int = 0
+    #: default per-request time budget in milliseconds (None = no
+    #: deadline).  A query over budget raises a structured
+    #: :class:`~repro.resilience.deadline.DeadlineExceeded` at the next
+    #: cooperative checkpoint (pipeline step / scan batch / morsel
+    #: boundary); the HTTP front end maps it to 503 and accepts a
+    #: per-request ``?timeout_ms=`` override
+    request_timeout_ms: "int | None" = None
 
     def __post_init__(self) -> None:
         _require_int("plan_cache_size", self.plan_cache_size, 0)
@@ -106,6 +113,8 @@ class EngineConfig:
             )
         _require_bool("array_store", self.array_store, error=SqlCatalogError)
         _require_int("segment_rows", self.segment_rows, 0, error=SqlCatalogError)
+        if self.request_timeout_ms is not None:
+            _require_int("request_timeout_ms", self.request_timeout_ms, 1)
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "EngineConfig":
@@ -172,7 +181,9 @@ class EngineConfig:
             )
         if key == "execution_mode":
             return lowered
-        if key == "dict_encoding_threshold" and lowered in ("none", "null"):
+        if key in ("dict_encoding_threshold", "request_timeout_ms") and (
+            lowered in ("none", "null")
+        ):
             return None
         try:
             return int(raw)

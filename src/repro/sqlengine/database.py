@@ -12,6 +12,11 @@ import warnings
 from typing import Any, Iterable, Sequence
 
 from repro.errors import SqlError, SqlExecutionError, TransactionError
+from repro.resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.sqlengine.ast_nodes import (
     Begin,
     Checkpoint,
@@ -225,9 +230,11 @@ class Database:
         """
         statement = parse_sql(sql)
         if isinstance(statement, Select):
-            return self.planner.execute(statement)
+            with deadline_scope(self._default_deadline()):
+                return self.planner.execute(statement)
         if isinstance(statement, Union):
-            return execute_union(self.catalog, statement, self.planner)
+            with deadline_scope(self._default_deadline()):
+                return execute_union(self.catalog, statement, self.planner)
         if isinstance(statement, Begin):
             self.txn.begin()
             if self._metrics_registry.enabled:
@@ -357,9 +364,19 @@ class Database:
         if self.durability is not None:
             self.durability.close()
 
+    def _default_deadline(self) -> "Deadline | None":
+        """A fresh deadline from ``request_timeout_ms``, unless one is
+        already active (the serving layer's request-level deadline wins
+        over the engine default)."""
+        timeout_ms = self._config.request_timeout_ms
+        if timeout_ms is None or current_deadline() is not None:
+            return None
+        return Deadline(timeout_ms)
+
     def execute_select_ast(self, select: Select) -> ResultSet:
         """Execute an already-parsed SELECT (used by SODA internals)."""
-        return self.planner.execute(select)
+        with deadline_scope(self._default_deadline()):
+            return self.planner.execute(select)
 
     def explain(self, sql: str, analyze: bool = False) -> str:
         """The optimized plan of a SELECT, as a deterministic text tree.

@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator
 
 from repro.obs.metrics import registry as _metrics_registry
+from repro.resilience.deadline import current_deadline, deadline_scope
 from repro.sqlengine.segments import current_pins, pinned
 
 #: scan batches per morsel — a multiple of BATCH_SIZE rows, so parallel
@@ -67,6 +68,7 @@ class MorselDispatcher:
             for task in tasks:
                 yield task()
             return
+        deadline = current_deadline()
         pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="morsel"
         )
@@ -77,6 +79,11 @@ class MorselDispatcher:
             )
             pending = iter(tasks[ahead:])
             while in_flight:
+                # a spent deadline stops the dispatch loop before more
+                # morsels are submitted; in-flight workers hit their own
+                # per-batch checks and the pool teardown reaps them
+                if deadline is not None:
+                    deadline.check("morsel")
                 future = in_flight.popleft()
                 result = future.result()  # re-raises in morsel order
                 for task in pending:
@@ -124,10 +131,13 @@ class ParallelChainOp:
             pins = {id(table): table.pin()}
         with pinned(pins):
             total = scan.row_count()
+        # the coordinator's request deadline rides into every worker
+        # thread, so a morsel's per-batch scan checks honour it too
+        deadline = current_deadline()
 
         def make(start: int, stop: int) -> Callable:
             def task():
-                with pinned(pins):
+                with deadline_scope(deadline), pinned(pins):
                     stream = scan.batches_range(start, stop)
                     for stage in stages:
                         stream = stage.process(stream)

@@ -42,6 +42,7 @@ import heapq
 from typing import Any, Iterator
 
 from repro.errors import SqlCatalogError, SqlExecutionError, SqlTypeError
+from repro.resilience.deadline import current_deadline
 from repro.sqlengine.ast_nodes import (
     Between,
     BinaryOp,
@@ -147,11 +148,14 @@ class ScanOp(PhysicalOperator):
         # concurrent DML can never mutate the rows mid-iteration
         snapshot = snapshot_of(self._table)
         source = self._table.rows if snapshot is None else snapshot.iter_rows()
+        deadline = current_deadline()
         scanned = 0
         dropped = 0
         try:
             for row in source:
                 scanned += 1
+                if deadline is not None and not scanned % BATCH_SIZE:
+                    deadline.check("scan")
                 ok = True
                 for fn in predicate_fns:
                     if fn(row) is not True:
@@ -882,12 +886,15 @@ class BatchScanOp(BatchOperator):
                 ]
 
         bound_cell = self._bound_cell
+        deadline = current_deadline()
         scanned = 0
         dropped = 0
         batches = 0
         fused_batches = 0
         try:
             for start in range(first, last, BATCH_SIZE):
+                if deadline is not None:
+                    deadline.check("scan")
                 stop = min(start + BATCH_SIZE, last)
                 cols = slice_batch(start, stop)
                 n = stop - start

@@ -1,0 +1,110 @@
+"""Admission control: bounded queue, queue-wait deadline, shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.resilience.admission import AdmissionController, LoadShedError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFastPath:
+    def test_admits_up_to_max_concurrent(self):
+        async def scenario():
+            gate = AdmissionController(max_concurrent=2, queue_depth=4)
+            await gate.acquire()
+            await gate.acquire()
+            snap = gate.snapshot()
+            gate.release()
+            gate.release()
+            return snap
+
+        snap = run(scenario())
+        assert snap["active"] == 2
+        assert snap["admitted"] == 2
+        assert snap["shed"] == 0
+
+    def test_release_frees_the_slot(self):
+        async def scenario():
+            gate = AdmissionController(max_concurrent=1, queue_depth=0)
+            await gate.acquire()
+            gate.release()
+            await gate.acquire()  # would shed if the slot leaked
+            gate.release()
+            return gate.snapshot()
+
+        assert run(scenario())["admitted"] == 2
+
+
+class TestShedding:
+    def test_queue_full_sheds_immediately(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_concurrent=1, queue_depth=1, queue_timeout_ms=5000
+            )
+            await gate.acquire()  # take the only slot
+            waiter = asyncio.ensure_future(gate.acquire())  # fills the queue
+            await asyncio.sleep(0)  # let the waiter enqueue
+            with pytest.raises(LoadShedError) as info:
+                await gate.acquire()  # queue at depth: shed now, no wait
+            gate.release()  # lets the waiter through
+            await waiter
+            gate.release()
+            return info.value, gate.snapshot()
+
+        exc, snap = run(scenario())
+        assert exc.reason == "queue_full"
+        assert exc.retry_after_s > 0
+        assert snap["shed"] == 1
+        assert snap["admitted"] == 2
+
+    def test_queue_timeout_sheds_the_waiter(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_concurrent=1, queue_depth=4, queue_timeout_ms=20
+            )
+            await gate.acquire()  # never released during the wait
+            with pytest.raises(LoadShedError) as info:
+                await gate.acquire()
+            gate.release()
+            return info.value, gate.snapshot()
+
+        exc, snap = run(scenario())
+        assert exc.reason == "queue_timeout"
+        assert snap["shed"] == 1
+        assert snap["waiting"] == 0  # the counter unwound
+
+    def test_timed_out_waiter_does_not_leak_a_slot(self):
+        async def scenario():
+            gate = AdmissionController(
+                max_concurrent=1, queue_depth=4, queue_timeout_ms=20
+            )
+            await gate.acquire()
+            with pytest.raises(LoadShedError):
+                await gate.acquire()
+            gate.release()
+            # the slot freed above must be acquirable again
+            await asyncio.wait_for(gate.acquire(), timeout=5)
+            gate.release()
+
+        run(scenario())
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent": 0},
+            {"queue_depth": -1},
+            {"queue_timeout_ms": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        async def scenario():
+            AdmissionController(**kwargs)
+
+        with pytest.raises(ValueError):
+            run(scenario())

@@ -1,0 +1,117 @@
+"""Circuit breaker: trip, cooldown, half-open probes — no sleeping."""
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=5.0, clock=clock)
+
+
+class TestTripping:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"  # under threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 3 in a row
+
+    def test_retry_after_counts_down(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(5.0)
+        clock.advance(2.0)
+        assert breaker.retry_after_s() == pytest.approx(3.0)
+
+
+class TestHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_cooldown_opens_the_probe_window(self, breaker, clock):
+        self._trip(breaker)
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+
+    def test_one_probe_at_a_time(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # second request fast-fails
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # fully open for traffic
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # probing again
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, breaker, clock):
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "failure_threshold": 3,
+            "cooldown_s": 5.0,
+            "retry_after_s": 0.0,
+        }
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["consecutive_failures"] == 3
+        assert snap["retry_after_s"] == pytest.approx(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0)

@@ -1,0 +1,103 @@
+"""Deadlines: fake-clock expiry, structured errors, thread-local scopes."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+
+
+def ticking(*seconds):
+    """A clock that returns the given instants, then sticks at the last."""
+    times = list(seconds)
+
+    def clock():
+        return times.pop(0) if len(times) > 1 else times[0]
+
+    return clock
+
+
+class TestDeadline:
+    def test_expiry_follows_the_injected_clock(self):
+        deadline = Deadline(100, clock=ticking(0.0, 0.05, 0.2))
+        assert not deadline.expired  # 50ms in
+        assert deadline.expired  # 200ms in
+
+    def test_remaining_and_elapsed(self):
+        deadline = Deadline(1000, clock=ticking(0.0, 0.25, 0.25, 2.0))
+        assert deadline.elapsed_ms() == pytest.approx(250.0)
+        assert deadline.remaining_ms() == pytest.approx(750.0)
+        assert deadline.remaining_ms() == 0.0  # never negative
+
+    def test_check_raises_structured_error(self):
+        deadline = Deadline(100, clock=ticking(0.0, 0.25))
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("scan")
+        exc = info.value
+        assert exc.timeout_ms == 100.0
+        assert exc.elapsed_ms == pytest.approx(250.0)
+        assert exc.where == "scan"
+        assert "100ms deadline" in str(exc)
+        assert "(at scan)" in str(exc)
+
+    def test_check_is_silent_within_budget(self):
+        deadline = Deadline(100, clock=ticking(0.0, 0.05))
+        deadline.check("scan")  # no raise
+
+    def test_is_a_repro_error(self):
+        assert issubclass(DeadlineExceeded, ReproError)
+
+    @pytest.mark.parametrize("bad", [0, -1, "100", None])
+    def test_rejects_non_positive_timeouts(self, bad):
+        with pytest.raises(ValueError):
+            Deadline(bad)
+
+
+class TestDeadlineScope:
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        deadline = Deadline(1000)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_true_noop(self):
+        outer = Deadline(1000)
+        with deadline_scope(outer):
+            with deadline_scope(None):
+                # the outer (request-level) deadline stays active
+                assert current_deadline() is outer
+            assert current_deadline() is outer
+
+    def test_scopes_nest_and_unwind(self):
+        outer, inner = Deadline(1000), Deadline(500)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_scope_restores_on_exception(self):
+        deadline = Deadline(1000)
+        with pytest.raises(RuntimeError):
+            with deadline_scope(deadline):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+    def test_active_deadline_is_per_thread(self):
+        deadline = Deadline(1000)
+        seen = {}
+
+        def worker():
+            seen["other_thread"] = current_deadline()
+
+        with deadline_scope(deadline):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other_thread"] is None

@@ -1,0 +1,168 @@
+"""Background maintenance: supervision, backoff, clean shutdown."""
+
+import threading
+
+import pytest
+
+from repro.resilience.maintenance import MaintenanceRunner, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_s=1.0, max_s=30.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 5, 6)] == [
+            1.0, 2.0, 4.0, 8.0, 16.0, 30.0,
+        ]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        first = RetryPolicy(base_s=10.0, jitter=0.1, seed=7)
+        second = RetryPolicy(base_s=10.0, jitter=0.1, seed=7)
+        delays = [first.delay(1) for _ in range(20)]
+        assert delays == [second.delay(1) for _ in range(20)]  # replayable
+        assert all(9.0 <= d <= 11.0 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=2.0, max_s=1.0)
+
+
+class TestRunnerSupervision:
+    def test_success_updates_stats_and_schedule(self):
+        clock = FakeClock()
+        runner = MaintenanceRunner(clock=clock)
+        runs = []
+        runner.add_task("refresh", lambda: runs.append(1), interval_s=60)
+        assert runner.run_task_now("refresh")
+        stats = runner.stats()["refresh"]
+        assert stats["runs"] == 1
+        assert stats["failures"] == 0
+        assert stats["last_error"] is None
+        assert stats["next_run_in_s"] == pytest.approx(60.0)
+        assert runs == [1]
+
+    def test_failure_records_error_and_backs_off(self):
+        clock = FakeClock()
+        runner = MaintenanceRunner(clock=clock)
+
+        def broken():
+            raise OSError("disk full")
+
+        runner.add_task(
+            "snapshot", broken, interval_s=60,
+            policy=RetryPolicy(base_s=2.0, jitter=0.0),
+        )
+        assert not runner.run_task_now("snapshot")
+        stats = runner.stats()["snapshot"]
+        assert stats["failures"] == 1
+        assert stats["last_error"] == "OSError: disk full"
+        assert stats["backoff_s"] == 2.0
+        assert stats["next_run_in_s"] == pytest.approx(2.0)
+
+    def test_backoff_grows_then_success_resets(self):
+        clock = FakeClock()
+        runner = MaintenanceRunner(clock=clock)
+        outcomes = [OSError("a"), OSError("b"), OSError("c"), None]
+
+        def flaky():
+            outcome = outcomes.pop(0)
+            if outcome is not None:
+                raise outcome
+
+        runner.add_task(
+            "flaky", flaky, interval_s=60,
+            policy=RetryPolicy(base_s=1.0, multiplier=2.0, jitter=0.0),
+        )
+        backoffs = []
+        for _ in range(3):
+            runner.run_task_now("flaky")
+            backoffs.append(runner.stats()["flaky"]["backoff_s"])
+        assert backoffs == [1.0, 2.0, 4.0]
+        assert runner.run_task_now("flaky")  # recovery
+        stats = runner.stats()["flaky"]
+        assert stats["consecutive_failures"] == 0
+        assert stats["backoff_s"] == 0.0
+        assert stats["next_run_in_s"] == pytest.approx(60.0)
+
+    def test_one_failing_task_does_not_starve_others(self):
+        clock = FakeClock()
+        runner = MaintenanceRunner(clock=clock)
+        runs = []
+
+        def broken():
+            raise RuntimeError("boom")
+
+        runner.add_task("broken", broken, interval_s=60)
+        runner.add_task("healthy", lambda: runs.append(1), interval_s=60)
+        runner.run_task_now("broken")
+        assert runner.run_task_now("healthy")
+        assert runs == [1]
+
+    def test_duplicate_task_names_rejected(self):
+        runner = MaintenanceRunner()
+        runner.add_task("x", lambda: None, interval_s=1)
+        with pytest.raises(ValueError):
+            runner.add_task("x", lambda: None, interval_s=1)
+        with pytest.raises(ValueError):
+            runner.add_task("y", lambda: None, interval_s=0)
+
+
+class TestRunnerLifecycle:
+    def test_worker_runs_due_tasks(self):
+        # real clock, tiny interval: the worker thread must pick it up
+        ran = threading.Event()
+        runner = MaintenanceRunner()
+        runner.add_task("tick", ran.set, interval_s=0.01)
+        runner.start()
+        try:
+            assert ran.wait(timeout=10)
+        finally:
+            assert runner.stop(timeout=10)
+        assert not runner.running
+
+    def test_start_is_idempotent(self):
+        runner = MaintenanceRunner()
+        runner.start()
+        first = runner._thread
+        runner.start()
+        assert runner._thread is first
+        assert runner.stop(timeout=10)
+
+    def test_stop_without_start_is_a_noop(self):
+        runner = MaintenanceRunner()
+        assert runner.stop() is True
+        assert runner.stop() is True  # and idempotent
+
+    def test_stop_waits_for_inflight_task(self):
+        started = threading.Event()
+        release = threading.Event()
+        finished = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(timeout=10)
+            finished.set()
+
+        runner = MaintenanceRunner()
+        runner.add_task("slow", slow, interval_s=0.01)
+        runner.start()
+        assert started.wait(timeout=10)
+        stopper = threading.Thread(target=runner.stop)
+        stopper.start()
+        release.set()
+        stopper.join(timeout=10)
+        assert finished.is_set()  # the in-flight run completed
+        assert not runner.running

@@ -469,3 +469,68 @@ class TestDurableCli:
         code, output = run_cli("recover", data_dir)
         assert code == 1
         assert "error:" in output
+
+
+class TestRecoverFailurePaths:
+    """`repro recover` on damaged directories: structured, no traceback."""
+
+    def _seed(self, tmp_path, *, checkpoint=False):
+        data_dir = str(tmp_path / "db")
+        code, __ = run_cli(
+            "sql", "--data-dir", data_dir,
+            "CREATE TABLE t (id INT)",
+            "INSERT INTO t VALUES (1), (2), (3)",
+        )
+        assert code == 0
+        if checkpoint:
+            code, __ = run_cli("recover", data_dir, "--checkpoint")
+            assert code == 0
+        return data_dir
+
+    def test_midlog_wal_corruption_prints_wal_kind(self, tmp_path):
+        import os
+
+        data_dir = self._seed(tmp_path)
+        wal = os.path.join(data_dir, "wal.0.log")
+        with open(wal, "r+b") as handle:
+            # flip a byte inside the *first* record: damage followed by
+            # valid records is mid-log corruption and must be a hard
+            # RecoveryError (only a torn final record may be truncated)
+            handle.seek(12)
+            byte = handle.read(1)
+            handle.seek(12)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        code, output = run_cli("recover", data_dir)
+        assert code == 1
+        assert "error: recovery failed" in output
+        assert "[wal]" in output  # the machine-readable failure kind
+        assert "wal.0.log" in output  # ...and the offending file
+        assert "Traceback" not in output
+
+    def test_corrupt_checkpoint_prints_checkpoint_kind(self, tmp_path):
+        import os
+
+        data_dir = self._seed(tmp_path, checkpoint=True)
+        checkpoint = os.path.join(data_dir, "checkpoint.json.gz")
+        assert os.path.exists(checkpoint)
+        with open(checkpoint, "wb") as handle:
+            handle.write(b"this is not a gzip checkpoint")
+        code, output = run_cli("recover", data_dir)
+        assert code == 1
+        assert "error: recovery failed" in output
+        assert "[checkpoint]" in output
+        assert "checkpoint.json.gz" in output
+        assert "Traceback" not in output
+
+    def test_truncated_checkpoint_prints_checkpoint_kind(self, tmp_path):
+        import os
+
+        data_dir = self._seed(tmp_path, checkpoint=True)
+        checkpoint = os.path.join(data_dir, "checkpoint.json.gz")
+        size = os.path.getsize(checkpoint)
+        with open(checkpoint, "r+b") as handle:
+            handle.truncate(size // 2)
+        code, output = run_cli("recover", data_dir)
+        assert code == 1
+        assert "[checkpoint]" in output
+        assert "Traceback" not in output
