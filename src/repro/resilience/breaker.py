@@ -10,8 +10,12 @@ another cooldown.
 
 The class is engine-agnostic and thread-safe: ``allow()`` is called
 before the work, then exactly one of ``record_success()`` /
-``record_failure()`` after it.  The clock is injectable so tests step
-through cooldowns without sleeping.
+``record_failure()`` / ``record_abandoned()`` after it — the last for
+work that was admitted but never reached the engine (deadline spent in
+the queue, load shed, bad request parameters), which says nothing
+about engine health but must still release a half-open probe slot.
+The clock is injectable so tests step through cooldowns without
+sleeping.
 """
 
 from __future__ import annotations
@@ -102,6 +106,20 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._probing = False
             self._publish()
+
+    def record_abandoned(self) -> None:
+        """The admitted work never reached the engine: no verdict.
+
+        Deadline exhaustion, load shedding, or a bad parameter between
+        ``allow()`` and the engine call says nothing about engine
+        health, but a half-open probe slot claimed by ``allow()`` must
+        still be released or the breaker wedges with ``_probing`` stuck
+        True and every future ``allow()`` returning False.  State and
+        the failure count are untouched; calling this after a real
+        record is harmless (the record already cleared the probe flag).
+        """
+        with self._lock:
+            self._probing = False
 
     def record_failure(self) -> None:
         """The admitted work failed: count it; trip when over threshold."""

@@ -52,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
@@ -268,6 +269,14 @@ class SodaServer:
         self._loop = asyncio.get_running_loop()
         self._stopping = asyncio.Event()
         self._draining = False
+        # fresh per serve: the previous serve's finally shut the pool
+        # down, and a restarted server must not submit to a dead
+        # executor (threads spawn lazily, so replacing an unused pool
+        # costs nothing)
+        self._pool.shutdown(wait=False)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="soda-http"
+        )
         # fresh per serve: asyncio primitives bind to the running loop
         self._admission = AdmissionController(
             max_concurrent=self.max_inflight,
@@ -590,19 +599,36 @@ class SodaServer:
                 retry_after_s=snap["retry_after_s"] or breaker.cooldown_s,
                 extra={"breaker": snap},
             )
-        timeout_ms = self._timeout_ms(params)
-        # the deadline starts *before* the queue wait: time spent queued
-        # is part of the request's budget, so a request that waited its
-        # deadline away sheds at admission instead of running anyway
-        deadline = Deadline(timeout_ms) if timeout_ms else None
-        admission = self._admission
-        if admission is not None:
-            await admission.acquire()
+        try:
+            timeout_ms = self._timeout_ms(params)
+            # the deadline starts *before* the queue wait: time spent
+            # queued is part of the request's budget, so a request that
+            # waited its deadline away sheds at admission instead of
+            # running anyway
+            deadline = Deadline(timeout_ms) if timeout_ms else None
+            admission = self._admission
+            if admission is not None:
+                await admission.acquire()
+        except BaseException:
+            # rejected before the engine ran (bad timeout_ms, load
+            # shed, cancellation): no health verdict, but the half-open
+            # probe slot allow() may have claimed must be released or
+            # the breaker wedges open
+            breaker.record_abandoned()
+            raise
         try:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
                 self._pool, self._run_engine, handler, params, deadline, what
             )
+        except (asyncio.CancelledError, RuntimeError):
+            # _run_engine records only when it runs on the pool; here
+            # it may never have started (task cancelled during drain
+            # before a worker picked it up, or the pool shut down by a
+            # racing stop()).  Releasing the probe slot is harmless if
+            # it did run — a real record already cleared the flag
+            breaker.record_abandoned()
+            raise
         finally:
             if admission is not None:
                 admission.release()
@@ -612,11 +638,13 @@ class SodaServer:
         if raw is None:
             return self.request_timeout_ms
         try:
-            timeout_ms = int(raw)
+            timeout_ms = float(raw)
         except (TypeError, ValueError):
             raise _HttpError(400, f"bad timeout_ms {raw!r}") from None
-        if timeout_ms <= 0:
-            raise _HttpError(400, "timeout_ms must be > 0")
+        # `not >` (rather than `<=`) also rejects NaN; isfinite rejects
+        # inf, which would silently mean "no timeout"
+        if not timeout_ms > 0 or not math.isfinite(timeout_ms):
+            raise _HttpError(400, "timeout_ms must be a finite number > 0")
         return timeout_ms
 
     def _run_engine(self, handler, params: dict, deadline, what: str):
@@ -624,8 +652,11 @@ class SodaServer:
 
         Client errors (`_HttpError`, `SqlError`) prove the engine is
         answering and count as breaker successes; a `DeadlineExceeded`
-        is overload, not ill health, and counts as neither; everything
-        else is an engine failure.
+        is overload, not ill health, and counts as neither success nor
+        failure — but it still releases a half-open probe slot, else a
+        deadline-exceeded probe (likely when a slow engine is exactly
+        what tripped the breaker) wedges the breaker open forever;
+        everything else is an engine failure.
         """
         try:
             with deadline_scope(deadline):
@@ -640,6 +671,7 @@ class SodaServer:
             self.breaker.record_success()
             raise
         except DeadlineExceeded:
+            self.breaker.record_abandoned()
             raise
         except Exception:
             self.breaker.record_failure()

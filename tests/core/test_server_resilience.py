@@ -209,7 +209,7 @@ class TestRequestDeadlines:
         )
         assert status == 200
 
-    @pytest.mark.parametrize("bad", ["abc", "0", "-5"])
+    @pytest.mark.parametrize("bad", ["abc", "0", "-5", "nan", "inf"])
     def test_bad_timeout_ms_is_400(self, make_server, bad):
         server = make_server()
         status, __, payload = _get(server, f"/healthz?x=1")
@@ -219,6 +219,15 @@ class TestRequestDeadlines:
         )
         assert status == 400
         assert "timeout_ms" in payload["error"]
+
+    def test_fractional_timeout_ms_is_accepted(self, make_server):
+        # Deadline and request_timeout_ms take floats; the wire
+        # parameter must too
+        server = make_server()
+        status, __, __ = _get(
+            server, "/search?q=Zurich&timeout_ms=2500.5"
+        )
+        assert status == 200
 
 
 # ----------------------------------------------------------------------
@@ -304,6 +313,58 @@ class TestCircuitBreaker:
         assert payload["status"] == "ok"
         assert payload["breaker"]["state"] == "closed"
 
+    def test_deadline_exceeded_probe_does_not_wedge_the_breaker(
+        self, make_server
+    ):
+        # A slow engine is exactly what trips the breaker, so the
+        # half-open probe is likely to exceed its deadline too.  The
+        # probe slot must be released on that path or every later
+        # allow() returns False and the server 503s until restart.
+        faults = ServingFaultInjector()
+        server = make_server(
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_s=0.2),
+            faults=faults,
+        )
+        faults.fail_requests(2)
+        for i in range(2):
+            status, __, __ = _get(server, f"/search?q=wedge+{i}")
+            assert status == 500
+        time.sleep(0.25)  # cooldown -> half-open
+        faults.set_delay(0.05)
+        status, __, payload = _get(
+            server, "/search?q=wedge+probe&timeout_ms=20"
+        )
+        assert status == 503
+        assert payload["kind"] == "deadline_exceeded"
+        # the slot is free again: a healthy probe closes the breaker
+        faults.set_delay(0.0)
+        status, __, __ = _get(server, "/search?q=wedge+recovered")
+        assert status == 200
+        status, __, payload = _get(server, "/healthz")
+        assert payload["status"] == "ok"
+
+    def test_rejected_probe_releases_the_slot(self, make_server):
+        # the probe dies before the engine runs (bad timeout_ms) —
+        # again no verdict, again the slot must come back
+        faults = ServingFaultInjector()
+        server = make_server(
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_s=0.2),
+            faults=faults,
+        )
+        faults.fail_requests(2)
+        for i in range(2):
+            status, __, __ = _get(server, f"/search?q=reject+{i}")
+            assert status == 500
+        time.sleep(0.25)  # cooldown -> half-open
+        status, __, __ = _get(
+            server, "/search?q=reject+probe&timeout_ms=abc"
+        )
+        assert status == 400
+        status, __, __ = _get(server, "/search?q=reject+recovered")
+        assert status == 200
+        status, __, payload = _get(server, "/healthz")
+        assert payload["status"] == "ok"
+
     def test_client_errors_do_not_trip_the_breaker(self, make_server):
         server = make_server(
             breaker=CircuitBreaker(failure_threshold=2, cooldown_s=60)
@@ -379,11 +440,19 @@ class TestLifecycle:
     def test_server_restarts_after_stop(self, soda):
         server = SodaServer(soda, port=0)
         server.start_background()
+        status, __, __ = _get(server, "/search?q=Zurich")
+        assert status == 200
         server.stop()
         server.start_background()
         try:
             status, __, __ = _get(server, "/healthz")
             assert status == 200
+            # engine routes run on the worker pool, which the previous
+            # stop shut down — the restart must serve them too
+            status, __, payload = _get(server, "/search?q=Zurich")
+            assert status == 200
+            status, __, payload = _get(server, "/healthz")
+            assert payload["status"] == "ok"  # no breaker fallout
         finally:
             server.stop()
 

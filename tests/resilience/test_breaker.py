@@ -91,6 +91,24 @@ class TestHalfOpen:
         clock.advance(5.0)
         assert breaker.allow()  # probing again
 
+    def test_abandoned_probe_releases_the_slot(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()  # probe claimed...
+        breaker.record_abandoned()  # ...but the work never ran
+        assert breaker.state == "half_open"  # no verdict either way
+        assert breaker.allow()  # the slot is free for the next probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_abandoned_does_not_touch_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_abandoned()  # harmless while closed
+        assert breaker.state == "closed"
+        breaker.record_failure()  # still the third consecutive failure
+        assert breaker.state == "open"
+
 
 class TestSnapshot:
     def test_snapshot_shape(self, breaker, clock):
